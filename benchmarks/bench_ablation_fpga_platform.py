@@ -1,0 +1,68 @@
+"""Ablation — implementation platform: custom silicon vs FPGA macro.
+
+The paper flags FPGA macro-modeling as open further research; we built
+the model (``repro.models.fpga``).  This ablation runs the platform
+question an early exploration actually asks: *what does prototyping the
+decompression datapath on an FPGA cost in power* — splitting the gap
+into its two causes, interconnect capacitance (same-supply ratio) and
+the supply difference (5 V part vs 1.5 V custom).
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.models.fpga import custom_vs_fpga, fpga_macro
+
+GATE_COUNTS = (2000, 8000, 32000, 100_000)
+
+
+def test_custom_vs_fpga_sweep(benchmark):
+    def sweep():
+        rows = []
+        for gates in GATE_COUNTS:
+            mixed = custom_vs_fpga(gates)  # 1.5 V custom vs 5 V FPGA
+            same = custom_vs_fpga(gates, vdd_custom=5.0, vdd_fpga=5.0)
+            rows.append((gates, mixed["custom"], mixed["fpga"],
+                         same["ratio"], mixed["ratio"]))
+        return rows
+
+    rows = benchmark(sweep)
+
+    banner(
+        "Ablation — custom vs FPGA implementation platform",
+        "FPGA macro-modeling is the paper's flagged further research",
+    )
+    print(f"{'gates':>8} {'custom@1.5V':>12} {'fpga@5V':>10} "
+          f"{'C ratio':>8} {'total':>8}")
+    for gates, custom, fpga, same_ratio, full_ratio in rows:
+        print(
+            f"{gates:>8} {custom * 1e6:>10.1f}uW {fpga * 1e3:>8.1f}mW "
+            f"{same_ratio:>7.1f}x {full_ratio:>7.0f}x"
+        )
+
+    for gates, _custom, _fpga, same_ratio, full_ratio in rows:
+        # interconnect-only gap sits in the classic band at scale
+        if gates >= 32000:
+            assert 8 < same_ratio < 60
+        # supply difference multiplies it by (5/1.5)^2 ~ 11
+        assert full_ratio > same_ratio
+
+
+def test_fpga_utilization_effect(benchmark):
+    """Underfilling the array costs clock power — a knob the macro
+    exposes that a single datasheet number cannot."""
+    model = fpga_macro()
+    env = {"gates": 8000, "toggle": 0.125, "VDD": 5.0, "f": 2e6}
+
+    def sweep():
+        return {
+            utilization: model.power(dict(env, utilization=utilization))
+            for utilization in (0.3, 0.5, 0.7, 0.9)
+        }
+
+    results = benchmark(sweep)
+    print(f"\n{'utilization':>12} {'power':>10}")
+    for utilization, watts in sorted(results.items()):
+        print(f"{utilization:>12.1f} {watts * 1e3:>8.2f}mW")
+    assert results[0.3] > results[0.9]

@@ -1,0 +1,109 @@
+"""Ablation — generalizing Figure 1 -> Figure 3: memory organization.
+
+The paper compares exactly two points (1 and 4 words per LUT access).
+This ablation sweeps every divisor of the 16-pixel block, separating
+the competing effects: the LUT's per-access capacitance grows with word
+width while its access rate falls, and the full-rate output mux grows
+with fan-in.  It also sweeps the *codebook size*, the other memory knob
+an early exploration would turn.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.core.estimator import evaluate_power
+from repro.designs.luminance import build_luminance_design
+
+WORDS_PER_ACCESS = (1, 2, 4, 8, 16)
+
+
+def test_partition_sweep(benchmark):
+    def sweep():
+        rows = []
+        for words in WORDS_PER_ACCESS:
+            design = build_luminance_design(words_per_access=words)
+            report = evaluate_power(design)
+            mux = report["output_mux"].power if "output_mux" in [
+                c.name for c in report.children
+            ] else 0.0
+            rows.append((words, report.power, report["lut"].power, mux))
+        return rows
+
+    rows = benchmark(sweep)
+
+    banner(
+        "Ablation — words per LUT access (generalized Fig 1 -> Fig 3)",
+        "impl 2 (w=4) is ~1/5 of impl 1 (w=1); sweep exposes the trend",
+    )
+    print(f"{'w':>3} {'total':>10} {'lut':>10} {'mux':>9} {'vs w=1':>7}")
+    base = rows[0][1]
+    for words, total, lut, mux in rows:
+        print(
+            f"{words:>3} {total * 1e6:>8.1f}uW {lut * 1e6:>8.1f}uW "
+            f"{mux * 1e6:>7.2f}uW {total / base:>6.2f}x"
+        )
+
+    totals = {words: total for words, total, _l, _m in rows}
+    muxes = {words: mux for words, _t, _l, mux in rows}
+    # the paper's two points land where it says
+    assert totals[4] / totals[1] == pytest.approx(0.2, rel=0.5)
+    # monotone improvement with diminishing returns across the block
+    gains = [
+        totals[a] - totals[b]
+        for a, b in zip(WORDS_PER_ACCESS, WORDS_PER_ACCESS[1:])
+    ]
+    assert all(gain > 0 for gain in gains)
+    assert gains == sorted(gains, reverse=True)
+    # while the mux tax rises with fan-in
+    assert muxes[16] > muxes[4] > muxes[2]
+
+
+def test_codebook_size_sweep(benchmark):
+    """The other axis: codebook entries trade LUT power for quality."""
+
+    def sweep():
+        rows = []
+        for entries in (64, 128, 256, 512):
+            design = build_luminance_design(
+                words_per_access=4, codebook_entries=entries
+            )
+            rows.append((entries, evaluate_power(design)["lut"].power))
+        return rows
+
+    rows = benchmark(sweep)
+    print(f"\n{'entries':>8} {'LUT power':>11}")
+    for entries, watts in rows:
+        print(f"{entries:>8} {watts * 1e6:>9.1f}uW")
+    watts = dict(rows)
+    assert watts[512] > watts[256] > watts[64]
+
+
+def test_rom_vs_sram_lut(benchmark):
+    """The codebook is fixed content — implement the LUT as a mask ROM.
+
+    A follow-on the paper's framework makes answerable in seconds: the
+    ROM saves on both organizations, compounding with the Figure 3
+    reorganization.
+    """
+    from repro.models.storage import rom_memory, sram
+
+    def compare_luts():
+        rows = []
+        for words, bits, f in ((4096, 6, 1.966e6), (1024, 24, 0.4915e6)):
+            env = {"words": words, "bits": bits, "VDD": 1.5, "f": f,
+                   "P_O": 0.5}
+            sram_watts = sram(words, bits).power(env)
+            rom_watts = rom_memory(words, bits).power(env)
+            rows.append(((words, bits), sram_watts, rom_watts))
+        return rows
+
+    rows = benchmark(compare_luts)
+    print(f"\n{'LUT org':>12} {'SRAM':>10} {'ROM':>10} {'saving':>8}")
+    for (words, bits), sram_watts, rom_watts in rows:
+        print(
+            f"{words:>6}x{bits:<5} {sram_watts * 1e6:>8.1f}uW "
+            f"{rom_watts * 1e6:>8.1f}uW "
+            f"{100 * (1 - rom_watts / sram_watts):>6.0f}%"
+        )
+        assert rom_watts < sram_watts

@@ -1,0 +1,108 @@
+"""E6 — EQ 12 / Ong & Yan: software energy varies by orders of magnitude.
+
+"Ong and Yan have used this methodology on a fictitious processor to
+determine that there can be orders of magnitude variance in power
+consumption for different sorting algorithms."
+
+The bench profiles six sorting algorithms on the fictitious processor
+substrate (instrumented route; bubble sort cross-checked against the
+cycle-accurate VM route) and evaluates EQ 12 energies, with and without
+the cache-miss correction the paper says naive estimates omit.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.models.processor import (
+    DEFAULT_ISA,
+    MemorySystemCorrection,
+    algorithm_energy,
+    algorithm_power,
+)
+from repro.sim.isa import BUBBLE_SORT, run_sort_program
+from repro.sim.sorting import profile_sort, random_data
+
+ALGORITHMS = ("bubble", "selection", "insertion", "heap", "merge", "quick")
+N = 1024
+CLOCK = 25e6
+
+
+def test_eq12_sorting_energy_table(benchmark):
+    data = random_data(N, seed=13)
+
+    def study():
+        rows = []
+        for algorithm in ALGORITHMS:
+            _out, profile = profile_sort(algorithm, data)
+            rows.append(
+                (
+                    algorithm,
+                    profile.total_instructions,
+                    algorithm_energy(profile),
+                    algorithm_power(profile, CLOCK),
+                )
+            )
+        rows.sort(key=lambda row: row[2])
+        return rows
+
+    rows = benchmark(study)
+
+    banner(
+        "E6 / EQ 12 — sorting-algorithm energy (Ong & Yan)",
+        "orders of magnitude variance across algorithms",
+    )
+    best = rows[0][2]
+    print(f"{'algorithm':>10} {'instrs':>10} {'energy':>12} {'rel':>8} {'power':>8}")
+    for algorithm, instructions, energy, power in rows:
+        print(
+            f"{algorithm:>10} {instructions:>10} {energy * 1e6:>10.1f}uJ "
+            f"{energy / best:>7.1f}x {power:>7.3f}W"
+        )
+
+    energies = {algorithm: energy for algorithm, _i, energy, _p in rows}
+    # the paper's claim: orders of magnitude spread at realistic n
+    assert max(energies.values()) / min(energies.values()) > 30
+    # quadratic sorts lose; n-log-n sorts cluster
+    assert energies["bubble"] > 20 * energies["quick"]
+    assert max(energies[a] for a in ("quick", "merge", "heap")) < 6 * min(
+        energies[a] for a in ("quick", "merge", "heap")
+    )
+
+
+def test_eq12_vm_cross_check(benchmark):
+    """The coded-algorithm + profiler route (SPIX/Pixie analogue)."""
+    data = random_data(96, seed=13)
+
+    def vm_run():
+        _out, profile = run_sort_program(BUBBLE_SORT, data, "bubble_vm")
+        return profile
+
+    vm_profile = benchmark(vm_run)
+    _out, traced_profile = profile_sort("bubble", data)
+    e_vm = algorithm_energy(vm_profile)
+    e_tr = algorithm_energy(traced_profile)
+    print(
+        f"\nbubble n=96: VM {e_vm * 1e6:.2f} uJ vs instrumented "
+        f"{e_tr * 1e6:.2f} uJ ({max(e_vm, e_tr) / min(e_vm, e_tr):.2f}x)"
+    )
+    assert max(e_vm, e_tr) / min(e_vm, e_tr) < 2.5
+
+
+def test_eq12_cache_correction(benchmark):
+    """Naive EQ 12 underestimates; the miss correction raises energy."""
+    data = random_data(N, seed=13)
+    _out, profile = profile_sort("merge", data)
+    correction = MemorySystemCorrection(miss_rate=0.05)
+
+    def corrected_energy():
+        naive = algorithm_energy(profile)
+        extra, _cycles = correction.apply(profile)
+        return naive, naive + extra
+
+    naive, corrected = benchmark(corrected_energy)
+    print(
+        f"\nmerge n={N}: naive {naive * 1e6:.1f} uJ, with 5% miss rate "
+        f"{corrected * 1e6:.1f} uJ (+{100 * (corrected / naive - 1):.1f}%)"
+    )
+    assert corrected > naive

@@ -1,0 +1,113 @@
+"""Extension bench — the closed exploration loop the paper gestures at.
+
+Three utilities built on top of the reproduction's core, exercised on
+the paper's own designs:
+
+* voltage optimization: minimum-power supply meeting the pixel-rate
+  timing constraint (bisection over the composed critical path);
+* grid search with Pareto extraction over (VDD, organization);
+* battery life of the InfoPad, closing the loop from spreadsheet watts
+  to the hours a terminal architect budgets.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.core.composition import Chain
+from repro.core.model import VoltageScaledTimingModel
+from repro.core.estimator import evaluate_power
+from repro.core.optimize import (
+    grid_search,
+    minimum_voltage,
+    optimize_voltage,
+    pareto_front,
+)
+from repro.designs.infopad import build_infopad
+from repro.designs.luminance import build_figure3_design, build_luminance_design
+from repro.models.battery import NICD_6V, NIMH_6V, battery_life
+
+
+def test_voltage_optimization(benchmark):
+    design = build_figure3_design()
+    critical_path = Chain(
+        "lut_to_pixel",
+        [
+            VoltageScaledTimingModel("lut_access", 500e-9, v_ref=1.5),
+            VoltageScaledTimingModel("mux_reg", 60e-9, v_ref=1.5),
+        ],
+    )
+    lut_rate = design.scope["f_pixel"] / 4
+
+    result = benchmark(
+        optimize_voltage, design, critical_path, lut_rate
+    )
+
+    banner(
+        "Extension — minimum-power supply under the timing constraint",
+        "the power/speed trade the spreadsheet exists to explore",
+    )
+    print(
+        f"nominal: {result.nominal_vdd:.2f} V / "
+        f"{result.nominal_power * 1e6:.1f} uW; optimum: {result.vdd:.2f} V / "
+        f"{result.power * 1e6:.1f} uW ({100 * result.saving:.0f}% saved)"
+    )
+    assert result.vdd < result.nominal_vdd
+    assert result.saving > 0.2
+    assert critical_path.delay({"VDD": result.vdd}) <= 4.0 / design.scope[
+        "f_pixel"
+    ]
+
+
+def test_pareto_over_voltage_and_organization(benchmark):
+    """The two-knob design space: supply x words-per-access."""
+
+    def explore():
+        points = []
+        for words in (1, 2, 4, 8):
+            design = build_luminance_design(words_per_access=words)
+            timing = VoltageScaledTimingModel(
+                "lut", 9e-9 * 12 * words, v_ref=1.5  # wider reads are slower
+            )
+            for vdd in (1.0, 1.2, 1.5, 2.0):
+                watts = evaluate_power(design, overrides={"VDD": vdd}).power
+                delay = timing.delay({"VDD": vdd})
+                points.append(((words, vdd), watts, delay))
+        return points
+
+    points = benchmark(explore)
+    front = pareto_front([(watts, delay) for _cfg, watts, delay in points])
+    by_objectives = {
+        (watts, delay): cfg for cfg, watts, delay in points
+    }
+    print("\nPareto-optimal (power, LUT delay) configurations:")
+    for watts, delay in front:
+        words, vdd = by_objectives[(watts, delay)]
+        print(
+            f"  w={words:>2} VDD={vdd:>3.1f} V -> {watts * 1e6:7.1f} uW, "
+            f"{delay * 1e9:6.1f} ns"
+        )
+    assert 2 <= len(front) < len(points)
+
+
+def test_battery_life_closing_the_loop(benchmark):
+    system = build_infopad()
+
+    def closed_loop():
+        rows = []
+        for backlight in (1.0, 0.5):
+            report = evaluate_power(system)
+            system.row("display_lcds").set("backlight_duty", backlight)
+            report = evaluate_power(system)
+            rows.append(
+                (backlight, report.power, battery_life(report.power, NIMH_6V))
+            )
+        system.row("display_lcds").set("backlight_duty", 1.0)
+        return rows
+
+    rows = benchmark(closed_loop)
+    print(f"\n{'backlight':>10} {'system':>8} {'NiMH life':>10}")
+    for backlight, watts, hours in rows:
+        print(f"{backlight:>10.1f} {watts:>7.2f}W {hours:>9.2f}h")
+    full, dimmed = rows[0], rows[1]
+    assert dimmed[2] > full[2]

@@ -1,0 +1,59 @@
+"""E1 — Figure 2: the luminance_1 spreadsheet power analysis.
+
+Regenerates the Figure 2 table: one row per block of the Figure 1
+architecture (read bank, write bank, look-up table, output register),
+parameterized by supply and pixel rate, with per-row power in
+engineering notation and the design total.
+
+Paper-visible numbers: supply 1.5 V, f = 2 MHz, read bank at f/16,
+write bank at f/32, total ~8.8e-04 W, LUT dominant.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.core.estimator import evaluate_power
+from repro.core.report import render_power
+from repro.designs.luminance import build_figure1_design
+
+
+def test_fig2_luminance_sheet(benchmark):
+    design = build_figure1_design()
+    report = benchmark(evaluate_power, design)
+
+    banner(
+        "E1 / Figure 2 — luminance_1 summary spreadsheet",
+        "VDD 1.5 V, f 2 MHz; banks 2048x8 at f/16 and f/32; total ~8.8e-4 W",
+    )
+    print(render_power(report))
+
+    # the Figure 2 rows, by name
+    assert [child.name for child in report.children] == [
+        "read_bank", "write_bank", "lut", "output_register",
+    ]
+    # access-rate relations: read = f/16, write = f/32
+    f_pixel = design.scope["f_pixel"]
+    assert design.row("read_bank").scope["f"] == pytest.approx(f_pixel / 16)
+    assert design.row("write_bank").scope["f"] == pytest.approx(f_pixel / 32)
+    assert report["read_bank"].power == pytest.approx(
+        2 * report["write_bank"].power
+    )
+    # total in the figure's band; LUT dominates
+    assert 5e-4 < report.power < 1.2e-3
+    assert report["lut"].power / report.power > 0.8
+
+
+def test_fig2_parameter_variation(benchmark):
+    """The table is parameterized: 'parameters such as bit-widths and
+    supply voltages can be varied dynamically'."""
+    design = build_figure1_design()
+
+    def vary():
+        low = evaluate_power(design, overrides={"VDD": 1.1}).power
+        high = evaluate_power(design, overrides={"VDD": 3.0}).power
+        return low, high
+
+    low, high = benchmark(vary)
+    print(f"\nVDD 1.1 V -> {low * 1e6:7.1f} uW;  VDD 3.0 V -> {high * 1e6:7.1f} uW")
+    assert high / low == pytest.approx((3.0 / 1.1) ** 2, rel=1e-6)

@@ -1,0 +1,80 @@
+"""E3 — Figure 4: the multiplier input form and its result excerpt.
+
+The form takes two bit-widths and a multiplier (correlation) type and
+returns capacitance/power "virtually instantaneously, so the user may
+cycle through many options".  The published model anchor is EQ 20:
+
+    C_T = bitwidthA * bitwidthB * 253 fF     (non-correlated inputs)
+
+The bench regenerates the form's result table across a bit-width sweep
+and both correlation classes, and times the feedback loop through the
+actual web application (form POST -> computed page).
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.core.units import format_eng, format_quantity
+from repro.models.computation import MULTIPLIER_C_UNCORRELATED, multiplier
+
+
+def test_fig4_eq20_sweep(benchmark):
+    model_plain = multiplier(correlation="uncorrelated")
+    model_corr = multiplier(correlation="correlated")
+    widths = (4, 8, 12, 16, 24, 32)
+
+    def sweep():
+        rows = []
+        for bits in widths:
+            env = {"bitwidthA": bits, "bitwidthB": bits, "VDD": 1.5, "f": 2e6}
+            rows.append(
+                (
+                    bits,
+                    model_plain.effective_capacitance(env),
+                    model_plain.power(env),
+                    model_corr.power(env),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+
+    banner(
+        "E3 / Figure 4 — multiplier form (EQ 20)",
+        "C_T = bwA * bwB * 253 fF; correlated variant, same shape",
+    )
+    print(f"{'bits':>5} {'C_T':>12} {'P (uncorr)':>14} {'P (corr)':>14}")
+    for bits, capacitance, plain_w, corr_w in rows:
+        print(
+            f"{bits:>5} {format_quantity(capacitance, 'F'):>12} "
+            f"{format_eng(plain_w, 'W'):>14} {format_eng(corr_w, 'W'):>14}"
+        )
+
+    # EQ 20 exactly, including the paper's 16x16 anchor
+    for bits, capacitance, plain_w, corr_w in rows:
+        assert capacitance == pytest.approx(
+            bits * bits * MULTIPLIER_C_UNCORRELATED
+        )
+        assert corr_w < plain_w
+    anchor = dict((bits, watts) for bits, _c, watts, _cw in rows)
+    assert anchor[16] * 1e6 == pytest.approx(291.456)
+
+
+def test_fig4_form_feedback_through_web_app(benchmark, tmp_path):
+    """'The feedback is virtually instantaneous' — timed through the
+    real form handler."""
+    from repro.web.app import Application
+
+    app = Application(tmp_path / "state")
+    app.handle("POST", "/login", {"user": "bench"})
+    form = {
+        "user": "bench", "name": "multiplier",
+        "p:bitwidthA": "16", "p:bitwidthB": "16",
+        "p:VDD": "1.5", "p:f": "2M",
+    }
+
+    response = benchmark(app.handle, "POST", "/cell", form)
+    assert response.status == 200
+    assert "2.9146e-04 W" in response.body
+    print("\nform round trip OK: 16x16 multiplier -> 2.9146e-04 W")

@@ -1,0 +1,81 @@
+"""E4 — Figure 5: the InfoPad system power breakdown.
+
+Regenerates the system spreadsheet: seven subsystem rows (custom
+hardware, radio, LCDs, microprocessor, support electronics, voltage
+converters, other IO), global supplies VDD1/VDD2 on the top page, the
+converter row computed from every other row (EQ 19), and hyperlinked
+sub-designs down to the luminance chip.
+
+Absolute watts are reconstructed (DESIGN.md/EXPERIMENTS.md); the shape
+asserted is the paper's system lesson: the custom low-power chipset is
+a vanishing fraction of the budget, display/processor/radio dominate,
+and converter loss is a material line item.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.core.estimator import consumers_for_fraction, evaluate_power, top_consumers
+from repro.core.report import render_coverage, render_power
+from repro.designs.infopad import CONVERTER_EFFICIENCY, build_infopad
+from repro.models.converter import converter_dissipation
+
+
+def test_fig5_system_breakdown(benchmark):
+    system = build_infopad()
+    report = benchmark(evaluate_power, system)
+
+    banner(
+        "E4 / Figure 5 — InfoPad system summary",
+        "7 subsystem rows, VDD1/VDD2 globals, converters from EQ 19, "
+        "custom chipset a tiny share",
+    )
+    print(render_power(report, max_depth=1))
+    print()
+    print(render_coverage(report, limit=8))
+
+    # the Figure 5 row set
+    assert [child.name for child in report.children] == [
+        "custom_hardware", "radio_subsystem", "display_lcds",
+        "microprocessor_subsystem", "support_electronics",
+        "other_io_devices", "voltage_converters",
+    ]
+    # converter row = EQ 19 of everything else
+    load = report.power - report["voltage_converters"].power
+    assert report["voltage_converters"].power == pytest.approx(
+        converter_dissipation(load, CONVERTER_EFFICIENCY)
+    )
+    # the paper's lesson, quantified
+    assert report["custom_hardware"].power / report.power < 0.01
+    dominant = {path for path, _w in top_consumers(report, 3)}
+    assert dominant <= {
+        "infopad/display_lcds",
+        "infopad/microprocessor_subsystem",
+        "infopad/radio_subsystem",
+        "infopad/support_electronics",
+        "infopad/voltage_converters",
+    }
+    # a handful of leaves cover 80% — the point of diminishing returns
+    assert len(consumers_for_fraction(report, 0.8)) <= 6
+
+
+def test_fig5_top_page_parameter_flow(benchmark):
+    """'All subcircuit parameters are given ... so the user can change
+    any parameter from the top page.'"""
+    system = build_infopad()
+
+    def explore():
+        nominal = evaluate_power(system)["custom_hardware"].power
+        scaled = evaluate_power(system, overrides={"VDD2": 1.1})[
+            "custom_hardware"
+        ].power
+        return nominal, scaled
+
+    nominal, scaled = benchmark(explore)
+    print(
+        f"\ncustom chipset: {nominal * 1e6:.1f} uW at 1.5 V -> "
+        f"{scaled * 1e6:.1f} uW at 1.1 V (set on the top page, applied "
+        "three hierarchy levels down)"
+    )
+    assert scaled == pytest.approx(nominal * (1.1 / 1.5) ** 2, rel=1e-6)

@@ -1,0 +1,91 @@
+"""E5 — Figure 7: model access across the network, two protocols.
+
+Top of the figure: Silva's SMTP-hub scheme — the requester mails its
+local hub, which forwards to the remote hub, which interprets the
+request and mails the model back.  Bottom: PowerPlay's modification —
+an HTTP GET on a model URL, "information transfer on demand".
+
+The bench fetches the same model set both ways over the simulated
+transport and reports messages / hub hops / latency per protocol, then
+times a *real* HTTP fetch against a live PowerPlay server for scale.
+"""
+
+import pytest
+
+from conftest import banner
+
+from repro.library.cells import build_default_library
+from repro.web.hub import HTTPDirect, MailHub, compare_protocols
+from repro.library.catalog import Library
+
+MODELS = ["sram", "multiplier", "register", "ripple_adder", "controller_rom"]
+
+
+def test_fig7_protocol_comparison(benchmark):
+    library = build_default_library()
+    stats = benchmark(compare_protocols, library, MODELS)
+
+    banner(
+        "E5 / Figure 7 — SMTP-hub vs HTTP-URL model access",
+        "hub route: extra hops + store-and-forward dwell; HTTP: direct GET",
+    )
+    print(f"{'protocol':>12} {'messages':>9} {'hub hops':>9} {'latency':>10}")
+    for name, stat in stats.items():
+        print(
+            f"{name:>12} {stat.messages:>9} {stat.hub_hops:>9} "
+            f"{stat.latency:>9.2f}s"
+        )
+    per_model = {
+        name: stat.latency / len(MODELS) for name, stat in stats.items()
+    }
+    print(
+        f"\nper model: smtp {per_model['smtp_hub']:.2f} s vs "
+        f"http {per_model['http_direct']:.2f} s "
+        f"({per_model['smtp_hub'] / per_model['http_direct']:.0f}x)"
+    )
+
+    smtp, http = stats["smtp_hub"], stats["http_direct"]
+    assert http.messages == 2 * len(MODELS)
+    assert smtp.messages == 4 * len(MODELS)
+    assert http.hub_hops == 0
+    assert smtp.hub_hops == 3 * len(MODELS)
+    assert smtp.latency > 5 * http.latency
+
+
+def test_fig7_payload_equivalence(benchmark):
+    """Both routes deliver the same model — protocol changes nothing
+    about the estimate."""
+    library = build_default_library()
+    local = MailHub("mit", Library("mit"))
+    remote = MailHub("berkeley", library)
+    local.connect(remote)
+    http = HTTPDirect("berkeley", library)
+
+    def fetch_both():
+        via_mail, _stats = local.request_model("berkeley", "multiplier")
+        via_http, _stats = http.request_model("multiplier")
+        return via_mail, via_http
+
+    via_mail, via_http = benchmark(fetch_both)
+    env = {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": 2e6}
+    assert via_mail.models.power.power(env) == pytest.approx(
+        via_http.models.power.power(env)
+    )
+    print("\nidentical estimates from both protocol payloads")
+
+
+def test_fig7_live_http_fetch(benchmark, tmp_path):
+    """The real thing: fetch a model from a live PowerPlay server."""
+    from repro.web.remote import RemoteLibraryClient
+    from repro.web.server import PowerPlayServer
+
+    with PowerPlayServer(tmp_path / "state", server_name="berkeley") as server:
+        def fetch():
+            client = RemoteLibraryClient(server.base_url)  # fresh cache
+            return client.fetch_model("sram")
+
+        entry = benchmark(fetch)
+        assert entry.origin == server.base_url
+        print(f"\nlive fetch from {server.base_url}: sram model, "
+              f"origin tagged, evaluates to "
+              f"{entry.models.power.power({'words': 2048, 'bits': 8, 'VDD': 1.5, 'f': 122880.0}) * 1e6:.1f} uW")

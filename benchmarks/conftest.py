@@ -1,0 +1,18 @@
+"""Shared fixtures/helpers for the experiment benches.
+
+Every bench regenerates one table or figure from the paper's evaluation
+and prints the same rows/series (run with ``-s`` to see them, or read
+EXPERIMENTS.md for a captured set).  Assertions encode the *shape* the
+paper reports — who wins, by roughly what factor — not absolute watts,
+since our library is a re-characterization (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+
+def banner(experiment: str, claim: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"{experiment}")
+    print(f"paper: {claim}")
+    print("=" * 72)

@@ -1,0 +1,47 @@
+"""Quickstart: estimate a small datapath in a dozen lines.
+
+Builds a multiply-accumulate datapath from the stock library, prints the
+Figure 2-style spreadsheet, then sweeps the supply voltage — the
+what-if loop early power exploration exists for.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import evaluate_power, render_power, sweep
+from repro.core.design import Design
+from repro.library import build_default_library
+
+
+def main() -> None:
+    library = build_default_library()
+
+    # A design is a spreadsheet: global parameters + one row per block.
+    design = Design("mac_datapath", doc="16-bit multiply-accumulate")
+    design.scope.set("VDD", 1.5)      # volts — inherited by every row
+    design.scope.set("f", 10e6)       # 10 MHz sample rate
+
+    design.add("multiplier", library.get("multiplier").models,
+               params={"bitwidthA": 16, "bitwidthB": 16})
+    design.add("accumulator", library.get("ripple_adder").models,
+               params={"bitwidth": 32})
+    design.add("result_reg", library.get("register").models,
+               params={"bits": 32})
+
+    # "Play": hierarchical evaluation, engineering-notation table.
+    report = evaluate_power(design)
+    print(render_power(report))
+
+    # Parameterized exploration: how does the total scale with VDD?
+    print("\nSupply sweep (the knob low-power design turns first):")
+    for vdd, watts in sweep(design, "VDD", [1.1, 1.5, 2.5, 3.3, 5.0]):
+        print(f"  VDD = {vdd:>4.1f} V   ->   {watts * 1e6:8.1f} uW")
+
+    # Where should optimization effort go?
+    from repro.core import top_consumers
+    print("\nTop consumers:")
+    for path, watts in top_consumers(report, 3):
+        print(f"  {path:30s} {watts * 1e6:8.1f} uW")
+
+
+if __name__ == "__main__":
+    main()

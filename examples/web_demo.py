@@ -1,0 +1,117 @@
+"""The World Wide Web workflow, scripted end to end.
+
+Starts a live PowerPlay server on localhost, then drives the complete
+Netscape session the paper times at "less than three minutes": identify
+-> browse the library -> parameterize a multiplier on its input form
+(Figure 4) -> save it into a design -> PLAY the spreadsheet (Figure 2)
+-> define a brand-new user model -> export the design as JSON.  Then a
+*second* server federates the first one's library over HTTP — the
+Figure 6 "characterized in Massachusetts, used in California" scenario.
+
+Run:            python examples/web_demo.py
+Interactive:    python examples/web_demo.py --serve   (then open the URL)
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.library import Library, build_default_library
+from repro.web import (
+    Browser,
+    PowerPlayServer,
+    RemoteLibraryClient,
+    compare_protocols,
+    federate,
+)
+
+
+def scripted_session(base_url: str) -> None:
+    browser = Browser(base_url)
+    started = time.perf_counter()
+
+    page = browser.login("lidsky")
+    assert "Main Menu" in page.title
+    print(f"  logged in -> {page.title!r}")
+
+    page = browser.get(page.link_by_text("Library"))
+    print(f"  library page lists multiplier: {page.contains('multiplier')}")
+
+    page = browser.new_design("lidsky", "vq_chip")
+    page = browser.compute_cell(
+        "lidsky", "multiplier",
+        {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": "2M"},
+    )
+    print(f"  Figure 4 form computed: "
+          f"{'Result' in page.body and '2.9146e-04 W' in page.body}")
+
+    browser.save_cell_to_design(
+        "lidsky", "multiplier", "vq_chip", "mult16",
+        {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": "2M"},
+    )
+    page = browser.open_design("lidsky", "vq_chip")
+    print(f"  design sheet shows the row: {page.contains('mult16')}")
+
+    page = browser.play("lidsky", "vq_chip",
+                        row_params={("mult16", "VDD"): 1.1})
+    print(f"  PLAY at 1.1 V recomputed: {page.contains('1.5674e-04 W')}")
+
+    page = browser.post("/define", {
+        "user": "lidsky",
+        "name": "ntsc_dac",
+        "equation": "bits * 95f * VDD^2 * f + 1.2m * VDD",
+        "parameters": "bits=8",
+        "doc": "video DAC: dynamic + bias current",
+        "category": "analog",
+        "proprietary": "no",
+    })
+    print(f"  user model defined: {page.contains('ntsc_dac')}")
+
+    exported = browser.get("/export/design?user=lidsky&name=vq_chip")
+    print(f"  design exported as JSON ({len(exported.body)} bytes)")
+
+    elapsed = time.perf_counter() - started
+    print(f"  whole session: {elapsed:.2f} s "
+          "(paper: 'in less than three minutes')")
+
+
+def federation_demo(provider_url: str) -> None:
+    print("\n== Remote model access (Figure 6/7) ==")
+    client = RemoteLibraryClient(provider_url)
+    print(f"  handshake: {client.ping()}")
+    local = Library("california_site", "local library, initially empty")
+    adopted = federate(local, [provider_url])
+    total = sum(len(names) for names in adopted.values())
+    print(f"  federated {total} models from {provider_url}")
+    entry = local.get("sram")
+    watts = entry.models.power.power(
+        {"words": 2048, "bits": 8, "VDD": 1.5, "f": 122880.0}
+    )
+    print(f"  remote-characterized SRAM evaluated locally: "
+          f"{watts * 1e6:.1f} uW  (origin {entry.origin})")
+
+    stats = compare_protocols(
+        build_default_library(), ["sram", "multiplier", "register"]
+    )
+    print("  protocol comparison (3 model fetches):")
+    for name, stat in stats.items():
+        print(f"    {name:12s} {stat.messages:2d} messages, "
+              f"{stat.hub_hops} hub hops, {stat.latency:5.2f} s simulated")
+
+
+def main() -> None:
+    state = Path(tempfile.mkdtemp(prefix="powerplay_"))
+    with PowerPlayServer(state, server_name="berkeley") as server:
+        print(f"PowerPlay server at {server.base_url}")
+        if "--serve" in sys.argv:
+            print("Serving until Ctrl-C; open the URL in a browser.")
+            server.serve_forever()
+            return
+        print("\n== Scripted browser session ==")
+        scripted_session(server.base_url)
+        federation_demo(server.base_url)
+
+
+if __name__ == "__main__":
+    main()

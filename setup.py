@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,216 @@
+"""Command-line interface: the PowerPlay workflows without a browser.
+
+    python -m repro estimate fig3 --vdd 1.1
+    python -m repro compare
+    python -m repro sweep infopad VDD2 1.1 1.5 2.5
+    python -m repro battery --design infopad
+    python -m repro characterize adder
+    python -m repro sorting -n 512
+    python -m repro serve --port 8080 --state ~/.powerplay
+
+Every command writes plain text to stdout (CSV with ``--csv`` where a
+table is produced) and exits non-zero on error, so it scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core.estimator import compare, evaluate_power, sweep
+from .core.report import (
+    render_comparison,
+    render_coverage,
+    render_power,
+    render_power_csv,
+)
+from .core.units import format_quantity
+from .designs.infopad import build_infopad
+from .designs.luminance import build_figure1_design, build_figure3_design
+from .errors import PowerPlayError
+
+DESIGN_BUILDERS: Dict[str, Callable] = {
+    "fig1": build_figure1_design,
+    "fig3": build_figure3_design,
+    "luminance_fig1": build_figure1_design,
+    "luminance_fig3": build_figure3_design,
+    "infopad": build_infopad,
+}
+
+
+def _build_design(name: str):
+    builder = DESIGN_BUILDERS.get(name)
+    if builder is None:
+        raise PowerPlayError(
+            f"unknown design {name!r}; pick from {sorted(set(DESIGN_BUILDERS))}"
+        )
+    return builder()
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    design = _build_design(args.design)
+    overrides = {}
+    if args.vdd is not None:
+        key = "VDD2" if args.design == "infopad" else "VDD"
+        overrides[key] = args.vdd
+    report = evaluate_power(design, overrides=overrides or None)
+    if args.csv:
+        print(render_power_csv(report), end="")
+    else:
+        print(render_power(report, max_depth=args.depth))
+        print()
+        print(render_coverage(report, limit=8))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    designs = [_build_design(name) for name in args.designs]
+    print(render_comparison(compare(designs)))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    design = _build_design(args.design)
+    results = sweep(design, args.parameter, args.values)
+    print(f"{args.parameter},power_w")
+    for value, watts in results:
+        print(f"{value:g},{watts:.6e}")
+    return 0
+
+
+def cmd_battery(args: argparse.Namespace) -> int:
+    from .models.battery import NICD_6V, NIMH_6V, battery_life
+
+    design = _build_design(args.design)
+    watts = evaluate_power(design).power
+    print(f"{args.design}: {format_quantity(watts, 'W')} system input power")
+    for pack in (NIMH_6V, NICD_6V):
+        hours = battery_life(watts, pack)
+        print(
+            f"  {pack.name:10s} {pack.voltage:.0f} V / {pack.capacity_ah:.1f} Ah"
+            f" -> {hours:5.2f} h"
+        )
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from .library.characterize import (
+        characterize_adder,
+        characterize_memory,
+        characterize_multiplier,
+    )
+
+    if args.cell == "adder":
+        _model, fit = characterize_adder(cycles=args.cycles)
+    elif args.cell == "memory":
+        _model, fit = characterize_memory(cycles=args.cycles)
+    else:
+        _model, fit = characterize_multiplier(cycles=args.cycles)
+    print(f"model form: {fit.model_form}")
+    for name, value in fit.coefficients.items():
+        print(f"  {name} = {format_quantity(value, 'F')}")
+    print(f"R^2 = {fit.r_squared:.5f}; "
+          f"max relative error = {fit.max_relative_error:.2%}; "
+          f"within octave: {fit.within_octave}")
+    return 0
+
+
+def cmd_sorting(args: argparse.Namespace) -> int:
+    from .models.processor import algorithm_energy
+    from .sim.sorting import ALGORITHMS, profile_sort, random_data
+
+    data = random_data(args.count, seed=args.seed)
+    rows = []
+    for algorithm in sorted(ALGORITHMS):
+        _out, profile = profile_sort(algorithm, data)
+        rows.append((algorithm, profile.total_instructions,
+                     algorithm_energy(profile)))
+    rows.sort(key=lambda row: row[2])
+    best = rows[0][2]
+    print(f"n = {args.count}")
+    for algorithm, instructions, energy in rows:
+        print(f"  {algorithm:10s} {instructions:>9} instrs "
+              f"{energy * 1e6:>10.2f} uJ  ({energy / best:5.1f}x)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .web.server import PowerPlayServer
+
+    state = Path(args.state).expanduser()
+    server = PowerPlayServer(state, host=args.host, port=args.port,
+                             server_name=args.name)
+    print(f"PowerPlay serving at {server.base_url} (state in {state})")
+    print("Ctrl-C to stop.")
+    server.serve_forever()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PowerPlay — early power exploration (DAC 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    estimate = sub.add_parser("estimate", help="evaluate a built-in design")
+    estimate.add_argument("design", choices=sorted(set(DESIGN_BUILDERS)))
+    estimate.add_argument("--vdd", type=float, default=None,
+                          help="override the (custom) supply voltage")
+    estimate.add_argument("--depth", type=int, default=None,
+                          help="limit hierarchy depth in the table")
+    estimate.add_argument("--csv", action="store_true",
+                          help="flat CSV instead of the table")
+    estimate.set_defaults(func=cmd_estimate)
+
+    comparison = sub.add_parser("compare", help="compare designs side by side")
+    comparison.add_argument("designs", nargs="*", default=["fig1", "fig3"])
+    comparison.set_defaults(func=cmd_compare)
+
+    sweeper = sub.add_parser("sweep", help="sweep a global parameter (CSV out)")
+    sweeper.add_argument("design", choices=sorted(set(DESIGN_BUILDERS)))
+    sweeper.add_argument("parameter")
+    sweeper.add_argument("values", nargs="+", type=float)
+    sweeper.set_defaults(func=cmd_sweep)
+
+    battery = sub.add_parser("battery", help="battery life at the design's draw")
+    battery.add_argument("--design", default="infopad",
+                         choices=sorted(set(DESIGN_BUILDERS)))
+    battery.set_defaults(func=cmd_battery)
+
+    characterize = sub.add_parser(
+        "characterize", help="run the Landman characterization flow"
+    )
+    characterize.add_argument("cell", choices=["adder", "memory", "multiplier"])
+    characterize.add_argument("--cycles", type=int, default=200)
+    characterize.set_defaults(func=cmd_characterize)
+
+    sorting = sub.add_parser("sorting", help="EQ 12 sorting-energy study")
+    sorting.add_argument("-n", "--count", type=int, default=256)
+    sorting.add_argument("--seed", type=int, default=13)
+    sorting.set_defaults(func=cmd_sorting)
+
+    serve = sub.add_parser("serve", help="run the PowerPlay web server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--state", default="~/.powerplay")
+    serve.add_argument("--name", default="powerplay")
+    serve.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except PowerPlayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Compositional delay estimation.
+
+The paper's status note: "(Compositional techniques for delay estimation
+are currently being examined.)"  Power composes by summation; delay does
+not — it follows the structure of the computation.  This module supplies
+the composition algebra the paper was examining:
+
+* :class:`Chain` — blocks in series: delays add;
+* :class:`ParallelPaths` — independent paths joining at a merge point:
+  the slowest dominates;
+* :class:`Pipelined` — a registered chain: the *cycle time* is the
+  slowest stage plus register overhead; latency is cycles × cycle time;
+* :class:`Iterative` — one block reused N times (a serial architecture):
+  delay multiplies.
+
+Every node is itself a :class:`~repro.core.model.TimingModel`, so
+compositions nest arbitrarily and slot into library entries, and they
+all respond to ``VDD`` through their leaves — voltage exploration sees
+the true critical structure, not a single scaled number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .model import TimingModel, _get
+
+
+class Chain(TimingModel):
+    """Series composition: total delay is the sum over blocks."""
+
+    def __init__(self, name: str, blocks: Sequence[TimingModel], doc: str = ""):
+        if not blocks:
+            raise ModelError(f"chain {name!r} has no blocks")
+        self.name = name
+        self.blocks = tuple(blocks)
+        self.doc = doc or "series composition (delays add)"
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        return sum(block.delay(env) for block in self.blocks)
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        return {
+            getattr(block, "name", f"stage{index}"): block.delay(env)
+            for index, block in enumerate(self.blocks)
+        }
+
+
+class ParallelPaths(TimingModel):
+    """Reconvergent parallel paths: the slowest path sets the delay."""
+
+    def __init__(self, name: str, paths: Sequence[TimingModel], doc: str = ""):
+        if not paths:
+            raise ModelError(f"parallel {name!r} has no paths")
+        self.name = name
+        self.paths = tuple(paths)
+        self.doc = doc or "parallel composition (max of paths)"
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        return max(path.delay(env) for path in self.paths)
+
+    def critical_path(self, env: Mapping[str, float]) -> TimingModel:
+        """Which path dominates at this operating point.
+
+        Voltage scaling can move the critical path between a
+        gate-dominated and a wire-dominated branch; this exposes that.
+        """
+        return max(self.paths, key=lambda path: path.delay(env))
+
+
+class Pipelined(TimingModel):
+    """A registered chain.
+
+    ``delay`` reports the *cycle time* — the quantity a frequency check
+    needs: the slowest stage plus register setup+clock-to-Q overhead.
+    :meth:`latency` gives end-to-end time through all stages.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stages: Sequence[TimingModel],
+        register_overhead: float = 1.2e-9,
+        doc: str = "",
+    ):
+        if not stages:
+            raise ModelError(f"pipeline {name!r} has no stages")
+        if register_overhead < 0:
+            raise ModelError(f"pipeline {name!r}: negative register overhead")
+        self.name = name
+        self.stages = tuple(stages)
+        self.register_overhead = register_overhead
+        self.doc = doc or "pipelined composition (cycle = max stage + reg)"
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        slowest = max(stage.delay(env) for stage in self.stages)
+        return slowest + self.register_overhead
+
+    def latency(self, env: Mapping[str, float]) -> float:
+        return len(self.stages) * self.delay(env)
+
+    def max_frequency(self, env: Mapping[str, float]) -> float:
+        return 1.0 / self.delay(env)
+
+
+class Iterative(TimingModel):
+    """One block reused serially N times (area-for-time architectures)."""
+
+    def __init__(
+        self,
+        name: str,
+        block: TimingModel,
+        iterations: int,
+        doc: str = "",
+    ):
+        if iterations < 1:
+            raise ModelError(f"iterative {name!r}: iterations must be >= 1")
+        self.name = name
+        self.block = block
+        self.iterations = iterations
+        self.doc = doc or f"serial reuse x{iterations}"
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        return self.iterations * self.block.delay(env)
+
+
+class FixedDelay(TimingModel):
+    """A leaf with a constant delay (wire segments, pad delays)."""
+
+    def __init__(self, name: str, delay_s: float, doc: str = ""):
+        if delay_s < 0:
+            raise ModelError(f"delay {name!r} cannot be negative")
+        self.name = name
+        self._delay = delay_s
+        self.doc = doc
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        return self._delay
+
+
+def meets_frequency(
+    model: TimingModel, frequency: float, env: Mapping[str, float]
+) -> bool:
+    """Does this (composed) path fit in a clock period at ``frequency``?"""
+    if frequency <= 0:
+        raise ModelError("frequency must be positive")
+    return model.delay(env) <= 1.0 / frequency
+
+
+def slack(
+    model: TimingModel, frequency: float, env: Mapping[str, float]
+) -> float:
+    """Timing slack (seconds) against a clock; negative = violation."""
+    if frequency <= 0:
+        raise ModelError("frequency must be positive")
+    return 1.0 / frequency - model.delay(env)

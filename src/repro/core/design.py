@@ -1,0 +1,398 @@
+"""Design hierarchy: instances, sub-designs, macros, inter-model links.
+
+A PowerPlay *design* is the thing the spreadsheet displays: an ordered
+list of rows, each either a primitive instance (a library model plus its
+parameter overrides) or a whole sub-design (the paper's hyperlinked
+subsystem rows — "the luminance chip ... is a subcircuit of the custom
+hardware subsection").
+
+Features reproduced here:
+
+* **parameter inheritance** — every instance scope chains to the design
+  scope, which chains to the parent design's scope, so editing ``VDD``
+  on the top page reaches every leaf that has not overridden it;
+* **inter-model interaction** — an instance may declare that it feeds on
+  the computed power (or area) of sibling instances; the DC-DC converter
+  of EQ 18/19 reads ``P_load``, the Rent's-rule interconnect model reads
+  ``active_area``.  Dependencies are evaluated first; cycles raise;
+* **macro-modeling** — ``design.as_macro()`` lumps a modeled design into
+  a single :class:`~repro.core.model.PowerModel` usable as a library
+  element at higher levels ("It should be possible to lump a modeled
+  design ... into a single macro").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import DesignError, ModelError
+from .model import AreaModel, ModelSet, PowerModel, TimingModel
+from .parameters import Parameter, ParameterScope, ParamValue
+
+ModelLike = Union[ModelSet, PowerModel]
+
+
+def _as_model_set(model: ModelLike) -> ModelSet:
+    if isinstance(model, ModelSet):
+        return model
+    if isinstance(model, PowerModel):
+        return ModelSet(power=model)
+    raise DesignError(f"not a model: {model!r}")
+
+
+#: Where a row's power number comes from — Figure 5 mixes these freely:
+#: "the power dissipation data for the LCDs came from actual
+#: measurements, the data for the custom hardware is modeled for one
+#: configuration and measured for another".
+PROVENANCE = ("modeled", "estimated", "datasheet", "measured")
+
+
+class Instance:
+    """One spreadsheet row: a model with local parameter overrides.
+
+    ``power_feeds``
+        Names of sibling rows whose *computed power* this row's model
+        consumes.  Their summed power is exposed to the model's
+        environment as ``P_load`` (plus per-name ``P.<row>`` entries).
+    ``area_feeds``
+        Same for computed area, exposed as ``active_area``.
+    ``source``
+        Provenance label (one of :data:`PROVENANCE`).  Recording a
+        measurement via :meth:`record_measurement` back-annotates the
+        row: the measured value overrides the model until cleared.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: ModelLike,
+        scope: ParameterScope,
+        power_feeds: Sequence[str] = (),
+        area_feeds: Sequence[str] = (),
+        doc: str = "",
+        quantity: int = 1,
+        source: str = "modeled",
+    ):
+        if quantity < 1:
+            raise DesignError(f"instance {name!r}: quantity must be >= 1")
+        if source not in PROVENANCE:
+            raise DesignError(
+                f"instance {name!r}: unknown source {source!r}; "
+                f"expected one of {PROVENANCE}"
+            )
+        self.name = name
+        self.models = _as_model_set(model)
+        self.scope = scope
+        self.power_feeds = tuple(power_feeds)
+        self.area_feeds = tuple(area_feeds)
+        self.doc = doc
+        self.quantity = quantity
+        self.source = source
+        self.measured_power: Optional[float] = None
+
+    @property
+    def is_subdesign(self) -> bool:
+        return False
+
+    def set(self, name: str, value: ParamValue) -> None:
+        """Override a parameter locally on this row."""
+        self.scope.set(name, value)
+
+    def record_measurement(self, watts: float) -> None:
+        """Back-annotate with a measured per-unit power.
+
+        "As the design process is iterated, these values should be
+        back-annotated to the design to give more accurate results."
+        Subsequent evaluations use the measurement (scaled by quantity);
+        the model is kept for what-if comparisons and for
+        :meth:`clear_measurement`.
+        """
+        if watts < 0:
+            raise DesignError(
+                f"instance {self.name!r}: measured power cannot be negative"
+            )
+        self.measured_power = float(watts)
+        self.source = "measured"
+
+    def clear_measurement(self) -> None:
+        """Drop the measurement and return to the model estimate."""
+        self.measured_power = None
+        if self.source == "measured":
+            self.source = "modeled"
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name!r}, model={self.models.name!r})"
+
+
+class SubDesign:
+    """A row that is itself a whole design (hyperlinked subsystem)."""
+
+    def __init__(self, name: str, design: "Design", doc: str = ""):
+        self.name = name
+        self.design = design
+        self.power_feeds: Tuple[str, ...] = ()
+        self.area_feeds: Tuple[str, ...] = ()
+        self.doc = doc
+        self.quantity = 1
+
+    @property
+    def is_subdesign(self) -> bool:
+        return True
+
+    @property
+    def scope(self) -> ParameterScope:
+        return self.design.scope
+
+    def set(self, name: str, value: ParamValue) -> None:
+        self.design.scope.set(name, value)
+
+    def __repr__(self) -> str:
+        return f"SubDesign({self.name!r}, {len(self.design)} rows)"
+
+
+Row = Union[Instance, SubDesign]
+
+
+class Design:
+    """An ordered, named collection of rows plus a global scope.
+
+    >>> design = Design("demo")
+    >>> design.scope.set("VDD", 1.5)
+    >>> design.scope.set("f", 2e6)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scope: Optional[ParameterScope] = None,
+        doc: str = "",
+    ):
+        self.name = name
+        self.scope = scope if scope is not None else ParameterScope()
+        self.doc = doc
+        self._rows: Dict[str, Row] = {}
+        self._order: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        model: ModelLike,
+        params: Optional[Mapping[str, ParamValue]] = None,
+        power_feeds: Sequence[str] = (),
+        area_feeds: Sequence[str] = (),
+        doc: str = "",
+        quantity: int = 1,
+        source: str = "modeled",
+    ) -> Instance:
+        """Add a primitive instance row.
+
+        The instance scope is created as a child of the design scope and
+        pre-populated with the model's declared parameter defaults, then
+        the explicit ``params`` overrides.  Parameters *not* overridden
+        and *not* defaulted resolve through inheritance.
+        """
+        self._check_new_name(name)
+        model_set = _as_model_set(model)
+        scope = self.scope.child()
+        for declaration in model_set.parameters:
+            # install the declaration and its default — unless the parent
+            # chain already provides a value, in which case inheritance
+            # wins over the model default (the Figure 5 behaviour).
+            if declaration.name in self.scope:
+                scope.declarations[declaration.name] = declaration
+            else:
+                scope.declare(declaration)
+        for key, value in (params or {}).items():
+            scope.set(key, value)
+        instance = Instance(
+            name,
+            model_set,
+            scope,
+            power_feeds=power_feeds,
+            area_feeds=area_feeds,
+            doc=doc,
+            quantity=quantity,
+            source=source,
+        )
+        self._rows[name] = instance
+        self._order.append(name)
+        return instance
+
+    def add_subdesign(self, name: str, design: "Design", doc: str = "") -> SubDesign:
+        """Add a whole design as a row, inheriting this design's scope.
+
+        The child's scope is re-parented onto this design's scope, which
+        is what makes top-level parameters (``VDD1`` in Figure 5) flow
+        into every subsystem.
+        """
+        self._check_new_name(name)
+        if design is self:
+            raise DesignError(f"design {self.name!r} cannot contain itself")
+        if design.scope.parent is not None and design.scope.parent is not self.scope:
+            raise DesignError(
+                f"design {design.name!r} is already mounted elsewhere"
+            )
+        design.scope.parent = self.scope
+        row = SubDesign(name, design, doc=doc)
+        self._rows[name] = row
+        self._order.append(name)
+        return row
+
+    def _check_new_name(self, name: str) -> None:
+        if not name:
+            raise DesignError("row name cannot be empty")
+        if name in self._rows:
+            raise DesignError(f"duplicate row name {name!r} in {self.name!r}")
+
+    def remove(self, name: str) -> None:
+        if name not in self._rows:
+            raise DesignError(f"no row named {name!r}")
+        for other in self._rows.values():
+            if name in other.power_feeds or name in other.area_feeds:
+                raise DesignError(
+                    f"cannot remove {name!r}: row {other.name!r} feeds on it"
+                )
+        row = self._rows[name]
+        if isinstance(row, SubDesign):
+            # unmount: detach the child's scope so it can be re-mounted
+            row.design.scope.parent = None
+        del self._rows[name]
+        self._order.remove(name)
+
+    # -- access -------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        for name in self._order:
+            yield self._rows[name]
+
+    def row(self, name: str) -> Row:
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise DesignError(f"no row named {name!r} in {self.name!r}") from None
+
+    def rows(self) -> List[Row]:
+        return [self._rows[name] for name in self._order]
+
+    def row_names(self) -> List[str]:
+        return list(self._order)
+
+    # -- evaluation order ----------------------------------------------------
+
+    def evaluation_order(self) -> List[str]:
+        """Row names ordered so power/area feeds come before consumers."""
+        state: Dict[str, int] = {}
+        order: List[str] = []
+        path: List[str] = []
+
+        def visit(name: str) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle_start = path.index(name)
+                cycle = " -> ".join(path[cycle_start:] + [name])
+                raise DesignError(
+                    f"feed cycle in design {self.name!r}: {cycle}"
+                )
+            row = self._rows.get(name)
+            if row is None:
+                raise DesignError(
+                    f"row {path[-1] if path else '?'!r} feeds on unknown "
+                    f"row {name!r}"
+                )
+            state[name] = 0
+            path.append(name)
+            for dep in tuple(row.power_feeds) + tuple(row.area_feeds):
+                visit(dep)
+            path.pop()
+            state[name] = 1
+            order.append(name)
+
+        for name in self._order:
+            visit(name)
+        return order
+
+    # -- macro-modeling --------------------------------------------------------
+
+    def as_macro(
+        self,
+        exported: Sequence[str] = (),
+        name: Optional[str] = None,
+        doc: str = "",
+    ) -> "MacroPowerModel":
+        """Lump this design into a single reusable power model.
+
+        ``exported`` names become the macro's parameters (with the
+        design's current values as defaults); anything not exported is
+        frozen at its current definition.
+        """
+        return MacroPowerModel(self, exported=exported, name=name, doc=doc)
+
+    def __repr__(self) -> str:
+        return f"Design({self.name!r}, {len(self._rows)} rows)"
+
+
+class MacroPowerModel(PowerModel):
+    """A design lumped into a single model (hierarchical macro-modeling).
+
+    Evaluating the macro pushes the exported parameters into the wrapped
+    design's scope, runs the full hierarchical estimate, then restores
+    the scope — so one design object can back many macro instantiations.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        exported: Sequence[str] = (),
+        name: Optional[str] = None,
+        doc: str = "",
+    ):
+        self.design = design
+        self.exported = tuple(exported)
+        self.name = name or f"{design.name}_macro"
+        self.doc = doc or f"macro of design {design.name!r}"
+        declarations = []
+        for parameter_name in self.exported:
+            default = design.scope.get(parameter_name)
+            if default is None:
+                raise DesignError(
+                    f"cannot export {parameter_name!r}: not resolvable in "
+                    f"design {design.name!r}"
+                )
+            declarations.append(Parameter(parameter_name, default))
+        self.parameters = tuple(declarations)
+
+    def _overrides_from(self, env: Mapping[str, float]) -> Dict[str, float]:
+        overrides: Dict[str, float] = {}
+        for parameter_name in self.exported:
+            if parameter_name in env:
+                value = env[parameter_name]
+                overrides[parameter_name] = float(
+                    value() if callable(value) else value
+                )
+        return overrides
+
+    def power(self, env: Mapping[str, float]) -> float:
+        from .estimator import evaluate_power  # local import: avoid cycle
+
+        report = evaluate_power(self.design, overrides=self._overrides_from(env))
+        return report.power
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        from .estimator import evaluate_power
+
+        report = evaluate_power(self.design, overrides=self._overrides_from(env))
+        return {child.name: child.power for child in report.children}
+
+    def __repr__(self) -> str:
+        return f"MacroPowerModel({self.name!r}, exports={list(self.exported)})"

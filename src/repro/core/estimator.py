@@ -1,0 +1,445 @@
+"""Hierarchical power/area/timing evaluation — the "Play" button.
+
+"When the Play button is pressed power is calculated for the entire
+design and the spreadsheet is updated. ... This script calculates the
+power for each subcircuit hierarchically (through specified models or
+tools) using the parameters that are passed from the top level."
+
+:func:`evaluate_power` walks a :class:`~repro.core.design.Design`,
+resolves inter-row feeds (DC-DC load power, interconnect active area),
+recurses into sub-designs, and returns a :class:`PowerReport` tree that
+the report/web layers render as Figure 2 / Figure 5 style spreadsheets.
+
+Also here: the power-minimization analyses the paper motivates — "it is
+important to identify both the major power consumers and the point of
+diminishing returns" (:func:`top_consumers`, :func:`coverage`,
+:func:`consumers_for_fraction`) and parameter sweeps
+(:func:`sweep`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import DesignError, ModelError
+from .design import Design, Instance, MacroPowerModel, Row, SubDesign
+from .parameters import ParameterScope, ParamValue
+
+
+# ---------------------------------------------------------------------------
+# Report structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PowerReport:
+    """One node of the hierarchical power breakdown.
+
+    ``power`` is in watts and, for inner nodes, equals the sum of the
+    children (an invariant the property tests enforce).  ``details``
+    carries the per-term split of a leaf's model (EQ 1 terms).
+    ``parameters`` snapshots the row-local parameter values that were in
+    effect — the spreadsheet's "Parameters" column.
+    """
+
+    name: str
+    power: float
+    kind: str = "instance"  # "instance" | "design"
+    doc: str = ""
+    quantity: int = 1
+    source: str = "modeled"  # provenance: modeled/estimated/datasheet/measured
+    parameters: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, float] = field(default_factory=dict)
+    children: List["PowerReport"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child(self, name: str) -> "PowerReport":
+        for node in self.children:
+            if node.name == name:
+                return node
+        raise DesignError(f"report {self.name!r} has no child {name!r}")
+
+    def __getitem__(self, name: str) -> "PowerReport":
+        return self.child(name)
+
+    def leaves(self) -> Iterator["PowerReport"]:
+        """All leaf nodes, in display order."""
+        if self.is_leaf:
+            yield self
+            return
+        for node in self.children:
+            yield from node.leaves()
+
+    def flatten(self, prefix: str = "") -> List[Tuple[str, float]]:
+        """(hierarchical-path, power) for every leaf."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        if self.is_leaf:
+            return [(path, self.power)]
+        result: List[Tuple[str, float]] = []
+        for node in self.children:
+            result.extend(node.flatten(path))
+        return result
+
+    def fraction_of(self, total: Optional[float] = None) -> float:
+        """This node's share of the (root) total."""
+        if total is None or total <= 0:
+            return 1.0 if self.power else 0.0
+        return self.power / total
+
+
+@dataclass
+class AreaReport:
+    """Hierarchical active-area breakdown (m^2).  ``modeled`` is False
+    for rows whose library entry carries no area model (they count 0)."""
+
+    name: str
+    area: float
+    modeled: bool = True
+    children: List["AreaReport"] = field(default_factory=list)
+
+    def leaves(self) -> Iterator["AreaReport"]:
+        if not self.children:
+            yield self
+            return
+        for node in self.children:
+            yield from node.leaves()
+
+
+@dataclass
+class TimingReport:
+    """Per-row critical-path delays; a design's delay is the max over
+    modeled rows (rows compute in parallel at this abstraction)."""
+
+    name: str
+    delay: float
+    modeled: bool = True
+    children: List["TimingReport"] = field(default_factory=list)
+
+    @property
+    def max_frequency(self) -> float:
+        if self.delay <= 0:
+            raise ModelError(f"{self.name!r}: non-positive delay")
+        return 1.0 / self.delay
+
+
+# ---------------------------------------------------------------------------
+# Environment plumbing
+# ---------------------------------------------------------------------------
+
+
+class _RowEnv(Mapping[str, float]):
+    """Instance scope + inter-model extras, presented as one mapping."""
+
+    def __init__(self, scope: ParameterScope, extras: Mapping[str, float]):
+        self._scope = scope
+        self._extras = dict(extras)
+
+    def __getitem__(self, name: str) -> float:
+        if name in self._extras:
+            return self._extras[name]
+        return self._scope[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._extras or name in self._scope
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._extras
+        for name in self._scope:
+            if name not in self._extras:
+                yield name
+
+    def __len__(self) -> int:
+        return len(set(self._extras) | set(self._scope.names()))
+
+
+@contextlib.contextmanager
+def scope_overrides(scope: ParameterScope, overrides: Mapping[str, ParamValue]):
+    """Temporarily assign parameters in ``scope``, restoring on exit.
+
+    Used by sweeps and macro evaluation so one Design object can be
+    re-evaluated under many what-if settings without mutation leaking.
+    """
+    saved: Dict[str, Tuple[bool, object]] = {}
+    for name in overrides:
+        had = name in scope.local_names()
+        saved[name] = (had, scope.raw(name) if had else None)
+    try:
+        for name, value in overrides.items():
+            scope.set(name, value)
+        yield scope
+    finally:
+        for name, (had, old) in saved.items():
+            if had:
+                scope._values[name] = old  # restore exact stored object
+            else:
+                scope.unset(name)
+
+
+# ---------------------------------------------------------------------------
+# Power evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_power(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+) -> PowerReport:
+    """Hierarchically evaluate a design's power.
+
+    ``overrides`` are applied to the design's global scope for the
+    duration of the evaluation (the top-page parameter edits of
+    Figure 5).
+    """
+    if overrides:
+        with scope_overrides(design.scope, overrides):
+            return _evaluate_design(design)
+    return _evaluate_design(design)
+
+
+def _evaluate_design(design: Design) -> PowerReport:
+    order = design.evaluation_order()
+    computed: Dict[str, PowerReport] = {}
+    for name in order:
+        row = design.row(name)
+        if isinstance(row, SubDesign):
+            report = _evaluate_design(row.design)
+            report.name = row.name
+            report.doc = report.doc or row.doc
+        else:
+            report = _evaluate_instance(row, computed)
+        computed[name] = report
+    children = [computed[name] for name in design.row_names()]
+    total = sum(node.power for node in children)
+    return PowerReport(
+        name=design.name,
+        power=total,
+        kind="design",
+        doc=design.doc,
+        source="hierarchy",
+        parameters={
+            name: design.scope.resolve(name)
+            for name in design.scope.local_names()
+        },
+        children=children,
+    )
+
+
+def _feed_extras(
+    row: Row, computed: Mapping[str, PowerReport], area: Optional[Mapping[str, float]] = None
+) -> Dict[str, float]:
+    extras: Dict[str, float] = {}
+    if row.power_feeds:
+        load = 0.0
+        for feed in row.power_feeds:
+            report = computed[feed]
+            extras[f"P.{feed}"] = report.power
+            load += report.power
+        extras["P_load"] = load
+    if row.area_feeds:
+        total_area = 0.0
+        for feed in row.area_feeds:
+            feed_area = (area or {}).get(feed)
+            if feed_area is None:
+                feed_area = _row_area(row, feed, computed)
+            extras[f"A.{feed}"] = feed_area
+            total_area += feed_area
+        extras["active_area"] = total_area
+    return extras
+
+
+def _row_area(consumer: Row, feed: str, computed: Mapping[str, PowerReport]) -> float:
+    """Area of a feed row, needed by interconnect models during a power
+    pass.  Resolved lazily from the feed row's own area model."""
+    report = computed.get(feed)
+    if report is None:
+        raise DesignError(
+            f"row {consumer.name!r} area-feeds on unevaluated row {feed!r}"
+        )
+    return report.parameters.get("_area", 0.0)
+
+
+def _evaluate_instance(
+    row: Instance, computed: Mapping[str, PowerReport]
+) -> PowerReport:
+    extras = _feed_extras(row, computed)
+    env = _RowEnv(row.scope, extras)
+    if row.measured_power is not None:
+        # back-annotated rows use the measurement, not the model
+        unit_power = row.measured_power
+        details = {"measured": row.measured_power}
+    else:
+        try:
+            unit_power = row.models.power.power(env)
+            details = row.models.power.breakdown(env)
+        except ModelError as exc:
+            raise ModelError(f"row {row.name!r}: {exc}") from exc
+    power = unit_power * row.quantity
+    if row.quantity != 1:
+        details = {key: value * row.quantity for key, value in details.items()}
+    parameters = {
+        name: row.scope.resolve(name) for name in row.scope.local_names()
+    }
+    if row.models.area is not None:
+        try:
+            parameters["_area"] = row.models.area.area(env) * row.quantity
+        except ModelError:
+            pass
+    return PowerReport(
+        name=row.name,
+        power=power,
+        kind="instance",
+        doc=row.doc,
+        quantity=row.quantity,
+        source=row.source,
+        parameters=parameters,
+        details=details,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Area / timing evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_area(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+) -> AreaReport:
+    """Hierarchically sum active area over rows that carry area models."""
+    if overrides:
+        with scope_overrides(design.scope, overrides):
+            return _evaluate_area(design)
+    return _evaluate_area(design)
+
+
+def _evaluate_area(design: Design) -> AreaReport:
+    children: List[AreaReport] = []
+    for row in design:
+        if isinstance(row, SubDesign):
+            children.append(_evaluate_area(row.design))
+            children[-1].name = row.name
+            continue
+        model = row.models.area
+        if model is None:
+            children.append(AreaReport(row.name, 0.0, modeled=False))
+            continue
+        env = _RowEnv(row.scope, {})
+        children.append(
+            AreaReport(row.name, model.area(env) * row.quantity, modeled=True)
+        )
+    total = sum(node.area for node in children)
+    return AreaReport(design.name, total, modeled=True, children=children)
+
+
+def evaluate_timing(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+) -> TimingReport:
+    """Critical-path delay: the max over modeled rows, hierarchically."""
+    if overrides:
+        with scope_overrides(design.scope, overrides):
+            return _evaluate_timing(design)
+    return _evaluate_timing(design)
+
+
+def _evaluate_timing(design: Design) -> TimingReport:
+    children: List[TimingReport] = []
+    for row in design:
+        if isinstance(row, SubDesign):
+            child = _evaluate_timing(row.design)
+            child.name = row.name
+            children.append(child)
+            continue
+        model = row.models.timing
+        if model is None:
+            children.append(TimingReport(row.name, 0.0, modeled=False))
+            continue
+        env = _RowEnv(row.scope, {})
+        children.append(TimingReport(row.name, model.delay(env), modeled=True))
+    modeled = [node.delay for node in children if node.modeled]
+    critical = max(modeled) if modeled else 0.0
+    return TimingReport(design.name, critical, modeled=bool(modeled), children=children)
+
+
+# ---------------------------------------------------------------------------
+# Analyses
+# ---------------------------------------------------------------------------
+
+
+def top_consumers(report: PowerReport, count: int = 5) -> List[Tuple[str, float]]:
+    """The ``count`` hottest leaves: (hierarchical path, watts), descending."""
+    ranked = sorted(report.flatten(), key=lambda item: item[1], reverse=True)
+    return ranked[:count]
+
+
+def coverage(report: PowerReport) -> List[Tuple[str, float, float]]:
+    """Leaves ranked by power with cumulative fraction of total.
+
+    The returned triples are ``(path, watts, cumulative_fraction)`` —
+    the raw material for a diminishing-returns plot.
+    """
+    total = report.power
+    ranked = sorted(report.flatten(), key=lambda item: item[1], reverse=True)
+    result: List[Tuple[str, float, float]] = []
+    running = 0.0
+    for path, power in ranked:
+        running += power
+        fraction = running / total if total > 0 else 0.0
+        result.append((path, power, fraction))
+    return result
+
+
+def consumers_for_fraction(
+    report: PowerReport, fraction: float = 0.8
+) -> List[Tuple[str, float]]:
+    """Smallest set of leaves covering ``fraction`` of total power.
+
+    "It is important to identify both the major power consumers and the
+    point of diminishing returns" — optimize these rows first.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    selected: List[Tuple[str, float]] = []
+    for path, power, cumulative in coverage(report):
+        selected.append((path, power))
+        if cumulative >= fraction:
+            break
+    return selected
+
+
+def sweep(
+    design: Design,
+    parameter: str,
+    values: Sequence[float],
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+) -> List[Tuple[float, float]]:
+    """Evaluate total power across a parameter sweep.
+
+    This is the spreadsheet's what-if loop: "parameters such as
+    bit-widths and supply voltages can be varied dynamically".
+    Returns ``[(value, watts), ...]``.
+    """
+    results: List[Tuple[float, float]] = []
+    for value in values:
+        merged: Dict[str, ParamValue] = dict(overrides or {})
+        merged[parameter] = value
+        report = evaluate_power(design, overrides=merged)
+        results.append((float(value), report.power))
+    return results
+
+
+def compare(
+    designs: Sequence[Design],
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+) -> List[Tuple[str, float]]:
+    """Total power of several alternative designs under the same
+    overrides — the Figure 1 vs Figure 3 comparison as one call."""
+    return [
+        (design.name, evaluate_power(design, overrides=overrides).power)
+        for design in designs
+    ]

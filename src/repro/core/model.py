@@ -1,0 +1,488 @@
+"""The PowerPlay model template and model protocols.
+
+The paper's EQ 1 is the universal template every PowerPlay model maps
+onto::
+
+    P = sum_i( C_sw_i * V_swing_i * V_DD * f )  +  I * V_DD
+
+"PowerPlay allows any block to be modeled using any combination of
+C_sw_i, V_swing_i, and I as a function of any input parameters to give
+maximum flexibility."
+
+This module provides:
+
+* :class:`PowerModel` / :class:`AreaModel` / :class:`TimingModel` —
+  abstract protocols evaluated against a parameter environment (usually
+  a :class:`~repro.core.parameters.ParameterScope`).
+* :class:`CapacitiveTerm` / :class:`StaticTerm` — the two term species
+  of EQ 1, with every field an expression over the model's parameters.
+* :class:`TemplatePowerModel` — a list of terms + parameter
+  declarations; computes power, per-access energy, and a per-term
+  breakdown.
+* :class:`ExpressionPowerModel` — a single free-form equation (what the
+  "define your own model" web form produces).
+* :class:`FixedPowerModel` — a constant (datasheet) value, optionally
+  duty-cycled: EQ 11, ``P = alpha * P_avg``.
+* expression-based area and timing models, including the classic CMOS
+  delay–voltage scaling used to trade supply against speed.
+
+Conventions: all values in coherent SI units.  The reserved parameter
+names are ``VDD`` (supply, volts) and ``f`` (access/switching frequency,
+hertz); models read anything else they declare.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import EvaluationError, ModelError
+from .expressions import Expression, compile_expression
+from .parameters import Parameter, ParameterScope
+
+ExprLike = Union[str, float, int, Expression]
+
+
+def _expr(value: ExprLike) -> Expression:
+    """Coerce numbers or strings into Expressions."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return compile_expression(repr(float(value)))
+    return compile_expression(value)
+
+
+def _resolve(expression: Expression, env: Mapping[str, float], what: str) -> float:
+    try:
+        return expression.evaluate(env)
+    except EvaluationError as exc:
+        raise ModelError(f"cannot evaluate {what} ({expression.source!r}): {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+
+class PowerModel(abc.ABC):
+    """Anything that can report power for a parameter environment."""
+
+    #: Parameters this model understands (rendered as form fields).
+    parameters: Tuple[Parameter, ...] = ()
+
+    #: One-line documentation (hyperlinked next to each instantiation).
+    doc: str = ""
+
+    @abc.abstractmethod
+    def power(self, env: Mapping[str, float]) -> float:
+        """Average power in watts for the given environment."""
+
+    def energy_per_access(self, env: Mapping[str, float]) -> float:
+        """Dynamic energy per access in joules.
+
+        Default: dynamic power divided by access frequency ``f``.
+        Template models compute this exactly instead.
+        """
+        f = _get(env, "f")
+        if f <= 0:
+            raise ModelError("energy_per_access requires f > 0")
+        return self.power(env) / f
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        """Per-term power in watts.  Defaults to one opaque term."""
+        return {"total": self.power(env)}
+
+    def default_scope(
+        self, parent: Optional[ParameterScope] = None
+    ) -> ParameterScope:
+        """A scope pre-populated with this model's parameter defaults."""
+        return ParameterScope(parent=parent, declarations=self.parameters)
+
+
+class AreaModel(abc.ABC):
+    """Active-area estimate in square meters."""
+
+    parameters: Tuple[Parameter, ...] = ()
+    doc: str = ""
+
+    @abc.abstractmethod
+    def area(self, env: Mapping[str, float]) -> float:
+        """Active area in m^2."""
+
+
+class TimingModel(abc.ABC):
+    """Critical-path delay estimate in seconds."""
+
+    parameters: Tuple[Parameter, ...] = ()
+    doc: str = ""
+
+    @abc.abstractmethod
+    def delay(self, env: Mapping[str, float]) -> float:
+        """Worst-case delay in seconds."""
+
+
+def _get(env: Mapping[str, float], name: str, default: Optional[float] = None) -> float:
+    if name in env:
+        value = env[name]
+        return float(value() if callable(value) else value)
+    if default is not None:
+        return default
+    raise ModelError(f"environment is missing required parameter {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# EQ 1 template
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CapacitiveTerm:
+    """One switched-capacitance term of EQ 1.
+
+    ``capacitance``
+        Effective capacitance C_sw in farads, an expression over the
+        model parameters (e.g. ``"bitwidthA * bitwidthB * 253f"``).
+    ``v_swing``
+        Voltage swing expression; ``None`` means rail-to-rail (VDD),
+        the common digital CMOS case.  Reduced-swing memories (EQ 8)
+        set this to the extracted bit-line swing.
+    ``activity``
+        Switching-probability multiplier (0..1 typically); defaults to 1
+        so uncorrelated worst-case estimates fall out naturally.
+    ``frequency``
+        Optional expression overriding the environment's ``f`` for this
+        term — e.g. a write port clocked at ``f / 2``.
+    """
+
+    name: str
+    capacitance: Expression
+    v_swing: Optional[Expression] = None
+    activity: Expression = field(default_factory=lambda: _expr(1.0))
+    frequency: Optional[Expression] = None
+    doc: str = ""
+
+    def energy(self, env: Mapping[str, float]) -> float:
+        """Energy per access: activity * C * V_swing * VDD (joules)."""
+        vdd = _get(env, "VDD")
+        c = _resolve(self.capacitance, env, f"term {self.name!r} capacitance")
+        if c < 0:
+            raise ModelError(f"term {self.name!r}: negative capacitance {c}")
+        swing = (
+            vdd
+            if self.v_swing is None
+            else _resolve(self.v_swing, env, f"term {self.name!r} v_swing")
+        )
+        alpha = _resolve(self.activity, env, f"term {self.name!r} activity")
+        return alpha * c * swing * vdd
+
+    def power(self, env: Mapping[str, float]) -> float:
+        """Average power: energy * f (watts)."""
+        if self.frequency is not None:
+            f = _resolve(self.frequency, env, f"term {self.name!r} frequency")
+        else:
+            f = _get(env, "f")
+        return self.energy(env) * f
+
+
+@dataclass(frozen=True)
+class StaticTerm:
+    """One static-current term of EQ 1: P = I * VDD.
+
+    Models leakage, bias currents (the analog models of EQ 13 reduce to
+    a list of these), or any other frequency-independent draw.
+    """
+
+    name: str
+    current: Expression
+    supply: Optional[Expression] = None  # defaults to VDD
+    doc: str = ""
+
+    def power(self, env: Mapping[str, float]) -> float:
+        i = _resolve(self.current, env, f"term {self.name!r} current")
+        supply = (
+            _get(env, "VDD")
+            if self.supply is None
+            else _resolve(self.supply, env, f"term {self.name!r} supply")
+        )
+        return i * supply
+
+
+class TemplatePowerModel(PowerModel):
+    """EQ 1 as an executable object.
+
+    >>> model = TemplatePowerModel(
+    ...     name="mult_16x16",
+    ...     capacitive=[CapacitiveTerm("array", _expr("bwA * bwB * 253f"))],
+    ...     parameters=(Parameter("bwA", 16), Parameter("bwB", 16)),
+    ... )
+    >>> env = {"bwA": 16, "bwB": 16, "VDD": 1.5, "f": 2e6}
+    >>> round(model.power(env) * 1e6, 3)   # microwatts
+    291.456
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacitive: Sequence[CapacitiveTerm] = (),
+        static: Sequence[StaticTerm] = (),
+        parameters: Sequence[Parameter] = (),
+        doc: str = "",
+    ):
+        if not capacitive and not static:
+            raise ModelError(f"model {name!r} has no terms")
+        self.name = name
+        self.capacitive = tuple(capacitive)
+        self.static = tuple(static)
+        self.parameters = tuple(parameters)
+        self.doc = doc
+
+    def power(self, env: Mapping[str, float]) -> float:
+        dynamic = sum(term.power(env) for term in self.capacitive)
+        leakage = sum(term.power(env) for term in self.static)
+        return dynamic + leakage
+
+    def energy_per_access(self, env: Mapping[str, float]) -> float:
+        """Dynamic energy per access (static power excluded)."""
+        return sum(term.energy(env) for term in self.capacitive)
+
+    def effective_capacitance(self, env: Mapping[str, float]) -> float:
+        """Total activity-weighted switched capacitance, farads.
+
+        This is the C_T the paper's model sections report (EQ 2-10);
+        swing weighting is folded in as C * (V_swing / VDD)."""
+        vdd = _get(env, "VDD")
+        total = 0.0
+        for term in self.capacitive:
+            energy = term.energy(env)
+            total += energy / (vdd * vdd)
+        return total
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for term in self.capacitive:
+            result[term.name] = term.power(env)
+        for term in self.static:
+            result[term.name] = term.power(env)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"TemplatePowerModel({self.name!r}, "
+            f"{len(self.capacitive)} capacitive, {len(self.static)} static)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Free-form and fixed models
+# ---------------------------------------------------------------------------
+
+
+class ExpressionPowerModel(PowerModel):
+    """Power given directly by a user equation (watts).
+
+    This is what PowerPlay's "define a model for your own primitive"
+    HTML form creates: the user supplies names, an equation, and
+    documentation; the equation may reference any declared parameter
+    plus ``VDD`` and ``f``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        equation: ExprLike,
+        parameters: Sequence[Parameter] = (),
+        doc: str = "",
+    ):
+        self.name = name
+        self.equation = _expr(equation)
+        self.parameters = tuple(parameters)
+        self.doc = doc
+
+    def power(self, env: Mapping[str, float]) -> float:
+        return _resolve(self.equation, env, f"model {self.name!r} power")
+
+    def __repr__(self) -> str:
+        return f"ExpressionPowerModel({self.name!r}, {self.equation.source!r})"
+
+
+class FixedPowerModel(PowerModel):
+    """Datasheet/measured power with a duty-cycle activity factor.
+
+    EQ 11: ``P = alpha * P_AVG`` — the first-order programmable-processor
+    and commodity-component model.  ``alpha`` defaults to 1 (no
+    power-down capability).
+    """
+
+    parameters = (
+        Parameter("alpha", 1.0, "", "activity (duty) factor", 0.0, 1.0),
+    )
+
+    def __init__(self, name: str, average_power: float, doc: str = ""):
+        if average_power < 0:
+            raise ModelError(f"model {name!r}: negative power {average_power}")
+        self.name = name
+        self.average_power = float(average_power)
+        self.doc = doc
+
+    def power(self, env: Mapping[str, float]) -> float:
+        alpha = _get(env, "alpha", 1.0)
+        if not 0.0 <= alpha <= 1.0:
+            raise ModelError(f"model {self.name!r}: alpha {alpha} not in [0, 1]")
+        return alpha * self.average_power
+
+    def __repr__(self) -> str:
+        return f"FixedPowerModel({self.name!r}, {self.average_power} W)"
+
+
+class CallablePowerModel(PowerModel):
+    """Adapter wrapping an arbitrary Python callable.
+
+    The paper: "PowerPlay will accept any model and in fact will support
+    paths to estimation tools in lieu of an equation."  Tool invocations
+    (the Design Agent) surface as callables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        func,
+        parameters: Sequence[Parameter] = (),
+        doc: str = "",
+    ):
+        self.name = name
+        self._func = func
+        self.parameters = tuple(parameters)
+        self.doc = doc
+
+    def power(self, env: Mapping[str, float]) -> float:
+        result = self._func(env)
+        try:
+            return float(result)
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"model {self.name!r} returned non-numeric {result!r}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# Area and timing
+# ---------------------------------------------------------------------------
+
+
+class ExpressionAreaModel(AreaModel):
+    """Active area from a parameterized equation (m^2)."""
+
+    def __init__(
+        self,
+        name: str,
+        equation: ExprLike,
+        parameters: Sequence[Parameter] = (),
+        doc: str = "",
+    ):
+        self.name = name
+        self.equation = _expr(equation)
+        self.parameters = tuple(parameters)
+        self.doc = doc
+
+    def area(self, env: Mapping[str, float]) -> float:
+        value = _resolve(self.equation, env, f"model {self.name!r} area")
+        if value < 0:
+            raise ModelError(f"model {self.name!r}: negative area {value}")
+        return value
+
+
+class ExpressionTimingModel(TimingModel):
+    """Critical-path delay from a parameterized equation (seconds)."""
+
+    def __init__(
+        self,
+        name: str,
+        equation: ExprLike,
+        parameters: Sequence[Parameter] = (),
+        doc: str = "",
+    ):
+        self.name = name
+        self.equation = _expr(equation)
+        self.parameters = tuple(parameters)
+        self.doc = doc
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        return _resolve(self.equation, env, f"model {self.name!r} delay")
+
+
+class VoltageScaledTimingModel(TimingModel):
+    """First-order CMOS delay vs supply: t(V) = t_ref * scale(V).
+
+    ``scale(V) = (V / V_ref) * ((V_ref - V_T) / (V - V_T))^2`` — the
+    alpha-power-law (alpha=2) delay model used throughout the Berkeley
+    low-power work.  It lets the spreadsheet check that a voltage chosen
+    for power still meets the operating frequency.
+    """
+
+    parameters = (
+        Parameter("VDD", 1.5, "V", "supply voltage", 0.0),
+    )
+
+    def __init__(
+        self,
+        name: str,
+        delay_ref: float,
+        v_ref: float = 1.5,
+        v_threshold: float = 0.7,
+        doc: str = "",
+    ):
+        if delay_ref <= 0:
+            raise ModelError(f"model {name!r}: delay_ref must be positive")
+        if v_ref <= v_threshold:
+            raise ModelError(
+                f"model {name!r}: v_ref {v_ref} must exceed V_T {v_threshold}"
+            )
+        self.name = name
+        self.delay_ref = float(delay_ref)
+        self.v_ref = float(v_ref)
+        self.v_threshold = float(v_threshold)
+        self.doc = doc
+
+    def delay(self, env: Mapping[str, float]) -> float:
+        vdd = _get(env, "VDD", self.v_ref)
+        if vdd <= self.v_threshold:
+            raise ModelError(
+                f"model {self.name!r}: VDD {vdd} V at or below "
+                f"threshold {self.v_threshold} V — circuit will not switch"
+            )
+        headroom_ref = self.v_ref - self.v_threshold
+        headroom = vdd - self.v_threshold
+        scale = (vdd / self.v_ref) * (headroom_ref / headroom) ** 2
+        return self.delay_ref * scale
+
+    def max_frequency(self, env: Mapping[str, float]) -> float:
+        """1 / delay — the fastest clock this block supports at VDD."""
+        return 1.0 / self.delay(env)
+
+
+@dataclass
+class ModelSet:
+    """The power/area/timing triple a library entry carries.
+
+    Area and timing are optional — the paper notes they exist but
+    focuses on power; so do most entries."""
+
+    power: PowerModel
+    area: Optional[AreaModel] = None
+    timing: Optional[TimingModel] = None
+
+    @property
+    def name(self) -> str:
+        return getattr(self.power, "name", "model")
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Union of parameter declarations across the three models."""
+        seen: Dict[str, Parameter] = {}
+        for model in (self.power, self.area, self.timing):
+            if model is None:
+                continue
+            for parameter in model.parameters:
+                seen.setdefault(parameter.name, parameter)
+        return tuple(seen.values())

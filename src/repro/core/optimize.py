@@ -1,0 +1,207 @@
+"""Design-space exploration helpers: the searches a designer runs.
+
+The spreadsheet makes a single what-if cheap; these utilities run the
+loops the paper's methodology implies but leaves to the user's fingers:
+
+* :func:`minimum_voltage` — lowest supply at which a timing model still
+  meets a required frequency (bisection on the monotone delay-vs-VDD
+  curve);
+* :func:`optimize_voltage` — combine with a design: the minimum-power
+  operating point that meets timing, plus the savings against nominal;
+* :func:`grid_search` — exhaustive sweep over a small parameter grid,
+  returning a Pareto-annotated result list;
+* :func:`pareto_front` — non-dominated points for two objectives
+  (e.g. power vs delay, power vs area).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ModelError, PowerPlayError
+from .design import Design
+from .estimator import evaluate_power
+from .model import TimingModel
+from .parameters import ParamValue
+
+
+def minimum_voltage(
+    timing: TimingModel,
+    frequency: float,
+    v_low: float = 0.8,
+    v_high: float = 5.0,
+    tolerance: float = 0.005,
+    env: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Lowest VDD at which ``timing`` meets ``frequency``.
+
+    Assumes delay decreases monotonically with VDD (true of the
+    alpha-power-law models).  Raises :class:`ModelError` when even
+    ``v_high`` misses timing.
+    """
+    if frequency <= 0:
+        raise ModelError("frequency must be positive")
+    if not v_low < v_high:
+        raise ModelError("need v_low < v_high")
+    period = 1.0 / frequency
+    base = dict(env or {})
+
+    def meets(vdd: float) -> bool:
+        probe = dict(base)
+        probe["VDD"] = vdd
+        try:
+            return timing.delay(probe) <= period
+        except PowerPlayError:
+            return False  # below threshold etc.
+
+    if not meets(v_high):
+        raise ModelError(
+            f"timing model {getattr(timing, 'name', '?')!r} cannot reach "
+            f"{frequency:.3g} Hz even at {v_high} V"
+        )
+    if meets(v_low):
+        return v_low
+    low, high = v_low, v_high
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if meets(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass
+class VoltageOptimum:
+    """Result of :func:`optimize_voltage`."""
+
+    vdd: float
+    power: float
+    nominal_vdd: float
+    nominal_power: float
+
+    @property
+    def saving(self) -> float:
+        """Fractional power saving vs the nominal supply."""
+        if self.nominal_power <= 0:
+            return 0.0
+        return 1.0 - self.power / self.nominal_power
+
+
+def optimize_voltage(
+    design: Design,
+    timing: TimingModel,
+    frequency: float,
+    nominal_vdd: Optional[float] = None,
+    v_low: float = 0.8,
+    v_high: float = 5.0,
+) -> VoltageOptimum:
+    """Minimum-power supply for a design under a timing constraint.
+
+    ``timing`` is the design's critical path (possibly a
+    :mod:`repro.core.composition` tree).  Dynamic power is monotone in
+    VDD, so the optimum sits exactly at the minimum feasible voltage.
+    """
+    if nominal_vdd is None:
+        nominal_vdd = design.scope.get("VDD")
+        if nominal_vdd is None:
+            raise ModelError("design has no VDD and none was given")
+    vdd = minimum_voltage(timing, frequency, v_low, v_high)
+    power = evaluate_power(design, overrides={"VDD": vdd}).power
+    nominal_power = evaluate_power(design, overrides={"VDD": nominal_vdd}).power
+    return VoltageOptimum(
+        vdd=vdd,
+        power=power,
+        nominal_vdd=float(nominal_vdd),
+        nominal_power=nominal_power,
+    )
+
+
+@dataclass
+class GridPoint:
+    """One evaluated configuration of a grid search."""
+
+    parameters: Dict[str, float]
+    power: float
+    metrics: Dict[str, float]
+
+    def __repr__(self) -> str:
+        values = ", ".join(f"{k}={v:g}" for k, v in self.parameters.items())
+        return f"GridPoint({values}: {self.power:.3e} W)"
+
+
+def grid_search(
+    design: Design,
+    grid: Mapping[str, Sequence[ParamValue]],
+    metrics: Optional[Mapping[str, Callable[[Design], float]]] = None,
+    limit: int = 10_000,
+) -> List[GridPoint]:
+    """Evaluate a design over the cartesian product of parameter values.
+
+    ``metrics`` may add extra objectives, each a callable evaluated with
+    the overrides applied (e.g. area or delay extractors).  Results come
+    back sorted by power, cheapest first.  ``limit`` guards against
+    accidentally exploding grids.
+    """
+    if not grid:
+        raise ModelError("empty parameter grid")
+    names = list(grid)
+    combos = list(itertools.product(*(grid[name] for name in names)))
+    if len(combos) > limit:
+        raise ModelError(
+            f"grid has {len(combos)} points, over the limit of {limit}"
+        )
+    results: List[GridPoint] = []
+    from .estimator import scope_overrides
+
+    for combo in combos:
+        overrides = dict(zip(names, combo))
+        with scope_overrides(design.scope, overrides):
+            power = evaluate_power(design).power
+            extra = {
+                key: metric(design) for key, metric in (metrics or {}).items()
+            }
+        results.append(
+            GridPoint(
+                parameters={k: float(v) for k, v in overrides.items()},
+                power=power,
+                metrics=extra,
+            )
+        )
+    results.sort(key=lambda point: point.power)
+    return results
+
+
+def pareto_front(
+    points: Iterable[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Non-dominated (minimize, minimize) points, sorted by the first axis.
+
+    A point dominates another when it is <= on both axes and < on one.
+    """
+    candidates = sorted(set(points))
+    front: List[Tuple[float, float]] = []
+    best_second = float("inf")
+    for first, second in candidates:
+        if second < best_second:
+            front.append((first, second))
+            best_second = second
+    return front
+
+
+def pareto_points(
+    results: Sequence[GridPoint], metric: str
+) -> List[GridPoint]:
+    """GridPoints on the (power, metric) Pareto front."""
+    front = set(
+        pareto_front(
+            (point.power, point.metrics[metric]) for point in results
+        )
+    )
+    return [
+        point
+        for point in results
+        if (point.power, point.metrics[metric]) in front
+    ]

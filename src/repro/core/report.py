@@ -1,0 +1,165 @@
+"""Text rendering of power/area/timing reports.
+
+Produces the Figure 2 / Figure 5 style spreadsheet tables as monospace
+text (the web layer has its own HTML renderer over the same report
+trees).  Values print in the paper's engineering notation
+(``7.438e-04 W``) or human notation (``743.8 uW``) per caller choice.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .estimator import AreaReport, PowerReport, TimingReport, coverage
+from .units import format_eng, format_quantity
+
+
+def _format_power(value: float, eng: bool) -> str:
+    return format_eng(value, "W") if eng else format_quantity(value, "W")
+
+
+def _format_params(parameters: dict, limit: int = 4) -> str:
+    shown = []
+    for name, value in parameters.items():
+        if name.startswith("_"):
+            continue
+        shown.append(f"{name}={format_quantity(value)}")
+        if len(shown) >= limit:
+            break
+    return ", ".join(shown)
+
+
+def render_table(rows: Sequence[Sequence[str]], header: Sequence[str]) -> str:
+    """Render a list of string rows as an aligned monospace table."""
+    columns = len(header)
+    widths = [len(str(title)) for title in header]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [
+            str(cells[index] if index < len(cells) else "").ljust(widths[index])
+            for index in range(columns)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    rule = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out = [rule, line(list(header)), rule]
+    out.extend(line(list(row)) for row in rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_power(
+    report: PowerReport,
+    eng: bool = True,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render a power report as a spreadsheet table.
+
+    One row per node, indented by hierarchy depth; each row shows the
+    row-local parameter snapshot, its power, and its share of the total
+    — matching the columns visible in the paper's Figure 2/5 shots.
+    """
+    total = report.power
+    table_rows: List[List[str]] = []
+
+    def emit(node: PowerReport, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        share = f"{100.0 * node.fraction_of(total):5.1f}%"
+        quantity = str(node.quantity) if node.quantity != 1 else ""
+        source = "" if node.source in ("modeled", "hierarchy") else node.source
+        table_rows.append(
+            [
+                indent + node.name,
+                quantity,
+                _format_params(node.parameters),
+                _format_power(node.power, eng),
+                share,
+                source,
+            ]
+        )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(report, 0)
+    header = ["Name", "Qty", "Parameters", "Power", "Share", "Source"]
+    title = f"{report.name} summary"
+    total_line = f"Total: {_format_power(total, eng)}"
+    return "\n".join([title, render_table(table_rows, header), total_line])
+
+
+def render_power_csv(report: PowerReport) -> str:
+    """Flat CSV of every leaf: path,power_watts,share."""
+    total = report.power
+    out = io.StringIO()
+    out.write("path,power_w,share\n")
+    for path, power in report.flatten():
+        share = power / total if total > 0 else 0.0
+        out.write(f"{path},{power:.6e},{share:.4f}\n")
+    return out.getvalue()
+
+
+def render_coverage(report: PowerReport, limit: int = 10) -> str:
+    """Diminishing-returns table: hottest leaves and cumulative share."""
+    rows = [
+        [path, format_quantity(power, "W"), f"{100.0 * cumulative:5.1f}%"]
+        for path, power, cumulative in coverage(report)[:limit]
+    ]
+    return render_table(rows, ["Consumer", "Power", "Cumulative"])
+
+
+def render_area(report: AreaReport) -> str:
+    """Area table; unmodeled rows print '-' rather than a false zero."""
+    rows: List[List[str]] = []
+
+    def emit(node: AreaReport, depth: int) -> None:
+        indent = "  " * depth
+        if node.modeled:
+            text = format_quantity(node.area * 1e12, "um2")
+        else:
+            text = "-"
+        rows.append([indent + node.name, text])
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(report, 0)
+    return render_table(rows, ["Name", "Active area"])
+
+
+def render_timing(report: TimingReport) -> str:
+    """Per-row delay table, with the critical path at the root."""
+    rows: List[List[str]] = []
+
+    def emit(node: TimingReport, depth: int) -> None:
+        indent = "  " * depth
+        text = format_quantity(node.delay, "s") if node.modeled else "-"
+        rows.append([indent + node.name, text])
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(report, 0)
+    return render_table(rows, ["Name", "Delay"])
+
+
+def render_comparison(results: Iterable[Tuple[str, float]]) -> str:
+    """Side-by-side design comparison with ratios against the first.
+
+    The Figure 1 vs Figure 3 presentation: "PowerPlay estimated the
+    power dissipation of the second implementation to be ~150 uW, or
+    1/5 that of the original design."
+    """
+    items = list(results)
+    if not items:
+        return "(no designs)"
+    base = items[0][1]
+    rows = []
+    for name, power in items:
+        ratio = f"{power / base:.3f}x" if base > 0 else "-"
+        rows.append([name, format_quantity(power, "W"), ratio])
+    return render_table(rows, ["Design", "Power", "vs " + items[0][0]])

@@ -1,0 +1,364 @@
+"""The design spreadsheet engine.
+
+PowerPlay presents the design-under-exploration as "a spread-sheet-like
+work sheet ... which allows the study of the impact of parameter
+variations".  This module implements that engine independently of the
+web layer:
+
+* :class:`Cell` — a named slot holding either a constant or a formula
+  (an :class:`~repro.core.expressions.Expression` over other cells).
+* :class:`Sheet` — a collection of cells with a dependency graph,
+  topological recalculation ("the Play button"), cycle detection, and
+  incremental dirty-propagation so editing one parameter only recomputes
+  its cone of influence.
+
+Cells may also be *bound* to Python callables (``bind``) — this is how
+design rows plug hierarchical power evaluation into the sheet while
+still letting other cells reference the result by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import CycleError, EvaluationError, SheetError
+from .expressions import Expression, compile_expression
+
+CellValue = Union[float, int, str, Expression]
+
+
+@dataclass
+class Cell:
+    """One spreadsheet cell.
+
+    Exactly one of the following holds:
+
+    * ``constant`` is set — a plain number;
+    * ``formula`` is set — recomputed from other cells;
+    * ``callback`` is set — an externally bound computation whose
+      *declared* dependencies are ``depends_on``.
+    """
+
+    name: str
+    constant: Optional[float] = None
+    formula: Optional[Expression] = None
+    callback: Optional[Callable[[], float]] = None
+    depends_on: Tuple[str, ...] = ()
+    unit: str = ""
+    doc: str = ""
+    value: Optional[float] = None  # last computed value
+    error: Optional[str] = None    # last evaluation error, if any
+
+    @property
+    def kind(self) -> str:
+        if self.callback is not None:
+            return "bound"
+        if self.formula is not None:
+            return "formula"
+        return "constant"
+
+    def dependencies(self) -> Tuple[str, ...]:
+        if self.formula is not None:
+            return tuple(sorted(self.formula.variables))
+        return self.depends_on
+
+
+class Sheet:
+    """A named collection of cells with automatic recalculation.
+
+    >>> sheet = Sheet("demo")
+    >>> _ = sheet.set("VDD", 1.5)
+    >>> _ = sheet.set("C", 2e-12)
+    >>> _ = sheet.set("f", "2M")        # strings parse as formulas/numbers
+    >>> _ = sheet.set("P", "C * VDD^2 * f")
+    >>> round(sheet["P"] * 1e6, 3)
+    9.0
+    """
+
+    def __init__(self, name: str = "sheet"):
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._dirty: Set[str] = set()
+        self._order: Optional[List[str]] = None  # cached topological order
+
+    # -- construction ----------------------------------------------------
+
+    def set(self, name: str, value: CellValue, unit: str = "", doc: str = "") -> Cell:
+        """Create or replace a cell.
+
+        Numbers become constants.  Strings are parsed: a pure number is a
+        constant, anything else a formula.  Expressions are formulas.
+        """
+        self._check_name(name)
+        cell = Cell(name=name, unit=unit, doc=doc)
+        if isinstance(value, Expression):
+            cell.formula = value
+        elif isinstance(value, bool):
+            cell.constant = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            cell.constant = float(value)
+        elif isinstance(value, str):
+            text = value.strip()
+            try:
+                cell.constant = float(text)
+            except ValueError:
+                cell.formula = compile_expression(text)
+        else:
+            raise SheetError(f"cannot store {value!r} in cell {name!r}")
+        self._install(cell)
+        return cell
+
+    def bind(
+        self,
+        name: str,
+        callback: Callable[[], float],
+        depends_on: Sequence[str] = (),
+        unit: str = "",
+        doc: str = "",
+    ) -> Cell:
+        """Install an externally computed cell.
+
+        ``depends_on`` declares which cells invalidate it; the design
+        layer uses this to re-run hierarchical power evaluation when a
+        global parameter cell changes.
+        """
+        self._check_name(name)
+        cell = Cell(
+            name=name,
+            callback=callback,
+            depends_on=tuple(depends_on),
+            unit=unit,
+            doc=doc,
+        )
+        self._install(cell)
+        return cell
+
+    def _check_name(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise SheetError(f"invalid cell name {name!r}")
+        head = name[0]
+        if not (head.isalpha() or head == "_"):
+            raise SheetError(f"cell name must start with a letter: {name!r}")
+        if any(not (c.isalnum() or c in "_.") for c in name):
+            raise SheetError(f"invalid cell name {name!r}")
+
+    def _install(self, cell: Cell) -> None:
+        self._cells[cell.name] = cell
+        self._order = None
+        self._mark_dirty(cell.name)
+
+    def remove(self, name: str) -> None:
+        """Delete a cell.  Cells that referenced it will error on recalc."""
+        if name not in self._cells:
+            raise SheetError(f"no cell named {name!r}")
+        del self._cells[name]
+        self._order = None
+        # everything downstream must re-evaluate (and will now error)
+        for other in self._cells.values():
+            if name in other.dependencies():
+                self._mark_dirty(other.name)
+
+    # -- introspection -----------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise SheetError(f"no cell named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return list(self._cells)
+
+    def dependents(self, name: str) -> List[str]:
+        """Cells that directly reference ``name``."""
+        return [
+            cell.name
+            for cell in self._cells.values()
+            if name in cell.dependencies()
+        ]
+
+    # -- recalculation -----------------------------------------------------
+
+    def _mark_dirty(self, name: str) -> None:
+        """Mark ``name`` and its transitive dependents dirty."""
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in self._dirty:
+                continue
+            self._dirty.add(current)
+            stack.extend(self.dependents(current))
+
+    def topological_order(self) -> List[str]:
+        """All cell names, dependencies before dependents.
+
+        Raises :class:`CycleError` naming the cells in any cycle.
+        External (undefined) names referenced by formulas are ignored
+        here and surface as evaluation errors instead.
+        """
+        if self._order is not None:
+            return self._order
+        state: Dict[str, int] = {}  # 0=visiting, 1=done
+        order: List[str] = []
+        path: List[str] = []
+
+        def visit(name: str) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle_start = path.index(name)
+                raise CycleError(path[cycle_start:] + [name])
+            state[name] = 0
+            path.append(name)
+            for dep in self._cells[name].dependencies():
+                if dep in self._cells:
+                    visit(dep)
+            path.pop()
+            state[name] = 1
+            order.append(name)
+
+        for name in self._cells:
+            visit(name)
+        self._order = order
+        return order
+
+    def recalculate(self, full: bool = False) -> Dict[str, float]:
+        """Evaluate dirty cells in dependency order ("Play").
+
+        With ``full=True`` every cell is recomputed from scratch —
+        property tests assert this gives identical values to incremental
+        recalculation.  Returns the values of all cells.  Cells whose
+        evaluation fails store ``error`` and value ``None``; referencing
+        an errored cell propagates the error.
+        """
+        order = self.topological_order()
+        targets = set(self._cells) if full else set(self._dirty)
+        env = _SheetEnv(self)
+        for name in order:
+            if name not in targets:
+                continue
+            cell = self._cells[name]
+            cell.error = None
+            try:
+                cell.value = self._evaluate_cell(cell, env)
+            except (EvaluationError, SheetError) as exc:
+                cell.value = None
+                cell.error = str(exc)
+        self._dirty.clear()
+        return self.values()
+
+    def _evaluate_cell(self, cell: Cell, env: "_SheetEnv") -> float:
+        if cell.constant is not None:
+            return cell.constant
+        if cell.formula is not None:
+            return cell.formula.evaluate(env)
+        if cell.callback is not None:
+            result = cell.callback()
+            try:
+                return float(result)
+            except (TypeError, ValueError):
+                raise EvaluationError(
+                    f"bound cell {cell.name!r} returned non-numeric "
+                    f"{result!r}"
+                ) from None
+        raise SheetError(f"cell {cell.name!r} has no value source")
+
+    def __getitem__(self, name: str) -> float:
+        """Value of a cell, recalculating if needed.
+
+        Raises :class:`SheetError` for unknown cells and
+        :class:`EvaluationError` if the cell (or a dependency) errored.
+        """
+        if name not in self._cells:
+            raise SheetError(f"no cell named {name!r}")
+        if self._dirty:
+            self.recalculate()
+        cell = self._cells[name]
+        if cell.error is not None:
+            raise EvaluationError(f"cell {name!r}: {cell.error}")
+        assert cell.value is not None
+        return cell.value
+
+    def get(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        try:
+            return self[name]
+        except (SheetError, EvaluationError):
+            return default
+
+    def values(self) -> Dict[str, float]:
+        """All successfully computed cell values."""
+        if self._dirty:
+            self.recalculate()
+        return {
+            cell.name: cell.value
+            for cell in self._cells.values()
+            if cell.value is not None
+        }
+
+    def errors(self) -> Dict[str, str]:
+        """All cells currently in error, mapped to their messages."""
+        if self._dirty:
+            self.recalculate()
+        return {
+            cell.name: cell.error
+            for cell in self._cells.values()
+            if cell.error is not None
+        }
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Force re-evaluation of one cell (and dependents) or everything.
+
+        Bound cells have opaque callbacks; when their underlying model
+        changes, the design layer calls this.
+        """
+        if name is None:
+            self._dirty.update(self._cells)
+        else:
+            if name not in self._cells:
+                raise SheetError(f"no cell named {name!r}")
+            self._mark_dirty(name)
+
+    def __repr__(self) -> str:
+        return f"Sheet({self.name!r}, {len(self._cells)} cells)"
+
+
+class _SheetEnv(Mapping[str, float]):
+    """Expression environment over already-evaluated sheet cells.
+
+    By the time a formula runs, topological order guarantees its
+    dependencies were evaluated this pass (or carry an error)."""
+
+    def __init__(self, sheet: Sheet):
+        self._sheet = sheet
+
+    def __getitem__(self, name: str) -> float:
+        cell = self._sheet._cells.get(name)
+        if cell is None:
+            raise EvaluationError(f"unknown cell {name!r}")
+        if cell.error is not None:
+            raise EvaluationError(
+                f"dependency {name!r} errored: {cell.error}"
+            )
+        if cell.value is None:
+            raise EvaluationError(f"dependency {name!r} not yet computed")
+        return cell.value
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sheet._cells
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sheet._cells)
+
+    def __len__(self) -> int:
+        return len(self._sheet._cells)

@@ -1,0 +1,147 @@
+"""Bridging designs into the spreadsheet engine.
+
+The paper's UI *is* a spreadsheet; internally the design hierarchy and
+the cell engine are separate (designs know models, sheets know
+formulas).  :func:`design_sheet` fuses them: a :class:`~repro.core.sheet
+.Sheet` whose cells are
+
+* one writable cell per global parameter (``g.VDD`` ...);
+* one writable cell per row-local parameter (``<row>.<param>``),
+  excluding formula-valued parameters (those stay owned by the scope so
+  their dependencies keep working);
+* one *bound* cell per row's power (``P.<row>``), recomputed only when
+  a parameter in its dependency cone changes — incremental PLAY;
+* a ``P.total`` cell summing the rows;
+* user-added derived cells ("any parameter can be expressed as a
+  function of these parameters"): energy per frame, battery current,
+  whatever the exploration needs — they recalculate with everything
+  else.
+
+Writes to the parameter cells push straight into the design scopes, so
+the sheet and the design can never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SheetError
+from .design import Design, SubDesign
+from .estimator import evaluate_power
+from .expressions import Expression
+from .parameters import ParameterScope
+from .sheet import Sheet
+
+
+class DesignSheet:
+    """A Sheet view over a Design.
+
+    >>> bridge = DesignSheet(design)
+    >>> bridge.sheet["P.total"]            # evaluate
+    >>> bridge.set_parameter("g.VDD", 1.1) # edit + auto-invalidate
+    >>> bridge.sheet["P.total"]            # only dirty rows recompute
+    """
+
+    GLOBAL_PREFIX = "g."
+    POWER_PREFIX = "P."
+    TOTAL_CELL = "P.total"
+
+    def __init__(self, design: Design, name: Optional[str] = None):
+        self.design = design
+        self.sheet = Sheet(name or f"{design.name}_sheet")
+        #: cell name -> (scope, parameter name) for writable cells
+        self._bindings: Dict[str, Tuple[ParameterScope, str]] = {}
+        #: one hierarchical evaluation is shared by every row's power
+        #: cell within a recalculation pass; edits invalidate it
+        self._report = None
+        self.evaluations = 0  # recomputation counter (observable in tests)
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        global_cells: List[str] = []
+        for parameter in self.design.scope.local_names():
+            raw = self.design.scope.raw(parameter)
+            if isinstance(raw, Expression):
+                continue
+            cell = f"{self.GLOBAL_PREFIX}{parameter}"
+            self.sheet.set(cell, raw)
+            self._bindings[cell] = (self.design.scope, parameter)
+            global_cells.append(cell)
+
+        row_cells: List[str] = []
+        for row in self.design:
+            parameter_cells: List[str] = []
+            if not isinstance(row, SubDesign):
+                for parameter in row.scope.local_names():
+                    raw = row.scope.raw(parameter)
+                    if isinstance(raw, Expression):
+                        continue
+                    cell = f"{row.name}.{parameter}"
+                    self.sheet.set(cell, raw)
+                    self._bindings[cell] = (row.scope, parameter)
+                    parameter_cells.append(cell)
+            power_cell = f"{self.POWER_PREFIX}{row.name}"
+            self.sheet.bind(
+                power_cell,
+                self._power_of(row.name),
+                depends_on=tuple(parameter_cells) + tuple(global_cells),
+                unit="W",
+                doc=f"evaluated power of row {row.name!r}",
+            )
+            row_cells.append(power_cell)
+        self.sheet.set(
+            self.TOTAL_CELL,
+            " + ".join(row_cells) if row_cells else "0",
+            unit="W",
+            doc="design total (PLAY)",
+        )
+
+    def _shared_report(self):
+        if self._report is None:
+            self._report = evaluate_power(self.design)
+            self.evaluations += 1
+        return self._report
+
+    def _power_of(self, row_name: str):
+        def compute() -> float:
+            return self._shared_report()[row_name].power
+
+        return compute
+
+    # -- edits ------------------------------------------------------------
+
+    def set_parameter(self, cell: str, value: float) -> None:
+        """Write a parameter cell: updates sheet AND design scope."""
+        binding = self._bindings.get(cell)
+        if binding is None:
+            raise SheetError(
+                f"{cell!r} is not a writable parameter cell "
+                f"(writable: {sorted(self._bindings)})"
+            )
+        scope, parameter = binding
+        scope.set(parameter, value)
+        self._report = None  # next power read re-evaluates once
+        self.sheet.set(cell, float(scope.resolve(parameter)))
+
+    def add_derived(self, name: str, formula: str, unit: str = "", doc: str = "") -> None:
+        """Add a user cell computed from any existing cells."""
+        self.sheet.set(name, formula, unit=unit, doc=doc)
+
+    # -- reads ----------------------------------------------------------------
+
+    @property
+    def total_power(self) -> float:
+        return self.sheet[self.TOTAL_CELL]
+
+    def row_power(self, row_name: str) -> float:
+        return self.sheet[f"{self.POWER_PREFIX}{row_name}"]
+
+    def values(self) -> Dict[str, float]:
+        return self.sheet.values()
+
+
+def design_sheet(design: Design, name: Optional[str] = None) -> DesignSheet:
+    """Convenience constructor mirroring the paper's workflow verb."""
+    return DesignSheet(design, name)

@@ -1,0 +1,275 @@
+"""Engineering-notation quantities.
+
+PowerPlay's spreadsheet (Figure 2 / Figure 5 of the paper) displays every
+value in engineering notation — ``7.438e-04 W``, ``253 fF``, ``2 MHz`` —
+and accepts the same notation in its input forms.  This module provides
+the parsing and formatting used throughout the package:
+
+* :func:`parse_quantity` — turn ``"253fF"`` / ``"2 MHz"`` / ``"1.5"``
+  into a float in base SI units plus the unit string.
+* :func:`format_quantity` — render a float with an SI prefix
+  (``0.000253e-9 -> "253 fF"``); :func:`format_eng` for the raw
+  engineering mantissa/exponent form the paper's screenshots use.
+* :class:`Quantity` — a small value class pairing magnitude and unit,
+  with arithmetic that checks unit compatibility.
+
+Only multiplicative SI prefixes are handled; PowerPlay's models are all
+expressed in coherent SI units internally (farad, volt, hertz, watt,
+second, ampere, meter).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import UnitError
+
+#: SI prefix -> multiplier.  ``u`` is accepted as a plain-ASCII micro.
+SI_PREFIXES = {
+    "y": 1e-24,
+    "z": 1e-21,
+    "a": 1e-18,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,  # micro sign
+    "μ": 1e-6,  # greek mu
+    "m": 1e-3,
+    "k": 1e3,
+    "K": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+}
+
+#: Ordered prefixes for formatting (exponent -> symbol).
+_FORMAT_PREFIXES = [
+    (-15, "f"),
+    (-12, "p"),
+    (-9, "n"),
+    (-6, "u"),
+    (-3, "m"),
+    (0, ""),
+    (3, "k"),
+    (6, "M"),
+    (9, "G"),
+    (12, "T"),
+]
+
+#: Base units PowerPlay models use.  Anything else is passed through
+#: verbatim (the framework accepts user-defined models in any unit).
+KNOWN_UNITS = {
+    "F",   # farad (capacitance)
+    "V",   # volt
+    "W",   # watt
+    "Hz",  # hertz
+    "s",   # second
+    "A",   # ampere
+    "J",   # joule
+    "m",   # meter
+    "m2",  # square meter (area)
+    "S",   # siemens (transconductance)
+    "Ohm", # resistance
+    "",    # dimensionless
+}
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*
+        (?P<num>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        \s*
+        (?P<rest>[A-Za-zµμ][A-Za-z0-9µμ]*)?
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_quantity(text: str, default_unit: str = "") -> Tuple[float, str]:
+    """Parse ``"253 fF"`` into ``(2.53e-13, "F")``.
+
+    The number may carry an SI prefix fused to the unit.  A bare number
+    parses with ``default_unit``.  Raises :class:`UnitError` on garbage.
+
+    The prefix/unit split is resolved greedily in favour of a *known*
+    unit: ``"mW"`` is milli-watt, but a lone ``"m"`` is meters (not
+    milli-nothing), and ``"Hz"`` is hertz (not hecto-``z``).
+    """
+    if not isinstance(text, str):
+        raise UnitError(f"expected a string, got {type(text).__name__}")
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity: {text!r}")
+    value = float(match.group("num"))
+    rest = match.group("rest") or ""
+    if not rest:
+        return value, default_unit
+    scale, unit = split_prefix(rest)
+    return value * scale, unit
+
+
+def split_prefix(symbol: str) -> Tuple[float, str]:
+    """Split a fused prefix+unit symbol like ``"fF"`` or ``"MHz"``.
+
+    Returns ``(multiplier, unit)``.  Resolution rules, in order:
+
+    1. the whole symbol is a known unit (``"Hz"``, ``"m"``) -> no prefix;
+    2. first char is a prefix and the remainder is a known unit;
+    3. first char is a prefix and the remainder is non-empty -> accept
+       the remainder as a user-defined unit;
+    4. otherwise the whole symbol is a user-defined unit.
+    """
+    if symbol in KNOWN_UNITS:
+        return 1.0, symbol
+    head, tail = symbol[0], symbol[1:]
+    if head in SI_PREFIXES and tail in KNOWN_UNITS and tail:
+        return SI_PREFIXES[head], tail
+    if head in SI_PREFIXES and tail:
+        return SI_PREFIXES[head], tail
+    # a lone prefix letter is a SPICE-style bare multiplier ("2M" = 2e6),
+    # unless it is itself a unit ("2 m" stays meters, caught above).
+    if not tail and head in SI_PREFIXES:
+        return SI_PREFIXES[head], ""
+    return 1.0, symbol
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``2.53e-13, "F"`` as ``"253 fF"``.
+
+    Picks the SI prefix that puts the mantissa in ``[1, 1000)``.  Values
+    outside the prefix table fall back to plain exponent notation.  Zero,
+    NaN and infinities format without a prefix.
+    """
+    if unit is None:
+        unit = ""
+    if value == 0 or not math.isfinite(value):
+        text = f"{value:g}"
+        return f"{text} {unit}".rstrip()
+    exponent = math.floor(math.log10(abs(value)) / 3.0) * 3
+    for exp, symbol in _FORMAT_PREFIXES:
+        if exp == exponent:
+            mantissa = value / 10.0**exp
+            text = f"{mantissa:.{digits}g}"
+            return f"{text} {symbol}{unit}".rstrip()
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def format_eng(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format in the paper's screenshot style: ``"7.438e-04 W"``."""
+    if unit:
+        return f"{value:.{digits}e} {unit}"
+    return f"{value:.{digits}e}"
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A magnitude with a unit, in coherent SI base scale.
+
+    Supports the arithmetic PowerPlay's spreadsheet needs: add/subtract
+    (same unit required), multiply/divide by scalars, and comparisons.
+    Cross-unit multiplication returns a bare float (the caller knows the
+    derived unit; PowerPlay models track units informally, as the paper's
+    spreadsheet does).
+    """
+
+    value: float
+    unit: str = ""
+
+    @classmethod
+    def parse(cls, text: str, default_unit: str = "") -> "Quantity":
+        value, unit = parse_quantity(text, default_unit)
+        return cls(value, unit)
+
+    def _check(self, other: "Quantity") -> None:
+        if self.unit != other.unit:
+            raise UnitError(
+                f"incompatible units: {self.unit!r} vs {other.unit!r}"
+            )
+
+    def __add__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        self._check(other)
+        return Quantity(self.value + other.value, self.unit)
+
+    def __sub__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        self._check(other)
+        return Quantity(self.value - other.value, self.unit)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            return Quantity(self.value * other, self.unit)
+        if isinstance(other, Quantity):
+            return self.value * other.value
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, (int, float)):
+            return Quantity(self.value / other, self.unit)
+        if isinstance(other, Quantity):
+            return self.value / other.value
+        return NotImplemented
+
+    def __neg__(self) -> "Quantity":
+        return Quantity(-self.value, self.unit)
+
+    def __lt__(self, other: "Quantity") -> bool:
+        self._check(other)
+        return self.value < other.value
+
+    def __le__(self, other: "Quantity") -> bool:
+        self._check(other)
+        return self.value <= other.value
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __str__(self) -> str:
+        return format_quantity(self.value, self.unit)
+
+    def eng(self, digits: int = 4) -> str:
+        """Engineering (``1.234e-05 W``) rendering, as in Figure 2."""
+        return format_eng(self.value, self.unit, digits)
+
+
+def watts(value: float) -> Quantity:
+    """Convenience constructor for power quantities."""
+    return Quantity(value, "W")
+
+
+def farads(value: float) -> Quantity:
+    """Convenience constructor for capacitance quantities."""
+    return Quantity(value, "F")
+
+
+def volts(value: float) -> Quantity:
+    """Convenience constructor for voltage quantities."""
+    return Quantity(value, "V")
+
+
+def hertz(value: float) -> Quantity:
+    """Convenience constructor for frequency quantities."""
+    return Quantity(value, "Hz")
+
+
+def joules(value: float) -> Quantity:
+    """Convenience constructor for energy quantities."""
+    return Quantity(value, "J")
+
+
+def parse_float(text: str, default_unit: str = "") -> float:
+    """Parse a quantity string and return just the magnitude.
+
+    Unit suffixes are honoured for scale (``"2 MHz"`` -> ``2e6``) but the
+    unit itself is discarded — this is what the spreadsheet input forms
+    use, since each field's unit is fixed by the model template.
+    """
+    value, _unit = parse_quantity(text, default_unit)
+    return value

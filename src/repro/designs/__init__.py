@@ -1,0 +1,30 @@
+"""Prebuilt designs: the paper's two worked examples."""
+
+from .infopad import build_custom_hardware, build_infopad
+from .macros import (
+    build_macro_library,
+    custom_chipset_macro,
+    video_decompression_macro,
+)
+from .luminance import (
+    NOMINAL_PIXEL_RATE,
+    NOMINAL_VDD,
+    build_figure1_design,
+    build_figure3_design,
+    build_luminance_design,
+    build_luminance_from_chip,
+)
+
+__all__ = [
+    "NOMINAL_PIXEL_RATE",
+    "NOMINAL_VDD",
+    "build_custom_hardware",
+    "build_figure1_design",
+    "build_figure3_design",
+    "build_luminance_design",
+    "build_luminance_from_chip",
+    "build_infopad",
+    "build_macro_library",
+    "custom_chipset_macro",
+    "video_decompression_macro",
+]

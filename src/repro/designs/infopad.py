@@ -1,0 +1,165 @@
+"""The InfoPad portable multimedia terminal (paper Figure 5).
+
+"Each subsystem of the InfoPad terminal is a row entry in the
+spreadsheet of Figure 5. ... the luminance chip discussed earlier is a
+subcircuit of the custom hardware subsection."
+
+The system design demonstrates every hierarchy feature the paper claims:
+
+* two global supplies (``VDD1`` for commodity parts, ``VDD2`` for the
+  custom low-power chipset) set on the top page and inherited by every
+  subsystem;
+* the luminance design mounted as a *sub-design* inside the custom
+  hardware sub-design (two hierarchy levels below the top);
+* the voltage-converter row computing its dissipation from the power of
+  every other row (EQ 18/19 inter-model interaction), so the design
+  total is battery input power;
+* mixed model sources per row — datasheet (LCD, radio), parameterized
+  equation (processor), full hierarchical model (custom hardware) —
+  "using whatever models, tools, or level of abstraction is available".
+
+Absolute subsystem values are reconstructed from the InfoPad literature
+(see EXPERIMENTS.md); the headline shape is preserved: the custom
+chipset draws a fraction of a percent of the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.design import Design
+from ..errors import DesignError
+from ..library.datasheet import (
+    io_devices,
+    lcd_display,
+    microprocessor_subsystem,
+    radio_transceiver,
+    support_electronics,
+)
+from ..models.controller import rom_controller
+from ..models.converter import DCDCConverterModel, EfficiencyCurve
+from .luminance import build_luminance_design
+
+#: Reconstructed converter efficiency for the InfoPad's regulators.
+CONVERTER_EFFICIENCY = 0.85
+
+
+def build_custom_hardware(vdd_expression: str = "VDD2") -> Design:
+    """The custom low-power chipset sub-design.
+
+    Contains the luminance chip (the paper's worked example, Figure 3
+    architecture — the one the fabricated chip used), a chroma
+    decompression chip (same datapath at quarter pixel rate, two of
+    them for I/Q), and the protocol controller.
+    """
+    custom = Design(
+        "custom_hardware",
+        doc="InfoPad custom low-power chipset (video decompression + control)",
+    )
+    # the luminance chip inherits the custom-hardware supply
+    luminance = build_luminance_design(words_per_access=4, name="luminance_chip")
+    luminance.scope.set("VDD", vdd_expression)
+    custom.add_subdesign(
+        "luminance_chip",
+        luminance,
+        doc="VQ luminance decompression (Figure 3 architecture)",
+    )
+    chroma = build_luminance_design(
+        words_per_access=4,
+        width=128,
+        height=64,
+        name="chroma_chip",
+    )
+    chroma.scope.set("VDD", vdd_expression)
+    custom.add_subdesign(
+        "chroma_chips",
+        chroma,
+        doc="chroma decompression (quarter-rate luminance datapath, I+Q)",
+    )
+    custom.add(
+        "protocol_controller",
+        rom_controller(6, 16, name="protocol_controller"),
+        params={
+            "N_I": 6,
+            "N_O": 16,
+            "P_O": 0.5,
+            "VDD": vdd_expression,
+            "f": 1e6,
+        },
+        doc="packet protocol controller (EQ 10 ROM model)",
+    )
+    return custom
+
+
+def build_infopad(
+    vdd1: float = 5.0,
+    vdd2: float = 1.5,
+    processor_clock: float = 25e6,
+    name: str = "infopad",
+) -> Design:
+    """The full Figure 5 system spreadsheet."""
+    if vdd1 <= 0 or vdd2 <= 0:
+        raise DesignError("supplies must be positive")
+    system = Design(
+        name,
+        doc="InfoPad portable multimedia terminal (Figure 5)",
+    )
+    system.scope.set("VDD1", vdd1)
+    system.scope.set("VDD2", vdd2)
+
+    system.add_subdesign(
+        "custom_hardware",
+        build_custom_hardware("VDD2"),
+        doc="custom low-power chipset (hyperlinks to its own spreadsheet)",
+    )
+    system.add(
+        "radio_subsystem",
+        radio_transceiver(),
+        params={"tx_duty": 0.05, "rx_duty": 0.35},
+        doc="packet radio (datasheet states)",
+        source="datasheet",
+    )
+    system.add(
+        "display_lcds",
+        lcd_display(),
+        params={"panel_duty": 1.0, "backlight_duty": 1.0},
+        doc="LCD panel + backlight (measured)",
+        source="measured",
+    )
+    system.add(
+        "microprocessor_subsystem",
+        microprocessor_subsystem(),
+        params={"f": processor_clock, "VDD": "VDD1", "alpha": 1.0},
+        doc="embedded CPU subsystem (datasheet W/MHz)",
+        source="datasheet",
+    )
+    system.add(
+        "support_electronics",
+        support_electronics(),
+        params={"codec_duty": 1.0},
+        doc="frame SRAM + codec + glue",
+        source="datasheet",
+    )
+    system.add(
+        "other_io_devices",
+        io_devices(),
+        params={"alpha": 1.0},
+        doc="pen, speech, speaker",
+        source="datasheet",
+    )
+    system.add(
+        "voltage_converters",
+        DCDCConverterModel("voltage_converters", efficiency=CONVERTER_EFFICIENCY),
+        params={"eta": CONVERTER_EFFICIENCY},
+        power_feeds=[
+            "custom_hardware",
+            "radio_subsystem",
+            "display_lcds",
+            "microprocessor_subsystem",
+            "support_electronics",
+            "other_io_devices",
+        ],
+        doc="board regulators; dissipation from the load of every row (EQ 19)",
+        source="estimated",
+    )
+    return system

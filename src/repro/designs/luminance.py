@@ -1,0 +1,224 @@
+"""The luminance decompression chip (paper Figures 1-3) as designs.
+
+Figure 1: ping-pong index banks -> look-up table -> output register,
+LUT read once per pixel.  Figure 3: the LUT is reorganized to yield four
+words per access; a 4:1 mux and the output register are then the only
+blocks switching at the full pixel rate.
+
+Two construction routes:
+
+* :func:`build_luminance_design` — from the architecture parameters
+  alone (what a designer types into PowerPlay in "less than three
+  minutes");
+* :func:`build_luminance_from_chip` — from a simulated
+  :class:`~repro.sim.vq.LuminanceChip`, using the access rates the
+  workload actually produced (the "estimated number of accesses of each
+  resource" measured rather than assumed).
+
+The paper's operating point: 256 x 128 screen, 60 Hz display, 30 Hz
+source, so f = 1.966 MHz ("2 MHz"), bank reads at f/16, writes at f/32,
+VDD = 1.5 V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.design import Design
+from ..core.parameters import ParameterScope
+from ..errors import DesignError
+from ..models.computation import multiplexer
+from ..models.storage import register, sram
+from ..sim.traces import (
+    DISPLAY_FPS,
+    PIXEL_DEPTH,
+    SCREEN_HEIGHT,
+    SCREEN_WIDTH,
+    SOURCE_FPS,
+)
+from ..sim.vq import BLOCK_SIZE, CODEBOOK_ENTRIES, LuminanceChip
+
+#: The paper's nominal operating point.
+NOMINAL_VDD = 1.5
+NOMINAL_PIXEL_RATE = float(SCREEN_WIDTH * SCREEN_HEIGHT * DISPLAY_FPS)  # 1.966 MHz
+
+
+def build_luminance_design(
+    words_per_access: int = 1,
+    width: int = SCREEN_WIDTH,
+    height: int = SCREEN_HEIGHT,
+    display_fps: int = DISPLAY_FPS,
+    source_fps: int = SOURCE_FPS,
+    block_size: int = BLOCK_SIZE,
+    codebook_entries: int = CODEBOOK_ENTRIES,
+    pixel_depth: int = PIXEL_DEPTH,
+    vdd: float = NOMINAL_VDD,
+    name: Optional[str] = None,
+) -> Design:
+    """Build the decompression chip as a PowerPlay design.
+
+    ``words_per_access = 1`` reproduces Figure 1, ``4`` Figure 3, and
+    any divisor of ``block_size`` generalizes the trade-off.
+    """
+    if words_per_access < 1 or block_size % words_per_access:
+        raise DesignError(
+            f"words_per_access {words_per_access} must divide "
+            f"block size {block_size}"
+        )
+    if width % block_size:
+        raise DesignError(f"width {width} not a multiple of {block_size}")
+    if display_fps % source_fps:
+        raise DesignError("display fps must be a multiple of source fps")
+
+    design = Design(
+        name or f"luminance_w{words_per_access}",
+        doc=(
+            "VQ luminance decompression chip "
+            f"({words_per_access} word(s) per LUT access)"
+        ),
+    )
+    pixel_rate = float(width * height * display_fps)
+    repeats = display_fps // source_fps
+    design.scope.set("VDD", vdd)
+    design.scope.set("f_pixel", pixel_rate)
+
+    bank_words = (width * height) // block_size
+    index_bits = max(1, (codebook_entries - 1).bit_length())
+    lut_words = codebook_entries * (block_size // words_per_access)
+    lut_bits = pixel_depth * words_per_access
+
+    design.add(
+        "read_bank",
+        sram(bank_words, index_bits, name="read_bank"),
+        params={
+            "words": bank_words,
+            "bits": index_bits,
+            "f": f"f_pixel / {block_size}",
+        },
+        doc="ping-pong index buffer, display side (reads at f/16)",
+    )
+    design.add(
+        "write_bank",
+        sram(bank_words, index_bits, name="write_bank"),
+        params={
+            "words": bank_words,
+            "bits": index_bits,
+            "f": f"f_pixel / {block_size * repeats}",
+        },
+        doc="ping-pong index buffer, incoming side (writes at f/32)",
+    )
+    design.add(
+        "lut",
+        sram(lut_words, lut_bits, name="lut"),
+        params={
+            "words": lut_words,
+            "bits": lut_bits,
+            "f": f"f_pixel / {words_per_access}",
+        },
+        doc=f"codebook LUT, {lut_words} x {lut_bits} bits",
+    )
+    if words_per_access > 1:
+        design.add(
+            "output_mux",
+            multiplexer(bitwidth=pixel_depth, inputs=_pow2_at_least(words_per_access),
+                        name="output_mux"),
+            params={
+                "bitwidth": pixel_depth,
+                "inputs": _pow2_at_least(words_per_access),
+                "f": "f_pixel",
+            },
+            doc="word-select multiplexer at full pixel rate",
+        )
+    design.add(
+        "output_register",
+        register(pixel_depth, name="output_register"),
+        params={"bits": pixel_depth, "f": "f_pixel"},
+        doc="pixel output register at full pixel rate",
+    )
+    return design
+
+
+def _pow2_at_least(value: int) -> int:
+    result = 1
+    while result < value:
+        result *= 2
+    return max(2, result)
+
+
+def build_figure1_design() -> Design:
+    """The Figure 1 architecture at the paper's operating point."""
+    return build_luminance_design(words_per_access=1, name="luminance_fig1")
+
+
+def build_figure3_design() -> Design:
+    """The Figure 3 alternative (four words per access)."""
+    return build_luminance_design(words_per_access=4, name="luminance_fig3")
+
+
+def build_luminance_from_chip(
+    chip: LuminanceChip,
+    vdd: float = NOMINAL_VDD,
+    name: Optional[str] = None,
+    use_measured_rates: bool = True,
+) -> Design:
+    """Build the design from a (possibly simulated) chip instance.
+
+    With ``use_measured_rates`` and a chip that has displayed frames,
+    the access frequencies come from the chip's counters; otherwise the
+    closed-form expected rates are used.
+    """
+    rates: Dict[str, float]
+    if use_measured_rates and chip.counts.frames_displayed > 0:
+        rates = chip.access_rates()
+    else:
+        rates = chip.expected_rates()
+    design = Design(
+        name or f"luminance_chip_w{chip.words_per_access}",
+        doc="decompression chip, rates from workload simulation",
+    )
+    design.scope.set("VDD", vdd)
+    design.scope.set("f_pixel", chip.pixel_rate)
+    index_bits = max(1, (chip.codebook.size - 1).bit_length())
+    design.add(
+        "read_bank",
+        sram(chip.bank_words, index_bits, name="read_bank"),
+        params={"words": chip.bank_words, "bits": index_bits,
+                "f": rates["read_bank"]},
+        doc="ping-pong buffer (measured read rate)",
+    )
+    design.add(
+        "write_bank",
+        sram(chip.bank_words, index_bits, name="write_bank"),
+        params={"words": chip.bank_words, "bits": index_bits,
+                "f": rates["write_bank"]},
+        doc="ping-pong buffer (measured write rate)",
+    )
+    design.add(
+        "lut",
+        sram(chip.lut_words, chip.lut_bits, name="lut"),
+        params={"words": chip.lut_words, "bits": chip.lut_bits,
+                "f": rates["lut"]},
+        doc="codebook LUT (measured access rate)",
+    )
+    if chip.words_per_access > 1:
+        design.add(
+            "output_mux",
+            multiplexer(
+                bitwidth=chip.codebook.depth,
+                inputs=_pow2_at_least(chip.words_per_access),
+                name="output_mux",
+            ),
+            params={
+                "bitwidth": chip.codebook.depth,
+                "inputs": _pow2_at_least(chip.words_per_access),
+                "f": rates["output_mux"],
+            },
+            doc="word-select mux (measured rate)",
+        )
+    design.add(
+        "output_register",
+        register(chip.codebook.depth, name="output_register"),
+        params={"bits": chip.codebook.depth, "f": rates["output_register"]},
+        doc="pixel register (measured rate)",
+    )
+    return design

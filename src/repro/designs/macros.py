@@ -1,0 +1,84 @@
+"""Reusable macro cells built from the worked designs.
+
+"Libraries of primitives (e.g. multipliers, memories) as well as macro
+cells (e.g. video decompression) may be shared and reused. ... It should
+be possible to lump a modeled design, such as the video-decompression
+sub-system described earlier, into a single macro that can be used at
+higher levels of the system design, or re-used in other designs."
+
+:func:`build_macro_library` packages exactly that: the Figure 3 video
+decompression chip and the whole custom chipset as single library
+entries with exported parameters, shareable over the same JSON wire as
+any primitive (see the ``macro`` codec in
+:mod:`repro.library.designio`).
+"""
+
+from __future__ import annotations
+
+from ..core.model import ModelSet
+from ..library.catalog import Library, LibraryEntry
+from .infopad import build_custom_hardware
+from .luminance import build_luminance_design
+
+
+def video_decompression_macro(words_per_access: int = 4):
+    """The luminance decompression chip as a one-row macro.
+
+    Exported knobs: ``VDD`` and ``f_pixel`` — the two parameters a
+    system integrator varies without reopening the chip design.
+    """
+    design = build_luminance_design(
+        words_per_access=words_per_access,
+        name=f"video_decompression_w{words_per_access}",
+    )
+    return design.as_macro(
+        exported=["VDD", "f_pixel"],
+        name="video_decompression",
+        doc=(
+            "VQ luminance decompression chip (Figure 3 architecture) "
+            "lumped into a macro; exports VDD and f_pixel"
+        ),
+    )
+
+
+def custom_chipset_macro():
+    """The full InfoPad custom-hardware sub-design as a macro.
+
+    The chipset supply is exported as ``VDD_core`` (a distinct name, so
+    the leaf scopes' ``VDD = VDD_core`` formulas resolve upward rather
+    than self-referencing).
+    """
+    design = build_custom_hardware(vdd_expression="VDD_core")
+    design.scope.set("VDD_core", 1.5)
+    return design.as_macro(
+        exported=["VDD_core"],
+        name="custom_chipset",
+        doc="InfoPad custom low-power chipset (video + control) macro",
+    )
+
+
+def build_macro_library() -> Library:
+    """Shareable macro cells — re-used 'unless specified as proprietary'."""
+    library = Library(
+        "macro_cells",
+        "hierarchical macros lumped from modeled designs",
+    )
+    library.add(
+        LibraryEntry(
+            "video_decompression",
+            ModelSet(power=video_decompression_macro()),
+            category="macro",
+            doc="video decompression sub-system as a single element",
+            links=("/doc/cell/video_decompression",),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "custom_chipset",
+            ModelSet(power=custom_chipset_macro()),
+            category="macro",
+            doc="custom chipset (two video chips + controller) macro",
+            links=("/doc/cell/custom_chipset",),
+        )
+    )
+    return library

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the PowerPlay reproduction.
+
+Every error raised by this package derives from :class:`PowerPlayError`
+so callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class PowerPlayError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class UnitError(PowerPlayError):
+    """A quantity string could not be parsed or units are incompatible."""
+
+
+class ExpressionError(PowerPlayError):
+    """An expression failed to parse or evaluate."""
+
+
+class ParseError(ExpressionError):
+    """Syntax error while parsing an expression.
+
+    Carries the offending source text and the character position where
+    parsing failed, so web forms can point at the error.
+    """
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        super().__init__(message)
+        self.source = source
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        if self.position >= 0:
+            return f"{base} (at position {self.position} in {self.source!r})"
+        return base
+
+
+class EvaluationError(ExpressionError):
+    """Runtime error while evaluating an expression (bad name, math error)."""
+
+
+class ParameterError(PowerPlayError):
+    """Invalid parameter definition, value, or lookup."""
+
+
+class SheetError(PowerPlayError):
+    """Spreadsheet structural error (unknown cell, duplicate cell)."""
+
+
+class CycleError(SheetError):
+    """A dependency cycle was found among spreadsheet cells.
+
+    ``cycle`` lists the cell names participating in the cycle, in order.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        super().__init__("dependency cycle: " + " -> ".join(self.cycle))
+
+
+class ModelError(PowerPlayError):
+    """A power/area/timing model was misconfigured or misapplied."""
+
+
+class DesignError(PowerPlayError):
+    """Design hierarchy error (unknown instance, duplicate name)."""
+
+
+class LibraryError(PowerPlayError):
+    """Library lookup or (de)serialization error."""
+
+
+class CharacterizationError(PowerPlayError):
+    """Characterization/fitting failed (degenerate sweep, bad data)."""
+
+
+class SimulationError(PowerPlayError):
+    """Netlist or simulation-level error."""
+
+
+class NetlistError(SimulationError):
+    """Malformed gate netlist (unknown node, bad fanin)."""
+
+
+class WebError(PowerPlayError):
+    """Web application error (bad route, malformed form)."""
+
+
+class SessionError(WebError):
+    """User session error (unknown user, corrupt state file)."""
+
+
+class RemoteError(WebError):
+    """Remote model access failed (unreachable server, bad payload)."""

@@ -1,0 +1,614 @@
+"""The model library: entries, lookup, JSON serialization, merging.
+
+"The strength of a modeling environment lies in the richness of its
+library, the availability of pre-defined models, and the ease of
+introducing new elements and models."  And crucially for the WWW story:
+"If a library is characterized and put on the web in Massachusetts, it
+can be used for estimates in California."
+
+A library therefore has to *travel*: every stock model class has a JSON
+codec here, so whole libraries round-trip through text — that is the
+payload the remote-access protocol (:mod:`repro.web.remote`) ships.
+Models are data (expressions and coefficients), never code, so loading
+a remote library executes nothing.
+
+Entries carry documentation and hyperlink metadata ("PowerPlay then
+automatically generates appropriate documentation links whenever the
+primitive/macro is used") and a ``proprietary`` flag ("macros ... are
+also automatically made available for re-use unless specified as
+proprietary").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.expressions import compile_expression
+from ..core.model import (
+    AreaModel,
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ExpressionPowerModel,
+    ExpressionTimingModel,
+    FixedPowerModel,
+    ModelSet,
+    PowerModel,
+    StaticTerm,
+    TemplatePowerModel,
+    TimingModel,
+    VoltageScaledTimingModel,
+)
+from ..core.parameters import Parameter
+from ..errors import LibraryError
+
+#: Library taxonomy, mirroring the paper's model sections.
+CATEGORIES = (
+    "computation",
+    "storage",
+    "controller",
+    "interconnect",
+    "processor",
+    "analog",
+    "converter",
+    "system",
+    "macro",
+    "other",
+)
+
+
+# ---------------------------------------------------------------------------
+# Parameter / term codecs
+# ---------------------------------------------------------------------------
+
+
+def _encode_parameter(parameter: Parameter) -> dict:
+    payload = {"name": parameter.name, "default": _encode_value(parameter.default)}
+    if parameter.unit:
+        payload["unit"] = parameter.unit
+    if parameter.doc:
+        payload["doc"] = parameter.doc
+    if parameter.minimum is not None:
+        payload["minimum"] = parameter.minimum
+    if parameter.maximum is not None:
+        payload["maximum"] = parameter.maximum
+    if parameter.choices is not None:
+        payload["choices"] = list(parameter.choices)
+    if parameter.integer:
+        payload["integer"] = True
+    return payload
+
+
+def _encode_value(value) -> object:
+    from ..core.expressions import Expression
+
+    if isinstance(value, Expression):
+        return {"expr": value.source}
+    return value
+
+
+def _decode_value(payload):
+    if isinstance(payload, dict) and "expr" in payload:
+        return compile_expression(payload["expr"])
+    return payload
+
+
+def _decode_parameter(payload: Mapping) -> Parameter:
+    return Parameter(
+        name=payload["name"],
+        default=_decode_value(payload.get("default", 0.0)),
+        unit=payload.get("unit", ""),
+        doc=payload.get("doc", ""),
+        minimum=payload.get("minimum"),
+        maximum=payload.get("maximum"),
+        choices=payload.get("choices"),
+        integer=payload.get("integer", False),
+    )
+
+
+def _encode_capacitive_term(term: CapacitiveTerm) -> dict:
+    payload = {"name": term.name, "capacitance": term.capacitance.source}
+    if term.v_swing is not None:
+        payload["v_swing"] = term.v_swing.source
+    if term.activity.source != "1.0":
+        payload["activity"] = term.activity.source
+    if term.frequency is not None:
+        payload["frequency"] = term.frequency.source
+    if term.doc:
+        payload["doc"] = term.doc
+    return payload
+
+
+def _decode_capacitive_term(payload: Mapping) -> CapacitiveTerm:
+    return CapacitiveTerm(
+        name=payload["name"],
+        capacitance=compile_expression(payload["capacitance"]),
+        v_swing=(
+            compile_expression(payload["v_swing"])
+            if "v_swing" in payload
+            else None
+        ),
+        activity=compile_expression(payload.get("activity", "1.0")),
+        frequency=(
+            compile_expression(payload["frequency"])
+            if "frequency" in payload
+            else None
+        ),
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_static_term(term: StaticTerm) -> dict:
+    payload = {"name": term.name, "current": term.current.source}
+    if term.supply is not None:
+        payload["supply"] = term.supply.source
+    if term.doc:
+        payload["doc"] = term.doc
+    return payload
+
+
+def _decode_static_term(payload: Mapping) -> StaticTerm:
+    return StaticTerm(
+        name=payload["name"],
+        current=compile_expression(payload["current"]),
+        supply=(
+            compile_expression(payload["supply"]) if "supply" in payload else None
+        ),
+        doc=payload.get("doc", ""),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model codec registry
+# ---------------------------------------------------------------------------
+
+_ENCODERS: Dict[type, Tuple[str, Callable]] = {}
+_DECODERS: Dict[str, Callable] = {}
+
+
+def register_codec(kind: str, model_type: type, encode: Callable, decode: Callable) -> None:
+    """Register a (de)serializer pair for a model class.
+
+    Third-party model classes can join the shareable set this way.
+    """
+    _ENCODERS[model_type] = (kind, encode)
+    _DECODERS[kind] = decode
+
+
+def encode_model(model) -> dict:
+    entry = _ENCODERS.get(type(model))
+    if entry is None:
+        raise LibraryError(
+            f"model type {type(model).__name__} has no JSON codec — "
+            "register one with register_codec() to share it"
+        )
+    kind, encoder = entry
+    payload = encoder(model)
+    payload["kind"] = kind
+    return payload
+
+
+def decode_model(payload: Mapping):
+    kind = payload.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise LibraryError(f"unknown model kind {kind!r} in payload")
+    return decoder(payload)
+
+
+# -- stock codecs ------------------------------------------------------------
+
+
+def _encode_template(model: TemplatePowerModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "capacitive": [_encode_capacitive_term(t) for t in model.capacitive],
+        "static": [_encode_static_term(t) for t in model.static],
+        "parameters": [_encode_parameter(p) for p in model.parameters],
+    }
+
+
+def _decode_template(payload: Mapping) -> TemplatePowerModel:
+    return TemplatePowerModel(
+        name=payload["name"],
+        capacitive=[_decode_capacitive_term(t) for t in payload.get("capacitive", [])],
+        static=[_decode_static_term(t) for t in payload.get("static", [])],
+        parameters=[_decode_parameter(p) for p in payload.get("parameters", [])],
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_expression_power(model: ExpressionPowerModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "equation": model.equation.source,
+        "parameters": [_encode_parameter(p) for p in model.parameters],
+    }
+
+
+def _decode_expression_power(payload: Mapping) -> ExpressionPowerModel:
+    return ExpressionPowerModel(
+        name=payload["name"],
+        equation=payload["equation"],
+        parameters=[_decode_parameter(p) for p in payload.get("parameters", [])],
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_fixed(model: FixedPowerModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "average_power": model.average_power,
+    }
+
+
+def _decode_fixed(payload: Mapping) -> FixedPowerModel:
+    return FixedPowerModel(
+        name=payload["name"],
+        average_power=payload["average_power"],
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_expression_area(model: ExpressionAreaModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "equation": model.equation.source,
+        "parameters": [_encode_parameter(p) for p in model.parameters],
+    }
+
+
+def _decode_expression_area(payload: Mapping) -> ExpressionAreaModel:
+    return ExpressionAreaModel(
+        name=payload["name"],
+        equation=payload["equation"],
+        parameters=[_decode_parameter(p) for p in payload.get("parameters", [])],
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_expression_timing(model: ExpressionTimingModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "equation": model.equation.source,
+        "parameters": [_encode_parameter(p) for p in model.parameters],
+    }
+
+
+def _decode_expression_timing(payload: Mapping) -> ExpressionTimingModel:
+    return ExpressionTimingModel(
+        name=payload["name"],
+        equation=payload["equation"],
+        parameters=[_decode_parameter(p) for p in payload.get("parameters", [])],
+        doc=payload.get("doc", ""),
+    )
+
+
+def _encode_voltage_timing(model: VoltageScaledTimingModel) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "delay_ref": model.delay_ref,
+        "v_ref": model.v_ref,
+        "v_threshold": model.v_threshold,
+    }
+
+
+def _decode_voltage_timing(payload: Mapping) -> VoltageScaledTimingModel:
+    return VoltageScaledTimingModel(
+        name=payload["name"],
+        delay_ref=payload["delay_ref"],
+        v_ref=payload.get("v_ref", 1.5),
+        v_threshold=payload.get("v_threshold", 0.7),
+        doc=payload.get("doc", ""),
+    )
+
+
+register_codec("template", TemplatePowerModel, _encode_template, _decode_template)
+register_codec(
+    "expression_power", ExpressionPowerModel,
+    _encode_expression_power, _decode_expression_power,
+)
+register_codec("fixed_power", FixedPowerModel, _encode_fixed, _decode_fixed)
+register_codec(
+    "expression_area", ExpressionAreaModel,
+    _encode_expression_area, _decode_expression_area,
+)
+register_codec(
+    "expression_timing", ExpressionTimingModel,
+    _encode_expression_timing, _decode_expression_timing,
+)
+register_codec(
+    "voltage_timing", VoltageScaledTimingModel,
+    _encode_voltage_timing, _decode_voltage_timing,
+)
+
+
+def _register_extended_codecs() -> None:
+    """Codecs for the richer model classes in :mod:`repro.models`."""
+    from ..models.converter import DCDCConverterModel, EfficiencyCurve
+    from ..models.interconnect import InterconnectModel, Technology
+    from ..models.svensson import Stage, SvenssonModel
+
+    def encode_dcdc(model: DCDCConverterModel) -> dict:
+        payload = {"name": model.name, "doc": model.doc}
+        payload["eta"] = model.parameters[0].default
+        if model.curve is not None:
+            payload["curve"] = list(zip(model.curve._loads, model.curve._etas))
+        return payload
+
+    def decode_dcdc(payload: Mapping) -> DCDCConverterModel:
+        curve = None
+        if "curve" in payload:
+            curve = EfficiencyCurve([tuple(p) for p in payload["curve"]])
+        return DCDCConverterModel(
+            name=payload["name"],
+            efficiency=payload.get("eta", 0.9),
+            curve=curve,
+            doc=payload.get("doc", ""),
+        )
+
+    def encode_interconnect(model: InterconnectModel) -> dict:
+        tech = model.technology
+        return {
+            "name": model.name,
+            "doc": model.doc,
+            "rent_exponent": model.rent_exponent,
+            "fanout": model.fanout,
+            "technology": {
+                "name": tech.name,
+                "feature_size": tech.feature_size,
+                "c_per_length": tech.c_per_length,
+                "gate_pitch": tech.gate_pitch,
+                "wiring_layers": tech.wiring_layers,
+            },
+        }
+
+    def decode_interconnect(payload: Mapping) -> InterconnectModel:
+        tech = payload.get("technology", {})
+        return InterconnectModel(
+            name=payload["name"],
+            rent_exponent=payload.get("rent_exponent", 0.6),
+            fanout=payload.get("fanout", 3.0),
+            technology=Technology(
+                name=tech.get("name", "ucb1.2um"),
+                feature_size=tech.get("feature_size", 1.2e-6),
+                c_per_length=tech.get("c_per_length", 0.2e-9),
+                gate_pitch=tech.get("gate_pitch", 30e-6),
+                wiring_layers=tech.get("wiring_layers", 2),
+            ),
+            doc=payload.get("doc", ""),
+        )
+
+    def encode_svensson(model: SvenssonModel) -> dict:
+        return {
+            "name": model.name,
+            "doc": model.doc,
+            "default_bitwidth": int(model.parameters[0].default),
+            "stages": [
+                {
+                    "name": stage.name,
+                    "c_in": stage.c_in,
+                    "c_out": stage.c_out,
+                    "alpha_in": stage.alpha_in,
+                    "alpha_out": stage.alpha_out,
+                }
+                for stage in model.stages
+            ],
+        }
+
+    def decode_svensson(payload: Mapping) -> SvenssonModel:
+        stages = [
+            Stage(
+                name=stage["name"],
+                c_in=stage["c_in"],
+                c_out=stage["c_out"],
+                alpha_in=stage.get("alpha_in", 0.5),
+                alpha_out=stage.get("alpha_out", 0.5),
+            )
+            for stage in payload.get("stages", [])
+        ]
+        return SvenssonModel(
+            name=payload["name"],
+            stages=stages,
+            default_bitwidth=payload.get("default_bitwidth", 16),
+            doc=payload.get("doc", ""),
+        )
+
+    register_codec("dcdc", DCDCConverterModel, encode_dcdc, decode_dcdc)
+    register_codec(
+        "interconnect", InterconnectModel, encode_interconnect, decode_interconnect
+    )
+    register_codec("svensson", SvenssonModel, encode_svensson, decode_svensson)
+
+
+_register_extended_codecs()
+
+
+# ---------------------------------------------------------------------------
+# Entries and the library
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LibraryEntry:
+    """One shareable library element.
+
+    ``links`` are documentation hyperlinks (URL-shaped strings) surfaced
+    next to every instantiation; ``origin`` records where the entry came
+    from (``local`` or the remote server's URL) so federated libraries
+    stay auditable.
+    """
+
+    name: str
+    models: ModelSet
+    category: str = "other"
+    doc: str = ""
+    links: Tuple[str, ...] = ()
+    proprietary: bool = False
+    origin: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise LibraryError(
+                f"entry {self.name!r}: unknown category {self.category!r}"
+            )
+
+    def to_payload(self) -> dict:
+        payload = {
+            "name": self.name,
+            "category": self.category,
+            "doc": self.doc,
+            "links": list(self.links),
+            "proprietary": self.proprietary,
+            "power": encode_model(self.models.power),
+        }
+        if self.models.area is not None:
+            payload["area"] = encode_model(self.models.area)
+        if self.models.timing is not None:
+            payload["timing"] = encode_model(self.models.timing)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping, origin: str = "local") -> "LibraryEntry":
+        try:
+            power = decode_model(payload["power"])
+        except KeyError:
+            raise LibraryError(
+                f"entry payload {payload.get('name')!r} lacks a power model"
+            ) from None
+        area = decode_model(payload["area"]) if "area" in payload else None
+        timing = decode_model(payload["timing"]) if "timing" in payload else None
+        return cls(
+            name=payload["name"],
+            models=ModelSet(power=power, area=area, timing=timing),
+            category=payload.get("category", "other"),
+            doc=payload.get("doc", ""),
+            links=tuple(payload.get("links", ())),
+            proprietary=payload.get("proprietary", False),
+            origin=origin,
+        )
+
+
+class Library:
+    """A named, ordered collection of entries."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._entries: Dict[str, LibraryEntry] = {}
+
+    def add(self, entry: LibraryEntry, replace: bool = False) -> LibraryEntry:
+        if not replace and entry.name in self._entries:
+            raise LibraryError(
+                f"library {self.name!r} already has an entry {entry.name!r}"
+            )
+        self._entries[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> LibraryEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise LibraryError(
+                f"library {self.name!r} has no entry {name!r}"
+            )
+        return entry
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[LibraryEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def remove(self, name: str) -> None:
+        if name not in self._entries:
+            raise LibraryError(f"library {self.name!r} has no entry {name!r}")
+        del self._entries[name]
+
+    def by_category(self, category: str) -> List[LibraryEntry]:
+        if category not in CATEGORIES:
+            raise LibraryError(f"unknown category {category!r}")
+        return [e for e in self._entries.values() if e.category == category]
+
+    def categories(self) -> Dict[str, List[str]]:
+        """category -> entry names, only non-empty categories."""
+        result: Dict[str, List[str]] = {}
+        for entry in self._entries.values():
+            result.setdefault(entry.category, []).append(entry.name)
+        return result
+
+    def search(self, term: str) -> List[LibraryEntry]:
+        """Case-insensitive substring search over names and docs."""
+        needle = term.lower()
+        return [
+            entry
+            for entry in self._entries.values()
+            if needle in entry.name.lower() or needle in entry.doc.lower()
+        ]
+
+    # -- sharing -----------------------------------------------------------
+
+    def to_json(self, include_proprietary: bool = False) -> str:
+        """Serialize for publication.
+
+        Proprietary entries are withheld unless explicitly included —
+        "macros ... are automatically made available for re-use unless
+        specified as proprietary".
+        """
+        payload = {
+            "format": "powerplay-library/1",
+            "name": self.name,
+            "description": self.description,
+            "entries": [
+                entry.to_payload()
+                for entry in self._entries.values()
+                if include_proprietary or not entry.proprietary
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, origin: str = "local") -> "Library":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LibraryError(f"malformed library JSON: {exc}") from exc
+        if payload.get("format") != "powerplay-library/1":
+            raise LibraryError(
+                f"unsupported library format {payload.get('format')!r}"
+            )
+        library = cls(payload.get("name", "library"), payload.get("description", ""))
+        for entry_payload in payload.get("entries", []):
+            library.add(LibraryEntry.from_payload(entry_payload, origin=origin))
+        return library
+
+    def merge(self, other: "Library", prefer: str = "mine") -> List[str]:
+        """Merge another library in; returns the adopted entry names.
+
+        ``prefer='mine'`` keeps local entries on name clash (remote
+        libraries augment, never clobber); ``prefer='theirs'`` replaces.
+        """
+        if prefer not in ("mine", "theirs"):
+            raise LibraryError(f"prefer must be 'mine' or 'theirs', not {prefer!r}")
+        adopted: List[str] = []
+        for entry in other:
+            if entry.name in self._entries and prefer == "mine":
+                continue
+            self._entries[entry.name] = entry
+            adopted.append(entry.name)
+        return adopted
+
+    def __repr__(self) -> str:
+        return f"Library({self.name!r}, {len(self._entries)} entries)"

@@ -1,0 +1,285 @@
+"""The stock "UCB-like" low-power cell library.
+
+"Models for each element in the University of California's low-power
+cell library are provided."  :func:`build_default_library` assembles our
+re-characterized equivalent: every model class from the paper's
+catalogue, with documentation and hyperlinks, ready for the web UI, the
+worked designs, and remote sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import (
+    ExpressionAreaModel,
+    FixedPowerModel,
+    ModelSet,
+    VoltageScaledTimingModel,
+)
+from ..core.parameters import Parameter
+from ..models.computation import (
+    adder_model_set,
+    booth_multiplier,
+    comparator,
+    logarithmic_shifter,
+    multiplexer,
+    multiplier_model_set,
+    output_buffer,
+)
+from ..models.controller import (
+    pla_controller,
+    random_logic_controller,
+    rom_controller,
+)
+from ..models.converter import DCDCConverterModel, DEFAULT_BUCK_CURVE
+from ..models.interconnect import InterconnectModel
+from ..models.storage import (
+    dram,
+    reduced_swing_sram,
+    register,
+    register_file,
+    rom_memory,
+    sram_model_set,
+)
+from ..models.svensson import svensson_ripple_adder
+from .catalog import Library, LibraryEntry
+
+#: Documentation base used for the generated hyperlinks; the web layer
+#: serves these paths.
+DOC_BASE = "/doc/cell"
+
+
+def _links(name: str) -> tuple:
+    return (f"{DOC_BASE}/{name}", "/doc/models", "/tutorial")
+
+
+def build_default_library(correlation: str = "uncorrelated") -> Library:
+    """The shipped library, one entry per characterized cell.
+
+    ``correlation`` selects the coefficient set for the computation
+    cells ("PowerPlay also contains models for correlated inputs").
+    """
+    library = Library(
+        "ucb_lowpower",
+        "Re-characterized UC Berkeley low-power cell library "
+        "(Landman-method coefficients; see library/characterize.py)",
+    )
+
+    # -- computation -----------------------------------------------------
+    library.add(
+        LibraryEntry(
+            "ripple_adder",
+            adder_model_set("ripple", correlation=correlation),
+            category="computation",
+            doc="Ripple-carry adder; EQ 3 linear capacitance model.",
+            links=_links("ripple_adder"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "cla_adder",
+            adder_model_set("cla", correlation=correlation),
+            category="computation",
+            doc="Carry-lookahead adder; faster, more capacitance per bit.",
+            links=_links("cla_adder"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "multiplier",
+            multiplier_model_set(correlation=correlation),
+            category="computation",
+            doc=(
+                "Array multiplier; EQ 20 bilinear model "
+                "(253 fF per bit pair, uncorrelated)."
+            ),
+            links=_links("multiplier"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "booth_multiplier",
+            ModelSet(power=booth_multiplier(correlation=correlation)),
+            category="computation",
+            doc=(
+                "Radix-4 Booth multiplier; EQ 20 shape with a smaller "
+                "array coefficient plus a linear recoder term."
+            ),
+            links=_links("booth_multiplier"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "log_shifter",
+            ModelSet(power=logarithmic_shifter(correlation=correlation)),
+            category="computation",
+            doc="Logarithmic (barrel) shifter; bitwidth x log2(range) stages.",
+            links=_links("log_shifter"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "comparator",
+            ModelSet(power=comparator(correlation=correlation)),
+            category="computation",
+            doc="Magnitude comparator; EQ 3 linear model.",
+            links=_links("comparator"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "mux",
+            ModelSet(power=multiplexer()),
+            category="computation",
+            doc="N:1 multiplexer tree of 2:1 stages.",
+            links=_links("mux"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "buffer",
+            ModelSet(power=output_buffer()),
+            category="computation",
+            doc="Output buffer/driver bank, parameterized by fanout.",
+            links=_links("buffer"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "svensson_adder",
+            ModelSet(power=svensson_ripple_adder()),
+            category="computation",
+            doc=(
+                "Analytical (Svensson EQ 4-6) ripple adder — the "
+                "white-box alternative to the Landman entry."
+            ),
+            links=_links("svensson_adder"),
+        )
+    )
+
+    # -- storage --------------------------------------------------------
+    library.add(
+        LibraryEntry(
+            "register",
+            ModelSet(power=register()),
+            category="storage",
+            doc="Edge-triggered register; clock capacitance included.",
+            links=_links("register"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "register_file",
+            ModelSet(power=register_file()),
+            category="storage",
+            doc="Small multi-ported register file.",
+            links=_links("register_file"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "sram",
+            sram_model_set(),
+            category="storage",
+            doc="Full-swing SRAM; EQ 7 structured capacitance model.",
+            links=_links("sram"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "sram_lowswing",
+            ModelSet(power=reduced_swing_sram()),
+            category="storage",
+            doc=(
+                "Reduced bit-line-swing SRAM; EQ 8 with "
+                "C_partialswing/V_swing from two-voltage characterization."
+            ),
+            links=_links("sram_lowswing"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "rom",
+            ModelSet(power=rom_memory()),
+            category="storage",
+            doc=(
+                "Mask-programmed ROM memory; precharged bit lines, "
+                "EQ 10 structure — for fixed contents like codebooks."
+            ),
+            links=_links("rom"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "dram",
+            ModelSet(power=dram()),
+            category="storage",
+            doc="Embedded DRAM; EQ 7 access plus refresh background term.",
+            links=_links("dram"),
+        )
+    )
+
+    # -- controllers -------------------------------------------------------
+    library.add(
+        LibraryEntry(
+            "controller_random_logic",
+            ModelSet(power=random_logic_controller()),
+            category="controller",
+            doc="Random-logic controller; EQ 9 two-plane model.",
+            links=_links("controller_random_logic"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "controller_rom",
+            ModelSet(power=rom_controller()),
+            category="controller",
+            doc="ROM controller; EQ 10 with precharge statistics P_O.",
+            links=_links("controller_rom"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "controller_pla",
+            ModelSet(power=pla_controller()),
+            category="controller",
+            doc="Precharged PLA controller (EQ 9/10 hybrid).",
+            links=_links("controller_pla"),
+        )
+    )
+
+    # -- interconnect / converters ------------------------------------------
+    library.add(
+        LibraryEntry(
+            "interconnect",
+            ModelSet(power=InterconnectModel()),
+            category="interconnect",
+            doc=(
+                "Rent's-rule wiring estimate (Donath/Feuer); consumes the "
+                "active area of the rows it is area-fed from."
+            ),
+            links=_links("interconnect"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "dcdc_const",
+            ModelSet(power=DCDCConverterModel("dcdc_const", efficiency=0.9)),
+            category="converter",
+            doc="DC-DC converter, constant efficiency (EQ 18/19).",
+            links=_links("dcdc_const"),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "dcdc_buck",
+            ModelSet(
+                power=DCDCConverterModel("dcdc_buck", curve=DEFAULT_BUCK_CURVE)
+            ),
+            category="converter",
+            doc="Buck converter with datasheet-style efficiency curve.",
+            links=_links("dcdc_buck"),
+        )
+    )
+    return library

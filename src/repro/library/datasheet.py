@@ -1,0 +1,206 @@
+"""Datasheet models for commodity system components (the InfoPad rows).
+
+"Power analysis of complex systems is only possible when good models are
+available for each of the components. ... The power information for
+commodity components is, for instance, readily available from
+data-sheets."  Figure 5's subsystem rows mix sources on purpose — LCD
+power measured, custom hardware modeled, converters estimated — and this
+module provides the datasheet-shaped entries:
+
+* duty-cycled fixed power (EQ 11) for parts that are either on or off;
+* an LCD model (panel + backlight, each with its own duty);
+* a radio model split into transmit / receive / idle states;
+* a µ-processor subsystem model scaling with clock and supply.
+
+Absolute values are reconstructed from the InfoPad literature (Sheng et
+al. 1992; Chandrakasan et al. 1994) since the original measurement files
+are not recoverable from the paper's Figure 5 scan; EXPERIMENTS.md
+records the reconstruction.  The *shape* these values encode is the one
+the paper teaches: the custom low-power chipset is a fraction of a
+percent of the budget — display, radio and processor dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..core.expressions import compile_expression
+from ..core.model import (
+    ExpressionPowerModel,
+    FixedPowerModel,
+    ModelSet,
+    PowerModel,
+    _get,
+)
+from ..core.parameters import Parameter
+from ..errors import ModelError
+from .catalog import Library, LibraryEntry
+
+
+def lcd_display(
+    panel_watts: float = 0.25,
+    backlight_watts: float = 0.75,
+    name: str = "lcd_display",
+) -> ExpressionPowerModel:
+    """LCD panel + backlight, independently duty-cycled.
+
+    The InfoPad's dominant consumer: the panel drive scales with refresh
+    activity, the backlight is on or off.
+    """
+    if panel_watts < 0 or backlight_watts < 0:
+        raise ModelError(f"{name}: negative datasheet power")
+    return ExpressionPowerModel(
+        name,
+        f"{panel_watts!r} * panel_duty + {backlight_watts!r} * backlight_duty",
+        parameters=(
+            Parameter("panel_duty", 1.0, "", "panel-on fraction", 0.0, 1.0),
+            Parameter("backlight_duty", 1.0, "", "backlight-on fraction", 0.0, 1.0),
+        ),
+        doc="LCD: measured panel + backlight (datasheet/measured source)",
+    )
+
+
+def radio_transceiver(
+    tx_watts: float = 2.4,
+    rx_watts: float = 0.9,
+    idle_watts: float = 0.08,
+    name: str = "radio",
+) -> ExpressionPowerModel:
+    """Packet radio with TX / RX / idle states.
+
+    ``tx_duty + rx_duty`` must not exceed 1; the remainder idles.  The
+    InfoPad is downlink-heavy (it is a terminal), so the default duty
+    puts most airtime in receive.
+    """
+    for value in (tx_watts, rx_watts, idle_watts):
+        if value < 0:
+            raise ModelError(f"{name}: negative datasheet power")
+    return ExpressionPowerModel(
+        name,
+        (
+            f"{tx_watts!r} * tx_duty + {rx_watts!r} * rx_duty"
+            f" + {idle_watts!r} * (1 - tx_duty - rx_duty)"
+        ),
+        parameters=(
+            Parameter("tx_duty", 0.05, "", "transmit airtime fraction", 0.0, 1.0),
+            Parameter("rx_duty", 0.35, "", "receive airtime fraction", 0.0, 1.0),
+        ),
+        doc="packet radio: TX/RX/idle state mix",
+    )
+
+
+def microprocessor_subsystem(
+    watts_per_mhz: float = 0.034,
+    v_ref: float = 5.0,
+    name: str = "microprocessor",
+) -> ExpressionPowerModel:
+    """Embedded CPU + companions, scaling with clock and supply.
+
+    ``P = (watts_per_mhz * f / 1 MHz) * (VDD / v_ref)^2 * alpha`` — the
+    datasheet MHz rating rescaled for voltage, duty-cycled by EQ 11.
+    At the defaults (25 MHz, 5 V, full duty) this is an ARM6-class
+    850 mW subsystem.
+    """
+    if watts_per_mhz <= 0 or v_ref <= 0:
+        raise ModelError(f"{name}: datasheet constants must be positive")
+    return ExpressionPowerModel(
+        name,
+        (
+            f"{watts_per_mhz!r} * (f / 1e6) * (VDD / {v_ref!r}) ^ 2 * alpha"
+        ),
+        parameters=(
+            Parameter("f", 25e6, "Hz", "core clock", 1.0),
+            Parameter("VDD", 5.0, "V", "core supply", 0.1),
+            Parameter("alpha", 1.0, "", "duty factor (EQ 11)", 0.0, 1.0),
+        ),
+        doc="uP subsystem: datasheet W/MHz, quadratic voltage rescale, EQ 11 duty",
+    )
+
+
+def support_electronics(
+    sram_watts: float = 0.45,
+    codec_watts: float = 0.18,
+    glue_watts: float = 0.12,
+    name: str = "support_electronics",
+) -> ExpressionPowerModel:
+    """Frame SRAM, speech codec and glue logic — the 'everything else'."""
+    total_check = (sram_watts, codec_watts, glue_watts)
+    if any(value < 0 for value in total_check):
+        raise ModelError(f"{name}: negative datasheet power")
+    return ExpressionPowerModel(
+        name,
+        f"{sram_watts!r} + {codec_watts!r} * codec_duty + {glue_watts!r}",
+        parameters=(
+            Parameter("codec_duty", 1.0, "", "codec activity", 0.0, 1.0),
+        ),
+        doc="frame SRAM + speech codec + glue (datasheet sums)",
+    )
+
+
+def io_devices(
+    pen_watts: float = 0.015,
+    speech_watts: float = 0.04,
+    speaker_watts: float = 0.025,
+    name: str = "io_devices",
+) -> FixedPowerModel:
+    """Pen digitizer, speech input, speaker — small fixed draws."""
+    total = pen_watts + speech_watts + speaker_watts
+    return FixedPowerModel(
+        name,
+        total,
+        doc="pen + speech + speaker (Figure 5's 'Other IO Devices')",
+    )
+
+
+def build_system_library() -> Library:
+    """Commodity/system components as a shareable library."""
+    library = Library(
+        "system_components",
+        "Datasheet models for system-level design (InfoPad-class parts)",
+    )
+    library.add(
+        LibraryEntry(
+            "lcd_display",
+            ModelSet(power=lcd_display()),
+            category="system",
+            doc="Monochrome LCD + backlight (measured).",
+            links=("/doc/cell/lcd_display",),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "radio",
+            ModelSet(power=radio_transceiver()),
+            category="system",
+            doc="Packet radio transceiver, TX/RX/idle mix.",
+            links=("/doc/cell/radio",),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "microprocessor",
+            ModelSet(power=microprocessor_subsystem()),
+            category="processor",
+            doc="Embedded CPU subsystem, W/MHz datasheet model with EQ 11 duty.",
+            links=("/doc/cell/microprocessor",),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "support_electronics",
+            ModelSet(power=support_electronics()),
+            category="system",
+            doc="Frame SRAM, speech codec, glue logic.",
+            links=("/doc/cell/support_electronics",),
+        )
+    )
+    library.add(
+        LibraryEntry(
+            "io_devices",
+            ModelSet(power=io_devices()),
+            category="system",
+            doc="Pen, speech, speaker.",
+            links=("/doc/cell/io_devices",),
+        )
+    )
+    return library

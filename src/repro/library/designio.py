@@ -1,0 +1,187 @@
+"""Design (de)serialization.
+
+PowerPlay persists "any previously generated designs" in the user's
+server-side defaults, and shares macros between sites.  Both need
+designs to round-trip through JSON.  A serialized design carries:
+
+* the global scope (numbers, or formula source strings);
+* each row: an inline model payload (via the library codecs), the
+  row-local parameter assignments, feeds, quantity and doc;
+* sub-designs, recursively.
+
+Like library payloads, design payloads are pure data — loading one
+never executes code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+from ..core.design import Design, Instance, SubDesign
+from ..core.expressions import Expression
+from ..core.parameters import ParameterScope
+from ..errors import LibraryError
+from .catalog import decode_model, encode_model
+
+FORMAT = "powerplay-design/1"
+
+
+def _encode_scope(scope: ParameterScope) -> Dict[str, object]:
+    values: Dict[str, object] = {}
+    for name in scope.local_names():
+        raw = scope.raw(name)
+        if isinstance(raw, Expression):
+            values[name] = {"expr": raw.source}
+        else:
+            values[name] = raw
+    return values
+
+
+def _decode_scope_values(payload: Mapping, scope: ParameterScope) -> None:
+    for name, value in payload.items():
+        if isinstance(value, Mapping) and "expr" in value:
+            scope.set(name, str(value["expr"]))
+        else:
+            scope.set(name, value)
+
+
+def _encode_row(row) -> dict:
+    if isinstance(row, SubDesign):
+        return {
+            "type": "subdesign",
+            "name": row.name,
+            "doc": row.doc,
+            "design": design_to_payload(row.design),
+        }
+    payload = {
+        "type": "instance",
+        "name": row.name,
+        "doc": row.doc,
+        "quantity": row.quantity,
+        "params": _encode_scope(row.scope),
+        "power": encode_model(row.models.power),
+    }
+    if row.models.area is not None:
+        payload["area"] = encode_model(row.models.area)
+    if row.models.timing is not None:
+        payload["timing"] = encode_model(row.models.timing)
+    if row.power_feeds:
+        payload["power_feeds"] = list(row.power_feeds)
+    if row.area_feeds:
+        payload["area_feeds"] = list(row.area_feeds)
+    if row.source != "modeled":
+        payload["source"] = row.source
+    if row.measured_power is not None:
+        payload["measured_power"] = row.measured_power
+    return payload
+
+
+def design_to_payload(design: Design) -> dict:
+    """Serialize a design (and its sub-designs) to a JSON-able dict."""
+    return {
+        "format": FORMAT,
+        "name": design.name,
+        "doc": design.doc,
+        "scope": _encode_scope(design.scope),
+        "rows": [_encode_row(row) for row in design],
+    }
+
+
+def design_to_json(design: Design) -> str:
+    return json.dumps(design_to_payload(design), indent=2, sort_keys=True)
+
+
+def design_from_payload(payload: Mapping) -> Design:
+    """Rebuild a design from its payload."""
+    if payload.get("format") != FORMAT:
+        raise LibraryError(
+            f"unsupported design format {payload.get('format')!r}"
+        )
+    design = Design(payload.get("name", "design"), doc=payload.get("doc", ""))
+    _decode_scope_values(payload.get("scope", {}), design.scope)
+    for row_payload in payload.get("rows", []):
+        row_type = row_payload.get("type")
+        if row_type == "subdesign":
+            child = design_from_payload(row_payload["design"])
+            design.add_subdesign(
+                row_payload["name"], child, doc=row_payload.get("doc", "")
+            )
+        elif row_type == "instance":
+            from ..core.model import ModelSet
+
+            power = decode_model(row_payload["power"])
+            area = (
+                decode_model(row_payload["area"])
+                if "area" in row_payload
+                else None
+            )
+            timing = (
+                decode_model(row_payload["timing"])
+                if "timing" in row_payload
+                else None
+            )
+            instance = design.add(
+                row_payload["name"],
+                ModelSet(power=power, area=area, timing=timing),
+                power_feeds=row_payload.get("power_feeds", ()),
+                area_feeds=row_payload.get("area_feeds", ()),
+                doc=row_payload.get("doc", ""),
+                quantity=row_payload.get("quantity", 1),
+                source=row_payload.get("source", "modeled"),
+            )
+            if "measured_power" in row_payload:
+                instance.record_measurement(row_payload["measured_power"])
+            _decode_scope_values(row_payload.get("params", {}), instance.scope)
+        else:
+            raise LibraryError(f"unknown row type {row_type!r}")
+    return design
+
+
+def design_from_json(text: str) -> Design:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LibraryError(f"malformed design JSON: {exc}") from exc
+    return design_from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# Macro codec
+# ---------------------------------------------------------------------------
+#
+# "Libraries of primitives ... as well as macro cells (e.g. video
+# decompression) may be shared and reused."  A macro is a whole design
+# lumped into a model; its payload embeds the design payload, so macros
+# travel through the same library JSON as primitives.
+
+
+def _encode_macro(model) -> dict:
+    return {
+        "name": model.name,
+        "doc": model.doc,
+        "exported": list(model.exported),
+        "design": design_to_payload(model.design),
+    }
+
+
+def _decode_macro(payload: Mapping):
+    from ..core.design import MacroPowerModel
+
+    design = design_from_payload(payload["design"])
+    return MacroPowerModel(
+        design,
+        exported=payload.get("exported", ()),
+        name=payload.get("name"),
+        doc=payload.get("doc", ""),
+    )
+
+
+def _register_macro_codec() -> None:
+    from ..core.design import MacroPowerModel
+    from .catalog import register_codec
+
+    register_codec("macro", MacroPowerModel, _encode_macro, _decode_macro)
+
+
+_register_macro_codec()

@@ -1,0 +1,212 @@
+"""Analog power models (paper EQs 13-17).
+
+"The power dissipation of most analog circuits is dominated by static
+bias currents rather than the dynamic charging of capacitance"::
+
+    P_ANALOG = V_supply * sum_i( I_bias_i )                (EQ 13)
+
+For the bipolar emitter-coupled transconductance amplifier the paper
+works through, the small-signal specs map back to bias current::
+
+    G_m   = g_m = (q / kT) * I_bias                        (EQ 14)
+    R_id  = 2 r_pi = (4 kT beta_0 / q) / I_bias            (EQ 15)
+    R_o  ~= r_o / 2 = V_A / I_bias                         (EQ 16)
+    P     = V_supply * I_bias = 2 V_supply (kT/q) G_m      (EQ 17)
+
+so the pair "may be parameterized by G_m, R_id, and/or R_o, much like a
+digital adder is parameterized by bit-width".  When several specs are
+given, each implies a bias current and the circuit must satisfy the
+*most demanding* one (largest current for G_m, but R_id and R_o demand
+*small* currents — the model reports infeasibility when they conflict).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.model import PowerModel, StaticTerm, TemplatePowerModel, _get
+from ..core.expressions import compile_expression
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+#: Boltzmann constant (J/K) and elementary charge (C).
+K_BOLTZMANN = 1.380649e-23
+Q_ELECTRON = 1.602176634e-19
+
+
+def thermal_voltage(temperature: float = 300.0) -> float:
+    """kT/q in volts (about 25.9 mV at room temperature)."""
+    if temperature <= 0:
+        raise ModelError(f"temperature {temperature} K must be positive")
+    return K_BOLTZMANN * temperature / Q_ELECTRON
+
+
+def bias_current_model(
+    name: str,
+    currents: Mapping[str, float],
+    supply: float = 3.0,
+) -> TemplatePowerModel:
+    """EQ 13: sum of named bias currents times the supply.
+
+    Each branch becomes one :class:`~repro.core.model.StaticTerm`, so
+    the breakdown lists per-branch dissipation.  ``VDD`` in the
+    environment overrides the default supply.
+    """
+    if not currents:
+        raise ModelError(f"{name}: no bias branches")
+    terms = []
+    for branch, current in currents.items():
+        if current < 0:
+            raise ModelError(f"{name}: negative bias current in {branch!r}")
+        terms.append(
+            StaticTerm(
+                branch,
+                compile_expression(repr(float(current))),
+                doc=f"bias branch {branch}",
+            )
+        )
+    return TemplatePowerModel(
+        name=name,
+        static=terms,
+        parameters=(Parameter("VDD", supply, "V", "analog supply", 0.0),),
+        doc="EQ 13 static bias-current model",
+    )
+
+
+@dataclass(frozen=True)
+class BipolarPair:
+    """Device constants of the emitter-coupled pair.
+
+    ``beta0`` — small-signal current gain; ``v_early`` — Early voltage
+    (V_A) setting the output resistance.
+    """
+
+    beta0: float = 100.0
+    v_early: float = 50.0
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.beta0 <= 0 or self.v_early <= 0 or self.temperature <= 0:
+            raise ModelError("bipolar pair constants must be positive")
+
+    # EQ 14-16, solved for I_bias -------------------------------------
+
+    def bias_for_gm(self, g_m: float) -> float:
+        """EQ 14: I_bias = (kT/q) * G_m."""
+        if g_m <= 0:
+            raise ModelError(f"G_m {g_m} must be positive")
+        return thermal_voltage(self.temperature) * g_m
+
+    def bias_for_rid(self, r_id: float) -> float:
+        """EQ 15: I_bias = 4 kT beta0 / (q * R_id)."""
+        if r_id <= 0:
+            raise ModelError(f"R_id {r_id} must be positive")
+        return 4.0 * thermal_voltage(self.temperature) * self.beta0 / r_id
+
+    def bias_for_ro(self, r_o: float) -> float:
+        """EQ 16: I_bias = V_A / R_o."""
+        if r_o <= 0:
+            raise ModelError(f"R_o {r_o} must be positive")
+        return self.v_early / r_o
+
+    # forward direction -------------------------------------------------
+
+    def gm(self, i_bias: float) -> float:
+        return i_bias / thermal_voltage(self.temperature)
+
+    def rid(self, i_bias: float) -> float:
+        return 4.0 * thermal_voltage(self.temperature) * self.beta0 / i_bias
+
+    def ro(self, i_bias: float) -> float:
+        return self.v_early / i_bias
+
+
+class TransconductanceAmplifier(PowerModel):
+    """EQ 17: the diff pair parameterized by its small-signal specs.
+
+    Specs (any subset):
+
+    * ``G_m``  — minimum transconductance (S); demands I >= (kT/q)*G_m;
+    * ``R_id`` — minimum input impedance (Ohm); demands I <= 4kT*b0/(q*R_id);
+    * ``R_o``  — minimum output impedance (Ohm); demands I <= V_A/R_o.
+
+    The model picks the smallest feasible bias current and raises when
+    the window is empty — the early-design feedback the spreadsheet is
+    for.  Power is ``V_supply * I_bias`` (EQ 17).
+    """
+
+    def __init__(
+        self,
+        name: str = "gm_amplifier",
+        pair: BipolarPair = BipolarPair(),
+        doc: str = "",
+    ):
+        self.name = name
+        self.pair = pair
+        self.doc = doc or "EQ 14-17 bipolar transconductance amplifier"
+        self.parameters = (
+            Parameter("G_m", 1e-3, "S", "required transconductance", 0.0),
+            Parameter("R_id", 0.0, "Ohm", "required input impedance (0 = don't care)", 0.0),
+            Parameter("R_o", 0.0, "Ohm", "required output impedance (0 = don't care)", 0.0),
+        )
+
+    def bias_current(self, env: Mapping[str, float]) -> float:
+        g_m = _get(env, "G_m", 0.0)
+        r_id = _get(env, "R_id", 0.0)
+        r_o = _get(env, "R_o", 0.0)
+        lower = self.pair.bias_for_gm(g_m) if g_m > 0 else 0.0
+        upper = math.inf
+        limiting = None
+        if r_id > 0:
+            bound = self.pair.bias_for_rid(r_id)
+            if bound < upper:
+                upper, limiting = bound, "R_id"
+        if r_o > 0:
+            bound = self.pair.bias_for_ro(r_o)
+            if bound < upper:
+                upper, limiting = bound, "R_o"
+        if lower == 0.0 and upper is math.inf:
+            raise ModelError(
+                f"amplifier {self.name!r}: specify at least one of G_m, R_id, R_o"
+            )
+        if lower > upper:
+            raise ModelError(
+                f"amplifier {self.name!r}: infeasible specs — G_m needs "
+                f"I >= {lower:.3e} A but {limiting} allows at most "
+                f"{upper:.3e} A"
+            )
+        # minimum power = smallest feasible current; with only upper
+        # bounds the designer runs right at the impedance limit.
+        return lower if lower > 0 else upper
+
+    def power(self, env: Mapping[str, float]) -> float:
+        supply = _get(env, "VDD")
+        return supply * self.bias_current(env)
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        return {"tail_bias": self.power(env)}
+
+    def achieved_specs(self, env: Mapping[str, float]) -> Dict[str, float]:
+        """G_m / R_id / R_o actually delivered at the chosen bias."""
+        bias = self.bias_current(env)
+        return {
+            "I_bias": bias,
+            "G_m": self.pair.gm(bias),
+            "R_id": self.pair.rid(bias),
+            "R_o": self.pair.ro(bias),
+        }
+
+
+def amplifier_power_from_gm(
+    g_m: float, supply: float, temperature: float = 300.0
+) -> float:
+    """EQ 17 closed form: P = 2 * V_supply * (kT/q) * G_m.
+
+    (The paper's factor of two reflects the two branches of the pair
+    each carrying I_bias/2 from a 2x tail; we keep its published form.)
+    """
+    if g_m <= 0 or supply <= 0:
+        raise ModelError("G_m and supply must be positive")
+    return 2.0 * supply * thermal_voltage(temperature) * g_m

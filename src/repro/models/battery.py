@@ -1,0 +1,128 @@
+"""Battery-life estimation for portable systems.
+
+The paper's motivating platform is a battery-powered terminal ("a
+portable multimedia terminal called InfoPad"), and the number a system
+architect actually budgets against is *hours of operation*.  This module
+closes that loop: a first-order battery model driven by the design's
+evaluated input power.
+
+Model: a cell bank of nominal voltage and capacity, with a Peukert
+exponent capturing the capacity loss at high discharge rates::
+
+    t = H * (C / (I * H)) ^ k        (Peukert's law)
+
+where ``C`` is the rated capacity (Ah) at the rated discharge time ``H``
+(hours) and ``I`` the drawn current.  ``k = 1`` recovers the ideal
+``C / I``.  NiCd/NiMH packs of the era sit around k = 1.05-1.15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A battery pack.
+
+    ``voltage`` — nominal pack voltage (V);
+    ``capacity_ah`` — rated capacity (amp-hours) at ``rated_hours``;
+    ``peukert`` — Peukert exponent (1.0 = ideal);
+    ``usable_fraction`` — depth-of-discharge the system tolerates.
+    """
+
+    name: str = "nimh_pack"
+    voltage: float = 6.0
+    capacity_ah: float = 2.4
+    peukert: float = 1.1
+    rated_hours: float = 5.0
+    usable_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0 or self.capacity_ah <= 0:
+            raise ModelError(f"battery {self.name!r}: bad ratings")
+        if self.peukert < 1.0:
+            raise ModelError(
+                f"battery {self.name!r}: Peukert exponent below 1"
+            )
+        if self.rated_hours <= 0:
+            raise ModelError(f"battery {self.name!r}: bad rated_hours")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ModelError(
+                f"battery {self.name!r}: usable fraction outside (0, 1]"
+            )
+
+    @property
+    def energy_wh(self) -> float:
+        """Nominal stored energy, watt-hours."""
+        return self.voltage * self.capacity_ah
+
+    def runtime_hours(self, load_watts: float) -> float:
+        """Hours of operation at a constant system input power."""
+        if load_watts < 0:
+            raise ModelError("load power cannot be negative")
+        if load_watts == 0:
+            return float("inf")
+        current = load_watts / self.voltage
+        rated_current = self.capacity_ah / self.rated_hours
+        # Peukert: t = H * (C / (I * H))^k
+        hours = self.rated_hours * (
+            self.capacity_ah / (current * self.rated_hours)
+        ) ** self.peukert
+        ideal = self.capacity_ah / current
+        # high loads lose capacity; trickle loads cannot exceed ideal
+        if current <= rated_current:
+            hours = min(hours, ideal)
+        return hours * self.usable_fraction
+
+    def current_draw(self, load_watts: float) -> float:
+        """Pack current (A) at a system load."""
+        if load_watts < 0:
+            raise ModelError("load power cannot be negative")
+        return load_watts / self.voltage
+
+
+#: Period-typical packs for the exploration examples.
+NIMH_6V = Battery("nimh_6v", voltage=6.0, capacity_ah=2.4, peukert=1.1)
+NICD_6V = Battery("nicd_6v", voltage=6.0, capacity_ah=1.2, peukert=1.05)
+LEAD_ACID_6V = Battery(
+    "sla_6v", voltage=6.0, capacity_ah=4.0, peukert=1.25, rated_hours=20.0
+)
+
+
+def battery_life(
+    system_watts: float, battery: Battery = NIMH_6V
+) -> float:
+    """Hours of operation for a system drawing ``system_watts``.
+
+    Feed it the *root* of a power report whose converter rows are
+    included — that total is battery input power by construction.
+    """
+    return battery.runtime_hours(system_watts)
+
+
+def required_capacity_ah(
+    system_watts: float,
+    target_hours: float,
+    battery: Battery = NIMH_6V,
+) -> float:
+    """Capacity needed to hit a runtime target (inverse design).
+
+    Solves Peukert for C at the implied current; the other pack
+    parameters are taken from ``battery``.
+    """
+    if target_hours <= 0:
+        raise ModelError("target runtime must be positive")
+    if system_watts <= 0:
+        raise ModelError("system power must be positive for sizing")
+    current = system_watts / battery.voltage
+    effective_target = target_hours / battery.usable_fraction
+    # t = H * (C/(I H))^k  ->  C = I * H * (t/H)^(1/k)
+    return (
+        current
+        * battery.rated_hours
+        * (effective_target / battery.rated_hours) ** (1.0 / battery.peukert)
+    )

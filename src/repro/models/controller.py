@@ -1,0 +1,272 @@
+"""Controller power models (paper EQs 9 and 10).
+
+"Controller power estimation is particularly difficult in the
+rudimentary stages of design" — the implementation platform (random
+logic, ROM, PLA) may not even be chosen yet.  The two parameters that
+*can* be estimated early are N_I (inputs, including state and status
+bits) and N_O (outputs, including state bits).
+
+Random logic (EQ 9)::
+
+    C_T = C_0 * alpha_0 * N_I * N_M  +  C_1 * alpha_1 * N_M * N_O
+
+with N_M the number of minterms.  [The paper's rendering of the first
+term reads "N_I N_O"; structurally the input plane couples inputs to
+minterms and the output plane minterms to outputs — we implement the
+two-plane reading and note the discrepancy in EXPERIMENTS.md.  With the
+default alphas both readings differ only by a constant factor absorbed
+in C_0.]
+
+ROM (EQ 10)::
+
+    C_T = C_0 + C_1*N_I*2^N_I + C_2*P_O*N_O*2^N_I + C_3*P_O*N_O + C_4*N_O
+
+where P_O is the average fraction of low output bits — precharged-high
+bit lines only burn energy when the previous read left them low.
+
+Switching probabilities default to the paper's quick-estimate value,
+``alpha_0 = alpha_1 = 0.25`` (randomly distributed input vectors).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.expressions import compile_expression
+from ..core.model import (
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ModelSet,
+    TemplatePowerModel,
+)
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+#: The paper's default quick-estimate switching probability.
+DEFAULT_ALPHA = 0.25
+
+
+@dataclass(frozen=True)
+class RandomLogicCoefficients:
+    """Library-specific EQ 9 coefficients (farads)."""
+
+    c0: float = 40e-15   # input plane, per input-minterm crossing
+    c1: float = 55e-15   # output plane, per minterm-output crossing
+
+
+@dataclass(frozen=True)
+class ROMCoefficients:
+    """Library-specific EQ 10 coefficients (farads)."""
+
+    c0: float = 0.9e-12   # fixed: clocking, precharge drivers
+    c1: float = 0.06e-15  # address decode, per N_I * 2^N_I
+    c2: float = 0.012e-15 # bit-line precharge, per P_O * N_O * 2^N_I
+    c3: float = 95e-15    # sense amplification, per P_O * N_O
+    c4: float = 60e-15    # output drive, per N_O
+
+
+def estimate_minterms(n_inputs: int, n_states: int = 0, density: float = 0.25) -> int:
+    """Early-stage minterm count estimate.
+
+    "N_M is the number of minterms (which, in turn, is related to the
+    complexity of the controller)."  Before logic synthesis exists, a
+    standard early estimate is a *density* fraction of the input space,
+    clamped to at least one minterm per output-relevant state.
+    """
+    if n_inputs < 1:
+        raise ModelError("controller needs at least one input")
+    if not 0.0 < density <= 1.0:
+        raise ModelError(f"minterm density {density} outside (0, 1]")
+    space = 2 ** min(n_inputs, 24)  # cap: beyond this the estimate is meaningless
+    estimate = max(1, int(round(density * space)))
+    return max(estimate, n_states)
+
+
+def random_logic_controller(
+    n_inputs: int = 8,
+    n_outputs: int = 12,
+    n_minterms: Optional[int] = None,
+    alpha0: float = DEFAULT_ALPHA,
+    alpha1: float = DEFAULT_ALPHA,
+    coefficients: RandomLogicCoefficients = RandomLogicCoefficients(),
+    name: str = "controller_random_logic",
+) -> TemplatePowerModel:
+    """EQ 9 random-logic (two-level boolean) controller."""
+    if n_inputs < 1 or n_outputs < 1:
+        raise ModelError(f"{name}: N_I and N_O must be >= 1")
+    for alpha in (alpha0, alpha1):
+        if not 0.0 <= alpha <= 1.0:
+            raise ModelError(f"{name}: switching probability {alpha} outside [0, 1]")
+    if n_minterms is None:
+        n_minterms = estimate_minterms(n_inputs)
+    c = coefficients
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "input_plane",
+                compile_expression(f"{c.c0!r} * N_I * N_M"),
+                activity=compile_expression("alpha0"),
+                doc="EQ 9 first term: input plane",
+            ),
+            CapacitiveTerm(
+                "output_plane",
+                compile_expression(f"{c.c1!r} * N_M * N_O"),
+                activity=compile_expression("alpha1"),
+                doc="EQ 9 second term: output plane",
+            ),
+        ],
+        parameters=(
+            Parameter("N_I", n_inputs, "", "inputs incl. state/status bits", 1, integer=True),
+            Parameter("N_O", n_outputs, "", "outputs incl. state bits", 1, integer=True),
+            Parameter("N_M", n_minterms, "", "minterm count", 1, integer=True),
+            Parameter("alpha0", alpha0, "", "input-plane switching prob.", 0.0, 1.0),
+            Parameter("alpha1", alpha1, "", "output-plane switching prob.", 0.0, 1.0),
+        ),
+        doc="EQ 9 random-logic controller",
+    )
+
+
+def rom_controller(
+    n_inputs: int = 6,
+    n_outputs: int = 16,
+    p_low: float = 0.5,
+    coefficients: ROMCoefficients = ROMCoefficients(),
+    name: str = "controller_rom",
+) -> TemplatePowerModel:
+    """EQ 10 ROM-based controller.
+
+    ``p_low`` is P_O, the average fraction of output bits that evaluate
+    low (and therefore need re-precharging next cycle).
+    """
+    if n_inputs < 1 or n_outputs < 1:
+        raise ModelError(f"{name}: N_I and N_O must be >= 1")
+    if n_inputs > 20:
+        raise ModelError(
+            f"{name}: N_I = {n_inputs} means a 2^{n_inputs}-word ROM — "
+            "not a credible controller; split the control store"
+        )
+    if not 0.0 <= p_low <= 1.0:
+        raise ModelError(f"{name}: P_O {p_low} outside [0, 1]")
+    c = coefficients
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "fixed",
+                compile_expression(repr(c.c0)),
+                doc="EQ 10 C_0: clock and precharge drivers",
+            ),
+            CapacitiveTerm(
+                "decode",
+                compile_expression(f"{c.c1!r} * N_I * 2^N_I"),
+                doc="EQ 10 C_1 term: word-line decode",
+            ),
+            CapacitiveTerm(
+                "bitlines",
+                compile_expression(f"{c.c2!r} * P_O * N_O * 2^N_I"),
+                doc="EQ 10 C_2 term: bit-line precharge of low outputs",
+            ),
+            CapacitiveTerm(
+                "sense",
+                compile_expression(f"{c.c3!r} * P_O * N_O"),
+                doc="EQ 10 C_3 term: sense amplifiers",
+            ),
+            CapacitiveTerm(
+                "outputs",
+                compile_expression(f"{c.c4!r} * N_O"),
+                doc="EQ 10 C_4 term: output drive",
+            ),
+        ],
+        parameters=(
+            Parameter("N_I", n_inputs, "", "address bits", 1, 20, integer=True),
+            Parameter("N_O", n_outputs, "", "output bits", 1, integer=True),
+            Parameter("P_O", p_low, "", "avg fraction of low outputs", 0.0, 1.0),
+        ),
+        doc="EQ 10 ROM controller",
+    )
+
+
+def pla_controller(
+    n_inputs: int = 8,
+    n_outputs: int = 12,
+    n_minterms: Optional[int] = None,
+    p_product: float = 0.25,
+    name: str = "controller_pla",
+) -> TemplatePowerModel:
+    """PLA controller — "other implementation platforms (e.g. PLAs) may
+    be modeled in a similar way".
+
+    A precharged PLA looks like EQ 9's two planes with EQ 10-style
+    precharge statistics: the AND plane loads 2*N_I true/complement
+    lines per product term; the OR plane loads N_O output lines per
+    product term, weighted by the probability a product term fires.
+    """
+    if n_minterms is None:
+        n_minterms = estimate_minterms(n_inputs)
+    if not 0.0 <= p_product <= 1.0:
+        raise ModelError(f"{name}: p_product outside [0, 1]")
+    c_and = 32e-15
+    c_or = 47e-15
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "and_plane",
+                compile_expression(f"{c_and!r} * 2 * N_I * N_M"),
+                activity=compile_expression("alpha"),
+                doc="AND plane: true+complement input lines x product terms",
+            ),
+            CapacitiveTerm(
+                "or_plane",
+                compile_expression(f"{c_or!r} * N_M * N_O"),
+                activity=compile_expression("p_product"),
+                doc="OR plane: firing product terms drive output lines",
+            ),
+        ],
+        parameters=(
+            Parameter("N_I", n_inputs, "", "inputs", 1, integer=True),
+            Parameter("N_O", n_outputs, "", "outputs", 1, integer=True),
+            Parameter("N_M", n_minterms, "", "product terms", 1, integer=True),
+            Parameter("alpha", DEFAULT_ALPHA, "", "input switching prob.", 0.0, 1.0),
+            Parameter("p_product", p_product, "", "product-term fire prob.", 0.0, 1.0),
+        ),
+        doc="precharged PLA controller",
+    )
+
+
+def compare_platforms(
+    n_inputs: int,
+    n_outputs: int,
+    vdd: float,
+    frequency: float,
+    n_minterms: Optional[int] = None,
+) -> dict:
+    """Estimate the same control algorithm on all three platforms.
+
+    Early design exploration in one call: returns
+    ``{platform: watts}`` so a designer can see, e.g., when the ROM's
+    2^N_I decode cost overtakes random logic.
+    """
+    results = {}
+    env_base = {"VDD": vdd, "f": frequency}
+    logic = random_logic_controller(n_inputs, n_outputs, n_minterms)
+    results["random_logic"] = logic.power(
+        dict(env_base, N_I=n_inputs, N_O=n_outputs,
+             N_M=n_minterms or estimate_minterms(n_inputs),
+             alpha0=DEFAULT_ALPHA, alpha1=DEFAULT_ALPHA)
+    )
+    if n_inputs <= 20:
+        rom = rom_controller(n_inputs, n_outputs)
+        results["rom"] = rom.power(
+            dict(env_base, N_I=n_inputs, N_O=n_outputs, P_O=0.5)
+        )
+    pla = pla_controller(n_inputs, n_outputs, n_minterms)
+    results["pla"] = pla.power(
+        dict(env_base, N_I=n_inputs, N_O=n_outputs,
+             N_M=n_minterms or estimate_minterms(n_inputs),
+             alpha=DEFAULT_ALPHA, p_product=0.25)
+    )
+    return results

@@ -1,0 +1,150 @@
+"""DC-DC converter models (paper EQs 18 and 19).
+
+A converter is specified by the power it delivers and its efficiency::
+
+    eta = P_load / P_in = P_load / (P_load + P_diss)       (EQ 18)
+    P_diss = P_load * (1 - eta) / eta                      (EQ 19)
+
+"This is an example of intermodel interaction; the output from other
+models is used to calculate the dissipation in the converter."  In a
+design, a converter row declares ``power_feeds`` on the rows it supplies
+and reads their summed power as ``P_load``.
+
+Beyond the constant-efficiency first order, :class:`EfficiencyCurve`
+captures the load dependence real parts exhibit ("the efficiency of the
+converter is a function of temperature, input voltage, and load power")
+as a piecewise-linear table, the way a Maxim datasheet plots it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.model import PowerModel, _get
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+
+def converter_dissipation(p_load: float, efficiency: float) -> float:
+    """EQ 19: converter loss for a given load and efficiency."""
+    if p_load < 0:
+        raise ModelError(f"load power {p_load} cannot be negative")
+    if not 0.0 < efficiency <= 1.0:
+        raise ModelError(f"efficiency {efficiency} outside (0, 1]")
+    return p_load * (1.0 - efficiency) / efficiency
+
+
+def converter_input_power(p_load: float, efficiency: float) -> float:
+    """EQ 18 rearranged: P_in = P_load / eta."""
+    if not 0.0 < efficiency <= 1.0:
+        raise ModelError(f"efficiency {efficiency} outside (0, 1]")
+    return p_load / efficiency
+
+
+class EfficiencyCurve:
+    """Piecewise-linear efficiency vs load power.
+
+    Points are ``(load_watts, efficiency)``; queries interpolate and
+    clamp at the ends.  Real converters fall off steeply at light load
+    (fixed switching losses dominate) — the default curve shows that
+    shape.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ModelError("efficiency curve needs at least two points")
+        ordered = sorted(points)
+        loads = [load for load, _ in ordered]
+        if len(set(loads)) != len(loads):
+            raise ModelError("efficiency curve has duplicate load points")
+        for load, eta in ordered:
+            if load < 0:
+                raise ModelError(f"negative load point {load}")
+            if not 0.0 < eta <= 1.0:
+                raise ModelError(f"efficiency point {eta} outside (0, 1]")
+        self._loads = loads
+        self._etas = [eta for _, eta in ordered]
+
+    def __call__(self, p_load: float) -> float:
+        if p_load < 0:
+            raise ModelError(f"load power {p_load} cannot be negative")
+        loads, etas = self._loads, self._etas
+        if p_load <= loads[0]:
+            return etas[0]
+        if p_load >= loads[-1]:
+            return etas[-1]
+        index = bisect.bisect_right(loads, p_load)
+        x0, x1 = loads[index - 1], loads[index]
+        y0, y1 = etas[index - 1], etas[index]
+        fraction = (p_load - x0) / (x1 - x0)
+        return y0 + fraction * (y1 - y0)
+
+
+#: A buck-regulator-shaped default curve (Maxim-datasheet-like).
+DEFAULT_BUCK_CURVE = EfficiencyCurve(
+    [
+        (0.001, 0.40),
+        (0.01, 0.62),
+        (0.05, 0.76),
+        (0.2, 0.85),
+        (1.0, 0.90),
+        (5.0, 0.88),
+        (20.0, 0.82),
+    ]
+)
+
+
+class DCDCConverterModel(PowerModel):
+    """EQ 18/19 as a design row.
+
+    Reads ``P_load`` from the environment — provided automatically when
+    the row declares ``power_feeds`` — or from an explicit parameter for
+    standalone use.  With ``curve`` set, efficiency follows the load;
+    otherwise the constant ``eta`` parameter applies ("in many
+    applications, it can be assumed constant to the first order").
+
+    The model's *power* is the converter's own dissipation (EQ 19), so a
+    design total including the converter row equals system input power.
+    """
+
+    def __init__(
+        self,
+        name: str = "dcdc",
+        efficiency: float = 0.9,
+        curve: Optional[EfficiencyCurve] = None,
+        doc: str = "",
+    ):
+        if not 0.0 < efficiency <= 1.0:
+            raise ModelError(f"{name}: efficiency {efficiency} outside (0, 1]")
+        self.name = name
+        self.curve = curve
+        self.doc = doc or "EQ 18/19 DC-DC converter (intermodel interaction)"
+        self.parameters = (
+            Parameter("eta", efficiency, "", "conversion efficiency", 0.01, 1.0),
+        )
+
+    def efficiency_at(self, p_load: float, env: Mapping[str, float]) -> float:
+        if self.curve is not None:
+            return self.curve(p_load)
+        return _get(env, "eta", 0.9)
+
+    def power(self, env: Mapping[str, float]) -> float:
+        p_load = _get(env, "P_load")
+        efficiency = self.efficiency_at(p_load, env)
+        return converter_dissipation(p_load, efficiency)
+
+    def input_power(self, env: Mapping[str, float]) -> float:
+        """P_in = P_load + P_diss — what the battery actually supplies."""
+        p_load = _get(env, "P_load")
+        return p_load + self.power(env)
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        p_load = _get(env, "P_load")
+        efficiency = self.efficiency_at(p_load, env)
+        return {f"loss_at_eta_{efficiency:.2f}": self.power(env)}
+
+    def __repr__(self) -> str:
+        mode = "curve" if self.curve is not None else "constant-eta"
+        return f"DCDCConverterModel({self.name!r}, {mode})"

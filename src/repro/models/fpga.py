@@ -1,0 +1,207 @@
+"""FPGA macro-models — the paper's explicitly flagged future work.
+
+"On the other hand, providing high-level macro-models for other
+elements, such as FPGAs, is non-trivial and is the subject of further
+research."
+
+This module supplies that missing model class, in PowerPlay's template
+spirit: an island-style (CLB + programmable-interconnect) FPGA macro
+parameterized by the quantities an early design actually knows —
+equivalent gate count, utilization, toggle rate, clock frequency — with
+coefficients shaped by the mid-90s literature on FPGA power (switched
+capacitance dominated by the programmable interconnect, a fixed clock
+network tax, and fanout-heavy routing):
+
+* logic: ``C_clb`` per occupied CLB per toggling output;
+* interconnect: each routed net drives segmented wiring plus pass
+  transistors — several times the capacitance of a hard-wired net, the
+  reason FPGA implementations burn ~10x the power of custom silicon;
+* clock network: spans the *whole* array (utilization-independent);
+* static: configuration/bias current.
+
+The companion :func:`custom_vs_fpga` quantifies the paper-era rule of
+thumb by putting the same gate count through the custom-cell and FPGA
+models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..core.expressions import compile_expression
+from ..core.model import (
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ModelSet,
+    StaticTerm,
+    TemplatePowerModel,
+    VoltageScaledTimingModel,
+)
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class FPGACoefficients:
+    """Per-device capacitance/area constants for the FPGA macro.
+
+    Defaults model a mid-90s 5 V island-style part (XC4000-class).
+    """
+
+    gates_per_clb: float = 12.0       # equivalent gates packed per CLB
+    c_clb: float = 0.9e-12            # logic capacitance per CLB toggle
+    c_net: float = 1.8e-12            # routed-net capacitance (segmented)
+    nets_per_clb: float = 2.5         # average driven nets per CLB
+    c_clock_per_clb: float = 0.35e-12 # clock network load per array CLB
+    i_static: float = 4e-3            # configuration + bias current (A)
+    area_per_clb: float = 2.2e-7      # m^2 per CLB (pads excluded)
+    clb_delay: float = 4.5e-9         # logic + one routing hop at v_ref
+    v_ref: float = 5.0
+
+    def __post_init__(self) -> None:
+        numbers = (
+            self.gates_per_clb, self.c_clb, self.c_net, self.nets_per_clb,
+            self.c_clock_per_clb, self.area_per_clb, self.clb_delay,
+            self.v_ref,
+        )
+        if any(value <= 0 for value in numbers) or self.i_static < 0:
+            raise ModelError("FPGA coefficients must be positive")
+
+
+DEFAULT_FPGA = FPGACoefficients()
+
+
+def clbs_required(gate_count: int, coefficients: FPGACoefficients = DEFAULT_FPGA) -> int:
+    """CLBs needed to map ``gate_count`` equivalent gates."""
+    if gate_count < 1:
+        raise ModelError("gate count must be >= 1")
+    return max(1, math.ceil(gate_count / coefficients.gates_per_clb))
+
+
+def fpga_macro(
+    gate_count: int = 5000,
+    utilization: float = 0.7,
+    toggle_rate: float = 0.125,
+    coefficients: FPGACoefficients = DEFAULT_FPGA,
+    name: str = "fpga",
+) -> TemplatePowerModel:
+    """The FPGA as an EQ 1 template model.
+
+    Parameters exposed on the form: ``gates`` (equivalent gate count of
+    the mapped design), ``utilization`` (fraction of the array the
+    design occupies — the array is sized as ``gates`` / utilization),
+    ``toggle`` (average net toggle probability per cycle), plus the
+    standard ``VDD`` and ``f``.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ModelError(f"{name}: utilization {utilization} outside (0, 1]")
+    if not 0.0 <= toggle_rate <= 1.0:
+        raise ModelError(f"{name}: toggle rate outside [0, 1]")
+    c = coefficients
+    occupied = f"ceil(gates / {c.gates_per_clb!r})"
+    array = f"ceil(gates / ({c.gates_per_clb!r} * utilization))"
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "clb_logic",
+                compile_expression(f"{occupied} * {c.c_clb!r}"),
+                activity=compile_expression("toggle"),
+                doc="LUT + FF switching in occupied CLBs",
+            ),
+            CapacitiveTerm(
+                "interconnect",
+                compile_expression(
+                    f"{occupied} * {c.nets_per_clb!r} * {c.c_net!r}"
+                ),
+                activity=compile_expression("toggle"),
+                doc="segmented routing + pass transistors (dominant)",
+            ),
+            CapacitiveTerm(
+                "clock_network",
+                compile_expression(f"{array} * {c.c_clock_per_clb!r}"),
+                doc="array-wide clock tree, switches regardless of use",
+            ),
+        ],
+        static=[
+            StaticTerm(
+                "configuration",
+                compile_expression(repr(c.i_static)),
+                doc="configuration memory + bias",
+            )
+        ],
+        parameters=(
+            Parameter("gates", gate_count, "", "equivalent gate count", 1, integer=True),
+            Parameter("utilization", utilization, "", "array fill fraction", 0.05, 1.0),
+            Parameter("toggle", toggle_rate, "", "net toggle probability", 0.0, 1.0),
+        ),
+        doc="island-style FPGA macro-model (interconnect-dominated)",
+    )
+
+
+def fpga_model_set(
+    gate_count: int = 5000,
+    utilization: float = 0.7,
+    toggle_rate: float = 0.125,
+    logic_depth: int = 8,
+    coefficients: FPGACoefficients = DEFAULT_FPGA,
+    name: str = "fpga",
+) -> ModelSet:
+    """FPGA macro with power, area and (depth-scaled) timing models."""
+    if logic_depth < 1:
+        raise ModelError(f"{name}: logic depth must be >= 1")
+    power = fpga_macro(gate_count, utilization, toggle_rate, coefficients, name)
+    c = coefficients
+    area = ExpressionAreaModel(
+        name + "_area",
+        f"ceil(gates / ({c.gates_per_clb!r} * utilization)) * {c.area_per_clb!r}",
+        parameters=power.parameters,
+        doc="array area at the given utilization",
+    )
+    timing = VoltageScaledTimingModel(
+        name + "_delay",
+        delay_ref=logic_depth * c.clb_delay,
+        v_ref=c.v_ref,
+        doc=f"{logic_depth} CLB levels incl. routing hops",
+    )
+    return ModelSet(power=power, area=area, timing=timing)
+
+
+def custom_vs_fpga(
+    gate_count: int,
+    vdd_custom: float = 1.5,
+    vdd_fpga: float = 5.0,
+    frequency: float = 2e6,
+    toggle_rate: float = 0.125,
+    c_gate_custom: float = 25e-15,
+    coefficients: FPGACoefficients = DEFAULT_FPGA,
+) -> Dict[str, float]:
+    """The implementation-platform comparison an early exploration asks.
+
+    Custom cells: ``gate_count * c_gate_custom`` of toggled capacitance
+    at a low supply.  FPGA: the macro above at its native supply.
+    Returns watts per platform plus the ratio — expect the FPGA to cost
+    one to two orders of magnitude, split between interconnect
+    capacitance and the supply difference.
+    """
+    if gate_count < 1 or c_gate_custom <= 0:
+        raise ModelError("bad comparison operands")
+    custom_capacitance = gate_count * c_gate_custom
+    custom = toggle_rate * custom_capacitance * vdd_custom**2 * frequency
+    macro = fpga_macro(gate_count, coefficients=coefficients)
+    fpga = macro.power(
+        {
+            "gates": gate_count,
+            "utilization": 0.7,
+            "toggle": toggle_rate,
+            "VDD": vdd_fpga,
+            "f": frequency,
+        }
+    )
+    return {
+        "custom": custom,
+        "fpga": fpga,
+        "ratio": fpga / custom if custom > 0 else math.inf,
+    }

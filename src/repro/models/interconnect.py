@@ -1,0 +1,199 @@
+"""Interconnect estimation from Rent's rule (Donath / Feuer).
+
+"Unlike the activity of computational blocks, the amount of interconnect
+activity is not inherent to an algorithm. ... Donath and Feuer propose
+methods of estimating total interconnect area from the amount of active
+area using Rent's rule, which relates block count in a region to the
+number of external connections to the region.  Once the physical
+interconnect area is determined, capacitance on the line can be
+parameterized by feature size and capacitance per unit area."
+
+Implemented here:
+
+* Rent's rule ``T = t * B^p`` (terminals of a B-block region);
+* Donath's hierarchical average-wire-length estimate
+  ``L_avg ~ gate_pitch * f(B, p)`` with the classic closed form;
+* total wiring length/area for a design of ``B`` blocks;
+* :class:`InterconnectModel` — a PowerModel that converts wiring
+  capacitance and a toggling statistic into EQ 1 terms.  It consumes
+  ``active_area`` through the design layer's *area feeds*, the paper's
+  "power dissipation of interconnect is a function of the active area of
+  the design (and thus of its composing modules)".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.model import PowerModel, _get
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process parameters for wiring estimates.
+
+    ``feature_size`` in meters; ``c_per_length`` in F/m (a 1.2 um-class
+    metal line over field oxide runs ~0.2 fF/um); ``gate_pitch`` is the
+    average center-to-center spacing of placed gates.
+    """
+
+    name: str = "ucb1.2um"
+    feature_size: float = 1.2e-6
+    c_per_length: float = 0.2e-9       # 0.2 fF/um
+    gate_pitch: float = 30e-6
+    wiring_layers: int = 2
+
+    def scaled(self, feature_size: float) -> "Technology":
+        """First-order constant-field scaling to a new feature size."""
+        if feature_size <= 0:
+            raise ModelError("feature_size must be positive")
+        ratio = feature_size / self.feature_size
+        return Technology(
+            name=f"{self.name}_scaled_{feature_size * 1e6:g}um",
+            feature_size=feature_size,
+            c_per_length=self.c_per_length,   # per-length C roughly constant
+            gate_pitch=self.gate_pitch * ratio,
+            wiring_layers=self.wiring_layers,
+        )
+
+
+def rent_terminals(blocks: float, rent_exponent: float = 0.6, t0: float = 3.0) -> float:
+    """Rent's rule: external terminals of a region of ``blocks`` blocks."""
+    if blocks < 1:
+        raise ModelError("block count must be >= 1")
+    if not 0.0 < rent_exponent < 1.0:
+        raise ModelError(f"Rent exponent {rent_exponent} outside (0, 1)")
+    return t0 * blocks**rent_exponent
+
+
+def donath_average_length(blocks: float, rent_exponent: float = 0.6) -> float:
+    """Donath's average wire length, in units of gate pitch.
+
+    The classic closed form (Donath 1979) for a square array of B
+    blocks with Rent exponent p::
+
+        L_avg = (2/9) * (7 * (B^(p-0.5) - 1) / (4^(p-0.5) - 1)
+                         - (1 - B^(p-1.5)) / (1 - 4^(p-1.5)))
+                      * (1 - 4^(p-1)) / (1 - B^(p-1))
+
+    Valid for p != 0.5; we nudge p slightly when it lands exactly on the
+    removable singularity.
+    """
+    if blocks < 4:
+        return 1.0
+    p = rent_exponent
+    if abs(p - 0.5) < 1e-9:
+        p += 1e-6
+    b = float(blocks)
+    term1 = 7.0 * (b ** (p - 0.5) - 1.0) / (4.0 ** (p - 0.5) - 1.0)
+    term2 = (1.0 - b ** (p - 1.5)) / (1.0 - 4.0 ** (p - 1.5))
+    norm = (1.0 - 4.0 ** (p - 1.0)) / (1.0 - b ** (p - 1.0))
+    length = (2.0 / 9.0) * (term1 - term2) * norm
+    return max(1.0, length)
+
+
+def total_wire_length(
+    blocks: int,
+    rent_exponent: float = 0.6,
+    fanout: float = 3.0,
+    technology: Technology = Technology(),
+) -> float:
+    """Total routed wire length (meters) for a B-block region.
+
+    Wires ~= blocks * fanout / 2 (two-point nets), each of Donath's
+    average length in gate pitches.
+    """
+    if blocks < 1:
+        raise ModelError("block count must be >= 1")
+    wires = blocks * fanout / 2.0
+    avg = donath_average_length(blocks, rent_exponent) * technology.gate_pitch
+    return wires * avg
+
+
+def wiring_capacitance(
+    active_area: float,
+    rent_exponent: float = 0.6,
+    fanout: float = 3.0,
+    technology: Technology = Technology(),
+) -> float:
+    """Total interconnect capacitance (farads) from active area (m^2).
+
+    Block count is inferred from the active area and the technology's
+    gate pitch — "area estimates of the modules are easily provided".
+    """
+    if active_area < 0:
+        raise ModelError("active area cannot be negative")
+    if active_area == 0:
+        return 0.0
+    blocks = max(1, int(active_area / technology.gate_pitch**2))
+    length = total_wire_length(blocks, rent_exponent, fanout, technology)
+    return length * technology.c_per_length
+
+
+class InterconnectModel(PowerModel):
+    """Interconnect power from active area via Rent's rule.
+
+    The environment must provide ``active_area`` (m^2) — wired up by
+    declaring ``area_feeds`` on the design row — plus the usual ``VDD``
+    and ``f``.  ``activity`` is the average net toggling probability.
+
+    Back-annotation: once layout exists, call :meth:`back_annotate` with
+    the extracted capacitance; subsequent evaluations use the real value
+    ("as the design process is iterated, these values should be
+    back-annotated to the design to give more accurate results").
+    """
+
+    def __init__(
+        self,
+        name: str = "interconnect",
+        rent_exponent: float = 0.6,
+        fanout: float = 3.0,
+        technology: Technology = Technology(),
+        doc: str = "",
+    ):
+        self.name = name
+        self.rent_exponent = rent_exponent
+        self.fanout = fanout
+        self.technology = technology
+        self.doc = doc or "Rent's-rule interconnect estimate (Donath/Feuer)"
+        self._annotated_capacitance: Optional[float] = None
+        self.parameters = (
+            Parameter("activity", 0.25, "", "average net toggle probability", 0.0, 1.0),
+        )
+
+    def capacitance(self, env: Mapping[str, float]) -> float:
+        if self._annotated_capacitance is not None:
+            return self._annotated_capacitance
+        active_area = _get(env, "active_area")
+        return wiring_capacitance(
+            active_area, self.rent_exponent, self.fanout, self.technology
+        )
+
+    def power(self, env: Mapping[str, float]) -> float:
+        vdd = _get(env, "VDD")
+        f = _get(env, "f")
+        activity = _get(env, "activity", 0.25)
+        return activity * self.capacitance(env) * vdd * vdd * f
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        label = "annotated" if self._annotated_capacitance is not None else "estimated"
+        return {f"wiring_{label}": self.power(env)}
+
+    def back_annotate(self, capacitance: float) -> None:
+        """Replace the Rent estimate with extracted wiring capacitance."""
+        if capacitance < 0:
+            raise ModelError("annotated capacitance cannot be negative")
+        self._annotated_capacitance = capacitance
+
+    def clear_annotation(self) -> None:
+        self._annotated_capacitance = None
+
+    def __repr__(self) -> str:
+        return (
+            f"InterconnectModel({self.name!r}, p={self.rent_exponent}, "
+            f"tech={self.technology.name!r})"
+        )

@@ -1,0 +1,295 @@
+"""Programmable-processor power models (paper EQs 11 and 12).
+
+First order (EQ 11): ``P = alpha * P_AVG`` — the processor burns its
+datasheet average power when active and nothing when shut down
+(:class:`~repro.core.model.FixedPowerModel` implements this; re-exported
+here for discoverability).
+
+Second order (EQ 12, Tiwari): per-instruction energies::
+
+    E_T = sum_i( N_i * E_inst_i )
+
+"Power is this total energy divided by the time to process the
+algorithm."  This module provides:
+
+* :class:`InstructionSetEnergy` — an energy-per-instruction table with
+  per-class cycle counts and optional inter-instruction (circuit-state)
+  overhead, scalable with supply voltage;
+* :class:`InstructionProfile` — instruction counts for one algorithm
+  run (produced by hand, or measured by the :mod:`repro.sim.isa`
+  virtual machine — the coded-algorithm + profiler route the paper
+  points at);
+* :func:`algorithm_energy` / :func:`algorithm_power` — EQ 12 proper;
+* :class:`ProcessorModel` — wraps a profile + ISA table as a PowerModel
+  for use in design rows (the InfoPad µ-processor subsystem);
+* a cache/branch *correction*, since the paper warns "these models tend
+  to underestimate power because factors such as cache and branch misses
+  are neglected".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..core.model import FixedPowerModel, PowerModel, _get
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+__all__ = [
+    "FixedPowerModel",
+    "InstructionSetEnergy",
+    "InstructionProfile",
+    "ProcessorModel",
+    "algorithm_energy",
+    "algorithm_power",
+    "DEFAULT_ISA",
+]
+
+
+@dataclass(frozen=True)
+class InstructionEnergy:
+    """Energy and latency of one instruction class at reference VDD."""
+
+    name: str
+    energy: float        # joules per execution at v_ref
+    cycles: float = 1.0  # latency in clock cycles
+
+
+class InstructionSetEnergy:
+    """Per-instruction energy table (the Tiwari characterization).
+
+    Energies scale quadratically with supply voltage relative to
+    ``v_ref`` (dynamic dominated).  ``overhead`` is the average
+    inter-instruction (circuit state change) energy added per executed
+    instruction — Tiwari's measured cross term.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entries: Iterable[InstructionEnergy],
+        v_ref: float = 3.3,
+        overhead: float = 0.0,
+    ):
+        self.name = name
+        self.entries: Dict[str, InstructionEnergy] = {}
+        for entry in entries:
+            if entry.energy < 0 or entry.cycles <= 0:
+                raise ModelError(
+                    f"ISA {name!r}: bad entry {entry.name!r} "
+                    f"(energy {entry.energy}, cycles {entry.cycles})"
+                )
+            self.entries[entry.name] = entry
+        if not self.entries:
+            raise ModelError(f"ISA {name!r}: no instructions")
+        if v_ref <= 0:
+            raise ModelError(f"ISA {name!r}: v_ref must be positive")
+        if overhead < 0:
+            raise ModelError(f"ISA {name!r}: negative overhead")
+        self.v_ref = v_ref
+        self.overhead = overhead
+
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(self.entries)
+
+    def _scale(self, vdd: Optional[float]) -> float:
+        if vdd is None:
+            return 1.0
+        if vdd <= 0:
+            raise ModelError(f"ISA {self.name!r}: VDD must be positive")
+        return (vdd / self.v_ref) ** 2
+
+    def energy_of(self, instruction: str, vdd: Optional[float] = None) -> float:
+        entry = self.entries.get(instruction)
+        if entry is None:
+            raise ModelError(
+                f"ISA {self.name!r} has no instruction {instruction!r}"
+            )
+        return (entry.energy + self.overhead) * self._scale(vdd)
+
+    def cycles_of(self, instruction: str) -> float:
+        entry = self.entries.get(instruction)
+        if entry is None:
+            raise ModelError(
+                f"ISA {self.name!r} has no instruction {instruction!r}"
+            )
+        return entry.cycles
+
+
+#: A representative embedded-RISC table in the spirit of Tiwari's 486DX2
+#: and Fujitsu DSP characterizations, normalized to a 3.3 V part.
+#: Memory operations cost several times a register ALU op; multiply sits
+#: between; taken branches pay the refill.
+DEFAULT_ISA = InstructionSetEnergy(
+    "embedded_risc_3v3",
+    [
+        InstructionEnergy("alu", 1.8e-9, 1),
+        InstructionEnergy("mul", 4.6e-9, 2),
+        InstructionEnergy("load", 5.2e-9, 2),
+        InstructionEnergy("store", 4.8e-9, 2),
+        InstructionEnergy("branch", 2.4e-9, 1),
+        InstructionEnergy("branch_taken", 3.9e-9, 3),
+        InstructionEnergy("nop", 0.9e-9, 1),
+    ],
+    v_ref=3.3,
+    overhead=0.3e-9,
+)
+
+
+class InstructionProfile:
+    """Instruction counts for one algorithm execution.
+
+    ``counts`` maps instruction-class name -> executed count.  Profiles
+    add (for composing phases) and scale (for per-iteration costs).
+    """
+
+    def __init__(self, name: str, counts: Optional[Mapping[str, int]] = None):
+        self.name = name
+        self.counts: Dict[str, int] = {}
+        for key, value in (counts or {}).items():
+            if value < 0:
+                raise ModelError(f"profile {name!r}: negative count for {key!r}")
+            if value:
+                self.counts[key] = int(value)
+
+    def record(self, instruction: str, count: int = 1) -> None:
+        if count < 0:
+            raise ModelError(f"profile {self.name!r}: negative increment")
+        self.counts[instruction] = self.counts.get(instruction, 0) + count
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.counts.values())
+
+    def __add__(self, other: "InstructionProfile") -> "InstructionProfile":
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = merged.get(key, 0) + value
+        return InstructionProfile(f"{self.name}+{other.name}", merged)
+
+    def scaled(self, factor: int) -> "InstructionProfile":
+        if factor < 0:
+            raise ModelError("scale factor cannot be negative")
+        return InstructionProfile(
+            f"{self.name}x{factor}",
+            {key: value * factor for key, value in self.counts.items()},
+        )
+
+    def __repr__(self) -> str:
+        return f"InstructionProfile({self.name!r}, {self.total_instructions} instrs)"
+
+
+def algorithm_energy(
+    profile: InstructionProfile,
+    isa: InstructionSetEnergy = DEFAULT_ISA,
+    vdd: Optional[float] = None,
+) -> float:
+    """EQ 12: total energy of an algorithm run, joules."""
+    return sum(
+        count * isa.energy_of(instruction, vdd)
+        for instruction, count in profile.counts.items()
+    )
+
+
+def algorithm_cycles(
+    profile: InstructionProfile, isa: InstructionSetEnergy = DEFAULT_ISA
+) -> float:
+    """Total cycle count of an algorithm run."""
+    return sum(
+        count * isa.cycles_of(instruction)
+        for instruction, count in profile.counts.items()
+    )
+
+
+def algorithm_power(
+    profile: InstructionProfile,
+    clock_hz: float,
+    isa: InstructionSetEnergy = DEFAULT_ISA,
+    vdd: Optional[float] = None,
+) -> float:
+    """EQ 12 power: total energy / execution time."""
+    if clock_hz <= 0:
+        raise ModelError("clock frequency must be positive")
+    cycles = algorithm_cycles(profile, isa)
+    if cycles == 0:
+        return 0.0
+    runtime = cycles / clock_hz
+    return algorithm_energy(profile, isa, vdd) / runtime
+
+
+@dataclass(frozen=True)
+class MemorySystemCorrection:
+    """Cache/branch-miss correction the paper says naive EQ 12 omits.
+
+    Each cache miss adds ``miss_energy`` and ``miss_cycles``; applied to
+    the fraction of loads/stores that miss.
+    """
+
+    miss_rate: float = 0.05
+    miss_energy: float = 18e-9
+    miss_cycles: float = 10.0
+
+    def apply(self, profile: InstructionProfile) -> Tuple[float, float]:
+        """Extra (energy, cycles) for a profile's memory traffic."""
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ModelError(f"miss rate {self.miss_rate} outside [0, 1]")
+        accesses = profile.counts.get("load", 0) + profile.counts.get("store", 0)
+        misses = accesses * self.miss_rate
+        return misses * self.miss_energy, misses * self.miss_cycles
+
+
+class ProcessorModel(PowerModel):
+    """A programmable processor running a fixed workload profile.
+
+    Environment parameters: ``f`` (clock) and optionally ``VDD`` and
+    ``alpha`` (duty factor applied on top — the processor may sleep
+    between frames).  With a memory correction attached, miss energy and
+    stall cycles are included.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: InstructionProfile,
+        isa: InstructionSetEnergy = DEFAULT_ISA,
+        correction: Optional[MemorySystemCorrection] = None,
+        doc: str = "",
+    ):
+        self.name = name
+        self.profile = profile
+        self.isa = isa
+        self.correction = correction
+        self.doc = doc or f"EQ 12 instruction-level model over {isa.name!r}"
+        self.parameters = (
+            Parameter("alpha", 1.0, "", "duty factor", 0.0, 1.0),
+        )
+
+    def power(self, env: Mapping[str, float]) -> float:
+        clock = _get(env, "f")
+        vdd = env.get("VDD")
+        vdd = float(vdd() if callable(vdd) else vdd) if vdd is not None else None
+        alpha = _get(env, "alpha", 1.0)
+        energy = algorithm_energy(self.profile, self.isa, vdd)
+        cycles = algorithm_cycles(self.profile, self.isa)
+        if self.correction is not None:
+            extra_energy, extra_cycles = self.correction.apply(self.profile)
+            if vdd is not None:
+                extra_energy *= (vdd / self.isa.v_ref) ** 2
+            energy += extra_energy
+            cycles += extra_cycles
+        if cycles == 0 or clock <= 0:
+            return 0.0
+        return alpha * energy / (cycles / clock)
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        total = self.power(env)
+        energy = algorithm_energy(self.profile, self.isa)
+        if energy <= 0:
+            return {"idle": total}
+        result: Dict[str, float] = {}
+        for instruction, count in self.profile.counts.items():
+            share = count * self.isa.energy_of(instruction) / energy
+            result[instruction] = share * total
+        return result

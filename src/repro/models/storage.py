@@ -1,0 +1,367 @@
+"""Storage power models (paper EQs 7 and 8).
+
+Small memories (pipeline registers, register files) reuse the
+computational-element strategy: a linear coefficient per bit.  Large
+memories have intricate internal structure, so the paper gives the SRAM
+of the UC Berkeley library a structured model::
+
+    C_T = C_0 + C_1 * words + C_1b * bits + C_2 * words * bits    (EQ 7)
+
+(decoder scales with word count, sense/IO with word width, and the cell
+array with the product).
+
+Memories with *reduced bit-line swing* are not quadratic in VDD; EQ 8
+splits the capacitance::
+
+    P = alpha * ( C_fullswing * VDD^2 + C_partialswing * V_swing * VDD ) * f
+
+which maps straight onto two :class:`~repro.core.model.CapacitiveTerm`
+entries of the EQ 1 template — one with the default rail-to-rail swing,
+one with an explicit ``V_swing``.  "It is important to characterize
+[memories] at more than one voltage level to extract C_partialswing and
+V_swing" — :mod:`repro.library.characterize` implements that extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.expressions import compile_expression
+from ..core.model import (
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ModelSet,
+    StaticTerm,
+    TemplatePowerModel,
+    VoltageScaledTimingModel,
+)
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class SRAMCoefficients:
+    """EQ 7 coefficient set, all in farads.
+
+    ``c0`` — fixed overhead (clocking, control);
+    ``c_words`` — per-word (row decoder, word-line segments);
+    ``c_bits`` — per-bit-of-width (sense amps, IO drivers, column mux);
+    ``c_cell`` — per words*bits (bit-line loading by the cell array).
+    """
+
+    c0: float = 5.5e-12
+    c_words: float = 30e-15
+    c_bits: float = 800e-15
+    c_cell: float = 1.45e-15
+
+    def total(self, words: float, bits: float) -> float:
+        return (
+            self.c0
+            + self.c_words * words
+            + self.c_bits * bits
+            + self.c_cell * words * bits
+        )
+
+
+#: Our re-characterization of the UCB low-power SRAM.  The coefficient
+#: *form* comes from fitting gate-level sweeps (library/characterize.py);
+#: the absolute scale is anchored so the paper's published luminance-chip
+#: numbers reproduce (impl 2 at ~150 uW, 1.5 V, 2 MHz pixel rate), the
+#: one calibration the paper gives us for its 1.2 um library.
+DEFAULT_SRAM = SRAMCoefficients()
+
+
+def sram(
+    words: int = 256,
+    bits: int = 8,
+    coefficients: SRAMCoefficients = DEFAULT_SRAM,
+    name: str = "sram",
+) -> TemplatePowerModel:
+    """EQ 7 full-swing SRAM model.
+
+    Per-access switched capacitance; multiply by access rate ``f`` for
+    power, which the template does.
+    """
+    if words < 1 or bits < 1:
+        raise ModelError(f"{name}: words and bits must be >= 1")
+    c = coefficients
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "overhead",
+                compile_expression(repr(c.c0)),
+                doc="clock + control overhead (C_0)",
+            ),
+            CapacitiveTerm(
+                "decoder",
+                compile_expression(f"words * {c.c_words!r}"),
+                doc="row decode, C_1 * words",
+            ),
+            CapacitiveTerm(
+                "sense_io",
+                compile_expression(f"bits * {c.c_bits!r}"),
+                doc="sense amps + IO, C_1' * bits",
+            ),
+            CapacitiveTerm(
+                "cell_array",
+                compile_expression(f"words * bits * {c.c_cell!r}"),
+                doc="bit-line loading, C_2 * words * bits",
+            ),
+        ],
+        parameters=(
+            Parameter("words", words, "", "memory depth", 1, integer=True),
+            Parameter("bits", bits, "bits", "word width", 1, integer=True),
+        ),
+        doc="EQ 7 SRAM: C_T = C0 + C1*words + C1'*bits + C2*words*bits",
+    )
+
+
+def reduced_swing_sram(
+    words: int = 256,
+    bits: int = 8,
+    v_swing: float = 0.3,
+    coefficients: SRAMCoefficients = DEFAULT_SRAM,
+    fullswing_fraction: float = 0.55,
+    name: str = "sram_lowswing",
+) -> TemplatePowerModel:
+    """EQ 8 reduced-bit-line-swing SRAM.
+
+    The array (bit-line) capacitance swings only ``v_swing``; decoder,
+    sense and control remain rail-to-rail.  ``fullswing_fraction`` is
+    the share of the *per-access* capacitance that still swings fully —
+    extracted, like ``v_swing``, from multi-voltage characterization.
+    """
+    if v_swing <= 0:
+        raise ModelError(f"{name}: v_swing must be positive")
+    if not 0.0 <= fullswing_fraction <= 1.0:
+        raise ModelError(f"{name}: fullswing_fraction outside [0, 1]")
+    c = coefficients
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "fullswing",
+                compile_expression(
+                    f"({c.c0!r} + words * {c.c_words!r} + bits * {c.c_bits!r})"
+                    f" * {fullswing_fraction!r}"
+                ),
+                doc="rail-to-rail periphery (C_fullswing)",
+            ),
+            CapacitiveTerm(
+                "bitlines",
+                compile_expression(
+                    f"words * bits * {c.c_cell!r}"
+                    f" + (1 - {fullswing_fraction!r})"
+                    f" * ({c.c0!r} + words * {c.c_words!r} + bits * {c.c_bits!r})"
+                ),
+                v_swing=compile_expression("V_swing"),
+                doc="reduced-swing bit lines (C_partialswing * V_swing * VDD)",
+            ),
+        ],
+        parameters=(
+            Parameter("words", words, "", "memory depth", 1, integer=True),
+            Parameter("bits", bits, "bits", "word width", 1, integer=True),
+            Parameter("V_swing", v_swing, "V", "bit-line swing", 0.01),
+        ),
+        doc="EQ 8 reduced-swing SRAM",
+    )
+
+
+REGISTER_C_PER_BIT = 24e-15
+REGISTER_CLOCK_C_PER_BIT = 11e-15
+
+
+def register(
+    bits: int = 8,
+    name: str = "register",
+) -> TemplatePowerModel:
+    """Pipeline register: linear data capacitance + clock load.
+
+    "Note that the clock capacitance is included in the model of each
+    block" — the clock term switches every cycle regardless of data
+    activity, which is why it carries its own unity activity while the
+    data term follows the (settable) data activity.
+    """
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "data",
+                compile_expression(f"bits * {REGISTER_C_PER_BIT!r}"),
+                activity=compile_expression("data_activity"),
+                doc="master/slave data nodes",
+            ),
+            CapacitiveTerm(
+                "clock",
+                compile_expression(f"bits * {REGISTER_CLOCK_C_PER_BIT!r}"),
+                doc="clock distribution within the register",
+            ),
+        ],
+        parameters=(
+            Parameter("bits", bits, "bits", "register width", 1, integer=True),
+            Parameter("data_activity", 1.0, "", "data transition probability", 0.0, 1.0),
+        ),
+        doc="edge-triggered register with explicit clock capacitance",
+    )
+
+
+def register_file(
+    words: int = 16,
+    bits: int = 16,
+    read_ports: int = 2,
+    write_ports: int = 1,
+    name: str = "register_file",
+) -> TemplatePowerModel:
+    """Small multi-ported register file.
+
+    Small memories "can use the same modeling strategy as that used for
+    computational elements": linear in bits per port access, plus a
+    decode term logarithmic in depth.
+    """
+    if read_ports < 0 or write_ports < 0 or read_ports + write_ports == 0:
+        raise ModelError(f"{name}: needs at least one port")
+    c_read = 19e-15
+    c_write = 27e-15
+    c_decode = 8e-15
+    ports = read_ports + write_ports
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "read_ports",
+                compile_expression(f"bits * {read_ports} * {c_read!r}"),
+                doc="read bit lines + output drivers",
+            ),
+            CapacitiveTerm(
+                "write_ports",
+                compile_expression(f"bits * {write_ports} * {c_write!r}"),
+                doc="write bit lines + cell flips",
+            ),
+            CapacitiveTerm(
+                "decoders",
+                compile_expression(f"{ports} * log2(words) * {c_decode!r}"),
+                doc="per-port address decode",
+            ),
+        ],
+        parameters=(
+            Parameter("words", words, "", "registers", 2, integer=True),
+            Parameter("bits", bits, "bits", "register width", 1, integer=True),
+        ),
+        doc=f"register file, {read_ports}R{write_ports}W",
+    )
+
+
+def dram(
+    words: int = 4096,
+    bits: int = 16,
+    refresh_hz: float = 64.0,
+    name: str = "dram",
+) -> TemplatePowerModel:
+    """Embedded-DRAM variant: EQ 7 shape plus a refresh term.
+
+    Refresh sweeps the whole array ``refresh_hz`` times a second no
+    matter the access rate — modeled as a capacitive term with its own
+    frequency, exactly what the template's per-term ``frequency``
+    override exists for.
+    """
+    c = SRAMCoefficients(c0=1.4e-12, c_words=4.5e-15, c_bits=210e-15, c_cell=0.11e-15)
+    access = sram(words, bits, coefficients=c, name=name)
+    refresh_term = CapacitiveTerm(
+        "refresh",
+        compile_expression(f"words * bits * {c.c_cell!r}"),
+        frequency=compile_expression(f"{float(refresh_hz)!r} * words"),
+        doc="refresh: every row rewritten refresh_hz times per second",
+    )
+    return TemplatePowerModel(
+        name=name,
+        capacitive=tuple(access.capacitive) + (refresh_term,),
+        parameters=access.parameters,
+        doc="DRAM: EQ 7 access + refresh background term",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Area / timing companions
+# ---------------------------------------------------------------------------
+
+SRAM_AREA_PER_CELL = 0.9e-11   # m^2 per bit cell, 1.2 um-class
+SRAM_AREA_OVERHEAD = 4.5e-8    # decoder/sense periphery
+
+
+def sram_model_set(
+    words: int = 256,
+    bits: int = 8,
+    coefficients: SRAMCoefficients = DEFAULT_SRAM,
+    name: str = "sram",
+) -> ModelSet:
+    """SRAM with power (EQ 7), area and access-time models."""
+    power = sram(words, bits, coefficients, name)
+    depth_factor = max(1.0, math.log2(max(2, words)) / 8.0)
+    return ModelSet(
+        power=power,
+        area=ExpressionAreaModel(
+            name + "_area",
+            f"words * bits * {SRAM_AREA_PER_CELL!r} + {SRAM_AREA_OVERHEAD!r}",
+            parameters=power.parameters,
+        ),
+        timing=VoltageScaledTimingModel(name + "_access", 9e-9 * depth_factor),
+    )
+
+
+def rom_memory(
+    words: int = 4096,
+    bits: int = 8,
+    p_low: float = 0.5,
+    name: str = "rom",
+) -> TemplatePowerModel:
+    """Mask-programmed ROM as a *memory* (EQ 10's structure, memory-sized).
+
+    The natural implementation for fixed contents like the VQ codebook
+    LUT: no write circuitry, denser cells, precharged bit lines that
+    only burn charge on outputs that evaluated low (probability
+    ``P_O``).  Address decode carries the ``log2(words) * words``
+    word-line cost; the array term is cheaper than SRAM's per cell.
+    """
+    if words < 2 or bits < 1:
+        raise ModelError(f"{name}: need words >= 2 and bits >= 1")
+    if not 0.0 <= p_low <= 1.0:
+        raise ModelError(f"{name}: P_O outside [0, 1]")
+    c0 = 2.4e-12       # precharge drivers + clocking
+    c_decode = 3.2e-15 # per word-line crossing, x log2(words) literals
+    c_cell = 0.62e-15  # bit-line charge per (discharging) cell column
+    c_sense = 95e-15   # sense amp per low output bit
+    c_out = 60e-15     # output drive per bit
+    return TemplatePowerModel(
+        name=name,
+        capacitive=[
+            CapacitiveTerm(
+                "precharge",
+                compile_expression(repr(c0)),
+                doc="clock + precharge drivers",
+            ),
+            CapacitiveTerm(
+                "decode",
+                compile_expression(f"log2(words) * words * {c_decode!r}"),
+                doc="address decode (EQ 10's C_1 N_I 2^N_I with N_I = log2 words)",
+            ),
+            CapacitiveTerm(
+                "bitlines",
+                compile_expression(f"P_O * bits * words * {c_cell!r}"),
+                doc="precharged bit lines, only low outputs recharge",
+            ),
+            CapacitiveTerm(
+                "sense_out",
+                compile_expression(f"P_O * bits * {c_sense!r} + bits * {c_out!r}"),
+                doc="sense amplification + output drive",
+            ),
+        ],
+        parameters=(
+            Parameter("words", words, "", "ROM depth", 2, integer=True),
+            Parameter("bits", bits, "bits", "word width", 1, integer=True),
+            Parameter("P_O", p_low, "", "avg fraction of low outputs", 0.0, 1.0),
+        ),
+        doc="mask ROM memory (EQ 10 structure); fixed contents only",
+    )

@@ -1,0 +1,268 @@
+"""Svensson analytical switching-capacitance models (paper EQs 4-6).
+
+Where Landman's approach treats a block as a black box, Svensson "models
+switching capacitance analytically without requiring extensive
+simulations": each *stage* (a single PMOS pull-up / NMOS pull-down
+configuration) contributes
+
+    C_S = alpha_in * C_in + alpha_out * C_out            (EQ 4)
+
+the per-bit-slice capacitance is the sum over stages
+
+    C_ST = sum_j( alpha_in_j * C_in_j + alpha_out_j * C_out_j )   (EQ 5)
+
+and the whole block, assuming identical slices,
+
+    C_T = bitwidth * C_ST                                (EQ 6)
+
+This module provides:
+
+* :class:`Stage` — physical input/output capacitance plus transition
+  probabilities;
+* activity propagation — given the input transition probability, derive
+  each stage's alpha through standard static-CMOS gates (the analytical
+  step Svensson's method requires);
+* :class:`SvenssonModel` — a :class:`~repro.core.model.PowerModel` built
+  from a list of stages and a bit-width parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.model import PowerModel, _get
+from ..core.parameters import Parameter
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pull-up/pull-down stage of static CMOS logic.
+
+    Capacitances are physical (farads); alphas are transition
+    probabilities per clock cycle (0..1).
+    """
+
+    name: str
+    c_in: float
+    c_out: float
+    alpha_in: float = 0.5
+    alpha_out: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.c_in < 0 or self.c_out < 0:
+            raise ModelError(f"stage {self.name!r}: negative capacitance")
+        for alpha in (self.alpha_in, self.alpha_out):
+            if not 0.0 <= alpha <= 1.0:
+                raise ModelError(
+                    f"stage {self.name!r}: activity {alpha} outside [0, 1]"
+                )
+
+    def capacitance(self) -> float:
+        """EQ 4: effective switched capacitance of this stage."""
+        return self.alpha_in * self.c_in + self.alpha_out * self.c_out
+
+
+# ---------------------------------------------------------------------------
+# Activity propagation through static gates
+# ---------------------------------------------------------------------------
+#
+# For a gate whose inputs are independent with signal probability p
+# (probability of being 1), the output signal probability is a function
+# of the gate type; the *transition* probability of a node with signal
+# probability q under the temporal-independence assumption is
+# alpha = 2 q (1 - q).
+
+
+def signal_to_transition(probability: float) -> float:
+    """Transition probability of a node with signal probability ``p``."""
+    if not 0.0 <= probability <= 1.0:
+        raise ModelError(f"signal probability {probability} outside [0, 1]")
+    return 2.0 * probability * (1.0 - probability)
+
+
+def gate_output_probability(gate: str, input_probabilities: Sequence[float]) -> float:
+    """Signal probability at a static gate output, independent inputs."""
+    probabilities = list(input_probabilities)
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ModelError(f"signal probability {p} outside [0, 1]")
+    if gate == "inv":
+        if len(probabilities) != 1:
+            raise ModelError("inverter takes exactly one input")
+        return 1.0 - probabilities[0]
+    if gate == "nand":
+        product = math.prod(probabilities)
+        return 1.0 - product
+    if gate == "and":
+        return math.prod(probabilities)
+    if gate == "nor":
+        return math.prod(1.0 - p for p in probabilities)
+    if gate == "or":
+        return 1.0 - math.prod(1.0 - p for p in probabilities)
+    if gate == "xor":
+        result = 0.0
+        for p in probabilities:
+            result = result * (1.0 - p) + (1.0 - result) * p
+        return result
+    if gate == "xnor":
+        return 1.0 - gate_output_probability("xor", probabilities)
+    raise ModelError(f"unknown gate type {gate!r}")
+
+
+def propagate_chain(
+    gates: Sequence[Tuple[str, int]],
+    input_probability: float = 0.5,
+) -> List[float]:
+    """Signal probabilities along a chain of gates.
+
+    ``gates`` is ``[(gate_type, fanin), ...]``; each gate's inputs are
+    all assumed to carry the previous level's probability.  Returns the
+    probability *after* each gate (length == len(gates)).
+    """
+    probabilities: List[float] = []
+    current = input_probability
+    for gate, fanin in gates:
+        if fanin < 1:
+            raise ModelError(f"gate {gate!r}: fanin must be >= 1")
+        current = gate_output_probability(gate, [current] * fanin)
+        probabilities.append(current)
+    return probabilities
+
+
+def stages_from_chain(
+    gates: Sequence[Tuple[str, int]],
+    c_in: float,
+    c_out: float,
+    input_probability: float = 0.5,
+) -> List[Stage]:
+    """Build Svensson stages for a gate chain with uniform capacitances.
+
+    Each gate becomes one stage; the input activity of stage *j* is the
+    transition probability of level *j-1*'s output, the output activity
+    that of level *j*'s output — the "switching activity at the input
+    and output of each stage is determined as a function of the input".
+    """
+    level_probabilities = propagate_chain(gates, input_probability)
+    stages: List[Stage] = []
+    previous = input_probability
+    for index, ((gate, fanin), probability) in enumerate(
+        zip(gates, level_probabilities)
+    ):
+        stages.append(
+            Stage(
+                name=f"{gate}{index}",
+                c_in=c_in * fanin,
+                c_out=c_out,
+                alpha_in=signal_to_transition(previous),
+                alpha_out=signal_to_transition(probability),
+            )
+        )
+        previous = probability
+    return stages
+
+
+class SvenssonModel(PowerModel):
+    """EQ 4-6 as a PowerModel.
+
+    Parameters: ``bitwidth`` (slices), plus the standard ``VDD`` / ``f``.
+    An optional ``activity_scale`` parameter scales every stage alpha —
+    the knob that turns a random-data characterization into a
+    correlated-data estimate without rebuilding the stage list.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stages: Sequence[Stage],
+        default_bitwidth: int = 16,
+        doc: str = "",
+    ):
+        if not stages:
+            raise ModelError(f"model {name!r}: no stages")
+        self.name = name
+        self.stages = tuple(stages)
+        self.doc = doc or "Svensson analytical stage model (EQ 4-6)"
+        self.parameters = (
+            Parameter("bitwidth", default_bitwidth, "bits", "bit slices", 1, integer=True),
+            Parameter("activity_scale", 1.0, "", "global activity multiplier", 0.0),
+        )
+
+    def slice_capacitance(self, activity_scale: float = 1.0) -> float:
+        """EQ 5: C_ST, the capacitance switched per bit slice."""
+        return activity_scale * sum(stage.capacitance() for stage in self.stages)
+
+    def total_capacitance(self, env: Mapping[str, float]) -> float:
+        """EQ 6: C_T = bitwidth * C_ST."""
+        bitwidth = _get(env, "bitwidth")
+        scale = _get(env, "activity_scale", 1.0)
+        if bitwidth < 1:
+            raise ModelError(f"model {self.name!r}: bitwidth must be >= 1")
+        return bitwidth * self.slice_capacitance(scale)
+
+    def energy_per_access(self, env: Mapping[str, float]) -> float:
+        vdd = _get(env, "VDD")
+        return self.total_capacitance(env) * vdd * vdd
+
+    def power(self, env: Mapping[str, float]) -> float:
+        return self.energy_per_access(env) * _get(env, "f")
+
+    def breakdown(self, env: Mapping[str, float]) -> Dict[str, float]:
+        vdd = _get(env, "VDD")
+        f = _get(env, "f")
+        bitwidth = _get(env, "bitwidth")
+        scale = _get(env, "activity_scale", 1.0)
+        return {
+            stage.name: bitwidth * scale * stage.capacitance() * vdd * vdd * f
+            for stage in self.stages
+        }
+
+    def with_input_probability(self, probability: float) -> "SvenssonModel":
+        """Re-derive stage activities for a different input statistic.
+
+        Keeps physical capacitances; rescales every alpha by the ratio of
+        the new input transition probability to 0.5-signal activity.
+        """
+        reference = signal_to_transition(0.5)
+        target = signal_to_transition(probability)
+        ratio = target / reference if reference > 0 else 0.0
+        stages = [
+            replace(
+                stage,
+                alpha_in=min(1.0, stage.alpha_in * ratio),
+                alpha_out=min(1.0, stage.alpha_out * ratio),
+            )
+            for stage in self.stages
+        ]
+        return SvenssonModel(
+            self.name, stages, doc=self.doc + f" (p_in={probability})"
+        )
+
+    def __repr__(self) -> str:
+        return f"SvenssonModel({self.name!r}, {len(self.stages)} stages)"
+
+
+def svensson_ripple_adder(
+    bitwidth: int = 16,
+    c_in: float = 12e-15,
+    c_out: float = 18e-15,
+    input_probability: float = 0.5,
+    name: str = "svensson_ripple_adder",
+) -> SvenssonModel:
+    """Analytical ripple-adder slice: XOR-XOR sum path + majority carry.
+
+    A full-adder bit slice decomposed into the stages of its standard
+    static-CMOS mirror implementation.
+    """
+    sum_stages = stages_from_chain(
+        [("xor", 2), ("xor", 2)], c_in, c_out, input_probability
+    )
+    carry_stages = stages_from_chain(
+        [("and", 2), ("or", 2)], c_in, c_out, input_probability
+    )
+    stages = [
+        replace(stage, name=f"sum_{stage.name}") for stage in sum_stages
+    ] + [replace(stage, name=f"carry_{stage.name}") for stage in carry_stages]
+    return SvenssonModel(name, stages, default_bitwidth=bitwidth)

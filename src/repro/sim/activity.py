@@ -1,0 +1,235 @@
+"""Signal statistics: activities, correlation, stimulus generation.
+
+"In this example, signal correlations are neglected, yielding a
+conservatively high power estimate" — PowerPlay's correlated model
+variants need correlated stimulus to be characterized against.  This
+module provides:
+
+* measurement — per-bit signal probability and transition activity of a
+  word stream, plus lag-1 word correlation;
+* the *dual-bit-type* view (Landman): low-order bits of real data behave
+  like uniform noise (alpha ~ 0.5 transitions), high-order sign/magnitude
+  bits follow the word correlation; breakpoints locate the boundary;
+* generation — IID uniform words, and lag-1 Gauss-Markov correlated
+  words with a target correlation coefficient ``rho``;
+* conversion of word streams into the bit-vector stimulus the gate
+  simulator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BitStatistics:
+    """Per-bit statistics of a word stream."""
+
+    signal_probability: Tuple[float, ...]     # P(bit = 1), LSB first
+    transition_activity: Tuple[float, ...]    # P(bit flips between words)
+
+    @property
+    def bits(self) -> int:
+        return len(self.signal_probability)
+
+    def average_activity(self) -> float:
+        if not self.transition_activity:
+            return 0.0
+        return sum(self.transition_activity) / len(self.transition_activity)
+
+
+def measure_bits(words: Sequence[int], bits: int) -> BitStatistics:
+    """Measure per-bit signal probability and transition activity."""
+    if bits < 1:
+        raise SimulationError("bits must be >= 1")
+    if len(words) < 2:
+        raise SimulationError("need at least two words to measure activity")
+    ones = [0] * bits
+    flips = [0] * bits
+    previous = None
+    for word in words:
+        for bit in range(bits):
+            value = (word >> bit) & 1
+            ones[bit] += value
+            if previous is not None and ((previous >> bit) & 1) != value:
+                flips[bit] += 1
+        previous = word
+    count = len(words)
+    return BitStatistics(
+        signal_probability=tuple(one / count for one in ones),
+        transition_activity=tuple(flip / (count - 1) for flip in flips),
+    )
+
+
+def word_correlation(words: Sequence[int]) -> float:
+    """Lag-1 Pearson correlation of a word stream."""
+    if len(words) < 3:
+        raise SimulationError("need at least three words for correlation")
+    x = [float(word) for word in words[:-1]]
+    y = [float(word) for word in words[1:]]
+    n = len(x)
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y)) / n
+    var_x = sum((a - mean_x) ** 2 for a in x) / n
+    var_y = sum((b - mean_y) ** 2 for b in y) / n
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass(frozen=True)
+class DualBitType:
+    """Landman's dual-bit-type decomposition of a word stream.
+
+    Bits below ``breakpoint_low`` behave as uniform white noise; bits
+    above ``breakpoint_high`` behave as sign bits following the word
+    correlation; bits between interpolate.
+    """
+
+    breakpoint_low: int
+    breakpoint_high: int
+    lsb_activity: float
+    msb_activity: float
+
+    def activity_of_bit(self, bit: int) -> float:
+        if bit <= self.breakpoint_low:
+            return self.lsb_activity
+        if bit >= self.breakpoint_high:
+            return self.msb_activity
+        span = self.breakpoint_high - self.breakpoint_low
+        fraction = (bit - self.breakpoint_low) / span
+        return self.lsb_activity + fraction * (self.msb_activity - self.lsb_activity)
+
+
+def dual_bit_type(statistics: BitStatistics, threshold: float = 0.1) -> DualBitType:
+    """Fit the dual-bit-type breakpoints from measured activities.
+
+    ``breakpoint_low`` is the last bit whose activity stays within
+    ``threshold`` (relative) of the LSB region average; ``breakpoint_high``
+    the first bit within ``threshold`` of the MSB region average.
+    """
+    activities = statistics.transition_activity
+    bits = len(activities)
+    if bits < 2:
+        raise SimulationError("dual-bit-type needs at least 2 bits")
+    lsb = activities[0]
+    msb = activities[-1]
+    low = 0
+    for bit in range(bits):
+        if lsb == 0 or abs(activities[bit] - lsb) > threshold * max(lsb, 1e-12):
+            break
+        low = bit
+    high = bits - 1
+    for bit in range(bits - 1, -1, -1):
+        if msb == 0 or abs(activities[bit] - msb) > threshold * max(msb, 1e-12):
+            break
+        high = bit
+    if high <= low:
+        high = min(bits - 1, low + 1)
+    return DualBitType(
+        breakpoint_low=low,
+        breakpoint_high=high,
+        lsb_activity=lsb,
+        msb_activity=msb,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stimulus generation
+# ---------------------------------------------------------------------------
+
+
+def uniform_words(count: int, bits: int, seed: int = 1) -> List[int]:
+    """IID uniform words in [0, 2^bits)."""
+    if count < 1 or bits < 1:
+        raise SimulationError("count and bits must be >= 1")
+    rng = random.Random(seed)
+    limit = (1 << bits) - 1
+    return [rng.randint(0, limit) for _ in range(count)]
+
+
+def correlated_words(
+    count: int, bits: int, rho: float, seed: int = 1
+) -> List[int]:
+    """Lag-1 Gauss-Markov words with target correlation ``rho``.
+
+    ``x[n] = rho * x[n-1] + sqrt(1 - rho^2) * noise`` around mid-scale,
+    clamped to the representable range — the standard model for speech/
+    video-like data in power characterization.
+    """
+    if count < 1 or bits < 1:
+        raise SimulationError("count and bits must be >= 1")
+    if not -1.0 < rho < 1.0:
+        raise SimulationError(f"correlation {rho} outside (-1, 1)")
+    rng = random.Random(seed)
+    full_scale = (1 << bits) - 1
+    mid = full_scale / 2.0
+    sigma = full_scale / 6.0  # +-3 sigma spans the range
+    innovation = math.sqrt(max(0.0, 1.0 - rho * rho))
+    value = 0.0
+    words: List[int] = []
+    for _ in range(count):
+        value = rho * value + innovation * rng.gauss(0.0, 1.0)
+        sample = int(round(mid + sigma * value))
+        words.append(max(0, min(full_scale, sample)))
+    return words
+
+
+def words_to_vectors(
+    words: Sequence[int], bits: int, prefix: str = "a"
+) -> List[Dict[str, int]]:
+    """Expand a word stream into gate-simulator input vectors."""
+    vectors: List[Dict[str, int]] = []
+    for word in words:
+        vectors.append(
+            {f"{prefix}{bit}": (word >> bit) & 1 for bit in range(bits)}
+        )
+    return vectors
+
+
+def merge_vectors(*streams: Sequence[Mapping[str, int]]) -> List[Dict[str, int]]:
+    """Zip several vector streams (different prefixes) cycle by cycle."""
+    if not streams:
+        return []
+    length = min(len(stream) for stream in streams)
+    merged: List[Dict[str, int]] = []
+    for index in range(length):
+        vector: Dict[str, int] = {}
+        for stream in streams:
+            overlap = set(vector) & set(stream[index])
+            if overlap:
+                raise SimulationError(
+                    f"stimulus streams overlap on {sorted(overlap)[:3]}"
+                )
+            vector.update(stream[index])
+        merged.append(vector)
+    return merged
+
+
+def operand_vectors(
+    count: int,
+    bits: int,
+    correlation: float = 0.0,
+    seed: int = 1,
+    prefixes: Sequence[str] = ("a", "b"),
+) -> List[Dict[str, int]]:
+    """Two-operand stimulus for adders/multipliers/comparators.
+
+    ``correlation = 0`` gives IID uniform operands (the paper's
+    "non-correlated inputs"); otherwise each operand stream is
+    Gauss-Markov with the given lag-1 rho.
+    """
+    streams = []
+    for offset, prefix in enumerate(prefixes):
+        if correlation == 0.0:
+            words = uniform_words(count, bits, seed + offset)
+        else:
+            words = correlated_words(count, bits, correlation, seed + offset)
+        streams.append(words_to_vectors(words, bits, prefix))
+    return merge_vectors(*streams)

@@ -1,0 +1,317 @@
+"""Generators for the structural netlists the characterization flow uses.
+
+Each generator returns a :class:`~repro.sim.gatesim.Netlist` whose input
+naming convention the stimulus helpers understand (``a0..aN``,
+``b0..bN`` for operands).  These are the circuits the original authors
+would have had as library layouts; sweeping their size parameter and
+fitting switched capacitance against it reproduces the Landman
+characterization (EQ 3 for adders, EQ 20 for the multiplier...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from .gatesim import Netlist
+
+
+def _operand(prefix: str, bits: int) -> List[str]:
+    return [f"{prefix}{index}" for index in range(bits)]
+
+
+def full_adder(
+    netlist: Netlist, a: str, b: str, carry_in: Optional[str], tag: str
+) -> Tuple[str, str]:
+    """Instantiate one full adder; returns (sum_net, carry_out_net).
+
+    With ``carry_in`` None a half adder is produced.
+    """
+    if carry_in is None:
+        sum_net = netlist.add_gate("xor", f"{tag}_s", [a, b])
+        carry = netlist.add_gate("and", f"{tag}_c", [a, b])
+        return sum_net, carry
+    p = netlist.add_gate("xor", f"{tag}_p", [a, b])
+    sum_net = netlist.add_gate("xor", f"{tag}_s", [p, carry_in])
+    g = netlist.add_gate("and", f"{tag}_g", [a, b])
+    t = netlist.add_gate("and", f"{tag}_t", [p, carry_in])
+    carry = netlist.add_gate("or", f"{tag}_c", [g, t])
+    return sum_net, carry
+
+
+def ripple_adder_netlist(bits: int, registered: bool = True) -> Netlist:
+    """N-bit ripple-carry adder, optionally with input/output registers.
+
+    Registered variants measure the clock load too, matching the
+    library's "clock capacitance included" convention.
+    """
+    if bits < 1:
+        raise NetlistError("adder needs at least 1 bit")
+    netlist = Netlist(f"ripple_adder_{bits}")
+    a_in = [netlist.add_input(name) for name in _operand("a", bits)]
+    b_in = [netlist.add_input(name) for name in _operand("b", bits)]
+    if registered:
+        a_regs = [netlist.add_register(f"ra{i}", a_in[i]) for i in range(bits)]
+        b_regs = [netlist.add_register(f"rb{i}", b_in[i]) for i in range(bits)]
+        a_bits, b_bits = a_regs, b_regs
+    else:
+        a_bits, b_bits = a_in, b_in
+    carry: Optional[str] = None
+    sums: List[str] = []
+    for index in range(bits):
+        sum_net, carry = full_adder(
+            netlist, a_bits[index], b_bits[index], carry, f"fa{index}"
+        )
+        sums.append(sum_net)
+    outs = sums + [carry]
+    for index, net in enumerate(outs):
+        if registered:
+            netlist.add_register(f"rs{index}", net)
+            netlist.mark_output(f"rs{index}")
+        else:
+            netlist.mark_output(net)
+    return netlist
+
+
+def array_multiplier_netlist(
+    bits_a: int, bits_b: Optional[int] = None, registered: bool = True
+) -> Netlist:
+    """Unsigned carry-save array multiplier, bitsA x bitsB.
+
+    Partial products are AND gates; rows of carry-save adders reduce
+    them; a final ripple stage produces the high half.  This is the
+    structure whose switched capacitance grows ~ bitsA*bitsB — the
+    physical origin of EQ 20's bilinear coefficient.
+    """
+    if bits_b is None:
+        bits_b = bits_a
+    if bits_a < 1 or bits_b < 1:
+        raise NetlistError("multiplier needs at least 1x1 bits")
+    netlist = Netlist(f"array_multiplier_{bits_a}x{bits_b}")
+    a_in = [netlist.add_input(name) for name in _operand("a", bits_a)]
+    b_in = [netlist.add_input(name) for name in _operand("b", bits_b)]
+    if registered:
+        a_bits = [netlist.add_register(f"ra{i}", a_in[i]) for i in range(bits_a)]
+        b_bits = [netlist.add_register(f"rb{i}", b_in[i]) for i in range(bits_b)]
+    else:
+        a_bits, b_bits = a_in, b_in
+
+    # partial products pp[i][j] = a[i] & b[j]
+    pp: List[List[str]] = []
+    for i in range(bits_a):
+        row = []
+        for j in range(bits_b):
+            row.append(
+                netlist.add_gate("and", f"pp_{i}_{j}", [a_bits[i], b_bits[j]])
+            )
+        pp.append(row)
+
+    # column-wise accumulation with full adders (Wallace-ish, serial)
+    columns: List[List[str]] = [[] for _ in range(bits_a + bits_b)]
+    for i in range(bits_a):
+        for j in range(bits_b):
+            columns[i + j].append(pp[i][j])
+    counter = 0
+    products: List[str] = []
+    for position in range(bits_a + bits_b):
+        column = columns[position]
+        while len(column) > 1:
+            if len(column) >= 3:
+                a, b, c = column.pop(), column.pop(), column.pop()
+                sum_net, carry = full_adder(netlist, a, b, c, f"cs{counter}")
+            else:
+                a, b = column.pop(), column.pop()
+                sum_net, carry = full_adder(netlist, a, b, None, f"cs{counter}")
+            counter += 1
+            column.append(sum_net)
+            if position + 1 < len(columns):
+                columns[position + 1].append(carry)
+        products.append(column[0] if column else None)
+    final = [net for net in products if net is not None]
+    for index, net in enumerate(final):
+        if registered:
+            netlist.add_register(f"rp{index}", net)
+            netlist.mark_output(f"rp{index}")
+        else:
+            netlist.mark_output(net)
+    return netlist
+
+
+def register_bank_netlist(bits: int) -> Netlist:
+    """A plain N-bit register: D in, Q out — pure clock+data load."""
+    if bits < 1:
+        raise NetlistError("register needs at least 1 bit")
+    netlist = Netlist(f"register_{bits}")
+    for index in range(bits):
+        d = netlist.add_input(f"d{index}")
+        q = netlist.add_register(f"q{index}", d)
+        netlist.mark_output(q)
+    return netlist
+
+
+def mux_tree_netlist(bits: int, inputs: int) -> Netlist:
+    """N-way, ``bits``-wide multiplexer built from 2:1 stages.
+
+    ``inputs`` must be a power of two.  Select lines are shared across
+    all bit lanes, as in a real datapath mux.
+    """
+    if bits < 1:
+        raise NetlistError("mux needs at least 1 bit")
+    if inputs < 2 or inputs & (inputs - 1):
+        raise NetlistError("mux input count must be a power of two >= 2")
+    import math
+
+    select_bits = int(math.log2(inputs))
+    netlist = Netlist(f"mux_{inputs}to1_{bits}")
+    selects = [netlist.add_input(f"sel{level}") for level in range(select_bits)]
+    lanes: List[List[str]] = []
+    for lane in range(bits):
+        lanes.append(
+            [netlist.add_input(f"in{port}_{lane}") for port in range(inputs)]
+        )
+    for lane in range(bits):
+        current = lanes[lane]
+        for level in range(select_bits):
+            reduced = []
+            for pair in range(len(current) // 2):
+                out = netlist.add_gate(
+                    "mux2",
+                    f"m{lane}_{level}_{pair}",
+                    [current[2 * pair], current[2 * pair + 1], selects[level]],
+                )
+                reduced.append(out)
+            current = reduced
+        netlist.mark_output(current[0])
+    return netlist
+
+
+def comparator_netlist(bits: int) -> Netlist:
+    """N-bit equality comparator: XNOR per bit + AND reduction."""
+    if bits < 1:
+        raise NetlistError("comparator needs at least 1 bit")
+    netlist = Netlist(f"comparator_{bits}")
+    a_bits = [netlist.add_input(name) for name in _operand("a", bits)]
+    b_bits = [netlist.add_input(name) for name in _operand("b", bits)]
+    eq_bits = [
+        netlist.add_gate("xnor", f"eq{i}", [a_bits[i], b_bits[i]])
+        for i in range(bits)
+    ]
+    if bits == 1:
+        netlist.add_gate("buf", "equal", [eq_bits[0]])
+    else:
+        netlist.add_gate("and", "equal", eq_bits)
+    netlist.mark_output("equal")
+    return netlist
+
+
+def memory_column_netlist(words: int) -> Netlist:
+    """One SRAM-like column: word-line select mux tree over cells.
+
+    Models the bit-line loading growth with word count — enough
+    structure for the EQ 7 per-words coefficient to be fit from
+    simulation.  ``words`` must be a power of two.
+    """
+    if words < 2 or words & (words - 1):
+        raise NetlistError("word count must be a power of two >= 2")
+    import math
+
+    address_bits = int(math.log2(words))
+    netlist = Netlist(f"memory_column_{words}")
+    addresses = [netlist.add_input(f"addr{i}") for i in range(address_bits)]
+    write = netlist.add_input("write_data")
+    write_enable = netlist.add_input("write_enable")
+    cells: List[str] = []
+    for word in range(words):
+        # select = AND over address bits in true/complement form
+        literals = []
+        for bit, addr in enumerate(addresses):
+            if (word >> bit) & 1:
+                literals.append(addr)
+            else:
+                literals.append(
+                    netlist.add_gate("not", f"naddr{bit}_{word}", [addr])
+                )
+        select = (
+            netlist.add_gate("and", f"sel{word}", literals)
+            if len(literals) > 1
+            else netlist.add_gate("buf", f"sel{word}", literals)
+        )
+        enable = netlist.add_gate("and", f"we{word}", [select, write_enable])
+        cell_q = f"cell{word}"
+        next_value = netlist.add_gate(
+            "mux2", f"cellin{word}", [cell_q, write, enable]
+        )
+        netlist.add_register(cell_q, next_value)
+        cells.append(
+            netlist.add_gate("and", f"read{word}", [cell_q, select])
+        )
+    netlist.add_gate("or", "bitline", cells) if len(cells) > 1 else None
+    netlist.mark_output("bitline" if len(cells) > 1 else cells[0])
+    return netlist
+
+
+def memory_array_netlist(words: int, bits: int) -> Netlist:
+    """A ``bits``-wide memory: parallel columns sharing address decode.
+
+    The structure whose measured capacitance exhibits every EQ 7 term:
+    a fixed clocking overhead, decode growing with ``words``, per-column
+    sense/output growing with ``bits``, and cell/bit-line loading growing
+    with ``words * bits``.  Sweeping (words, bits) through the gate
+    simulator and fitting ``fit_sram`` against the measurements is the
+    full Landman flow for memories.
+
+    ``words`` must be a power of two.
+    """
+    if words < 2 or words & (words - 1):
+        raise NetlistError("word count must be a power of two >= 2")
+    if bits < 1:
+        raise NetlistError("memory needs at least 1 bit of width")
+    import math
+
+    address_bits = int(math.log2(words))
+    netlist = Netlist(f"memory_{words}x{bits}")
+    addresses = [netlist.add_input(f"addr{i}") for i in range(address_bits)]
+    write_enable = netlist.add_input("write_enable")
+    write_data = [netlist.add_input(f"write_data{b}") for b in range(bits)]
+
+    # shared word-line decode (true/complement literals per word)
+    selects: List[str] = []
+    for word in range(words):
+        literals = []
+        for bit, addr in enumerate(addresses):
+            if (word >> bit) & 1:
+                literals.append(addr)
+            else:
+                literals.append(
+                    netlist.add_gate("not", f"naddr{bit}_{word}", [addr])
+                )
+        select = (
+            netlist.add_gate("and", f"sel{word}", literals)
+            if len(literals) > 1
+            else netlist.add_gate("buf", f"sel{word}", literals)
+        )
+        selects.append(netlist.add_gate("and", f"we{word}", [select, write_enable]))
+        # keep the bare select for reads
+        netlist.add_gate("buf", f"rsel{word}", [select])
+
+    for column in range(bits):
+        reads: List[str] = []
+        for word in range(words):
+            cell_q = f"cell{word}_{column}"
+            next_value = netlist.add_gate(
+                "mux2",
+                f"cellin{word}_{column}",
+                [cell_q, write_data[column], selects[word]],
+            )
+            netlist.add_register(cell_q, next_value)
+            reads.append(
+                netlist.add_gate(
+                    "and", f"read{word}_{column}", [cell_q, f"rsel{word}"]
+                )
+            )
+        if len(reads) > 1:
+            netlist.add_gate("or", f"bitline{column}", reads)
+        else:
+            netlist.add_gate("buf", f"bitline{column}", reads)
+        netlist.mark_output(f"bitline{column}")
+    return netlist

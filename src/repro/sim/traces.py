@@ -1,0 +1,173 @@
+"""Synthetic video generation for the decompression case study.
+
+The paper's luminance chip decodes real-time video for the InfoPad's
+256 x 128 screen.  We have no 1994 video capture, so this module
+synthesizes luminance frames with the two statistics that matter to the
+power analysis: *spatial* correlation (neighbouring pixels alike — what
+vector quantization exploits) and *temporal* correlation (consecutive
+frames alike — what keeps bus activity low).
+
+Frames are plain ``List[List[int]]`` of ``depth``-bit luminance values,
+row-major, so the VQ codec and chip simulators stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+#: The InfoPad screen the paper's numbers assume.
+SCREEN_WIDTH = 256
+SCREEN_HEIGHT = 128
+PIXEL_DEPTH = 6           # 6-bit luminance words
+DISPLAY_FPS = 60          # screen refresh
+SOURCE_FPS = 30           # incoming video
+
+
+Frame = List[List[int]]
+
+
+@dataclass
+class VideoConfig:
+    """Knobs for the synthetic source."""
+
+    width: int = SCREEN_WIDTH
+    height: int = SCREEN_HEIGHT
+    depth: int = PIXEL_DEPTH
+    spatial_smoothness: float = 0.85   # 0 = white noise, ->1 = flat fields
+    temporal_smoothness: float = 0.9   # frame-to-frame carry-over
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise SimulationError("frame dimensions must be positive")
+        if not 1 <= self.depth <= 16:
+            raise SimulationError("pixel depth must be 1..16 bits")
+        for value in (self.spatial_smoothness, self.temporal_smoothness):
+            if not 0.0 <= value < 1.0:
+                raise SimulationError("smoothness must be in [0, 1)")
+
+    @property
+    def full_scale(self) -> int:
+        return (1 << self.depth) - 1
+
+
+class VideoSource:
+    """Deterministic synthetic luminance video.
+
+    Each frame is a first-order 2-D autoregressive field: a pixel mixes
+    its left and upper neighbours with fresh noise (spatial
+    correlation), and the whole field mixes with the previous frame
+    (temporal correlation).  The result quantizes well under VQ — block
+    variance is low — which is the property the paper's architecture
+    comparison leans on.
+    """
+
+    def __init__(self, config: Optional[VideoConfig] = None):
+        self.config = config or VideoConfig()
+        self._rng = random.Random(self.config.seed)
+        self._previous: Optional[Frame] = None
+        self.frames_generated = 0
+
+    def next_frame(self) -> Frame:
+        cfg = self.config
+        s = cfg.spatial_smoothness
+        noise_scale = cfg.full_scale * (1.0 - s)
+        frame: Frame = []
+        for y in range(cfg.height):
+            row: List[int] = []
+            for x in range(cfg.width):
+                neighbours = []
+                if x > 0:
+                    neighbours.append(row[x - 1])
+                if y > 0:
+                    neighbours.append(frame[y - 1][x])
+                if neighbours:
+                    base = sum(neighbours) / len(neighbours)
+                else:
+                    base = cfg.full_scale / 2.0
+                value = s * base + self._rng.uniform(-noise_scale, noise_scale)
+                row.append(max(0, min(cfg.full_scale, int(round(value)))))
+            frame.append(row)
+        if self._previous is not None and cfg.temporal_smoothness > 0:
+            t = cfg.temporal_smoothness
+            for y in range(cfg.height):
+                for x in range(cfg.width):
+                    mixed = t * self._previous[y][x] + (1.0 - t) * frame[y][x]
+                    frame[y][x] = max(0, min(cfg.full_scale, int(round(mixed))))
+        self._previous = frame
+        self.frames_generated += 1
+        return frame
+
+    def frames(self, count: int) -> Iterator[Frame]:
+        if count < 0:
+            raise SimulationError("frame count cannot be negative")
+        for _ in range(count):
+            yield self.next_frame()
+
+
+def frame_to_blocks(frame: Frame, block: int = 16) -> List[List[int]]:
+    """Split a frame into ``block``-pixel horizontal runs (VQ vectors).
+
+    The paper's scheme vector-quantizes 16-pixel blocks; rows must be a
+    multiple of the block length.
+    """
+    if block < 1:
+        raise SimulationError("block length must be >= 1")
+    width = len(frame[0]) if frame else 0
+    if width % block:
+        raise SimulationError(
+            f"frame width {width} not a multiple of block {block}"
+        )
+    vectors: List[List[int]] = []
+    for row in frame:
+        for start in range(0, width, block):
+            vectors.append(list(row[start : start + block]))
+    return vectors
+
+
+def blocks_to_frame(vectors: Sequence[Sequence[int]], width: int) -> Frame:
+    """Reassemble block vectors into a frame of the given width."""
+    if not vectors:
+        return []
+    block = len(vectors[0])
+    if width % block:
+        raise SimulationError(
+            f"width {width} not a multiple of block {block}"
+        )
+    per_row = width // block
+    if len(vectors) % per_row:
+        raise SimulationError("vector count does not fill whole rows")
+    frame: Frame = []
+    for index in range(0, len(vectors), per_row):
+        row: List[int] = []
+        for vector in vectors[index : index + per_row]:
+            row.extend(vector)
+        frame.append(row)
+    return frame
+
+
+def mean_squared_error(a: Frame, b: Frame) -> float:
+    """Reconstruction MSE between two frames."""
+    if len(a) != len(b) or (a and len(a[0]) != len(b[0])):
+        raise SimulationError("frames differ in shape")
+    total = 0.0
+    count = 0
+    for row_a, row_b in zip(a, b):
+        for pa, pb in zip(row_a, row_b):
+            total += (pa - pb) ** 2
+            count += 1
+    return total / count if count else 0.0
+
+
+def peak_signal_to_noise(a: Frame, b: Frame, depth: int = PIXEL_DEPTH) -> float:
+    """PSNR in dB; infinity for identical frames."""
+    mse = mean_squared_error(a, b)
+    if mse == 0:
+        return math.inf
+    peak = (1 << depth) - 1
+    return 10.0 * math.log10(peak * peak / mse)

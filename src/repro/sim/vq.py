@@ -1,0 +1,396 @@
+"""Vector-quantization codec and the two luminance-chip architectures.
+
+The paper's worked example (Figures 1-3): a real-time video
+decompression chip decodes an 8-bit index into 16 six-bit luminance
+words through a memory look-up table, with ping-pong index buffers in
+front.  This module provides:
+
+* :class:`Codebook` — the 256-entry, 16-word LUT, trainable by k-means
+  (Gersho-style generalized Lloyd) on synthetic video, or built
+  deterministically;
+* :func:`encode` / :func:`decode` — the codec proper, with
+  reconstruction-quality metrics via :mod:`repro.sim.traces`;
+* :class:`LuminanceChip` — a functional simulator of the decompression
+  datapath, parameterized by ``words_per_access`` so that 1 reproduces
+  Figure 1 and 4 reproduces Figure 3 (and anything up to the block size
+  generalizes the comparison, which the memory-partition ablation
+  sweeps);
+* access *counting*: per-component access totals over simulated frames,
+  and the derived access **rates** that the paper quotes — pixel rate
+  ``f = 2 MHz``, buffer reads at ``f/16``, buffer writes at ``f/32``.
+
+These counts are what a PowerPlay design multiplies by energy/access —
+the step "PowerPlay multiplied the resulting energy/operation by the
+estimated number of accesses of each resource".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .traces import (
+    DISPLAY_FPS,
+    PIXEL_DEPTH,
+    SCREEN_HEIGHT,
+    SCREEN_WIDTH,
+    SOURCE_FPS,
+    Frame,
+    VideoConfig,
+    VideoSource,
+    blocks_to_frame,
+    frame_to_blocks,
+)
+
+#: The paper's block size: one 8-bit index covers 16 pixels.
+BLOCK_SIZE = 16
+CODEBOOK_ENTRIES = 256
+
+
+class Codebook:
+    """The decompression look-up table: entries x block_size words."""
+
+    def __init__(self, entries: Sequence[Sequence[int]], depth: int = PIXEL_DEPTH):
+        if not entries:
+            raise SimulationError("codebook cannot be empty")
+        length = len(entries[0])
+        full_scale = (1 << depth) - 1
+        table: List[Tuple[int, ...]] = []
+        for row in entries:
+            if len(row) != length:
+                raise SimulationError("codebook entries differ in length")
+            for value in row:
+                if not 0 <= value <= full_scale:
+                    raise SimulationError(
+                        f"codeword value {value} outside 0..{full_scale}"
+                    )
+            table.append(tuple(int(v) for v in row))
+        self._table = table
+        self.depth = depth
+
+    @property
+    def size(self) -> int:
+        return len(self._table)
+
+    @property
+    def block_size(self) -> int:
+        return len(self._table[0])
+
+    @property
+    def index_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.size)))
+
+    def __getitem__(self, index: int) -> Tuple[int, ...]:
+        if not 0 <= index < self.size:
+            raise SimulationError(f"index {index} outside codebook")
+        return self._table[index]
+
+    def nearest(self, vector: Sequence[int]) -> int:
+        """Index of the closest codeword (squared-error metric)."""
+        if len(vector) != self.block_size:
+            raise SimulationError(
+                f"vector length {len(vector)} != block size {self.block_size}"
+            )
+        array = np.asarray(self._table, dtype=np.float64)
+        target = np.asarray(vector, dtype=np.float64)
+        distances = np.sum((array - target) ** 2, axis=1)
+        return int(np.argmin(distances))
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        entries: int = CODEBOOK_ENTRIES,
+        block_size: int = BLOCK_SIZE,
+        depth: int = PIXEL_DEPTH,
+    ) -> "Codebook":
+        """Deterministic codebook: flat fields plus left/right ramps.
+
+        Good enough for access counting and for tests that must not pay
+        for k-means training.
+        """
+        full_scale = (1 << depth) - 1
+        table: List[List[int]] = []
+        flats = entries // 2
+        ramps = entries - flats
+        for i in range(flats):
+            level = round(i * full_scale / max(1, flats - 1))
+            table.append([level] * block_size)
+        for i in range(ramps):
+            start = round((i / max(1, ramps - 1)) * full_scale)
+            end = full_scale - start
+            table.append(
+                [
+                    max(0, min(full_scale,
+                               round(start + (end - start) * j / (block_size - 1))))
+                    for j in range(block_size)
+                ]
+            )
+        return cls(table[:entries], depth)
+
+    @classmethod
+    def train(
+        cls,
+        vectors: Sequence[Sequence[int]],
+        entries: int = CODEBOOK_ENTRIES,
+        depth: int = PIXEL_DEPTH,
+        iterations: int = 10,
+        seed: int = 3,
+    ) -> "Codebook":
+        """Generalized Lloyd (k-means) training on sample vectors."""
+        if len(vectors) < entries:
+            raise SimulationError(
+                f"need at least {entries} training vectors, got {len(vectors)}"
+            )
+        data = np.asarray(vectors, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        centers = data[rng.choice(len(data), size=entries, replace=False)]
+        for _ in range(iterations):
+            distances = (
+                np.sum(data**2, axis=1)[:, None]
+                - 2.0 * data @ centers.T
+                + np.sum(centers**2, axis=1)[None, :]
+            )
+            assignment = np.argmin(distances, axis=1)
+            for k in range(entries):
+                members = data[assignment == k]
+                if len(members):
+                    centers[k] = members.mean(axis=0)
+                else:  # dead codeword: re-seed on a random sample
+                    centers[k] = data[rng.integers(0, len(data))]
+        full_scale = (1 << depth) - 1
+        table = np.clip(np.rint(centers), 0, full_scale).astype(int)
+        return cls(table.tolist(), depth)
+
+
+def encode(frame: Frame, codebook: Codebook) -> List[int]:
+    """Compress a frame to one index per block (the transmitter side)."""
+    blocks = frame_to_blocks(frame, codebook.block_size)
+    array = np.asarray(codebook._table, dtype=np.float64)
+    data = np.asarray(blocks, dtype=np.float64)
+    distances = (
+        np.sum(data**2, axis=1)[:, None]
+        - 2.0 * data @ array.T
+        + np.sum(array**2, axis=1)[None, :]
+    )
+    return [int(i) for i in np.argmin(distances, axis=1)]
+
+
+def decode(indices: Sequence[int], codebook: Codebook, width: int) -> Frame:
+    """Reconstruct a frame from block indices (what the chip does)."""
+    vectors = [list(codebook[index]) for index in indices]
+    return blocks_to_frame(vectors, width)
+
+
+# ---------------------------------------------------------------------------
+# The luminance decompression chip
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccessCounts:
+    """Per-component access totals accumulated by the chip simulator."""
+
+    lut_reads: int = 0
+    read_bank_reads: int = 0
+    write_bank_writes: int = 0
+    output_register_loads: int = 0
+    output_mux_selects: int = 0
+    pixels_out: int = 0
+    frames_displayed: int = 0
+    frames_received: int = 0
+
+    def merged(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(
+            lut_reads=self.lut_reads + other.lut_reads,
+            read_bank_reads=self.read_bank_reads + other.read_bank_reads,
+            write_bank_writes=self.write_bank_writes + other.write_bank_writes,
+            output_register_loads=self.output_register_loads
+            + other.output_register_loads,
+            output_mux_selects=self.output_mux_selects + other.output_mux_selects,
+            pixels_out=self.pixels_out + other.pixels_out,
+            frames_displayed=self.frames_displayed + other.frames_displayed,
+            frames_received=self.frames_received + other.frames_received,
+        )
+
+
+class LuminanceChip:
+    """Functional model of the decompression datapath.
+
+    ``words_per_access = 1`` is the Figure 1 architecture: the LUT is
+    read once per pixel.  ``words_per_access = 4`` is Figure 3: each LUT
+    access yields four words, a 4:1 multiplexer selects the current
+    pixel, and only the mux + output register run at the full pixel
+    rate.  Any divisor of the block size is accepted — the generalized
+    trade-off the memory-partition ablation sweeps.
+
+    Ping-pong buffering: indices of the incoming frame go to the write
+    bank while the read bank feeds the display; banks swap every
+    received frame.  The display runs at ``display_fps`` while video
+    arrives at ``source_fps``, so each received frame is displayed
+    ``display_fps / source_fps`` times — the origin of the paper's
+    read = f/16 vs write = f/32 asymmetry.
+    """
+
+    def __init__(
+        self,
+        codebook: Optional[Codebook] = None,
+        words_per_access: int = 1,
+        width: int = SCREEN_WIDTH,
+        height: int = SCREEN_HEIGHT,
+        display_fps: int = DISPLAY_FPS,
+        source_fps: int = SOURCE_FPS,
+    ):
+        self.codebook = codebook or Codebook.uniform()
+        block = self.codebook.block_size
+        if words_per_access < 1 or block % words_per_access:
+            raise SimulationError(
+                f"words_per_access {words_per_access} must divide "
+                f"block size {block}"
+            )
+        if width % block:
+            raise SimulationError(
+                f"screen width {width} not a multiple of block {block}"
+            )
+        if display_fps % source_fps:
+            raise SimulationError(
+                "display rate must be an integer multiple of source rate"
+            )
+        self.words_per_access = words_per_access
+        self.width = width
+        self.height = height
+        self.display_fps = display_fps
+        self.source_fps = source_fps
+        self.counts = AccessCounts()
+        self._banks: List[List[int]] = [[], []]
+        self._read_bank = 0
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.codebook.block_size
+
+    @property
+    def blocks_per_frame(self) -> int:
+        return (self.width * self.height) // self.block_size
+
+    @property
+    def pixel_rate(self) -> float:
+        """f: the rate pixels must reach the screen (Hz)."""
+        return float(self.width * self.height * self.display_fps)
+
+    @property
+    def repeats_per_source_frame(self) -> int:
+        return self.display_fps // self.source_fps
+
+    @property
+    def bank_words(self) -> int:
+        """Index words one ping-pong bank stores (2048 in the paper)."""
+        return self.blocks_per_frame
+
+    @property
+    def lut_words(self) -> int:
+        """Addressable LUT words for this organization."""
+        return self.codebook.size * (self.block_size // self.words_per_access)
+
+    @property
+    def lut_bits(self) -> int:
+        """Word width of the LUT for this organization."""
+        return self.codebook.depth * self.words_per_access
+
+    # -- operation ----------------------------------------------------------
+
+    def receive_frame(self, frame: Frame) -> List[int]:
+        """Encode an incoming frame into the write bank; swap banks.
+
+        Returns the stored indices (for test inspection).  Counts one
+        write-bank store per block index.
+        """
+        indices = encode(frame, self.codebook)
+        if len(indices) != self.blocks_per_frame:
+            raise SimulationError("encoded frame has wrong block count")
+        write_bank = 1 - self._read_bank
+        self._banks[write_bank] = indices
+        self.counts.write_bank_writes += len(indices)
+        self.counts.frames_received += 1
+        self._read_bank = write_bank
+        return indices
+
+    def display_frame(self) -> Frame:
+        """Decompress the read bank once, counting every access."""
+        indices = self._banks[self._read_bank]
+        if not indices:
+            raise SimulationError("no frame received yet")
+        words_out: List[List[int]] = []
+        accesses_per_block = self.block_size // self.words_per_access
+        for index in indices:
+            self.counts.read_bank_reads += 1
+            codeword = self.codebook[index]
+            block_values: List[int] = []
+            for access in range(accesses_per_block):
+                self.counts.lut_reads += 1
+                start = access * self.words_per_access
+                group = codeword[start : start + self.words_per_access]
+                for position, value in enumerate(group):
+                    if self.words_per_access > 1:
+                        self.counts.output_mux_selects += 1
+                    self.counts.output_register_loads += 1
+                    self.counts.pixels_out += 1
+                    block_values.append(value)
+            words_out.append(block_values)
+        self.counts.frames_displayed += 1
+        return blocks_to_frame(words_out, self.width)
+
+    def run(self, frames: Iterable[Frame]) -> List[Frame]:
+        """Pipe source frames through: receive, then display each
+        ``display_fps/source_fps`` times.  Returns the displayed frames
+        of the *last* source frame (reconstruction check)."""
+        displayed: List[Frame] = []
+        for frame in frames:
+            self.receive_frame(frame)
+            displayed = [
+                self.display_frame() for _ in range(self.repeats_per_source_frame)
+            ]
+        return displayed
+
+    # -- the numbers PowerPlay needs --------------------------------------
+
+    def access_rates(self) -> Dict[str, float]:
+        """Average access frequency (Hz) of each component.
+
+        Derived from the counters over simulated display time, so for
+        the paper's parameters they converge to: LUT at ``f`` (arch 1)
+        or ``f/4`` (arch 2); read bank at ``f/16``; write bank at
+        ``f/32``; register and mux at ``f``.
+        """
+        if self.counts.frames_displayed == 0:
+            raise SimulationError("run the chip before asking for rates")
+        elapsed = self.counts.frames_displayed / self.display_fps
+        c = self.counts
+        return {
+            "lut": c.lut_reads / elapsed,
+            "read_bank": c.read_bank_reads / elapsed,
+            "write_bank": c.write_bank_writes / elapsed,
+            "output_register": c.output_register_loads / elapsed,
+            "output_mux": c.output_mux_selects / elapsed,
+            "pixel": c.pixels_out / elapsed,
+        }
+
+    def expected_rates(self) -> Dict[str, float]:
+        """Closed-form rates from the architecture parameters alone."""
+        f = self.pixel_rate
+        return {
+            "lut": f / self.words_per_access,
+            "read_bank": f / self.block_size,
+            "write_bank": f / (self.block_size * self.repeats_per_source_frame),
+            "output_register": f,
+            "output_mux": f if self.words_per_access > 1 else 0.0,
+            "pixel": f,
+        }

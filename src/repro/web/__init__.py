@@ -1,0 +1,46 @@
+"""The World Wide Web application.
+
+HTML pages, per-user sessions, the HTTP server, a scriptable browser,
+remote model access (HTTP URLs, Figure 7 bottom), the Silva SMTP-hub
+baseline (Figure 7 top), and the Design Agent flow manager.
+"""
+
+from .agent import DesignAgent, Tool, default_agent
+from .app import Application, Response
+from .client import Browser, Page
+from .hub import (
+    HTTPDirect,
+    HUB_QUEUE_DELAY,
+    HTTP_SETUP,
+    MailHub,
+    TransferStats,
+    WIRE_LATENCY,
+    compare_protocols,
+)
+from .remote import ModelResolver, RemoteLibraryClient, federate
+from .server import PowerPlayServer
+from .session import UserSession, UserStore, validate_username
+
+__all__ = [
+    "Application",
+    "Browser",
+    "DesignAgent",
+    "HTTPDirect",
+    "HTTP_SETUP",
+    "HUB_QUEUE_DELAY",
+    "MailHub",
+    "ModelResolver",
+    "Page",
+    "PowerPlayServer",
+    "RemoteLibraryClient",
+    "Response",
+    "Tool",
+    "TransferStats",
+    "UserSession",
+    "UserStore",
+    "WIRE_LATENCY",
+    "compare_protocols",
+    "default_agent",
+    "federate",
+    "validate_username",
+]

@@ -1,0 +1,239 @@
+"""The Design Agent: hyperlink requests -> tool invocation sequences.
+
+"Models which require tool invocations are implemented through a
+dynamic design-flow manager called the *Design Agent*, which translates
+the hyperlink request for data into a sequence of appropriate tool
+invocations determined by the chosen design context."
+
+The agent is a tiny backward-chaining planner over registered *tools*:
+
+* a :class:`Tool` consumes named artifacts and produces named artifacts
+  (e.g. ``netlist -> switched_capacitance``, ``switched_capacitance +
+  operating_point -> power``);
+* :meth:`DesignAgent.plan` finds an invocation sequence producing the
+  requested artifact from what the *design context* already provides;
+* :meth:`DesignAgent.fulfill` executes the plan and returns the value —
+  and can be wrapped in a
+  :class:`~repro.core.model.CallablePowerModel`, which is how "paths to
+  estimation tools in lieu of an equation" plug into the spreadsheet.
+
+Tools registered for different design contexts let the same request
+("power of block X") resolve to a quick model in early design and a
+simulation later — the paper's "determined by the chosen design
+context".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import WebError
+
+
+@dataclass(frozen=True)
+class Tool:
+    """One invocable tool in the design flow.
+
+    ``func`` receives a dict with (at least) every ``requires`` key and
+    returns a dict providing every ``produces`` key.  ``cost`` orders
+    alternatives: the planner prefers cheap tools (quick estimators)
+    over expensive ones (simulators) when both can produce an artifact.
+    """
+
+    name: str
+    requires: FrozenSet[str]
+    produces: FrozenSet[str]
+    func: Callable[[Dict[str, object]], Mapping[str, object]]
+    cost: float = 1.0
+    contexts: FrozenSet[str] = frozenset({"any"})
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        requires: Sequence[str],
+        produces: Sequence[str],
+        func: Callable,
+        cost: float = 1.0,
+        contexts: Sequence[str] = ("any",),
+    ) -> "Tool":
+        if not produces:
+            raise WebError(f"tool {name!r} produces nothing")
+        return cls(
+            name=name,
+            requires=frozenset(requires),
+            produces=frozenset(produces),
+            func=func,
+            cost=cost,
+            contexts=frozenset(contexts),
+        )
+
+
+class DesignAgent:
+    """Backward-chaining planner + executor over registered tools."""
+
+    def __init__(self, context: str = "any"):
+        self.context = context
+        self._tools: List[Tool] = []
+
+    def register(self, tool: Tool) -> Tool:
+        if any(existing.name == tool.name for existing in self._tools):
+            raise WebError(f"a tool named {tool.name!r} is already registered")
+        self._tools.append(tool)
+        return tool
+
+    def tools_for_context(self) -> List[Tool]:
+        return [
+            tool
+            for tool in self._tools
+            if "any" in tool.contexts or self.context in tool.contexts
+        ]
+
+    def plan(
+        self, target: str, available: Set[str]
+    ) -> List[Tool]:
+        """Find the cheapest tool sequence producing ``target``.
+
+        Forward-closure search: repeatedly apply the cheapest applicable
+        tool that produces something new until the target is available.
+        Raises :class:`~repro.errors.WebError` with the missing-artifact
+        frontier when no plan exists.
+        """
+        have = set(available)
+        sequence: List[Tool] = []
+        tools = sorted(self.tools_for_context(), key=lambda tool: tool.cost)
+        while target not in have:
+            progressed = False
+            for tool in tools:
+                if tool in sequence:
+                    continue
+                if tool.requires <= have and not tool.produces <= have:
+                    sequence.append(tool)
+                    have |= tool.produces
+                    progressed = True
+                    break
+            if not progressed:
+                missing = sorted(
+                    requirement
+                    for tool in tools
+                    if target in tool.produces
+                    for requirement in tool.requires - have
+                )
+                hint = (
+                    f"; tools producing it need {missing}" if missing else ""
+                )
+                raise WebError(
+                    f"design agent cannot produce {target!r} in context "
+                    f"{self.context!r} from {sorted(have)}{hint}"
+                )
+        # drop tools whose products are never used for the target chain
+        return self._prune(sequence, target, set(available))
+
+    def _prune(
+        self, sequence: List[Tool], target: str, available: Set[str]
+    ) -> List[Tool]:
+        needed: Set[str] = {target}
+        keep: List[Tool] = []
+        for tool in reversed(sequence):
+            if tool.produces & needed:
+                keep.append(tool)
+                needed |= tool.requires
+        keep.reverse()
+        return keep
+
+    def fulfill(
+        self, target: str, context_data: Mapping[str, object]
+    ) -> Tuple[object, List[str]]:
+        """Plan and execute; returns (value, invoked tool names)."""
+        data: Dict[str, object] = dict(context_data)
+        sequence = self.plan(target, set(data))
+        for tool in sequence:
+            produced = tool.func(data)
+            if not isinstance(produced, Mapping):
+                raise WebError(
+                    f"tool {tool.name!r} returned {type(produced).__name__}, "
+                    "expected a mapping"
+                )
+            missing = tool.produces - set(produced)
+            if missing:
+                raise WebError(
+                    f"tool {tool.name!r} failed to produce {sorted(missing)}"
+                )
+            data.update(produced)
+        return data[target], [tool.name for tool in sequence]
+
+
+def default_agent(context: str = "early") -> DesignAgent:
+    """An agent wired with the estimation flow this package provides.
+
+    Artifacts: ``netlist`` (a gate netlist), ``stimulus`` (vector list),
+    ``operating_point`` ({"VDD": V, "f": Hz}), ``switched_capacitance``
+    (F/access), ``energy_per_access`` (J), ``power`` (W).
+
+    In the ``early`` context, capacitance comes from a fitted model; in
+    the ``layout`` context, from gate-level simulation — same request,
+    different tool sequence.
+    """
+    agent = DesignAgent(context)
+
+    def quick_capacitance(data: Dict[str, object]) -> Mapping[str, object]:
+        model = data["model"]
+        env = dict(data["operating_point"])  # type: ignore[arg-type]
+        env.update(data.get("parameters", {}))  # type: ignore[arg-type]
+        return {"switched_capacitance": model.effective_capacitance(env)}  # type: ignore[union-attr]
+
+    def simulated_capacitance(data: Dict[str, object]) -> Mapping[str, object]:
+        from ..sim.gatesim import simulate
+
+        result = simulate(data["netlist"], data["stimulus"])  # type: ignore[arg-type]
+        return {"switched_capacitance": result.capacitance_per_cycle}
+
+    def energy(data: Dict[str, object]) -> Mapping[str, object]:
+        vdd = data["operating_point"]["VDD"]  # type: ignore[index]
+        c = data["switched_capacitance"]
+        return {"energy_per_access": c * vdd * vdd}  # type: ignore[operator]
+
+    def power(data: Dict[str, object]) -> Mapping[str, object]:
+        f = data["operating_point"]["f"]  # type: ignore[index]
+        return {"power": data["energy_per_access"] * f}  # type: ignore[operator]
+
+    agent.register(
+        Tool.make(
+            "quick_model_capacitance",
+            requires=("model", "operating_point"),
+            produces=("switched_capacitance",),
+            func=quick_capacitance,
+            cost=1.0,
+            contexts=("early",),
+        )
+    )
+    agent.register(
+        Tool.make(
+            "gate_level_simulation",
+            requires=("netlist", "stimulus"),
+            produces=("switched_capacitance",),
+            func=simulated_capacitance,
+            cost=10.0,
+            contexts=("layout",),
+        )
+    )
+    agent.register(
+        Tool.make(
+            "energy_calculator",
+            requires=("switched_capacitance", "operating_point"),
+            produces=("energy_per_access",),
+            func=energy,
+            cost=0.1,
+        )
+    )
+    agent.register(
+        Tool.make(
+            "power_calculator",
+            requires=("energy_per_access", "operating_point"),
+            produces=("power",),
+            func=power,
+            cost=0.1,
+        )
+    )
+    return agent

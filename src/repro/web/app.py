@@ -1,0 +1,672 @@
+"""The PowerPlay web application: routing and request handling.
+
+Transport-independent: :meth:`Application.handle` maps
+``(method, path, form)`` to a :class:`Response`, so unit tests exercise
+every page without sockets and :mod:`repro.web.server` exposes the same
+object over real HTTP.
+
+The flow is the paper's, page for page: identify -> menu -> pick a
+library element -> parameterize it on its input form (instant feedback)
+-> save it into a design -> explore on the design spreadsheet with PLAY
+-> hyperlink into sub-designs -> export/share JSON payloads that other
+PowerPlay servers import (the Figure 7 HTTP model-access protocol).
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import urllib.parse
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.design import Design, SubDesign
+from ..core.estimator import evaluate_power
+from ..core.model import (
+    ExpressionAreaModel,
+    ExpressionPowerModel,
+    ExpressionTimingModel,
+    ModelSet,
+    TemplatePowerModel,
+)
+from ..core.parameters import Parameter
+from ..core.units import format_eng, format_quantity, parse_float
+from ..designs.infopad import build_infopad
+from ..designs.luminance import build_figure1_design, build_figure3_design
+from ..designs.macros import build_macro_library
+from ..errors import PowerPlayError, SessionError, WebError
+from ..library.catalog import Library, LibraryEntry
+from ..library.cells import build_default_library
+from ..library.datasheet import build_system_library
+from ..library.designio import (
+    design_from_payload,
+    design_to_json,
+    design_to_payload,
+)
+from . import pages
+from .session import UserStore, validate_username
+
+
+@dataclass
+class Response:
+    """An HTTP-shaped response."""
+
+    status: int = 200
+    body: str = ""
+    content_type: str = "text/html; charset=utf-8"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def redirect(cls, location: str) -> "Response":
+        return cls(status=303, body="", headers={"Location": location})
+
+    @classmethod
+    def json(cls, payload: object) -> "Response":
+        return cls(
+            body=json.dumps(payload, indent=1, sort_keys=True),
+            content_type="application/json",
+        )
+
+    @classmethod
+    def json_text(cls, text: str) -> "Response":
+        return cls(body=text, content_type="application/json")
+
+    @classmethod
+    def not_found(cls, message: str = "not found") -> "Response":
+        return cls(status=404, body=pages.H.error_page("Not found", message))
+
+
+EXAMPLES = ("luminance_fig1", "luminance_fig3", "infopad")
+
+
+def _build_example(name: str) -> Design:
+    if name == "luminance_fig1":
+        return build_figure1_design()
+    if name == "luminance_fig3":
+        return build_figure3_design()
+    if name == "infopad":
+        return build_infopad()
+    raise WebError(f"unknown example {name!r}")
+
+
+class Application:
+    """PowerPlay server state + request dispatch."""
+
+    def __init__(self, state_dir: Path, server_name: str = "powerplay"):
+        self.server_name = server_name
+        self.users = UserStore(Path(state_dir))
+        #: login tokens for password-protected users (in-memory; a
+        #: restart simply requires logging in again)
+        self._tokens: Dict[str, str] = {}
+        self.libraries: List[Library] = [
+            build_default_library(),
+            build_system_library(),
+            build_macro_library(),
+        ]
+
+    # -- lookups ------------------------------------------------------------
+
+    def visible_libraries(self, user: str) -> List[Library]:
+        session = self.users.session(user)
+        result = list(self.libraries)
+        if len(session.user_library):
+            result.append(session.user_library)
+        return result
+
+    def find_entry(self, user: str, name: str) -> LibraryEntry:
+        for library in reversed(self.visible_libraries(user)):
+            if name in library:
+                return library.get(name)
+        raise WebError(f"no library entry named {name!r}")
+
+    def find_entry_anywhere(self, name: str) -> LibraryEntry:
+        """Entry lookup for the unauthenticated API (shared libraries)."""
+        for library in self.libraries:
+            if name in library:
+                return library.get(name)
+        raise WebError(f"no shared library entry named {name!r}")
+
+    # -- dispatch --------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        form: Optional[Mapping[str, str]] = None,
+    ) -> Response:
+        """Route one request.  ``path`` may include a query string."""
+        parsed = urllib.parse.urlsplit(path)
+        route = parsed.path.rstrip("/") or "/"
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        data: Dict[str, str] = dict(query)
+        data.update(form or {})
+        try:
+            return self._dispatch(method.upper(), route, data)
+        except (WebError, SessionError) as exc:
+            return Response(
+                status=400,
+                body=pages.H.error_page("PowerPlay error", str(exc)),
+            )
+        except PowerPlayError as exc:
+            return Response(
+                status=422,
+                body=pages.H.error_page("Model error", str(exc)),
+            )
+
+    def _dispatch(self, method: str, route: str, data: Dict[str, str]) -> Response:
+        if route == "/":
+            return Response(body=pages.login_page())
+        if route == "/login" and method == "POST":
+            return self._login(data)
+        if route == "/password" and method == "POST":
+            return self._set_password(data)
+        if route == "/menu":
+            return self._menu(data)
+        if route == "/library":
+            return self._library(data)
+        if route == "/cell" and method == "GET":
+            return self._cell_form(data)
+        if route == "/cell" and method == "POST":
+            return self._cell_compute(data)
+        if route == "/cell/save" and method == "POST":
+            return self._cell_save(data)
+        if route == "/design" and method == "GET":
+            return self._design_sheet(data)
+        if route == "/design/analysis" and method == "GET":
+            return self._design_analysis(data)
+        if route == "/design" and method == "POST":
+            return self._design_play(data)
+        if route == "/design/new" and method == "POST":
+            return self._design_new(data)
+        if route == "/design/load_example" and method == "POST":
+            return self._design_load_example(data)
+        if route == "/define" and method == "GET":
+            user = self._user(data)
+            return Response(
+                body=pages.define_model_page(user, auth=self._auth_token(user))
+            )
+        if route == "/define" and method == "POST":
+            return self._define_model(data)
+        if route == "/export/design":
+            return self._export_design(data)
+        if route == "/export/library":
+            return self._export_library(data)
+        if route == "/api/library.json":
+            return self._api_library(data)
+        if route == "/api/model":
+            return self._api_model(data)
+        if route == "/api/design":
+            return self._export_design(data)
+        if route == "/agent/estimate":
+            return self._agent_estimate(data)
+        if route == "/api/ping":
+            return Response.json({"server": self.server_name, "protocol": "powerplay/1"})
+        if route.startswith("/doc/cell/"):
+            return self._doc_cell(route.rsplit("/", 1)[-1], data)
+        if route == "/doc/models":
+            return Response(body=pages.help_page())
+        if route == "/tutorial":
+            return Response(body=pages.tutorial_page())
+        if route == "/help":
+            return Response(body=pages.help_page())
+        return Response.not_found(f"no route for {method} {route}")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _user(self, data: Mapping[str, str]) -> str:
+        """Validate the username AND enforce password protection.
+
+        "PowerPlay can provide password-restricted access" — users who
+        set a password get a login token, carried in every URL/form
+        (cookie-less, as a 1996 CGI application would).  Users without
+        a password authenticate by name alone, the paper's default.
+        """
+        user = validate_username(data.get("user", ""))
+        session = self.users.session(user)
+        if session.has_password:
+            token = data.get("auth", "")
+            if not token or self._tokens.get(user) != token:
+                raise SessionError(
+                    f"user {user!r} is password-protected — "
+                    "log in from the front page"
+                )
+        return user
+
+    def _auth_token(self, user: str) -> str:
+        """The credential suffix value for pages (empty if unprotected)."""
+        if self.users.session(user).has_password:
+            return self._tokens.get(user, "")
+        return ""
+
+    def _param_values(self, data: Mapping[str, str]) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for key, text in data.items():
+            if key.startswith("p:"):
+                name = key[2:]
+                values[name] = parse_float(text)
+        return values
+
+    # -- pages ----------------------------------------------------------------
+
+    def _login(self, data: Mapping[str, str]) -> Response:
+        try:
+            user = validate_username(data.get("user", ""))
+        except SessionError as exc:
+            return Response(status=400, body=pages.login_page(str(exc)))
+        session = self.users.session(user)  # create state on first visit
+        if session.has_password:
+            if not session.check_password(data.get("password", "")):
+                return Response(
+                    status=403,
+                    body=pages.login_page(
+                        f"wrong password for user {user!r}"
+                    ),
+                )
+            token = secrets.token_hex(16)
+            self._tokens[user] = token
+            return Response.redirect(f"/menu?user={user}&auth={token}")
+        return Response.redirect(f"/menu?user={user}")
+
+    def _set_password(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        session.set_password(data.get("password", ""))
+        token = secrets.token_hex(16)
+        self._tokens[user] = token
+        return Response.redirect(f"/menu?user={user}&auth={token}")
+
+    def _menu(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        return Response(
+            body=pages.menu_page(
+                user,
+                self.visible_libraries(user),
+                sorted(session.designs),
+                EXAMPLES,
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _library(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        libraries = self.visible_libraries(user)
+        wanted = data.get("library")
+        if wanted:
+            libraries = [lib for lib in libraries if lib.name == wanted]
+            if not libraries:
+                raise WebError(f"no library named {wanted!r}")
+        return Response(
+            body=pages.library_page(user, libraries, auth=self._auth_token(user))
+        )
+
+    def _cell_form(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        name = data.get("name", "")
+        entry = self.find_entry(user, name)
+        session = self.users.session(user)
+        values = session.defaults_for(name)
+        return Response(
+            body=pages.cell_form_page(
+                user, entry, values, designs=sorted(session.designs),
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _compute_result(
+        self, entry: LibraryEntry, values: Dict[str, float]
+    ) -> Dict[str, str]:
+        # declared defaults first, posted values on top — a partial form
+        # (or a scripted client) still evaluates
+        env: Dict[str, float] = {}
+        for parameter in entry.models.parameters:
+            if isinstance(parameter.default, (int, float)):
+                env[parameter.name] = float(parameter.default)
+        env.update(values)
+        env.setdefault("VDD", 1.5)
+        env.setdefault("f", 2e6)
+        power_model = entry.models.power
+        result: Dict[str, str] = {}
+        power = power_model.power(env)
+        result["Power"] = format_eng(power, "W")
+        if env.get("f", 0) > 0:
+            result["Energy / access"] = format_eng(
+                power_model.energy_per_access(env), "J"
+            )
+        if isinstance(power_model, TemplatePowerModel):
+            result["Effective capacitance"] = format_quantity(
+                power_model.effective_capacitance(env), "F"
+            )
+        if entry.models.area is not None:
+            result["Active area"] = format_quantity(
+                entry.models.area.area(env) * 1e12, "um2"
+            )
+        if entry.models.timing is not None:
+            delay = entry.models.timing.delay(env)
+            result["Delay"] = format_quantity(delay, "s")
+            result["Max frequency"] = format_quantity(1.0 / delay, "Hz")
+        return result
+
+    def _cell_compute(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        name = data.get("name", "")
+        entry = self.find_entry(user, name)
+        session = self.users.session(user)
+        values = self._param_values(data)
+        try:
+            result = self._compute_result(entry, values)
+            error = ""
+        except PowerPlayError as exc:
+            result = None
+            error = str(exc)
+        if result:
+            session.remember_defaults(name, values)
+        return Response(
+            body=pages.cell_form_page(
+                user,
+                entry,
+                values,
+                result=result,
+                designs=sorted(session.designs),
+                error=error,
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _cell_save(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        name = data.get("name", "")
+        entry = self.find_entry(user, name)
+        session = self.users.session(user)
+        design_name = data.get("design", "")
+        design = session.design(design_name)
+        row_name = data.get("row") or name
+        if row_name in design:
+            raise WebError(
+                f"design {design_name!r} already has a row {row_name!r}"
+            )
+        values = self._param_values(data)
+        design.add(row_name, entry.models, params=values, doc=entry.doc)
+        session.put_design(design)
+        return Response.redirect(
+            f"/design?{pages.cred(user, self._auth_token(user))}"
+            f"&name={design_name}"
+        )
+
+    def _resolve_design(
+        self, session, name: str, path: str
+    ) -> Tuple[Design, str]:
+        design = session.design(name)
+        if path:
+            for segment in path.split("/"):
+                row = design.row(segment)
+                if not isinstance(row, SubDesign):
+                    raise WebError(f"row {segment!r} is not a sub-design")
+                design = row.design
+        return design, path
+
+    def _design_sheet(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        name = data.get("name", "")
+        design, path = self._resolve_design(session, name, data.get("path", ""))
+        report = evaluate_power(design)
+        return Response(
+            body=pages.design_sheet_page(
+                user, design, report, name, path,
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _design_analysis(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        name = data.get("name", "")
+        design, path = self._resolve_design(session, name, data.get("path", ""))
+        from ..core.estimator import evaluate_area, evaluate_timing
+
+        area = evaluate_area(design)
+        timing = evaluate_timing(design)
+        return Response(
+            body=pages.design_analysis_page(
+                user, design, area, timing, name, path,
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _design_play(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        name = data.get("name", "")
+        design, path = self._resolve_design(session, name, data.get("path", ""))
+        error = ""
+        try:
+            for key, text in data.items():
+                if key.startswith("g:"):
+                    design.scope.set(key[2:], text)
+                elif key.startswith("p:"):
+                    _prefix, row_name, parameter = key.split(":", 2)
+                    design.row(row_name).set(parameter, text)
+        except PowerPlayError as exc:
+            error = str(exc)
+        report = evaluate_power(design)
+        session.put_design(session.design(name))  # persist top-level design
+        return Response(
+            body=pages.design_sheet_page(
+                user, design, report, name, path, error,
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _design_new(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        name = (data.get("name") or "").strip()
+        if not name:
+            raise WebError("design name cannot be empty")
+        if name in session.designs:
+            raise WebError(f"you already have a design named {name!r}")
+        design = Design(name, doc=f"created by {user}")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        session.put_design(design)
+        return Response.redirect(
+            f"/design?{pages.cred(user, self._auth_token(user))}&name={name}"
+        )
+
+    def _design_load_example(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        example = data.get("example", "")
+        if example not in EXAMPLES:
+            raise WebError(f"unknown example {example!r}")
+        design = _build_example(example)
+        # deep-copy through the payload so each user owns their instance
+        design = design_from_payload(design_to_payload(design))
+        base = design.name
+        suffix = 0
+        while design.name in session.designs:
+            suffix += 1
+            design.name = f"{base}_{suffix}"
+        session.put_design(design)
+        return Response.redirect(
+            f"/design?{pages.cred(user, self._auth_token(user))}"
+            f"&name={design.name}"
+        )
+
+    def _define_model(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        name = (data.get("name") or "").strip()
+        equation = (data.get("equation") or "").strip()
+        if not name or not name.replace("_", "a").isalnum():
+            return Response(
+                body=pages.define_model_page(
+                    user, error=f"bad model name {name!r}",
+                    auth=self._auth_token(user),
+                )
+            )
+        if name in session.user_library:
+            return Response(
+                body=pages.define_model_page(
+                    user, error=f"you already defined a model named {name!r}",
+                    auth=self._auth_token(user),
+                )
+            )
+        parameters: List[Parameter] = []
+        try:
+            for pair in (data.get("parameters") or "").split():
+                if "=" not in pair:
+                    raise WebError(
+                        f"parameter {pair!r} must look like name=default"
+                    )
+                pname, default = pair.split("=", 1)
+                parameters.append(Parameter(pname, parse_float(default)))
+            model = ExpressionPowerModel(
+                name, equation, parameters, doc=data.get("doc", "")
+            )
+            area_model = None
+            timing_model = None
+            area_equation = (data.get("area_equation") or "").strip()
+            delay_equation = (data.get("delay_equation") or "").strip()
+            if area_equation:
+                area_model = ExpressionAreaModel(
+                    name + "_area", area_equation, parameters
+                )
+            if delay_equation:
+                timing_model = ExpressionTimingModel(
+                    name + "_delay", delay_equation, parameters
+                )
+            # probe-evaluate with defaults so bad equations fail here,
+            # on the form, not later inside a design
+            probe = {p.name: float(p.default) for p in parameters}
+            probe.setdefault("VDD", 1.5)
+            probe.setdefault("f", 2e6)
+            model.power(probe)
+            if area_model is not None:
+                area_model.area(probe)
+            if timing_model is not None:
+                timing_model.delay(probe)
+        except PowerPlayError as exc:
+            return Response(
+                body=pages.define_model_page(
+                    user, error=str(exc), auth=self._auth_token(user)
+                )
+            )
+        entry = LibraryEntry(
+            name,
+            ModelSet(power=model, area=area_model, timing=timing_model),
+            category=data.get("category", "other"),
+            doc=data.get("doc", ""),
+            links=(f"/doc/cell/{name}",),
+            proprietary=data.get("proprietary", "no") == "yes",
+        )
+        session.user_library.add(entry)
+        session.save()
+        return Response(
+            body=pages.define_model_page(
+                user, saved=name, auth=self._auth_token(user)
+            )
+        )
+
+    # -- export / remote API -----------------------------------------------
+
+    def _export_design(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        design = session.design(data.get("name", ""))
+        return Response.json_text(design_to_json(design))
+
+    def _export_library(self, data: Mapping[str, str]) -> Response:
+        wanted = data.get("library", self.libraries[0].name)
+        for library in self.libraries:
+            if library.name == wanted:
+                return Response.json_text(library.to_json())
+        raise WebError(f"no shared library named {wanted!r}")
+
+    def _api_library(self, data: Mapping[str, str]) -> Response:
+        merged = Library(
+            f"{self.server_name}_shared",
+            f"all shared models on {self.server_name}",
+        )
+        for library in self.libraries:
+            merged.merge(library, prefer="theirs")
+        return Response.json_text(merged.to_json())
+
+    def _api_model(self, data: Mapping[str, str]) -> Response:
+        name = data.get("name", "")
+        entry = self.find_entry_anywhere(name)
+        if entry.proprietary:
+            raise WebError(f"model {name!r} is proprietary")
+        return Response.json(entry.to_payload())
+
+    def _agent_estimate(self, data: Mapping[str, str]) -> Response:
+        """The Design Agent behind a hyperlink.
+
+        "Models which require tool invocations are implemented through a
+        dynamic design-flow manager called the Design Agent, which
+        translates the hyperlink request for data into a sequence of
+        appropriate tool invocations determined by the chosen design
+        context."  GET /agent/estimate?user=..&name=<cell>&target=power
+        &context=early&p:...=... returns the value and the invoked
+        tool sequence.
+        """
+        from ..core.model import TemplatePowerModel
+        from .agent import default_agent
+
+        user = self._user(data)
+        name = data.get("name", "")
+        entry = self.find_entry(user, name)
+        if not isinstance(entry.models.power, TemplatePowerModel):
+            raise WebError(
+                f"the agent's quick-estimate path needs a template model; "
+                f"{name!r} is a {type(entry.models.power).__name__}"
+            )
+        target = data.get("target", "power")
+        if target not in ("power", "energy_per_access", "switched_capacitance"):
+            raise WebError(f"unknown agent target {target!r}")
+        context = data.get("context", "early")
+        values = self._param_values(data)
+        defaults = {
+            parameter.name: float(parameter.default)
+            for parameter in entry.models.parameters
+            if isinstance(parameter.default, (int, float))
+        }
+        defaults.update(values)
+        operating_point = {
+            "VDD": defaults.pop("VDD", 1.5),
+            "f": defaults.pop("f", 2e6),
+        }
+        agent = default_agent(context)
+        context_data = {
+            "model": entry.models.power,
+            "parameters": dict(defaults),
+            "operating_point": operating_point,
+        }
+        context_data.update(defaults)
+        value, invoked = agent.fulfill(target, context_data)
+        return Response.json(
+            {
+                "model": name,
+                "context": context,
+                "target": target,
+                "value": value,
+                "invoked_tools": invoked,
+                "operating_point": operating_point,
+                "parameters": defaults,
+            }
+        )
+
+    def _doc_cell(self, name: str, data: Mapping[str, str]) -> Response:
+        try:
+            entry = self.find_entry_anywhere(name)
+        except WebError:
+            user = data.get("user")
+            if not user:
+                raise
+            entry = self.find_entry(user, name)
+        return Response(body=pages.doc_page(entry))

@@ -1,0 +1,170 @@
+"""The Silva SMTP-hub baseline and the Figure 7 protocol comparison.
+
+Figure 7, top: "Silva's method ... uses the mail protocol SMTP and
+relies on hubs on each machine to interpret requests for information."
+Figure 7, bottom: PowerPlay's modification — a direct HTTP GET against
+a URL-addressed script.
+
+To make the comparison runnable we model both over a common simulated
+transport with per-message latency:
+
+* **SMTP-hub**: the requester mails its *local* hub, which forwards to
+  the *remote* hub, which interprets the request, mails the reply to
+  the requester's hub, which delivers it.  Store-and-forward adds a
+  queue delay at every hub, and each mail leg is one message.
+* **HTTP-direct**: one request + one response between the two ends.
+
+The E5 bench (``bench_fig7_model_access.py``) counts messages, hops and
+latency per fetched model for each protocol — the quantitative version
+of the figure's visual argument.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import RemoteError
+from ..library.catalog import Library, LibraryEntry
+
+#: Simulated transport constants (seconds).  Mail legs pay a hub queue
+#: delay on top of the wire; HTTP pays connection setup once.
+WIRE_LATENCY = 0.040          # one network traversal
+HUB_QUEUE_DELAY = 0.500       # store-and-forward dwell per hub hop
+HTTP_SETUP = 0.060            # TCP connect + request parse
+
+
+@dataclass
+class TransferStats:
+    """Accounting for one model fetch."""
+
+    protocol: str
+    messages: int = 0
+    hub_hops: int = 0
+    latency: float = 0.0
+
+    def merged(self, other: "TransferStats") -> "TransferStats":
+        if other.protocol != self.protocol:
+            raise RemoteError("cannot merge stats across protocols")
+        return TransferStats(
+            self.protocol,
+            self.messages + other.messages,
+            self.hub_hops + other.hub_hops,
+            self.latency + other.latency,
+        )
+
+
+class MailHub:
+    """One site's store-and-forward hub (the Silva architecture).
+
+    A hub knows its site's shared library and the other hubs it can
+    forward to.  Requests are JSON envelopes; the hub "interprets
+    requests for information" by looking the model up and mailing the
+    payload back along the reverse route.
+    """
+
+    def __init__(self, site: str, library: Library):
+        self.site = site
+        self.library = library
+        self.peers: Dict[str, "MailHub"] = {}
+        self.messages_seen = 0
+
+    def connect(self, other: "MailHub") -> None:
+        self.peers[other.site] = other
+        other.peers[self.site] = self
+
+    def _deliver(self, stats: TransferStats) -> None:
+        """One mail leg into this hub: wire + queue dwell."""
+        self.messages_seen += 1
+        stats.messages += 1
+        stats.hub_hops += 1
+        stats.latency += WIRE_LATENCY + HUB_QUEUE_DELAY
+
+    def interpret(self, request: Mapping, stats: TransferStats) -> dict:
+        """Serve a model request addressed to this site."""
+        name = request.get("model", "")
+        if name not in self.library:
+            raise RemoteError(f"site {self.site!r} has no model {name!r}")
+        entry = self.library.get(name)
+        if entry.proprietary:
+            raise RemoteError(f"model {name!r} at {self.site!r} is proprietary")
+        return entry.to_payload()
+
+    def request_model(self, remote_site: str, name: str) -> Tuple[LibraryEntry, TransferStats]:
+        """Full Silva round trip: requester -> local hub -> remote hub ->
+        interpret -> remote hub -> local hub -> requester."""
+        stats = TransferStats("smtp_hub")
+        # requester mails the local hub
+        self._deliver(stats)
+        remote = self.peers.get(remote_site)
+        if remote is None:
+            raise RemoteError(
+                f"hub {self.site!r} has no route to {remote_site!r}"
+            )
+        # local hub forwards to the remote hub
+        remote._deliver(stats)
+        payload = remote.interpret({"model": name}, stats)
+        # reply mailed back to the local hub, then delivered to the user
+        self._deliver(stats)
+        stats.messages += 1            # final local delivery leg
+        stats.latency += WIRE_LATENCY
+        entry = LibraryEntry.from_payload(payload, origin=f"smtp://{remote_site}")
+        return entry, stats
+
+
+class HTTPDirect:
+    """The PowerPlay modification: a direct GET on a model URL."""
+
+    def __init__(self, site: str, library: Library):
+        self.site = site
+        self.library = library
+        self.requests_seen = 0
+
+    def request_model(self, name: str) -> Tuple[LibraryEntry, TransferStats]:
+        stats = TransferStats("http_direct")
+        self.requests_seen += 1
+        # request leg + response leg, one connection setup
+        stats.messages = 2
+        stats.hub_hops = 0
+        stats.latency = HTTP_SETUP + 2 * WIRE_LATENCY
+        if name not in self.library:
+            raise RemoteError(f"site {self.site!r} has no model {name!r}")
+        entry = self.library.get(name)
+        if entry.proprietary:
+            raise RemoteError(f"model {name!r} at {self.site!r} is proprietary")
+        payload = entry.to_payload()
+        decoded = LibraryEntry.from_payload(
+            json.loads(json.dumps(payload)), origin=f"http://{self.site}"
+        )
+        return decoded, stats
+
+
+def compare_protocols(
+    library: Library,
+    model_names: List[str],
+    requester_site: str = "mit",
+    provider_site: str = "berkeley",
+) -> Dict[str, TransferStats]:
+    """Fetch the same models both ways; return aggregate stats.
+
+    The expected shape (and the reason the paper switched): HTTP-direct
+    needs 2 messages and no hub dwell per model, the SMTP route 4+
+    messages with two store-and-forward delays.
+    """
+    empty = Library(requester_site, "requesting site (no local models)")
+    local_hub = MailHub(requester_site, empty)
+    remote_hub = MailHub(provider_site, library)
+    local_hub.connect(remote_hub)
+    http_endpoint = HTTPDirect(provider_site, library)
+
+    totals: Dict[str, TransferStats] = {
+        "smtp_hub": TransferStats("smtp_hub"),
+        "http_direct": TransferStats("http_direct"),
+    }
+    for name in model_names:
+        _entry, mail_stats = local_hub.request_model(provider_site, name)
+        totals["smtp_hub"] = totals["smtp_hub"].merged(mail_stats)
+        _entry, http_stats = http_endpoint.request_model(name)
+        totals["http_direct"] = totals["http_direct"].merged(http_stats)
+    return totals

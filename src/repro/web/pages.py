@@ -1,0 +1,556 @@
+"""HTML page renderers: menu, library, input form, design spreadsheet.
+
+Pure functions from state to markup; :mod:`repro.web.app` wires them to
+routes.  The three screens the paper shows:
+
+* Figure 4 — the primitive input form (parameters in, instant power/
+  capacitance feedback, "save to design" at the bottom);
+* Figure 2 — a chip-level design spreadsheet (one row per block, Play
+  button, engineering-notation powers, share column);
+* Figure 5 — a system-level spreadsheet whose sub-design rows hyperlink
+  to their own spreadsheets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.design import Design, SubDesign
+from ..core.estimator import AreaReport, PowerReport, TimingReport
+from ..core.expressions import Expression
+from ..core.parameters import Parameter
+from ..core.units import format_eng, format_quantity
+from ..library.catalog import Library, LibraryEntry
+from . import html as H
+
+
+def cred(user: str, auth: str = "") -> str:
+    """Query-string credential: cookie-less 1996-style URL rewriting.
+
+    Users without a password authenticate by name alone (the paper's
+    default); password-protected users carry a login token in every URL.
+    """
+    suffix = f"&auth={auth}" if auth else ""
+    return f"user={user}{suffix}"
+
+
+def auth_fields(user: str, auth: str = "") -> H.Raw:
+    """The hidden credential inputs every form posts back."""
+    fields = [H.hidden_input("user", user)]
+    if auth:
+        fields.append(H.hidden_input("auth", auth))
+    return H.join(*fields)
+
+
+def nav_for(user: str, auth: str = "") -> List[Tuple[str, str]]:
+    q = cred(user, auth)
+    return [
+        (f"/menu?{q}", "Main Menu"),
+        (f"/library?{q}", "Library"),
+        (f"/define?{q}", "Define Model"),
+        ("/tutorial", "Tutorial"),
+        ("/help", "Help"),
+    ]
+
+
+def login_page(error: str = "") -> str:
+    body = [
+        H.paragraph(
+            "PowerPlay tracks each individual's designs and preferences. "
+            "Since WWW browsers do not supply user names, please identify "
+            "yourself."
+        ),
+        H.form(
+            "/login",
+            H.join(
+                "Username: ",
+                H.text_input("user"),
+                "  Password (if set): ",
+                H.tag("input", type="password", name="password"),
+                " ",
+                H.submit("Enter PowerPlay"),
+            ),
+        ),
+    ]
+    if error:
+        body.insert(0, H.tag("p", error, class_="error"))
+    return H.page("PowerPlay — Early Power Exploration", *body)
+
+
+def menu_page(
+    user: str,
+    libraries: Sequence[Library],
+    designs: Sequence[str],
+    examples: Sequence[str],
+    auth: str = "",
+) -> str:
+    q = cred(user, auth)
+    library_items = [
+        H.join(
+            H.link(f"/library?{q}&library={library.name}", library.name),
+            f" — {library.description} ({len(library)} entries)",
+        )
+        for library in libraries
+    ]
+    design_items = [
+        H.link(f"/design?{q}&name={name}", name) for name in designs
+    ] or [H.Raw("<i>none yet</i>")]
+    example_items = [
+        H.form(
+            "/design/load_example",
+            H.join(
+                auth_fields(user, auth),
+                H.hidden_input("example", example),
+                H.submit(f"Load {example}"),
+            ),
+        )
+        for example in examples
+    ]
+    return H.page(
+        f"PowerPlay Main Menu — {user}",
+        H.heading("Hardware libraries", 2),
+        H.unordered_list(library_items),
+        H.heading("Your designs", 2),
+        H.unordered_list(design_items),
+        H.form(
+            "/design/new",
+            H.join(
+                auth_fields(user, auth),
+                "New design name: ",
+                H.text_input("name"),
+                " ",
+                H.submit("Create"),
+            ),
+        ),
+        H.heading("Example designs", 2),
+        H.join(*example_items),
+        H.heading("Account", 2),
+        H.form(
+            "/password",
+            H.join(
+                auth_fields(user, auth),
+                "Set password: ",
+                H.tag("input", type="password", name="password"),
+                " ",
+                H.submit("Protect my designs"),
+            ),
+        ),
+        nav=nav_for(user, auth),
+    )
+
+
+def library_page(user: str, libraries: Sequence[Library], auth: str = "") -> str:
+    q = cred(user, auth)
+    sections: List[H.Content] = []
+    for library in libraries:
+        sections.append(H.heading(library.name, 2))
+        if library.description:
+            sections.append(H.paragraph(library.description))
+        for category, names in sorted(library.categories().items()):
+            rows = []
+            for name in names:
+                entry = library.get(name)
+                doc_links = " ".join(
+                    H.link(href, "[doc]") for href in entry.links[:1]
+                )
+                rows.append(
+                    [
+                        H.link(f"/cell?{q}&name={name}", name),
+                        entry.doc,
+                        H.Raw(doc_links),
+                    ]
+                )
+            sections.append(H.heading(category, 3))
+            sections.append(H.table(rows, header=["Element", "Description", ""]))
+    return H.page(f"Library — {user}", *sections, nav=nav_for(user, auth))
+
+
+def _parameter_field(
+    parameter: Parameter, value: Optional[float]
+) -> H.Raw:
+    shown = value if value is not None else parameter.default
+    if parameter.choices:
+        options = [format_quantity(float(c)) for c in parameter.choices]
+        field = H.select(f"p:{parameter.name}", options, str(shown))
+    else:
+        field = H.text_input(f"p:{parameter.name}", shown)
+    note = parameter.doc
+    if parameter.unit:
+        note = f"[{parameter.unit}] {note}"
+    return H.labelled_field(parameter.name, field, note)
+
+
+def cell_form_page(
+    user: str,
+    entry: LibraryEntry,
+    values: Mapping[str, float],
+    result: Optional[Mapping[str, str]] = None,
+    designs: Sequence[str] = (),
+    error: str = "",
+    auth: str = "",
+) -> str:
+    """The Figure 4 input form, with the result excerpt below."""
+    fields: List[H.Content] = []
+    parameters = list(entry.models.parameters)
+    names = {parameter.name for parameter in parameters}
+    for parameter in parameters:
+        fields.append(_parameter_field(parameter, values.get(parameter.name)))
+    if "VDD" not in names:
+        fields.append(
+            H.labelled_field(
+                "VDD", H.text_input("p:VDD", values.get("VDD", 1.5)), "[V] supply"
+            )
+        )
+    if "f" not in names:
+        fields.append(
+            H.labelled_field(
+                "f",
+                H.text_input("p:f", values.get("f", 2e6)),
+                "[Hz] access frequency",
+            )
+        )
+    body: List[H.Content] = [
+        H.paragraph(entry.doc),
+        H.paragraph(
+            H.join(*[H.link(href, "[documentation] ") for href in entry.links])
+        ),
+        H.form(
+            "/cell",
+            H.join(
+                auth_fields(user, auth),
+                H.hidden_input("name", entry.name),
+                H.field_table(fields),
+                H.submit("Compute"),
+            ),
+        ),
+    ]
+    if error:
+        body.append(H.tag("p", error, class_="error"))
+    if result:
+        rows = [[key, H.tag("span", value, class_="num")] for key, value in result.items()]
+        body.append(H.heading("Result", 2))
+        body.append(H.table(rows, header=["Quantity", "Value"]))
+        save_fields = H.join(
+            auth_fields(user, auth),
+            H.hidden_input("name", entry.name),
+            *[
+                H.hidden_input(f"p:{key}", value)
+                for key, value in values.items()
+            ],
+            "Add to design: ",
+            H.select("design", list(designs) or ["(create one first)"]),
+            " as row ",
+            H.text_input("row", entry.name),
+            " ",
+            H.submit("Save to design"),
+        )
+        body.append(H.form("/cell/save", save_fields))
+    return H.page(f"{entry.name} — {user}", *body, nav=nav_for(user, auth))
+
+
+def _row_link(
+    user: str, design_name: str, row, report: PowerReport, auth: str = ""
+) -> H.Content:
+    if isinstance(row, SubDesign):
+        return H.link(
+            f"/design?{cred(user, auth)}&name={design_name}&path={row.name}",
+            row.name,
+        )
+    return H.escape(row.name)
+
+
+def design_sheet_page(
+    user: str,
+    design: Design,
+    report: PowerReport,
+    design_name: Optional[str] = None,
+    path: str = "",
+    error: str = "",
+    auth: str = "",
+) -> str:
+    """The Figure 2 / Figure 5 spreadsheet."""
+    design_name = design_name or design.name
+    total = report.power
+    rows: List[List[H.Content]] = []
+    for row in design:
+        child = report.child(row.name)
+        parameter_fields: List[H.Content] = []
+        for name in row.scope.local_names():
+            raw = row.scope.raw(name)
+            shown = raw.source if isinstance(raw, Expression) else raw
+            parameter_fields.append(
+                H.join(
+                    f"{name}=",
+                    H.text_input(f"p:{row.name}:{name}", shown, size=8),
+                    " ",
+                )
+            )
+        share = f"{100.0 * child.fraction_of(total):.1f}%"
+        source = (
+            "" if child.source in ("modeled", "hierarchy") else child.source
+        )
+        rows.append(
+            [
+                _row_link(user, design_name, row, child, auth),
+                H.join(*parameter_fields),
+                H.tag("span", format_eng(child.power, "W"), class_="num"),
+                share,
+                source,
+                row.doc,
+            ]
+        )
+    global_fields: List[H.Content] = []
+    for name in design.scope.local_names():
+        raw = design.scope.raw(name)
+        shown = raw.source if isinstance(raw, Expression) else raw
+        global_fields.append(
+            H.join(f"{name}=", H.text_input(f"g:{name}", shown, size=10), " ")
+        )
+    body: List[H.Content] = []
+    if error:
+        body.append(H.tag("p", error, class_="error"))
+    body.append(
+        H.form(
+            "/design",
+            H.join(
+                auth_fields(user, auth),
+                H.hidden_input("name", design_name),
+                H.hidden_input("path", path),
+                H.heading("Global parameters", 2),
+                H.paragraph(H.join(*global_fields)),
+                H.table(
+                    rows,
+                    header=["Name", "Parameters", "Power", "Share",
+                            "Source", "Notes"],
+                    caption=f"{design.name} summary",
+                ),
+                H.paragraph(
+                    H.join(
+                        H.submit("PLAY"),
+                        H.Raw("&nbsp;"),
+                        H.tag(
+                            "b",
+                            f"Total: {format_eng(total, 'W')}"
+                            f"  ({format_quantity(total, 'W')})",
+                        ),
+                    )
+                ),
+            ),
+        )
+    )
+    body.append(
+        H.paragraph(
+            H.join(
+                H.link(
+                    f"/export/design?{cred(user, auth)}&name={design_name}",
+                    "Export design as JSON",
+                ),
+                H.Raw(" | "),
+                H.link(
+                    f"/design/analysis?{cred(user, auth)}&name={design_name}"
+                    + (f"&path={path}" if path else ""),
+                    "Area / timing analysis",
+                ),
+            )
+        )
+    )
+    title = design.name if not path else f"{design_name} / {design.name}"
+    return H.page(f"{title} — {user}", *body, nav=nav_for(user, auth))
+
+
+def define_model_page(
+    user: str, error: str = "", saved: str = "", auth: str = ""
+) -> str:
+    """The "define your own primitive" form.
+
+    "The user is prompted for names, equations, and documentation
+    information."
+    """
+    body: List[H.Content] = [
+        H.paragraph(
+            "Define a new primitive.  The power equation may use your "
+            "declared parameters plus VDD and f; write capacitances with "
+            "engineering suffixes (e.g. 253f) and standard functions "
+            "(log2, sqrt, ...)."
+        ),
+        H.form(
+            "/define",
+            H.join(
+                auth_fields(user, auth),
+                H.field_table(
+                    [
+                        H.labelled_field("Name", H.text_input("name", size=20)),
+                        H.labelled_field(
+                            "Power equation [W]",
+                            H.text_input("equation", size=50),
+                            "e.g. bitwidth * 68f * VDD^2 * f",
+                        ),
+                        H.labelled_field(
+                            "Parameters",
+                            H.text_input("parameters", size=40),
+                            "name=default pairs, space-separated "
+                            "(e.g. 'bitwidth=16 alpha=0.5')",
+                        ),
+                        H.labelled_field(
+                            "Area equation [m2]",
+                            H.text_input("area_equation", size=50),
+                            "optional, e.g. bitwidth * 2.3n",
+                        ),
+                        H.labelled_field(
+                            "Delay equation [s]",
+                            H.text_input("delay_equation", size=50),
+                            "optional, e.g. bitwidth * 1.1n * (1.5 / VDD)",
+                        ),
+                        H.labelled_field(
+                            "Category",
+                            H.select(
+                                "category",
+                                ["computation", "storage", "controller",
+                                 "analog", "system", "other"],
+                            ),
+                        ),
+                        H.labelled_field(
+                            "Documentation", H.text_input("doc", size=50)
+                        ),
+                        H.labelled_field(
+                            "Proprietary",
+                            H.select("proprietary", ["no", "yes"]),
+                            "proprietary models are not shared",
+                        ),
+                    ]
+                ),
+                H.submit("Create model"),
+            ),
+        ),
+    ]
+    if error:
+        body.insert(0, H.tag("p", error, class_="error"))
+    if saved:
+        body.insert(
+            0,
+            H.paragraph(
+                H.join(
+                    f"Model {saved} created with documentation links — ",
+                    H.link(f"/cell?{cred(user, auth)}&name={saved}", "open its input form"),
+                )
+            ),
+        )
+    return H.page(f"Define a model — {user}", *body, nav=nav_for(user, auth))
+
+
+def doc_page(entry: LibraryEntry) -> str:
+    """Auto-generated documentation for a library entry."""
+    parameters = entry.models.parameters
+    rows = [
+        [
+            p.name,
+            format_quantity(float(p.default))
+            if isinstance(p.default, (int, float))
+            else str(p.default),
+            p.unit,
+            p.doc,
+        ]
+        for p in parameters
+    ]
+    return H.page(
+        f"Documentation — {entry.name}",
+        H.paragraph(entry.doc),
+        H.heading("Parameters", 2),
+        H.table(rows, header=["Name", "Default", "Unit", "Description"]),
+        H.paragraph(f"Category: {entry.category}; origin: {entry.origin}"),
+    )
+
+
+def tutorial_page() -> str:
+    return H.page(
+        "PowerPlay tutorial",
+        H.paragraph(
+            "1. Identify yourself on the front page.  2. Browse the library "
+            "and open a primitive's input form.  3. Set parameters and "
+            "Compute — feedback is immediate, so cycle through options.  "
+            "4. Save the configured primitive into a design.  5. On the "
+            "design spreadsheet, adjust any parameter (rows inherit the "
+            "globals) and press PLAY to recompute the whole hierarchy."
+        ),
+        H.paragraph(
+            "Sub-design rows are hyperlinked: click through to optimize a "
+            "subsystem, then return to the top page — the entire design "
+            "space is accessible from one location."
+        ),
+    )
+
+
+def help_page() -> str:
+    return H.page(
+        "PowerPlay help",
+        H.unordered_list(
+            [
+                "Quantities accept engineering notation: 253f, 2M, 1.5.",
+                "Formulas may reference other parameters: f_pixel / 16.",
+                "The PLAY button recomputes power for the entire design.",
+                "Export links serve JSON payloads other PowerPlay servers "
+                "can import (remote model access).",
+            ]
+        ),
+    )
+
+
+def design_analysis_page(
+    user: str,
+    design: Design,
+    area: "AreaReport",
+    timing: "TimingReport",
+    design_name: str,
+    path: str = "",
+    auth: str = "",
+) -> str:
+    """Area and timing tables for a design.
+
+    "Though not detailed in this paper, parameterized models are also
+    used for area and timing analysis."  Rows without an area/timing
+    model show '-' rather than a false zero.
+    """
+    area_rows: List[List[H.Content]] = []
+
+    def emit_area(node, depth: int) -> None:
+        text = (
+            format_quantity(node.area * 1e12, "um2") if node.modeled else "-"
+        )
+        area_rows.append(["  " * depth + node.name, H.tag("span", text, class_="num")])
+        for child in node.children:
+            emit_area(child, depth + 1)
+
+    emit_area(area, 0)
+
+    timing_rows: List[List[H.Content]] = []
+
+    def emit_timing(node, depth: int) -> None:
+        if node.modeled and node.delay > 0:
+            text = format_quantity(node.delay, "s")
+            frequency = format_quantity(1.0 / node.delay, "Hz")
+        else:
+            text, frequency = "-", "-"
+        timing_rows.append(
+            [
+                "  " * depth + node.name,
+                H.tag("span", text, class_="num"),
+                H.tag("span", frequency, class_="num"),
+            ]
+        )
+        for child in node.children:
+            emit_timing(child, depth + 1)
+
+    emit_timing(timing, 0)
+
+    back = f"/design?{cred(user, auth)}&name={design_name}"
+    if path:
+        back += f"&path={path}"
+    return H.page(
+        f"{design.name} — area / timing — {user}",
+        H.paragraph(H.link(back, "Back to the power spreadsheet")),
+        H.heading("Active area", 2),
+        H.table(area_rows, header=["Name", "Area"]),
+        H.heading("Timing (critical path = max over rows)", 2),
+        H.table(timing_rows, header=["Name", "Delay", "Max frequency"]),
+        nav=nav_for(user, auth),
+    )

@@ -1,0 +1,154 @@
+"""Remote model access over HTTP (paper Figures 6 and 7, bottom).
+
+"The key is using secure scripts at Universal Resource Locators to
+handle information transfer on demand."  A PowerPlay server exposes its
+shared models at well-known JSON endpoints (``/api/library.json``,
+``/api/model?name=...``); this module is the consumer side:
+
+* :class:`RemoteLibraryClient` — fetch a whole shared library or a
+  single model from another server, tagging every adopted entry with
+  its origin URL;
+* :func:`federate` — merge several remote libraries into a local one
+  ("If a library is characterized and put on the web in Massachusetts,
+  it can be used for estimates in California");
+* on-demand resolution with a small cache, so a design evaluation that
+  needs a remote model fetches it once per session.
+
+Security posture matches the paper's: payloads are *data* (expressions,
+coefficients) decoded by the library codecs — nothing executable — and
+proprietary entries are never served.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RemoteError
+from ..library.catalog import Library, LibraryEntry
+from .client import Browser
+
+
+class RemoteLibraryClient:
+    """Client for another PowerPlay server's model API."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self._browser = Browser(self.base_url, timeout=timeout)
+        self._cache: Dict[str, LibraryEntry] = {}
+        self.requests_made = 0
+
+    def ping(self) -> Dict[str, str]:
+        """Identify the remote server (protocol handshake)."""
+        payload = self._browser.get_json("/api/ping")
+        self.requests_made += 1
+        if not isinstance(payload, dict) or "protocol" not in payload:
+            raise RemoteError(f"{self.base_url} is not a PowerPlay server")
+        return payload
+
+    def fetch_library(self) -> Library:
+        """Fetch every shared model in one request."""
+        page = self._browser.get("/api/library.json")
+        self.requests_made += 1
+        if page.status != 200:
+            raise RemoteError(
+                f"{self.base_url}/api/library.json returned {page.status}"
+            )
+        from ..errors import LibraryError
+
+        try:
+            library = Library.from_json(page.body, origin=self.base_url)
+        except LibraryError as exc:
+            raise RemoteError(
+                f"bad library payload from {self.base_url}: {exc}"
+            ) from exc
+        for entry in library:
+            self._cache[entry.name] = entry
+        return library
+
+    def fetch_model(self, name: str) -> LibraryEntry:
+        """Fetch one model on demand (cached per client)."""
+        if name in self._cache:
+            return self._cache[name]
+        import json as _json
+        import urllib.parse as _url
+
+        page = self._browser.get(f"/api/model?name={_url.quote(name)}")
+        self.requests_made += 1
+        if page.status == 400:
+            raise RemoteError(
+                f"{self.base_url} refused model {name!r} (unknown or proprietary)"
+            )
+        if page.status != 200:
+            raise RemoteError(
+                f"{self.base_url}/api/model returned {page.status}"
+            )
+        try:
+            payload = _json.loads(page.body)
+        except _json.JSONDecodeError as exc:
+            raise RemoteError(f"bad model payload from {self.base_url}: {exc}") from exc
+        from ..errors import LibraryError
+
+        try:
+            entry = LibraryEntry.from_payload(payload, origin=self.base_url)
+        except LibraryError as exc:
+            raise RemoteError(
+                f"bad model payload from {self.base_url}: {exc}"
+            ) from exc
+        self._cache[name] = entry
+        return entry
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def federate(
+    local: Library,
+    remote_urls: Sequence[str],
+    prefer: str = "mine",
+) -> Dict[str, List[str]]:
+    """Merge shared libraries from several servers into ``local``.
+
+    Returns ``{url: adopted entry names}``.  Unreachable servers raise
+    :class:`~repro.errors.RemoteError` — a federation is explicit, not
+    best-effort, so a silently missing site cannot skew an estimate.
+    """
+    adopted: Dict[str, List[str]] = {}
+    for url in remote_urls:
+        client = RemoteLibraryClient(url)
+        remote_library = client.fetch_library()
+        adopted[url] = local.merge(remote_library, prefer=prefer)
+    return adopted
+
+
+class ModelResolver:
+    """Name -> entry resolution across local + remote libraries.
+
+    The lookup order is local-first (the paper's servers share models;
+    local characterizations take precedence), then each remote in the
+    order given.  Fetches are on-demand and cached — the Figure 7
+    "information transfer on demand" behaviour.
+    """
+
+    def __init__(
+        self,
+        local: Library,
+        remotes: Sequence[RemoteLibraryClient] = (),
+    ):
+        self.local = local
+        self.remotes = list(remotes)
+
+    def resolve(self, name: str) -> LibraryEntry:
+        if name in self.local:
+            return self.local.get(name)
+        failures: List[str] = []
+        for remote in self.remotes:
+            try:
+                return remote.fetch_model(name)
+            except RemoteError as exc:
+                failures.append(str(exc))
+        detail = "; ".join(failures) if failures else "no remotes configured"
+        raise RemoteError(f"cannot resolve model {name!r}: {detail}")
+
+    def total_remote_requests(self) -> int:
+        return sum(remote.requests_made for remote in self.remotes)

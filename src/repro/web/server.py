@@ -1,0 +1,170 @@
+"""HTTP transport for the PowerPlay application.
+
+Wraps :class:`~repro.web.app.Application` in a threading
+``http.server`` — the modern stand-in for the paper's Perl-CGI-behind-
+httpd deployment.  "Since PowerPlay is local to one server, it can be
+accessed by any machine on the web" — here, by anything that can reach
+the bound address.
+
+:class:`PowerPlayServer` is context-managed for tests and examples::
+
+    with PowerPlayServer(state_dir) as server:
+        browser = Browser(server.base_url)
+        ...
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from .app import Application, Response
+
+
+def host_allowed(client_ip: str, allowed: Optional[Sequence[str]]) -> bool:
+    """Check a client address against an allowlist of IPs/networks.
+
+    "WWW programs enable file access to be restricted to specific
+    machines" — ``allowed`` entries are literal IPs ("10.0.0.7") or
+    CIDR networks ("10.0.0.0/24").  ``None`` means open access; an
+    empty list denies everyone (the lockdown configuration).
+    """
+    if allowed is None:
+        return True
+    try:
+        client = ipaddress.ip_address(client_ip)
+    except ValueError:
+        return False
+    for entry in allowed:
+        try:
+            if "/" in entry:
+                if client in ipaddress.ip_network(entry, strict=False):
+                    return True
+            elif client == ipaddress.ip_address(entry):
+                return True
+        except ValueError:
+            continue
+    return False
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Adapts HTTP requests to Application.handle calls."""
+
+    application: Application  # injected by the server factory
+    allowed_hosts: Optional[Sequence[str]] = None
+
+    # silence per-request stderr logging
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send(self, response: Response) -> None:
+        body = response.body.encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _gate(self) -> bool:
+        if host_allowed(self.client_address[0], self.allowed_hosts):
+            return True
+        self._send(
+            Response(
+                status=403,
+                body="<html><body><h1>403</h1>"
+                "<p>This PowerPlay server is restricted to specific "
+                "machines.</p></body></html>",
+            )
+        )
+        return False
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if not self._gate():
+            return
+        self._send(self.application.handle("GET", self.path))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if not self._gate():
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length).decode("utf-8") if length else ""
+        form = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(raw).items()
+        }
+        self._send(self.application.handle("POST", self.path, form))
+
+
+class PowerPlayServer:
+    """A live PowerPlay HTTP server on localhost.
+
+    ``port=0`` (default) picks a free port; read it back from
+    :attr:`base_url`.
+    """
+
+    def __init__(
+        self,
+        state_dir: Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        server_name: str = "powerplay",
+        application: Optional[Application] = None,
+        allowed_hosts: Optional[Sequence[str]] = None,
+    ):
+        self.application = application or Application(
+            Path(state_dir), server_name=server_name
+        )
+        self.allowed_hosts = allowed_hosts
+
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"application": self.application, "allowed_hosts": allowed_hosts},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PowerPlayServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True, name="powerplay-http"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "PowerPlayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking serve — what ``examples/web_demo.py --serve`` uses."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            self._httpd.server_close()

@@ -1,0 +1,214 @@
+"""Per-user sessions and server-side state.
+
+"Since WWW browsers do not supply user names, when PowerPlay is
+initially accessed the user must identify her/himself.  The username is
+passed to a Perl script which retrieves the individual user's defaults
+from the PowerPlay server's local file system.  These user defaults
+include the relevant hardware libraries and any previously generated
+designs."
+
+:class:`UserStore` reproduces exactly that: one JSON file per user under
+a server-local directory, holding
+
+* ``defaults`` — per-model parameter defaults remembered across visits
+  ("A Perl script updates the user defaults ...");
+* ``designs`` — serialized designs (via :mod:`repro.library.designio`);
+* ``models`` — the user's self-defined primitives (library payloads).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..core.design import Design
+from ..errors import SessionError
+from ..library.catalog import Library, LibraryEntry
+from ..library.designio import design_from_payload, design_to_payload
+
+_USERNAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.-]{0,31}$")
+
+
+def validate_username(username: str) -> str:
+    """Usernames become file names — keep them strictly boring."""
+    if not isinstance(username, str) or not _USERNAME_RE.match(username):
+        raise SessionError(
+            f"invalid username {username!r}: use 1-32 letters, digits, "
+            "'_', '.', '-', starting with a letter"
+        )
+    return username
+
+
+class UserSession:
+    """One user's mutable server-side state."""
+
+    def __init__(self, username: str, store: "UserStore"):
+        self.username = validate_username(username)
+        self._store = store
+        self.defaults: Dict[str, Dict[str, float]] = {}
+        self.designs: Dict[str, Design] = {}
+        self.user_library = Library(
+            f"{username}_models", f"models defined by {username}"
+        )
+        #: optional password protection — "PowerPlay can provide
+        #: password-restricted access".  Stored as salted SHA-256.
+        self._password_salt: str = ""
+        self._password_hash: str = ""
+
+    # -- password protection ---------------------------------------------
+
+    @property
+    def has_password(self) -> bool:
+        return bool(self._password_hash)
+
+    @staticmethod
+    def _digest(salt: str, password: str) -> str:
+        return hashlib.sha256((salt + password).encode("utf-8")).hexdigest()
+
+    def set_password(self, password: str) -> None:
+        """Protect this user's designs with a password."""
+        if not password or len(password) < 4:
+            raise SessionError("password must be at least 4 characters")
+        self._password_salt = os.urandom(8).hex()
+        self._password_hash = self._digest(self._password_salt, password)
+        self.save()
+
+    def clear_password(self, current: str) -> None:
+        if not self.check_password(current):
+            raise SessionError("wrong password")
+        self._password_salt = ""
+        self._password_hash = ""
+        self.save()
+
+    def check_password(self, password: str) -> bool:
+        """True when access should be granted."""
+        if not self.has_password:
+            return True
+        candidate = self._digest(self._password_salt, password or "")
+        return hmac.compare_digest(candidate, self._password_hash)
+
+    # -- defaults ---------------------------------------------------------
+
+    def defaults_for(self, model_name: str) -> Dict[str, float]:
+        return dict(self.defaults.get(model_name, {}))
+
+    def remember_defaults(self, model_name: str, values: Mapping[str, float]) -> None:
+        merged = self.defaults.setdefault(model_name, {})
+        for key, value in values.items():
+            merged[key] = float(value)
+        self.save()
+
+    # -- designs ------------------------------------------------------------
+
+    def design(self, name: str) -> Design:
+        design = self.designs.get(name)
+        if design is None:
+            raise SessionError(
+                f"user {self.username!r} has no design {name!r}"
+            )
+        return design
+
+    def put_design(self, design: Design) -> None:
+        self.designs[design.name] = design
+        self.save()
+
+    def delete_design(self, name: str) -> None:
+        if name not in self.designs:
+            raise SessionError(
+                f"user {self.username!r} has no design {name!r}"
+            )
+        del self.designs[name]
+        self.save()
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "format": "powerplay-user/1",
+            "username": self.username,
+            "password_salt": self._password_salt,
+            "password_hash": self._password_hash,
+            "defaults": self.defaults,
+            "designs": {
+                name: design_to_payload(design)
+                for name, design in self.designs.items()
+            },
+            "models": [entry.to_payload() for entry in self.user_library],
+        }
+
+    def load_payload(self, payload: Mapping) -> None:
+        if payload.get("format") != "powerplay-user/1":
+            raise SessionError(
+                f"corrupt state for user {self.username!r}: "
+                f"format {payload.get('format')!r}"
+            )
+        self._password_salt = payload.get("password_salt", "")
+        self._password_hash = payload.get("password_hash", "")
+        self.defaults = {
+            model: {k: float(v) for k, v in values.items()}
+            for model, values in payload.get("defaults", {}).items()
+        }
+        self.designs = {}
+        for name, design_payload in payload.get("designs", {}).items():
+            self.designs[name] = design_from_payload(design_payload)
+        self.user_library = Library(
+            f"{self.username}_models", f"models defined by {self.username}"
+        )
+        for entry_payload in payload.get("models", []):
+            self.user_library.add(LibraryEntry.from_payload(entry_payload))
+
+    def save(self) -> None:
+        self._store.save_session(self)
+
+
+class UserStore:
+    """File-backed session registry: one JSON file per user."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sessions: Dict[str, UserSession] = {}
+        self._lock = threading.Lock()
+
+    def _path(self, username: str) -> Path:
+        return self.root / f"{username}.json"
+
+    def known_users(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def session(self, username: str) -> UserSession:
+        """Fetch (or lazily create) a user's session."""
+        username = validate_username(username)
+        with self._lock:
+            session = self._sessions.get(username)
+            if session is not None:
+                return session
+            session = UserSession(username, self)
+            path = self._path(username)
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                except json.JSONDecodeError as exc:
+                    raise SessionError(
+                        f"corrupt state file for {username!r}: {exc}"
+                    ) from exc
+                session.load_payload(payload)
+            self._sessions[username] = session
+            return session
+
+    def save_session(self, session: UserSession) -> None:
+        path = self._path(session.username)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(session.to_payload(), indent=1))
+        temporary.replace(path)
+
+    def forget(self, username: str) -> None:
+        """Drop the in-memory session (state file remains)."""
+        with self._lock:
+            self._sessions.pop(username, None)

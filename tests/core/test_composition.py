@@ -1,0 +1,149 @@
+"""Compositional delay estimation (the paper's 'being examined' item)."""
+
+import pytest
+
+from repro.core.composition import (
+    Chain,
+    FixedDelay,
+    Iterative,
+    ParallelPaths,
+    Pipelined,
+    meets_frequency,
+    slack,
+)
+from repro.core.model import VoltageScaledTimingModel
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5}
+
+
+def block(name, delay_ns):
+    return FixedDelay(name, delay_ns * 1e-9)
+
+
+class TestChain:
+    def test_delays_add(self):
+        chain = Chain("path", [block("a", 3), block("b", 5), block("c", 2)])
+        assert chain.delay(ENV) == pytest.approx(10e-9)
+
+    def test_breakdown(self):
+        chain = Chain("path", [block("a", 3), block("b", 5)])
+        assert chain.breakdown(ENV) == pytest.approx(
+            {"a": 3e-9, "b": 5e-9}
+        )
+
+    def test_needs_blocks(self):
+        with pytest.raises(ModelError):
+            Chain("empty", [])
+
+    def test_nests(self):
+        inner = Chain("inner", [block("a", 1), block("b", 1)])
+        outer = Chain("outer", [inner, block("c", 3)])
+        assert outer.delay(ENV) == pytest.approx(5e-9)
+
+
+class TestParallel:
+    def test_slowest_dominates(self):
+        paths = ParallelPaths("join", [block("fast", 2), block("slow", 9)])
+        assert paths.delay(ENV) == pytest.approx(9e-9)
+
+    def test_critical_path_identification(self):
+        slow = block("slow", 9)
+        paths = ParallelPaths("join", [block("fast", 2), slow])
+        assert paths.critical_path(ENV) is slow
+
+    def test_critical_path_can_move_with_voltage(self):
+        """A voltage-scaled gate path vs a fixed wire path: the critical
+        path flips as VDD drops — the thing composition exposes."""
+        gates = VoltageScaledTimingModel("gates", delay_ref=5e-9, v_ref=1.5)
+        wire = FixedDelay("wire", 7e-9)
+        join = ParallelPaths("join", [gates, wire])
+        assert join.critical_path({"VDD": 3.0}) is wire
+        assert join.critical_path({"VDD": 1.0}) is gates
+
+    def test_needs_paths(self):
+        with pytest.raises(ModelError):
+            ParallelPaths("empty", [])
+
+
+class TestPipelined:
+    def test_cycle_time_is_slowest_stage_plus_overhead(self):
+        pipe = Pipelined(
+            "pipe", [block("s1", 4), block("s2", 9), block("s3", 6)],
+            register_overhead=1e-9,
+        )
+        assert pipe.delay(ENV) == pytest.approx(10e-9)
+
+    def test_latency(self):
+        pipe = Pipelined("pipe", [block("s1", 4), block("s2", 9)],
+                         register_overhead=1e-9)
+        assert pipe.latency(ENV) == pytest.approx(2 * 10e-9)
+
+    def test_max_frequency(self):
+        pipe = Pipelined("pipe", [block("s", 9)], register_overhead=1e-9)
+        assert pipe.max_frequency(ENV) == pytest.approx(1e8)
+
+    def test_pipelining_beats_the_chain(self):
+        """The architecture-level speed/power lever: same logic, higher
+        clock ceiling."""
+        stages = [block("s1", 6), block("s2", 6), block("s3", 6)]
+        chain = Chain("combinational", stages)
+        pipe = Pipelined("pipelined", stages, register_overhead=1.5e-9)
+        assert pipe.delay(ENV) < chain.delay(ENV)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Pipelined("p", [])
+        with pytest.raises(ModelError):
+            Pipelined("p", [block("s", 1)], register_overhead=-1)
+
+
+class TestIterative:
+    def test_multiplies(self):
+        serial = Iterative("serial_mult", block("add_shift", 5), 16)
+        assert serial.delay(ENV) == pytest.approx(80e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Iterative("bad", block("x", 1), 0)
+
+    def test_serial_vs_parallel_tradeoff(self):
+        """One adder reused 16x vs an array: the classic area/time swap
+        whose power side the luminance study explores."""
+        serial = Iterative("serial", block("adder", 5), 16)
+        array = Chain("array", [block(f"row{i}", 5) for i in range(4)])
+        assert serial.delay(ENV) > array.delay(ENV)
+
+
+class TestConstraints:
+    def test_meets_frequency(self):
+        path = Chain("p", [block("a", 40)])
+        assert meets_frequency(path, 20e6, ENV)       # 50 ns period
+        assert not meets_frequency(path, 30e6, ENV)   # 33 ns period
+
+    def test_slack_sign(self):
+        path = Chain("p", [block("a", 40)])
+        assert slack(path, 20e6, ENV) == pytest.approx(10e-9)
+        assert slack(path, 30e6, ENV) < 0
+
+    def test_frequency_validation(self):
+        with pytest.raises(ModelError):
+            meets_frequency(block("a", 1), 0, ENV)
+        with pytest.raises(ModelError):
+            slack(block("a", 1), -1, ENV)
+
+    def test_fixed_delay_validation(self):
+        with pytest.raises(ModelError):
+            FixedDelay("bad", -1e-9)
+
+
+class TestWithLibraryModels:
+    def test_luminance_datapath_composition(self):
+        """LUT access then mux then register, at the Figure 3 rates."""
+        lut = VoltageScaledTimingModel("lut", delay_ref=9e-9 * 1.25, v_ref=1.5)
+        mux = VoltageScaledTimingModel("mux", delay_ref=1.2e-9, v_ref=1.5)
+        path = Chain("pixel_path", [lut, mux])
+        # pixel period at 2 MHz is 508 ns: plenty of slack at 1.5 V
+        assert meets_frequency(path, 1.966e6, {"VDD": 1.5})
+        # and still fine at 1.1 V — headroom the optimizer can spend
+        assert meets_frequency(path, 1.966e6, {"VDD": 1.1})

@@ -1,0 +1,268 @@
+"""Design hierarchy: rows, inheritance, feeds, macros, sub-designs."""
+
+import pytest
+
+from repro.core.design import Design, MacroPowerModel
+from repro.core.estimator import evaluate_power
+from repro.core.expressions import compile_expression as E
+from repro.core.model import (
+    CapacitiveTerm,
+    ExpressionPowerModel,
+    TemplatePowerModel,
+)
+from repro.core.parameters import Parameter
+from repro.errors import DesignError
+
+ADDER = TemplatePowerModel(
+    "adder",
+    capacitive=[CapacitiveTerm("bits", E("bitwidth * 68f"))],
+    parameters=(Parameter("bitwidth", 16),),
+)
+
+
+def simple_design():
+    design = Design("d")
+    design.scope.set("VDD", 1.5)
+    design.scope.set("f", 2e6)
+    design.add("adder", ADDER, params={"bitwidth": 8})
+    return design
+
+
+class TestRows:
+    def test_add_and_lookup(self):
+        design = simple_design()
+        assert "adder" in design
+        assert design.row("adder").scope["bitwidth"] == 8.0
+        assert len(design) == 1
+
+    def test_duplicate_name_rejected(self):
+        design = simple_design()
+        with pytest.raises(DesignError, match="duplicate"):
+            design.add("adder", ADDER)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DesignError):
+            simple_design().add("", ADDER)
+
+    def test_unknown_row(self):
+        with pytest.raises(DesignError, match="no row"):
+            simple_design().row("ghost")
+
+    def test_row_order_preserved(self):
+        design = simple_design()
+        design.add("second", ADDER)
+        design.add("third", ADDER)
+        assert design.row_names() == ["adder", "second", "third"]
+
+    def test_remove(self):
+        design = simple_design()
+        design.remove("adder")
+        assert "adder" not in design
+
+    def test_remove_fed_row_rejected(self):
+        design = simple_design()
+        design.add(
+            "conv",
+            ExpressionPowerModel("conv", "P_load * 0.1"),
+            power_feeds=["adder"],
+        )
+        with pytest.raises(DesignError, match="feeds on it"):
+            design.remove("adder")
+
+    def test_quantity_validation(self):
+        with pytest.raises(DesignError, match="quantity"):
+            simple_design().add("x", ADDER, quantity=0)
+
+    def test_quantity_multiplies_power(self):
+        design = simple_design()
+        design.add("bank", ADDER, params={"bitwidth": 8}, quantity=4)
+        report = evaluate_power(design)
+        assert report["bank"].power == pytest.approx(4 * report["adder"].power)
+
+
+class TestInheritance:
+    def test_global_parameter_reaches_row(self):
+        design = simple_design()
+        report_a = evaluate_power(design)
+        design.scope.set("VDD", 3.0)
+        report_b = evaluate_power(design)
+        assert report_b.power == pytest.approx(4 * report_a.power)
+
+    def test_model_default_used_when_parent_lacks_value(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        instance = design.add("adder", ADDER)  # no explicit bitwidth
+        assert instance.scope["bitwidth"] == 16.0
+
+    def test_parent_value_wins_over_model_default(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        design.scope.set("bitwidth", 24)
+        instance = design.add("adder", ADDER)
+        assert instance.scope["bitwidth"] == 24.0
+
+    def test_row_override_wins_over_everything(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        design.scope.set("bitwidth", 24)
+        instance = design.add("adder", ADDER, params={"bitwidth": 4})
+        assert instance.scope["bitwidth"] == 4.0
+
+    def test_formula_row_parameter(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f_pixel", 2e6)
+        instance = design.add("lut", ADDER, params={"f": "f_pixel / 16"})
+        assert instance.scope["f"] == pytest.approx(125e3)
+
+
+class TestFeeds:
+    def test_power_feed_environment(self):
+        design = simple_design()
+        design.add(
+            "conv",
+            ExpressionPowerModel("conv", "P_load * 0.5"),
+            power_feeds=["adder"],
+        )
+        report = evaluate_power(design)
+        assert report["conv"].power == pytest.approx(0.5 * report["adder"].power)
+
+    def test_named_feed_values(self):
+        design = simple_design()
+        design.add("adder2", ADDER, params={"bitwidth": 16})
+        design.add(
+            "diff",
+            ExpressionPowerModel("diff", "P.adder2 - P.adder"),
+            power_feeds=["adder", "adder2"],
+        )
+        report = evaluate_power(design)
+        assert report["diff"].power == pytest.approx(
+            report["adder2"].power - report["adder"].power
+        )
+
+    def test_feed_on_unknown_row(self):
+        design = simple_design()
+        design.add(
+            "conv", ExpressionPowerModel("conv", "P_load"), power_feeds=["ghost"]
+        )
+        with pytest.raises(DesignError, match="unknown"):
+            design.evaluation_order()
+
+    def test_feed_cycle_detected(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 1e6)
+        design.add("a", ExpressionPowerModel("a", "P_load"), power_feeds=["b"])
+        design.add("b", ExpressionPowerModel("b", "P_load"), power_feeds=["a"])
+        with pytest.raises(DesignError, match="cycle"):
+            design.evaluation_order()
+
+    def test_feeds_evaluated_before_consumers_regardless_of_order(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        # converter added FIRST, feeding on a later row
+        design.add(
+            "conv", ExpressionPowerModel("conv", "P_load * 0.1"),
+            power_feeds=["load"],
+        )
+        design.add("load", ADDER, params={"bitwidth": 8})
+        order = design.evaluation_order()
+        assert order.index("load") < order.index("conv")
+        report = evaluate_power(design)
+        assert report["conv"].power == pytest.approx(0.1 * report["load"].power)
+
+
+class TestSubDesigns:
+    def test_mount_and_inherit(self):
+        child = Design("child")
+        child.add("adder", ADDER, params={"bitwidth": 8})
+        parent = Design("parent")
+        parent.scope.set("VDD", 1.5)
+        parent.scope.set("f", 2e6)
+        parent.add_subdesign("child", child)
+        report = evaluate_power(parent)
+        assert report["child"]["adder"].power > 0
+
+    def test_self_mount_rejected(self):
+        design = Design("d")
+        with pytest.raises(DesignError, match="cannot contain itself"):
+            design.add_subdesign("self", design)
+
+    def test_double_mount_rejected(self):
+        child = Design("child")
+        parent_a = Design("a")
+        parent_b = Design("b")
+        parent_a.add_subdesign("child", child)
+        with pytest.raises(DesignError, match="already mounted"):
+            parent_b.add_subdesign("child", child)
+
+    def test_subdesign_set_reaches_its_scope(self):
+        child = Design("child")
+        parent = Design("parent")
+        row = parent.add_subdesign("child", child)
+        row.set("VDD", 2.0)
+        assert child.scope["VDD"] == 2.0
+
+
+class TestMacro:
+    def test_macro_matches_design_total(self):
+        design = simple_design()
+        macro = design.as_macro()
+        assert macro.power({}) == pytest.approx(evaluate_power(design).power)
+
+    def test_exported_parameter(self):
+        design = simple_design()
+        macro = design.as_macro(exported=["VDD"])
+        base = macro.power({"VDD": 1.5})
+        assert macro.power({"VDD": 3.0}) == pytest.approx(4 * base)
+
+    def test_export_restores_scope(self):
+        design = simple_design()
+        macro = design.as_macro(exported=["VDD"])
+        macro.power({"VDD": 5.0})
+        assert design.scope["VDD"] == 1.5
+
+    def test_export_unknown_parameter(self):
+        with pytest.raises(DesignError, match="not resolvable"):
+            simple_design().as_macro(exported=["ghost"])
+
+    def test_macro_breakdown(self):
+        design = simple_design()
+        design.add("adder2", ADDER)
+        macro = design.as_macro()
+        breakdown = macro.breakdown({})
+        assert set(breakdown) == {"adder", "adder2"}
+
+    def test_macro_usable_as_library_row(self):
+        inner = simple_design()
+        macro = inner.as_macro(exported=["VDD"], name="adder_macro")
+        outer = Design("outer")
+        outer.scope.set("VDD", 3.0)
+        outer.scope.set("f", 2e6)
+        outer.add("ip", macro)
+        report = evaluate_power(outer)
+        assert report["ip"].power == pytest.approx(macro.power({"VDD": 3.0}))
+
+
+class TestUnmount:
+    def test_removed_subdesign_can_be_remounted(self):
+        child = Design("child")
+        child.add("adder", ADDER, params={"bitwidth": 8})
+        first_parent = Design("first")
+        first_parent.scope.set("VDD", 1.5)
+        first_parent.scope.set("f", 2e6)
+        first_parent.add_subdesign("child", child)
+        first_parent.remove("child")
+        assert child.scope.parent is None
+        second_parent = Design("second")
+        second_parent.scope.set("VDD", 3.0)
+        second_parent.scope.set("f", 2e6)
+        second_parent.add_subdesign("child", child)
+        report = evaluate_power(second_parent)
+        assert report["child"]["adder"].power > 0
+        # the child now inherits the *second* parent's supply
+        assert child.scope["VDD"] == 3.0

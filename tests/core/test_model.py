@@ -1,0 +1,236 @@
+"""The EQ 1 model template and the model protocol family."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.expressions import compile_expression as E
+from repro.core.model import (
+    CallablePowerModel,
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ExpressionPowerModel,
+    ExpressionTimingModel,
+    FixedPowerModel,
+    ModelSet,
+    StaticTerm,
+    TemplatePowerModel,
+    VoltageScaledTimingModel,
+)
+from repro.core.parameters import Parameter
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 2e6}
+
+
+class TestCapacitiveTerm:
+    def test_rail_to_rail_energy(self):
+        term = CapacitiveTerm("c", E("10p"))
+        # E = C * VDD * VDD (swing defaults to VDD)
+        assert term.energy(ENV) == pytest.approx(10e-12 * 1.5 * 1.5)
+
+    def test_reduced_swing(self):
+        term = CapacitiveTerm("c", E("10p"), v_swing=E("0.3"))
+        assert term.energy(ENV) == pytest.approx(10e-12 * 0.3 * 1.5)
+
+    def test_activity_scales(self):
+        term = CapacitiveTerm("c", E("10p"), activity=E("0.25"))
+        full = CapacitiveTerm("c", E("10p"))
+        assert term.energy(ENV) == pytest.approx(0.25 * full.energy(ENV))
+
+    def test_power_uses_env_frequency(self):
+        term = CapacitiveTerm("c", E("10p"))
+        assert term.power(ENV) == pytest.approx(term.energy(ENV) * 2e6)
+
+    def test_per_term_frequency_override(self):
+        term = CapacitiveTerm("c", E("10p"), frequency=E("f / 16"))
+        base = CapacitiveTerm("c", E("10p"))
+        assert term.power(ENV) == pytest.approx(base.power(ENV) / 16)
+
+    def test_negative_capacitance_rejected(self):
+        term = CapacitiveTerm("c", E("0 - 5p"))
+        with pytest.raises(ModelError, match="negative capacitance"):
+            term.energy(ENV)
+
+    def test_missing_vdd(self):
+        term = CapacitiveTerm("c", E("10p"))
+        with pytest.raises(ModelError, match="VDD"):
+            term.energy({"f": 1.0})
+
+
+class TestStaticTerm:
+    def test_power(self):
+        term = StaticTerm("bias", E("2m"))
+        assert term.power(ENV) == pytest.approx(2e-3 * 1.5)
+
+    def test_explicit_supply(self):
+        term = StaticTerm("bias", E("2m"), supply=E("3.0"))
+        assert term.power(ENV) == pytest.approx(6e-3)
+
+
+class TestTemplate:
+    def make(self):
+        return TemplatePowerModel(
+            "block",
+            capacitive=[
+                CapacitiveTerm("a", E("bitwidth * 68f")),
+                CapacitiveTerm("b", E("1p")),
+            ],
+            static=[StaticTerm("leak", E("1u"))],
+            parameters=(Parameter("bitwidth", 16),),
+        )
+
+    def test_requires_terms(self):
+        with pytest.raises(ModelError, match="no terms"):
+            TemplatePowerModel("empty")
+
+    def test_power_is_sum_of_terms(self):
+        model = self.make()
+        env = dict(ENV, bitwidth=16)
+        assert model.power(env) == pytest.approx(sum(model.breakdown(env).values()))
+
+    def test_breakdown_names(self):
+        model = self.make()
+        assert set(model.breakdown(dict(ENV, bitwidth=16))) == {"a", "b", "leak"}
+
+    def test_energy_excludes_static(self):
+        model = self.make()
+        env = dict(ENV, bitwidth=16)
+        dynamic_only = (16 * 68e-15 + 1e-12) * 1.5 * 1.5
+        assert model.energy_per_access(env) == pytest.approx(dynamic_only)
+
+    def test_effective_capacitance(self):
+        model = TemplatePowerModel(
+            "c", capacitive=[CapacitiveTerm("x", E("10p"), v_swing=E("0.75"))]
+        )
+        # swing-weighted: C * (swing / VDD) = 10p * 0.5
+        assert model.effective_capacitance(ENV) == pytest.approx(5e-12)
+
+    def test_paper_eq20_number(self):
+        """The Figure 4 anchor: 16x16 multiplier, 1.5 V, 2 MHz."""
+        model = TemplatePowerModel(
+            "mult", capacitive=[CapacitiveTerm("array", E("bwA * bwB * 253f"))]
+        )
+        env = {"bwA": 16, "bwB": 16, "VDD": 1.5, "f": 2e6}
+        assert model.power(env) * 1e6 == pytest.approx(291.456)
+
+    def test_quadratic_in_vdd(self):
+        model = self.make()
+        low = model.energy_per_access(dict(ENV, VDD=1.0, bitwidth=16))
+        high = model.energy_per_access(dict(ENV, VDD=2.0, bitwidth=16))
+        assert high / low == pytest.approx(4.0)
+
+    def test_default_scope(self):
+        scope = self.make().default_scope()
+        assert scope["bitwidth"] == 16.0
+
+
+class TestExpressionModels:
+    def test_power(self):
+        model = ExpressionPowerModel("m", "a * VDD", (Parameter("a", 2.0),))
+        assert model.power(dict(ENV, a=2.0)) == pytest.approx(3.0)
+
+    def test_bad_equation_reports_model(self):
+        model = ExpressionPowerModel("m", "missing + 1")
+        with pytest.raises(ModelError, match="'m'"):
+            model.power(ENV)
+
+    def test_energy_per_access_default(self):
+        model = ExpressionPowerModel("m", "10u")
+        assert model.energy_per_access(ENV) == pytest.approx(10e-6 / 2e6)
+        with pytest.raises(ModelError, match="f > 0"):
+            model.energy_per_access({"VDD": 1.5, "f": 0})
+
+    def test_area_model(self):
+        model = ExpressionAreaModel("a", "bitwidth * 2n", (Parameter("bitwidth", 8),))
+        assert model.area({"bitwidth": 8}) == pytest.approx(16e-9)
+        bad = ExpressionAreaModel("a", "0 - 1")
+        with pytest.raises(ModelError, match="negative area"):
+            bad.area({})
+
+    def test_timing_model(self):
+        model = ExpressionTimingModel("t", "10n * bitwidth")
+        assert model.delay({"bitwidth": 4}) == pytest.approx(40e-9)
+
+
+class TestFixedPower:
+    def test_full_duty(self):
+        assert FixedPowerModel("lcd", 1.0).power({}) == 1.0
+
+    def test_alpha(self):
+        assert FixedPowerModel("cpu", 2.0).power({"alpha": 0.25}) == 0.5
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ModelError):
+            FixedPowerModel("cpu", 2.0).power({"alpha": 1.5})
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ModelError):
+            FixedPowerModel("x", -1.0)
+
+
+class TestCallable:
+    def test_wraps_function(self):
+        model = CallablePowerModel("tool", lambda env: env["VDD"] * 2)
+        assert model.power(ENV) == 3.0
+
+    def test_non_numeric_result(self):
+        model = CallablePowerModel("tool", lambda env: "oops")
+        with pytest.raises(ModelError, match="non-numeric"):
+            model.power(ENV)
+
+
+class TestVoltageScaledTiming:
+    def test_reference_point(self):
+        model = VoltageScaledTimingModel("t", delay_ref=10e-9, v_ref=1.5)
+        assert model.delay({"VDD": 1.5}) == pytest.approx(10e-9)
+
+    def test_lower_voltage_is_slower(self):
+        model = VoltageScaledTimingModel("t", delay_ref=10e-9, v_ref=1.5)
+        assert model.delay({"VDD": 1.1}) > 10e-9
+        assert model.delay({"VDD": 3.0}) < 10e-9
+
+    def test_below_threshold_raises(self):
+        model = VoltageScaledTimingModel("t", 10e-9, v_threshold=0.7)
+        with pytest.raises(ModelError, match="threshold"):
+            model.delay({"VDD": 0.6})
+
+    def test_max_frequency(self):
+        model = VoltageScaledTimingModel("t", 10e-9)
+        assert model.max_frequency({"VDD": 1.5}) == pytest.approx(1e8)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ModelError):
+            VoltageScaledTimingModel("t", 0.0)
+        with pytest.raises(ModelError):
+            VoltageScaledTimingModel("t", 1e-9, v_ref=0.5, v_threshold=0.7)
+
+
+class TestModelSet:
+    def test_parameter_union(self):
+        model_set = ModelSet(
+            power=ExpressionPowerModel("p", "a", (Parameter("a", 1.0),)),
+            area=ExpressionAreaModel("ar", "b", (Parameter("b", 2.0), Parameter("a", 9.0))),
+        )
+        names = [parameter.name for parameter in model_set.parameters]
+        assert names == ["a", "b"]
+        # the power model's declaration wins on clash
+        assert model_set.parameters[0].default == 1.0
+
+    def test_name(self):
+        model_set = ModelSet(power=ExpressionPowerModel("p", "1"))
+        assert model_set.name == "p"
+
+
+@given(
+    st.floats(min_value=0.5, max_value=5.0),
+    st.floats(min_value=1e3, max_value=1e9),
+    st.floats(min_value=1e-15, max_value=1e-9),
+)
+def test_property_template_linearity(vdd, frequency, capacitance):
+    """EQ 1: dynamic power is linear in f and quadratic in VDD."""
+    model = TemplatePowerModel(
+        "m", capacitive=[CapacitiveTerm("c", E(repr(capacitance)))]
+    )
+    base = model.power({"VDD": vdd, "f": frequency})
+    assert model.power({"VDD": vdd, "f": 2 * frequency}) == pytest.approx(2 * base)
+    assert model.power({"VDD": 2 * vdd, "f": frequency}) == pytest.approx(4 * base)

@@ -1,0 +1,188 @@
+"""Design-space exploration: voltage optimization, grids, Pareto."""
+
+import pytest
+
+from repro.core.composition import Chain, FixedDelay
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.core.expressions import compile_expression as E
+from repro.core.model import (
+    CapacitiveTerm,
+    TemplatePowerModel,
+    VoltageScaledTimingModel,
+)
+from repro.core.optimize import (
+    GridPoint,
+    grid_search,
+    minimum_voltage,
+    optimize_voltage,
+    pareto_front,
+    pareto_points,
+)
+from repro.core.parameters import Parameter
+from repro.errors import ModelError
+
+ADDER = TemplatePowerModel(
+    "adder",
+    capacitive=[CapacitiveTerm("bits", E("bitwidth * 68f"))],
+    parameters=(Parameter("bitwidth", 16),),
+)
+
+
+def make_design():
+    design = Design("d")
+    design.scope.set("VDD", 1.5)
+    design.scope.set("f", 2e6)
+    design.add("alu", ADDER, params={"bitwidth": 16})
+    return design
+
+
+class TestMinimumVoltage:
+    def test_bisection_finds_threshold(self):
+        timing = VoltageScaledTimingModel("t", delay_ref=100e-9, v_ref=1.5)
+        # at 1.5 V delay is 100 ns; ask for a 150 ns period (6.67 MHz):
+        # some voltage below 1.5 suffices
+        vdd = minimum_voltage(timing, 1.0 / 150e-9)
+        assert vdd < 1.5
+        assert timing.delay({"VDD": vdd}) <= 150e-9
+        # and just below it, timing fails
+        assert timing.delay({"VDD": vdd - 0.02}) > 150e-9
+
+    def test_already_feasible_at_floor(self):
+        timing = VoltageScaledTimingModel("t", delay_ref=1e-9, v_ref=1.5)
+        assert minimum_voltage(timing, 1e6, v_low=0.8) == 0.8
+
+    def test_infeasible_raises(self):
+        timing = VoltageScaledTimingModel("t", delay_ref=1e-3, v_ref=1.5)
+        with pytest.raises(ModelError, match="cannot reach"):
+            minimum_voltage(timing, 1e9)
+
+    def test_validation(self):
+        timing = VoltageScaledTimingModel("t", 1e-9)
+        with pytest.raises(ModelError):
+            minimum_voltage(timing, 0)
+        with pytest.raises(ModelError):
+            minimum_voltage(timing, 1e6, v_low=3.0, v_high=1.0)
+
+    def test_composed_path(self):
+        path = Chain(
+            "p",
+            [
+                VoltageScaledTimingModel("gates", 60e-9, v_ref=1.5),
+                FixedDelay("wire", 20e-9),
+            ],
+        )
+        vdd = minimum_voltage(path, 1.0 / 120e-9)
+        assert path.delay({"VDD": vdd}) <= 120e-9
+
+
+class TestOptimizeVoltage:
+    def test_optimum_saves_power_and_meets_timing(self):
+        design = make_design()
+        timing = VoltageScaledTimingModel("cp", delay_ref=100e-9, v_ref=1.5)
+        result = optimize_voltage(design, timing, frequency=1.0 / 200e-9)
+        assert result.vdd < 1.5
+        assert result.power < result.nominal_power
+        assert 0.0 < result.saving < 1.0
+        assert timing.delay({"VDD": result.vdd}) <= 200e-9
+
+    def test_design_scope_untouched(self):
+        design = make_design()
+        timing = VoltageScaledTimingModel("cp", 100e-9, v_ref=1.5)
+        optimize_voltage(design, timing, frequency=1.0 / 200e-9)
+        assert design.scope["VDD"] == 1.5
+
+    def test_needs_nominal_vdd(self):
+        design = Design("no_vdd")
+        design.scope.set("f", 1e6)
+        design.add("alu", ADDER)
+        timing = VoltageScaledTimingModel("cp", 1e-9)
+        with pytest.raises(ModelError, match="VDD"):
+            optimize_voltage(design, timing, frequency=1e6)
+
+    def test_on_the_paper_design(self):
+        from repro.designs.luminance import build_figure3_design
+
+        design = build_figure3_design()
+        lut_access = VoltageScaledTimingModel("lut", 500e-9, v_ref=1.5)
+        # the LUT runs at f/4: ~2 us period
+        result = optimize_voltage(
+            design, lut_access, frequency=design.scope["f_pixel"] / 4
+        )
+        assert result.vdd < 1.5
+        assert result.saving > 0.3
+
+
+class TestGridSearch:
+    def test_sorted_by_power(self):
+        design = make_design()
+        results = grid_search(
+            design, {"VDD": [1.1, 1.5, 3.3], "bitwidth": [8, 16]}
+        )
+        assert len(results) == 6
+        powers = [point.power for point in results]
+        assert powers == sorted(powers)
+        assert results[0].parameters == {"VDD": 1.1, "bitwidth": 8.0}
+
+    def test_scope_restored(self):
+        design = make_design()
+        grid_search(design, {"VDD": [5.0]})
+        assert design.scope["VDD"] == 1.5
+
+    def test_metrics_evaluated_under_overrides(self):
+        design = make_design()
+        results = grid_search(
+            design,
+            {"VDD": [1.0, 2.0]},
+            metrics={"vdd_seen": lambda d: d.scope["VDD"]},
+        )
+        seen = sorted(point.metrics["vdd_seen"] for point in results)
+        assert seen == [1.0, 2.0]
+
+    def test_limit_guard(self):
+        design = make_design()
+        with pytest.raises(ModelError, match="over the limit"):
+            grid_search(design, {"VDD": list(range(200)),
+                                 "bitwidth": list(range(1, 101))}, limit=100)
+
+    def test_empty_grid(self):
+        with pytest.raises(ModelError):
+            grid_search(make_design(), {})
+
+
+class TestPareto:
+    def test_front_extraction(self):
+        points = [(1, 9), (2, 4), (3, 5), (4, 2), (5, 3), (2, 9)]
+        front = pareto_front(points)
+        assert front == [(1, 9), (2, 4), (4, 2)]
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_duplicates_collapse(self):
+        assert pareto_front([(1, 1), (1, 1)]) == [(1, 1)]
+
+    def test_pareto_points_from_grid(self):
+        design = make_design()
+        results = grid_search(
+            design,
+            {"VDD": [1.0, 1.5, 3.0], "bitwidth": [8, 32]},
+            metrics={
+                # a stand-in delay metric: slower at low VDD
+                "delay": lambda d: 1.0 / d.scope["VDD"],
+            },
+        )
+        front = pareto_points(results, "delay")
+        assert front
+        # no front point is dominated by any grid point
+        for candidate in front:
+            for other in results:
+                dominates = (
+                    other.power <= candidate.power
+                    and other.metrics["delay"] <= candidate.metrics["delay"]
+                    and (
+                        other.power < candidate.power
+                        or other.metrics["delay"] < candidate.metrics["delay"]
+                    )
+                )
+                assert not dominates

@@ -1,0 +1,146 @@
+"""Row provenance and measurement back-annotation.
+
+Figure 5's caption: "the power dissipation data for the LCDs came from
+actual measurements, the data for the custom hardware is modeled for one
+configuration and measured for another" — rows carry their source, and
+measurements override models until cleared.
+"""
+
+import pytest
+
+from repro.core.design import Design, PROVENANCE
+from repro.core.estimator import evaluate_power
+from repro.core.model import FixedPowerModel
+from repro.errors import DesignError
+from repro.library.designio import design_from_json, design_to_json
+
+
+def make_design():
+    design = Design("d")
+    design.scope.set("VDD", 1.5)
+    design.add("block", FixedPowerModel("block", 2.0), source="datasheet")
+    return design
+
+
+class TestProvenanceLabels:
+    def test_default_is_modeled(self):
+        design = Design("d")
+        row = design.add("x", FixedPowerModel("x", 1.0))
+        assert row.source == "modeled"
+
+    def test_explicit_source(self):
+        design = make_design()
+        assert design.row("block").source == "datasheet"
+
+    def test_unknown_source_rejected(self):
+        design = Design("d")
+        with pytest.raises(DesignError, match="unknown source"):
+            design.add("x", FixedPowerModel("x", 1.0), source="psychic")
+
+    def test_source_in_report(self):
+        report = evaluate_power(make_design())
+        assert report["block"].source == "datasheet"
+        assert report.source == "hierarchy"
+
+    def test_source_in_rendered_table(self):
+        from repro.core.report import render_power
+
+        text = render_power(evaluate_power(make_design()))
+        assert "Source" in text
+        assert "datasheet" in text
+
+    def test_infopad_mixes_sources(self):
+        """The Figure 5 property: measured, datasheet and estimated rows
+        coexist in one spreadsheet."""
+        from repro.designs.infopad import build_infopad
+
+        report = evaluate_power(build_infopad())
+        sources = {child.source for child in report.children}
+        assert "measured" in sources
+        assert "datasheet" in sources
+        assert "estimated" in sources
+        assert "hierarchy" in sources  # the custom-hardware sub-design
+
+
+class TestBackAnnotation:
+    def test_measurement_overrides_model(self):
+        design = make_design()
+        design.row("block").record_measurement(1.25)
+        report = evaluate_power(design)
+        assert report["block"].power == pytest.approx(1.25)
+        assert report["block"].source == "measured"
+        assert report["block"].details == {"measured": 1.25}
+
+    def test_measurement_scales_with_quantity(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        row = design.add("banks", FixedPowerModel("bank", 1.0), quantity=4)
+        row.record_measurement(0.5)
+        assert evaluate_power(design)["banks"].power == pytest.approx(2.0)
+
+    def test_clear_returns_to_model(self):
+        design = make_design()
+        row = design.row("block")
+        row.record_measurement(1.25)
+        row.clear_measurement()
+        report = evaluate_power(design)
+        assert report["block"].power == pytest.approx(2.0)
+        assert report["block"].source == "modeled"
+
+    def test_negative_measurement_rejected(self):
+        design = make_design()
+        with pytest.raises(DesignError):
+            design.row("block").record_measurement(-1.0)
+
+    def test_measured_row_ignores_parameter_sweeps(self):
+        """A measurement is a number, not a model: VDD edits no longer
+        move the row until the measurement is cleared."""
+        design = make_design()
+        design.row("block").record_measurement(1.0)
+        base = evaluate_power(design)["block"].power
+        swept = evaluate_power(design, overrides={"VDD": 3.0})["block"].power
+        assert swept == pytest.approx(base)
+
+    def test_converter_feeds_see_measured_values(self):
+        """EQ 19 runs on whatever the rows report — including
+        measurements."""
+        from repro.models.converter import DCDCConverterModel
+
+        design = make_design()
+        design.add(
+            "regulator",
+            DCDCConverterModel(efficiency=0.8),
+            params={"eta": 0.8},
+            power_feeds=["block"],
+        )
+        design.row("block").record_measurement(4.0)
+        report = evaluate_power(design)
+        assert report["regulator"].power == pytest.approx(4.0 * 0.25)
+
+
+class TestPersistence:
+    def test_source_and_measurement_round_trip(self):
+        design = make_design()
+        design.row("block").record_measurement(1.75)
+        clone = design_from_json(design_to_json(design))
+        row = clone.row("block")
+        assert row.source == "measured"
+        assert row.measured_power == pytest.approx(1.75)
+        assert evaluate_power(clone)["block"].power == pytest.approx(1.75)
+
+    def test_datasheet_label_round_trips(self):
+        clone = design_from_json(design_to_json(make_design()))
+        assert clone.row("block").source == "datasheet"
+
+    def test_web_sheet_shows_source_column(self, tmp_path):
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        app.handle(
+            "POST", "/design/load_example",
+            {"user": "x", "example": "infopad"},
+        )
+        page = app.handle("GET", "/design?user=x&name=infopad")
+        assert "<th>Source</th>" in page.body
+        assert "measured" in page.body

@@ -1,0 +1,122 @@
+"""Text rendering of reports (the Figure 2 / Figure 5 tables)."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_area, evaluate_power, evaluate_timing
+from repro.core.expressions import compile_expression as E
+from repro.core.model import (
+    CapacitiveTerm,
+    ExpressionAreaModel,
+    ModelSet,
+    TemplatePowerModel,
+    VoltageScaledTimingModel,
+)
+from repro.core.parameters import Parameter
+from repro.core.report import (
+    render_area,
+    render_comparison,
+    render_coverage,
+    render_power,
+    render_power_csv,
+    render_table,
+    render_timing,
+)
+
+ADDER = TemplatePowerModel(
+    "adder",
+    capacitive=[CapacitiveTerm("bits", E("bitwidth * 68f"))],
+    parameters=(Parameter("bitwidth", 16),),
+)
+
+
+@pytest.fixture
+def design():
+    d = Design("demo")
+    d.scope.set("VDD", 1.5)
+    d.scope.set("f", 2e6)
+    d.add("small", ADDER, params={"bitwidth": 8})
+    d.add(
+        "big",
+        ModelSet(
+            power=ADDER,
+            area=ExpressionAreaModel("a", "bitwidth * 2n", (Parameter("bitwidth", 32),)),
+            timing=VoltageScaledTimingModel("t", 20e-9),
+        ),
+        params={"bitwidth": 32},
+    )
+    return d
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table([["a", "bb"], ["ccc", "d"]], ["col1", "col2"])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert lines[0].startswith("+-")
+        assert "col1" in lines[1]
+
+    def test_ragged_rows_padded(self):
+        text = render_table([["only"]], ["a", "b"])
+        assert "only" in text
+
+
+class TestRenderPower:
+    def test_engineering_notation(self, design):
+        text = render_power(evaluate_power(design))
+        assert "e-0" in text  # the paper's 7.438e-04 W style
+        assert "demo summary" in text
+        assert "100.0%" in text
+        assert "Total:" in text
+
+    def test_human_notation(self, design):
+        text = render_power(evaluate_power(design), eng=False)
+        assert "uW" in text
+
+    def test_max_depth(self, design):
+        report = evaluate_power(design)
+        shallow = render_power(report, max_depth=0)
+        assert "small" not in shallow
+
+    def test_shares_sum_to_total(self, design):
+        report = evaluate_power(design)
+        text = render_power(report)
+        # the two leaf shares must appear and be complementary
+        assert " 20.0%" in text and " 80.0%" in text
+
+    def test_csv(self, design):
+        csv = render_power_csv(evaluate_power(design))
+        lines = csv.strip().splitlines()
+        assert lines[0] == "path,power_w,share"
+        assert len(lines) == 3
+        assert lines[1].startswith("demo/small,")
+
+    def test_coverage_table(self, design):
+        text = render_coverage(evaluate_power(design))
+        assert "Cumulative" in text
+        assert "demo/big" in text
+
+
+class TestRenderAreaTiming:
+    def test_area_marks_unmodeled(self, design):
+        text = render_area(evaluate_area(design))
+        assert "-" in text          # 'small' has no area model
+        assert "um2" in text
+
+    def test_timing(self, design):
+        text = render_timing(evaluate_timing(design))
+        assert "ns" in text
+
+
+class TestRenderComparison:
+    def test_ratio_column(self):
+        text = render_comparison([("fig1", 750e-6), ("fig3", 150e-6)])
+        assert "0.200x" in text
+        assert "fig1" in text and "fig3" in text
+
+    def test_empty(self):
+        assert "no designs" in render_comparison([])
+
+    def test_zero_base(self):
+        text = render_comparison([("a", 0.0), ("b", 1.0)])
+        assert "-" in text

@@ -1,0 +1,225 @@
+"""Spreadsheet engine: cells, recalculation, cycles, dirty tracking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sheet import Sheet
+from repro.errors import CycleError, EvaluationError, SheetError
+
+
+def make_power_sheet():
+    sheet = Sheet("power")
+    sheet.set("VDD", 1.5)
+    sheet.set("C", 2e-12)
+    sheet.set("f", "2M")
+    sheet.set("E", "C * VDD^2")
+    sheet.set("P", "E * f")
+    return sheet
+
+
+class TestBasics:
+    def test_constant(self):
+        sheet = Sheet()
+        sheet.set("x", 3)
+        assert sheet["x"] == 3.0
+
+    def test_string_number_is_constant(self):
+        sheet = Sheet()
+        sheet.set("x", " 42 ")
+        assert sheet.cell("x").kind == "constant"
+
+    def test_formula_chain(self):
+        sheet = make_power_sheet()
+        assert sheet["P"] == pytest.approx(9e-6)
+
+    def test_update_propagates(self):
+        sheet = make_power_sheet()
+        _ = sheet["P"]
+        sheet.set("VDD", 3.0)
+        assert sheet["P"] == pytest.approx(36e-6)
+
+    def test_unknown_cell(self):
+        with pytest.raises(SheetError, match="no cell"):
+            _ = Sheet()["ghost"]
+
+    def test_get_with_default(self):
+        assert Sheet().get("ghost", 1.0) == 1.0
+
+    @pytest.mark.parametrize("bad", ["", "1x", "a b", None])
+    def test_bad_names(self, bad):
+        with pytest.raises(SheetError):
+            Sheet().set(bad, 1)
+
+    def test_bad_value(self):
+        with pytest.raises(SheetError):
+            Sheet().set("x", object())
+
+    def test_len_iter_contains(self):
+        sheet = make_power_sheet()
+        assert len(sheet) == 5
+        assert "VDD" in sheet
+        assert set(sheet) == {"VDD", "C", "f", "E", "P"}
+
+
+class TestErrors:
+    def test_missing_dependency_is_cell_error(self):
+        sheet = Sheet()
+        sheet.set("y", "x * 2")
+        with pytest.raises(EvaluationError, match="unknown name 'x'"):
+            _ = sheet["y"]
+        assert "y" in sheet.errors()
+
+    def test_error_propagates_downstream(self):
+        sheet = Sheet()
+        sheet.set("a", "1 / 0")
+        sheet.set("b", "a + 1")
+        errors = sheet.errors()
+        assert "a" in errors and "b" in errors
+        assert "errored" in errors["b"]
+
+    def test_error_clears_after_fix(self):
+        sheet = Sheet()
+        sheet.set("y", "x * 2")
+        assert sheet.errors()
+        sheet.set("x", 5)
+        assert sheet["y"] == 10.0
+        assert not sheet.errors()
+
+    def test_values_skips_errored(self):
+        sheet = Sheet()
+        sheet.set("good", 1)
+        sheet.set("bad", "1/0")
+        assert sheet.values() == {"good": 1.0}
+
+
+class TestCycles:
+    def test_self_cycle(self):
+        sheet = Sheet()
+        sheet.set("x", "x + 1")
+        with pytest.raises(CycleError):
+            sheet.recalculate()
+
+    def test_mutual_cycle_lists_members(self):
+        sheet = Sheet()
+        sheet.set("a", "b")
+        sheet.set("b", "c")
+        sheet.set("c", "a")
+        with pytest.raises(CycleError) as info:
+            sheet.recalculate()
+        assert set(info.value.cycle) >= {"a", "b", "c"}
+
+    def test_cycle_broken_by_redefinition(self):
+        sheet = Sheet()
+        sheet.set("a", "b")
+        sheet.set("b", "a")
+        with pytest.raises(CycleError):
+            sheet.recalculate()
+        sheet.set("b", 5)
+        assert sheet["a"] == 5.0
+
+
+class TestBoundCells:
+    def test_bound_cell(self):
+        sheet = Sheet()
+        sheet.set("x", 4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return sheet.cell("x").value * 10
+
+        sheet.bind("y", compute, depends_on=["x"])
+        assert sheet["y"] == 40.0
+
+    def test_bound_cell_invalidated_by_dependency(self):
+        sheet = Sheet()
+        sheet.set("x", 4)
+        sheet.bind("y", lambda: sheet.cell("x").value * 10, depends_on=["x"])
+        assert sheet["y"] == 40.0
+        sheet.set("x", 5)
+        assert sheet["y"] == 50.0
+
+    def test_bound_cell_not_recomputed_when_clean(self):
+        sheet = Sheet()
+        calls = []
+        sheet.bind("y", lambda: calls.append(1) or 7.0)
+        assert sheet["y"] == 7.0
+        assert sheet["y"] == 7.0
+        assert len(calls) == 1
+
+    def test_invalidate_forces_bound_recompute(self):
+        sheet = Sheet()
+        box = {"value": 1.0}
+        sheet.bind("y", lambda: box["value"])
+        assert sheet["y"] == 1.0
+        box["value"] = 2.0
+        sheet.invalidate("y")
+        assert sheet["y"] == 2.0
+
+    def test_bound_non_numeric(self):
+        sheet = Sheet()
+        sheet.bind("y", lambda: "nope")
+        assert "non-numeric" in sheet.errors()["y"]
+
+    def test_formula_over_bound_cell(self):
+        sheet = Sheet()
+        sheet.bind("y", lambda: 21.0)
+        sheet.set("z", "y * 2")
+        assert sheet["z"] == 42.0
+
+
+class TestRemoval:
+    def test_remove(self):
+        sheet = make_power_sheet()
+        sheet.remove("P")
+        assert "P" not in sheet
+
+    def test_remove_missing(self):
+        with pytest.raises(SheetError):
+            Sheet().remove("ghost")
+
+    def test_dependents_error_after_removal(self):
+        sheet = make_power_sheet()
+        _ = sheet["P"]
+        sheet.remove("E")
+        assert "P" in sheet.errors()
+
+
+class TestIncrementalEqualsFull:
+    def test_dirty_only_recomputes_cone(self):
+        sheet = Sheet()
+        sheet.set("a", 1)
+        sheet.set("b", 2)
+        evaluations = []
+        sheet.bind("fa", lambda: evaluations.append("fa") or 1.0, depends_on=["a"])
+        sheet.bind("fb", lambda: evaluations.append("fb") or 2.0, depends_on=["b"])
+        sheet.recalculate()
+        evaluations.clear()
+        sheet.set("a", 10)
+        sheet.recalculate()
+        assert evaluations == ["fa"]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d", "e"]),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_incremental_matches_full(self, edits):
+        """Incremental recalculation equals a from-scratch pass."""
+        sheet = Sheet()
+        sheet.set("a", 1)
+        sheet.set("b", 2)
+        sheet.set("c", "a + b")
+        sheet.set("d", "c * a")
+        sheet.set("e", "d - b + c")
+        sheet.recalculate()
+        for name, value in edits:
+            sheet.set(name, value)
+            incremental = dict(sheet.recalculate())
+            full = dict(sheet.recalculate(full=True))
+            assert incremental == full

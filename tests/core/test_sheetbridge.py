@@ -1,0 +1,188 @@
+"""The Design <-> Sheet bridge."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.core.expressions import compile_expression as E
+from repro.core.model import CapacitiveTerm, TemplatePowerModel
+from repro.core.parameters import Parameter
+from repro.core.sheetbridge import DesignSheet, design_sheet
+from repro.errors import SheetError
+
+ADDER = TemplatePowerModel(
+    "adder",
+    capacitive=[CapacitiveTerm("bits", E("bitwidth * 68f"))],
+    parameters=(Parameter("bitwidth", 16),),
+)
+
+
+def make_design():
+    design = Design("demo")
+    design.scope.set("VDD", 1.5)
+    design.scope.set("f", 2e6)
+    design.add("alu", ADDER, params={"bitwidth": 16})
+    design.add("acc", ADDER, params={"bitwidth": 32})
+    return design
+
+
+class TestConstruction:
+    def test_cells_created(self):
+        bridge = design_sheet(make_design())
+        names = set(bridge.sheet.names())
+        assert {"g.VDD", "g.f", "alu.bitwidth", "acc.bitwidth",
+                "P.alu", "P.acc", "P.total"} <= names
+
+    def test_total_matches_estimator(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        assert bridge.total_power == pytest.approx(
+            evaluate_power(design).power
+        )
+
+    def test_row_power_matches(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        report = evaluate_power(design)
+        assert bridge.row_power("alu") == pytest.approx(report["alu"].power)
+
+    def test_formula_parameters_not_exposed_as_cells(self):
+        design = make_design()
+        design.row("alu").set("f", "g_rate / 4")
+        design.scope.set("g_rate", 8e6)
+        bridge = DesignSheet(design)
+        assert "alu.f" not in bridge.sheet
+        # but the formula still feeds the evaluation
+        assert bridge.row_power("alu") > 0
+
+
+class TestEdits:
+    def test_set_parameter_updates_both_sides(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        base = bridge.total_power
+        bridge.set_parameter("g.VDD", 3.0)
+        assert design.scope["VDD"] == 3.0
+        assert bridge.total_power == pytest.approx(4 * base)
+
+    def test_row_parameter_edit(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        alu_before = bridge.row_power("alu")
+        bridge.set_parameter("alu.bitwidth", 32)
+        assert bridge.row_power("alu") == pytest.approx(2 * alu_before)
+        assert design.row("alu").scope["bitwidth"] == 32.0
+
+    def test_incremental_recalculation(self):
+        """Editing one row's parameter must not re-run the other row."""
+        design = make_design()
+        bridge = DesignSheet(design)
+        _ = bridge.total_power
+        calls = {"alu": 0, "acc": 0}
+        original = evaluate_power
+
+        # count recomputation via fresh bound cells
+        bridge.sheet.bind(
+            "probe.alu",
+            lambda: calls.__setitem__("alu", calls["alu"] + 1) or 0.0,
+            depends_on=("alu.bitwidth",),
+        )
+        bridge.sheet.bind(
+            "probe.acc",
+            lambda: calls.__setitem__("acc", calls["acc"] + 1) or 0.0,
+            depends_on=("acc.bitwidth",),
+        )
+        bridge.sheet.recalculate()
+        calls["alu"] = calls["acc"] = 0
+        bridge.set_parameter("alu.bitwidth", 24)
+        bridge.sheet.recalculate()
+        assert calls["alu"] == 1
+        assert calls["acc"] == 0
+
+    def test_unknown_cell_rejected(self):
+        bridge = DesignSheet(make_design())
+        with pytest.raises(SheetError, match="not a writable"):
+            bridge.set_parameter("P.total", 1.0)
+        with pytest.raises(SheetError):
+            bridge.set_parameter("ghost", 1.0)
+
+
+class TestDerivedCells:
+    def test_user_formula_over_power_cells(self):
+        """'Any parameter can be expressed as a function of these
+        parameters' — e.g. energy per frame from total power."""
+        design = make_design()
+        bridge = DesignSheet(design)
+        bridge.add_derived(
+            "energy_per_frame", "P.total / 60", unit="J",
+            doc="total power over the 60 Hz frame rate",
+        )
+        assert bridge.sheet["energy_per_frame"] == pytest.approx(
+            bridge.total_power / 60
+        )
+
+    def test_derived_cell_tracks_edits(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        bridge.add_derived("budget_share", "P.alu / P.total")
+        before = bridge.sheet["budget_share"]
+        bridge.set_parameter("acc.bitwidth", 64)
+        after = bridge.sheet["budget_share"]
+        assert after < before
+
+    def test_battery_current_cell(self):
+        design = make_design()
+        bridge = DesignSheet(design)
+        bridge.add_derived("battery_current", "P.total / 6.0", unit="A")
+        assert bridge.sheet["battery_current"] == pytest.approx(
+            bridge.total_power / 6.0
+        )
+
+
+class TestSubDesigns:
+    def test_subdesign_power_cell(self):
+        child = Design("child")
+        child.add("x", ADDER, params={"bitwidth": 8})
+        parent = Design("parent")
+        parent.scope.set("VDD", 1.5)
+        parent.scope.set("f", 2e6)
+        parent.add_subdesign("child", child)
+        bridge = DesignSheet(parent)
+        report = evaluate_power(parent)
+        assert bridge.row_power("child") == pytest.approx(
+            report["child"].power
+        )
+
+
+class TestSharedEvaluation:
+    def test_one_evaluation_per_edit_regardless_of_rows(self):
+        design = Design("wide")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        for index in range(40):
+            design.add(f"row{index:02d}", ADDER, params={"bitwidth": 8})
+        bridge = DesignSheet(design)
+        _ = bridge.total_power
+        settled = bridge.evaluations
+        assert settled >= 1
+        # a GLOBAL edit dirties all 40 power cells — still one evaluation
+        bridge.set_parameter("g.VDD", 1.2)
+        _ = bridge.total_power
+        assert bridge.evaluations == settled + 1
+        # a row edit: one more
+        bridge.set_parameter("row07.bitwidth", 24)
+        _ = bridge.total_power
+        assert bridge.evaluations == settled + 2
+
+    def test_values_still_correct_after_shared_eval(self):
+        design = Design("d2")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        design.add("a", ADDER, params={"bitwidth": 8})
+        design.add("b", ADDER, params={"bitwidth": 16})
+        bridge = DesignSheet(design)
+        bridge.set_parameter("a.bitwidth", 32)
+        report = evaluate_power(design)
+        assert bridge.row_power("a") == pytest.approx(report["a"].power)
+        assert bridge.row_power("b") == pytest.approx(report["b"].power)
+        assert bridge.total_power == pytest.approx(report.power)

@@ -1,0 +1,156 @@
+"""Units: engineering-notation parsing, formatting, Quantity arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.units import (
+    Quantity,
+    format_eng,
+    format_quantity,
+    parse_float,
+    parse_quantity,
+    split_prefix,
+    volts,
+    watts,
+)
+from repro.errors import UnitError
+
+
+class TestParseQuantity:
+    def test_plain_number(self):
+        assert parse_quantity("1.5") == (1.5, "")
+
+    def test_number_with_unit(self):
+        assert parse_quantity("1.5 V") == (1.5, "V")
+
+    def test_prefixed_unit(self):
+        value, unit = parse_quantity("253fF")
+        assert value == pytest.approx(253e-15)
+        assert unit == "F"
+
+    def test_prefixed_unit_with_space(self):
+        value, unit = parse_quantity("2 MHz")
+        assert value == pytest.approx(2e6)
+        assert unit == "Hz"
+
+    def test_micro_sign_variants(self):
+        for symbol in ("2uW", "2µW", "2μW"):
+            value, unit = parse_quantity(symbol)
+            assert value == pytest.approx(2e-6)
+            assert unit == "W"
+
+    def test_spice_style_bare_prefix(self):
+        assert parse_float("2M") == pytest.approx(2e6)
+        assert parse_float("100k") == pytest.approx(1e5)
+        assert parse_float("253f") == pytest.approx(253e-15)
+
+    def test_meter_is_a_unit_not_milli(self):
+        value, unit = parse_quantity("3m")
+        assert value == 3.0
+        assert unit == "m"
+
+    def test_hz_not_hecto(self):
+        value, unit = parse_quantity("5Hz")
+        assert value == 5.0
+        assert unit == "Hz"
+
+    def test_scientific_notation(self):
+        assert parse_float("7.438e-04") == pytest.approx(7.438e-4)
+
+    def test_negative(self):
+        assert parse_float("-2.5mW") == pytest.approx(-2.5e-3)
+
+    def test_default_unit(self):
+        assert parse_quantity("3", default_unit="V") == (3.0, "V")
+
+    @pytest.mark.parametrize("bad", ["", "volts", "1.2.3", "--3", "3 4", None])
+    def test_garbage_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+
+class TestSplitPrefix:
+    def test_known_unit_wins(self):
+        assert split_prefix("m") == (1.0, "m")
+
+    def test_prefix_with_custom_unit(self):
+        scale, unit = split_prefix("kops")
+        assert scale == 1e3
+        assert unit == "ops"
+
+    def test_unknown_symbol_passthrough(self):
+        assert split_prefix("widgets") == (1.0, "widgets")
+
+
+class TestFormat:
+    def test_basic_prefixes(self):
+        assert format_quantity(253e-15, "F") == "253 fF"
+        assert format_quantity(2e6, "Hz") == "2 MHz"
+        assert format_quantity(1.5, "V") == "1.5 V"
+
+    def test_eng_matches_paper_style(self):
+        assert format_eng(7.438e-4, "W") == "7.4380e-04 W"
+
+    def test_zero_and_nonfinite(self):
+        assert format_quantity(0.0, "W") == "0 W"
+        assert "inf" in format_quantity(math.inf, "W")
+
+    def test_no_unit(self):
+        assert format_quantity(0.25) == "250 m"
+
+    def test_out_of_table_falls_back(self):
+        text = format_quantity(1e30, "W")
+        assert "e+" in text
+
+
+class TestQuantity:
+    def test_parse_and_str(self):
+        q = Quantity.parse("2 MHz")
+        assert float(q) == pytest.approx(2e6)
+        assert str(q) == "2 MHz"
+
+    def test_addition_same_unit(self):
+        assert (watts(1.0) + watts(0.5)).value == pytest.approx(1.5)
+
+    def test_addition_mismatch_raises(self):
+        with pytest.raises(UnitError):
+            watts(1.0) + volts(1.0)
+
+    def test_scalar_multiplication(self):
+        assert (watts(2.0) * 3).value == pytest.approx(6.0)
+        assert (3 * watts(2.0)).value == pytest.approx(6.0)
+
+    def test_quantity_multiplication_returns_float(self):
+        assert volts(2.0) * volts(3.0) == pytest.approx(6.0)
+
+    def test_division(self):
+        assert (watts(6.0) / 3).value == pytest.approx(2.0)
+        assert watts(6.0) / watts(3.0) == pytest.approx(2.0)
+
+    def test_comparison(self):
+        assert watts(1.0) < watts(2.0)
+        with pytest.raises(UnitError):
+            _ = watts(1.0) < volts(2.0)
+
+    def test_negation(self):
+        assert (-watts(1.0)).value == -1.0
+
+    def test_eng_rendering(self):
+        assert watts(7.438e-4).eng() == "7.4380e-04 W"
+
+
+@given(st.floats(min_value=1e-14, max_value=1e11, allow_nan=False))
+def test_format_parse_round_trip(value):
+    """format_quantity -> parse_quantity recovers the value to 4 sig figs."""
+    text = format_quantity(value, "W", digits=8)
+    recovered, unit = parse_quantity(text)
+    assert unit == "W"
+    assert recovered == pytest.approx(value, rel=1e-6)
+
+
+@given(st.floats(min_value=-1e20, max_value=1e20, allow_nan=False))
+def test_eng_round_trip(value):
+    recovered, _unit = parse_quantity(format_eng(value, "W", digits=10))
+    assert recovered == pytest.approx(value, rel=1e-9, abs=1e-30)

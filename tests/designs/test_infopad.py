@@ -1,0 +1,141 @@
+"""The InfoPad system design (Figure 5)."""
+
+import pytest
+
+from repro.core.estimator import (
+    consumers_for_fraction,
+    evaluate_power,
+    top_consumers,
+)
+from repro.designs.infopad import (
+    CONVERTER_EFFICIENCY,
+    build_custom_hardware,
+    build_infopad,
+)
+from repro.models.converter import converter_dissipation
+
+
+@pytest.fixture
+def system():
+    return build_infopad()
+
+
+@pytest.fixture
+def report(system):
+    return evaluate_power(system)
+
+
+class TestStructure:
+    def test_figure5_rows_present(self, system):
+        assert system.row_names() == [
+            "custom_hardware",
+            "radio_subsystem",
+            "display_lcds",
+            "microprocessor_subsystem",
+            "support_electronics",
+            "other_io_devices",
+            "voltage_converters",
+        ]
+
+    def test_three_level_hierarchy(self, system):
+        custom = system.row("custom_hardware")
+        assert custom.is_subdesign
+        luminance = custom.design.row("luminance_chip")
+        assert luminance.is_subdesign
+        assert "lut" in luminance.design
+
+    def test_totals_sum(self, report):
+        assert report.power == pytest.approx(
+            sum(child.power for child in report.children)
+        )
+        custom = report["custom_hardware"]
+        assert custom.power == pytest.approx(
+            sum(child.power for child in custom.children)
+        )
+
+
+class TestConverterInteraction:
+    def test_converter_loss_is_eq19_of_load(self, report):
+        load = sum(
+            child.power
+            for child in report.children
+            if child.name != "voltage_converters"
+        )
+        assert report["voltage_converters"].power == pytest.approx(
+            converter_dissipation(load, CONVERTER_EFFICIENCY)
+        )
+
+    def test_total_is_battery_input_power(self, report):
+        load = report.power - report["voltage_converters"].power
+        assert report.power == pytest.approx(load / CONVERTER_EFFICIENCY)
+
+    def test_converter_tracks_subsystem_changes(self, system):
+        base = evaluate_power(system)["voltage_converters"].power
+        system.row("display_lcds").set("backlight_duty", 0.0)
+        lighter = evaluate_power(system)["voltage_converters"].power
+        assert lighter < base
+
+
+class TestSupplyInheritance:
+    def test_vdd2_reaches_the_luminance_leaves(self, system):
+        base = evaluate_power(system)["custom_hardware"].power
+        boosted = evaluate_power(system, overrides={"VDD2": 3.0})[
+            "custom_hardware"
+        ].power
+        assert boosted == pytest.approx(4 * base, rel=1e-6)
+
+    def test_vdd1_scales_processor_not_custom(self, system):
+        base = evaluate_power(system)
+        boosted = evaluate_power(system, overrides={"VDD1": 4.0})
+        assert boosted["microprocessor_subsystem"].power < base[
+            "microprocessor_subsystem"
+        ].power
+        assert boosted["custom_hardware"].power == pytest.approx(
+            base["custom_hardware"].power
+        )
+
+    def test_supplies_validated(self):
+        from repro.errors import DesignError
+
+        with pytest.raises(DesignError):
+            build_infopad(vdd1=-1)
+
+
+class TestPowerShape:
+    def test_custom_hardware_is_a_tiny_fraction(self, report):
+        """The paper's system lesson: the optimized chipset is a
+        vanishing share of the budget."""
+        fraction = report["custom_hardware"].power / report.power
+        assert fraction < 0.01
+
+    def test_display_radio_processor_dominate(self, report):
+        heavy = {
+            "infopad/display_lcds",
+            "infopad/microprocessor_subsystem",
+            "infopad/radio_subsystem",
+        }
+        ranked = {path for path, _w in top_consumers(report, 4)}
+        assert len(heavy & ranked) >= 2
+
+    def test_total_in_portable_terminal_band(self, report):
+        assert 2.0 < report.power < 8.0  # watts — a 1990s portable terminal
+
+    def test_diminishing_returns_selects_few_leaves(self, report):
+        selected = consumers_for_fraction(report, 0.8)
+        assert len(selected) <= 6
+        leaves = len(list(report.leaves()))
+        assert leaves > len(selected)
+
+
+class TestCustomHardware:
+    def test_standalone_build(self):
+        custom = build_custom_hardware(vdd_expression="1.5")
+        report = evaluate_power(custom)
+        assert {"luminance_chip", "chroma_chips", "protocol_controller"} == {
+            child.name for child in report.children
+        }
+
+    def test_luminance_dominates_chroma(self):
+        custom = build_custom_hardware(vdd_expression="1.5")
+        report = evaluate_power(custom)
+        assert report["luminance_chip"].power > report["chroma_chips"].power

@@ -1,0 +1,116 @@
+"""Shareable macro cells (hierarchical macro-modeling over the wire)."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.designs.luminance import build_figure3_design
+from repro.designs.macros import (
+    build_macro_library,
+    custom_chipset_macro,
+    video_decompression_macro,
+)
+from repro.library.catalog import Library
+
+
+class TestVideoMacro:
+    def test_matches_the_unlumped_design(self):
+        macro = video_decompression_macro()
+        reference = evaluate_power(build_figure3_design()).power
+        assert macro.power({"VDD": 1.5, "f_pixel": 1.966e6}) == pytest.approx(
+            reference, rel=1e-4
+        )
+
+    def test_exported_parameters_work(self):
+        macro = video_decompression_macro()
+        base = macro.power({"VDD": 1.5, "f_pixel": 1.966e6})
+        low_v = macro.power({"VDD": 1.1, "f_pixel": 1.966e6})
+        slow = macro.power({"VDD": 1.5, "f_pixel": 0.983e6})
+        assert low_v == pytest.approx(base * (1.1 / 1.5) ** 2, rel=1e-6)
+        assert slow == pytest.approx(base / 2, rel=1e-6)
+
+    def test_breakdown_exposes_rows(self):
+        macro = video_decompression_macro()
+        breakdown = macro.breakdown({"VDD": 1.5, "f_pixel": 1.966e6})
+        assert "lut" in breakdown and "read_bank" in breakdown
+
+
+class TestChipsetMacro:
+    def test_supply_scaling_through_two_levels(self):
+        macro = custom_chipset_macro()
+        base = macro.power({"VDD_core": 1.5})
+        low = macro.power({"VDD_core": 1.1})
+        assert low == pytest.approx(base * (1.1 / 1.5) ** 2, rel=1e-6)
+
+
+class TestSharing:
+    def test_macro_library_round_trips(self):
+        library = build_macro_library()
+        clone = Library.from_json(library.to_json(), origin="http://berkeley")
+        original = library.get("video_decompression").models.power
+        copied = clone.get("video_decompression").models.power
+        env = {"VDD": 1.3, "f_pixel": 1.5e6}
+        assert copied.power(env) == pytest.approx(original.power(env))
+        assert clone.get("video_decompression").origin == "http://berkeley"
+
+    def test_fetched_macro_usable_in_new_design(self):
+        """'Re-used in other designs' — the whole point of macros."""
+        library = build_macro_library()
+        clone = Library.from_json(library.to_json())
+        macro = clone.get("video_decompression").models.power
+        terminal = Design("new_terminal")
+        terminal.scope.set("VDD", 1.2)
+        terminal.scope.set("f", 1e6)
+        terminal.add(
+            "video", macro, params={"VDD": 1.2, "f_pixel": 1.966e6}
+        )
+        report = evaluate_power(terminal)
+        direct = macro.power({"VDD": 1.2, "f_pixel": 1.966e6})
+        assert report["video"].power == pytest.approx(direct)
+
+    def test_macros_served_by_the_web_api(self, tmp_path):
+        import json
+
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        response = app.handle("GET", "/api/model?name=video_decompression")
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["power"]["kind"] == "macro"
+
+    def test_macro_form_computes_in_browser_flow(self, tmp_path):
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        response = app.handle(
+            "POST", "/cell",
+            {"user": "x", "name": "video_decompression",
+             "p:VDD": "1.5", "p:f_pixel": "1.966M", "p:f": "1"},
+        )
+        assert "1.4261e-04 W" in response.body
+
+
+class TestAnalysisPage:
+    def test_area_timing_page(self, tmp_path):
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        app.handle(
+            "POST", "/design/load_example",
+            {"user": "x", "example": "luminance_fig3"},
+        )
+        response = app.handle(
+            "GET", "/design/analysis?user=x&name=luminance_fig3"
+        )
+        assert response.status == 200
+        assert "Active area" in response.body
+        assert "Max frequency" in response.body
+        # rows without area models show '-', not zero
+        assert ">-<" in response.body
+        # the sheet links to the analysis and back
+        sheet = app.handle("GET", "/design?user=x&name=luminance_fig3")
+        assert "Area / timing analysis" in sheet.body
+        assert "Back to the power spreadsheet" in response.body

@@ -1,0 +1,121 @@
+"""End-to-end pipelines across subsystems.
+
+These are the flows that make the reproduction hang together: workload
+simulation feeding the estimator, characterization feeding the library,
+libraries travelling between servers, estimates checked against the
+gate-level "measurement" substrate.
+"""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.library.catalog import Library
+from repro.library.characterize import (
+    characterize_adder,
+    within_octave,
+)
+from repro.library.designio import design_from_json, design_to_json
+from repro.designs.luminance import build_luminance_from_chip
+from repro.sim.activity import operand_vectors
+from repro.sim.gatesim import simulate
+from repro.sim.netlists import ripple_adder_netlist
+from repro.sim.traces import VideoConfig, VideoSource, mean_squared_error
+from repro.sim.vq import Codebook, LuminanceChip, decode, encode
+
+
+class TestVideoToEstimate:
+    """Synthetic video -> functional chip -> access rates -> power."""
+
+    def test_pipeline(self):
+        source = VideoSource(VideoConfig(width=64, height=32, seed=11))
+        chip = LuminanceChip(
+            Codebook.uniform(), words_per_access=4, width=64, height=32
+        )
+        displayed = chip.run(source.frames(3))
+        # functional correctness: the display shows a valid decode
+        assert displayed, "chip displayed nothing"
+        design = build_luminance_from_chip(chip)
+        report = evaluate_power(design)
+        assert report.power > 0
+        # the LUT row's frequency is the simulated rate, pixel_rate / 4
+        assert design.row("lut").scope["f"] == pytest.approx(
+            chip.pixel_rate / 4
+        )
+
+    def test_reconstruction_quality_feeds_architecture_choice(self):
+        """Trained codebooks lower distortion without changing power —
+        the codec and the power model are orthogonal, as in the paper."""
+        from repro.sim.traces import frame_to_blocks
+
+        source = VideoSource(VideoConfig(width=64, height=32, seed=11))
+        frames = list(source.frames(4))
+        vectors = []
+        for frame in frames:
+            vectors.extend(frame_to_blocks(frame, 16))
+        trained = Codebook.train(vectors, entries=64, iterations=5)
+        uniform = Codebook.uniform(entries=64)
+        test_frame = frames[-1]
+        err_trained = mean_squared_error(
+            test_frame, decode(encode(test_frame, trained), trained, 64)
+        )
+        err_uniform = mean_squared_error(
+            test_frame, decode(encode(test_frame, uniform), uniform, 64)
+        )
+        assert err_trained < err_uniform
+        # identical chip organization -> identical estimated power
+        chip_a = LuminanceChip(trained, 4, width=64, height=32)
+        chip_b = LuminanceChip(uniform, 4, width=64, height=32)
+        chip_a.run(VideoSource(VideoConfig(width=64, height=32, seed=1)).frames(1))
+        chip_b.run(VideoSource(VideoConfig(width=64, height=32, seed=1)).frames(1))
+        power_a = evaluate_power(build_luminance_from_chip(chip_a)).power
+        power_b = evaluate_power(build_luminance_from_chip(chip_b)).power
+        assert power_a == pytest.approx(power_b)
+
+
+class TestCharacterizeToLibrary:
+    """Gate sim -> fitted coefficients -> shareable library -> design."""
+
+    def test_pipeline(self):
+        model, fit = characterize_adder(bit_widths=(4, 8, 16), cycles=150)
+        assert fit.within_octave
+
+        # publish into a library and round-trip through JSON (the wire)
+        from repro.core.model import ModelSet
+        from repro.library.catalog import LibraryEntry
+
+        library = Library("characterized")
+        library.add(
+            LibraryEntry("adder_fit", ModelSet(power=model), category="computation")
+        )
+        received = Library.from_json(library.to_json(), origin="http://berkeley")
+        remote_model = received.get("adder_fit").models.power
+
+        # drop it into a design and estimate
+        design = Design("datapath")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 10e6)
+        design.add("alu", remote_model, params={"bitwidth": 12})
+        watts = evaluate_power(design).power
+
+        # cross-check against direct gate-level measurement at 12 bits
+        netlist = ripple_adder_netlist(12)
+        result = simulate(
+            netlist, operand_vectors(200, 12, seed=9), glitch_factor=0.15
+        )
+        measured = result.power(1.5, 10e6)
+        assert within_octave(watts, measured), (watts, measured)
+
+
+class TestDesignSharingRoundTrip:
+    def test_design_travels_and_still_explores(self):
+        """Export a design, import it 'elsewhere', keep exploring."""
+        source = VideoSource(VideoConfig(width=64, height=32, seed=2))
+        chip = LuminanceChip(Codebook.uniform(), 4, width=64, height=32)
+        chip.run(source.frames(1))
+        original = build_luminance_from_chip(chip)
+        wire = design_to_json(original)
+        imported = design_from_json(wire)
+        base = evaluate_power(imported).power
+        low = evaluate_power(imported, overrides={"VDD": 1.1}).power
+        assert low == pytest.approx(base * (1.1 / 1.5) ** 2, rel=1e-6)

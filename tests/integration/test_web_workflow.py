@@ -1,0 +1,123 @@
+"""The complete browser workflow over live HTTP (the E8 scenario).
+
+"The whole process, including the selection of the library elements and
+the composition of the architecture, was executed through a standard WWW
+browser ... in less than three minutes.  No other tool interfaces are
+needed."
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.library.catalog import Library
+from repro.library.designio import design_from_json
+from repro.core.estimator import evaluate_power
+from repro.web.client import Browser
+from repro.web.remote import RemoteLibraryClient, federate
+from repro.web.server import PowerPlayServer
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    with PowerPlayServer(
+        tmp_path_factory.mktemp("workflow"), server_name="berkeley"
+    ) as live:
+        yield live
+
+
+class TestThreeMinuteSession:
+    def test_compose_the_luminance_design_through_the_browser(self, server):
+        """Select elements, parameterize, compose, Play — browser only."""
+        browser = Browser(server.base_url)
+        started = time.perf_counter()
+
+        page = browser.login("lidsky")
+        assert "Main Menu" in page.title
+
+        browser.new_design("lidsky", "vq_luminance")
+
+        # Figure 2's rows, each configured through the Figure 4 form
+        rows = [
+            ("sram", "read_bank", {"words": 2048, "bits": 8, "f": "122.88k"}),
+            ("sram", "write_bank", {"words": 2048, "bits": 8, "f": "61.44k"}),
+            ("sram", "lut", {"words": 4096, "bits": 6, "f": "1.966M"}),
+            ("register", "output_register", {"bits": 6, "f": "1.966M"}),
+        ]
+        for cell, row, parameters in rows:
+            parameters = dict(parameters, VDD=1.5)
+            computed = browser.compute_cell("lidsky", cell, parameters)
+            assert computed.contains("Result"), (cell, computed.body[:300])
+            browser.save_cell_to_design("lidsky", cell, "vq_luminance", row, parameters)
+
+        sheet = browser.open_design("lidsky", "vq_luminance")
+        for _cell, row, _parameters in rows:
+            assert sheet.contains(row)
+
+        # PLAY at a lower supply: every row re-computes
+        played = browser.play("lidsky", "vq_luminance", row_params={
+            (row, "VDD"): 1.1 for _c, row, _p in rows
+        })
+        assert played.error is None
+
+        elapsed = time.perf_counter() - started
+        assert elapsed < 60, "scripted session should be far under 3 minutes"
+
+    def test_exported_design_matches_prebuilt_estimate(self, server):
+        """The browser-composed design agrees with the library-built one."""
+        browser = Browser(server.base_url)
+        # restore the nominal supply (the previous session left 1.1 V)
+        browser.play("lidsky", "vq_luminance", row_params={
+            (row, "VDD"): 1.5
+            for row in ("read_bank", "write_bank", "lut", "output_register")
+        })
+        exported = browser.get("/export/design?user=lidsky&name=vq_luminance")
+        design = design_from_json(exported.body)
+        watts = evaluate_power(design).power
+        from repro.designs.luminance import build_figure1_design
+
+        reference = evaluate_power(build_figure1_design()).power
+        assert watts == pytest.approx(reference, rel=0.02)
+
+
+class TestFederationScenario:
+    def test_characterized_in_berkeley_used_at_mit(self, server, tmp_path):
+        """Figure 6: models cross the network; estimates stay identical."""
+        # Berkeley publishes; the MIT site starts empty
+        with PowerPlayServer(tmp_path / "mit", server_name="mit") as mit:
+            mit_local = Library("mit_local")
+            federate(mit_local, [server.base_url])
+            assert "multiplier" in mit_local
+
+            # identical numbers on both coasts
+            env = {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": 2e6}
+            berkeley_client = RemoteLibraryClient(server.base_url)
+            direct = berkeley_client.fetch_model("multiplier")
+            assert mit_local.get("multiplier").models.power.power(
+                env
+            ) == pytest.approx(direct.models.power.power(env))
+
+    def test_user_model_defined_then_fetched_by_peer_session(self, server):
+        """A model defined through the form is available to its owner
+        but never leaks into the shared API."""
+        browser = Browser(server.base_url)
+        browser.login("modeler")
+        browser.post("/define", {
+            "user": "modeler",
+            "name": "sensor_adc",
+            "equation": "channels * 0.4m * VDD",
+            "parameters": "channels=4",
+            "doc": "successive-approximation ADC bank",
+            "category": "analog",
+            "proprietary": "no",
+        })
+        page = browser.compute_cell(
+            "modeler", "sensor_adc", {"channels": 4, "VDD": 3.0, "f": "1M"}
+        )
+        assert page.contains("Result")
+        payload = browser.get("/api/library.json")
+        names = {
+            entry["name"] for entry in json.loads(payload.body)["entries"]
+        }
+        assert "sensor_adc" not in names  # user models are per-session

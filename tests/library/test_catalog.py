@@ -1,0 +1,250 @@
+"""Library catalog: entries, lookup, JSON codecs, sharing semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expressions import compile_expression as E
+from repro.core.model import (
+    CapacitiveTerm,
+    ExpressionPowerModel,
+    FixedPowerModel,
+    ModelSet,
+    PowerModel,
+    StaticTerm,
+    TemplatePowerModel,
+)
+from repro.core.parameters import Parameter
+from repro.library.catalog import (
+    Library,
+    LibraryEntry,
+    decode_model,
+    encode_model,
+    register_codec,
+)
+from repro.library.cells import build_default_library
+from repro.errors import LibraryError
+
+ENV = {"VDD": 1.5, "f": 2e6}
+
+
+def entry(name="cell", **kwargs):
+    defaults = dict(
+        models=ModelSet(power=FixedPowerModel(name, 1.0)),
+        category="other",
+    )
+    defaults.update(kwargs)
+    return LibraryEntry(name, **defaults)
+
+
+class TestEntries:
+    def test_category_validated(self):
+        with pytest.raises(LibraryError, match="category"):
+            entry(category="nonsense")
+
+    def test_add_get(self):
+        library = Library("lib")
+        library.add(entry("a"))
+        assert library.get("a").name == "a"
+        assert "a" in library
+        assert len(library) == 1
+
+    def test_duplicate_rejected_unless_replace(self):
+        library = Library("lib")
+        library.add(entry("a"))
+        with pytest.raises(LibraryError, match="already"):
+            library.add(entry("a"))
+        library.add(entry("a"), replace=True)
+
+    def test_missing_entry(self):
+        with pytest.raises(LibraryError, match="no entry"):
+            Library("lib").get("ghost")
+
+    def test_remove(self):
+        library = Library("lib")
+        library.add(entry("a"))
+        library.remove("a")
+        assert "a" not in library
+        with pytest.raises(LibraryError):
+            library.remove("a")
+
+    def test_by_category_and_categories(self):
+        library = Library("lib")
+        library.add(entry("a", category="storage"))
+        library.add(entry("b", category="storage"))
+        library.add(entry("c", category="analog"))
+        assert [e.name for e in library.by_category("storage")] == ["a", "b"]
+        assert library.categories() == {"storage": ["a", "b"], "analog": ["c"]}
+        with pytest.raises(LibraryError):
+            library.by_category("nonsense")
+
+    def test_search(self):
+        library = Library("lib")
+        library.add(entry("sram_big", doc="a large memory"))
+        library.add(entry("adder", doc="sums things"))
+        assert [e.name for e in library.search("MEMORY")] == ["sram_big"]
+        assert [e.name for e in library.search("sram")] == ["sram_big"]
+
+
+class TestCodecs:
+    def roundtrip(self, model):
+        return decode_model(encode_model(model))
+
+    def test_template_model(self):
+        model = TemplatePowerModel(
+            "m",
+            capacitive=[
+                CapacitiveTerm("c1", E("bitwidth * 68f"), activity=E("0.25")),
+                CapacitiveTerm("c2", E("1p"), v_swing=E("0.3"), frequency=E("f / 2")),
+            ],
+            static=[StaticTerm("leak", E("1u"))],
+            parameters=(Parameter("bitwidth", 16, "bits", "width", 1, 64, integer=True),),
+            doc="test",
+        )
+        clone = self.roundtrip(model)
+        env = dict(ENV, bitwidth=32)
+        assert clone.power(env) == pytest.approx(model.power(env))
+        assert clone.breakdown(env) == pytest.approx(model.breakdown(env))
+        assert clone.parameters[0].maximum == 64
+
+    def test_expression_model(self):
+        model = ExpressionPowerModel("m", "a * VDD ^ 2", (Parameter("a", 1e-6),))
+        clone = self.roundtrip(model)
+        assert clone.power(dict(ENV, a=2e-6)) == pytest.approx(
+            model.power(dict(ENV, a=2e-6))
+        )
+
+    def test_fixed_model(self):
+        clone = self.roundtrip(FixedPowerModel("lcd", 0.75, doc="panel"))
+        assert clone.average_power == 0.75
+        assert clone.doc == "panel"
+
+    def test_dcdc_with_curve(self):
+        from repro.models.converter import DCDCConverterModel, EfficiencyCurve
+
+        model = DCDCConverterModel(
+            "conv", curve=EfficiencyCurve([(0.1, 0.6), (1.0, 0.9)])
+        )
+        clone = self.roundtrip(model)
+        assert clone.power({"P_load": 0.5}) == pytest.approx(
+            model.power({"P_load": 0.5})
+        )
+
+    def test_interconnect(self):
+        from repro.models.interconnect import InterconnectModel, Technology
+
+        model = InterconnectModel(rent_exponent=0.7, technology=Technology(gate_pitch=20e-6))
+        clone = self.roundtrip(model)
+        env = dict(ENV, active_area=1e-6, activity=0.25)
+        assert clone.power(env) == pytest.approx(model.power(env))
+
+    def test_svensson(self):
+        from repro.models.svensson import svensson_ripple_adder
+
+        model = svensson_ripple_adder(16)
+        clone = self.roundtrip(model)
+        env = dict(ENV, bitwidth=16, activity_scale=1.0)
+        assert clone.power(env) == pytest.approx(model.power(env))
+
+    def test_unregistered_type_rejected(self):
+        class Weird(PowerModel):
+            def power(self, env):
+                return 0.0
+
+        with pytest.raises(LibraryError, match="no JSON codec"):
+            encode_model(Weird())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LibraryError, match="unknown model kind"):
+            decode_model({"kind": "martian"})
+
+    def test_register_custom_codec(self):
+        class Custom(PowerModel):
+            def __init__(self, watts):
+                self.watts = watts
+                self.name = "custom"
+
+            def power(self, env):
+                return self.watts
+
+        register_codec(
+            "custom_test_model",
+            Custom,
+            lambda model: {"watts": model.watts, "name": "custom"},
+            lambda payload: Custom(payload["watts"]),
+        )
+        clone = decode_model(encode_model(Custom(2.5)))
+        assert clone.power({}) == 2.5
+
+
+class TestLibraryJSON:
+    def test_round_trip_preserves_evaluation(self):
+        library = build_default_library()
+        clone = Library.from_json(library.to_json(), origin="http://remote")
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        original = library.get("multiplier").models.power.power(env)
+        copied = clone.get("multiplier").models.power.power(env)
+        assert copied == pytest.approx(original)
+        assert clone.get("multiplier").origin == "http://remote"
+        assert len(clone) == len(library)
+
+    def test_proprietary_withheld(self):
+        library = Library("lib")
+        library.add(entry("open"))
+        library.add(entry("secret", proprietary=True))
+        shared = Library.from_json(library.to_json())
+        assert "open" in shared
+        assert "secret" not in shared
+        full = Library.from_json(library.to_json(include_proprietary=True))
+        assert "secret" in full
+
+    def test_malformed_json(self):
+        with pytest.raises(LibraryError, match="malformed"):
+            Library.from_json("{nope")
+
+    def test_wrong_format(self):
+        with pytest.raises(LibraryError, match="unsupported"):
+            Library.from_json('{"format": "other/9"}')
+
+    def test_payload_missing_power(self):
+        with pytest.raises(LibraryError, match="power model"):
+            LibraryEntry.from_payload({"name": "x"})
+
+
+class TestMerge:
+    def test_prefer_mine(self):
+        mine = Library("mine")
+        mine.add(entry("shared", models=ModelSet(power=FixedPowerModel("a", 1.0))))
+        theirs = Library("theirs")
+        theirs.add(entry("shared", models=ModelSet(power=FixedPowerModel("b", 2.0))))
+        theirs.add(entry("extra"))
+        adopted = mine.merge(theirs, prefer="mine")
+        assert adopted == ["extra"]
+        assert mine.get("shared").models.power.power({}) == 1.0
+
+    def test_prefer_theirs(self):
+        mine = Library("mine")
+        mine.add(entry("shared", models=ModelSet(power=FixedPowerModel("a", 1.0))))
+        theirs = Library("theirs")
+        theirs.add(entry("shared", models=ModelSet(power=FixedPowerModel("b", 2.0))))
+        mine.merge(theirs, prefer="theirs")
+        assert mine.get("shared").models.power.power({}) == 2.0
+
+    def test_bad_preference(self):
+        with pytest.raises(LibraryError):
+            Library("a").merge(Library("b"), prefer="whatever")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=0.8, max_value=5.0),
+    st.floats(min_value=1e3, max_value=1e8),
+)
+def test_property_default_library_roundtrip(bitwidth, vdd, frequency):
+    """Every multiplier evaluation survives serialization bit-exactly."""
+    library = build_default_library()
+    clone = Library.from_json(library.to_json())
+    env = {"bitwidthA": bitwidth, "bitwidthB": bitwidth, "VDD": vdd, "f": frequency}
+    assert clone.get("multiplier").models.power.power(env) == pytest.approx(
+        library.get("multiplier").models.power.power(env)
+    )

@@ -1,0 +1,217 @@
+"""Characterization flow: sweeps, least-squares fits, EQ 8 extraction."""
+
+import random
+
+import pytest
+
+from repro.library.characterize import (
+    FitResult,
+    characterize_adder,
+    characterize_multiplier,
+    extract_reduced_swing,
+    fit_bilinear,
+    fit_linear,
+    fit_sram,
+    model_from_bilinear_fit,
+    model_from_linear_fit,
+    octave_report,
+    sweep_adder,
+    sweep_multiplier,
+    sweep_register,
+    within_octave,
+)
+from repro.errors import CharacterizationError
+
+
+class TestWithinOctave:
+    def test_band(self):
+        assert within_octave(1.0, 1.0)
+        assert within_octave(1.9, 1.0)
+        assert within_octave(0.51, 1.0)
+        assert not within_octave(2.1, 1.0)
+        assert not within_octave(0.4, 1.0)
+
+    def test_zero_handling(self):
+        assert within_octave(0.0, 0.0)
+        assert not within_octave(1.0, 0.0)
+
+
+class TestFits:
+    def test_linear_exact_recovery(self):
+        points = [(bits, 2e-15 * bits + 5e-14) for bits in (4, 8, 16, 32)]
+        fit = fit_linear(points)
+        assert fit.coefficients["c_per_bit"] == pytest.approx(2e-15)
+        assert fit.coefficients["c_intercept"] == pytest.approx(5e-14)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.within_octave
+
+    def test_linear_through_origin(self):
+        points = [(bits, 3e-15 * bits) for bits in (4, 8, 16)]
+        fit = fit_linear(points, through_origin=True)
+        assert list(fit.coefficients) == ["c_per_bit"]
+        assert fit.coefficients["c_per_bit"] == pytest.approx(3e-15)
+
+    def test_linear_needs_two_points(self):
+        with pytest.raises(CharacterizationError):
+            fit_linear([(4, 1e-15)])
+
+    def test_degenerate_sweep_detected(self):
+        points = [(8, 1e-15), (8, 1.1e-15), (8, 0.9e-15)]
+        with pytest.raises(CharacterizationError, match="degenerate"):
+            fit_linear(points)
+
+    def test_bilinear_exact_recovery(self):
+        points = [((a, b), 253e-15 * a * b) for a, b in ((2, 2), (4, 4), (4, 8))]
+        fit = fit_bilinear(points)
+        assert fit.coefficients["c_per_bit_pair"] == pytest.approx(253e-15)
+
+    def test_sram_exact_recovery(self):
+        c0, cw, cb, cc = 1e-12, 6e-15, 160e-15, 0.3e-15
+        sizes = [(64, 4), (64, 16), (256, 4), (256, 16), (1024, 8), (128, 8)]
+        points = [
+            ((w, b), c0 + cw * w + cb * b + cc * w * b) for w, b in sizes
+        ]
+        fit = fit_sram(points)
+        assert fit.coefficients["c0"] == pytest.approx(c0)
+        assert fit.coefficients["c_words"] == pytest.approx(cw)
+        assert fit.coefficients["c_bits"] == pytest.approx(cb)
+        assert fit.coefficients["c_cell"] == pytest.approx(cc)
+
+    def test_sram_needs_four_points(self):
+        with pytest.raises(CharacterizationError):
+            fit_sram([((64, 4), 1e-12)] * 3)
+
+    def test_noisy_fit_quality_reported(self):
+        rng = random.Random(1)
+        points = [
+            (bits, 2e-15 * bits * rng.uniform(0.9, 1.1)) for bits in (4, 8, 16, 32, 64)
+        ]
+        fit = fit_linear(points)
+        assert 0.9 < fit.r_squared <= 1.0
+        assert fit.max_relative_error < 0.3
+
+
+class TestModelPackaging:
+    def test_linear_to_model(self):
+        fit = fit_linear([(bits, 2e-15 * bits + 1e-14) for bits in (4, 8, 16)])
+        model = model_from_linear_fit("adder_fit", fit)
+        env = {"bitwidth": 10, "VDD": 1.5, "f": 1e6}
+        assert model.effective_capacitance(env) == pytest.approx(
+            2e-15 * 10 + 1e-14
+        )
+
+    def test_negative_intercept_dropped(self):
+        fit = FitResult(
+            "linear (EQ 3)",
+            {"c_intercept": -1e-14, "c_per_bit": 2e-15},
+            1.0, 0.0,
+        )
+        model = model_from_linear_fit("m", fit)
+        env = {"bitwidth": 10, "VDD": 1.5, "f": 1e6}
+        assert model.effective_capacitance(env) == pytest.approx(2e-14)
+
+    def test_nonpositive_slope_rejected(self):
+        fit = FitResult("linear (EQ 3)", {"c_per_bit": -1e-15}, 1.0, 0.0)
+        with pytest.raises(CharacterizationError):
+            model_from_linear_fit("m", fit)
+
+    def test_bilinear_to_model(self):
+        fit = fit_bilinear([((4, 4), 253e-15 * 16)])
+        model = model_from_bilinear_fit("mult_fit", fit)
+        env = {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": 2e6}
+        assert model.power(env) * 1e6 == pytest.approx(291.456, rel=1e-6)
+
+
+class TestEQ8Extraction:
+    def test_exact(self):
+        c_full, c_partial, swing = 80e-12, 120e-12, 0.3
+        measurements = [
+            (v, c_full * v * v + c_partial * swing * v) for v in (1.0, 1.5, 2.5, 3.3)
+        ]
+        result = extract_reduced_swing(measurements, v_swing=swing)
+        assert result["c_fullswing"] == pytest.approx(c_full)
+        assert result["c_partialswing"] == pytest.approx(c_partial)
+        assert result["r_squared"] == pytest.approx(1.0)
+
+    def test_lumped_when_swing_unknown(self):
+        measurements = [(v, 1e-12 * v * v + 3e-13 * v) for v in (1.0, 2.0, 3.0)]
+        result = extract_reduced_swing(measurements)
+        assert result["c_partial_times_swing"] == pytest.approx(3e-13)
+        assert "c_partialswing" not in result
+
+    def test_needs_two_distinct_voltages(self):
+        with pytest.raises(CharacterizationError):
+            extract_reduced_swing([(1.5, 1e-12)])
+        with pytest.raises(CharacterizationError, match="distinct"):
+            extract_reduced_swing([(1.5, 1e-12), (1.5, 1.1e-12)])
+
+    def test_bad_swing(self):
+        with pytest.raises(CharacterizationError):
+            extract_reduced_swing(
+                [(1.0, 1e-12), (2.0, 3e-12)], v_swing=-1.0
+            )
+
+
+class TestEndToEnd:
+    def test_adder_characterization(self):
+        model, fit = characterize_adder(bit_widths=(4, 8, 16), cycles=120)
+        assert fit.r_squared > 0.98
+        assert fit.within_octave
+        # the packaged model predicts a held-out size within the octave
+        held_out = sweep_adder((12,), cycles=120)
+        rows = octave_report(
+            model, [({"bitwidth": bits}, cap) for bits, cap in held_out]
+        )
+        assert all(ok for _env, _m, _p, ok in rows)
+
+    def test_multiplier_characterization(self):
+        model, fit = characterize_multiplier(
+            sizes=((2, 2), (3, 3), (4, 4)), cycles=80
+        )
+        assert fit.coefficients["c_per_bit_pair"] > 0
+        assert fit.r_squared > 0.9
+
+    def test_correlated_sweep_measures_less(self):
+        plain = sweep_adder((8,), cycles=250, correlation=0.0)[0][1]
+        correlated = sweep_adder((8,), cycles=250, correlation=0.95)[0][1]
+        assert correlated < plain
+
+    def test_register_sweep_monotonic(self):
+        points = sweep_register((2, 8, 32), cycles=100)
+        capacitances = [cap for _bits, cap in points]
+        assert capacitances == sorted(capacitances)
+
+
+class TestMemoryCharacterization:
+    """EQ 7 fit against *simulated* memory arrays (not synthetic data)."""
+
+    def test_fit_quality(self):
+        from repro.library.characterize import characterize_memory
+
+        model, fit = characterize_memory(cycles=100)
+        assert fit.r_squared > 0.98
+        assert fit.within_octave
+        assert fit.coefficients["c_cell"] > 0  # the words*bits term is real
+
+    def test_model_predicts_held_out_size(self):
+        from repro.library.characterize import characterize_memory, sweep_memory
+
+        model, _fit = characterize_memory(cycles=100)
+        held_out = sweep_memory(sizes=((16, 3),), cycles=100, seed=42)
+        (size, measured) = held_out[0]
+        predicted = model.effective_capacitance(
+            {"words": size[0], "bits": size[1], "VDD": 1.5, "f": 1.0}
+        )
+        assert within_octave(predicted, measured), (measured, predicted)
+
+    def test_cross_term_measurable(self):
+        """Doubling words costs more in a wide memory than a narrow one
+        — the physical origin of EQ 7's C_2 words*bits term."""
+        from repro.library.characterize import sweep_memory
+
+        points = dict(sweep_memory(
+            sizes=((8, 2), (32, 2), (8, 4), (32, 4)), cycles=120
+        ))
+        narrow_gain = points[(32, 2)] - points[(8, 2)]
+        wide_gain = points[(32, 4)] - points[(8, 4)]
+        assert wide_gain > narrow_gain

@@ -1,0 +1,105 @@
+"""Datasheet component models (the InfoPad system parts)."""
+
+import pytest
+
+from repro.library.datasheet import (
+    build_system_library,
+    io_devices,
+    lcd_display,
+    microprocessor_subsystem,
+    radio_transceiver,
+    support_electronics,
+)
+from repro.errors import ModelError
+
+
+class TestLCD:
+    def test_full_on(self):
+        model = lcd_display(panel_watts=0.25, backlight_watts=0.75)
+        assert model.power({"panel_duty": 1.0, "backlight_duty": 1.0}) == pytest.approx(1.0)
+
+    def test_backlight_off(self):
+        model = lcd_display(panel_watts=0.25, backlight_watts=0.75)
+        assert model.power({"panel_duty": 1.0, "backlight_duty": 0.0}) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            lcd_display(panel_watts=-1.0)
+
+
+class TestRadio:
+    def test_state_mix(self):
+        model = radio_transceiver(tx_watts=2.0, rx_watts=1.0, idle_watts=0.1)
+        power = model.power({"tx_duty": 0.1, "rx_duty": 0.4})
+        assert power == pytest.approx(2.0 * 0.1 + 1.0 * 0.4 + 0.1 * 0.5)
+
+    def test_all_idle(self):
+        model = radio_transceiver(idle_watts=0.08)
+        assert model.power({"tx_duty": 0.0, "rx_duty": 0.0}) == pytest.approx(0.08)
+
+    def test_receive_cheaper_than_transmit(self):
+        model = radio_transceiver()
+        rx_heavy = model.power({"tx_duty": 0.0, "rx_duty": 0.5})
+        tx_heavy = model.power({"tx_duty": 0.5, "rx_duty": 0.0})
+        assert rx_heavy < tx_heavy
+
+
+class TestMicroprocessor:
+    def test_datasheet_point(self):
+        model = microprocessor_subsystem(watts_per_mhz=0.034, v_ref=5.0)
+        watts = model.power({"f": 25e6, "VDD": 5.0, "alpha": 1.0})
+        assert watts == pytest.approx(0.85)
+
+    def test_quadratic_voltage_rescale(self):
+        model = microprocessor_subsystem()
+        full = model.power({"f": 25e6, "VDD": 5.0, "alpha": 1.0})
+        low = model.power({"f": 25e6, "VDD": 2.5, "alpha": 1.0})
+        assert low == pytest.approx(full / 4)
+
+    def test_eq11_duty(self):
+        model = microprocessor_subsystem()
+        full = model.power({"f": 25e6, "VDD": 5.0, "alpha": 1.0})
+        idle = model.power({"f": 25e6, "VDD": 5.0, "alpha": 0.2})
+        assert idle == pytest.approx(full * 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            microprocessor_subsystem(watts_per_mhz=0)
+
+
+class TestOthers:
+    def test_support_electronics(self):
+        model = support_electronics(0.45, 0.18, 0.12)
+        assert model.power({"codec_duty": 1.0}) == pytest.approx(0.75)
+        assert model.power({"codec_duty": 0.0}) == pytest.approx(0.57)
+
+    def test_io_devices_total(self):
+        model = io_devices(0.015, 0.04, 0.025)
+        assert model.power({}) == pytest.approx(0.08)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            support_electronics(sram_watts=-1)
+
+
+class TestSystemLibrary:
+    def test_contents(self):
+        library = build_system_library()
+        assert set(library.names()) == {
+            "lcd_display", "radio", "microprocessor",
+            "support_electronics", "io_devices",
+        }
+
+    def test_serializable(self):
+        from repro.library.catalog import Library
+
+        library = build_system_library()
+        clone = Library.from_json(library.to_json())
+        assert len(clone) == len(library)
+        original = library.get("radio").models.power.power(
+            {"tx_duty": 0.05, "rx_duty": 0.35}
+        )
+        copied = clone.get("radio").models.power.power(
+            {"tx_duty": 0.05, "rx_duty": 0.35}
+        )
+        assert copied == pytest.approx(original)

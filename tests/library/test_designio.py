@@ -1,0 +1,150 @@
+"""Design serialization round trips."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.core.expressions import Expression
+from repro.core.model import FixedPowerModel
+from repro.designs.infopad import build_infopad
+from repro.designs.luminance import build_figure1_design, build_figure3_design
+from repro.library.designio import (
+    design_from_json,
+    design_from_payload,
+    design_to_json,
+    design_to_payload,
+)
+from repro.errors import LibraryError
+
+
+def roundtrip(design):
+    return design_from_json(design_to_json(design))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", [build_figure1_design, build_figure3_design, build_infopad]
+    )
+    def test_evaluation_preserved(self, builder):
+        design = builder()
+        clone = roundtrip(design)
+        original = evaluate_power(design)
+        copied = evaluate_power(clone)
+        assert copied.power == pytest.approx(original.power)
+        assert [c.name for c in copied.children] == [
+            c.name for c in original.children
+        ]
+
+    def test_formula_parameters_survive(self):
+        design = build_figure1_design()
+        clone = roundtrip(design)
+        raw = clone.row("read_bank").scope.raw("f")
+        assert isinstance(raw, Expression)
+        assert "f_pixel" in raw.source
+        # and they stay live: editing the global changes the row
+        clone.scope.set("f_pixel", 4e6)
+        assert clone.row("read_bank").scope["f"] == pytest.approx(4e6 / 16)
+
+    def test_feeds_survive(self):
+        design = build_infopad()
+        clone = roundtrip(design)
+        converter = clone.row("voltage_converters")
+        assert "display_lcds" in converter.power_feeds
+        # converter still tracks load after the round trip
+        report = evaluate_power(clone)
+        load = sum(
+            report[name].power for name in converter.power_feeds
+        )
+        assert report["voltage_converters"].power == pytest.approx(
+            load * (1 - 0.85) / 0.85
+        )
+
+    def test_subdesign_hierarchy_survives(self):
+        clone = roundtrip(build_infopad())
+        custom = clone.row("custom_hardware")
+        assert custom.is_subdesign
+        assert "luminance_chip" in custom.design
+        # top-level supply still reaches the grandchild
+        base = evaluate_power(clone)["custom_hardware"].power
+        clone.scope.set("VDD2", 3.0)
+        boosted = evaluate_power(clone)["custom_hardware"].power
+        assert boosted == pytest.approx(4 * base, rel=1e-6)
+
+    def test_quantity_and_doc_survive(self):
+        design = Design("d")
+        design.scope.set("VDD", 1.0)
+        design.add(
+            "banks", FixedPowerModel("bank", 0.5), doc="note", quantity=3
+        )
+        clone = roundtrip(design)
+        assert clone.row("banks").quantity == 3
+        assert clone.row("banks").doc == "note"
+        assert evaluate_power(clone).power == pytest.approx(1.5)
+
+
+class TestErrors:
+    def test_bad_json(self):
+        with pytest.raises(LibraryError, match="malformed"):
+            design_from_json("{")
+
+    def test_wrong_format(self):
+        with pytest.raises(LibraryError, match="unsupported"):
+            design_from_payload({"format": "nope"})
+
+    def test_unknown_row_type(self):
+        payload = design_to_payload(build_figure1_design())
+        payload["rows"][0]["type"] = "hologram"
+        with pytest.raises(LibraryError, match="unknown row type"):
+            design_from_payload(payload)
+
+
+class TestRoundTripProperty:
+    def test_random_designs_round_trip(self):
+        """Randomized designs (rows, params, feeds, quantities) evaluate
+        identically after a JSON round trip."""
+        import random
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.model import FixedPowerModel
+        from repro.models.computation import ripple_adder
+        from repro.models.converter import DCDCConverterModel
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=64),  # bitwidth
+                    st.integers(min_value=1, max_value=4),   # quantity
+                ),
+                min_size=1,
+                max_size=6,
+            ),
+            st.floats(min_value=0.9, max_value=5.0),
+            st.booleans(),
+        )
+        def check(rows, vdd, with_converter):
+            design = Design("prop")
+            design.scope.set("VDD", vdd)
+            design.scope.set("f", 2e6)
+            names = []
+            for index, (bitwidth, quantity) in enumerate(rows):
+                name = f"row{index}"
+                design.add(
+                    name, ripple_adder(), params={"bitwidth": bitwidth},
+                    quantity=quantity,
+                )
+                names.append(name)
+            if with_converter:
+                design.add(
+                    "conv",
+                    DCDCConverterModel(efficiency=0.85),
+                    params={"eta": 0.85},
+                    power_feeds=names,
+                )
+            original = evaluate_power(design).power
+            clone = design_from_json(design_to_json(design))
+            assert evaluate_power(clone).power == pytest.approx(original)
+
+        check()

@@ -1,0 +1,134 @@
+"""Analog models: EQ 13 bias sums, EQ 14-17 diff-pair parameterization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.analog import (
+    BipolarPair,
+    TransconductanceAmplifier,
+    amplifier_power_from_gm,
+    bias_current_model,
+    thermal_voltage,
+)
+from repro.errors import ModelError
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(25.85e-3, rel=1e-3)
+
+    def test_positive_temperature(self):
+        with pytest.raises(ModelError):
+            thermal_voltage(0)
+
+
+class TestEQ13:
+    def test_sum_of_branches(self):
+        model = bias_current_model(
+            "opamp", {"input_pair": 1e-3, "output_stage": 4e-3}
+        )
+        assert model.power({"VDD": 3.0}) == pytest.approx(3.0 * 5e-3)
+
+    def test_linear_in_supply(self):
+        """Analog power scales *linearly* with supply, unlike digital."""
+        model = bias_current_model("a", {"tail": 2e-3})
+        assert model.power({"VDD": 6.0}) == pytest.approx(
+            2 * model.power({"VDD": 3.0})
+        )
+
+    def test_breakdown_per_branch(self):
+        model = bias_current_model("a", {"x": 1e-3, "y": 2e-3})
+        breakdown = model.breakdown({"VDD": 3.0})
+        assert set(breakdown) == {"x", "y"}
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            bias_current_model("a", {})
+        with pytest.raises(ModelError):
+            bias_current_model("a", {"bad": -1e-3})
+
+
+class TestBipolarPair:
+    def test_eq14_inversion(self):
+        pair = BipolarPair()
+        i = 1e-3
+        assert pair.bias_for_gm(pair.gm(i)) == pytest.approx(i)
+
+    def test_eq15_inversion(self):
+        pair = BipolarPair()
+        i = 1e-3
+        assert pair.bias_for_rid(pair.rid(i)) == pytest.approx(i)
+
+    def test_eq16_inversion(self):
+        pair = BipolarPair()
+        i = 1e-3
+        assert pair.bias_for_ro(pair.ro(i)) == pytest.approx(i)
+
+    def test_eq14_value(self):
+        # G_m = (q/kT) I -> I = (kT/q) G_m; 1 mS at 300 K needs ~25.9 uA
+        pair = BipolarPair()
+        assert pair.bias_for_gm(1e-3) == pytest.approx(25.85e-6, rel=1e-3)
+
+    def test_constants_validated(self):
+        with pytest.raises(ModelError):
+            BipolarPair(beta0=-1)
+
+
+class TestAmplifier:
+    def test_gm_only(self):
+        amp = TransconductanceAmplifier()
+        env = {"VDD": 3.0, "G_m": 1e-3, "R_id": 0.0, "R_o": 0.0}
+        bias = amp.bias_current(env)
+        assert bias == pytest.approx(BipolarPair().bias_for_gm(1e-3))
+        assert amp.power(env) == pytest.approx(3.0 * bias)
+
+    def test_impedance_only_runs_at_limit(self):
+        amp = TransconductanceAmplifier()
+        env = {"VDD": 3.0, "G_m": 0.0, "R_id": 1e6, "R_o": 0.0}
+        assert amp.bias_current(env) == pytest.approx(
+            BipolarPair().bias_for_rid(1e6)
+        )
+
+    def test_infeasible_specs(self):
+        """High G_m needs a big current; high R_id forbids one."""
+        amp = TransconductanceAmplifier()
+        env = {"VDD": 3.0, "G_m": 1.0, "R_id": 1e9, "R_o": 0.0}
+        with pytest.raises(ModelError, match="infeasible"):
+            amp.power(env)
+
+    def test_no_specs(self):
+        amp = TransconductanceAmplifier()
+        with pytest.raises(ModelError, match="at least one"):
+            amp.power({"VDD": 3.0, "G_m": 0.0, "R_id": 0.0, "R_o": 0.0})
+
+    def test_achieved_specs_consistent(self):
+        amp = TransconductanceAmplifier()
+        env = {"VDD": 3.0, "G_m": 1e-3, "R_id": 0.0, "R_o": 0.0}
+        achieved = amp.achieved_specs(env)
+        assert achieved["G_m"] == pytest.approx(1e-3)
+        assert achieved["R_id"] > 0
+        assert achieved["R_o"] > 0
+
+    def test_parameterized_like_an_adder(self):
+        """'This differential pair may be parametrized by G_m ... much
+        like a digital adder is parameterized by bit-width.'"""
+        amp = TransconductanceAmplifier()
+        base = amp.power({"VDD": 3.0, "G_m": 1e-3, "R_id": 0.0, "R_o": 0.0})
+        doubled = amp.power({"VDD": 3.0, "G_m": 2e-3, "R_id": 0.0, "R_o": 0.0})
+        assert doubled == pytest.approx(2 * base)
+
+
+class TestEQ17ClosedForm:
+    def test_formula(self):
+        power = amplifier_power_from_gm(1e-3, 3.0)
+        assert power == pytest.approx(2 * 3.0 * thermal_voltage() * 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            amplifier_power_from_gm(0, 3.0)
+
+
+@given(st.floats(min_value=1e-6, max_value=1.0))
+def test_property_gm_round_trip(g_m):
+    pair = BipolarPair()
+    assert pair.gm(pair.bias_for_gm(g_m)) == pytest.approx(g_m, rel=1e-9)

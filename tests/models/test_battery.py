@@ -1,0 +1,112 @@
+"""Battery-life estimation for the portable-terminal motivation."""
+
+import math
+
+import pytest
+
+from repro.models.battery import (
+    Battery,
+    NICD_6V,
+    NIMH_6V,
+    battery_life,
+    required_capacity_ah,
+)
+from repro.errors import ModelError
+
+
+def ideal_pack(**over):
+    defaults = dict(
+        name="ideal", voltage=6.0, capacity_ah=2.0, peukert=1.0,
+        rated_hours=5.0, usable_fraction=1.0,
+    )
+    defaults.update(over)
+    return Battery(**defaults)
+
+
+class TestBattery:
+    def test_ideal_runtime(self):
+        pack = ideal_pack()
+        # 6 W at 6 V = 1 A; 2 Ah -> 2 hours
+        assert pack.runtime_hours(6.0) == pytest.approx(2.0)
+
+    def test_energy_rating(self):
+        assert ideal_pack().energy_wh == pytest.approx(12.0)
+
+    def test_peukert_penalizes_heavy_loads(self):
+        real = ideal_pack(peukert=1.2)
+        ideal = ideal_pack()
+        heavy_load = 18.0  # 3 A, well above the 0.4 A rated rate
+        assert real.runtime_hours(heavy_load) < ideal.runtime_hours(heavy_load)
+
+    def test_light_loads_capped_at_ideal(self):
+        """Peukert must not *grant* capacity below the rated rate."""
+        real = ideal_pack(peukert=1.2)
+        light_load = 0.6  # 0.1 A, below the 0.4 A rated current
+        assert real.runtime_hours(light_load) <= ideal_pack().runtime_hours(
+            light_load
+        )
+
+    def test_usable_fraction(self):
+        pack = ideal_pack(usable_fraction=0.5)
+        assert pack.runtime_hours(6.0) == pytest.approx(1.0)
+
+    def test_zero_load(self):
+        assert ideal_pack().runtime_hours(0.0) == math.inf
+
+    def test_current_draw(self):
+        assert ideal_pack().current_draw(12.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Battery(voltage=0)
+        with pytest.raises(ModelError):
+            Battery(peukert=0.9)
+        with pytest.raises(ModelError):
+            Battery(usable_fraction=0)
+        with pytest.raises(ModelError):
+            ideal_pack().runtime_hours(-1.0)
+
+
+class TestSystemIntegration:
+    def test_infopad_runtime_plausible(self):
+        """A ~3.7 W terminal on a mid-90s pack: a couple of hours."""
+        from repro.core.estimator import evaluate_power
+        from repro.designs.infopad import build_infopad
+
+        watts = evaluate_power(build_infopad()).power
+        hours = battery_life(watts, NIMH_6V)
+        assert 1.0 < hours < 8.0
+
+    def test_bigger_pack_lasts_longer(self):
+        assert battery_life(3.7, NIMH_6V) > battery_life(3.7, NICD_6V)
+
+    def test_power_saving_extends_life_superlinearly(self):
+        """Peukert makes savings worth more than linear at high draw."""
+        pack = ideal_pack(peukert=1.2, capacity_ah=1.0, rated_hours=5.0)
+        heavy = pack.runtime_hours(24.0)
+        halved = pack.runtime_hours(12.0)
+        assert halved > 2.0 * heavy
+
+
+class TestInverseSizing:
+    def test_round_trip(self):
+        pack = NIMH_6V
+        watts = 3.7
+        target = 5.0
+        capacity = required_capacity_ah(watts, target, pack)
+        sized = Battery(
+            name="sized",
+            voltage=pack.voltage,
+            capacity_ah=capacity,
+            peukert=pack.peukert,
+            rated_hours=pack.rated_hours,
+            usable_fraction=pack.usable_fraction,
+        )
+        # the ideal-capacity cap near the rated rate costs a percent or two
+        assert sized.runtime_hours(watts) == pytest.approx(target, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            required_capacity_ah(3.7, 0.0)
+        with pytest.raises(ModelError):
+            required_capacity_ah(0.0, 5.0)

@@ -1,0 +1,197 @@
+"""Landman computational-block models (EQ 2, 3, 20)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.computation import (
+    CORRELATION_CLASSES,
+    CapacitiveCoefficients,
+    MULTIPLIER_C_UNCORRELATED,
+    adder_model_set,
+    cla_adder,
+    comparator,
+    linear_model,
+    logarithmic_shifter,
+    multiplexer,
+    multiplier,
+    multiplier_model_set,
+    output_buffer,
+    ripple_adder,
+)
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 2e6}
+
+
+class TestEQ20Multiplier:
+    def test_paper_number(self):
+        """Figure 4: 16x16, uncorrelated, 253 fF/bit-pair."""
+        model = multiplier(16, 16)
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        assert model.effective_capacitance(env) == pytest.approx(
+            16 * 16 * 253e-15
+        )
+        assert model.power(env) * 1e6 == pytest.approx(291.456)
+
+    def test_bilinear_scaling(self):
+        model = multiplier()
+        base = model.power(dict(ENV, bitwidthA=8, bitwidthB=8))
+        assert model.power(dict(ENV, bitwidthA=16, bitwidthB=8)) == pytest.approx(2 * base)
+        assert model.power(dict(ENV, bitwidthA=16, bitwidthB=16)) == pytest.approx(4 * base)
+
+    def test_correlated_coefficient_smaller(self):
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        uncorrelated = multiplier(correlation="uncorrelated").power(env)
+        correlated = multiplier(correlation="correlated").power(env)
+        sign_mag = multiplier(correlation="sign_magnitude").power(env)
+        assert correlated < sign_mag < uncorrelated
+
+    def test_unknown_correlation(self):
+        with pytest.raises(ModelError, match="correlation"):
+            multiplier(correlation="psychic")
+
+    def test_asymmetric_defaults(self):
+        model = multiplier(8, 24)
+        defaults = {p.name: p.default for p in model.parameters}
+        assert defaults == {"bitwidthA": 8, "bitwidthB": 24}
+
+
+class TestLinearModels:
+    def test_eq3_proportionality(self):
+        model = ripple_adder()
+        base = model.power(dict(ENV, bitwidth=8))
+        assert model.power(dict(ENV, bitwidth=32)) == pytest.approx(4 * base)
+
+    def test_cla_burns_more_than_ripple(self):
+        env = dict(ENV, bitwidth=16)
+        assert cla_adder().power(env) > ripple_adder().power(env)
+
+    def test_comparator(self):
+        env = dict(ENV, bitwidth=16)
+        assert comparator().power(env) > 0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ModelError):
+            linear_model("bad", -1e-15)
+
+    def test_activity_separates(self):
+        quiet = linear_model("q", 68e-15, activity=0.1)
+        loud = linear_model("l", 68e-15, activity=1.0)
+        env = dict(ENV, bitwidth=16)
+        assert quiet.power(env) == pytest.approx(0.1 * loud.power(env))
+
+
+class TestShifterMuxBuffer:
+    def test_shifter_log_term(self):
+        env16 = dict(ENV, bitwidth=16, max_shift=16)
+        env4 = dict(ENV, bitwidth=16, max_shift=4)
+        model = logarithmic_shifter()
+        assert model.power(env16) == pytest.approx(2 * model.power(env4))
+
+    def test_shifter_min_shift(self):
+        with pytest.raises(ModelError):
+            logarithmic_shifter(max_shift=1)
+
+    def test_mux_grows_with_fanin(self):
+        model = multiplexer()
+        two = model.power(dict(ENV, bitwidth=8, inputs=2))
+        four = model.power(dict(ENV, bitwidth=8, inputs=4))
+        assert four == pytest.approx(3 * two)
+
+    def test_mux_needs_two_inputs(self):
+        with pytest.raises(ModelError):
+            multiplexer(inputs=1)
+
+    def test_buffer_fanout(self):
+        model = output_buffer()
+        light = model.power(dict(ENV, bitwidth=8, fanout=1.0))
+        heavy = model.power(dict(ENV, bitwidth=8, fanout=8.0))
+        assert heavy == pytest.approx(8 * light)
+        with pytest.raises(ModelError):
+            output_buffer(fanout=0)
+
+
+class TestCoefficients:
+    def test_fallback_to_uncorrelated(self):
+        coefficients = CapacitiveCoefficients("x", {"uncorrelated": 1e-15})
+        assert coefficients.get("correlated") == 1e-15
+
+    def test_all_classes_accepted(self):
+        coefficients = CapacitiveCoefficients(
+            "x", {name: 1e-15 for name in CORRELATION_CLASSES}
+        )
+        for name in CORRELATION_CLASSES:
+            coefficients.get(name)
+
+
+class TestModelSets:
+    def test_adder_set_complete(self):
+        model_set = adder_model_set("ripple", 16)
+        env = dict(ENV, bitwidth=16)
+        assert model_set.power.power(env) > 0
+        assert model_set.area.area(env) > 0
+        assert model_set.timing.delay(env) > 0
+
+    def test_ripple_slower_than_cla_at_width(self):
+        env = dict(ENV, bitwidth=32)
+        ripple = adder_model_set("ripple", 32).timing.delay(env)
+        cla = adder_model_set("cla", 32).timing.delay(env)
+        assert ripple > cla
+
+    def test_unknown_kind(self):
+        with pytest.raises(ModelError):
+            adder_model_set("quantum")
+
+    def test_multiplier_set(self):
+        model_set = multiplier_model_set(16)
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        assert model_set.area.area(env) == pytest.approx(16 * 16 * 1.1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+def test_property_eq20_exact(bits_a, bits_b):
+    """C_T = bwA * bwB * 253 fF for any widths."""
+    model = multiplier()
+    env = dict(ENV, bitwidthA=bits_a, bitwidthB=bits_b)
+    assert model.effective_capacitance(env) == pytest.approx(
+        bits_a * bits_b * MULTIPLIER_C_UNCORRELATED
+    )
+
+
+class TestBoothMultiplier:
+    def test_beats_array_at_width(self):
+        from repro.models.computation import booth_multiplier
+
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        assert booth_multiplier().power(env) < multiplier().power(env)
+
+    def test_recoder_term_is_linear(self):
+        from repro.models.computation import booth_multiplier
+
+        model = booth_multiplier()
+        narrow = model.breakdown(dict(ENV, bitwidthA=16, bitwidthB=8))
+        wide = model.breakdown(dict(ENV, bitwidthA=16, bitwidthB=16))
+        assert wide["recoders"] == pytest.approx(2 * narrow["recoders"])
+        assert wide["array"] == pytest.approx(2 * narrow["array"])
+
+    def test_correlated_variant(self):
+        from repro.models.computation import booth_multiplier
+
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        assert booth_multiplier(correlation="correlated").power(env) < (
+            booth_multiplier().power(env)
+        )
+
+    def test_in_default_library(self):
+        from repro.library.cells import build_default_library
+
+        library = build_default_library()
+        assert "booth_multiplier" in library
+        env = dict(ENV, bitwidthA=16, bitwidthB=16)
+        watts = library.get("booth_multiplier").models.power.power(env)
+        assert watts > 0

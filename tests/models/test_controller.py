@@ -1,0 +1,126 @@
+"""Controller models (EQ 9 random logic, EQ 10 ROM, PLA)."""
+
+import pytest
+
+from repro.models.controller import (
+    DEFAULT_ALPHA,
+    ROMCoefficients,
+    RandomLogicCoefficients,
+    compare_platforms,
+    estimate_minterms,
+    pla_controller,
+    random_logic_controller,
+    rom_controller,
+)
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 1e6}
+
+
+class TestEQ9:
+    def test_hand_computation(self):
+        c = RandomLogicCoefficients()
+        model = random_logic_controller(8, 12, n_minterms=40)
+        env = dict(ENV, N_I=8, N_O=12, N_M=40, alpha0=0.25, alpha1=0.25)
+        expected_c = 0.25 * c.c0 * 8 * 40 + 0.25 * c.c1 * 40 * 12
+        assert model.effective_capacitance(env) == pytest.approx(expected_c)
+
+    def test_default_alpha_is_quarter(self):
+        assert DEFAULT_ALPHA == 0.25
+
+    def test_plane_breakdown(self):
+        model = random_logic_controller()
+        env = dict(ENV, N_I=8, N_O=12, N_M=64, alpha0=0.25, alpha1=0.25)
+        assert set(model.breakdown(env)) == {"input_plane", "output_plane"}
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_logic_controller(0, 4)
+        with pytest.raises(ModelError):
+            random_logic_controller(4, 4, alpha0=2.0)
+
+
+class TestEQ10:
+    def test_hand_computation(self):
+        c = ROMCoefficients()
+        model = rom_controller(6, 16)
+        env = dict(ENV, N_I=6, N_O=16, P_O=0.5)
+        expected = (
+            c.c0
+            + c.c1 * 6 * 2**6
+            + c.c2 * 0.5 * 16 * 2**6
+            + c.c3 * 0.5 * 16
+            + c.c4 * 16
+        )
+        assert model.effective_capacitance(env) == pytest.approx(expected)
+
+    def test_precharge_statistics(self):
+        """Only low outputs are re-precharged: power grows with P_O."""
+        model = rom_controller()
+        low = model.power(dict(ENV, N_I=6, N_O=16, P_O=0.1))
+        high = model.power(dict(ENV, N_I=6, N_O=16, P_O=0.9))
+        assert high > low
+
+    def test_exponential_decode_cost(self):
+        model = rom_controller()
+        narrow = model.power(dict(ENV, N_I=6, N_O=16, P_O=0.5))
+        wide = model.power(dict(ENV, N_I=16, N_O=16, P_O=0.5))
+        assert wide > 10 * narrow
+
+    def test_ni_cap(self):
+        with pytest.raises(ModelError, match="credible"):
+            rom_controller(24, 16)
+
+    def test_po_bounds(self):
+        with pytest.raises(ModelError):
+            rom_controller(p_low=1.5)
+
+
+class TestPLA:
+    def test_power_positive(self):
+        model = pla_controller(8, 12, 40)
+        env = dict(ENV, N_I=8, N_O=12, N_M=40, alpha=0.25, p_product=0.25)
+        assert model.power(env) > 0
+
+    def test_or_plane_follows_fire_probability(self):
+        model = pla_controller(8, 12, 40)
+        env = dict(ENV, N_I=8, N_O=12, N_M=40, alpha=0.25)
+        quiet = model.breakdown(dict(env, p_product=0.1))["or_plane"]
+        busy = model.breakdown(dict(env, p_product=0.9))["or_plane"]
+        assert busy == pytest.approx(9 * quiet)
+
+
+class TestMinterms:
+    def test_density(self):
+        assert estimate_minterms(8, density=0.25) == 64
+
+    def test_state_floor(self):
+        assert estimate_minterms(3, n_states=10) == 10
+
+    def test_space_cap(self):
+        # astronomically wide controllers don't overflow
+        assert estimate_minterms(60, density=0.25) == estimate_minterms(24, density=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            estimate_minterms(0)
+        with pytest.raises(ModelError):
+            estimate_minterms(8, density=0.0)
+
+
+class TestPlatformComparison:
+    def test_all_platforms_reported(self):
+        results = compare_platforms(8, 12, 1.5, 1e6)
+        assert set(results) == {"random_logic", "rom", "pla"}
+        assert all(watts > 0 for watts in results.values())
+
+    def test_rom_skipped_when_too_wide(self):
+        results = compare_platforms(21, 12, 1.5, 1e6, n_minterms=64)
+        assert "rom" not in results
+
+    def test_rom_wins_small_loses_big(self):
+        """The exploration insight: ROM decode cost is exponential in N_I."""
+        small = compare_platforms(5, 16, 1.5, 1e6, n_minterms=16)
+        large = compare_platforms(14, 16, 1.5, 1e6, n_minterms=16)
+        assert small["rom"] < small["random_logic"] * 5
+        assert large["rom"] > large["random_logic"]

@@ -1,0 +1,142 @@
+"""DC-DC converter models (EQ 18/19) and inter-model interaction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.converter import (
+    DCDCConverterModel,
+    DEFAULT_BUCK_CURVE,
+    EfficiencyCurve,
+    converter_dissipation,
+    converter_input_power,
+)
+from repro.errors import ModelError
+
+
+class TestEQ19:
+    def test_textbook_value(self):
+        # 9 W load at 90% efficiency dissipates 1 W
+        assert converter_dissipation(9.0, 0.9) == pytest.approx(1.0)
+
+    def test_perfect_converter(self):
+        assert converter_dissipation(5.0, 1.0) == 0.0
+
+    def test_eq18_consistency(self):
+        """eta == P_load / (P_load + P_diss) must hold by construction."""
+        p_load, eta = 3.0, 0.82
+        p_diss = converter_dissipation(p_load, eta)
+        assert p_load / (p_load + p_diss) == pytest.approx(eta)
+
+    def test_input_power(self):
+        assert converter_input_power(9.0, 0.9) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            converter_dissipation(-1.0, 0.9)
+        with pytest.raises(ModelError):
+            converter_dissipation(1.0, 0.0)
+        with pytest.raises(ModelError):
+            converter_dissipation(1.0, 1.1)
+
+
+class TestEfficiencyCurve:
+    def test_interpolation(self):
+        curve = EfficiencyCurve([(0.0, 0.5), (1.0, 0.9)])
+        assert curve(0.5) == pytest.approx(0.7)
+
+    def test_clamping(self):
+        curve = EfficiencyCurve([(0.1, 0.6), (1.0, 0.9)])
+        assert curve(0.0) == 0.6
+        assert curve(100.0) == 0.9
+
+    def test_light_load_falloff_in_default(self):
+        assert DEFAULT_BUCK_CURVE(0.001) < DEFAULT_BUCK_CURVE(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EfficiencyCurve([(0.0, 0.5)])
+        with pytest.raises(ModelError):
+            EfficiencyCurve([(0.0, 0.5), (0.0, 0.6)])
+        with pytest.raises(ModelError):
+            EfficiencyCurve([(0.0, 0.5), (1.0, 1.5)])
+        with pytest.raises(ModelError):
+            EfficiencyCurve([(-1.0, 0.5), (1.0, 0.9)])
+        curve = EfficiencyCurve([(0.0, 0.5), (1.0, 0.9)])
+        with pytest.raises(ModelError):
+            curve(-1.0)
+
+
+class TestConverterModel:
+    def test_constant_eta(self):
+        model = DCDCConverterModel(efficiency=0.9)
+        env = {"P_load": 9.0, "eta": 0.9}
+        assert model.power(env) == pytest.approx(1.0)
+        assert model.input_power(env) == pytest.approx(10.0)
+
+    def test_curve_mode(self):
+        model = DCDCConverterModel(curve=DEFAULT_BUCK_CURVE)
+        heavy = model.power({"P_load": 1.0})
+        light = model.power({"P_load": 0.001})
+        # light load: lower efficiency -> loss is a larger share of load
+        assert light / 0.001 > heavy / 1.0
+
+    def test_requires_load(self):
+        model = DCDCConverterModel()
+        with pytest.raises(ModelError, match="P_load"):
+            model.power({"eta": 0.9})
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ModelError):
+            DCDCConverterModel(efficiency=0.0)
+
+    def test_intermodel_interaction_in_design(self):
+        """The paper's example: converter loss from connected modules."""
+        from repro.core.design import Design
+        from repro.core.estimator import evaluate_power
+        from repro.core.model import FixedPowerModel
+
+        design = Design("board")
+        design.add("cpu", FixedPowerModel("cpu", 2.0))
+        design.add("radio", FixedPowerModel("radio", 1.0))
+        design.add(
+            "regulator",
+            DCDCConverterModel(efficiency=0.75),
+            params={"eta": 0.75},
+            power_feeds=["cpu", "radio"],
+        )
+        report = evaluate_power(design)
+        assert report["regulator"].power == pytest.approx(
+            converter_dissipation(3.0, 0.75)
+        )
+        # design total = battery input power
+        assert report.power == pytest.approx(converter_input_power(3.0, 0.75))
+
+    def test_loss_tracks_load_changes(self):
+        from repro.core.design import Design
+        from repro.core.estimator import evaluate_power
+        from repro.core.model import FixedPowerModel
+
+        design = Design("board")
+        design.add("cpu", FixedPowerModel("cpu", 2.0))
+        design.add(
+            "regulator",
+            DCDCConverterModel(efficiency=0.8),
+            params={"eta": 0.8},
+            power_feeds=["cpu"],
+        )
+        full = evaluate_power(design)["regulator"].power
+        design.row("cpu").set("alpha", 0.5)
+        halved = evaluate_power(design)["regulator"].power
+        assert halved == pytest.approx(full / 2)
+
+
+@given(
+    st.one_of(st.just(0.0), st.floats(min_value=1e-9, max_value=100.0)),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_eq18_eq19_inverse(p_load, eta):
+    """EQ 18 recovers eta from EQ 19's dissipation."""
+    p_diss = converter_dissipation(p_load, eta)
+    if p_load > 0:
+        assert p_load / (p_load + p_diss) == pytest.approx(eta)
+    assert p_diss >= 0

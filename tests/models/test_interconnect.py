@@ -1,0 +1,135 @@
+"""Rent's-rule interconnect estimation (Donath / Feuer)."""
+
+import pytest
+
+from repro.models.interconnect import (
+    InterconnectModel,
+    Technology,
+    donath_average_length,
+    rent_terminals,
+    total_wire_length,
+    wiring_capacitance,
+)
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 2e6, "activity": 0.25, "active_area": 1e-6}
+
+
+class TestRentsRule:
+    def test_power_law(self):
+        assert rent_terminals(1, 0.6, 3.0) == pytest.approx(3.0)
+        assert rent_terminals(100, 0.5, 2.0) == pytest.approx(20.0)
+
+    def test_exponent_bounds(self):
+        with pytest.raises(ModelError):
+            rent_terminals(10, 1.5)
+        with pytest.raises(ModelError):
+            rent_terminals(0, 0.6)
+
+
+class TestDonath:
+    def test_small_regions_unit_length(self):
+        assert donath_average_length(1) == 1.0
+        assert donath_average_length(3) == 1.0
+
+    def test_grows_with_block_count(self):
+        lengths = [donath_average_length(b, 0.65) for b in (16, 256, 4096, 65536)]
+        assert lengths == sorted(lengths)
+
+    def test_grows_with_rent_exponent(self):
+        low = donath_average_length(4096, 0.45)
+        high = donath_average_length(4096, 0.75)
+        assert high > low
+
+    def test_p_half_singularity_handled(self):
+        value = donath_average_length(1024, 0.5)
+        near = donath_average_length(1024, 0.5001)
+        assert value == pytest.approx(near, rel=1e-2)
+
+
+class TestWiring:
+    def test_total_length_scales(self):
+        short = total_wire_length(100)
+        long = total_wire_length(10000)
+        assert long > 50 * short
+
+    def test_capacitance_from_area(self):
+        assert wiring_capacitance(0.0) == 0.0
+        small = wiring_capacitance(1e-8)
+        large = wiring_capacitance(1e-6)
+        assert large > small > 0
+
+    def test_negative_area(self):
+        with pytest.raises(ModelError):
+            wiring_capacitance(-1.0)
+
+    def test_technology_scaling(self):
+        base = Technology()
+        scaled = base.scaled(0.6e-6)
+        assert scaled.gate_pitch == pytest.approx(base.gate_pitch / 2)
+        with pytest.raises(ModelError):
+            base.scaled(0)
+
+
+class TestInterconnectModel:
+    def test_power_from_active_area(self):
+        model = InterconnectModel()
+        assert model.power(ENV) > 0
+
+    def test_missing_area_raises(self):
+        model = InterconnectModel()
+        with pytest.raises(ModelError, match="active_area"):
+            model.power({"VDD": 1.5, "f": 2e6})
+
+    def test_activity_scales(self):
+        model = InterconnectModel()
+        quiet = model.power(dict(ENV, activity=0.1))
+        busy = model.power(dict(ENV, activity=0.5))
+        assert busy == pytest.approx(5 * quiet)
+
+    def test_back_annotation(self):
+        model = InterconnectModel()
+        estimated = model.power(ENV)
+        model.back_annotate(1e-9)
+        annotated = model.power(ENV)
+        assert annotated == pytest.approx(0.25 * 1e-9 * 1.5**2 * 2e6)
+        assert annotated != pytest.approx(estimated)
+        assert "annotated" in next(iter(model.breakdown(ENV)))
+        model.clear_annotation()
+        assert model.power(ENV) == pytest.approx(estimated)
+
+    def test_negative_annotation(self):
+        with pytest.raises(ModelError):
+            InterconnectModel().back_annotate(-1e-12)
+
+    def test_in_design_with_area_feeds(self):
+        from repro.core.design import Design
+        from repro.core.estimator import evaluate_power
+        from repro.core.expressions import compile_expression as E
+        from repro.core.model import (
+            CapacitiveTerm,
+            ExpressionAreaModel,
+            ModelSet,
+            TemplatePowerModel,
+        )
+        from repro.core.parameters import Parameter
+
+        block = ModelSet(
+            power=TemplatePowerModel(
+                "blk", capacitive=[CapacitiveTerm("c", E("1p"))]
+            ),
+            area=ExpressionAreaModel("a", "1e-7"),
+        )
+        design = Design("d")
+        design.scope.set("VDD", 1.5)
+        design.scope.set("f", 2e6)
+        design.add("logic", block)
+        design.add(
+            "wiring", InterconnectModel(), params={"activity": 0.25},
+            area_feeds=["logic"],
+        )
+        report = evaluate_power(design)
+        direct = InterconnectModel().power(
+            {"VDD": 1.5, "f": 2e6, "activity": 0.25, "active_area": 1e-7}
+        )
+        assert report["wiring"].power == pytest.approx(direct)

@@ -1,0 +1,175 @@
+"""Processor models: EQ 11 duty-cycle, EQ 12 instruction-level."""
+
+import pytest
+
+from repro.core.model import FixedPowerModel
+from repro.models.processor import (
+    DEFAULT_ISA,
+    InstructionEnergy,
+    InstructionProfile,
+    InstructionSetEnergy,
+    MemorySystemCorrection,
+    ProcessorModel,
+    algorithm_cycles,
+    algorithm_energy,
+    algorithm_power,
+)
+from repro.errors import ModelError
+
+
+def profile(**counts):
+    return InstructionProfile("test", counts)
+
+
+class TestEQ11:
+    def test_duty_cycle(self):
+        model = FixedPowerModel("dsp", 2.0)
+        assert model.power({"alpha": 0.25}) == pytest.approx(0.5)
+
+    def test_no_powerdown_means_alpha_one(self):
+        model = FixedPowerModel("dsp", 2.0)
+        assert model.power({}) == pytest.approx(2.0)
+
+
+class TestISA:
+    def test_energy_lookup_includes_overhead(self):
+        isa = InstructionSetEnergy(
+            "t", [InstructionEnergy("alu", 1e-9)], overhead=0.5e-9
+        )
+        assert isa.energy_of("alu") == pytest.approx(1.5e-9)
+
+    def test_voltage_scaling_quadratic(self):
+        base = DEFAULT_ISA.energy_of("alu", vdd=3.3)
+        half = DEFAULT_ISA.energy_of("alu", vdd=1.65)
+        assert half == pytest.approx(base / 4)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ModelError, match="no instruction"):
+            DEFAULT_ISA.energy_of("teleport")
+
+    def test_memory_costs_more_than_alu(self):
+        assert DEFAULT_ISA.energy_of("load") > DEFAULT_ISA.energy_of("alu")
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            InstructionSetEnergy("t", [])
+        with pytest.raises(ModelError):
+            InstructionSetEnergy("t", [InstructionEnergy("x", -1.0)])
+        with pytest.raises(ModelError):
+            InstructionSetEnergy("t", [InstructionEnergy("x", 1e-9)], v_ref=0)
+
+
+class TestProfile:
+    def test_record_and_total(self):
+        p = InstructionProfile("p")
+        p.record("alu", 10)
+        p.record("alu", 5)
+        p.record("load")
+        assert p.counts == {"alu": 15, "load": 1}
+        assert p.total_instructions == 16
+
+    def test_addition(self):
+        combined = profile(alu=10) + profile(alu=5, load=2)
+        assert combined.counts == {"alu": 15, "load": 2}
+
+    def test_scaling(self):
+        assert profile(alu=3).scaled(4).counts == {"alu": 12}
+        with pytest.raises(ModelError):
+            profile(alu=1).scaled(-1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ModelError):
+            InstructionProfile("p", {"alu": -1})
+        with pytest.raises(ModelError):
+            profile().record("alu", -1)
+
+
+class TestEQ12:
+    def test_energy_is_weighted_sum(self):
+        p = profile(alu=100, load=50)
+        expected = 100 * DEFAULT_ISA.energy_of("alu") + 50 * DEFAULT_ISA.energy_of("load")
+        assert algorithm_energy(p) == pytest.approx(expected)
+
+    def test_cycles(self):
+        p = profile(alu=100, load=50)
+        expected = 100 * 1 + 50 * 2
+        assert algorithm_cycles(p) == pytest.approx(expected)
+
+    def test_power_is_energy_over_time(self):
+        p = profile(alu=1000)
+        clock = 25e6
+        runtime = algorithm_cycles(p) / clock
+        assert algorithm_power(p, clock) == pytest.approx(
+            algorithm_energy(p) / runtime
+        )
+
+    def test_power_needs_positive_clock(self):
+        with pytest.raises(ModelError):
+            algorithm_power(profile(alu=1), 0)
+
+    def test_empty_profile_power(self):
+        assert algorithm_power(profile(), 1e6) == 0.0
+
+    def test_voltage_scaled_energy(self):
+        p = profile(alu=100)
+        assert algorithm_energy(p, vdd=1.65) == pytest.approx(
+            algorithm_energy(p, vdd=3.3) / 4
+        )
+
+
+class TestCorrection:
+    def test_misses_add_energy_and_cycles(self):
+        correction = MemorySystemCorrection(miss_rate=0.1, miss_energy=10e-9, miss_cycles=10)
+        extra_energy, extra_cycles = correction.apply(profile(load=100, store=100, alu=500))
+        assert extra_energy == pytest.approx(20 * 10e-9)
+        assert extra_cycles == pytest.approx(200)
+
+    def test_naive_estimate_is_lower(self):
+        """'These models tend to underestimate power because factors such
+        as cache and branch misses are neglected.'"""
+        p = profile(alu=1000, load=400, store=200)
+        naive = algorithm_energy(p)
+        extra, _cycles = MemorySystemCorrection().apply(p)
+        assert naive + extra > naive
+
+    def test_bad_rate(self):
+        with pytest.raises(ModelError):
+            MemorySystemCorrection(miss_rate=2.0).apply(profile(load=1))
+
+
+class TestProcessorModel:
+    def test_power_matches_direct_computation(self):
+        p = profile(alu=1000, load=400)
+        model = ProcessorModel("cpu", p)
+        env = {"f": 25e6, "alpha": 1.0}
+        assert model.power(env) == pytest.approx(algorithm_power(p, 25e6))
+
+    def test_duty_factor(self):
+        p = profile(alu=1000)
+        model = ProcessorModel("cpu", p)
+        full = model.power({"f": 25e6, "alpha": 1.0})
+        half = model.power({"f": 25e6, "alpha": 0.5})
+        assert half == pytest.approx(full / 2)
+
+    def test_vdd_rescale(self):
+        p = profile(alu=1000)
+        model = ProcessorModel("cpu", p)
+        base = model.power({"f": 25e6, "VDD": 3.3})
+        low = model.power({"f": 25e6, "VDD": 1.65})
+        assert low == pytest.approx(base / 4)
+
+    def test_correction_raises_power(self):
+        p = profile(alu=1000, load=500)
+        plain = ProcessorModel("cpu", p)
+        corrected = ProcessorModel("cpu", p, correction=MemorySystemCorrection())
+        env = {"f": 25e6}
+        # energy rises faster than cycles here, so power goes up
+        assert corrected.power(env) != plain.power(env)
+
+    def test_breakdown_sums_to_power(self):
+        p = profile(alu=1000, load=400, mul=50)
+        model = ProcessorModel("cpu", p)
+        env = {"f": 25e6}
+        breakdown = model.breakdown(env)
+        assert sum(breakdown.values()) == pytest.approx(model.power(env))
+        assert set(breakdown) == {"alu", "load", "mul"}

@@ -1,0 +1,96 @@
+"""Veendrick short-circuit dissipation and its EQ 1 mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.model import TemplatePowerModel
+from repro.models.shortcircuit import (
+    ShortCircuitModel,
+    effective_capacitance,
+    veendrick_power,
+)
+from repro.errors import ModelError
+
+BETA = 1.2e-4
+TAU = 2e-9
+VT = 0.7
+
+
+class TestVeendrickLaw:
+    def test_cubic_headroom(self):
+        base = veendrick_power(2.4, VT, BETA, TAU, 1e6)  # headroom 1.0
+        taller = veendrick_power(3.4, VT, BETA, TAU, 1e6)  # headroom 2.0
+        assert taller == pytest.approx(8 * base)
+
+    def test_vanishes_below_twice_threshold(self):
+        """VDD <= 2 V_T -> no direct path; the low-voltage argument."""
+        assert veendrick_power(1.4, VT, BETA, TAU, 1e6) == 0.0
+        assert veendrick_power(1.39, VT, BETA, TAU, 1e6) == 0.0
+        assert veendrick_power(1.41, VT, BETA, TAU, 1e6) > 0.0
+
+    def test_linear_in_tau_and_f(self):
+        base = veendrick_power(3.3, VT, BETA, TAU, 1e6)
+        assert veendrick_power(3.3, VT, BETA, 2 * TAU, 1e6) == pytest.approx(2 * base)
+        assert veendrick_power(3.3, VT, BETA, TAU, 2e6) == pytest.approx(2 * base)
+
+    def test_activity(self):
+        full = veendrick_power(3.3, VT, BETA, TAU, 1e6, activity=1.0)
+        quarter = veendrick_power(3.3, VT, BETA, TAU, 1e6, activity=0.25)
+        assert quarter == pytest.approx(full / 4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            veendrick_power(0, VT, BETA, TAU, 1e6)
+        with pytest.raises(ModelError):
+            veendrick_power(3.3, 0, BETA, TAU, 1e6)
+        with pytest.raises(ModelError):
+            veendrick_power(3.3, VT, BETA, TAU, 1e6, activity=2.0)
+
+
+class TestEffectiveCapacitance:
+    def test_reproduces_power_at_extraction_point(self):
+        vdd, f = 3.3, 2e6
+        c_eff = effective_capacitance(vdd, VT, BETA, TAU)
+        assert c_eff * vdd * vdd * f == pytest.approx(
+            veendrick_power(vdd, VT, BETA, TAU, f)
+        )
+
+    def test_only_locally_valid(self):
+        """The cubic law means C_eff at 3.3 V overestimates at 2 V."""
+        c_eff = effective_capacitance(3.3, VT, BETA, TAU)
+        frozen = c_eff * 2.0 * 2.0 * 1e6
+        true = veendrick_power(2.0, VT, BETA, TAU, 1e6)
+        assert frozen > true
+
+
+class TestModel:
+    def test_gates_scale(self):
+        model = ShortCircuitModel()
+        env = {"VDD": 3.3, "f": 2e6, "gates": 100, "activity": 0.25}
+        base = model.power(env)
+        assert model.power(dict(env, gates=200)) == pytest.approx(2 * base)
+
+    def test_sweep_shows_cutoff(self):
+        model = ShortCircuitModel(v_threshold=0.7)
+        env = {"f": 2e6, "gates": 100, "activity": 0.25}
+        assert model.power(dict(env, VDD=1.2)) == 0.0
+        assert model.power(dict(env, VDD=3.3)) > 0.0
+
+    def test_capacitive_term_rides_in_template(self):
+        """The paper's mapping: short-circuit charge as a C in EQ 1."""
+        sc = ShortCircuitModel()
+        term = sc.capacitive_term(vdd=3.3, activity=0.25)
+        model = TemplatePowerModel("with_sc", capacitive=[term])
+        env = {"VDD": 3.3, "f": 2e6, "gates": 100}
+        assert model.power(env) == pytest.approx(
+            sc.power(dict(env, activity=0.25))
+        )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ModelError):
+            ShortCircuitModel(v_threshold=0)
+
+
+@given(st.floats(min_value=0.2, max_value=10.0))
+def test_property_nonnegative(vdd):
+    assert veendrick_power(vdd, VT, BETA, TAU, 1e6) >= 0.0

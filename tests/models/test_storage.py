@@ -1,0 +1,218 @@
+"""Storage models: EQ 7 SRAM, EQ 8 reduced swing, registers, DRAM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.storage import (
+    DEFAULT_SRAM,
+    SRAMCoefficients,
+    dram,
+    reduced_swing_sram,
+    register,
+    register_file,
+    sram,
+    sram_model_set,
+)
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 125e3}
+
+
+def sram_env(words, bits, **extra):
+    env = dict(ENV, words=words, bits=bits)
+    env.update(extra)
+    return env
+
+
+class TestEQ7:
+    def test_structured_capacitance(self):
+        model = sram()
+        c = DEFAULT_SRAM
+        words, bits = 2048, 8
+        expected = c.total(words, bits)
+        assert model.effective_capacitance(sram_env(words, bits)) == pytest.approx(
+            expected
+        )
+
+    def test_term_breakdown(self):
+        breakdown = sram().breakdown(sram_env(256, 8))
+        assert set(breakdown) == {"overhead", "decoder", "sense_io", "cell_array"}
+
+    def test_monotonic_in_words_and_bits(self):
+        model = sram()
+        base = model.power(sram_env(256, 8))
+        assert model.power(sram_env(512, 8)) > base
+        assert model.power(sram_env(256, 16)) > base
+
+    def test_cross_term(self):
+        """The words*bits term makes doubling both more than additive."""
+        model = sram()
+        c = model.effective_capacitance
+        gain_words = c(sram_env(512, 8)) - c(sram_env(256, 8))
+        gain_words_wide = c(sram_env(512, 16)) - c(sram_env(256, 16))
+        assert gain_words_wide > gain_words
+
+    def test_size_validation(self):
+        with pytest.raises(ModelError):
+            sram(words=0)
+        with pytest.raises(ModelError):
+            sram(bits=0)
+
+    def test_paper_luminance_lut(self):
+        """The Figure 2 LUT row: 4096x6 at f=2 MHz, 1.5 V -> ~750 uW."""
+        model = sram(4096, 6)
+        watts = model.power(sram_env(4096, 6, f=1.966e6))
+        assert watts == pytest.approx(747e-6, rel=0.05)
+
+
+class TestEQ8ReducedSwing:
+    def test_lower_power_than_full_swing(self):
+        full = sram().power(sram_env(2048, 8))
+        low = reduced_swing_sram().power(
+            sram_env(2048, 8, V_swing=0.3)
+        )
+        assert low < full
+
+    def test_voltage_dependence_is_not_pure_quadratic(self):
+        """E(V) = Cf V^2 + Cp Vs V — the linear term must show."""
+        model = reduced_swing_sram()
+        env1 = sram_env(2048, 8, V_swing=0.3, VDD=1.0)
+        env2 = sram_env(2048, 8, V_swing=0.3, VDD=2.0)
+        e1 = model.energy_per_access(env1)
+        e2 = model.energy_per_access(env2)
+        assert e2 / e1 < 4.0  # pure quadratic would give exactly 4
+        assert e2 / e1 > 2.0  # pure linear would give exactly 2
+
+    def test_swing_parameter(self):
+        model = reduced_swing_sram()
+        gentle = model.power(sram_env(2048, 8, V_swing=0.1))
+        harsh = model.power(sram_env(2048, 8, V_swing=1.0))
+        assert gentle < harsh
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            reduced_swing_sram(v_swing=0)
+        with pytest.raises(ModelError):
+            reduced_swing_sram(fullswing_fraction=1.5)
+
+
+class TestRegister:
+    def test_clock_switches_even_with_quiet_data(self):
+        """'The clock capacitance is included in the model of each block.'"""
+        model = register(8)
+        env = dict(ENV, f=2e6, bits=8, data_activity=0.0)
+        breakdown = model.breakdown(env)
+        assert breakdown["data"] == 0.0
+        assert breakdown["clock"] > 0.0
+
+    def test_data_activity_scales_data_term(self):
+        model = register(8)
+        half = model.breakdown(dict(ENV, bits=8, data_activity=0.5))["data"]
+        full = model.breakdown(dict(ENV, bits=8, data_activity=1.0))["data"]
+        assert half == pytest.approx(full / 2)
+
+    def test_linear_in_bits(self):
+        model = register()
+        assert model.power(dict(ENV, bits=32, data_activity=1.0)) == pytest.approx(
+            4 * model.power(dict(ENV, bits=8, data_activity=1.0))
+        )
+
+
+class TestRegisterFile:
+    def test_ports_scale(self):
+        env = dict(ENV, words=16, bits=16)
+        small = register_file(read_ports=1, write_ports=1).power(env)
+        big = register_file(read_ports=4, write_ports=2).power(env)
+        assert big > small
+
+    def test_needs_a_port(self):
+        with pytest.raises(ModelError):
+            register_file(read_ports=0, write_ports=0)
+
+
+class TestDRAM:
+    def test_refresh_is_frequency_independent(self):
+        """Refresh burns power even at access rate ~0."""
+        model = dram(4096, 16)
+        idle = model.power(sram_env(4096, 16, f=1.0))
+        refresh = model.breakdown(sram_env(4096, 16, f=1.0))["refresh"]
+        assert refresh > 0.5 * idle
+
+    def test_refresh_scales_with_array(self):
+        model = dram()
+        small = model.breakdown(sram_env(1024, 16, f=1e6))["refresh"]
+        large = model.breakdown(sram_env(8192, 16, f=1e6))["refresh"]
+        assert large > small
+
+
+class TestModelSet:
+    def test_complete(self):
+        model_set = sram_model_set(2048, 8)
+        env = sram_env(2048, 8)
+        assert model_set.power.power(env) > 0
+        assert model_set.area.area(env) > 0
+        assert model_set.timing.delay(env) > 0
+
+    def test_area_dominated_by_cells(self):
+        big = sram_model_set(8192, 16).area.area(sram_env(8192, 16))
+        small = sram_model_set(256, 8).area.area(sram_env(256, 8))
+        assert big > 10 * small
+
+
+@given(
+    st.integers(min_value=1, max_value=65536),
+    st.integers(min_value=1, max_value=128),
+)
+def test_property_eq7_exact(words, bits):
+    model = sram()
+    assert model.effective_capacitance(sram_env(words, bits)) == pytest.approx(
+        DEFAULT_SRAM.total(words, bits)
+    )
+
+
+class TestROMMemory:
+    def test_cheaper_than_sram_for_fixed_contents(self):
+        """The VQ codebook never changes — a ROM LUT beats the SRAM LUT.
+        (The fabricated chip's obvious follow-on optimization.)"""
+        from repro.models.storage import rom_memory
+
+        env = dict(ENV, words=4096, bits=6, f=1.966e6, P_O=0.5)
+        rom_watts = rom_memory(4096, 6).power(env)
+        sram_watts = sram(4096, 6).power(sram_env(4096, 6, f=1.966e6))
+        assert rom_watts < sram_watts
+
+    def test_precharge_statistics(self):
+        from repro.models.storage import rom_memory
+
+        model = rom_memory()
+        env = dict(ENV, words=4096, bits=8)
+        assert model.power(dict(env, P_O=0.9)) > model.power(dict(env, P_O=0.1))
+
+    def test_decode_term_superlinear_in_words(self):
+        from repro.models.storage import rom_memory
+
+        model = rom_memory()
+        env = dict(ENV, bits=8, P_O=0.5)
+        small = model.breakdown(dict(env, words=256))["decode"]
+        large = model.breakdown(dict(env, words=1024))["decode"]
+        assert large > 4 * small  # words * log2(words) growth
+
+    def test_validation(self):
+        from repro.models.storage import rom_memory
+
+        with pytest.raises(ModelError):
+            rom_memory(words=1)
+        with pytest.raises(ModelError):
+            rom_memory(p_low=1.5)
+
+    def test_in_library_and_serializable(self):
+        from repro.library.catalog import Library
+        from repro.library.cells import build_default_library
+
+        library = build_default_library()
+        assert "rom" in library
+        clone = Library.from_json(library.to_json())
+        env = dict(ENV, words=4096, bits=6, P_O=0.5)
+        assert clone.get("rom").models.power.power(env) == pytest.approx(
+            library.get("rom").models.power.power(env)
+        )

@@ -1,0 +1,149 @@
+"""Svensson analytical stage models (EQ 4-6)."""
+
+import pytest
+
+from repro.models.svensson import (
+    Stage,
+    SvenssonModel,
+    gate_output_probability,
+    propagate_chain,
+    signal_to_transition,
+    stages_from_chain,
+    svensson_ripple_adder,
+)
+from repro.errors import ModelError
+
+ENV = {"VDD": 1.5, "f": 2e6, "bitwidth": 16, "activity_scale": 1.0}
+
+
+class TestProbability:
+    def test_transition_peak_at_half(self):
+        assert signal_to_transition(0.5) == pytest.approx(0.5)
+        assert signal_to_transition(0.0) == 0.0
+        assert signal_to_transition(1.0) == 0.0
+        assert signal_to_transition(0.1) == pytest.approx(0.18)
+
+    def test_bounds(self):
+        with pytest.raises(ModelError):
+            signal_to_transition(1.5)
+
+    def test_gate_probabilities(self):
+        assert gate_output_probability("inv", [0.3]) == pytest.approx(0.7)
+        assert gate_output_probability("and", [0.5, 0.5]) == pytest.approx(0.25)
+        assert gate_output_probability("nand", [0.5, 0.5]) == pytest.approx(0.75)
+        assert gate_output_probability("or", [0.5, 0.5]) == pytest.approx(0.75)
+        assert gate_output_probability("nor", [0.5, 0.5]) == pytest.approx(0.25)
+        assert gate_output_probability("xor", [0.5, 0.5]) == pytest.approx(0.5)
+        assert gate_output_probability("xnor", [0.3, 0.3]) == pytest.approx(
+            1 - (0.3 * 0.7 + 0.7 * 0.3)
+        )
+
+    def test_inverter_arity(self):
+        with pytest.raises(ModelError):
+            gate_output_probability("inv", [0.5, 0.5])
+
+    def test_unknown_gate(self):
+        with pytest.raises(ModelError):
+            gate_output_probability("quantum", [0.5])
+
+    def test_chain_propagation(self):
+        levels = propagate_chain([("nand", 2), ("inv", 1)], 0.5)
+        assert levels[0] == pytest.approx(0.75)
+        assert levels[1] == pytest.approx(0.25)
+
+
+class TestStage:
+    def test_eq4(self):
+        stage = Stage("s", c_in=10e-15, c_out=20e-15, alpha_in=0.5, alpha_out=0.25)
+        assert stage.capacitance() == pytest.approx(0.5 * 10e-15 + 0.25 * 20e-15)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Stage("s", c_in=-1e-15, c_out=1e-15)
+        with pytest.raises(ModelError):
+            Stage("s", c_in=1e-15, c_out=1e-15, alpha_in=1.5)
+
+
+class TestModel:
+    def make(self):
+        stages = [
+            Stage("g1", 10e-15, 15e-15, 0.5, 0.4),
+            Stage("g2", 12e-15, 18e-15, 0.4, 0.3),
+        ]
+        return SvenssonModel("blk", stages)
+
+    def test_eq5_slice_sum(self):
+        model = self.make()
+        expected = sum(stage.capacitance() for stage in model.stages)
+        assert model.slice_capacitance() == pytest.approx(expected)
+
+    def test_eq6_bitwidth_scaling(self):
+        model = self.make()
+        c8 = model.total_capacitance(dict(ENV, bitwidth=8))
+        c32 = model.total_capacitance(dict(ENV, bitwidth=32))
+        assert c32 == pytest.approx(4 * c8)
+
+    def test_power_consistent_with_energy(self):
+        model = self.make()
+        assert model.power(ENV) == pytest.approx(
+            model.energy_per_access(ENV) * ENV["f"]
+        )
+
+    def test_breakdown_per_stage(self):
+        model = self.make()
+        breakdown = model.breakdown(ENV)
+        assert set(breakdown) == {"g1", "g2"}
+        assert sum(breakdown.values()) == pytest.approx(model.power(ENV))
+
+    def test_activity_scale(self):
+        model = self.make()
+        half = model.power(dict(ENV, activity_scale=0.5))
+        assert half == pytest.approx(0.5 * model.power(ENV))
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ModelError):
+            SvenssonModel("empty", [])
+
+    def test_bad_bitwidth(self):
+        with pytest.raises(ModelError):
+            self.make().total_capacitance(dict(ENV, bitwidth=0))
+
+    def test_with_input_probability(self):
+        model = self.make()
+        quieter = model.with_input_probability(0.1)
+        assert quieter.power(ENV) < model.power(ENV)
+        # physical capacitances unchanged
+        assert [s.c_in for s in quieter.stages] == [s.c_in for s in model.stages]
+
+
+class TestStagesFromChain:
+    def test_activities_follow_levels(self):
+        stages = stages_from_chain([("nand", 2), ("inv", 1)], 10e-15, 15e-15, 0.5)
+        # first stage input activity is the primary input's (p=0.5 -> 0.5)
+        assert stages[0].alpha_in == pytest.approx(0.5)
+        # its output is the nand output (p=0.75 -> 2*0.75*0.25)
+        assert stages[0].alpha_out == pytest.approx(0.375)
+        # the inverter input activity equals the nand output activity
+        assert stages[1].alpha_in == pytest.approx(stages[0].alpha_out)
+
+    def test_fanin_scales_input_capacitance(self):
+        stages = stages_from_chain([("nand", 3)], 10e-15, 15e-15)
+        assert stages[0].c_in == pytest.approx(30e-15)
+
+    def test_bad_fanin(self):
+        with pytest.raises(ModelError):
+            stages_from_chain([("nand", 0)], 1e-15, 1e-15)
+
+
+class TestRippleAdderModel:
+    def test_white_box_adder(self):
+        model = svensson_ripple_adder(16)
+        power = model.power(dict(ENV, bitwidth=16, activity_scale=1.0))
+        assert power > 0
+        # same order of magnitude as the black-box library coefficient:
+        # the two characterizations describe the same circuit family
+        from repro.models.computation import ripple_adder
+
+        black_box = ripple_adder().power(dict(ENV, bitwidth=16))
+        ratio = power / black_box
+        assert 0.05 < ratio < 20

@@ -1,0 +1,130 @@
+"""Signal statistics and stimulus generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.activity import (
+    correlated_words,
+    dual_bit_type,
+    measure_bits,
+    merge_vectors,
+    operand_vectors,
+    uniform_words,
+    word_correlation,
+    words_to_vectors,
+)
+from repro.errors import SimulationError
+
+
+class TestMeasureBits:
+    def test_known_stream(self):
+        # alternating 0b01 / 0b10: every bit flips every cycle
+        words = [0b01, 0b10] * 50
+        stats = measure_bits(words, 2)
+        assert stats.signal_probability == pytest.approx((0.5, 0.5))
+        assert stats.transition_activity == pytest.approx((1.0, 1.0))
+
+    def test_constant_stream(self):
+        stats = measure_bits([0b11] * 20, 2)
+        assert stats.signal_probability == (1.0, 1.0)
+        assert stats.transition_activity == (0.0, 0.0)
+
+    def test_average_activity(self):
+        stats = measure_bits([0, 1] * 20, 2)
+        assert stats.average_activity() == pytest.approx((1.0 + 0.0) / 2)
+
+    def test_needs_two_words(self):
+        with pytest.raises(SimulationError):
+            measure_bits([1], 4)
+
+
+class TestCorrelation:
+    def test_uniform_is_uncorrelated(self):
+        words = uniform_words(5000, 12, seed=2)
+        assert abs(word_correlation(words)) < 0.05
+
+    @pytest.mark.parametrize("rho", [0.5, 0.9])
+    def test_target_correlation_achieved(self, rho):
+        words = correlated_words(8000, 12, rho, seed=2)
+        assert word_correlation(words) == pytest.approx(rho, abs=0.07)
+
+    def test_correlated_msbs_are_quiet(self):
+        """The dual-bit-type phenomenon: MSBs of correlated data flip
+        far less than LSBs."""
+        words = correlated_words(5000, 12, 0.95, seed=4)
+        stats = measure_bits(words, 12)
+        assert stats.transition_activity[-1] < 0.5 * stats.transition_activity[0]
+
+    def test_rho_bounds(self):
+        with pytest.raises(SimulationError):
+            correlated_words(100, 8, 1.0)
+
+    def test_correlation_needs_three(self):
+        with pytest.raises(SimulationError):
+            word_correlation([1, 2])
+
+
+class TestDualBitType:
+    def test_fit_on_correlated_stream(self):
+        words = correlated_words(5000, 12, 0.95, seed=4)
+        profile = dual_bit_type(measure_bits(words, 12))
+        assert profile.breakpoint_low < profile.breakpoint_high
+        assert profile.msb_activity < profile.lsb_activity
+
+    def test_activity_of_bit_interpolates(self):
+        words = correlated_words(5000, 12, 0.95, seed=4)
+        profile = dual_bit_type(measure_bits(words, 12))
+        low = profile.activity_of_bit(0)
+        high = profile.activity_of_bit(11)
+        middle = profile.activity_of_bit(
+            (profile.breakpoint_low + profile.breakpoint_high) // 2
+        )
+        assert min(low, high) <= middle <= max(low, high)
+
+    def test_needs_two_bits(self):
+        stats = measure_bits([0, 1, 0, 1], 1)
+        with pytest.raises(SimulationError):
+            dual_bit_type(stats)
+
+
+class TestVectors:
+    def test_words_to_vectors(self):
+        vectors = words_to_vectors([5], 4, "a")
+        assert vectors == [{"a0": 1, "a1": 0, "a2": 1, "a3": 0}]
+
+    def test_merge(self):
+        merged = merge_vectors(
+            words_to_vectors([1], 2, "a"), words_to_vectors([2], 2, "b")
+        )
+        assert merged == [{"a0": 1, "a1": 0, "b0": 0, "b1": 1}]
+
+    def test_merge_overlap_rejected(self):
+        with pytest.raises(SimulationError, match="overlap"):
+            merge_vectors(
+                words_to_vectors([1], 2, "a"), words_to_vectors([2], 2, "a")
+            )
+
+    def test_operand_vectors_shape(self):
+        vectors = operand_vectors(10, 4)
+        assert len(vectors) == 10
+        assert set(vectors[0]) == {f"a{i}" for i in range(4)} | {
+            f"b{i}" for i in range(4)
+        }
+
+    def test_operand_vectors_deterministic(self):
+        assert operand_vectors(20, 4, seed=9) == operand_vectors(20, 4, seed=9)
+
+    def test_operand_vectors_differ_across_operands(self):
+        vectors = operand_vectors(200, 8, seed=9)
+        a_stream = [sum(v[f"a{i}"] << i for i in range(8)) for v in vectors]
+        b_stream = [sum(v[f"b{i}"] << i for i in range(8)) for v in vectors]
+        assert a_stream != b_stream
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=50))
+def test_property_measure_round_trip(words):
+    """Signal probabilities recover the mean bit values exactly."""
+    stats = measure_bits(words, 8)
+    for bit in range(8):
+        expected = sum((word >> bit) & 1 for word in words) / len(words)
+        assert stats.signal_probability[bit] == pytest.approx(expected)

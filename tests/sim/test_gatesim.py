@@ -1,0 +1,333 @@
+"""Switch-level capacitance simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.gatesim import (
+    C_DFF_CLOCK,
+    Gate,
+    Netlist,
+    random_vectors,
+    simulate,
+)
+from repro.errors import NetlistError, SimulationError
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize(
+        "kind,inputs,expected",
+        [
+            ("not", [0], 1), ("not", [1], 0),
+            ("buf", [1], 1),
+            ("and", [1, 1], 1), ("and", [1, 0], 0),
+            ("nand", [1, 1], 0), ("nand", [0, 1], 1),
+            ("or", [0, 0], 0), ("or", [0, 1], 1),
+            ("nor", [0, 0], 1), ("nor", [1, 0], 0),
+            ("xor", [1, 1], 0), ("xor", [1, 0], 1),
+            ("xor", [1, 1, 1], 1),
+            ("xnor", [1, 0], 0), ("xnor", [1, 1], 1),
+            ("mux2", [1, 0, 0], 1),  # sel=0 -> a
+            ("mux2", [1, 0, 1], 0),  # sel=1 -> b
+        ],
+    )
+    def test_truth_tables(self, kind, inputs, expected):
+        names = [f"i{k}" for k in range(len(inputs))]
+        gate = Gate(kind, "out", tuple(names))
+        values = dict(zip(names, inputs))
+        assert gate.evaluate(values) == expected
+
+    def test_wide_gates(self):
+        gate = Gate("and", "out", ("a", "b", "c", "d"))
+        assert gate.evaluate({"a": 1, "b": 1, "c": 1, "d": 1}) == 1
+        assert gate.evaluate({"a": 1, "b": 1, "c": 0, "d": 1}) == 0
+
+    def test_undriven_input(self):
+        gate = Gate("and", "out", ("a", "ghost"))
+        with pytest.raises(SimulationError, match="undriven"):
+            gate.evaluate({"a": 1})
+
+
+class TestNetlistStructure:
+    def test_double_drive_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="already driven"):
+            netlist.add_input("a")
+
+    def test_gate_arity_checked(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("not", "x", ["a", "a2"])
+        with pytest.raises(NetlistError):
+            netlist.add_gate("and", "y", ["a"])
+        with pytest.raises(NetlistError):
+            netlist.add_gate("warp", "z", ["a"])
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("and", "x", ["a", "y"])
+        netlist.add_gate("and", "y", ["a", "x"])
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.topological_gates()
+
+    def test_cycle_through_register_is_fine(self):
+        netlist = Netlist()
+        netlist.add_input("d")
+        netlist.add_gate("xor", "next", ["d", "q"])
+        netlist.add_register("q", "next")
+        netlist.topological_gates()  # must not raise
+
+    def test_undriven_net_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("and", "x", ["a", "ghost"])
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.topological_gates()
+
+    def test_fanout_counts(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("and", "x", ["a", "b"])
+        netlist.add_gate("or", "y", ["a", "x"])
+        assert netlist.fanout()["a"] == 2
+        assert netlist.fanout()["x"] == 1
+
+    def test_capacitance_grows_with_fanout(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("and", "x", ["a", "b"])
+        netlist.add_gate("not", "y", ["a"])
+        caps = netlist.net_capacitance()
+        assert caps["a"] > caps["b"]
+
+    def test_logic_depth(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("not", "l1", ["a"])
+        netlist.add_gate("not", "l2", ["l1"])
+        depth = netlist.logic_depth()
+        assert depth["a"] == 0 and depth["l1"] == 1 and depth["l2"] == 2
+
+
+class TestSimulation:
+    def inverter(self):
+        netlist = Netlist("inv")
+        netlist.add_input("a")
+        netlist.add_gate("not", "y", ["a"])
+        netlist.mark_output("y")
+        return netlist
+
+    def test_static_input_no_switching(self):
+        netlist = self.inverter()
+        result = simulate(netlist, [{"a": 1}] * 10)
+        assert result.switched_capacitance == 0.0
+        assert result.transitions == 0
+
+    def test_toggling_input_switches_both_nets(self):
+        netlist = self.inverter()
+        vectors = [{"a": cycle % 2} for cycle in range(11)]
+        result = simulate(netlist, vectors)
+        caps = netlist.net_capacitance()
+        expected = 10 * (caps["a"] + caps["y"])
+        assert result.switched_capacitance == pytest.approx(expected)
+        assert result.transitions == 20
+
+    def test_clock_capacitance_counted_every_cycle(self):
+        netlist = Netlist("reg")
+        netlist.add_input("d")
+        netlist.add_register("q", "d")
+        result = simulate(netlist, [{"d": 0}] * 5)
+        assert result.clock_capacitance == pytest.approx(5 * C_DFF_CLOCK)
+        # clock load dominates a quiet register
+        assert result.switched_capacitance == pytest.approx(result.clock_capacitance)
+
+    def test_register_delays_by_one_cycle(self):
+        netlist = Netlist("reg")
+        netlist.add_input("d")
+        netlist.add_register("q", "d")
+        netlist.mark_output("q")
+        values0 = netlist.evaluate({"d": 1}, {"q": 0})
+        assert values0["q"] == 0  # old state visible this cycle
+        state = {"q": values0["d"]}
+        values1 = netlist.evaluate({"d": 0}, state)
+        assert values1["q"] == 1
+
+    def test_missing_input_value(self):
+        netlist = self.inverter()
+        with pytest.raises(SimulationError, match="missing value"):
+            simulate(netlist, [{}])
+
+    def test_glitch_factor_inflates_deep_nets(self):
+        netlist = Netlist("chain")
+        netlist.add_input("a")
+        netlist.add_gate("not", "l1", ["a"])
+        netlist.add_gate("not", "l2", ["l1"])
+        netlist.mark_output("l2")
+        vectors = [{"a": cycle % 2} for cycle in range(11)]
+        plain = simulate(netlist, vectors, glitch_factor=0.0)
+        glitchy = simulate(netlist, vectors, glitch_factor=0.5)
+        assert glitchy.switched_capacitance > plain.switched_capacitance
+
+    def test_glitch_factor_validation(self):
+        with pytest.raises(SimulationError):
+            simulate(self.inverter(), [{"a": 0}], glitch_factor=-1)
+
+    def test_energy_and_power(self):
+        netlist = self.inverter()
+        vectors = [{"a": cycle % 2} for cycle in range(11)]
+        result = simulate(netlist, vectors)
+        assert result.energy(1.5) == pytest.approx(
+            result.switched_capacitance * 2.25
+        )
+        assert result.power(1.5, 1e6) == pytest.approx(
+            result.energy(1.5) * 1e6 / 11
+        )
+        with pytest.raises(SimulationError):
+            result.energy(0)
+
+    def test_per_net_attribution(self):
+        netlist = self.inverter()
+        vectors = [{"a": cycle % 2} for cycle in range(3)]
+        result = simulate(netlist, vectors)
+        assert set(result.per_net) == {"a", "y"}
+
+
+class TestRandomVectors:
+    def test_shape_and_determinism(self):
+        a = random_vectors(["x", "y"], 50, seed=3)
+        b = random_vectors(["x", "y"], 50, seed=3)
+        assert a == b
+        assert len(a) == 50
+        assert set(a[0]) == {"x", "y"}
+
+    def test_probability(self):
+        vectors = random_vectors(["x"], 2000, seed=1, probability=0.9)
+        ones = sum(vector["x"] for vector in vectors)
+        assert 0.85 < ones / 2000 < 0.95
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            random_vectors(["x"], 10, probability=2.0)
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_property_xor_gate_matches_python(a, b):
+    """8-bit XOR array agrees with Python ^ for any operands."""
+    netlist = Netlist()
+    for bit in range(8):
+        netlist.add_input(f"a{bit}")
+        netlist.add_input(f"b{bit}")
+        netlist.add_gate("xor", f"y{bit}", [f"a{bit}", f"b{bit}"])
+    values = netlist.evaluate(
+        {
+            **{f"a{bit}": (a >> bit) & 1 for bit in range(8)},
+            **{f"b{bit}": (b >> bit) & 1 for bit in range(8)},
+        },
+        {},
+    )
+    result = sum(values[f"y{bit}"] << bit for bit in range(8))
+    assert result == a ^ b
+
+
+class TestUnitDelaySimulation:
+    """Event-driven unit-delay mode: hazards are measured, not modeled."""
+
+    def chain_with_hazard(self):
+        """a -> (a AND not(a)): a static-0 hazard generator.
+
+        Zero-delay: the output is always 0, so nothing switches.
+        Unit-delay: when `a` rises, the AND sees (new a, old not-a) for
+        one time unit and pulses high — a counted glitch.
+        """
+        netlist = Netlist("hazard")
+        netlist.add_input("a")
+        netlist.add_gate("not", "na", ["a"])
+        netlist.add_gate("and", "pulse", ["a", "na"])
+        netlist.mark_output("pulse")
+        return netlist
+
+    def test_hazard_counted_only_by_unit_delay(self):
+        from repro.sim.gatesim import simulate_unit_delay
+
+        netlist = self.chain_with_hazard()
+        vectors = [{"a": cycle % 2} for cycle in range(9)]
+        zero = simulate(netlist, vectors)
+        unit = simulate_unit_delay(netlist, vectors)
+        # zero-delay: 'pulse' never changes
+        assert "pulse" not in zero.per_net
+        # unit-delay: the rising edges pulse it (up and back down)
+        assert unit.per_net.get("pulse", 0.0) > 0.0
+        assert unit.transitions > zero.transitions
+
+    def test_settled_values_agree_with_zero_delay(self):
+        """Glitches change energy, never logic: final register state is
+        identical under both modes."""
+        from repro.sim.activity import operand_vectors
+        from repro.sim.gatesim import simulate_unit_delay
+        from repro.sim.netlists import ripple_adder_netlist
+
+        netlist = ripple_adder_netlist(8, registered=True)
+        vectors = operand_vectors(60, 8, seed=12)
+        # run both modes manually and compare captured sums every cycle
+        state_zero = {q: 0 for q, _ in netlist.registers}
+        for vector in vectors:
+            values = netlist.evaluate(vector, state_zero)
+            state_zero = {q: values[d] for q, d in netlist.registers}
+        # the unit-delay path reaches the same place: glitches settle
+        result_unit = simulate_unit_delay(netlist, vectors)
+        result_zero = simulate(netlist, vectors)
+        assert result_unit.cycles == result_zero.cycles
+        # energy: unit-delay >= zero-delay, always
+        assert (
+            result_unit.switched_capacitance
+            >= result_zero.switched_capacitance - 1e-18
+        )
+
+    def test_static_input_no_switching(self):
+        from repro.sim.gatesim import simulate_unit_delay
+
+        netlist = self.chain_with_hazard()
+        result = simulate_unit_delay(netlist, [{"a": 1}] * 10)
+        assert result.switched_capacitance == 0.0
+
+    def test_glitch_fraction_tracks_logic_depth(self):
+        """Deep reconvergent logic glitches hard; shallow logic barely."""
+        from repro.sim.activity import operand_vectors
+        from repro.sim.gatesim import glitch_energy_fraction
+        from repro.sim.netlists import (
+            array_multiplier_netlist,
+            comparator_netlist,
+        )
+
+        mult = glitch_energy_fraction(
+            array_multiplier_netlist(4, 4, registered=False),
+            operand_vectors(150, 4, seed=7),
+        )
+        comp = glitch_energy_fraction(
+            comparator_netlist(8), operand_vectors(150, 8, seed=7)
+        )
+        assert mult > 0.3
+        assert comp < 0.05
+        assert mult > comp
+
+    def test_glitch_factor_knob_is_in_the_measured_range(self):
+        """The zero-delay `glitch_factor` approximation used by the
+        characterization flow must not be wildly off the measured
+        hazard energy for the circuits it characterizes."""
+        from repro.sim.activity import operand_vectors
+        from repro.sim.gatesim import simulate_unit_delay
+        from repro.sim.netlists import ripple_adder_netlist
+
+        netlist = ripple_adder_netlist(16, registered=False)
+        vectors = operand_vectors(200, 16, seed=3)
+        approximated = simulate(netlist, vectors, glitch_factor=0.15)
+        measured = simulate_unit_delay(netlist, vectors)
+        ratio = (
+            approximated.switched_capacitance
+            / measured.switched_capacitance
+        )
+        assert 0.5 < ratio < 2.0  # within the paper's own octave

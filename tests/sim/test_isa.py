@@ -1,0 +1,192 @@
+"""The fictitious processor: assembler, executor, profiles."""
+
+import pytest
+
+from repro.sim.isa import (
+    BUBBLE_SORT,
+    INSERTION_SORT,
+    Machine,
+    assemble,
+    run_sort_program,
+)
+from repro.errors import SimulationError
+
+
+def run(source, memory=None, **kwargs):
+    machine = Machine(**kwargs) if kwargs else Machine()
+    return machine.run(assemble(source), memory=memory)
+
+
+class TestAssembler:
+    def test_labels_and_comments(self):
+        program = assemble(
+            """
+            ; entry point
+            start:  ldi r1, 5
+                    jmp start
+            """
+        )
+        assert program[0].opcode == "ldi"
+        assert program[1].operands == (0,)
+
+    def test_multiple_labels_one_line(self):
+        program = assemble("a: b: nop\n jmp a\n jmp b")
+        assert program[1].operands == (0,)
+        assert program[2].operands == (0,)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(SimulationError, match="unknown opcode"):
+            assemble("frob r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(SimulationError, match="operands"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            assemble("ldi r9, 1")
+        with pytest.raises(SimulationError, match="register"):
+            assemble("mov r1, x2")
+
+    def test_unknown_label(self):
+        with pytest.raises(SimulationError, match="unknown label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            assemble("a: nop\na: nop")
+
+    def test_immediates(self):
+        program = assemble("ldi r1, 0x10\nldi r2, -3")
+        assert program[0].operands == (1, 16)
+        assert program[1].operands == (2, -3)
+
+    def test_bad_immediate(self):
+        with pytest.raises(SimulationError, match="immediate"):
+            assemble("ldi r1, banana")
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        state, _profile = run(
+            """
+            ldi r1, 6
+            ldi r2, 7
+            mul r3, r1, r2
+            add r4, r3, r1
+            sub r5, r4, r2
+            halt
+            """
+        )
+        assert state.registers[3] == 42
+        assert state.registers[4] == 48
+        assert state.registers[5] == 41
+
+    def test_logic_and_shifts(self):
+        state, _profile = run(
+            """
+            ldi r1, 12
+            ldi r2, 10
+            and r3, r1, r2
+            or  r4, r1, r2
+            xor r5, r1, r2
+            ldi r6, 2
+            shl r7, r1, r6
+            halt
+            """
+        )
+        assert state.registers[3] == 8
+        assert state.registers[4] == 14
+        assert state.registers[5] == 6
+        assert state.registers[7] == 48
+
+    def test_memory(self):
+        state, profile = run(
+            """
+            ldi r1, 3
+            ldi r2, 99
+            st  r2, r1, 2
+            ld  r3, r1, 2
+            halt
+            """
+        )
+        assert state.memory[5] == 99
+        assert state.registers[3] == 99
+        assert profile.counts["load"] == 1
+        assert profile.counts["store"] == 1
+
+    def test_memory_bounds(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            run("ldi r1, 5000\nld r2, r1, 0\nhalt")
+
+    def test_branches_and_profile_classes(self):
+        state, profile = run(
+            """
+            ldi r1, 3
+            ldi r2, 0
+            loop: addi r2, r2, 10
+            subi r1, r1, 1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        assert state.registers[2] == 30
+        assert profile.counts["branch_taken"] == 2
+        assert profile.counts["branch"] == 1  # the fall-through exit
+
+    def test_counted_instructions(self):
+        state, profile = run("nop\nnop\nhalt")
+        assert state.instructions_executed == 3
+        assert profile.counts["nop"] == 3
+
+    def test_runaway_guard(self):
+        machine = Machine()
+        program = assemble("loop: jmp loop")
+        with pytest.raises(SimulationError, match="runaway"):
+            machine.run(program, max_instructions=1000)
+
+    def test_running_off_the_end(self):
+        state, _profile = run("nop")
+        assert not state.halted
+
+    def test_initial_memory_too_large(self):
+        machine = Machine(memory_words=4)
+        with pytest.raises(SimulationError):
+            machine.run(assemble("halt"), memory=[0] * 10)
+
+    def test_empty_program(self):
+        with pytest.raises(SimulationError):
+            Machine().run([])
+
+
+class TestSortPrograms:
+    @pytest.mark.parametrize("source", [BUBBLE_SORT, INSERTION_SORT])
+    def test_sorts_correctly(self, source):
+        data = [9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 5, 5]
+        result, profile = run_sort_program(source, data)
+        assert result == sorted(data)
+        assert profile.total_instructions > 0
+
+    def test_already_sorted_is_cheaper_for_insertion(self):
+        data = list(range(30))
+        _result, sorted_profile = run_sort_program(INSERTION_SORT, data)
+        _result, reversed_profile = run_sort_program(
+            INSERTION_SORT, list(reversed(data))
+        )
+        assert (
+            sorted_profile.total_instructions
+            < reversed_profile.total_instructions / 3
+        )
+
+    def test_single_element(self):
+        result, _profile = run_sort_program(BUBBLE_SORT, [42])
+        assert result == [42]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            run_sort_program(BUBBLE_SORT, [])
+
+    def test_profile_has_memory_traffic(self):
+        _result, profile = run_sort_program(BUBBLE_SORT, [3, 1, 2])
+        assert profile.counts.get("load", 0) > 0
+        assert profile.counts.get("store", 0) > 0

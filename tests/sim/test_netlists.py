@@ -1,0 +1,218 @@
+"""Functional correctness of the generated netlists."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.gatesim import Netlist, simulate
+from repro.sim.netlists import (
+    array_multiplier_netlist,
+    comparator_netlist,
+    memory_column_netlist,
+    mux_tree_netlist,
+    register_bank_netlist,
+    ripple_adder_netlist,
+)
+from repro.errors import NetlistError
+
+
+def bits_of(value, width, prefix):
+    return {f"{prefix}{bit}": (value >> bit) & 1 for bit in range(width)}
+
+
+def word_from(values, width, prefix):
+    return sum(values[f"{prefix}{bit}"] << bit for bit in range(width))
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (255, 1), (170, 85), (255, 255)])
+    def test_combinational_addition(self, a, b):
+        netlist = ripple_adder_netlist(8, registered=False)
+        values = netlist.evaluate({**bits_of(a, 8, "a"), **bits_of(b, 8, "b")}, {})
+        total = sum(values[f"fa{bit}_s"] << bit for bit in range(8))
+        total += values["fa7_c"] << 8
+        assert total == a + b
+
+    def test_registered_variant_pipelines(self):
+        netlist = ripple_adder_netlist(4, registered=True)
+        state = {q: 0 for q, _d in netlist.registers}
+        # cycle 1: present operands; cycle 2: operands reach the adder;
+        # cycle 3: registered sum visible
+        vectors = [
+            {**bits_of(5, 4, "a"), **bits_of(9, 4, "b")},
+        ] * 3
+        for vector in vectors:
+            values = netlist.evaluate(vector, state)
+            state = {q: values[d] for q, d in netlist.registers}
+        total = sum(state[f"rs{bit}"] << bit for bit in range(5))
+        assert total == 14
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            ripple_adder_netlist(0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_addition(self, a, b):
+        netlist = ripple_adder_netlist(12, registered=False)
+        values = netlist.evaluate(
+            {**bits_of(a, 12, "a"), **bits_of(b, 12, "b")}, {}
+        )
+        total = sum(values[f"fa{bit}_s"] << bit for bit in range(12))
+        total += values["fa11_c"] << 12
+        assert total == a + b
+
+
+class TestArrayMultiplier:
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_multiplication(self, a, b):
+        netlist = array_multiplier_netlist(5, 5, registered=False)
+        values = netlist.evaluate(
+            {**bits_of(a, 5, "a"), **bits_of(b, 5, "b")}, {}
+        )
+        product = 0
+        for index, net in enumerate(netlist.outputs):
+            product += values[net] << index
+        assert product == a * b
+
+    def test_asymmetric(self):
+        netlist = array_multiplier_netlist(3, 6, registered=False)
+        values = netlist.evaluate(
+            {**bits_of(5, 3, "a"), **bits_of(41, 6, "b")}, {}
+        )
+        product = sum(values[net] << i for i, net in enumerate(netlist.outputs))
+        assert product == 5 * 41
+
+    def test_capacitance_grows_bilinearly(self):
+        """The physical origin of EQ 20."""
+        from repro.sim.activity import operand_vectors
+
+        small = array_multiplier_netlist(2, 2)
+        large = array_multiplier_netlist(4, 4)
+        r_small = simulate(small, operand_vectors(150, 2, seed=6))
+        r_large = simulate(large, operand_vectors(150, 4, seed=6))
+        ratio = r_large.capacitance_per_cycle / r_small.capacitance_per_cycle
+        assert 2.0 < ratio < 8.0  # ~4x expected from 4x the bit pairs
+
+
+class TestMuxTree:
+    def test_selects_correct_port(self):
+        netlist = mux_tree_netlist(bits=4, inputs=4)
+        inputs = {}
+        lane_values = [3, 9, 12, 6]
+        for port in range(4):
+            for lane in range(4):
+                inputs[f"in{port}_{lane}"] = (lane_values[port] >> lane) & 1
+        for selected in range(4):
+            inputs["sel0"] = selected & 1
+            inputs["sel1"] = (selected >> 1) & 1
+            values = netlist.evaluate(inputs, {})
+            out = sum(values[net] << lane for lane, net in enumerate(netlist.outputs))
+            assert out == lane_values[selected]
+
+    def test_power_of_two_required(self):
+        with pytest.raises(NetlistError):
+            mux_tree_netlist(4, 3)
+
+
+class TestComparator:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_equality(self, a, b):
+        netlist = comparator_netlist(8)
+        values = netlist.evaluate(
+            {**bits_of(a, 8, "a"), **bits_of(b, 8, "b")}, {}
+        )
+        assert values["equal"] == int(a == b)
+
+
+class TestRegisterBank:
+    def test_pure_clock_load_when_idle(self):
+        netlist = register_bank_netlist(8)
+        result = simulate(netlist, [bits_of(0, 8, "d")] * 10)
+        assert result.switched_capacitance == pytest.approx(
+            result.clock_capacitance
+        )
+
+
+class TestMemoryColumn:
+    def test_write_then_read(self):
+        netlist = memory_column_netlist(4)
+        state = {q: 0 for q, _d in netlist.registers}
+
+        def step(address, write_data, write_enable):
+            nonlocal state
+            vector = {
+                "addr0": address & 1,
+                "addr1": (address >> 1) & 1,
+                "write_data": write_data,
+                "write_enable": write_enable,
+            }
+            values = netlist.evaluate(vector, state)
+            state = {q: values[d] for q, d in netlist.registers}
+            return values["bitline"]
+
+        step(2, 1, 1)          # write 1 to word 2
+        assert step(2, 0, 0) == 1   # read it back
+        assert step(1, 0, 0) == 0   # other words untouched
+
+    def test_word_count_validation(self):
+        with pytest.raises(NetlistError):
+            memory_column_netlist(3)
+
+    def test_bitline_capacitance_grows_with_words(self):
+        from repro.sim.gatesim import random_vectors
+
+        small = memory_column_netlist(4)
+        large = memory_column_netlist(16)
+        vec_small = random_vectors(small.inputs, 100, seed=2)
+        vec_large = random_vectors(large.inputs, 100, seed=2)
+        r_small = simulate(small, vec_small)
+        r_large = simulate(large, vec_large)
+        assert (
+            r_large.capacitance_per_cycle > 2 * r_small.capacitance_per_cycle
+        )
+
+
+class TestMemoryArray:
+    def test_write_then_read_per_column(self):
+        from repro.sim.netlists import memory_array_netlist
+
+        netlist = memory_array_netlist(4, 2)
+        state = {q: 0 for q, _d in netlist.registers}
+
+        def step(address, data, write_enable):
+            nonlocal state
+            vector = {
+                "addr0": address & 1,
+                "addr1": (address >> 1) & 1,
+                "write_enable": write_enable,
+                "write_data0": data & 1,
+                "write_data1": (data >> 1) & 1,
+            }
+            values = netlist.evaluate(vector, state)
+            state = {q: values[d] for q, d in netlist.registers}
+            return values["bitline0"] + (values["bitline1"] << 1)
+
+        step(1, 0b10, 1)            # write 2 to word 1
+        step(3, 0b11, 1)            # write 3 to word 3
+        assert step(1, 0, 0) == 0b10
+        assert step(3, 0, 0) == 0b11
+        assert step(0, 0, 0) == 0
+
+    def test_validation(self):
+        from repro.sim.netlists import memory_array_netlist
+
+        with pytest.raises(NetlistError):
+            memory_array_netlist(3, 2)
+        with pytest.raises(NetlistError):
+            memory_array_netlist(4, 0)

@@ -1,0 +1,105 @@
+"""Instrumented sorting algorithms (the Ong & Yan study's subjects)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.processor import algorithm_energy
+from repro.sim.sorting import ALGORITHMS, profile_sort, random_data
+from repro.errors import SimulationError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_sorts(self, algorithm):
+        data = random_data(60, seed=3)
+        result, profile = profile_sort(algorithm, data)
+        assert result == sorted(data)
+        assert profile.total_instructions > 0
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_handles_duplicates_and_sorted_input(self, algorithm):
+        for data in ([5, 5, 5, 5], list(range(20)), list(range(20, 0, -1)), [1]):
+            result, _profile = profile_sort(algorithm, data)
+            assert result == sorted(data)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SimulationError, match="unknown algorithm"):
+            profile_sort("bogo", [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            profile_sort("quick", [])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_algorithms_agree(self, data):
+        expected = sorted(data)
+        for algorithm in ALGORITHMS:
+            result, _profile = profile_sort(algorithm, data)
+            assert result == expected
+
+
+class TestComplexityShape:
+    def test_quadratic_vs_nlogn_separation(self):
+        """The Ong & Yan effect: quadratic sorts cost orders of magnitude
+        more energy at realistic sizes."""
+        data = random_data(512, seed=7)
+        _out, bubble = profile_sort("bubble", data)
+        _out, quick = profile_sort("quick", data)
+        assert algorithm_energy(bubble) > 20 * algorithm_energy(quick)
+
+    def test_energy_grows_superlinearly_for_bubble(self):
+        small = random_data(64, seed=1)
+        large = random_data(256, seed=1)
+        _o, profile_small = profile_sort("bubble", small)
+        _o, profile_large = profile_sort("bubble", large)
+        ratio = (
+            profile_large.total_instructions / profile_small.total_instructions
+        )
+        assert ratio > 10  # ~16x for a quadratic algorithm
+
+    def test_nlogn_sorts_cluster(self):
+        data = random_data(512, seed=7)
+        energies = []
+        for algorithm in ("quick", "merge", "heap"):
+            _out, profile = profile_sort(algorithm, data)
+            energies.append(algorithm_energy(profile))
+        assert max(energies) < 6 * min(energies)
+
+    def test_insertion_adapts_to_sorted_input(self):
+        ordered = list(range(200))
+        shuffled = random_data(200, seed=2)
+        _o, cheap = profile_sort("insertion", ordered)
+        _o, expensive = profile_sort("insertion", shuffled)
+        assert cheap.total_instructions < expensive.total_instructions / 5
+
+
+class TestInstrumentation:
+    def test_profile_classes(self):
+        _out, profile = profile_sort("bubble", random_data(30, seed=4))
+        assert {"alu", "load", "store", "branch"} <= set(profile.counts)
+
+    def test_recursive_sorts_charge_call_overhead(self):
+        _out, quick = profile_sort("quick", random_data(64, seed=4))
+        _out, bubble = profile_sort("bubble", random_data(64, seed=4))
+        # recursion shows up as taken branches (call/return)
+        assert quick.counts.get("branch_taken", 0) > 0
+
+    def test_random_data_reproducible(self):
+        assert random_data(10, seed=5) == random_data(10, seed=5)
+        with pytest.raises(SimulationError):
+            random_data(0)
+
+
+class TestVMAgreement:
+    def test_bubble_routes_agree(self):
+        """VM-executed and instrumented bubble sort count similar work."""
+        from repro.sim.isa import BUBBLE_SORT, run_sort_program
+
+        data = random_data(48, seed=6)
+        _out, vm_profile = run_sort_program(BUBBLE_SORT, data)
+        _out, traced_profile = profile_sort("bubble", data)
+        vm_energy = algorithm_energy(vm_profile)
+        traced_energy = algorithm_energy(traced_profile)
+        ratio = max(vm_energy, traced_energy) / min(vm_energy, traced_energy)
+        assert ratio < 2.5, (vm_energy, traced_energy)

@@ -1,0 +1,119 @@
+"""Synthetic video source and frame utilities."""
+
+import math
+
+import pytest
+
+from repro.sim.traces import (
+    VideoConfig,
+    VideoSource,
+    blocks_to_frame,
+    frame_to_blocks,
+    mean_squared_error,
+    peak_signal_to_noise,
+)
+from repro.errors import SimulationError
+
+
+def small_config(**kwargs):
+    defaults = dict(width=32, height=16, seed=5)
+    defaults.update(kwargs)
+    return VideoConfig(**defaults)
+
+
+class TestVideoSource:
+    def test_frame_shape_and_range(self):
+        source = VideoSource(small_config())
+        frame = source.next_frame()
+        assert len(frame) == 16
+        assert all(len(row) == 32 for row in frame)
+        full_scale = (1 << 6) - 1
+        assert all(0 <= pixel <= full_scale for row in frame for pixel in row)
+
+    def test_deterministic(self):
+        a = VideoSource(small_config()).next_frame()
+        b = VideoSource(small_config()).next_frame()
+        assert a == b
+
+    def test_spatial_smoothness_reduces_gradient(self):
+        def roughness(frame):
+            total = count = 0
+            for row in frame:
+                for left, right in zip(row, row[1:]):
+                    total += abs(left - right)
+                    count += 1
+            return total / count
+
+        smooth = VideoSource(small_config(spatial_smoothness=0.95)).next_frame()
+        noisy = VideoSource(small_config(spatial_smoothness=0.1)).next_frame()
+        assert roughness(smooth) < roughness(noisy)
+
+    def test_temporal_smoothness_links_frames(self):
+        source = VideoSource(small_config(temporal_smoothness=0.95))
+        first = source.next_frame()
+        second = source.next_frame()
+        jumpy_source = VideoSource(small_config(temporal_smoothness=0.0, seed=6))
+        jf = jumpy_source.next_frame()
+        js = jumpy_source.next_frame()
+        assert mean_squared_error(first, second) < mean_squared_error(jf, js)
+
+    def test_frames_iterator(self):
+        source = VideoSource(small_config())
+        frames = list(source.frames(3))
+        assert len(frames) == 3
+        assert source.frames_generated == 3
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            VideoConfig(width=0)
+        with pytest.raises(SimulationError):
+            VideoConfig(depth=0)
+        with pytest.raises(SimulationError):
+            VideoConfig(spatial_smoothness=1.0)
+        with pytest.raises(SimulationError):
+            VideoSource(small_config()).frames(-1).__next__()
+
+
+class TestBlockConversion:
+    def test_round_trip(self):
+        source = VideoSource(small_config())
+        frame = source.next_frame()
+        blocks = frame_to_blocks(frame, 16)
+        assert blocks_to_frame(blocks, 32) == frame
+
+    def test_block_count(self):
+        frame = [[0] * 32 for _ in range(16)]
+        assert len(frame_to_blocks(frame, 16)) == 32 * 16 // 16
+
+    def test_width_must_divide(self):
+        frame = [[0] * 30]
+        with pytest.raises(SimulationError):
+            frame_to_blocks(frame, 16)
+
+    def test_reassembly_validation(self):
+        with pytest.raises(SimulationError):
+            blocks_to_frame([[0] * 16] * 3, 32)  # 1.5 rows
+
+
+class TestMetrics:
+    def test_identical_frames(self):
+        frame = [[1, 2], [3, 4]]
+        assert mean_squared_error(frame, frame) == 0.0
+        assert peak_signal_to_noise(frame, frame) == math.inf
+
+    def test_known_mse(self):
+        a = [[0, 0]]
+        b = [[3, 4]]
+        assert mean_squared_error(a, b) == pytest.approx(12.5)
+
+    def test_psnr_decreases_with_error(self):
+        reference = [[10] * 8]
+        close = [[11] * 8]
+        far = [[30] * 8]
+        assert peak_signal_to_noise(reference, close) > peak_signal_to_noise(
+            reference, far
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            mean_squared_error([[1]], [[1, 2]])

@@ -1,0 +1,193 @@
+"""VQ codec and the luminance-chip architectures (Figures 1 and 3)."""
+
+import pytest
+
+from repro.sim.traces import VideoConfig, VideoSource, mean_squared_error
+from repro.sim.vq import BLOCK_SIZE, Codebook, LuminanceChip, decode, encode
+from repro.errors import SimulationError
+
+
+def small_chip(words_per_access=1, codebook=None):
+    return LuminanceChip(
+        codebook or Codebook.uniform(),
+        words_per_access=words_per_access,
+        width=64,
+        height=32,
+    )
+
+
+def small_video(seed=7, frames=2):
+    source = VideoSource(VideoConfig(width=64, height=32, seed=seed))
+    return list(source.frames(frames))
+
+
+class TestCodebook:
+    def test_uniform_shape(self):
+        codebook = Codebook.uniform()
+        assert codebook.size == 256
+        assert codebook.block_size == BLOCK_SIZE
+        assert codebook.index_bits == 8
+
+    def test_value_range_enforced(self):
+        with pytest.raises(SimulationError):
+            Codebook([[99] * 16], depth=6)  # 99 > 63
+        with pytest.raises(SimulationError):
+            Codebook([])
+        with pytest.raises(SimulationError):
+            Codebook([[1] * 16, [1] * 8])
+
+    def test_nearest_exact_match(self):
+        codebook = Codebook.uniform()
+        for index in (0, 17, 255):
+            assert codebook.nearest(list(codebook[index])) in range(256)
+            # the exact codeword must be at distance zero from itself
+            found = codebook.nearest(list(codebook[index]))
+            assert list(codebook[found]) == list(codebook[index])
+
+    def test_index_bounds(self):
+        codebook = Codebook.uniform()
+        with pytest.raises(SimulationError):
+            codebook[256]
+
+    def test_training_beats_uniform(self):
+        """k-means on the actual video reduces reconstruction error."""
+        from repro.sim.traces import frame_to_blocks
+
+        frames = small_video(frames=4)
+        vectors = []
+        for frame in frames:
+            vectors.extend(frame_to_blocks(frame, BLOCK_SIZE))
+        trained = Codebook.train(vectors, entries=64, iterations=6)
+        uniform = Codebook.uniform(entries=64)
+        test_frame = small_video(seed=8, frames=1)[0]
+        err_trained = mean_squared_error(
+            test_frame, decode(encode(test_frame, trained), trained, 64)
+        )
+        err_uniform = mean_squared_error(
+            test_frame, decode(encode(test_frame, uniform), uniform, 64)
+        )
+        assert err_trained < err_uniform
+
+    def test_training_needs_enough_vectors(self):
+        with pytest.raises(SimulationError):
+            Codebook.train([[0] * 16] * 10, entries=64)
+
+
+class TestCodec:
+    def test_encode_shape(self):
+        codebook = Codebook.uniform()
+        frame = small_video(frames=1)[0]
+        indices = encode(frame, codebook)
+        assert len(indices) == 64 * 32 // 16
+        assert all(0 <= index < 256 for index in indices)
+
+    def test_decode_round_trip_of_codewords(self):
+        """A frame built from codewords reconstructs pixel-exactly.
+
+        (Indices themselves need not round-trip: the uniform codebook
+        contains equivalent codewords, and nearest() may pick either.)
+        """
+        codebook = Codebook.uniform()
+        indices = [3, 250, 17, 99] * (64 * 32 // 16 // 4)
+        frame = decode(indices, codebook, 64)
+        recoded = encode(frame, codebook)
+        assert decode(recoded, codebook, 64) == frame
+
+
+class TestChipStructure:
+    def test_paper_operating_point(self):
+        chip = LuminanceChip(Codebook.uniform())
+        assert chip.pixel_rate == pytest.approx(1.966e6, rel=1e-3)
+        assert chip.bank_words == 2048
+        assert chip.lut_words == 4096
+        assert chip.lut_bits == 6
+
+    def test_figure3_organization(self):
+        chip = LuminanceChip(Codebook.uniform(), words_per_access=4)
+        assert chip.lut_words == 1024
+        assert chip.lut_bits == 24
+
+    def test_words_per_access_must_divide(self):
+        with pytest.raises(SimulationError):
+            LuminanceChip(Codebook.uniform(), words_per_access=3)
+
+    def test_display_rate_multiple(self):
+        with pytest.raises(SimulationError):
+            LuminanceChip(Codebook.uniform(), display_fps=50, source_fps=30)
+
+    def test_width_multiple_of_block(self):
+        with pytest.raises(SimulationError):
+            LuminanceChip(Codebook.uniform(), width=60)
+
+
+class TestChipOperation:
+    def test_requires_a_frame_before_display(self):
+        with pytest.raises(SimulationError, match="no frame"):
+            small_chip().display_frame()
+
+    def test_displayed_frame_is_decoded_bank(self):
+        chip = small_chip()
+        frame = small_video(frames=1)[0]
+        indices = chip.receive_frame(frame)
+        displayed = chip.display_frame()
+        assert displayed == decode(indices, chip.codebook, 64)
+
+    def test_access_counts_exact(self):
+        chip = small_chip(words_per_access=1)
+        chip.run(small_video(frames=1))
+        pixels = 64 * 32
+        blocks = pixels // 16
+        repeats = chip.repeats_per_source_frame
+        counts = chip.counts
+        assert counts.write_bank_writes == blocks
+        assert counts.read_bank_reads == blocks * repeats
+        assert counts.lut_reads == pixels * repeats
+        assert counts.output_register_loads == pixels * repeats
+        assert counts.output_mux_selects == 0
+
+    def test_figure3_counts(self):
+        chip = small_chip(words_per_access=4)
+        chip.run(small_video(frames=1))
+        pixels = 64 * 32
+        repeats = chip.repeats_per_source_frame
+        assert chip.counts.lut_reads == (pixels // 4) * repeats
+        assert chip.counts.output_mux_selects == pixels * repeats
+
+    def test_measured_rates_match_paper_relations(self):
+        """f, f/16, f/32 — the numbers the paper derives."""
+        chip = small_chip(words_per_access=1)
+        chip.run(small_video(frames=2))
+        rates = chip.access_rates()
+        f = chip.pixel_rate
+        assert rates["lut"] == pytest.approx(f)
+        assert rates["read_bank"] == pytest.approx(f / 16)
+        assert rates["write_bank"] == pytest.approx(f / 32)
+
+    def test_measured_equals_expected(self):
+        for words in (1, 2, 4, 8, 16):
+            chip = small_chip(words_per_access=words)
+            chip.run(small_video(frames=2))
+            measured = chip.access_rates()
+            expected = chip.expected_rates()
+            for key in ("lut", "read_bank", "write_bank", "output_register"):
+                assert measured[key] == pytest.approx(expected[key]), (words, key)
+
+    def test_rates_need_simulation(self):
+        with pytest.raises(SimulationError):
+            small_chip().access_rates()
+
+    def test_ping_pong_swaps(self):
+        chip = small_chip()
+        frames = small_video(frames=2)
+        first_indices = chip.receive_frame(frames[0])
+        second_indices = chip.receive_frame(frames[1])
+        # after two receives the banks hold both frames
+        assert chip._banks[chip._read_bank] == second_indices
+        assert chip._banks[1 - chip._read_bank] == first_indices
+
+    def test_merged_counts(self):
+        a = small_chip()
+        a.run(small_video(frames=1))
+        merged = a.counts.merged(a.counts)
+        assert merged.lut_reads == 2 * a.counts.lut_reads
+        assert merged.frames_displayed == 2 * a.counts.frames_displayed

@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestEstimate:
+    def test_table(self, capsys):
+        code, out, _err = run(capsys, "estimate", "fig3")
+        assert code == 0
+        assert "luminance_fig3 summary" in out
+        assert "1.4261e-04 W" in out
+        assert "Cumulative" in out
+
+    def test_csv(self, capsys):
+        code, out, _err = run(capsys, "estimate", "fig1", "--csv")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "path,power_w,share"
+        assert any(line.startswith("luminance_fig1/lut,") for line in lines)
+
+    def test_vdd_override(self, capsys):
+        _code, nominal, _err = run(capsys, "estimate", "fig3", "--csv")
+        _code, low, _err = run(capsys, "estimate", "fig3", "--vdd", "1.1", "--csv")
+
+        def total(text):
+            return sum(
+                float(line.split(",")[1])
+                for line in text.strip().splitlines()[1:]
+            )
+
+        assert total(low) == pytest.approx(
+            total(nominal) * (1.1 / 1.5) ** 2, rel=1e-6
+        )
+
+    def test_infopad_vdd_targets_custom_supply(self, capsys):
+        code, out, _err = run(capsys, "estimate", "infopad", "--depth", "1")
+        assert code == 0
+        assert "custom_hardware" in out
+
+    def test_unknown_design_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["estimate", "warp_core"])
+
+
+class TestCompare:
+    def test_default_pair(self, capsys):
+        code, out, _err = run(capsys, "compare")
+        assert code == 0
+        assert "luminance_fig1" in out and "luminance_fig3" in out
+        assert "0.181x" in out
+
+    def test_bad_design_name_clean_error(self, capsys):
+        code, _out, err = run(capsys, "compare", "fig1", "warp")
+        assert code == 2
+        assert "unknown design" in err
+
+
+class TestSweep:
+    def test_csv_output(self, capsys):
+        code, out, _err = run(capsys, "sweep", "fig3", "VDD", "1.0", "2.0")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "VDD,power_w"
+        values = [line.split(",") for line in lines[1:]]
+        assert float(values[1][1]) == pytest.approx(
+            4 * float(values[0][1]), rel=1e-6
+        )
+
+
+class TestBattery:
+    def test_reports_packs(self, capsys):
+        code, out, _err = run(capsys, "battery", "--design", "infopad")
+        assert code == 0
+        assert "nimh_6v" in out and "nicd_6v" in out
+        assert " h" in out
+
+
+class TestSorting:
+    def test_study(self, capsys):
+        code, out, _err = run(capsys, "sorting", "-n", "64")
+        assert code == 0
+        assert "bubble" in out and "merge" in out
+        assert "1.0x" in out
+
+
+class TestCharacterize:
+    def test_adder(self, capsys):
+        code, out, _err = run(capsys, "characterize", "adder", "--cycles", "60")
+        assert code == 0
+        assert "c_per_bit" in out
+        assert "R^2" in out

@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run cleanly end to end.
+
+The heavy studies (full sorting sweep, characterization) are exercised
+piecewise elsewhere; here the fast examples run whole, as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "infopad_breakdown.py",
+    "platform_explorer.py",
+    "web_demo.py",
+    "sheet_playground.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_the_spreadsheet():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "mac_datapath summary" in result.stdout
+    assert "Supply sweep" in result.stdout
+
+
+def test_web_demo_hits_the_paper_numbers():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "web_demo.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "Figure 4 form computed: True" in result.stdout  # EQ 20 over HTTP
+    assert "federated" in result.stdout          # Figure 6 scenario
+    assert "smtp_hub" in result.stdout           # Figure 7 comparison

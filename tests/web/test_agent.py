@@ -1,0 +1,232 @@
+"""The Design Agent: planning and executing tool sequences."""
+
+import pytest
+
+from repro.core.model import CallablePowerModel
+from repro.models.computation import multiplier
+from repro.web.agent import DesignAgent, Tool, default_agent
+from repro.errors import WebError
+
+
+def make_tool(name, requires, produces, value=1.0, cost=1.0, contexts=("any",)):
+    def func(data):
+        return {key: value for key in produces}
+
+    return Tool.make(name, requires, produces, func, cost=cost, contexts=contexts)
+
+
+class TestPlanning:
+    def test_single_step(self):
+        agent = DesignAgent()
+        agent.register(make_tool("t", ["a"], ["b"]))
+        plan = agent.plan("b", {"a"})
+        assert [tool.name for tool in plan] == ["t"]
+
+    def test_chain(self):
+        agent = DesignAgent()
+        agent.register(make_tool("t2", ["b"], ["c"]))
+        agent.register(make_tool("t1", ["a"], ["b"]))
+        plan = agent.plan("c", {"a"})
+        assert [tool.name for tool in plan] == ["t1", "t2"]
+
+    def test_cheapest_alternative_preferred(self):
+        agent = DesignAgent()
+        agent.register(make_tool("expensive", ["a"], ["b"], cost=10))
+        agent.register(make_tool("cheap", ["a"], ["b"], cost=1))
+        plan = agent.plan("b", {"a"})
+        assert plan[0].name == "cheap"
+
+    def test_unreachable_target(self):
+        agent = DesignAgent()
+        agent.register(make_tool("t", ["missing_input"], ["b"]))
+        with pytest.raises(WebError, match="cannot produce"):
+            agent.plan("b", {"a"})
+
+    def test_error_names_missing_requirements(self):
+        agent = DesignAgent()
+        agent.register(make_tool("t", ["netlist"], ["power"]))
+        with pytest.raises(WebError, match="netlist"):
+            agent.plan("power", set())
+
+    def test_irrelevant_tools_pruned(self):
+        agent = DesignAgent()
+        agent.register(make_tool("detour", ["a"], ["x"], cost=0.1))
+        agent.register(make_tool("direct", ["a"], ["b"], cost=1.0))
+        plan = agent.plan("b", {"a"})
+        assert [tool.name for tool in plan] == ["direct"]
+
+    def test_duplicate_registration(self):
+        agent = DesignAgent()
+        agent.register(make_tool("t", ["a"], ["b"]))
+        with pytest.raises(WebError, match="already registered"):
+            agent.register(make_tool("t", ["a"], ["c"]))
+
+    def test_tool_must_produce(self):
+        with pytest.raises(WebError):
+            Tool.make("t", ["a"], [], lambda data: {})
+
+    def test_context_filtering(self):
+        agent = DesignAgent("layout")
+        agent.register(make_tool("early_only", ["a"], ["b"], contexts=("early",)))
+        agent.register(make_tool("layout_only", ["a"], ["b"], contexts=("layout",)))
+        plan = agent.plan("b", {"a"})
+        assert plan[0].name == "layout_only"
+
+
+class TestExecution:
+    def test_fulfill_runs_chain(self):
+        agent = DesignAgent()
+        agent.register(
+            Tool.make("double", ["x"], ["y"], lambda d: {"y": d["x"] * 2})
+        )
+        agent.register(
+            Tool.make("inc", ["y"], ["z"], lambda d: {"z": d["y"] + 1})
+        )
+        value, invoked = agent.fulfill("z", {"x": 20})
+        assert value == 41
+        assert invoked == ["double", "inc"]
+
+    def test_tool_returning_wrong_shape(self):
+        agent = DesignAgent()
+        agent.register(Tool.make("bad", ["a"], ["b"], lambda d: 42))
+        with pytest.raises(WebError, match="expected a mapping"):
+            agent.fulfill("b", {"a": 1})
+
+    def test_tool_missing_promised_output(self):
+        agent = DesignAgent()
+        agent.register(Tool.make("liar", ["a"], ["b"], lambda d: {}))
+        with pytest.raises(WebError, match="failed to produce"):
+            agent.fulfill("b", {"a": 1})
+
+    def test_target_already_available(self):
+        agent = DesignAgent()
+        value, invoked = agent.fulfill("a", {"a": 7})
+        assert value == 7 and invoked == []
+
+
+class TestDefaultAgent:
+    OPERATING_POINT = {"VDD": 1.5, "f": 2e6}
+
+    def context_data(self):
+        return {
+            "model": multiplier(16, 16),
+            "parameters": {"bitwidthA": 16, "bitwidthB": 16},
+            "operating_point": dict(self.OPERATING_POINT),
+            "bitwidthA": 16,
+            "bitwidthB": 16,
+        }
+
+    def test_early_context_uses_quick_model(self):
+        agent = default_agent("early")
+        data = self.context_data()
+        data.update(data["parameters"])
+        value, invoked = agent.fulfill("power", data)
+        assert invoked[0] == "quick_model_capacitance"
+        assert value == pytest.approx(291.456e-6, rel=1e-6)
+
+    def test_layout_context_uses_simulation(self):
+        from repro.sim.activity import operand_vectors
+        from repro.sim.netlists import ripple_adder_netlist
+
+        agent = default_agent("layout")
+        netlist = ripple_adder_netlist(8)
+        data = {
+            "netlist": netlist,
+            "stimulus": operand_vectors(100, 8, seed=3),
+            "operating_point": dict(self.OPERATING_POINT),
+        }
+        value, invoked = agent.fulfill("power", data)
+        assert invoked[0] == "gate_level_simulation"
+        assert value > 0
+
+    def test_layout_context_cannot_quick_estimate(self):
+        agent = default_agent("layout")
+        data = self.context_data()
+        with pytest.raises(WebError):
+            agent.fulfill("power", data)
+
+    def test_wrapped_as_power_model(self):
+        """'Paths to estimation tools in lieu of an equation.'"""
+        agent = default_agent("early")
+        model = multiplier(16, 16)
+
+        def tool_path(env):
+            data = {
+                "model": model,
+                "parameters": {},
+                "operating_point": {"VDD": env["VDD"], "f": env["f"]},
+                "bitwidthA": env["bitwidthA"],
+                "bitwidthB": env["bitwidthB"],
+            }
+            data["parameters"] = {
+                "bitwidthA": env["bitwidthA"], "bitwidthB": env["bitwidthB"]
+            }
+            value, _invoked = agent.fulfill("power", data)
+            return value
+
+        wrapped = CallablePowerModel("via_agent", tool_path)
+        env = {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": 2e6}
+        assert wrapped.power(env) == pytest.approx(model.power(env))
+
+
+class TestAgentRoute:
+    """The Design Agent behind a hyperlink (the paper's description)."""
+
+    def test_power_via_tool_sequence(self, tmp_path):
+        import json
+
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        response = app.handle(
+            "GET",
+            "/agent/estimate?user=x&name=multiplier&target=power"
+            "&p:bitwidthA=16&p:bitwidthB=16&p:VDD=1.5&p:f=2M",
+        )
+        assert response.status == 200, response.body[:300]
+        payload = json.loads(response.body)
+        assert payload["value"] == pytest.approx(291.456e-6, rel=1e-6)
+        assert payload["invoked_tools"] == [
+            "quick_model_capacitance", "energy_calculator", "power_calculator",
+        ]
+
+    def test_intermediate_target(self, tmp_path):
+        import json
+
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        response = app.handle(
+            "GET",
+            "/agent/estimate?user=x&name=multiplier"
+            "&target=switched_capacitance"
+            "&p:bitwidthA=16&p:bitwidthB=16",
+        )
+        payload = json.loads(response.body)
+        assert payload["value"] == pytest.approx(16 * 16 * 253e-15)
+        assert payload["invoked_tools"] == ["quick_model_capacitance"]
+
+    def test_layout_context_has_no_route_for_quick_estimate(self, tmp_path):
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        response = app.handle(
+            "GET",
+            "/agent/estimate?user=x&name=multiplier&target=power"
+            "&context=layout&p:bitwidthA=8&p:bitwidthB=8",
+        )
+        assert response.status == 400
+        assert "cannot produce" in response.body
+
+    def test_unknown_target_rejected(self, tmp_path):
+        from repro.web.app import Application
+
+        app = Application(tmp_path / "state")
+        app.handle("POST", "/login", {"user": "x"})
+        response = app.handle(
+            "GET", "/agent/estimate?user=x&name=multiplier&target=magic"
+        )
+        assert response.status == 400

@@ -1,0 +1,184 @@
+"""Password-restricted access (the paper's security section).
+
+"Proprietary designs can be protected in a number of ways.  PowerPlay
+can provide password-restricted access..."  Users without a password
+keep the paper's default identify-by-name flow; protected users need
+the password at login and a token on every subsequent request.
+"""
+
+import re
+
+import pytest
+
+from repro.web.app import Application
+from repro.web.session import UserStore
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def app(tmp_path):
+    return Application(tmp_path / "state")
+
+
+def protect(app, user="alice", password="s3cret"):
+    """Login, set a password, return the fresh auth token."""
+    app.handle("POST", "/login", {"user": user})
+    response = app.handle(
+        "POST", "/password", {"user": user, "password": password}
+    )
+    assert response.status == 303
+    match = re.search(r"auth=([0-9a-f]+)", response.headers["Location"])
+    assert match
+    return match.group(1)
+
+
+class TestSessionLayer:
+    def test_set_check_clear(self, tmp_path):
+        store = UserStore(tmp_path / "users")
+        session = store.session("bob")
+        assert session.check_password("")  # unprotected
+        session.set_password("hunter2")
+        assert session.check_password("hunter2")
+        assert not session.check_password("wrong")
+        session.clear_password("hunter2")
+        assert not session.has_password
+
+    def test_clear_needs_current_password(self, tmp_path):
+        store = UserStore(tmp_path / "users")
+        session = store.session("bob")
+        session.set_password("hunter2")
+        with pytest.raises(SessionError, match="wrong password"):
+            session.clear_password("nope")
+
+    def test_short_password_rejected(self, tmp_path):
+        store = UserStore(tmp_path / "users")
+        with pytest.raises(SessionError, match="at least 4"):
+            store.session("bob").set_password("ab")
+
+    def test_hash_persists_not_plaintext(self, tmp_path):
+        store = UserStore(tmp_path / "users")
+        store.session("bob").set_password("hunter2")
+        on_disk = (tmp_path / "users" / "bob.json").read_text()
+        assert "hunter2" not in on_disk
+        fresh = UserStore(tmp_path / "users")
+        assert fresh.session("bob").check_password("hunter2")
+
+
+class TestWebFlow:
+    def test_unprotected_user_flow_unchanged(self, app):
+        response = app.handle("POST", "/login", {"user": "open"})
+        assert response.headers["Location"] == "/menu?user=open"
+        assert app.handle("GET", "/menu?user=open").status == 200
+
+    def test_protected_user_needs_token(self, app):
+        protect(app)
+        response = app.handle("GET", "/menu?user=alice")
+        assert response.status == 400
+        assert "password-protected" in response.body
+
+    def test_token_grants_access(self, app):
+        token = protect(app)
+        response = app.handle("GET", f"/menu?user=alice&auth={token}")
+        assert response.status == 200
+        assert "Main Menu" in response.body
+
+    def test_wrong_token_rejected(self, app):
+        protect(app)
+        response = app.handle("GET", "/menu?user=alice&auth=deadbeef")
+        assert response.status == 400
+
+    def test_login_with_password_issues_token(self, app):
+        protect(app, password="s3cret")
+        response = app.handle(
+            "POST", "/login", {"user": "alice", "password": "s3cret"}
+        )
+        assert response.status == 303
+        assert "auth=" in response.headers["Location"]
+
+    def test_login_with_wrong_password_refused(self, app):
+        protect(app, password="s3cret")
+        response = app.handle(
+            "POST", "/login", {"user": "alice", "password": "nope"}
+        )
+        assert response.status == 403
+        assert "wrong password" in response.body
+
+    def test_designs_inaccessible_without_token(self, app):
+        token = protect(app)
+        app.handle(
+            "POST", "/design/load_example",
+            {"user": "alice", "auth": token, "example": "luminance_fig3"},
+        )
+        # with the token: fine; without: refused; exports too
+        assert app.handle(
+            "GET", f"/design?user=alice&auth={token}&name=luminance_fig3"
+        ).status == 200
+        assert app.handle(
+            "GET", "/design?user=alice&name=luminance_fig3"
+        ).status == 400
+        assert app.handle(
+            "GET", "/export/design?user=alice&name=luminance_fig3"
+        ).status == 400
+
+    def test_token_survives_navigation(self, app):
+        """Every link and form on a protected user's pages carries the
+        credential — the cookie-less propagation actually works."""
+        token = protect(app)
+        menu = app.handle("GET", f"/menu?user=alice&auth={token}")
+        assert f"auth={token}" in menu.body          # links
+        assert 'name="auth"' in menu.body            # forms
+        library = app.handle("GET", f"/library?user=alice&auth={token}")
+        assert f"auth={token}" in library.body
+
+    def test_restart_requires_fresh_login(self, app, tmp_path):
+        token = protect(app)
+        fresh = Application(tmp_path / "state")
+        response = fresh.handle("GET", f"/menu?user=alice&auth={token}")
+        assert response.status == 400  # token store is in-memory
+        again = fresh.handle(
+            "POST", "/login", {"user": "alice", "password": "s3cret"}
+        )
+        assert again.status == 303
+
+    def test_shared_api_unaffected(self, app):
+        """Model sharing stays public — protection covers *designs*."""
+        protect(app)
+        assert app.handle("GET", "/api/library.json").status == 200
+
+
+class TestHostRestriction:
+    """'WWW programs enable file access to be restricted to specific
+    machines.'"""
+
+    def test_host_allowed_rules(self):
+        from repro.web.server import host_allowed
+
+        assert host_allowed("10.0.0.7", None)                 # open server
+        assert host_allowed("10.0.0.7", ["10.0.0.7"])
+        assert host_allowed("10.0.0.9", ["10.0.0.0/24"])
+        assert not host_allowed("10.0.1.9", ["10.0.0.0/24"])
+        assert not host_allowed("10.0.0.7", [])               # lockdown
+        assert not host_allowed("garbage", ["10.0.0.0/24"])
+        assert host_allowed("10.0.0.7", ["bad entry", "10.0.0.7"])
+
+    def test_restricted_server_refuses(self, tmp_path):
+        from repro.web.client import Browser
+        from repro.web.server import PowerPlayServer
+
+        with PowerPlayServer(
+            tmp_path / "state", allowed_hosts=["203.0.113.5"]
+        ) as server:
+            browser = Browser(server.base_url)
+            page = browser.get("/")
+            assert page.status == 403
+            assert "restricted" in page.body
+
+    def test_allowed_server_serves(self, tmp_path):
+        from repro.web.client import Browser
+        from repro.web.server import PowerPlayServer
+
+        with PowerPlayServer(
+            tmp_path / "state", allowed_hosts=["127.0.0.0/8"]
+        ) as server:
+            browser = Browser(server.base_url)
+            assert browser.get("/").status == 200

@@ -1,0 +1,115 @@
+"""The Figure 7 protocol comparison: SMTP hubs vs HTTP URLs."""
+
+import pytest
+
+from repro.library.catalog import Library, LibraryEntry
+from repro.library.cells import build_default_library
+from repro.core.model import FixedPowerModel, ModelSet
+from repro.web.hub import (
+    HTTPDirect,
+    HUB_QUEUE_DELAY,
+    MailHub,
+    TransferStats,
+    WIRE_LATENCY,
+    compare_protocols,
+)
+from repro.errors import RemoteError
+
+
+@pytest.fixture
+def library():
+    return build_default_library()
+
+
+def make_hubs(library):
+    local = MailHub("mit", Library("mit"))
+    remote = MailHub("berkeley", library)
+    local.connect(remote)
+    return local, remote
+
+
+class TestMailHub:
+    def test_round_trip_delivers_model(self, library):
+        local, _remote = make_hubs(library)
+        entry, stats = local.request_model("berkeley", "sram")
+        assert entry.name == "sram"
+        assert entry.origin == "smtp://berkeley"
+        assert stats.protocol == "smtp_hub"
+
+    def test_message_and_hop_accounting(self, library):
+        local, remote = make_hubs(library)
+        _entry, stats = local.request_model("berkeley", "sram")
+        assert stats.messages == 4       # user->hub, hub->hub, hub->hub, hub->user
+        assert stats.hub_hops == 3
+        assert stats.latency == pytest.approx(
+            3 * (WIRE_LATENCY + HUB_QUEUE_DELAY) + WIRE_LATENCY
+        )
+        assert local.messages_seen == 2
+        assert remote.messages_seen == 1
+
+    def test_no_route(self, library):
+        local, _remote = make_hubs(library)
+        with pytest.raises(RemoteError, match="no route"):
+            local.request_model("stanford", "sram")
+
+    def test_unknown_model(self, library):
+        local, _remote = make_hubs(library)
+        with pytest.raises(RemoteError, match="no model"):
+            local.request_model("berkeley", "ghost")
+
+    def test_proprietary_refused(self):
+        secret_library = Library("secret_site")
+        secret_library.add(
+            LibraryEntry(
+                "secret",
+                ModelSet(power=FixedPowerModel("secret", 1.0)),
+                proprietary=True,
+            )
+        )
+        local = MailHub("mit", Library("mit"))
+        remote = MailHub("secret_site", secret_library)
+        local.connect(remote)
+        with pytest.raises(RemoteError, match="proprietary"):
+            local.request_model("secret_site", "secret")
+
+
+class TestHTTPDirect:
+    def test_fetch(self, library):
+        endpoint = HTTPDirect("berkeley", library)
+        entry, stats = endpoint.request_model("sram")
+        assert entry.name == "sram"
+        assert entry.origin == "http://berkeley"
+        assert stats.messages == 2
+        assert stats.hub_hops == 0
+
+    def test_payload_identical_to_hub_route(self, library):
+        local, _remote = make_hubs(library)
+        via_mail, _stats = local.request_model("berkeley", "multiplier")
+        via_http, _stats = HTTPDirect("berkeley", library).request_model(
+            "multiplier"
+        )
+        env = {"bitwidthA": 16, "bitwidthB": 16, "VDD": 1.5, "f": 2e6}
+        assert via_mail.models.power.power(env) == pytest.approx(
+            via_http.models.power.power(env)
+        )
+
+
+class TestComparison:
+    def test_http_strictly_cheaper(self, library):
+        stats = compare_protocols(library, ["sram", "multiplier", "register"])
+        smtp, http = stats["smtp_hub"], stats["http_direct"]
+        assert http.messages < smtp.messages
+        assert http.hub_hops == 0 < smtp.hub_hops
+        assert http.latency < smtp.latency / 5
+
+    def test_scales_linearly_in_requests(self, library):
+        one = compare_protocols(library, ["sram"])
+        three = compare_protocols(library, ["sram", "multiplier", "register"])
+        assert three["smtp_hub"].messages == 3 * one["smtp_hub"].messages
+        assert three["http_direct"].latency == pytest.approx(
+            3 * one["http_direct"].latency
+        )
+
+    def test_merge_guards_protocol(self):
+        with pytest.raises(RemoteError):
+            TransferStats("smtp_hub").merged(TransferStats("http_direct"))

@@ -1,0 +1,107 @@
+"""Per-user sessions and file-backed persistence."""
+
+import json
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.model import FixedPowerModel, ModelSet
+from repro.library.catalog import LibraryEntry
+from repro.web.session import UserStore, validate_username
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return UserStore(tmp_path / "users")
+
+
+class TestUsernames:
+    @pytest.mark.parametrize("good", ["dl", "alice", "j.doe", "a_b-c", "X9"])
+    def test_accepted(self, good):
+        assert validate_username(good) == good
+
+    @pytest.mark.parametrize(
+        "bad", ["", "9lives", "a/b", "../etc", "a" * 40, "sp ace", None, "a\nb"]
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SessionError):
+            validate_username(bad)
+
+
+class TestSessions:
+    def test_lazy_creation(self, store):
+        session = store.session("alice")
+        assert session.username == "alice"
+        assert session.designs == {}
+
+    def test_same_object_within_store(self, store):
+        assert store.session("alice") is store.session("alice")
+
+    def test_defaults_remembered(self, store):
+        session = store.session("alice")
+        session.remember_defaults("multiplier", {"bitwidthA": 16})
+        session.remember_defaults("multiplier", {"bitwidthB": 8})
+        assert session.defaults_for("multiplier") == {
+            "bitwidthA": 16.0, "bitwidthB": 8.0,
+        }
+        assert session.defaults_for("unknown") == {}
+
+    def test_design_crud(self, store):
+        session = store.session("alice")
+        design = Design("d")
+        design.add("row", FixedPowerModel("x", 1.0))
+        session.put_design(design)
+        assert session.design("d") is design
+        session.delete_design("d")
+        with pytest.raises(SessionError):
+            session.design("d")
+        with pytest.raises(SessionError):
+            session.delete_design("d")
+
+
+class TestPersistence:
+    def test_round_trip_across_store_instances(self, store, tmp_path):
+        session = store.session("bob")
+        session.remember_defaults("sram", {"words": 2048})
+        design = Design("chip")
+        design.scope.set("VDD", 1.5)
+        design.add("mem", FixedPowerModel("mem", 0.5))
+        session.put_design(design)
+        session.user_library.add(
+            LibraryEntry("mine", ModelSet(power=FixedPowerModel("mine", 2.0)))
+        )
+        session.save()
+
+        fresh = UserStore(tmp_path / "users")
+        restored = fresh.session("bob")
+        assert restored.defaults_for("sram") == {"words": 2048.0}
+        assert "chip" in restored.designs
+        assert restored.designs["chip"].scope["VDD"] == 1.5
+        assert restored.user_library.get("mine").models.power.power({}) == 2.0
+
+    def test_known_users(self, store):
+        store.session("alice").save()
+        store.session("bob").save()
+        assert store.known_users() == ["alice", "bob"]
+
+    def test_corrupt_state_file(self, store, tmp_path):
+        store.session("eve").save()
+        (tmp_path / "users" / "eve.json").write_text("{broken")
+        fresh = UserStore(tmp_path / "users")
+        with pytest.raises(SessionError, match="corrupt"):
+            fresh.session("eve")
+
+    def test_wrong_format_rejected(self, store, tmp_path):
+        path = tmp_path / "users" / "mallory.json"
+        path.write_text(json.dumps({"format": "evil/1"}))
+        with pytest.raises(SessionError, match="format"):
+            store.session("mallory")
+
+    def test_forget_drops_memory_not_disk(self, store):
+        session = store.session("carol")
+        session.remember_defaults("x", {"a": 1})
+        store.forget("carol")
+        again = store.session("carol")
+        assert again is not session
+        assert again.defaults_for("x") == {"a": 1.0}
