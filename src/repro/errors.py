@@ -95,3 +95,30 @@ class SessionError(WebError):
 
 class RemoteError(WebError):
     """Remote model access failed (unreachable server, bad payload)."""
+
+
+class TransientRemoteError(RemoteError):
+    """A remote failure that is plausibly temporary and worth retrying
+    (connection refused/reset, timeout, 5xx status, truncated payload).
+
+    Permanent refusals — unknown model, proprietary entry, malformed
+    request — stay plain :class:`RemoteError` and are never retried.
+    """
+
+
+class CircuitOpenError(RemoteError):
+    """A circuit breaker is open: the remote has failed repeatedly and
+    calls are being skipped fast instead of waiting on a dead host.
+
+    ``retry_after`` is the remaining cooldown in seconds before the
+    breaker will allow a half-open probe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class FaultInjected(PowerPlayError):
+    """An artificial fault from the chaos-testing harness
+    (:mod:`repro.web.faults`) — never raised in production paths."""

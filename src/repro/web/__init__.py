@@ -8,6 +8,7 @@ baseline (Figure 7 top), and the Design Agent flow manager.
 from .agent import DesignAgent, Tool, default_agent
 from .app import Application, Response
 from .client import Browser, Page
+from .faults import ChaosServer, FaultPlan, FaultyApplication
 from .hub import (
     HTTPDirect,
     HUB_QUEUE_DELAY,
@@ -17,23 +18,44 @@ from .hub import (
     WIRE_LATENCY,
     compare_protocols,
 )
-from .remote import ModelResolver, RemoteLibraryClient, federate
-from .server import PowerPlayServer
+from .remote import (
+    FederationReport,
+    ModelResolver,
+    RemoteLibraryClient,
+    federate,
+)
+from .resilience import (
+    CircuitBreaker,
+    ModelCache,
+    ResolutionEvent,
+    ResolutionReport,
+    RetryPolicy,
+)
+from .server import PowerPlayServer, host_allowed
 from .session import UserSession, UserStore, validate_username
 
 __all__ = [
     "Application",
     "Browser",
+    "ChaosServer",
+    "CircuitBreaker",
     "DesignAgent",
+    "FaultPlan",
+    "FaultyApplication",
+    "FederationReport",
     "HTTPDirect",
     "HTTP_SETUP",
     "HUB_QUEUE_DELAY",
     "MailHub",
+    "ModelCache",
     "ModelResolver",
     "Page",
     "PowerPlayServer",
     "RemoteLibraryClient",
+    "ResolutionEvent",
+    "ResolutionReport",
     "Response",
+    "RetryPolicy",
     "Tool",
     "TransferStats",
     "UserSession",
@@ -42,5 +64,6 @@ __all__ = [
     "compare_protocols",
     "default_agent",
     "federate",
+    "host_allowed",
     "validate_username",
 ]

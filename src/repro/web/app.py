@@ -156,6 +156,16 @@ class Application:
                 status=422,
                 body=pages.H.error_page("Model error", str(exc)),
             )
+        except Exception:  # noqa: BLE001 - last-resort: page, not traceback
+            return Response(
+                status=500,
+                body=pages.H.error_page(
+                    "Server error",
+                    "PowerPlay hit an internal error handling this "
+                    "request; the details have been kept server-side. "
+                    "Please retry or start over from the front page.",
+                ),
+            )
 
     def _dispatch(self, method: str, route: str, data: Dict[str, str]) -> Response:
         if route == "/":

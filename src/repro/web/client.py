@@ -15,7 +15,7 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..errors import RemoteError
+from ..errors import RemoteError, TransientRemoteError
 
 _LINK_RE = re.compile(r'<a href="([^"]+)">(.*?)</a>', re.S)
 _TITLE_RE = re.compile(r"<title>(.*?)</title>", re.S)
@@ -59,24 +59,37 @@ class Page:
 
 
 class Browser:
-    """Minimal HTTP browser bound to one PowerPlay server."""
+    """Minimal HTTP browser bound to one PowerPlay server.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    Connection-level failures raise
+    :class:`~repro.errors.TransientRemoteError` (a
+    :class:`~repro.errors.RemoteError` subclass), so callers can retry
+    the plausibly-temporary ones.  Pass a
+    :class:`~repro.web.resilience.RetryPolicy` as ``retry_policy`` to
+    have *idempotent* requests (GET) retried in-browser; POSTs are
+    never retried automatically — a form submit is not safely
+    repeatable.
+    """
+
+    #: redirect hop limit — a redirect loop must fail, not hang
+    MAX_REDIRECTS = 5
+
+    def __init__(self, base_url: str, timeout: float = 10.0, retry_policy=None):
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise RemoteError(f"unsupported base URL {base_url!r}")
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.retry_policy = retry_policy
 
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
         body: Optional[str] = None,
         content_type: Optional[str] = None,
-        follow_redirects: bool = True,
-    ) -> Page:
+    ) -> Tuple[int, str, Optional[str]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -86,20 +99,42 @@ class Browser:
                 headers["Content-Type"] = content_type
             connection.request(method, path, body=body, headers=headers)
             raw = connection.getresponse()
-            text = raw.read().decode("utf-8")
-            status = raw.status
-            location = raw.getheader("Location")
+            text = raw.read().decode("utf-8", errors="replace")
+            return raw.status, text, raw.getheader("Location")
         except (OSError, http.client.HTTPException) as exc:
-            raise RemoteError(
+            raise TransientRemoteError(
                 f"cannot reach http://{self.host}:{self.port}{path}: {exc}"
             ) from exc
         finally:
             connection.close()
-        if follow_redirects and status in (301, 302, 303) and location:
-            return self.get(location)
-        return Page(path, status, text)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[str] = None,
+        content_type: Optional[str] = None,
+        follow_redirects: bool = True,
+    ) -> Page:
+        hops = 0
+        while True:
+            status, text, location = self._request_once(
+                method, path, body, content_type
+            )
+            if not (follow_redirects and status in (301, 302, 303) and location):
+                return Page(path, status, text)
+            hops += 1
+            if hops > self.MAX_REDIRECTS:
+                raise RemoteError(
+                    f"redirect loop: more than {self.MAX_REDIRECTS} hops "
+                    f"from http://{self.host}:{self.port}, last at {location!r}"
+                )
+            # redirect targets are fetched with GET (303 semantics)
+            method, path, body, content_type = "GET", location, None, None
 
     def get(self, path: str) -> Page:
+        if self.retry_policy is not None:
+            return self.retry_policy.call(lambda: self._request("GET", path))
         return self._request("GET", path)
 
     def post(self, path: str, fields: Mapping[str, object]) -> Page:

@@ -14,6 +14,13 @@ shared models at well-known JSON endpoints (``/api/library.json``,
 * on-demand resolution with a small cache, so a design evaluation that
   needs a remote model fetches it once per session.
 
+A federation spans the open internet, so every client is wrapped in the
+resilience layer (:mod:`repro.web.resilience`): transient failures are
+retried with backoff, persistently dead hosts trip a per-host circuit
+breaker and are skipped fast, and previously fetched models are served
+stale from a TTL cache during an outage.  Every degradation is recorded
+in a :class:`~repro.web.resilience.ResolutionReport` — never silent.
+
 Security posture matches the paper's: payloads are *data* (expressions,
 coefficients) decoded by the library codecs — nothing executable — and
 proprietary entries are never served.
@@ -22,62 +29,136 @@ proprietary entries are never served.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..errors import RemoteError
+from ..errors import (
+    CircuitOpenError,
+    RemoteError,
+    TransientRemoteError,
+)
 from ..library.catalog import Library, LibraryEntry
 from .client import Browser
+from .resilience import (
+    CACHE_HIT,
+    CIRCUIT_SKIPPED,
+    FETCHED,
+    LOCAL_HIT,
+    REMOTE_FAILED,
+    RETRY,
+    STALE_SERVED,
+    CircuitBreaker,
+    ModelCache,
+    ResolutionReport,
+    RetryPolicy,
+)
 
 
 class RemoteLibraryClient:
-    """Client for another PowerPlay server's model API."""
+    """Client for another PowerPlay server's model API.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    Each client owns one :class:`~repro.web.resilience.CircuitBreaker`
+    (state is per remote host), one retry policy, and one TTL'd model
+    cache.  ``retry_policy=None`` / ``breaker=None`` get sensible
+    defaults; ``cache_ttl=None`` caches forever (the pre-resilience
+    behaviour); ``clock``/``sleep`` are injectable for tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        cache_ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         self.base_url = base_url.rstrip("/")
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(name=self.base_url)
         self._browser = Browser(self.base_url, timeout=timeout)
-        self._cache: Dict[str, LibraryEntry] = {}
+        self._cache: ModelCache[LibraryEntry] = ModelCache(ttl=cache_ttl, clock=clock)
         self.requests_made = 0
+        #: degradations observed across this client's lifetime
+        self.report = ResolutionReport()
+
+    # -- guarded transport -------------------------------------------------
+
+    def _guarded(self, fn: Callable[[], "object"], name: str = "") -> "object":
+        """One remote operation through breaker + retries.
+
+        The breaker is *inside* the retry loop so each attempt checks
+        (and feeds) it; once it trips, :class:`CircuitOpenError` aborts
+        immediately — zero retries are ever issued to an open circuit.
+        """
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            self.report.record(
+                RETRY, self.base_url, name, f"attempt {attempt + 1}: {exc}"
+            )
+
+        return self.retry_policy.call(
+            lambda: self.breaker.call(
+                fn, failure_types=(TransientRemoteError, OSError)
+            ),
+            on_retry=on_retry,
+        )
 
     def ping(self) -> Dict[str, str]:
         """Identify the remote server (protocol handshake)."""
-        payload = self._browser.get_json("/api/ping")
-        self.requests_made += 1
-        if not isinstance(payload, dict) or "protocol" not in payload:
-            raise RemoteError(f"{self.base_url} is not a PowerPlay server")
-        return payload
+
+        def fetch() -> Dict[str, str]:
+            self.requests_made += 1
+            payload = self._browser.get_json("/api/ping")
+            if not isinstance(payload, dict) or "protocol" not in payload:
+                raise RemoteError(f"{self.base_url} is not a PowerPlay server")
+            return payload
+
+        return self._guarded(fetch)
 
     def fetch_library(self) -> Library:
         """Fetch every shared model in one request."""
-        page = self._browser.get("/api/library.json")
-        self.requests_made += 1
-        if page.status != 200:
-            raise RemoteError(
-                f"{self.base_url}/api/library.json returned {page.status}"
-            )
-        from ..errors import LibraryError
 
-        try:
-            library = Library.from_json(page.body, origin=self.base_url)
-        except LibraryError as exc:
-            raise RemoteError(
-                f"bad library payload from {self.base_url}: {exc}"
-            ) from exc
+        def fetch() -> Library:
+            self.requests_made += 1
+            page = self._browser.get("/api/library.json")
+            if page.status >= 500:
+                raise TransientRemoteError(
+                    f"{self.base_url}/api/library.json returned {page.status}"
+                )
+            if page.status != 200:
+                raise RemoteError(
+                    f"{self.base_url}/api/library.json returned {page.status}"
+                )
+            from ..errors import LibraryError
+
+            try:
+                return Library.from_json(page.body, origin=self.base_url)
+            except LibraryError as exc:
+                # truncated / garbled payloads are usually transport
+                # damage, not a hostile peer — worth one more try
+                raise TransientRemoteError(
+                    f"bad library payload from {self.base_url}: {exc}"
+                ) from exc
+
+        library = self._guarded(fetch)
         for entry in library:
-            self._cache[entry.name] = entry
+            self._cache.put(entry.name, entry)
         return library
 
-    def fetch_model(self, name: str) -> LibraryEntry:
-        """Fetch one model on demand (cached per client)."""
-        if name in self._cache:
-            return self._cache[name]
+    def _fetch_model_once(self, name: str) -> LibraryEntry:
         import json as _json
         import urllib.parse as _url
 
-        page = self._browser.get(f"/api/model?name={_url.quote(name)}")
         self.requests_made += 1
+        page = self._browser.get(f"/api/model?name={_url.quote(name)}")
         if page.status == 400:
             raise RemoteError(
                 f"{self.base_url} refused model {name!r} (unknown or proprietary)"
+            )
+        if page.status >= 500:
+            raise TransientRemoteError(
+                f"{self.base_url}/api/model returned {page.status}"
             )
         if page.status != 200:
             raise RemoteError(
@@ -86,39 +167,114 @@ class RemoteLibraryClient:
         try:
             payload = _json.loads(page.body)
         except _json.JSONDecodeError as exc:
-            raise RemoteError(f"bad model payload from {self.base_url}: {exc}") from exc
+            raise TransientRemoteError(
+                f"bad model payload from {self.base_url}: {exc}"
+            ) from exc
         from ..errors import LibraryError
 
         try:
-            entry = LibraryEntry.from_payload(payload, origin=self.base_url)
+            return LibraryEntry.from_payload(payload, origin=self.base_url)
         except LibraryError as exc:
             raise RemoteError(
                 f"bad model payload from {self.base_url}: {exc}"
             ) from exc
-        self._cache[name] = entry
+
+    def fetch_model(self, name: str) -> LibraryEntry:
+        """Fetch one model on demand.
+
+        Resolution order: fresh cache hit -> network (breaker +
+        retries) -> stale cache fallback.  A stale serve or a skipped
+        circuit is recorded in :attr:`report`; only when no copy exists
+        at all does the failure propagate.
+        """
+        cached = self._cache.get_fresh(name)
+        if cached is not None:
+            self.report.record(CACHE_HIT, self.base_url, name)
+            return cached
+        try:
+            entry = self._guarded(lambda: self._fetch_model_once(name), name)
+        except CircuitOpenError as exc:
+            self.report.record(CIRCUIT_SKIPPED, self.base_url, name, str(exc))
+            stale = self._cache.get_stale(name)
+            if stale is not None:
+                self.report.record(STALE_SERVED, self.base_url, name)
+                return stale
+            raise
+        except TransientRemoteError as exc:
+            self.report.record(REMOTE_FAILED, self.base_url, name, str(exc))
+            stale = self._cache.get_stale(name)
+            if stale is not None:
+                self.report.record(STALE_SERVED, self.base_url, name)
+                return stale
+            raise
+        self._cache.put(name, entry)
+        self.report.record(FETCHED, self.base_url, name)
         return entry
 
     def clear_cache(self) -> None:
         self._cache.clear()
 
 
+@dataclass
+class FederationReport:
+    """Per-URL outcome of a best-effort federation."""
+
+    succeeded: Dict[str, List[str]] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed and not self.skipped
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.succeeded)} succeeded, {len(self.failed)} failed, "
+            f"{len(self.skipped)} skipped"
+        )
+
+
 def federate(
     local: Library,
     remote_urls: Sequence[str],
     prefer: str = "mine",
-) -> Dict[str, List[str]]:
+    best_effort: bool = False,
+    client_factory: Callable[[str], RemoteLibraryClient] = RemoteLibraryClient,
+) -> Union[Dict[str, List[str]], FederationReport]:
     """Merge shared libraries from several servers into ``local``.
 
-    Returns ``{url: adopted entry names}``.  Unreachable servers raise
-    :class:`~repro.errors.RemoteError` — a federation is explicit, not
-    best-effort, so a silently missing site cannot skew an estimate.
+    Strict mode (the default) returns ``{url: adopted entry names}``
+    and raises :class:`~repro.errors.RemoteError` on the first
+    unreachable server — a federation is explicit, so a silently
+    missing site cannot skew an estimate.
+
+    ``best_effort=True`` instead returns a :class:`FederationReport`
+    accounting for *every* URL: ``succeeded`` (with adopted names),
+    ``failed`` (with the error), and ``skipped`` (circuit already
+    open — the host was known-dead and not even contacted).  Nothing
+    is silent; callers decide whether a partial federation is usable.
     """
-    adopted: Dict[str, List[str]] = {}
+    if not best_effort:
+        adopted: Dict[str, List[str]] = {}
+        for url in remote_urls:
+            client = client_factory(url)
+            remote_library = client.fetch_library()
+            adopted[url] = local.merge(remote_library, prefer=prefer)
+        return adopted
+
+    report = FederationReport()
     for url in remote_urls:
-        client = RemoteLibraryClient(url)
-        remote_library = client.fetch_library()
-        adopted[url] = local.merge(remote_library, prefer=prefer)
-    return adopted
+        client = client_factory(url)
+        try:
+            remote_library = client.fetch_library()
+        except CircuitOpenError as exc:
+            report.skipped[url] = str(exc)
+            continue
+        except RemoteError as exc:
+            report.failed[url] = str(exc)
+            continue
+        report.succeeded[url] = local.merge(remote_library, prefer=prefer)
+    return report
 
 
 class ModelResolver:
@@ -127,7 +283,10 @@ class ModelResolver:
     The lookup order is local-first (the paper's servers share models;
     local characterizations take precedence), then each remote in the
     order given.  Fetches are on-demand and cached — the Figure 7
-    "information transfer on demand" behaviour.
+    "information transfer on demand" behaviour — and each lookup's
+    degradations (retries, stale serves, skipped circuits) accumulate
+    in :attr:`report`; :attr:`last_report` covers just the most recent
+    ``resolve`` call.
     """
 
     def __init__(
@@ -137,18 +296,30 @@ class ModelResolver:
     ):
         self.local = local
         self.remotes = list(remotes)
+        self.report = ResolutionReport()
+        self.last_report = ResolutionReport()
 
     def resolve(self, name: str) -> LibraryEntry:
-        if name in self.local:
-            return self.local.get(name)
-        failures: List[str] = []
-        for remote in self.remotes:
-            try:
-                return remote.fetch_model(name)
-            except RemoteError as exc:
-                failures.append(str(exc))
-        detail = "; ".join(failures) if failures else "no remotes configured"
-        raise RemoteError(f"cannot resolve model {name!r}: {detail}")
+        self.last_report = ResolutionReport()
+        try:
+            if name in self.local:
+                self.last_report.record(LOCAL_HIT, self.local.name, name)
+                return self.local.get(name)
+            failures: List[str] = []
+            for remote in self.remotes:
+                before = len(remote.report.events)
+                try:
+                    entry = remote.fetch_model(name)
+                    self.last_report.events.extend(remote.report.events[before:])
+                    return entry
+                except RemoteError as exc:
+                    self.last_report.events.extend(remote.report.events[before:])
+                    failures.append(str(exc))
+            detail = "; ".join(failures) if failures else "no remotes configured"
+            self.last_report.record(REMOTE_FAILED, "resolver", name, detail)
+            raise RemoteError(f"cannot resolve model {name!r}: {detail}")
+        finally:
+            self.last_report.merged_into(self.report)
 
     def total_remote_requests(self) -> int:
         return sum(remote.requests_made for remote in self.remotes)

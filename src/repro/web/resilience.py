@@ -1,0 +1,366 @@
+"""Resilience primitives for the distributed-library stack.
+
+The paper's headline claim — "if a library is characterized and put on
+the web in Massachusetts, it can be used for estimates in California" —
+makes PowerPlay a distributed system, and distributed systems fail in
+boring, recoverable ways: dropped connections, slow peers, truncated
+payloads, hosts that stay down for an hour.  This module supplies the
+three standard defenses, each deterministic and clock-injectable so the
+fault-injection tests (:mod:`repro.web.faults`) can exercise them
+without wall-clock sleeps:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (no RNG: the jitter is a fixed function of the
+  attempt number, so test schedules are reproducible);
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine, one per remote host, so a persistently dead peer is skipped
+  fast instead of paying a timeout per lookup;
+* :class:`ModelCache` — a TTL'd stale-while-revalidate cache: fresh
+  entries short-circuit the network, expired entries trigger a refetch,
+  and when the refetch fails the stale copy keeps designs evaluable
+  through an outage.
+
+Nothing degrades silently: every retry, stale serve, and skipped host
+is recorded as a :class:`ResolutionEvent` in a
+:class:`ResolutionReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from ..errors import CircuitOpenError, TransientRemoteError
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# retry with deterministic backoff
+# ---------------------------------------------------------------------------
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``n`` (0-based, i.e. the delay slept
+    *after* failure ``n``) is::
+
+        min(max_delay, base_delay * multiplier**n) * (1 + jitter * frac(n))
+
+    where ``frac(n)`` is a fixed pseudo-random fraction derived from the
+    attempt number (a Weyl sequence on the golden ratio), so two clients
+    created with the same policy spread their retries without sharing an
+    RNG — and a test re-running the same schedule sees the same delays.
+
+    ``sleep`` is injectable; tests pass a recorder instead of
+    :func:`time.sleep` and assert on the exact schedule.
+    """
+
+    #: golden-ratio conjugate — the classic low-discrepancy increment
+    _WEYL = 0.6180339887498949
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.25,
+        sleep: Callable[[float], None] = time.sleep,
+        retry_on: Tuple[type, ...] = (TransientRemoteError,),
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.sleep = sleep
+        self.retry_on = tuple(retry_on)
+        self.retries_issued = 0
+
+    def delay(self, attempt: int) -> float:
+        backoff = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        frac = (self._WEYL * (attempt + 1)) % 1.0
+        return backoff * (1.0 + self.jitter * frac)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        on_retry: Optional[Callable[[int, Exception], None]] = None,
+    ) -> T:
+        """Run ``fn``, retrying on the configured exception types.
+
+        ``on_retry(attempt, exc)`` is invoked before each sleep so
+        callers (e.g. :class:`~repro.web.remote.ModelResolver`) can
+        record the degradation.  Non-retryable exceptions — including
+        :class:`~repro.errors.CircuitOpenError`, which must never cause
+        another call into a tripped host — propagate immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.retry_on as exc:
+                if isinstance(exc, CircuitOpenError):
+                    raise  # an open circuit is a *skip*, never a retry
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.retries_issued += 1
+                self.sleep(self.delay(attempt))
+                attempt += 1
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-host closed/open/half-open breaker.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker.
+    * **open** — calls raise :class:`~repro.errors.CircuitOpenError`
+      immediately (no network, no timeout) until ``cooldown`` seconds
+      elapse on the injectable ``clock``.
+    * **half-open** — after the cooldown exactly one probe call is let
+      through; success closes the breaker, failure re-opens it for
+      another cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "remote",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.name = name
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.times_tripped = 0
+        self.calls_rejected = 0
+
+    @property
+    def state(self) -> str:
+        if self._state == OPEN and self._remaining() <= 0:
+            return HALF_OPEN
+        return self._state
+
+    def _remaining(self) -> float:
+        return self.cooldown - (self.clock() - self._opened_at)
+
+    def allow(self) -> bool:
+        """Would a call be let through right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state != CLOSED
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            # a failed half-open probe, or the threshold reached:
+            # (re)open for a full cooldown
+            if self._state != OPEN:
+                self.times_tripped += 1
+            self._state = OPEN
+            self._opened_at = self.clock()
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        failure_types: Tuple[type, ...] = (Exception,),
+    ) -> T:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without invoking
+        ``fn`` while open; otherwise records the outcome.  Exceptions
+        outside ``failure_types`` count as *successes* for breaker
+        purposes — e.g. a clean HTTP 400 refusal proves the host is
+        alive even though the lookup failed.
+        """
+        state = self.state
+        if state == OPEN:
+            self.calls_rejected += 1
+            raise CircuitOpenError(
+                f"circuit for {self.name} is open "
+                f"(retry in {max(0.0, self._remaining()):.1f}s)",
+                retry_after=max(0.0, self._remaining()),
+            )
+        if state == HALF_OPEN:
+            self._state = HALF_OPEN  # commit the probe
+        try:
+            result = fn()
+        except failure_types:
+            self.record_failure()
+            raise
+        except Exception:
+            self.record_success()
+            raise
+        self.record_success()
+        return result
+
+
+# ---------------------------------------------------------------------------
+# TTL'd stale-while-revalidate cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _CacheSlot(Generic[T]):
+    value: T
+    stored_at: float
+
+
+class ModelCache(Generic[T]):
+    """A TTL cache whose expired entries remain servable as *stale*.
+
+    ``lookup`` distinguishes three outcomes: a **fresh** hit (within
+    TTL — skip the network), a **stale** hit (past TTL — revalidate,
+    but keep the copy as a fallback), and a miss.  ``ttl=None`` means
+    entries never go stale (the pre-resilience behaviour: cache
+    forever).
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.ttl = ttl
+        self.clock = clock
+        self._slots: Dict[str, _CacheSlot[T]] = {}
+        self.fresh_hits = 0
+        self.stale_serves = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._slots
+
+    def put(self, key: str, value: T) -> None:
+        self._slots[key] = _CacheSlot(value, self.clock())
+
+    def lookup(self, key: str) -> Tuple[Optional[T], bool]:
+        """Return ``(value, fresh)``; ``(None, False)`` on a miss."""
+        slot = self._slots.get(key)
+        if slot is None:
+            return None, False
+        if self.ttl is not None and self.clock() - slot.stored_at > self.ttl:
+            return slot.value, False
+        return slot.value, True
+
+    def get_fresh(self, key: str) -> Optional[T]:
+        value, fresh = self.lookup(key)
+        if fresh:
+            self.fresh_hits += 1
+            return value
+        return None
+
+    def get_stale(self, key: str) -> Optional[T]:
+        """The stale fallback — counts as a degradation."""
+        slot = self._slots.get(key)
+        if slot is None:
+            return None
+        self.stale_serves += 1
+        return slot.value
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+
+# ---------------------------------------------------------------------------
+# structured degradation reporting
+# ---------------------------------------------------------------------------
+
+#: event kinds a report can carry
+RETRY = "retry"
+STALE_SERVED = "stale_served"
+CIRCUIT_SKIPPED = "circuit_skipped"
+REMOTE_FAILED = "remote_failed"
+FETCHED = "fetched"
+LOCAL_HIT = "local_hit"
+CACHE_HIT = "cache_hit"
+
+
+@dataclass
+class ResolutionEvent:
+    """One observable fact about how a lookup was satisfied (or not)."""
+
+    kind: str
+    target: str          # host URL or library name
+    name: str = ""       # the model being resolved
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        parts = [self.kind, self.target]
+        if self.name:
+            parts.append(self.name)
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+@dataclass
+class ResolutionReport:
+    """Structured account of a resolution: nothing degrades silently.
+
+    A report accumulates across lookups (a :class:`ModelResolver` keeps
+    one per ``resolve`` call and a running total), so callers can both
+    inspect a single lookup and audit a whole evaluation session.
+    """
+
+    events: List[ResolutionEvent] = field(default_factory=list)
+
+    def record(self, kind: str, target: str, name: str = "", detail: str = "") -> None:
+        self.events.append(ResolutionEvent(kind, target, name, detail))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    @property
+    def retries(self) -> int:
+        return self.count(RETRY)
+
+    @property
+    def stale_serves(self) -> int:
+        return self.count(STALE_SERVED)
+
+    @property
+    def circuit_skips(self) -> int:
+        return self.count(CIRCUIT_SKIPPED)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything short of a clean fetch happened."""
+        clean = {FETCHED, LOCAL_HIT, CACHE_HIT}
+        return any(event.kind not in clean for event in self.events)
+
+    def merged_into(self, other: "ResolutionReport") -> None:
+        other.events.extend(self.events)
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

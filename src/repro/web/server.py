@@ -51,11 +51,29 @@ def host_allowed(client_ip: str, allowed: Optional[Sequence[str]]) -> bool:
     return False
 
 
+def _error_html(status: int, title: str, message: str) -> str:
+    """A small, traceback-free error page (transport-level failures)."""
+    return (
+        "<html><head><title>PowerPlay — error</title></head><body>"
+        f"<h1>{status} {title}</h1><p>{message}</p>"
+        '<p><a href="/">PowerPlay front page</a></p></body></html>'
+    )
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Adapts HTTP requests to Application.handle calls."""
+    """Adapts HTTP requests to Application.handle calls.
+
+    Transport hardening lives here: request bodies are size-limited,
+    malformed ``Content-Length`` headers and non-UTF-8 bodies yield a
+    400 page, and an unexpected application exception yields a 500 HTML
+    page — a browser (or attacker) never sees a Python traceback.
+    """
 
     application: Application  # injected by the server factory
     allowed_hosts: Optional[Sequence[str]] = None
+    #: request body ceiling — a form post is a few hundred bytes; 1 MiB
+    #: leaves generous headroom for design-JSON imports
+    max_body_bytes: int = 1 << 20
 
     # silence per-request stderr logging
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -77,28 +95,87 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(
             Response(
                 status=403,
-                body="<html><body><h1>403</h1>"
-                "<p>This PowerPlay server is restricted to specific "
-                "machines.</p></body></html>",
+                body=_error_html(
+                    403,
+                    "Forbidden",
+                    "This PowerPlay server is restricted to specific machines.",
+                ),
             )
         )
         return False
 
+    def _handle_safely(self, method: str, form=None) -> Response:
+        try:
+            return self.application.handle(method, self.path, form)
+        except Exception:  # noqa: BLE001 - last-resort transport guard
+            return Response(
+                status=500,
+                body=_error_html(
+                    500,
+                    "Server error",
+                    "PowerPlay hit an internal error handling this "
+                    "request. The details have not been disclosed; "
+                    "please retry or start over from the front page.",
+                ),
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if not self._gate():
             return
-        self._send(self.application.handle("GET", self.path))
+        self._send(self._handle_safely("GET"))
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if not self._gate():
-            return
-        length = int(self.headers.get("Content-Length", "0"))
-        raw = self.rfile.read(length).decode("utf-8") if length else ""
+    def _read_form(self) -> Tuple[Optional[dict], Optional[Response]]:
+        """Parse the POST body, or produce the 4xx that explains why not."""
+        header = self.headers.get("Content-Length", "0")
+        try:
+            length = int(header)
+        except ValueError:
+            return None, Response(
+                status=400,
+                body=_error_html(
+                    400, "Bad request",
+                    f"unparseable Content-Length header {header!r}",
+                ),
+            )
+        if length < 0:
+            return None, Response(
+                status=400,
+                body=_error_html(
+                    400, "Bad request", "negative Content-Length"
+                ),
+            )
+        if length > self.max_body_bytes:
+            return None, Response(
+                status=413,
+                body=_error_html(
+                    413, "Payload too large",
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes} byte limit",
+                ),
+            )
+        try:
+            raw = self.rfile.read(length).decode("utf-8") if length else ""
+        except UnicodeDecodeError:
+            return None, Response(
+                status=400,
+                body=_error_html(
+                    400, "Bad request", "request body is not valid UTF-8"
+                ),
+            )
         form = {
             key: values[-1]
             for key, values in urllib.parse.parse_qs(raw).items()
         }
-        self._send(self.application.handle("POST", self.path, form))
+        return form, None
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if not self._gate():
+            return
+        form, refusal = self._read_form()
+        if refusal is not None:
+            self._send(refusal)
+            return
+        self._send(self._handle_safely("POST", form))
 
 
 class PowerPlayServer:
@@ -116,17 +193,22 @@ class PowerPlayServer:
         server_name: str = "powerplay",
         application: Optional[Application] = None,
         allowed_hosts: Optional[Sequence[str]] = None,
+        handler_base: type = _Handler,
+        max_body_bytes: int = _Handler.max_body_bytes,
+        handler_attrs: Optional[dict] = None,
     ):
         self.application = application or Application(
             Path(state_dir), server_name=server_name
         )
         self.allowed_hosts = allowed_hosts
 
-        handler = type(
-            "BoundHandler",
-            (_Handler,),
-            {"application": self.application, "allowed_hosts": allowed_hosts},
-        )
+        attrs = {
+            "application": self.application,
+            "allowed_hosts": allowed_hosts,
+            "max_body_bytes": max_body_bytes,
+        }
+        attrs.update(handler_attrs or {})
+        handler = type("BoundHandler", (handler_base,), attrs)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 

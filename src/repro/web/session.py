@@ -23,16 +23,19 @@ import hmac
 import json
 import os
 import re
+import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
 from ..core.design import Design
-from ..errors import SessionError
+from ..errors import PowerPlayError, SessionError
 from ..library.catalog import Library, LibraryEntry
 from ..library.designio import design_from_payload, design_to_payload
 
-_USERNAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.-]{0,31}$")
+# \Z, not $: "$" also matches before a trailing newline, which would
+# let "alice\n" through and put a newline in a file name
+_USERNAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.-]{0,31}\Z")
 
 
 def validate_username(username: str) -> str:
@@ -168,19 +171,46 @@ class UserSession:
 
 
 class UserStore:
-    """File-backed session registry: one JSON file per user."""
+    """File-backed session registry: one JSON file per user.
+
+    Persistence is crash-safe: saves go through a uniquely named
+    temporary file that is fsynced and atomically renamed over the
+    state file *under the store lock*, so a kill mid-save (or two
+    threads saving the same user) can never leave a torn or interleaved
+    file — readers always see either the old state or the new one.
+
+    A state file that is nonetheless unreadable (disk damage, manual
+    edits, a foreign format) is **quarantined**, not fatal: it is moved
+    aside to ``<user>.json.corrupt[-N]``, recorded in
+    :attr:`quarantined`, and the user gets a fresh session — the web
+    service keeps running and the damaged bytes are preserved for
+    inspection.
+    """
 
     def __init__(self, root: Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._sessions: Dict[str, UserSession] = {}
         self._lock = threading.Lock()
+        #: ``[(username, quarantine path, reason), ...]`` — every
+        #: corrupt state file set aside since this store was created
+        self.quarantined: List[tuple] = []
 
     def _path(self, username: str) -> Path:
         return self.root / f"{username}.json"
 
     def known_users(self) -> List[str]:
         return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def _quarantine(self, username: str, path: Path, reason: str) -> Path:
+        target = path.with_suffix(".json.corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_suffix(f".json.corrupt-{counter}")
+        path.replace(target)
+        self.quarantined.append((username, target, reason))
+        return target
 
     def session(self, username: str) -> UserSession:
         """Fetch (or lazily create) a user's session."""
@@ -194,19 +224,61 @@ class UserStore:
             if path.exists():
                 try:
                     payload = json.loads(path.read_text())
-                except json.JSONDecodeError as exc:
-                    raise SessionError(
-                        f"corrupt state file for {username!r}: {exc}"
-                    ) from exc
-                session.load_payload(payload)
+                    session.load_payload(payload)
+                except (
+                    json.JSONDecodeError,
+                    PowerPlayError,
+                    ValueError,
+                    TypeError,
+                    AttributeError,
+                    KeyError,
+                ) as exc:
+                    self._quarantine(username, path, str(exc))
+                    # load_payload may have half-populated the session
+                    # before failing — start over from a clean one
+                    session = UserSession(username, self)
             self._sessions[username] = session
             return session
 
     def save_session(self, session: UserSession) -> None:
+        """Atomically persist one user's state (crash- and race-safe).
+
+        The temporary file name is unique per save (``mkstemp``), so
+        concurrent saves of the same user never interleave on a shared
+        ``.tmp`` path; the payload is fully serialized *before* any
+        file is touched; and the write is fsynced before the atomic
+        rename so a crash at any instant leaves either the previous
+        complete file or the new complete file — never a torn one.
+        """
+        payload = json.dumps(session.to_payload(), indent=1)
         path = self._path(session.username)
-        temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(session.to_payload(), indent=1))
-        temporary.replace(path)
+        with self._lock:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root),
+                prefix=f".{session.username}-",
+                suffix=".saving",
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        # make the rename itself durable (directory entry update)
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def forget(self, username: str) -> None:
         """Drop the in-memory session (state file remains)."""

@@ -85,18 +85,90 @@ class TestPersistence:
         store.session("bob").save()
         assert store.known_users() == ["alice", "bob"]
 
-    def test_corrupt_state_file(self, store, tmp_path):
+    def test_corrupt_state_file_is_quarantined(self, store, tmp_path):
+        """Damage is set aside and the user gets a fresh session —
+        the service keeps running, nothing fails silently."""
         store.session("eve").save()
         (tmp_path / "users" / "eve.json").write_text("{broken")
         fresh = UserStore(tmp_path / "users")
-        with pytest.raises(SessionError, match="corrupt"):
-            fresh.session("eve")
+        session = fresh.session("eve")
+        assert session.designs == {}
+        # the damaged bytes are preserved for inspection
+        quarantine = tmp_path / "users" / "eve.json.corrupt"
+        assert quarantine.read_text() == "{broken"
+        assert not (tmp_path / "users" / "eve.json").exists()
+        (username, path, reason) = fresh.quarantined[0]
+        assert username == "eve" and path == quarantine and reason
 
-    def test_wrong_format_rejected(self, store, tmp_path):
+    def test_wrong_format_quarantined_too(self, store, tmp_path):
         path = tmp_path / "users" / "mallory.json"
         path.write_text(json.dumps({"format": "evil/1"}))
-        with pytest.raises(SessionError, match="format"):
-            store.session("mallory")
+        session = store.session("mallory")
+        assert session.designs == {}
+        assert (tmp_path / "users" / "mallory.json.corrupt").exists()
+        assert store.quarantined and "format" in store.quarantined[0][2]
+
+    def test_quarantine_names_never_collide(self, store, tmp_path):
+        for _ in range(3):
+            (tmp_path / "users" / "eve.json").write_text("{broken")
+            store.session("eve")
+            store.forget("eve")
+        names = sorted(p.name for p in (tmp_path / "users").iterdir())
+        assert names == [
+            "eve.json.corrupt", "eve.json.corrupt-1", "eve.json.corrupt-2",
+        ]
+
+    def test_save_survives_a_crash_mid_save(self, store, tmp_path, monkeypatch):
+        """A kill at the worst instant (before the atomic rename) must
+        leave the previous complete state file, not a torn one."""
+        import os as _os
+
+        session = store.session("dora")
+        session.remember_defaults("sram", {"words": 1024})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated kill mid-save")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        session.defaults["sram"]["words"] = 4096.0
+        with pytest.raises(OSError, match="simulated kill"):
+            session.save()
+        monkeypatch.undo()
+
+        # on-disk state is the previous complete save, still valid JSON
+        fresh = UserStore(tmp_path / "users")
+        assert fresh.session("dora").defaults_for("sram") == {"words": 1024.0}
+        assert not fresh.quarantined
+        # and no temp litter that known_users would mistake for a user
+        leftovers = [p.name for p in (tmp_path / "users").glob("*.saving")]
+        assert leftovers == []
+
+    def test_concurrent_saves_never_tear_the_file(self, store, tmp_path):
+        """Regression: two threads saving the same user used to share
+        one .json.tmp path outside the lock and could interleave."""
+        import json as _json
+        import threading
+
+        session = store.session("race")
+        errors = []
+
+        def hammer(tag):
+            try:
+                for i in range(25):
+                    session.remember_defaults("m", {tag: float(i)})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"p{n}",)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        payload = _json.loads((tmp_path / "users" / "race.json").read_text())
+        assert payload["format"] == "powerplay-user/1"
 
     def test_forget_drops_memory_not_disk(self, store):
         session = store.session("carol")
