@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from . import obs
 from .core.estimator import compare, evaluate_power, sweep
 from .core.report import (
     render_comparison,
@@ -62,6 +63,12 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         print(render_power(report, max_depth=args.depth))
         print()
         print(render_coverage(report, limit=8))
+    if args.trace:
+        trace = obs.last_trace()
+        if trace is not None:
+            print()
+            print("Evaluation trace:")
+            print(obs.render_trace(trace))
     return 0
 
 
@@ -153,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PowerPlay — early power exploration (DAC 1996 reproduction)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(obs.config.LEVELS_BY_NAME),
+        default=None,
+        help="enable structured observability logging at this level "
+        "(key=value lines on stderr; give before the subcommand)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON objects instead of key=value",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     estimate = sub.add_parser("estimate", help="evaluate a built-in design")
@@ -163,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="limit hierarchy depth in the table")
     estimate.add_argument("--csv", action="store_true",
                           help="flat CSV instead of the table")
+    estimate.add_argument("--trace", action="store_true",
+                          help="print the span timing tree of the "
+                          "evaluation (enables tracing)")
     estimate.set_defaults(func=cmd_estimate)
 
     comparison = sub.add_parser("compare", help="compare designs side by side")
@@ -205,11 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous = None
+    if args.log_level or args.log_json or getattr(args, "trace", False):
+        # --trace without --log-level keeps the log stream quiet (OFF)
+        # while still enabling span collection
+        level = obs.parse_level(args.log_level or "off")
+        previous = obs.enable(level=level, json_logs=args.log_json)
     try:
         return args.func(args)
     except PowerPlayError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous is not None:
+            obs.restore(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

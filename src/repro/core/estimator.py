@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import DesignError, ModelError
+from ..obs import span
 from .design import Design, Instance, MacroPowerModel, Row, SubDesign
 from .parameters import ParameterScope, ParamValue
 
@@ -53,10 +54,20 @@ class PowerReport:
     parameters: Dict[str, float] = field(default_factory=dict)
     details: Dict[str, float] = field(default_factory=dict)
     children: List["PowerReport"] = field(default_factory=list)
+    #: rows evaluated in this subtree (every descendant node: instances
+    #: and sub-design rows alike) — recorded by the evaluator so
+    #: coverage/top-consumer output can cite how much of the design its
+    #: numbers rest on.  0 for a leaf.
+    evaluated_rows: int = 0
 
     @property
     def is_leaf(self) -> bool:
         return not self.children
+
+    @property
+    def leaf_count(self) -> int:
+        """How many leaves (modeled primitives) this subtree covers."""
+        return sum(1 for _ in self.leaves())
 
     def child(self, name: str) -> "PowerReport":
         for node in self.children:
@@ -194,39 +205,55 @@ def evaluate_power(
     ``overrides`` are applied to the design's global scope for the
     duration of the evaluation (the top-page parameter edits of
     Figure 5).
+
+    When tracing is enabled (:mod:`repro.obs`), the whole evaluation
+    yields a span tree mirroring the design hierarchy, with row and
+    leaf counts recorded on each design node's span.
     """
-    if overrides:
-        with scope_overrides(design.scope, overrides):
-            return _evaluate_design(design)
-    return _evaluate_design(design)
+    with span("evaluate_power", design=design.name) as sp:
+        if overrides:
+            with scope_overrides(design.scope, overrides):
+                report = _evaluate_design(design)
+        else:
+            report = _evaluate_design(design)
+        sp.set(
+            rows=report.evaluated_rows,
+            leaves=report.leaf_count,
+            watts=report.power,
+        )
+        return report
 
 
 def _evaluate_design(design: Design) -> PowerReport:
-    order = design.evaluation_order()
-    computed: Dict[str, PowerReport] = {}
-    for name in order:
-        row = design.row(name)
-        if isinstance(row, SubDesign):
-            report = _evaluate_design(row.design)
-            report.name = row.name
-            report.doc = report.doc or row.doc
-        else:
-            report = _evaluate_instance(row, computed)
-        computed[name] = report
-    children = [computed[name] for name in design.row_names()]
-    total = sum(node.power for node in children)
-    return PowerReport(
-        name=design.name,
-        power=total,
-        kind="design",
-        doc=design.doc,
-        source="hierarchy",
-        parameters={
-            name: design.scope.resolve(name)
-            for name in design.scope.local_names()
-        },
-        children=children,
-    )
+    with span("design", name=design.name) as sp:
+        order = design.evaluation_order()
+        computed: Dict[str, PowerReport] = {}
+        for name in order:
+            row = design.row(name)
+            if isinstance(row, SubDesign):
+                report = _evaluate_design(row.design)
+                report.name = row.name
+                report.doc = report.doc or row.doc
+            else:
+                report = _evaluate_instance(row, computed)
+            computed[name] = report
+        children = [computed[name] for name in design.row_names()]
+        total = sum(node.power for node in children)
+        rows = len(children) + sum(child.evaluated_rows for child in children)
+        sp.set(rows=rows, watts=total)
+        return PowerReport(
+            name=design.name,
+            power=total,
+            kind="design",
+            doc=design.doc,
+            source="hierarchy",
+            parameters={
+                name: design.scope.resolve(name)
+                for name in design.scope.local_names()
+            },
+            children=children,
+            evaluated_rows=rows,
+        )
 
 
 def _feed_extras(
@@ -311,10 +338,14 @@ def evaluate_area(
     overrides: Optional[Mapping[str, ParamValue]] = None,
 ) -> AreaReport:
     """Hierarchically sum active area over rows that carry area models."""
-    if overrides:
-        with scope_overrides(design.scope, overrides):
-            return _evaluate_area(design)
-    return _evaluate_area(design)
+    with span("evaluate_area", design=design.name) as sp:
+        if overrides:
+            with scope_overrides(design.scope, overrides):
+                report = _evaluate_area(design)
+        else:
+            report = _evaluate_area(design)
+        sp.set(area_m2=report.area)
+        return report
 
 
 def _evaluate_area(design: Design) -> AreaReport:
@@ -341,10 +372,14 @@ def evaluate_timing(
     overrides: Optional[Mapping[str, ParamValue]] = None,
 ) -> TimingReport:
     """Critical-path delay: the max over modeled rows, hierarchically."""
-    if overrides:
-        with scope_overrides(design.scope, overrides):
-            return _evaluate_timing(design)
-    return _evaluate_timing(design)
+    with span("evaluate_timing", design=design.name) as sp:
+        if overrides:
+            with scope_overrides(design.scope, overrides):
+                report = _evaluate_timing(design)
+        else:
+            report = _evaluate_timing(design)
+        sp.set(delay_s=report.delay)
+        return report
 
 
 def _evaluate_timing(design: Design) -> TimingReport:

@@ -106,12 +106,22 @@ def render_power_csv(report: PowerReport) -> str:
 
 
 def render_coverage(report: PowerReport, limit: int = 10) -> str:
-    """Diminishing-returns table: hottest leaves and cumulative share."""
+    """Diminishing-returns table: hottest leaves and cumulative share.
+
+    The footer cites how much of the design the numbers cover — leaves
+    shown vs. leaves evaluated, and the total row count the evaluator
+    visited (recorded on the report by :func:`evaluate_power`).
+    """
     rows = [
         [path, format_quantity(power, "W"), f"{100.0 * cumulative:5.1f}%"]
         for path, power, cumulative in coverage(report)[:limit]
     ]
-    return render_table(rows, ["Consumer", "Power", "Cumulative"])
+    table = render_table(rows, ["Consumer", "Power", "Cumulative"])
+    footer = (
+        f"({len(rows)} of {report.leaf_count} leaves shown; "
+        f"{report.evaluated_rows} rows evaluated)"
+    )
+    return f"{table}\n{footer}"
 
 
 def render_area(report: AreaReport) -> str:

@@ -1,0 +1,95 @@
+"""Structured observability: logging, metrics, and trace spans.
+
+The 1996 PowerPlay was observable by accident — every CGI hit left an
+httpd access-log line.  This package makes the reproduction observable
+on purpose, with three dependency-free pillars sharing one global
+configuration (:mod:`repro.obs.config`):
+
+* :mod:`repro.obs.logs` — structured per-component loggers emitting
+  ``key=value`` lines or JSON to pluggable sinks;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with label
+  support, rendered in Prometheus text format at ``GET /metrics`` and
+  as the ``GET /status`` dashboard;
+* :mod:`repro.obs.trace` — nested, thread-local timing spans over the
+  estimator, simulator and web stack.
+
+Defaults are chosen for the test suite: the subsystem starts
+**disabled** (spans are a shared no-op, loggers drop records before
+formatting) and the log sink is a no-op, so nothing prints and the hot
+paths pay one branch.  ``repro --log-level info serve`` (or
+:func:`enable`) turns everything on at runtime.
+"""
+
+from .config import (
+    DEBUG,
+    ERROR,
+    INFO,
+    OFF,
+    ObsState,
+    WARNING,
+    configure,
+    disable,
+    enable,
+    is_enabled,
+    overridden,
+    parse_level,
+    restore,
+)
+from .logs import (
+    MemorySink,
+    NullSink,
+    StreamSink,
+    StructuredLogger,
+    format_kv,
+    get_logger,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import (
+    Span,
+    clear_traces,
+    last_trace,
+    recent_traces,
+    render_trace,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEBUG",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ERROR",
+    "Gauge",
+    "Histogram",
+    "INFO",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "OFF",
+    "ObsState",
+    "Span",
+    "StreamSink",
+    "StructuredLogger",
+    "WARNING",
+    "clear_traces",
+    "configure",
+    "disable",
+    "enable",
+    "format_kv",
+    "get_logger",
+    "get_registry",
+    "is_enabled",
+    "last_trace",
+    "overridden",
+    "parse_level",
+    "recent_traces",
+    "render_trace",
+    "restore",
+    "span",
+]

@@ -1,0 +1,112 @@
+"""Global observability configuration — one switch, zero dependencies.
+
+Everything in :mod:`repro.obs` reads this module's single
+:class:`ObsState` at *call* time, so flipping the configuration affects
+already-constructed loggers and tracers immediately:
+
+* ``enabled`` — the master switch.  When off (the default), ``span()``
+  returns a shared null context manager and loggers drop records before
+  formatting them; the instrumented hot paths cost a single attribute
+  check.  Metrics counters keep counting either way — a dict increment
+  is cheaper than the branch to skip it would be worth.
+* ``log_level`` / ``json_logs`` / ``sink`` — structured-logging knobs
+  (see :mod:`repro.obs.logs`).  The default sink is the no-op
+  :class:`~repro.obs.logs.NullSink`, so the test suite stays quiet even
+  when a test enables tracing.
+* ``clock`` / ``perf`` — injectable wall and monotonic clocks so tests
+  assert on exact timestamps and span durations.
+
+:func:`configure` returns the *previous* state; pair it with
+:func:`restore` (or the :func:`overridden` context manager) to scope a
+change to a test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional
+
+#: numeric log levels (mirroring stdlib logging's spacing)
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+OFF = 100
+
+LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+LEVELS_BY_NAME = {name: value for value, name in LEVEL_NAMES.items()}
+LEVELS_BY_NAME["off"] = OFF
+
+
+def parse_level(name: str) -> int:
+    """``"info"`` -> 20; raises ``ValueError`` on unknown names."""
+    try:
+        return LEVELS_BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; pick from "
+            f"{sorted(LEVELS_BY_NAME)}"
+        ) from None
+
+
+@dataclass
+class ObsState:
+    """The process-wide observability switches."""
+
+    enabled: bool = False
+    log_level: int = INFO
+    json_logs: bool = False
+    sink: Optional[object] = None  # logs.Sink; None -> shared NullSink
+    clock: Callable[[], float] = time.time
+    perf: Callable[[], float] = time.perf_counter
+
+
+STATE = ObsState()
+
+
+def configure(**changes: object) -> ObsState:
+    """Update fields of the global state; returns the previous state."""
+    previous = replace(STATE)
+    for name, value in changes.items():
+        if not hasattr(STATE, name):
+            raise ValueError(f"unknown observability setting {name!r}")
+        setattr(STATE, name, value)
+    return previous
+
+
+def restore(previous: ObsState) -> None:
+    """Put back a state captured by :func:`configure`."""
+    for name in ObsState.__dataclass_fields__:
+        setattr(STATE, name, getattr(previous, name))
+
+
+@contextlib.contextmanager
+def overridden(**changes: object) -> Iterator[ObsState]:
+    """Scope a configuration change (tests, CLI one-shots)."""
+    previous = configure(**changes)
+    try:
+        yield STATE
+    finally:
+        restore(previous)
+
+
+def enable(
+    level: int = INFO,
+    json_logs: bool = False,
+    sink: Optional[object] = None,
+) -> ObsState:
+    """Turn the whole subsystem on (tracing + log emission)."""
+    return configure(
+        enabled=True, log_level=level, json_logs=json_logs, sink=sink
+    )
+
+
+def disable() -> ObsState:
+    """Back to no-op mode: spans are free, loggers drop everything."""
+    return configure(enabled=False, sink=None)
+
+
+def is_enabled() -> bool:
+    return STATE.enabled

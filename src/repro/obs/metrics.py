@@ -1,0 +1,398 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+A :class:`MetricsRegistry` is a named collection of metrics; the
+process-wide default (:func:`get_registry`) is what the instrumented
+code increments and what ``GET /metrics`` renders.  Everything is
+in-memory, thread-safe, and dependency-free; the exposition follows the
+Prometheus text format (version 0.0.4) so any scraper — or ``curl`` —
+can read it::
+
+    # HELP powerplay_http_requests_total HTTP requests routed.
+    # TYPE powerplay_http_requests_total counter
+    powerplay_http_requests_total{method="GET",route="/menu"} 4
+
+Metrics always count, even in no-op observability mode: an increment is
+a dict update under a small lock, cheaper than a feature flag would be
+worth, and it means ``/metrics`` is truthful from process start.
+
+Labels are declared per metric (``labelnames``) and passed as keyword
+arguments to ``inc``/``set``/``observe``; a metric with no labels has a
+single implicit series.  Histograms use fixed cumulative buckets (the
+Prometheus convention) chosen at creation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: seconds — tuned for "virtually instantaneous" request handling
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+LabelKey = Tuple[str, ...]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _series(name: str, labels: Mapping[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape_label(str(val))}"'
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, declared label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _labels_of(self, key: LabelKey) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self) -> Dict[LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(
+                    _series(self.name, self._labels_of(key), self._values[key])
+                )
+        return lines
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (state codes, queue depths, uptime)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Dict[LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(
+                    _series(self.name, self._labels_of(key), self._values[key])
+                )
+        return lines
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution (Prometheus cumulative convention).
+
+    ``observe(v)`` adds to every bucket whose upper bound is >= v plus
+    the implicit ``+Inf`` bucket, and accumulates ``_sum``/``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds != sorted(set(bounds)):
+            raise ValueError("histogram bucket bounds must be unique")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: per label set: [count per finite bucket] + inf count
+        self._buckets: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._counts: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._buckets.get(key)
+            if counts is None:
+                counts = [0] * (len(self.bounds) + 1)
+                self._buckets[key] = counts
+            # non-cumulative internally; cumulated at render time
+            placed = len(self.bounds)  # +Inf slot
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    placed = index
+                    break
+            counts[placed] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        return self._counts.get(self._key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def total_count(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            for key in sorted(self._buckets):
+                labels = self._labels_of(key)
+                cumulative = 0
+                for index, bound in enumerate(self.bounds):
+                    cumulative += self._buckets[key][index]
+                    lines.append(
+                        _series(
+                            f"{self.name}_bucket",
+                            {**labels, "le": _format_value(bound)},
+                            cumulative,
+                        )
+                    )
+                cumulative += self._buckets[key][-1]
+                lines.append(
+                    _series(
+                        f"{self.name}_bucket",
+                        {**labels, "le": "+Inf"},
+                        cumulative,
+                    )
+                )
+                lines.append(
+                    _series(f"{self.name}_sum", labels, self._sums[key])
+                )
+                lines.append(
+                    _series(f"{self.name}_count", labels, self._counts[key])
+                )
+        return lines
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._sums.clear()
+            self._counts.clear()
+
+
+class MetricsRegistry:
+    """A named set of metrics with get-or-create semantics.
+
+    Creation is idempotent: asking twice for the same name returns the
+    same object, and asking with a conflicting type or label set is an
+    error (a typo'd labelname should fail loudly, not fork a metric).
+    """
+
+    def __init__(self, namespace: str = "powerplay"):
+        self.namespace = namespace
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create ------------------------------------------------------
+
+    def _get_or_create(
+        self, cls, name: str, help_text: str, labelnames: Sequence[str], **kwargs
+    ):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Dict[LabelKey, float]]:
+        """``{metric name: {label-value tuple: value}}`` for dashboards.
+
+        Histograms contribute ``<name>_count`` and ``<name>_sum``.
+        """
+        result: Dict[str, Dict[LabelKey, float]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, (Counter, Gauge)):
+                result[metric.name] = metric.samples()
+            elif isinstance(metric, Histogram):
+                with metric._lock:
+                    result[f"{metric.name}_count"] = {
+                        key: float(value)
+                        for key, value in metric._counts.items()
+                    }
+                    result[f"{metric.name}_sum"] = dict(metric._sums)
+        return result
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every sample; definitions (and held handles) survive.
+
+        Tests reset the shared registry between scenarios instead of
+        re-plumbing a fresh one through every instrumented module.
+        """
+        for metric in self.metrics():
+            metric.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (what ``/metrics`` exposes)."""
+    return _REGISTRY

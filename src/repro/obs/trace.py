@@ -1,0 +1,240 @@
+"""Trace spans: nested timing trees for profiling and request tracing.
+
+``span("evaluate_power", design="infopad")`` opens a timed region;
+spans opened inside it become children, so one PLAY on a hierarchical
+design yields a tree mirroring the design hierarchy, each node carrying
+its wall time and attributes::
+
+    evaluate_power [0001] 2.41ms  design=infopad
+      design [0002] 2.39ms  name=infopad rows=12
+        design [0003] 0.52ms  name=video_decoder rows=5
+
+* Span IDs are sequential (``0001``…), not random — deterministic runs
+  produce deterministic traces, and nothing here needs global
+  uniqueness.
+* The span stack is thread-local: concurrent HTTP requests trace
+  independently.
+* Finished root spans land in :func:`last_trace` (per thread) and a
+  small shared ring buffer (:func:`recent_traces`) that ``/status`` and
+  the CLI read.
+* In no-op mode (the default) :func:`span` returns one shared null
+  context manager — entering it allocates nothing, so instrumented hot
+  paths stay hot (see ``benchmarks/bench_observability.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from .config import STATE
+
+__all__ = [
+    "Span",
+    "clear_traces",
+    "last_trace",
+    "recent_traces",
+    "render_trace",
+    "span",
+]
+
+#: finished root spans kept for /status and the CLI
+_RING_SIZE = 32
+
+
+class Span:
+    """One timed region; a finished span is an immutable-ish record."""
+
+    __slots__ = (
+        "name", "span_id", "attributes", "children",
+        "start", "duration",
+    )
+
+    def __init__(self, name: str, span_id: str, attributes: Dict[str, object]):
+        self.name = name
+        self.span_id = span_id
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attributes: object) -> None:
+        """Attach/overwrite attributes mid-span."""
+        self.attributes.update(attributes)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_payload() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"{self.duration * 1e3:.3f}ms, {len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-local span stacks + a shared ring of finished roots."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._recent: List[Span] = []
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{self._counter:04x}"
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name: str, attributes: Dict[str, object]) -> Span:
+        node = Span(name, self._next_id(), attributes)
+        node.start = STATE.perf()
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(node)
+        stack.append(node)
+        return node
+
+    def end(self, node: Span) -> None:
+        node.duration = STATE.perf() - node.start
+        stack = self._stack()
+        # tolerate mispaired exits (an exception mid-span teardown)
+        while stack and stack[-1] is not node:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:  # a root finished
+            self._local.last = node
+            with self._lock:
+                self._recent.append(node)
+                del self._recent[:-_RING_SIZE]
+
+    def last(self) -> Optional[Span]:
+        return getattr(self._local, "last", None)
+
+    def recent(self) -> List[Span]:
+        with self._lock:
+            return list(self._recent)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+        self._local.last = None
+        self._local.stack = []
+
+
+TRACER = Tracer()
+
+
+class _ActiveSpan:
+    """Context manager binding one live span to the tracer."""
+
+    __slots__ = ("_name", "_attributes", "_node")
+
+    def __init__(self, name: str, attributes: Dict[str, object]):
+        self._name = name
+        self._attributes = attributes
+        self._node: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._node = TRACER.begin(self._name, self._attributes)
+        return self._node
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        node = self._node
+        if node is not None:
+            if exc_type is not None:
+                node.attributes.setdefault("error", exc_type.__name__)
+            TRACER.end(node)
+        return False
+
+
+def span(name: str, /, **attributes: object):
+    """Open a traced region (or the shared no-op when disabled)::
+
+        with span("simulate", cycles=200) as sp:
+            ...
+            sp.set(transitions=result.transitions)
+    """
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _ActiveSpan(name, attributes)
+
+
+def last_trace() -> Optional[Span]:
+    """The most recent finished *root* span on this thread."""
+    return TRACER.last()
+
+
+def recent_traces() -> List[Span]:
+    """Finished root spans, oldest first (bounded ring, all threads)."""
+    return TRACER.recent()
+
+
+def clear_traces() -> None:
+    TRACER.clear()
+
+
+def render_trace(root: Span, _unit_total: Optional[float] = None) -> str:
+    """Indented text tree: name, id, duration, share of root, attrs."""
+    total = root.duration if _unit_total is None else _unit_total
+    lines: List[str] = []
+
+    def emit(node: Span, depth: int) -> None:
+        share = ""
+        if total > 0:
+            share = f" {100.0 * node.duration / total:5.1f}%"
+        attrs = " ".join(
+            f"{key}={value}" for key, value in node.attributes.items()
+        )
+        lines.append(
+            f"{'  ' * depth}{node.name} [{node.span_id}] "
+            f"{node.duration * 1e3:.3f}ms{share}"
+            + (f"  {attrs}" if attrs else "")
+        )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)

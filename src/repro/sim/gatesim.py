@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import NetlistError, SimulationError
+from ..obs import span
 
 #: Supported gate types -> expected input count (None = 2+).
 GATE_TYPES: Dict[str, Optional[int]] = {
@@ -303,6 +304,25 @@ def simulate(
     """
     if glitch_factor < 0:
         raise SimulationError("glitch_factor cannot be negative")
+    with span(
+        "gatesim.simulate",
+        netlist=netlist.name,
+        cycles=len(vectors),
+        gates=len(netlist.gates),
+    ) as sp:
+        result = _simulate_zero_delay(netlist, vectors, glitch_factor)
+        sp.set(
+            transitions=result.transitions,
+            switched_pf=round(result.switched_capacitance * 1e12, 3),
+        )
+        return result
+
+
+def _simulate_zero_delay(
+    netlist: Netlist,
+    vectors: Sequence[Mapping[str, int]],
+    glitch_factor: float,
+) -> SimulationResult:
     caps = netlist.net_capacitance()
     depth = netlist.logic_depth() if glitch_factor > 0 else {}
     state: Dict[str, int] = {q: 0 for q, _ in netlist.registers}
@@ -379,6 +399,24 @@ def simulate_unit_delay(
     shallow logic shows almost none extra.  The difference *is* the
     glitch energy.
     """
+    with span(
+        "gatesim.simulate_unit_delay",
+        netlist=netlist.name,
+        cycles=len(vectors),
+        gates=len(netlist.gates),
+    ) as sp:
+        result = _simulate_unit_delay(netlist, vectors)
+        sp.set(
+            transitions=result.transitions,
+            switched_pf=round(result.switched_capacitance * 1e12, 3),
+        )
+        return result
+
+
+def _simulate_unit_delay(
+    netlist: Netlist,
+    vectors: Sequence[Mapping[str, int]],
+) -> SimulationResult:
     caps = netlist.net_capacitance()
     order = netlist.topological_gates()
     consumers: Dict[str, List[Gate]] = {}

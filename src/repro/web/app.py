@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import secrets
+import time
 import urllib.parse
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,8 +45,17 @@ from ..library.designio import (
     design_to_json,
     design_to_payload,
 )
+from ..obs import get_logger, get_registry, recent_traces
+from ..obs import span as obs_span
 from . import pages
-from .session import UserStore, validate_username
+from .resilience import (
+    CIRCUIT_STATE_CODES,
+    _metric_cache,
+    _metric_circuit_state,
+    _metric_circuit_transitions,
+    _metric_retries,
+)
+from .session import UserStore, _metric_sessions, validate_username
 
 
 @dataclass
@@ -79,6 +89,32 @@ class Response:
 
 EXAMPLES = ("luminance_fig1", "luminance_fig3", "infopad")
 
+#: every fixed route `_dispatch` knows — used to normalize metric labels
+#: so an attacker probing random paths cannot mint unbounded label sets
+KNOWN_ROUTES = frozenset(
+    {
+        "/", "/login", "/password", "/menu", "/library", "/cell",
+        "/cell/save", "/design", "/design/analysis", "/design/new",
+        "/design/load_example", "/define", "/export/design",
+        "/export/library", "/api/library.json", "/api/model",
+        "/api/design", "/agent/estimate", "/api/ping", "/doc/models",
+        "/tutorial", "/help", "/metrics", "/status",
+    }
+)
+
+
+def route_label(route: str) -> str:
+    """Collapse a request path to a bounded metric label."""
+    if route in KNOWN_ROUTES:
+        return route
+    if route.startswith("/doc/cell/"):
+        return "/doc/cell/:name"
+    return "(unmatched)"
+
+
+#: gauge code -> state word, for the /status dashboard
+_CIRCUIT_WORDS = {code: word for word, code in CIRCUIT_STATE_CODES.items()}
+
 
 def _build_example(name: str) -> Design:
     if name == "luminance_fig1":
@@ -104,6 +140,41 @@ class Application:
             build_system_library(),
             build_macro_library(),
         ]
+        # -- observability ----------------------------------------------
+        self.started_at = time.time()
+        self.registry = get_registry()
+        self._access = get_logger("web.access")
+        self._requests = self.registry.counter(
+            "powerplay_http_requests_total",
+            "HTTP requests routed, by method and (normalized) route.",
+            ("method", "route"),
+        )
+        self._responses = self.registry.counter(
+            "powerplay_http_responses_total",
+            "HTTP responses, by status class (2xx/3xx/4xx/5xx).",
+            ("status_class",),
+        )
+        self._latency = self.registry.histogram(
+            "powerplay_http_request_seconds",
+            "Request handling latency in seconds, per route.",
+            ("route",),
+        )
+        self._uptime = self.registry.gauge(
+            "powerplay_uptime_seconds",
+            "Seconds since this Application was constructed.",
+        )
+        # pre-register the resilience/session families so `/metrics` is
+        # complete (HELP/TYPE lines) even before the first degradation
+        _metric_retries()
+        _metric_circuit_state()
+        _metric_circuit_transitions()
+        _metric_cache()
+        _metric_sessions()
+        self.registry.counter(
+            "powerplay_faults_injected_total",
+            "Faults injected by FaultPlan, by kind.",
+            ("kind",),  # declared here too: importing .faults would cycle
+        )
 
     # -- lookups ------------------------------------------------------------
 
@@ -135,7 +206,13 @@ class Application:
         path: str,
         form: Optional[Mapping[str, str]] = None,
     ) -> Response:
-        """Route one request.  ``path`` may include a query string."""
+        """Route one request.  ``path`` may include a query string.
+
+        Every request — including the error paths — is measured: a
+        per-route request counter, a status-class counter, a latency
+        histogram sample, and one structured access-log line.
+        """
+        started = time.perf_counter()
         parsed = urllib.parse.urlsplit(path)
         route = parsed.path.rstrip("/") or "/"
         query = {
@@ -144,28 +221,44 @@ class Application:
         }
         data: Dict[str, str] = dict(query)
         data.update(form or {})
-        try:
-            return self._dispatch(method.upper(), route, data)
-        except (WebError, SessionError) as exc:
-            return Response(
-                status=400,
-                body=pages.H.error_page("PowerPlay error", str(exc)),
-            )
-        except PowerPlayError as exc:
-            return Response(
-                status=422,
-                body=pages.H.error_page("Model error", str(exc)),
-            )
-        except Exception:  # noqa: BLE001 - last-resort: page, not traceback
-            return Response(
-                status=500,
-                body=pages.H.error_page(
-                    "Server error",
-                    "PowerPlay hit an internal error handling this "
-                    "request; the details have been kept server-side. "
-                    "Please retry or start over from the front page.",
-                ),
-            )
+        label = route_label(route)
+        with obs_span("http_request", method=method.upper(), route=label):
+            try:
+                response = self._dispatch(method.upper(), route, data)
+            except (WebError, SessionError) as exc:
+                response = Response(
+                    status=400,
+                    body=pages.H.error_page("PowerPlay error", str(exc)),
+                )
+            except PowerPlayError as exc:
+                response = Response(
+                    status=422,
+                    body=pages.H.error_page("Model error", str(exc)),
+                )
+            except Exception:  # noqa: BLE001 - last-resort: page, no traceback
+                response = Response(
+                    status=500,
+                    body=pages.H.error_page(
+                        "Server error",
+                        "PowerPlay hit an internal error handling this "
+                        "request; the details have been kept server-side. "
+                        "Please retry or start over from the front page.",
+                    ),
+                )
+        duration = time.perf_counter() - started
+        self._requests.inc(method=method.upper(), route=label)
+        self._responses.inc(status_class=f"{response.status // 100}xx")
+        self._latency.observe(duration, route=label)
+        self._access.info(
+            "request",
+            method=method.upper(),
+            path=parsed.path,
+            route=label,
+            status=response.status,
+            duration_ms=round(duration * 1e3, 3),
+            user=data.get("user", ""),
+        )
+        return response
 
     def _dispatch(self, method: str, route: str, data: Dict[str, str]) -> Response:
         if route == "/":
@@ -215,6 +308,10 @@ class Application:
             return self._agent_estimate(data)
         if route == "/api/ping":
             return Response.json({"server": self.server_name, "protocol": "powerplay/1"})
+        if route == "/metrics":
+            return self._metrics_exposition()
+        if route == "/status":
+            return self._status_page()
         if route.startswith("/doc/cell/"):
             return self._doc_cell(route.rsplit("/", 1)[-1], data)
         if route == "/doc/models":
@@ -580,6 +677,95 @@ class Application:
         return Response(
             body=pages.define_model_page(
                 user, saved=name, auth=self._auth_token(user)
+            )
+        )
+
+    # -- observability endpoints --------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self.started_at
+
+    def _metrics_exposition(self) -> Response:
+        """``GET /metrics`` — Prometheus text format, curl-able."""
+        self._uptime.set(self.uptime_seconds)
+        return Response(
+            body=self.registry.render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _status_page(self) -> Response:
+        """``GET /status`` — the same registry, as an HTML dashboard."""
+        self._uptime.set(self.uptime_seconds)
+        snapshot = self.registry.snapshot()
+
+        def samples(name: str) -> Dict[Tuple[str, ...], float]:
+            return snapshot.get(name, {})
+
+        requests_by_route: Dict[str, float] = {}
+        for (method, route), count in samples(
+            "powerplay_http_requests_total"
+        ).items():
+            requests_by_route[route] = requests_by_route.get(route, 0) + count
+        latency_count = samples("powerplay_http_request_seconds_count")
+        latency_sum = samples("powerplay_http_request_seconds_sum")
+        request_rows = []
+        for route in sorted(requests_by_route):
+            count = latency_count.get((route,), 0.0)
+            mean_ms = (
+                1e3 * latency_sum.get((route,), 0.0) / count if count else 0.0
+            )
+            request_rows.append(
+                (route, int(requests_by_route[route]), f"{mean_ms:.2f} ms")
+            )
+        status_rows = [
+            (key[0], int(value))
+            for key, value in sorted(
+                samples("powerplay_http_responses_total").items()
+            )
+        ]
+        circuit_rows = [
+            (key[0], _CIRCUIT_WORDS.get(int(value), str(value)))
+            for key, value in sorted(samples("powerplay_circuit_state").items())
+        ]
+        cache_rows = [
+            (key[0], int(value))
+            for key, value in sorted(
+                samples("powerplay_model_cache_total").items()
+            )
+        ]
+        event_rows = [
+            ("retries issued", int(sum(
+                samples("powerplay_retries_total").values()))),
+            ("circuit transitions", int(sum(
+                samples("powerplay_circuit_transitions_total").values()))),
+            ("faults injected", int(sum(
+                samples("powerplay_faults_injected_total").values()))),
+            ("session saves", int(
+                samples("powerplay_session_ops_total").get(("save",), 0))),
+            ("sessions quarantined", int(
+                samples("powerplay_session_ops_total").get(("quarantine",), 0))),
+        ]
+        trace_rows = [
+            (
+                trace.name,
+                trace.span_id,
+                f"{trace.duration * 1e3:.2f} ms",
+                sum(1 for _ in trace.walk()),
+            )
+            for trace in recent_traces()[-8:]
+        ]
+        return Response(
+            body=pages.status_page(
+                self.server_name,
+                self.uptime_seconds,
+                len(self.users.known_users()),
+                request_rows,
+                status_rows,
+                circuit_rows,
+                cache_rows,
+                event_rows,
+                trace_rows,
             )
         )
 

@@ -43,8 +43,19 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import FaultInjected
+from ..obs import get_logger, get_registry
 from .app import Application, Response
 from .server import PowerPlayServer, _Handler
+
+_LOG = get_logger("faults")
+
+
+def _metric_faults():
+    return get_registry().counter(
+        "powerplay_faults_injected_total",
+        "Faults injected by FaultPlan, by kind.",
+        ("kind",),
+    )
 
 #: every fault kind the harness can inject
 FAULT_KINDS = (
@@ -120,6 +131,8 @@ class FaultPlan:
             if kind is not None:
                 self.faults_injected += 1
                 self.injected_log.append((index, kind, bare))
+                _metric_faults().inc(kind=kind)
+                _LOG.info("inject", kind=kind, path=bare, request=index)
             return kind
 
     def reset(self) -> None:

@@ -554,3 +554,91 @@ def design_analysis_page(
         H.table(timing_rows, header=["Name", "Delay", "Max frequency"]),
         nav=nav_for(user, auth),
     )
+
+
+def status_page(
+    server_name: str,
+    uptime_s: float,
+    known_users: int,
+    request_rows: Sequence[Tuple[str, int, str]],
+    status_rows: Sequence[Tuple[str, int]],
+    circuit_rows: Sequence[Tuple[str, str]],
+    cache_rows: Sequence[Tuple[str, int]],
+    event_rows: Sequence[Tuple[str, int]],
+    trace_rows: Sequence[Tuple[str, str, str, int]],
+) -> str:
+    """``GET /status`` — the operator's dashboard, PowerPlay style.
+
+    The 1996 deployment was "local to one server" and watched through
+    httpd logs; this page is the modern equivalent: uptime, the request
+    table, circuit-breaker states, model-cache outcomes, and recent
+    traces — all rendered from the same registry ``GET /metrics``
+    exposes, so the two views can never disagree.
+    """
+    minutes, seconds = divmod(int(uptime_s), 60)
+    hours, minutes = divmod(minutes, 60)
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Server {server_name!r} up {hours}h {minutes:02d}m "
+                f"{seconds:02d}s; {known_users} known user(s).  ",
+                H.link("/metrics", "Raw Prometheus metrics"),
+                ".",
+            )
+        ),
+        H.heading("Requests by route", 2),
+        H.table(
+            [
+                [route, H.tag("span", str(count), class_="num"), mean]
+                for route, count, mean in request_rows
+            ]
+            or [["(no requests yet)", "", ""]],
+            header=["Route", "Requests", "Mean latency"],
+        ),
+        H.heading("Responses by status class", 2),
+        H.table(
+            [
+                [status, H.tag("span", str(count), class_="num")]
+                for status, count in status_rows
+            ]
+            or [["(none)", ""]],
+            header=["Status", "Responses"],
+        ),
+        H.heading("Circuit breakers", 2),
+        H.table(
+            [[name, state] for name, state in circuit_rows]
+            or [["(no remotes contacted)", ""]],
+            header=["Remote", "State"],
+        ),
+        H.heading("Model cache", 2),
+        H.table(
+            [
+                [result, H.tag("span", str(count), class_="num")]
+                for result, count in cache_rows
+            ]
+            or [["(no lookups)", ""]],
+            header=["Outcome", "Lookups"],
+        ),
+        H.heading("Degradation events", 2),
+        H.table(
+            [
+                [what, H.tag("span", str(count), class_="num")]
+                for what, count in event_rows
+            ],
+            header=["Event", "Count"],
+        ),
+    ]
+    if trace_rows:
+        body.extend(
+            [
+                H.heading("Recent traces", 2),
+                H.table(
+                    [
+                        [name, span_id, duration, str(spans)]
+                        for name, span_id, duration, spans in trace_rows
+                    ],
+                    header=["Root span", "ID", "Duration", "Spans"],
+                ),
+            ]
+        )
+    return H.page(f"PowerPlay status — {server_name}", *body)

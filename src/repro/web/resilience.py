@@ -22,7 +22,12 @@ without wall-clock sleeps:
 
 Nothing degrades silently: every retry, stale serve, and skipped host
 is recorded as a :class:`ResolutionEvent` in a
-:class:`ResolutionReport`.
+:class:`ResolutionReport` — and, since the observability layer
+(:mod:`repro.obs`), mirrored into the process-wide metrics registry
+(``powerplay_retries_total``, ``powerplay_circuit_state``,
+``powerplay_model_cache_total``) and the ``resilience`` structured
+logger, so a degrading federation is visible on ``GET /metrics`` and
+``GET /status`` while it happens.
 """
 
 from __future__ import annotations
@@ -32,8 +37,45 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
 
 from ..errors import CircuitOpenError, TransientRemoteError
+from ..obs import get_logger, get_registry
 
 T = TypeVar("T")
+
+_LOG = get_logger("resilience")
+
+#: numeric circuit states for the ``powerplay_circuit_state`` gauge
+CIRCUIT_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def _metric_retries():
+    return get_registry().counter(
+        "powerplay_retries_total",
+        "Retry attempts issued by RetryPolicy.call.",
+    )
+
+
+def _metric_circuit_state():
+    return get_registry().gauge(
+        "powerplay_circuit_state",
+        "Circuit breaker state (0=closed, 1=half_open, 2=open).",
+        ("name",),
+    )
+
+
+def _metric_circuit_transitions():
+    return get_registry().counter(
+        "powerplay_circuit_transitions_total",
+        "Circuit breaker state transitions.",
+        ("name", "to"),
+    )
+
+
+def _metric_cache():
+    return get_registry().counter(
+        "powerplay_model_cache_total",
+        "Model cache lookups by outcome (fresh hit, stale serve, miss).",
+        ("result",),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -111,6 +153,14 @@ class RetryPolicy:
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 self.retries_issued += 1
+                _metric_retries().inc()
+                _LOG.warning(
+                    "retry",
+                    attempt=attempt + 1,
+                    max_attempts=self.max_attempts,
+                    delay_s=self.delay(attempt),
+                    error=str(exc),
+                )
                 self.sleep(self.delay(attempt))
                 attempt += 1
 
@@ -155,6 +205,21 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self.times_tripped = 0
         self.calls_rejected = 0
+        _metric_circuit_state().set(CIRCUIT_STATE_CODES[CLOSED], name=name)
+
+    def _note_transition(self, to_state: str) -> None:
+        """Publish a state change to metrics and the structured log."""
+        _metric_circuit_state().set(
+            CIRCUIT_STATE_CODES[to_state], name=self.name
+        )
+        _metric_circuit_transitions().inc(name=self.name, to=to_state)
+        log = _LOG.warning if to_state == OPEN else _LOG.info
+        log(
+            "circuit_transition",
+            name=self.name,
+            to=to_state,
+            consecutive_failures=self._consecutive_failures,
+        )
 
     @property
     def state(self) -> str:
@@ -170,8 +235,11 @@ class CircuitBreaker:
         return self.state != OPEN
 
     def record_success(self) -> None:
+        was = self._state
         self._state = CLOSED
         self._consecutive_failures = 0
+        if was != CLOSED:
+            self._note_transition(CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -185,6 +253,7 @@ class CircuitBreaker:
                 self.times_tripped += 1
             self._state = OPEN
             self._opened_at = self.clock()
+            self._note_transition(OPEN)
 
     def call(
         self,
@@ -207,8 +276,9 @@ class CircuitBreaker:
                 f"(retry in {max(0.0, self._remaining()):.1f}s)",
                 retry_after=max(0.0, self._remaining()),
             )
-        if state == HALF_OPEN:
+        if state == HALF_OPEN and self._state != HALF_OPEN:
             self._state = HALF_OPEN  # commit the probe
+            self._note_transition(HALF_OPEN)
         try:
             result = fn()
         except failure_types:
@@ -274,7 +344,9 @@ class ModelCache(Generic[T]):
         value, fresh = self.lookup(key)
         if fresh:
             self.fresh_hits += 1
+            _metric_cache().inc(result="fresh")
             return value
+        _metric_cache().inc(result="miss")
         return None
 
     def get_stale(self, key: str) -> Optional[T]:
@@ -283,6 +355,8 @@ class ModelCache(Generic[T]):
         if slot is None:
             return None
         self.stale_serves += 1
+        _metric_cache().inc(result="stale")
+        _LOG.info("stale_serve", key=key)
         return slot.value
 
     def clear(self) -> None:

@@ -22,6 +22,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
+from ..obs import get_logger
 from .app import Application, Response
 
 
@@ -75,9 +76,18 @@ class _Handler(BaseHTTPRequestHandler):
     #: leaves generous headroom for design-JSON imports
     max_body_bytes: int = 1 << 20
 
-    # silence per-request stderr logging
+    #: transport-level log lines (http.server's per-request and error
+    #: chatter) go through the structured logger, not raw stderr.  The
+    #: default observability state is disabled with a no-op sink, so
+    #: tests stay quiet; ``repro --log-level info serve`` surfaces them.
+    _httpd_log = get_logger("web.httpd")
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass
+        self._httpd_log.info(
+            "httpd",
+            client=self.client_address[0],
+            message=format % args,
+        )
 
     def _send(self, response: Response) -> None:
         body = response.body.encode("utf-8")

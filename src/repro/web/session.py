@@ -32,6 +32,17 @@ from ..core.design import Design
 from ..errors import PowerPlayError, SessionError
 from ..library.catalog import Library, LibraryEntry
 from ..library.designio import design_from_payload, design_to_payload
+from ..obs import get_logger, get_registry
+
+_LOG = get_logger("session")
+
+
+def _metric_sessions():
+    return get_registry().counter(
+        "powerplay_session_ops_total",
+        "Session store operations (save, load, create, quarantine).",
+        ("op",),
+    )
 
 # \Z, not $: "$" also matches before a trailing newline, which would
 # let "alice\n" through and put a newline in a file name
@@ -210,6 +221,10 @@ class UserStore:
             target = path.with_suffix(f".json.corrupt-{counter}")
         path.replace(target)
         self.quarantined.append((username, target, reason))
+        _metric_sessions().inc(op="quarantine")
+        _LOG.warning(
+            "quarantine", user=username, moved_to=str(target), reason=reason
+        )
         return target
 
     def session(self, username: str) -> UserSession:
@@ -225,6 +240,8 @@ class UserStore:
                 try:
                     payload = json.loads(path.read_text())
                     session.load_payload(payload)
+                    _metric_sessions().inc(op="load")
+                    _LOG.debug("load", user=username)
                 except (
                     json.JSONDecodeError,
                     PowerPlayError,
@@ -237,6 +254,9 @@ class UserStore:
                     # load_payload may have half-populated the session
                     # before failing — start over from a clean one
                     session = UserSession(username, self)
+            else:
+                _metric_sessions().inc(op="create")
+                _LOG.debug("create", user=username)
             self._sessions[username] = session
             return session
 
@@ -264,6 +284,8 @@ class UserStore:
                     handle.flush()
                     os.fsync(handle.fileno())
                 os.replace(tmp_name, path)
+                _metric_sessions().inc(op="save")
+                _LOG.debug("save", user=session.username, bytes=len(payload))
             except BaseException:
                 try:
                     os.unlink(tmp_name)

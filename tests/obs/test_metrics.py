@@ -1,0 +1,142 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus text."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(namespace="test")
+
+
+class TestCounter:
+    def test_counts_with_and_without_labels(self, registry):
+        plain = registry.counter("events_total", "Events.")
+        plain.inc()
+        plain.inc(2)
+        assert plain.value() == 3
+
+        routed = registry.counter("hits_total", "Hits.", ("route",))
+        routed.inc(route="/menu")
+        routed.inc(route="/menu")
+        routed.inc(route="/play")
+        assert routed.value(route="/menu") == 2
+        assert routed.value(route="/play") == 1
+        assert routed.total() == 3
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("ups_total", "Only up.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_render(self, registry):
+        counter = registry.counter("hits_total", "Hits.", ("route",))
+        counter.inc(route="/menu")
+        text = "\n".join(counter.render())
+        assert "# HELP hits_total Hits." in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{route="/menu"} 1' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth", "Current depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_labelled_series_are_independent(self, registry):
+        gauge = registry.gauge("state", "Per-name state.", ("name",))
+        gauge.set(2, name="remote")
+        gauge.set(0, name="hub")
+        assert gauge.value(name="remote") == 2
+        assert gauge.value(name="hub") == 0
+
+
+class TestHistogram:
+    def test_counts_and_sum(self, registry):
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(5.555)
+
+    def test_buckets_render_cumulative(self, registry):
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = "\n".join(histogram.render())
+        assert 'latency_seconds_bucket{le="0.01"} 1' in text
+        assert 'latency_seconds_bucket{le="0.1"} 2' in text
+        assert 'latency_seconds_bucket{le="1"} 3' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 4' in text
+        assert "latency_seconds_count 4" in text
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("hits_total", "Hits.", ("route",))
+        again = registry.counter("hits_total", "Hits.", ("route",))
+        assert first is again
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("thing", "A counter.")
+        with pytest.raises(ValueError):
+            registry.gauge("thing", "Now a gauge?")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("hits_total", "Hits.", ("route",))
+        with pytest.raises(ValueError):
+            registry.counter("hits_total", "Hits.", ("path",))
+
+    def test_render_is_valid_exposition(self, registry):
+        registry.counter("hits_total", "Hits.", ("route",)).inc(route="/menu")
+        registry.gauge("depth", "Depth.").set(3)
+        text = registry.render()
+        for line in text.splitlines():
+            assert line == "" or line.startswith("#") or " " in line
+        assert text.endswith("\n")
+        assert "# TYPE hits_total counter" in text
+        assert "# TYPE depth gauge" in text
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("odd_total", "Odd labels.", ("what",))
+        counter.inc(what='say "hi"\nthere\\')
+        rendered = registry.render()
+        assert r'what="say \"hi\"\nthere\\"' in rendered
+
+    def test_snapshot(self, registry):
+        registry.counter("hits_total", "Hits.", ("route",)).inc(route="/menu")
+        registry.histogram("lat", "Latency.", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["hits_total"][("/menu",)] == 1
+        assert snap["lat_count"][()] == 1
+        assert snap["lat_sum"][()] == pytest.approx(0.5)
+
+    def test_reset_zeroes_samples_but_keeps_definitions(self, registry):
+        counter = registry.counter("hits_total", "Hits.", ("route",))
+        counter.inc(route="/menu")
+        registry.reset()
+        assert counter.total() == 0
+        assert registry.counter("hits_total", "Hits.", ("route",)) is counter
+        # HELP/TYPE survive a reset so /metrics keeps advertising families
+        assert "# TYPE hits_total counter" in registry.render()
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()

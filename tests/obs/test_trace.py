@@ -1,0 +1,168 @@
+"""Trace spans: nesting, attributes, the no-op default, rendering."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NULL_SPAN
+
+
+class FakePerf:
+    """A monotonic clock advanced by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def perf():
+    clock = FakePerf()
+    with obs.overridden(enabled=True, perf=clock):
+        obs.clear_traces()
+        yield clock
+        obs.clear_traces()
+
+
+class TestNoOpMode:
+    def test_disabled_span_is_the_shared_null(self):
+        with obs.overridden(enabled=False):
+            assert obs.span("anything") is _NULL_SPAN
+            assert obs.span("other", key="value") is _NULL_SPAN
+
+    def test_null_span_supports_the_protocol(self):
+        with obs.overridden(enabled=False):
+            with obs.span("quiet", design="x") as sp:
+                sp.set(rows=5)  # silently ignored
+
+    def test_disabled_spans_record_nothing(self):
+        with obs.overridden(enabled=False):
+            with obs.span("quiet"):
+                pass
+        with obs.overridden(enabled=True):
+            assert obs.last_trace() is None or obs.last_trace().name != "quiet"
+
+
+class TestNesting:
+    def test_children_attach_to_the_open_parent(self, perf):
+        with obs.span("root") as root:
+            with obs.span("child_a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child_b"):
+                pass
+        assert [node.name for node in root.walk()] == [
+            "root", "child_a", "grandchild", "child_b",
+        ]
+        assert root.find("grandchild") is not None
+        assert root.find("ghost") is None
+
+    def test_durations_use_the_injected_clock(self, perf):
+        with obs.span("outer"):
+            perf.advance(0.5)
+            with obs.span("inner"):
+                perf.advance(0.25)
+        root = obs.last_trace()
+        assert root.duration == pytest.approx(0.75)
+        assert root.children[0].duration == pytest.approx(0.25)
+
+    def test_attributes_at_open_and_mid_span(self, perf):
+        with obs.span("work", design="infopad") as sp:
+            sp.set(rows=12, watts=0.5)
+        root = obs.last_trace()
+        assert root.attributes == {"design": "infopad", "rows": 12,
+                                   "watts": 0.5}
+
+    def test_exception_marks_the_span_and_propagates(self, perf):
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        root = obs.last_trace()
+        assert root.name == "doomed"
+        assert root.attributes["error"] == "RuntimeError"
+
+    def test_span_ids_are_sequential_hex(self, perf):
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        ids = [trace.span_id for trace in obs.recent_traces()[-2:]]
+        assert all(len(span_id) == 4 for span_id in ids)
+        assert int(ids[1], 16) == int(ids[0], 16) + 1
+
+    def test_name_attribute_does_not_collide_with_positional(self, perf):
+        # regression: span("design", name=...) must bind name= as an
+        # attribute, not as the positional span name
+        with obs.span("design", name="infopad"):
+            pass
+        root = obs.last_trace()
+        assert root.name == "design"
+        assert root.attributes["name"] == "infopad"
+
+
+class TestRingAndThreads:
+    def test_recent_traces_keeps_roots_only(self, perf):
+        with obs.span("first"):
+            with obs.span("nested"):
+                pass
+        with obs.span("second"):
+            pass
+        names = [trace.name for trace in obs.recent_traces()]
+        assert names == ["first", "second"]
+
+    def test_ring_is_bounded(self, perf):
+        for index in range(40):
+            with obs.span(f"s{index}"):
+                pass
+        recent = obs.recent_traces()
+        assert len(recent) == 32
+        assert recent[-1].name == "s39"
+
+    def test_threads_trace_independently(self, perf):
+        seen = {}
+
+        def worker():
+            with obs.span("thread_root"):
+                with obs.span("thread_child"):
+                    pass
+            seen["last"] = obs.last_trace()
+
+        with obs.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["last"].name == "thread_root"
+        assert obs.last_trace().name == "main_root"
+        # the worker's root never attached under main_root
+        assert obs.last_trace().find("thread_root") is None
+
+
+class TestRendering:
+    def test_tree_layout_with_shares(self, perf):
+        with obs.span("evaluate_power", design="fig3") as sp:
+            perf.advance(0.002)
+            with obs.span("design", name="fig3"):
+                perf.advance(0.008)
+            sp.set(watts=1.5e-4)
+        text = obs.render_trace(obs.last_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("evaluate_power [")
+        assert "100.0%" in lines[0]
+        assert "design=fig3" in lines[0]
+        assert lines[1].startswith("  design [")
+        assert " 80.0%" in lines[1]
+
+    def test_payload_round_trip(self, perf):
+        with obs.span("root", k=1):
+            with obs.span("leaf"):
+                pass
+        payload = obs.last_trace().to_payload()
+        assert payload["name"] == "root"
+        assert payload["attributes"] == {"k": 1}
+        assert payload["children"][0]["name"] == "leaf"

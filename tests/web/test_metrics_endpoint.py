@@ -1,0 +1,247 @@
+"""The observability endpoints: /metrics exposition and /status page.
+
+Covers the PR's acceptance criteria directly:
+
+* ``GET /metrics`` is valid Prometheus text exposition including the
+  request-latency histogram, per-route counters, circuit-breaker state
+  and model-cache outcome counters;
+* ``GET /status`` renders an HTML dashboard over the same registry;
+* a deterministic chaos run (scripted faults through the resilience
+  layer) leaves its retry / breaker-trip / stale-serve marks visible in
+  both views.
+"""
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.errors import FaultInjected
+from repro.web.app import Application, route_label
+from repro.web.faults import FaultPlan, FaultyApplication
+from repro.web.resilience import CircuitBreaker, ModelCache, RetryPolicy
+
+USER = "lidsky"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def app(tmp_path):
+    obs.get_registry().reset()  # the registry is process-wide; isolate
+    application = Application(tmp_path / "state")
+    application.handle("POST", "/login", {"user": USER})
+    return application
+
+
+def get(app, path):
+    return app.handle("GET", path)
+
+
+class TestMetricsExposition:
+    def test_content_type_is_prometheus_text(self, app):
+        response = get(app, "/metrics")
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        assert "version=0.0.4" in response.content_type
+
+    def test_every_line_is_well_formed(self, app):
+        get(app, f"/menu?user={USER}")
+        body = get(app, "/metrics").body
+        name_and_labels = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})?$'
+        )
+        assert body.endswith("\n")
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            assert name_and_labels.match(series), f"bad series: {line!r}"
+            float(value)  # raises if the sample value isn't a number
+
+    def test_help_and_type_precede_series(self, app):
+        body = get(app, "/metrics").body
+        lines = body.splitlines()
+        for name in (
+            "powerplay_http_requests_total",
+            "powerplay_http_request_seconds",
+            "powerplay_circuit_state",
+            "powerplay_model_cache_total",
+        ):
+            assert f"# HELP {name} " in body
+            type_at = lines.index(
+                next(l for l in lines if l.startswith(f"# TYPE {name} "))
+            )
+            help_at = lines.index(
+                next(l for l in lines if l.startswith(f"# HELP {name} "))
+            )
+            assert help_at < type_at
+
+    def test_per_route_counters(self, app):
+        get(app, f"/menu?user={USER}")
+        get(app, f"/menu?user={USER}")
+        get(app, f"/library?user={USER}")
+        body = get(app, "/metrics").body
+        assert (
+            'powerplay_http_requests_total{method="GET",route="/menu"} 2'
+            in body
+        )
+        assert (
+            'powerplay_http_requests_total{method="GET",route="/library"} 1'
+            in body
+        )
+        assert (
+            'powerplay_http_requests_total{method="POST",route="/login"} 1'
+            in body
+        )
+
+    def test_latency_histogram_rendered(self, app):
+        get(app, f"/menu?user={USER}")
+        body = get(app, "/metrics").body
+        assert "# TYPE powerplay_http_request_seconds histogram" in body
+        assert re.search(
+            r'powerplay_http_request_seconds_bucket'
+            r'\{le="\+Inf",route="/menu"\} 1',
+            body,
+        )
+        assert 'powerplay_http_request_seconds_count{route="/menu"} 1' in body
+        assert 'powerplay_http_request_seconds_sum{route="/menu"} ' in body
+
+    def test_status_class_counters(self, app):
+        get(app, f"/menu?user={USER}")
+        assert get(app, "/doc/cell/ghost").status == 400
+        body = get(app, "/metrics").body
+        assert 'powerplay_http_responses_total{status_class="2xx"}' in body
+        assert 'powerplay_http_responses_total{status_class="4xx"} 1' in body
+
+    def test_unknown_paths_share_one_route_label(self, app):
+        get(app, "/nowhere/one")
+        get(app, "/nowhere/two?x=1")
+        body = get(app, "/metrics").body
+        assert 'route="(unmatched)"} 2' in body
+        assert "/nowhere" not in body  # no per-path label explosion
+
+    def test_route_label_normalizes(self):
+        assert route_label("/menu") == "/menu"
+        assert route_label("/doc/cell/sram") == "/doc/cell/:name"
+        assert route_label("/totally/made/up") == "(unmatched)"
+
+    def test_families_present_before_any_degradation(self, app):
+        body = get(app, "/metrics").body
+        for name in (
+            "powerplay_retries_total",
+            "powerplay_circuit_transitions_total",
+            "powerplay_faults_injected_total",
+            "powerplay_session_ops_total",
+        ):
+            assert f"# TYPE {name} counter" in body
+
+
+class TestStatusPage:
+    def test_renders_html_dashboard(self, app):
+        get(app, f"/menu?user={USER}")
+        response = get(app, "/status")
+        assert response.status == 200
+        assert response.content_type.startswith("text/html")
+        assert "Requests by route" in response.body
+        assert "Circuit breakers" in response.body
+        assert "Model cache" in response.body
+        assert "/menu" in response.body
+        assert 'href="/metrics"' in response.body
+
+    def test_request_and_status_tables_reflect_traffic(self, app):
+        get(app, f"/menu?user={USER}")
+        get(app, f"/menu?user={USER}")
+        body = get(app, "/status").body
+        assert "2xx" in body
+        assert "3xx" in body  # the login redirect
+
+    def test_status_counts_itself(self, app):
+        get(app, "/status")
+        body = get(app, "/metrics").body
+        assert 'route="/status"} 1' in body
+
+
+class TestChaosVisibility:
+    """Scripted faults leave their marks in /metrics and /status."""
+
+    @pytest.fixture
+    def after_chaos(self, app):
+        # 1. retries: two injected refusals, then success
+        chaotic = FaultyApplication(
+            app, FaultPlan(script=["refuse", "refuse", None])
+        )
+        retry = RetryPolicy(
+            max_attempts=3, sleep=lambda s: None, retry_on=(FaultInjected,)
+        )
+        response = retry.call(
+            lambda: chaotic.handle("GET", f"/menu?user={USER}")
+        )
+        assert response.status == 200
+
+        # 2. breaker: hammer a permanently-refusing endpoint until open
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown=30.0, clock=clock,
+            name="chaos_remote",
+        )
+        always_down = FaultyApplication(app, FaultPlan(script=["refuse"] * 3))
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                breaker.call(
+                    lambda: always_down.handle("GET", f"/menu?user={USER}"),
+                    failure_types=(FaultInjected,),
+                )
+        assert breaker.state == "open"
+
+        # 3. stale serve: a cached model outliving its TTL
+        cache = ModelCache(ttl=10.0, clock=clock)
+        cache.put("sram", object())
+        clock.advance(60.0)
+        assert cache.get_fresh("sram") is None      # miss (expired)
+        assert cache.get_stale("sram") is not None  # degraded fallback
+        return app
+
+    def test_chaos_marks_in_metrics(self, after_chaos):
+        body = get(after_chaos, "/metrics").body
+        assert "powerplay_retries_total 2" in body
+        assert 'powerplay_circuit_state{name="chaos_remote"} 2' in body
+        assert (
+            'powerplay_circuit_transitions_total'
+            '{name="chaos_remote",to="open"} 1' in body
+        )
+        assert 'powerplay_faults_injected_total{kind="refuse"}' in body
+        assert 'powerplay_model_cache_total{result="miss"} 1' in body
+        assert 'powerplay_model_cache_total{result="stale"} 1' in body
+
+    def test_chaos_marks_in_status(self, after_chaos):
+        body = get(after_chaos, "/status").body
+        assert "chaos_remote" in body
+        assert "open" in body
+        assert "stale" in body
+
+    def test_chaos_events_logged_when_enabled(self, app):
+        sink = obs.MemorySink()
+        with obs.overridden(enabled=True, log_level=obs.DEBUG, sink=sink):
+            chaotic = FaultyApplication(
+                app, FaultPlan(script=["refuse", None])
+            )
+            retry = RetryPolicy(
+                max_attempts=2, sleep=lambda s: None,
+                retry_on=(FaultInjected,),
+            )
+            retry.call(lambda: chaotic.handle("GET", f"/menu?user={USER}"))
+        events = {record["event"] for record in sink.records}
+        assert "inject" in events   # the fault layer announced itself
+        assert "retry" in events    # the retry layer covered for it
+        assert "request" in events  # the access log saw the request
