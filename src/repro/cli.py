@@ -72,6 +72,28 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    design = _build_design(args.design)
+    obs.clear_traces()
+    for _ in range(max(1, args.repeat)):
+        evaluate_power(design)
+    profile = obs.aggregate(obs.recent_traces())
+    if args.json:
+        print(_json.dumps(obs.profile_payload(profile, top=args.top),
+                          indent=1, sort_keys=True))
+        return 0
+    print(f"Profile of evaluate_power({args.design!r}) "
+          f"over {max(1, args.repeat)} run(s):")
+    print()
+    print(obs.render_profile(profile, top=args.top))
+    if args.flamegraph:
+        print()
+        print(obs.render_flamegraph(profile))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     designs = [_build_design(name) for name in args.designs]
     print(render_comparison(compare(designs)))
@@ -186,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the span timing tree of the "
                           "evaluation (enables tracing)")
     estimate.set_defaults(func=cmd_estimate)
+
+    profiler = sub.add_parser(
+        "profile", help="span-based hot-path profile of a design evaluation"
+    )
+    profiler.add_argument("design", choices=sorted(set(DESIGN_BUILDERS)))
+    profiler.add_argument("--repeat", type=int, default=5,
+                          help="evaluations to aggregate (default 5)")
+    profiler.add_argument("--top", type=int, default=10,
+                          help="hot paths to list (default 10)")
+    profiler.add_argument("--flamegraph", action="store_true",
+                          help="append the text flamegraph")
+    profiler.add_argument("--json", action="store_true",
+                          help="emit the profile as JSON instead of text")
+    # tracing must be on for spans to be recorded at all
+    profiler.set_defaults(func=cmd_profile, trace=True)
 
     comparison = sub.add_parser("compare", help="compare designs side by side")
     comparison.add_argument("designs", nargs="*", default=["fig1", "fig3"])

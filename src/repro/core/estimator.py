@@ -293,6 +293,15 @@ def _row_area(consumer: Row, feed: str, computed: Mapping[str, PowerReport]) -> 
 def _evaluate_instance(
     row: Instance, computed: Mapping[str, PowerReport]
 ) -> PowerReport:
+    with span("row", name=row.name, model=row.models.name) as sp:
+        report = _evaluate_instance_timed(row, computed)
+        sp.set(watts=report.power)
+        return report
+
+
+def _evaluate_instance_timed(
+    row: Instance, computed: Mapping[str, PowerReport]
+) -> PowerReport:
     extras = _feed_extras(row, computed)
     env = _RowEnv(row.scope, extras)
     if row.measured_power is not None:

@@ -53,11 +53,36 @@ from .metrics import (
 )
 from .trace import (
     Span,
+    annotate,
     clear_traces,
+    current_span,
+    graft_remote,
     last_trace,
     recent_traces,
     render_trace,
     span,
+    traced,
+)
+from . import profile, propagate
+from .profile import (
+    ProfileNode,
+    aggregate,
+    hot_paths,
+    profile_payload,
+    render_flamegraph,
+    render_profile,
+)
+from .propagate import (
+    REQUEST_HEADER,
+    SPAN_HEADER,
+    TRACE_HEADER,
+    TraceContext,
+    current_context,
+    decode_span_header,
+    encode_span_header,
+    extract_context,
+    outbound_headers,
+    parse_trace_header,
 )
 
 __all__ = [
@@ -73,23 +98,45 @@ __all__ = [
     "NullSink",
     "OFF",
     "ObsState",
+    "ProfileNode",
+    "REQUEST_HEADER",
+    "SPAN_HEADER",
     "Span",
+    "TRACE_HEADER",
+    "TraceContext",
     "StreamSink",
     "StructuredLogger",
     "WARNING",
+    "aggregate",
+    "annotate",
     "clear_traces",
     "configure",
+    "current_context",
+    "current_span",
+    "decode_span_header",
     "disable",
     "enable",
+    "encode_span_header",
+    "extract_context",
     "format_kv",
     "get_logger",
     "get_registry",
+    "graft_remote",
+    "hot_paths",
     "is_enabled",
     "last_trace",
+    "outbound_headers",
     "overridden",
     "parse_level",
+    "parse_trace_header",
+    "profile",
+    "profile_payload",
+    "propagate",
     "recent_traces",
+    "render_flamegraph",
+    "render_profile",
     "render_trace",
     "restore",
     "span",
+    "traced",
 ]

@@ -1,0 +1,259 @@
+"""Span-based profiling: where did the time actually go?
+
+ROADMAP's "fast as the hardware allows" needs attribution before
+optimisation: Coburn et al. and HL-Pow both stress that estimation
+throughput only improves once you can *see* the hot path.  This module
+turns the trace ring (:func:`repro.obs.trace.recent_traces`) into a
+call-tree profile:
+
+* **self time** — a span's duration minus its children's, the share it
+  spent in its own code rather than delegating;
+* **aggregation** — recent root spans merged by call path
+  (``evaluate_power/design/design``...) into one tree of
+  count / total / self / min / max per node;
+* **rendering** — a deterministic top-N hot-path table (sorted by self
+  time, ties broken by path) and a text flamegraph whose bar widths are
+  proportional to total time;
+* **export** — a JSON payload for ``GET /profile?fmt=json`` and the CI
+  artifact.
+
+Everything here is read-only over finished spans: profiling adds zero
+cost to traced code, and nothing at all when tracing is off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .trace import Span
+
+__all__ = [
+    "ProfileNode",
+    "aggregate",
+    "hot_paths",
+    "profile_payload",
+    "render_flamegraph",
+    "render_profile",
+    "self_seconds",
+]
+
+
+def self_seconds(node: Span) -> float:
+    """A span's self time: duration minus children, floored at zero.
+
+    Remote (grafted) children are subtracted too — their wall time
+    elapsed inside the local fetch span, even though it was measured on
+    the provider's clock.  The floor guards against clock skew making
+    children sum past the parent.
+    """
+    return max(0.0, node.duration - sum(c.duration for c in node.children))
+
+
+@dataclass
+class ProfileNode:
+    """Aggregated statistics for one call path across many traces."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    remote: bool = False
+    children: Dict[str, "ProfileNode"] = field(default_factory=dict)
+
+    def observe(self, node: Span) -> None:
+        self.count += 1
+        self.total_s += node.duration
+        self.self_s += self_seconds(node)
+        self.min_s = min(self.min_s, node.duration)
+        self.max_s = max(self.max_s, node.duration)
+        self.remote = self.remote or node.remote
+
+    def child(self, name: str) -> "ProfileNode":
+        existing = self.children.get(name)
+        if existing is None:
+            existing = self.children[name] = ProfileNode(name)
+        return existing
+
+    def walk(self, path: Tuple[str, ...] = ()) -> Iterator[Tuple[Tuple[str, ...], "ProfileNode"]]:
+        """(path, node) over the whole tree, children sorted by name."""
+        here = path + (self.name,)
+        yield here, self
+        for name in sorted(self.children):
+            yield from self.children[name].walk(here)
+
+    @property
+    def self_total(self) -> float:
+        """Sum of self time over this subtree (== ``total_s`` up to the
+        zero-floor tolerance — the invariant ``/profile`` asserts)."""
+        return self.self_s + sum(
+            child.self_total for child in self.children.values()
+        )
+
+
+def aggregate(roots: Sequence[Span]) -> ProfileNode:
+    """Merge finished root spans into one call-tree profile.
+
+    Spans are grouped by *path* — the sequence of span names from the
+    root down — so ``design`` under ``evaluate_power`` and ``design``
+    under another ``design`` stay separate rows, exactly like a
+    conventional profiler's call tree.  The synthetic top node's totals
+    are the sum over all observed roots.
+    """
+    top = ProfileNode("(traces)")
+    for root in roots:
+        top.count += 1
+        top.total_s += root.duration
+        top.min_s = min(top.min_s, root.duration)
+        top.max_s = max(top.max_s, root.duration)
+        _merge(top.child(root.name), root)
+    if top.count == 0:
+        top.min_s = 0.0
+    return top
+
+
+def _merge(profile: ProfileNode, node: Span) -> None:
+    profile.observe(node)
+    for child in node.children:
+        _merge(profile.child(child.name), child)
+
+
+def hot_paths(
+    profile: ProfileNode, top: int = 10
+) -> List[Tuple[str, ProfileNode]]:
+    """The ``top`` hottest call paths by aggregate self time.
+
+    Deterministic: sorted by self time descending, then path ascending,
+    so equal-cost paths (common with coarse clocks) always list in the
+    same order.
+    """
+    rows: List[Tuple[str, ProfileNode]] = []
+    for path, node in profile.walk():
+        if len(path) < 2:  # skip the synthetic "(traces)" top node
+            continue
+        rows.append(("/".join(path[1:]), node))
+    rows.sort(key=lambda item: (-item[1].self_s, item[0]))
+    return rows[: max(0, top)]
+
+
+def render_profile(profile: ProfileNode, top: int = 10) -> str:
+    """The deterministic top-N hot-path table, humans first::
+
+        path                          count   total    self    min     max
+        evaluate_power/design             5  4.1ms   0.3ms  0.7ms   0.9ms
+    """
+    rows = hot_paths(profile, top)
+    if not rows:
+        return "(no traces collected — enable tracing and run a workload)"
+    width = max(4, max(len(path) for path, _node in rows))
+    total = profile.total_s
+
+    def ms(seconds: float) -> str:
+        return f"{seconds * 1e3:9.3f}"
+
+    lines = [
+        f"{'path':<{width}}  {'count':>5}  {'total ms':>9}  {'self ms':>9}"
+        f"  {'self %':>6}  {'min ms':>9}  {'max ms':>9}"
+    ]
+    for path, node in rows:
+        share = 100.0 * node.self_s / total if total > 0 else 0.0
+        marker = "~" if node.remote else " "
+        lines.append(
+            f"{path:<{width}} {marker}{node.count:>5}  {ms(node.total_s)}"
+            f"  {ms(node.self_s)}  {share:>5.1f}%"
+            f"  {ms(node.min_s if node.count else 0.0)}  {ms(node.max_s)}"
+        )
+    lines.append(
+        f"{profile.count} trace(s), {profile.total_s * 1e3:.3f} ms total"
+        " ('~' marks paths including remote spans)"
+    )
+    return "\n".join(lines)
+
+
+def render_flamegraph(profile: ProfileNode, width: int = 60) -> str:
+    """A text flamegraph: one line per call path, bar length
+    proportional to the path's share of total traced time::
+
+        evaluate_power            ################################ 4.1ms
+          design                  ############################     3.8ms
+
+    Children are ordered by total time (then name) so the hottest
+    subtree always reads first; the layout is deterministic for a
+    deterministic trace ring.
+    """
+    total = profile.total_s
+    if total <= 0 or not profile.children:
+        return "(no traced time to draw)"
+    label_width = _max_label_width(profile, 0)
+    lines: List[str] = []
+
+    def emit(node: ProfileNode, depth: int) -> None:
+        bar = max(1, round(width * node.total_s / total))
+        label = "  " * depth + node.name + (" ~" if node.remote else "")
+        lines.append(
+            f"{label:<{label_width}} {'#' * bar:<{width}} "
+            f"{node.total_s * 1e3:9.3f}ms"
+            f" ({100.0 * node.total_s / total:5.1f}%)"
+        )
+        ordered = sorted(
+            node.children.values(), key=lambda c: (-c.total_s, c.name)
+        )
+        for child in ordered:
+            emit(child, depth + 1)
+
+    ordered_roots = sorted(
+        profile.children.values(), key=lambda c: (-c.total_s, c.name)
+    )
+    for root in ordered_roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _max_label_width(profile: ProfileNode, depth: int) -> int:
+    widest = 0
+    for name, child in profile.children.items():
+        label = 2 * depth + len(name) + (2 if child.remote else 0)
+        widest = max(widest, label, _max_label_width(child, depth + 1))
+    return max(widest, 8)
+
+
+def profile_payload(profile: ProfileNode, top: int = 20) -> Dict[str, object]:
+    """The JSON shape ``GET /profile?fmt=json`` and CI artifacts use."""
+
+    def node_payload(node: ProfileNode) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": node.name,
+            "count": node.count,
+            "total_s": node.total_s,
+            "self_s": node.self_s,
+            "min_s": node.min_s if node.count else 0.0,
+            "max_s": node.max_s,
+            "children": [
+                node_payload(node.children[name])
+                for name in sorted(node.children)
+            ],
+        }
+        if node.remote:
+            payload["remote"] = True
+        return payload
+
+    return {
+        "traces": profile.count,
+        "total_s": profile.total_s,
+        "self_total_s": profile.self_total,
+        "hot_paths": [
+            {
+                "path": path,
+                "count": node.count,
+                "total_s": node.total_s,
+                "self_s": node.self_s,
+                "min_s": node.min_s if node.count else 0.0,
+                "max_s": node.max_s,
+            }
+            for path, node in hot_paths(profile, top)
+        ],
+        "tree": node_payload(profile),
+    }

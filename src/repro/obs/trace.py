@@ -12,11 +12,22 @@ its wall time and attributes::
 * Span IDs are sequential (``0001``…), not random — deterministic runs
   produce deterministic traces, and nothing here needs global
   uniqueness.
+* Every root span opens a **trace**: a 32-hex trace ID shared by all
+  spans beneath it.  A root may instead *adopt* a remote caller's
+  :class:`~repro.obs.propagate.TraceContext` (extracted from an
+  ``X-PowerPlay-Trace`` header), in which case it records the caller's
+  trace ID and parent span ID — one federated request yields one
+  logical trace spanning requester and provider.
 * The span stack is thread-local: concurrent HTTP requests trace
   independently.
 * Finished root spans land in :func:`last_trace` (per thread) and a
-  small shared ring buffer (:func:`recent_traces`) that ``/status`` and
-  the CLI read.
+  small shared ring buffer (:func:`recent_traces`) that ``/status``,
+  ``/trace``, ``/profile`` and the CLI read.
+* :func:`annotate` drops an instant (zero-duration) child span on the
+  currently open span — retries and circuit-breaker waits show up in
+  the tree without timing anything.  :func:`graft_remote` attaches a
+  provider's finished sub-span payload (decoded from an
+  ``X-PowerPlay-Span`` response header) under the local fetch span.
 * In no-op mode (the default) :func:`span` returns one shared null
   context manager — entering it allocates nothing, so instrumented hot
   paths stay hot (see ``benchmarks/bench_observability.py``).
@@ -31,11 +42,15 @@ from .config import STATE
 
 __all__ = [
     "Span",
+    "annotate",
     "clear_traces",
+    "current_span",
+    "graft_remote",
     "last_trace",
     "recent_traces",
     "render_trace",
     "span",
+    "traced",
 ]
 
 #: finished root spans kept for /status and the CLI
@@ -43,16 +58,27 @@ _RING_SIZE = 32
 
 
 class Span:
-    """One timed region; a finished span is an immutable-ish record."""
+    """One timed region; a finished span is an immutable-ish record.
+
+    ``trace_id`` ties the span to its trace (set on every span while
+    tracing).  ``parent_id`` is only set on roots that adopted a remote
+    caller's context — it names the caller's span on *another* server.
+    ``remote`` marks spans reconstructed from a provider's
+    ``X-PowerPlay-Span`` payload: their durations were measured on the
+    provider's clock.
+    """
 
     __slots__ = (
-        "name", "span_id", "attributes", "children",
-        "start", "duration",
+        "name", "span_id", "trace_id", "parent_id", "remote",
+        "attributes", "children", "start", "duration",
     )
 
     def __init__(self, name: str, span_id: str, attributes: Dict[str, object]):
         self.name = name
         self.span_id = span_id
+        self.trace_id = ""
+        self.parent_id = ""
+        self.remote = False
         self.attributes = attributes
         self.children: List["Span"] = []
         self.start = 0.0
@@ -74,13 +100,20 @@ class Span:
         return None
 
     def to_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "span_id": self.span_id,
             "duration_s": self.duration,
             "attributes": dict(self.attributes),
             "children": [child.to_payload() for child in self.children],
         }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.parent_id:
+            payload["parent_id"] = self.parent_id
+        if self.remote:
+            payload["remote"] = True
+        return payload
 
     def __repr__(self) -> str:
         return (
@@ -115,11 +148,17 @@ class Tracer:
         self._lock = threading.Lock()
         self._recent: List[Span] = []
         self._counter = 0
+        self._trace_counter = 0
 
     def _next_id(self) -> str:
         with self._lock:
             self._counter += 1
             return f"{self._counter:04x}"
+
+    def _next_trace_id(self) -> str:
+        with self._lock:
+            self._trace_counter += 1
+            return f"{self._trace_counter:032x}"
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -127,14 +166,41 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def begin(self, name: str, attributes: Dict[str, object]) -> Span:
+    def begin(
+        self,
+        name: str,
+        attributes: Dict[str, object],
+        context: Optional[object] = None,
+    ) -> Span:
+        """Open a span.  ``context`` (a
+        :class:`~repro.obs.propagate.TraceContext`) is honoured only
+        when this span starts a new thread-local trace — a nested span
+        always belongs to its in-process parent."""
         node = Span(name, self._next_id(), attributes)
         node.start = STATE.perf()
         stack = self._stack()
         if stack:
             stack[-1].children.append(node)
+            node.trace_id = getattr(self._local, "trace_id", "")
+        else:
+            if context is not None:
+                node.trace_id = context.trace_id
+                node.parent_id = context.span_id
+            else:
+                node.trace_id = self._next_trace_id()
+            self._local.trace_id = node.trace_id
         stack.append(node)
         return node
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None outside one)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str:
+        if not self._stack():
+            return ""
+        return getattr(self._local, "trace_id", "")
 
     def end(self, node: Span) -> None:
         node.duration = STATE.perf() - node.start
@@ -170,15 +236,21 @@ TRACER = Tracer()
 class _ActiveSpan:
     """Context manager binding one live span to the tracer."""
 
-    __slots__ = ("_name", "_attributes", "_node")
+    __slots__ = ("_name", "_attributes", "_node", "_context")
 
-    def __init__(self, name: str, attributes: Dict[str, object]):
+    def __init__(
+        self,
+        name: str,
+        attributes: Dict[str, object],
+        context: Optional[object] = None,
+    ):
         self._name = name
         self._attributes = attributes
         self._node: Optional[Span] = None
+        self._context = context
 
     def __enter__(self) -> Span:
-        self._node = TRACER.begin(self._name, self._attributes)
+        self._node = TRACER.begin(self._name, self._attributes, self._context)
         return self._node
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -202,6 +274,62 @@ def span(name: str, /, **attributes: object):
     return _ActiveSpan(name, attributes)
 
 
+def traced(name: str, context, /, **attributes: object):
+    """Like :func:`span`, but the root may adopt a remote caller's
+    :class:`~repro.obs.propagate.TraceContext` — the server side of
+    cross-server propagation.  ``context=None`` behaves exactly like
+    :func:`span`."""
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _ActiveSpan(name, attributes, context)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    if not STATE.enabled:
+        return None
+    return TRACER.current()
+
+
+def annotate(name: str, /, **attributes: object) -> Optional[Span]:
+    """Drop an instant (zero-duration) child span on the open span.
+
+    Used to make point events — a retry decision, a circuit-breaker
+    wait — visible in the trace tree without opening a timed region.
+    Returns the annotation span, or ``None`` when tracing is off or no
+    span is open.
+    """
+    if not STATE.enabled:
+        return None
+    parent = TRACER.current()
+    if parent is None:
+        return None
+    node = Span(name, TRACER._next_id(), dict(attributes))
+    node.trace_id = TRACER.current_trace_id()
+    node.start = STATE.perf()
+    node.duration = 0.0
+    parent.children.append(node)
+    return node
+
+
+def graft_remote(remote_root: Optional[Span]) -> bool:
+    """Attach a provider's finished span tree under the open span.
+
+    The remote tree (decoded by
+    :func:`repro.obs.propagate.decode_span_header`) keeps the span IDs
+    and durations the *provider* measured; callers see one hierarchical
+    trace across the federation.  Returns False (and discards the tree)
+    when tracing is off, no span is open, or ``remote_root`` is None.
+    """
+    if remote_root is None or not STATE.enabled:
+        return False
+    parent = TRACER.current()
+    if parent is None:
+        return False
+    parent.children.append(remote_root)
+    return True
+
+
 def last_trace() -> Optional[Span]:
     """The most recent finished *root* span on this thread."""
     return TRACER.last()
@@ -217,19 +345,30 @@ def clear_traces() -> None:
 
 
 def render_trace(root: Span, _unit_total: Optional[float] = None) -> str:
-    """Indented text tree: name, id, duration, share of root, attrs."""
+    """Indented text tree: name, id, duration, % of root, attrs.
+
+    The ``% of root`` column is guarded against zero-duration roots (a
+    trace whose spans all finished inside one clock tick): division by
+    zero would otherwise crash exactly on the fastest — most
+    interesting — traces.  Spans grafted from a remote provider are
+    marked ``~remote`` (their durations come from the provider's
+    clock).
+    """
     total = root.duration if _unit_total is None else _unit_total
     lines: List[str] = []
 
     def emit(node: Span, depth: int) -> None:
-        share = ""
         if total > 0:
             share = f" {100.0 * node.duration / total:5.1f}%"
+        else:
+            # zero-duration root: the share is undefined, not 0/0
+            share = "    --%"
         attrs = " ".join(
             f"{key}={value}" for key, value in node.attributes.items()
         )
+        marker = " ~remote" if node.remote else ""
         lines.append(
-            f"{'  ' * depth}{node.name} [{node.span_id}] "
+            f"{'  ' * depth}{node.name} [{node.span_id}]{marker} "
             f"{node.duration * 1e3:.3f}ms{share}"
             + (f"  {attrs}" if attrs else "")
         )

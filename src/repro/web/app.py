@@ -14,6 +14,7 @@ PowerPlay servers import (the Figure 7 HTTP model-access protocol).
 
 from __future__ import annotations
 
+import itertools
 import json
 import secrets
 import time
@@ -45,8 +46,11 @@ from ..library.designio import (
     design_to_json,
     design_to_payload,
 )
-from ..obs import get_logger, get_registry, recent_traces
-from ..obs import span as obs_span
+from ..obs import get_logger, get_registry, is_enabled, recent_traces
+from ..obs import profile as obs_profile
+from ..obs import propagate
+from ..obs import render_trace
+from ..obs.trace import Span, traced
 from . import pages
 from .resilience import (
     CIRCUIT_STATE_CODES,
@@ -98,7 +102,7 @@ KNOWN_ROUTES = frozenset(
         "/design/load_example", "/define", "/export/design",
         "/export/library", "/api/library.json", "/api/model",
         "/api/design", "/agent/estimate", "/api/ping", "/doc/models",
-        "/tutorial", "/help", "/metrics", "/status",
+        "/tutorial", "/help", "/metrics", "/status", "/trace", "/profile",
     }
 )
 
@@ -144,6 +148,10 @@ class Application:
         self.started_at = time.time()
         self.registry = get_registry()
         self._access = get_logger("web.access")
+        #: per-application request IDs — echoed as X-PowerPlay-Request
+        #: on every response and cited in the access log, so a log line,
+        #: a trace, and a client-side error join on one key
+        self._request_ids = itertools.count(1)
         self._requests = self.registry.counter(
             "powerplay_http_requests_total",
             "HTTP requests routed, by method and (normalized) route.",
@@ -205,12 +213,21 @@ class Application:
         method: str,
         path: str,
         form: Optional[Mapping[str, str]] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Response:
         """Route one request.  ``path`` may include a query string.
 
         Every request — including the error paths — is measured: a
         per-route request counter, a status-class counter, a latency
-        histogram sample, and one structured access-log line.
+        histogram sample, and one structured access-log line citing the
+        request ID echoed in the ``X-PowerPlay-Request`` header.
+
+        ``headers`` (the request headers, when a transport supplies
+        them) feeds cross-server tracing: a valid ``X-PowerPlay-Trace``
+        makes this request's span a child of the remote caller's span,
+        and the finished span is returned in ``X-PowerPlay-Span`` so
+        the caller can graft it into its own trace.  A malformed or
+        oversized trace header is ignored — never an error.
         """
         started = time.perf_counter()
         parsed = urllib.parse.urlsplit(path)
@@ -222,7 +239,18 @@ class Application:
         data: Dict[str, str] = dict(query)
         data.update(form or {})
         label = route_label(route)
-        with obs_span("http_request", method=method.upper(), route=label):
+        request_id = f"req-{next(self._request_ids):08x}"
+        context = propagate.extract_context(headers)
+        handled: Optional[Span] = None
+        with traced(
+            "http_request",
+            context,
+            method=method.upper(),
+            route=label,
+            request=request_id,
+        ) as sp:
+            if isinstance(sp, Span):
+                handled = sp
             try:
                 response = self._dispatch(method.upper(), route, data)
             except (WebError, SessionError) as exc:
@@ -246,6 +274,13 @@ class Application:
                     ),
                 )
         duration = time.perf_counter() - started
+        response.headers.setdefault(propagate.REQUEST_HEADER, request_id)
+        if context is not None and handled is not None:
+            # the caller asked for this span: hand the finished subtree
+            # back so the federated trace is one tree, not two halves
+            encoded = propagate.encode_span_header(handled)
+            if encoded:
+                response.headers.setdefault(propagate.SPAN_HEADER, encoded)
         self._requests.inc(method=method.upper(), route=label)
         self._responses.inc(status_class=f"{response.status // 100}xx")
         self._latency.observe(duration, route=label)
@@ -257,6 +292,7 @@ class Application:
             status=response.status,
             duration_ms=round(duration * 1e3, 3),
             user=data.get("user", ""),
+            request=request_id,
         )
         return response
 
@@ -312,6 +348,10 @@ class Application:
             return self._metrics_exposition()
         if route == "/status":
             return self._status_page()
+        if route == "/trace":
+            return self._trace_endpoint(data)
+        if route == "/profile":
+            return self._profile_endpoint(data)
         if route.startswith("/doc/cell/"):
             return self._doc_cell(route.rsplit("/", 1)[-1], data)
         if route == "/doc/models":
@@ -766,6 +806,66 @@ class Application:
                 cache_rows,
                 event_rows,
                 trace_rows,
+            )
+        )
+
+    def _trace_endpoint(self, data: Mapping[str, str]) -> Response:
+        """``GET /trace`` — recent root traces, remote subtrees included.
+
+        ``?fmt=json`` exports the span payloads (the same shape the
+        ``X-PowerPlay-Span`` header carries), so a trace can be saved,
+        diffed, or re-imported; the default is an HTML dashboard of
+        rendered trees.
+        """
+        roots = recent_traces()
+        if data.get("fmt") == "json":
+            return Response.json(
+                {
+                    "server": self.server_name,
+                    "tracing_enabled": is_enabled(),
+                    "traces": [root.to_payload() for root in roots],
+                }
+            )
+        rendered = [
+            (
+                root.name,
+                root.trace_id,
+                f"{root.duration * 1e3:.3f} ms",
+                sum(1 for _ in root.walk()),
+                sum(1 for node in root.walk() if node.remote),
+                render_trace(root),
+            )
+            for root in reversed(roots)
+        ]
+        return Response(
+            body=pages.trace_page(
+                self.server_name, is_enabled(), rendered
+            )
+        )
+
+    def _profile_endpoint(self, data: Mapping[str, str]) -> Response:
+        """``GET /profile`` — the trace ring aggregated into a profile.
+
+        Count / total / self / min / max per call path, a top-N
+        hot-path table, and a text flamegraph; ``?fmt=json`` exports
+        the same aggregation for tooling (the CI artifact shape).
+        """
+        profile = obs_profile.aggregate(recent_traces())
+        top = 20
+        if data.get("top", "").isdigit():
+            top = max(1, min(200, int(data["top"])))
+        if data.get("fmt") == "json":
+            payload = obs_profile.profile_payload(profile, top=top)
+            payload["server"] = self.server_name
+            payload["tracing_enabled"] = is_enabled()
+            return Response.json(payload)
+        return Response(
+            body=pages.profile_page(
+                self.server_name,
+                is_enabled(),
+                profile.count,
+                obs_profile.render_profile(profile, top=top),
+                obs_profile.render_flamegraph(profile),
             )
         )
 

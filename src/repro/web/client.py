@@ -12,10 +12,12 @@ from __future__ import annotations
 import http.client
 import re
 import urllib.parse
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import RemoteError, TransientRemoteError
+from ..obs import propagate
+from ..obs.trace import graft_remote
 
 _LINK_RE = re.compile(r'<a href="([^"]+)">(.*?)</a>', re.S)
 _TITLE_RE = re.compile(r"<title>(.*?)</title>", re.S)
@@ -24,11 +26,20 @@ _ERROR_RE = re.compile(r'<p class="error">(.*?)</p>', re.S)
 
 @dataclass
 class Page:
-    """A fetched page: status, body, and parsed conveniences."""
+    """A fetched page: status, body, headers, parsed conveniences."""
 
     url: str
     status: int
     body: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str) -> Optional[str]:
+        """Case-insensitive response-header lookup."""
+        wanted = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == wanted:
+                return value
+        return None
 
     @property
     def title(self) -> str:
@@ -89,7 +100,7 @@ class Browser:
         path: str,
         body: Optional[str] = None,
         content_type: Optional[str] = None,
-    ) -> Tuple[int, str, Optional[str]]:
+    ) -> Tuple[int, str, Optional[str], Dict[str, str]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -97,10 +108,14 @@ class Browser:
             headers = {}
             if content_type:
                 headers["Content-Type"] = content_type
+            # cross-server trace propagation: when a span is open on
+            # this thread, every outbound request carries its context
+            headers.update(propagate.outbound_headers())
             connection.request(method, path, body=body, headers=headers)
             raw = connection.getresponse()
             text = raw.read().decode("utf-8", errors="replace")
-            return raw.status, text, raw.getheader("Location")
+            response_headers = dict(raw.getheaders())
+            return raw.status, text, raw.getheader("Location"), response_headers
         except (OSError, http.client.HTTPException) as exc:
             raise TransientRemoteError(
                 f"cannot reach http://{self.host}:{self.port}{path}: {exc}"
@@ -118,11 +133,19 @@ class Browser:
     ) -> Page:
         hops = 0
         while True:
-            status, text, location = self._request_once(
+            status, text, location, headers = self._request_once(
                 method, path, body, content_type
             )
+            # graft the provider's finished sub-span (if it sent one)
+            # under the local span driving this fetch — one federated
+            # trace instead of two that stop at the socket
+            graft_remote(
+                propagate.decode_span_header(
+                    headers.get(propagate.SPAN_HEADER)
+                )
+            )
             if not (follow_redirects and status in (301, 302, 303) and location):
-                return Page(path, status, text)
+                return Page(path, status, text, headers)
             hops += 1
             if hops > self.MAX_REDIRECTS:
                 raise RemoteError(

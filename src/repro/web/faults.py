@@ -198,16 +198,19 @@ class FaultyApplication:
         method: str,
         path: str,
         form: Optional[Mapping[str, str]] = None,
+        headers=None,
     ) -> Response:
         kind = self.plan.next_fault(path)
         if kind is None:
-            return self.inner.handle(method, path, form)
+            return self.inner.handle(method, path, form, headers=headers)
         if kind in ("refuse", "disconnect"):
             raise FaultInjected(f"injected {kind} on {method} {path}")
         if kind == "latency":
             self.sleep(self.plan.latency)
-            return self.inner.handle(method, path, form)
-        return _mangle(self.inner.handle(method, path, form), kind)
+            return self.inner.handle(method, path, form, headers=headers)
+        return _mangle(
+            self.inner.handle(method, path, form, headers=headers), kind
+        )
 
 
 class _ChaosHandler(_Handler):

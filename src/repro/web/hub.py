@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import RemoteError
 from ..library.catalog import Library, LibraryEntry
+from ..obs import propagate, span
 
 #: Simulated transport constants (seconds).  Mail legs pay a hub queue
 #: delay on top of the wire; HTTP pays connection setup once.
@@ -82,35 +83,59 @@ class MailHub:
         stats.latency += WIRE_LATENCY + HUB_QUEUE_DELAY
 
     def interpret(self, request: Mapping, stats: TransferStats) -> dict:
-        """Serve a model request addressed to this site."""
+        """Serve a model request addressed to this site.
+
+        The envelope's ``trace`` field carries the requester's
+        ``X-PowerPlay-Trace`` context across the (simulated) mail hops,
+        exactly like the HTTP header does on the direct protocol; a
+        malformed or absent field is ignored, never an error.
+        """
         name = request.get("model", "")
-        if name not in self.library:
-            raise RemoteError(f"site {self.site!r} has no model {name!r}")
-        entry = self.library.get(name)
-        if entry.proprietary:
-            raise RemoteError(f"model {name!r} at {self.site!r} is proprietary")
-        return entry.to_payload()
+        context = propagate.parse_trace_header(request.get("trace", ""))
+        with span(
+            "hub_interpret", site=self.site, model=name
+        ) as sp:
+            if context is not None:
+                sp.set(trace_id=context.trace_id, caller=context.span_id)
+            if name not in self.library:
+                raise RemoteError(f"site {self.site!r} has no model {name!r}")
+            entry = self.library.get(name)
+            if entry.proprietary:
+                raise RemoteError(
+                    f"model {name!r} at {self.site!r} is proprietary"
+                )
+            return entry.to_payload()
 
     def request_model(self, remote_site: str, name: str) -> Tuple[LibraryEntry, TransferStats]:
         """Full Silva round trip: requester -> local hub -> remote hub ->
         interpret -> remote hub -> local hub -> requester."""
-        stats = TransferStats("smtp_hub")
-        # requester mails the local hub
-        self._deliver(stats)
-        remote = self.peers.get(remote_site)
-        if remote is None:
-            raise RemoteError(
-                f"hub {self.site!r} has no route to {remote_site!r}"
+        with span(
+            "hub_request", site=self.site, remote=remote_site, model=name
+        ):
+            stats = TransferStats("smtp_hub")
+            # requester mails the local hub
+            self._deliver(stats)
+            remote = self.peers.get(remote_site)
+            if remote is None:
+                raise RemoteError(
+                    f"hub {self.site!r} has no route to {remote_site!r}"
+                )
+            # local hub forwards to the remote hub; the envelope carries
+            # the trace context like the HTTP header would
+            remote._deliver(stats)
+            envelope = {"model": name}
+            outbound = propagate.outbound_headers()
+            if outbound:
+                envelope["trace"] = outbound[propagate.TRACE_HEADER]
+            payload = remote.interpret(envelope, stats)
+            # reply mailed back to the local hub, then delivered to the user
+            self._deliver(stats)
+            stats.messages += 1            # final local delivery leg
+            stats.latency += WIRE_LATENCY
+            entry = LibraryEntry.from_payload(
+                payload, origin=f"smtp://{remote_site}"
             )
-        # local hub forwards to the remote hub
-        remote._deliver(stats)
-        payload = remote.interpret({"model": name}, stats)
-        # reply mailed back to the local hub, then delivered to the user
-        self._deliver(stats)
-        stats.messages += 1            # final local delivery leg
-        stats.latency += WIRE_LATENCY
-        entry = LibraryEntry.from_payload(payload, origin=f"smtp://{remote_site}")
-        return entry, stats
+            return entry, stats
 
 
 class HTTPDirect:
@@ -122,22 +147,25 @@ class HTTPDirect:
         self.requests_seen = 0
 
     def request_model(self, name: str) -> Tuple[LibraryEntry, TransferStats]:
-        stats = TransferStats("http_direct")
-        self.requests_seen += 1
-        # request leg + response leg, one connection setup
-        stats.messages = 2
-        stats.hub_hops = 0
-        stats.latency = HTTP_SETUP + 2 * WIRE_LATENCY
-        if name not in self.library:
-            raise RemoteError(f"site {self.site!r} has no model {name!r}")
-        entry = self.library.get(name)
-        if entry.proprietary:
-            raise RemoteError(f"model {name!r} at {self.site!r} is proprietary")
-        payload = entry.to_payload()
-        decoded = LibraryEntry.from_payload(
-            json.loads(json.dumps(payload)), origin=f"http://{self.site}"
-        )
-        return decoded, stats
+        with span("http_direct", site=self.site, model=name):
+            stats = TransferStats("http_direct")
+            self.requests_seen += 1
+            # request leg + response leg, one connection setup
+            stats.messages = 2
+            stats.hub_hops = 0
+            stats.latency = HTTP_SETUP + 2 * WIRE_LATENCY
+            if name not in self.library:
+                raise RemoteError(f"site {self.site!r} has no model {name!r}")
+            entry = self.library.get(name)
+            if entry.proprietary:
+                raise RemoteError(
+                    f"model {name!r} at {self.site!r} is proprietary"
+                )
+            payload = entry.to_payload()
+            decoded = LibraryEntry.from_payload(
+                json.loads(json.dumps(payload)), origin=f"http://{self.site}"
+            )
+            return decoded, stats
 
 
 def compare_protocols(

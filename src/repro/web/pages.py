@@ -642,3 +642,85 @@ def status_page(
             ]
         )
     return H.page(f"PowerPlay status — {server_name}", *body)
+
+
+def trace_page(
+    server_name: str,
+    tracing_enabled: bool,
+    rendered: Sequence[Tuple[str, str, str, int, int, str]],
+) -> str:
+    """``GET /trace`` — recent traces, newest first, trees and all.
+
+    ``rendered`` rows are ``(root_name, trace_id, duration, spans,
+    remote_spans, tree_text)``; the tree text is the fixed-width
+    :func:`repro.obs.render_trace` output, remote (grafted) spans
+    marked ``~remote``.
+    """
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Server {server_name!r}; tracing is "
+                f"{'enabled' if tracing_enabled else 'disabled'}.  ",
+                H.link("/trace?fmt=json", "JSON"),
+                " | ",
+                H.link("/profile", "Aggregated profile"),
+                " | ",
+                H.link("/status", "Status"),
+                ".",
+            )
+        ),
+    ]
+    if not tracing_enabled:
+        body.append(
+            H.paragraph(
+                "Start the server with --log-level info (or call "
+                "repro.obs.enable()) to record traces."
+            )
+        )
+    if not rendered:
+        body.append(H.paragraph("No traces recorded yet."))
+    for root_name, trace_id, duration, spans, remote_spans, tree in rendered:
+        summary = f"{duration}, {spans} span(s)"
+        if remote_spans:
+            summary += f", {remote_spans} remote"
+        body.append(H.heading(f"{root_name} [{trace_id}] — {summary}", 2))
+        body.append(H.tag("pre", tree))
+    return H.page(f"PowerPlay traces — {server_name}", *body)
+
+
+def profile_page(
+    server_name: str,
+    tracing_enabled: bool,
+    trace_count: int,
+    table_text: str,
+    flamegraph_text: str,
+) -> str:
+    """``GET /profile`` — the call-tree profile over recent traces."""
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Server {server_name!r}; tracing is "
+                f"{'enabled' if tracing_enabled else 'disabled'}; "
+                f"{trace_count} trace(s) aggregated.  ",
+                H.link("/profile?fmt=json", "JSON"),
+                " | ",
+                H.link("/trace", "Recent traces"),
+                " | ",
+                H.link("/status", "Status"),
+                ".",
+            )
+        ),
+    ]
+    if not trace_count:
+        body.append(
+            H.paragraph(
+                "No traces to profile yet — exercise the server (or "
+                "enable tracing) and reload."
+            )
+        )
+    else:
+        body.append(H.heading("Hot paths (by self time)", 2))
+        body.append(H.tag("pre", table_text))
+        body.append(H.heading("Flamegraph (by total time)", 2))
+        body.append(H.tag("pre", flamegraph_text))
+    return H.page(f"PowerPlay profile — {server_name}", *body)

@@ -38,6 +38,7 @@ from ..errors import (
     TransientRemoteError,
 )
 from ..library.catalog import Library, LibraryEntry
+from ..obs import annotate, span
 from .client import Browser
 from .resilience import (
     CACHE_HIT,
@@ -90,19 +91,49 @@ class RemoteLibraryClient:
         The breaker is *inside* the retry loop so each attempt checks
         (and feeds) it; once it trips, :class:`CircuitOpenError` aborts
         immediately — zero retries are ever issued to an open circuit.
+
+        When tracing is on, every attempt opens its own
+        ``remote_attempt`` span (the provider's grafted sub-span lands
+        under the attempt that succeeded), each retry decision is an
+        instant ``retry`` annotation carrying the backoff delay, and a
+        rejected call against an open circuit annotates the wait.
         """
+        attempt_counter = [0]
 
-        def on_retry(attempt: int, exc: Exception) -> None:
+        def attempt() -> "object":
+            with span(
+                "remote_attempt",
+                url=self.base_url,
+                target=name or "library",
+                attempt=attempt_counter[0],
+            ):
+                try:
+                    return self.breaker.call(
+                        fn, failure_types=(TransientRemoteError, OSError)
+                    )
+                except CircuitOpenError as exc:
+                    # the breaker wait, visible in the trace tree
+                    annotate(
+                        "circuit_wait",
+                        url=self.base_url,
+                        retry_after_s=round(exc.retry_after, 3),
+                    )
+                    raise
+
+        def on_retry(attempt_index: int, exc: Exception) -> None:
             self.report.record(
-                RETRY, self.base_url, name, f"attempt {attempt + 1}: {exc}"
+                RETRY, self.base_url, name, f"attempt {attempt_index + 1}: {exc}"
             )
+            annotate(
+                "retry",
+                url=self.base_url,
+                attempt=attempt_index + 1,
+                delay_s=round(self.retry_policy.delay(attempt_index), 4),
+                error=type(exc).__name__,
+            )
+            attempt_counter[0] += 1
 
-        return self.retry_policy.call(
-            lambda: self.breaker.call(
-                fn, failure_types=(TransientRemoteError, OSError)
-            ),
-            on_retry=on_retry,
-        )
+        return self.retry_policy.call(attempt, on_retry=on_retry)
 
     def ping(self) -> Dict[str, str]:
         """Identify the remote server (protocol handshake)."""
@@ -114,7 +145,8 @@ class RemoteLibraryClient:
                 raise RemoteError(f"{self.base_url} is not a PowerPlay server")
             return payload
 
-        return self._guarded(fetch)
+        with span("remote_ping", url=self.base_url):
+            return self._guarded(fetch)
 
     def fetch_library(self) -> Library:
         """Fetch every shared model in one request."""
@@ -141,7 +173,9 @@ class RemoteLibraryClient:
                     f"bad library payload from {self.base_url}: {exc}"
                 ) from exc
 
-        library = self._guarded(fetch)
+        with span("remote_fetch_library", url=self.base_url) as sp:
+            library = self._guarded(fetch)
+            sp.set(entries=len(library))
         for entry in library:
             self._cache.put(entry.name, entry)
         return library
@@ -185,31 +219,41 @@ class RemoteLibraryClient:
         Resolution order: fresh cache hit -> network (breaker +
         retries) -> stale cache fallback.  A stale serve or a skipped
         circuit is recorded in :attr:`report`; only when no copy exists
-        at all does the failure propagate.
+        at all does the failure propagate.  Traced as one
+        ``remote_fetch`` span whose children are the attempts, retries,
+        breaker waits, and (on success) the provider's grafted handler
+        span.
         """
-        cached = self._cache.get_fresh(name)
-        if cached is not None:
-            self.report.record(CACHE_HIT, self.base_url, name)
-            return cached
-        try:
-            entry = self._guarded(lambda: self._fetch_model_once(name), name)
-        except CircuitOpenError as exc:
-            self.report.record(CIRCUIT_SKIPPED, self.base_url, name, str(exc))
-            stale = self._cache.get_stale(name)
-            if stale is not None:
-                self.report.record(STALE_SERVED, self.base_url, name)
-                return stale
-            raise
-        except TransientRemoteError as exc:
-            self.report.record(REMOTE_FAILED, self.base_url, name, str(exc))
-            stale = self._cache.get_stale(name)
-            if stale is not None:
-                self.report.record(STALE_SERVED, self.base_url, name)
-                return stale
-            raise
-        self._cache.put(name, entry)
-        self.report.record(FETCHED, self.base_url, name)
-        return entry
+        with span("remote_fetch", url=self.base_url, model=name) as sp:
+            cached = self._cache.get_fresh(name)
+            if cached is not None:
+                self.report.record(CACHE_HIT, self.base_url, name)
+                sp.set(outcome="cache_fresh")
+                return cached
+            try:
+                entry = self._guarded(lambda: self._fetch_model_once(name), name)
+            except CircuitOpenError as exc:
+                self.report.record(CIRCUIT_SKIPPED, self.base_url, name, str(exc))
+                stale = self._cache.get_stale(name)
+                if stale is not None:
+                    self.report.record(STALE_SERVED, self.base_url, name)
+                    sp.set(outcome="stale_after_circuit")
+                    return stale
+                sp.set(outcome="circuit_open")
+                raise
+            except TransientRemoteError as exc:
+                self.report.record(REMOTE_FAILED, self.base_url, name, str(exc))
+                stale = self._cache.get_stale(name)
+                if stale is not None:
+                    self.report.record(STALE_SERVED, self.base_url, name)
+                    sp.set(outcome="stale_after_failure")
+                    return stale
+                sp.set(outcome="failed")
+                raise
+            self._cache.put(name, entry)
+            self.report.record(FETCHED, self.base_url, name)
+            sp.set(outcome="fetched")
+            return entry
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -254,27 +298,32 @@ def federate(
     open — the host was known-dead and not even contacted).  Nothing
     is silent; callers decide whether a partial federation is usable.
     """
-    if not best_effort:
-        adopted: Dict[str, List[str]] = {}
+    with span(
+        "federate", remotes=len(remote_urls), best_effort=best_effort
+    ):
+        if not best_effort:
+            adopted: Dict[str, List[str]] = {}
+            for url in remote_urls:
+                client = client_factory(url)
+                remote_library = client.fetch_library()
+                adopted[url] = local.merge(remote_library, prefer=prefer)
+            return adopted
+
+        report = FederationReport()
         for url in remote_urls:
             client = client_factory(url)
-            remote_library = client.fetch_library()
-            adopted[url] = local.merge(remote_library, prefer=prefer)
-        return adopted
-
-    report = FederationReport()
-    for url in remote_urls:
-        client = client_factory(url)
-        try:
-            remote_library = client.fetch_library()
-        except CircuitOpenError as exc:
-            report.skipped[url] = str(exc)
-            continue
-        except RemoteError as exc:
-            report.failed[url] = str(exc)
-            continue
-        report.succeeded[url] = local.merge(remote_library, prefer=prefer)
-    return report
+            try:
+                remote_library = client.fetch_library()
+            except CircuitOpenError as exc:
+                report.skipped[url] = str(exc)
+                annotate("federate_skipped", url=url)
+                continue
+            except RemoteError as exc:
+                report.failed[url] = str(exc)
+                annotate("federate_failed", url=url, error=type(exc).__name__)
+                continue
+            report.succeeded[url] = local.merge(remote_library, prefer=prefer)
+        return report
 
 
 class ModelResolver:
@@ -301,25 +350,35 @@ class ModelResolver:
 
     def resolve(self, name: str) -> LibraryEntry:
         self.last_report = ResolutionReport()
-        try:
-            if name in self.local:
-                self.last_report.record(LOCAL_HIT, self.local.name, name)
-                return self.local.get(name)
-            failures: List[str] = []
-            for remote in self.remotes:
-                before = len(remote.report.events)
-                try:
-                    entry = remote.fetch_model(name)
-                    self.last_report.events.extend(remote.report.events[before:])
-                    return entry
-                except RemoteError as exc:
-                    self.last_report.events.extend(remote.report.events[before:])
-                    failures.append(str(exc))
-            detail = "; ".join(failures) if failures else "no remotes configured"
-            self.last_report.record(REMOTE_FAILED, "resolver", name, detail)
-            raise RemoteError(f"cannot resolve model {name!r}: {detail}")
-        finally:
-            self.last_report.merged_into(self.report)
+        with span("resolve", model=name) as sp:
+            try:
+                if name in self.local:
+                    self.last_report.record(LOCAL_HIT, self.local.name, name)
+                    sp.set(outcome="local")
+                    return self.local.get(name)
+                failures: List[str] = []
+                for remote in self.remotes:
+                    before = len(remote.report.events)
+                    try:
+                        entry = remote.fetch_model(name)
+                        self.last_report.events.extend(
+                            remote.report.events[before:]
+                        )
+                        sp.set(outcome="remote", url=remote.base_url)
+                        return entry
+                    except RemoteError as exc:
+                        self.last_report.events.extend(
+                            remote.report.events[before:]
+                        )
+                        failures.append(str(exc))
+                detail = (
+                    "; ".join(failures) if failures else "no remotes configured"
+                )
+                self.last_report.record(REMOTE_FAILED, "resolver", name, detail)
+                sp.set(outcome="unresolved")
+                raise RemoteError(f"cannot resolve model {name!r}: {detail}")
+            finally:
+                self.last_report.merged_into(self.report)
 
     def total_remote_requests(self) -> int:
         return sum(remote.requests_made for remote in self.remotes)

@@ -16,6 +16,7 @@ the bound address.
 from __future__ import annotations
 
 import ipaddress
+import itertools
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -23,7 +24,13 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 from ..obs import get_logger
+from ..obs.propagate import REQUEST_HEADER
 from .app import Application, Response
+
+#: transport-level request-ID fallback — responses the application never
+#: sees (403 gate refusals, malformed POSTs, last-resort 500s) still get
+#: an ``X-PowerPlay-Request`` so every response is log-correlatable
+_transport_request_ids = itertools.count(1)
 
 
 def host_allowed(client_ip: str, allowed: Optional[Sequence[str]]) -> bool:
@@ -90,6 +97,9 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _send(self, response: Response) -> None:
+        response.headers.setdefault(
+            REQUEST_HEADER, f"req-t{next(_transport_request_ids):08x}"
+        )
         body = response.body.encode("utf-8")
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
@@ -116,7 +126,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_safely(self, method: str, form=None) -> Response:
         try:
-            return self.application.handle(method, self.path, form)
+            return self.application.handle(
+                method, self.path, form, headers=self.headers
+            )
         except Exception:  # noqa: BLE001 - last-resort transport guard
             return Response(
                 status=500,

@@ -1,0 +1,183 @@
+"""Span profiling: self time, call-path aggregation, rendering."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    ProfileNode,
+    aggregate,
+    hot_paths,
+    profile_payload,
+    render_flamegraph,
+    render_profile,
+    self_seconds,
+)
+from repro.obs.trace import Span
+
+
+def make_span(name, duration, *children, remote=False, span_id="0001"):
+    node = Span(name, span_id, {})
+    node.duration = duration
+    node.remote = remote
+    node.children.extend(children)
+    return node
+
+
+class TestSelfTime:
+    def test_self_is_duration_minus_children(self):
+        root = make_span("root", 1.0, make_span("a", 0.3), make_span("b", 0.5))
+        assert self_seconds(root) == pytest.approx(0.2)
+
+    def test_leaf_self_is_its_duration(self):
+        assert self_seconds(make_span("leaf", 0.25)) == pytest.approx(0.25)
+
+    def test_clock_skew_floors_at_zero(self):
+        # remote children measured on another clock can sum past the
+        # parent; self time must never go negative
+        root = make_span("root", 0.1, make_span("r", 0.4, remote=True))
+        assert self_seconds(root) == 0.0
+
+
+class TestAggregation:
+    def _roots(self):
+        return [
+            make_span("evaluate", 1.0,
+                      make_span("design", 0.8, make_span("row", 0.5))),
+            make_span("evaluate", 3.0,
+                      make_span("design", 2.0, make_span("row", 1.5))),
+        ]
+
+    def test_counts_totals_min_max(self):
+        top = aggregate(self._roots())
+        assert top.count == 2
+        assert top.total_s == pytest.approx(4.0)
+        evaluate = top.children["evaluate"]
+        assert evaluate.count == 2
+        assert evaluate.min_s == pytest.approx(1.0)
+        assert evaluate.max_s == pytest.approx(3.0)
+        row = evaluate.children["design"].children["row"]
+        assert row.count == 2
+        assert row.total_s == pytest.approx(2.0)
+
+    def test_same_name_different_paths_stay_separate(self):
+        roots = [
+            make_span("a", 1.0, make_span("x", 0.5)),
+            make_span("b", 1.0, make_span("x", 0.25)),
+        ]
+        top = aggregate(roots)
+        assert top.children["a"].children["x"].total_s == pytest.approx(0.5)
+        assert top.children["b"].children["x"].total_s == pytest.approx(0.25)
+
+    def test_self_total_equals_root_total(self):
+        # the invariant the ISSUE names: self times sum back to the
+        # total (the zero-floor can only *lose* skewed time, and these
+        # trees have none)
+        top = aggregate(self._roots())
+        assert top.self_total == pytest.approx(top.total_s)
+
+    def test_empty_ring_aggregates_cleanly(self):
+        top = aggregate([])
+        assert top.count == 0
+        assert top.min_s == 0.0
+        assert render_profile(top).startswith("(no traces")
+        assert render_flamegraph(top).startswith("(no traced")
+
+    def test_remote_flag_propagates(self):
+        top = aggregate([
+            make_span("fetch", 1.0, make_span("http_request", 0.4, remote=True)),
+        ])
+        assert top.children["fetch"].children["http_request"].remote is True
+        assert top.children["fetch"].remote is False
+
+
+class TestHotPaths:
+    def test_sorted_by_self_time_then_path(self):
+        roots = [
+            make_span("root", 1.0,
+                      make_span("b", 0.3), make_span("a", 0.3)),
+        ]
+        rows = hot_paths(aggregate(roots))
+        paths = [path for path, _node in rows]
+        # root self = 0.4 beats the 0.3 ties; ties break alphabetically
+        assert paths == ["root", "root/a", "root/b"]
+
+    def test_top_n_truncates(self):
+        roots = [make_span("root", 1.0,
+                           *[make_span(f"c{i}", 0.01 * (i + 1))
+                             for i in range(20)])]
+        assert len(hot_paths(aggregate(roots), top=5)) == 5
+
+    def test_deterministic_across_runs(self):
+        roots = self_roots = [
+            make_span("r", 2.0, make_span("x", 1.0), make_span("y", 1.0)),
+        ]
+        first = [p for p, _ in hot_paths(aggregate(roots))]
+        second = [p for p, _ in hot_paths(aggregate(self_roots))]
+        assert first == second
+
+
+class TestRendering:
+    def _profile(self):
+        return aggregate([
+            make_span("evaluate", 0.004,
+                      make_span("design", 0.003,
+                                make_span("row", 0.002, remote=True))),
+        ])
+
+    def test_table_has_all_columns_and_footer(self):
+        text = render_profile(self._profile())
+        header = text.splitlines()[0]
+        for column in ("path", "count", "total ms", "self ms",
+                       "self %", "min ms", "max ms"):
+            assert column in header
+        assert "1 trace(s), 4.000 ms total" in text.splitlines()[-1]
+
+    def test_remote_paths_are_marked(self):
+        text = render_profile(self._profile())
+        row_line = next(line for line in text.splitlines()
+                        if line.startswith("evaluate/design/row"))
+        assert "~" in row_line
+
+    def test_flamegraph_bars_scale_with_total(self):
+        lines = render_flamegraph(self._profile(), width=40).splitlines()
+        bars = [line.count("#") for line in lines]
+        assert bars[0] == 40                 # the root spans all time
+        assert bars == sorted(bars, reverse=True)
+        assert "~" in lines[2]               # remote marker on the row
+
+    def test_payload_shape(self):
+        payload = profile_payload(self._profile(), top=2)
+        assert payload["traces"] == 1
+        assert payload["total_s"] == pytest.approx(0.004)
+        assert payload["self_total_s"] == pytest.approx(0.004)
+        assert len(payload["hot_paths"]) == 2
+        first = payload["hot_paths"][0]
+        assert set(first) == {"path", "count", "total_s", "self_s",
+                              "min_s", "max_s"}
+        assert payload["tree"]["name"] == "(traces)"
+        assert not math.isinf(payload["tree"]["min_s"])
+
+    def test_zero_count_nodes_render_zero_min(self):
+        node = ProfileNode("idle")
+        payload = profile_payload(aggregate([]))
+        assert payload["tree"]["min_s"] == 0.0
+        assert node.min_s == math.inf  # internal sentinel, never exported
+
+
+class TestEndToEndWithTracer:
+    def test_live_spans_profile_cleanly(self):
+        with obs.overridden(enabled=True):
+            obs.clear_traces()
+            for _ in range(3):
+                with obs.span("evaluate_power"):
+                    with obs.span("design"):
+                        with obs.span("row"):
+                            pass
+            top = aggregate(obs.recent_traces())
+            assert top.count == 3
+            paths = [p for p, _ in hot_paths(top, top=10)]
+            assert "evaluate_power/design/row" in paths
+            assert top.self_total <= top.total_s + 1e-9
+            obs.clear_traces()

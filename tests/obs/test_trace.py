@@ -166,3 +166,72 @@ class TestRendering:
         assert payload["name"] == "root"
         assert payload["attributes"] == {"k": 1}
         assert payload["children"][0]["name"] == "leaf"
+
+    def test_zero_duration_root_renders_without_dividing(self, perf):
+        # every span finishes inside one clock tick: the % column must
+        # degrade to a placeholder, not raise ZeroDivisionError
+        with obs.span("instant"):
+            with obs.span("inner"):
+                pass
+        root = obs.last_trace()
+        assert root.duration == 0.0
+        text = obs.render_trace(root)
+        assert "--%" in text
+        assert "%" not in text.replace("--%", "")
+
+    def test_remote_spans_are_marked(self, perf):
+        from repro.obs.trace import Span
+
+        with obs.span("fetch"):
+            remote = Span("http_request", "ffff", {})
+            remote.remote = True
+            assert obs.graft_remote(remote) is True
+        text = obs.render_trace(obs.last_trace())
+        assert "http_request [ffff] ~remote" in text
+
+
+class TestAnnotateAndGraft:
+    def test_annotate_drops_an_instant_child(self, perf):
+        with obs.span("fetch") as sp:
+            perf.advance(0.5)
+            note = obs.annotate("retry", attempt=1, delay_s=0.1)
+            perf.advance(0.5)
+        assert note in sp.children
+        assert note.duration == 0.0
+        assert note.attributes == {"attempt": 1, "delay_s": 0.1}
+        assert note.trace_id == sp.trace_id
+
+    def test_annotate_without_open_span_is_none(self, perf):
+        assert obs.annotate("orphan") is None
+
+    def test_annotate_disabled_is_none(self):
+        with obs.overridden(enabled=False):
+            assert obs.annotate("quiet") is None
+
+    def test_graft_requires_open_span_and_tree(self, perf):
+        from repro.obs.trace import Span
+
+        assert obs.graft_remote(None) is False
+        orphan = Span("x", "1", {})
+        assert obs.graft_remote(orphan) is False  # no span open
+        with obs.span("fetch") as sp:
+            assert obs.graft_remote(orphan) is True
+        assert orphan in sp.children
+
+    def test_current_span_tracks_the_stack(self, perf):
+        assert obs.current_span() is None
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+            assert obs.current_span() is outer
+        assert obs.current_span() is None
+
+    def test_roots_get_distinct_trace_ids(self, perf):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        first, second = obs.recent_traces()[-2:]
+        assert len(first.trace_id) == 32
+        assert first.trace_id != second.trace_id

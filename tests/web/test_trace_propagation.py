@@ -1,0 +1,310 @@
+"""Cross-server trace propagation, end to end.
+
+The PR's acceptance criteria, as tests: a federated fetch between two
+live servers yields ONE hierarchical trace (the provider's handler span
+a child of the requester's fetch span), retries and breaker waits are
+visible as annotated spans, ``/trace?fmt=json`` round-trips, and the
+``X-PowerPlay-Request`` ID rides every response — including the error
+pages.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import propagate
+from repro.obs.propagate import span_from_payload
+from repro.web.client import Browser
+from repro.web.faults import ChaosServer, FaultPlan
+from repro.web.remote import RemoteLibraryClient
+from repro.web.resilience import CircuitBreaker, RetryPolicy
+from repro.web.server import PowerPlayServer
+
+
+@pytest.fixture
+def tracing():
+    with obs.overridden(enabled=True):
+        obs.clear_traces()
+        yield
+        obs.clear_traces()
+
+
+@pytest.fixture
+def provider(tmp_path):
+    with PowerPlayServer(tmp_path / "provider", server_name="berkeley") as server:
+        yield server
+
+
+def fast_retry(attempts=5):
+    return RetryPolicy(max_attempts=attempts, sleep=lambda s: None)
+
+
+def raw_get(server, path, headers=None):
+    """A GET outside the Browser, for hand-crafted request headers."""
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        body = response.read().decode("utf-8", errors="replace")
+        return response.status, body, dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+class TestFederatedTrace:
+    def test_one_trace_spans_both_servers(self, tracing, provider):
+        client = RemoteLibraryClient(provider.base_url)
+        with obs.span("user_workflow"):
+            client.fetch_model("ripple_adder")
+        root = obs.last_trace()
+        assert root.name == "user_workflow"
+
+        fetch = root.find("remote_fetch")
+        assert fetch.attributes["outcome"] == "fetched"
+        attempt = fetch.find("remote_attempt")
+        handler = attempt.find("http_request")
+
+        # the provider's handler span was grafted under the requester's
+        # attempt span — one tree across the federation
+        assert handler is not None
+        assert handler.remote is True
+        assert handler.attributes["route"] == "/api/model"
+        # identity is shared: the provider adopted the requester's
+        # trace ID and recorded the attempt span as its parent
+        assert handler.trace_id == root.trace_id
+        assert handler.parent_id == attempt.span_id
+        # and the provider's ring kept the same span as a local root
+        provider_roots = [
+            node for node in obs.recent_traces()
+            if node.name == "http_request"
+            and node.trace_id == root.trace_id
+        ]
+        assert provider_roots, "provider did not record the adopted trace"
+
+    def test_untraced_fetch_gets_no_span_header(self, tracing, provider):
+        # no open span at the requester -> no trace header -> the
+        # provider must not bloat the response with a span payload
+        browser = Browser(provider.base_url)
+        page = browser.get("/api/model?name=ripple_adder")
+        assert page.status == 200
+        assert page.header(propagate.SPAN_HEADER) is None
+        assert page.header(propagate.REQUEST_HEADER) is not None
+
+    def test_traced_request_returns_decodable_span(self, tracing, provider):
+        context_header = f"00-{'ab' * 16}-beef"
+        status, _body, headers = raw_get(
+            provider, "/api/model?name=ripple_adder",
+            {propagate.TRACE_HEADER: context_header},
+        )
+        assert status == 200
+        value = next(v for k, v in headers.items()
+                     if k.lower() == propagate.SPAN_HEADER.lower())
+        node = propagate.decode_span_header(value)
+        assert node.name == "http_request"
+        assert node.trace_id == "ab" * 16
+        assert node.parent_id == "beef"
+        assert node.remote is True
+
+
+class TestChaosFederation:
+    def test_retries_visible_one_annotation_per_failed_attempt(
+        self, tracing, tmp_path
+    ):
+        plan = FaultPlan(script=["error_500", "error_500", None])
+        with ChaosServer(tmp_path / "chaos", plan) as chaotic:
+            client = RemoteLibraryClient(
+                chaotic.base_url, retry_policy=fast_retry(5)
+            )
+            with obs.span("user_workflow"):
+                entry = client.fetch_model("ripple_adder")
+        assert entry.name == "ripple_adder"
+
+        fetch = obs.last_trace().find("remote_fetch")
+        attempts = [n for n in fetch.children if n.name == "remote_attempt"]
+        retries = [n for n in fetch.children if n.name == "retry"]
+        assert len(attempts) == 3
+        assert len(retries) == 2           # one per *failed* attempt
+        assert [r.attributes["attempt"] for r in retries] == [1, 2]
+        assert all(r.duration == 0.0 for r in retries)
+        assert all("delay_s" in r.attributes for r in retries)
+        # the mangled 500s carried no span header; only the clean final
+        # attempt grafted the provider's handler span
+        grafted = [a for a in attempts if a.find("http_request")]
+        assert len(grafted) == 1
+        assert grafted[0] is attempts[-1]
+
+    def test_breaker_wait_is_annotated(self, tracing, tmp_path):
+        plan = FaultPlan(script=["error_500"] * 10)
+        with ChaosServer(tmp_path / "chaos", plan) as chaotic:
+            breaker = CircuitBreaker(
+                failure_threshold=2, cooldown=60.0, name=chaotic.base_url
+            )
+            client = RemoteLibraryClient(
+                chaotic.base_url, retry_policy=fast_retry(2), breaker=breaker,
+            )
+            with obs.span("user_workflow"):
+                with pytest.raises(Exception):
+                    client.fetch_model("ripple_adder")   # trips the breaker
+                with pytest.raises(Exception):
+                    client.fetch_model("cla_adder")      # rejected, no I/O
+        root = obs.last_trace()
+        waits = [n for n in root.walk() if n.name == "circuit_wait"]
+        assert waits, "breaker rejection left no circuit_wait annotation"
+        assert waits[0].attributes["retry_after_s"] > 0
+        # the rejected fetch recorded its outcome without any attempt
+        rejected = [
+            n for n in root.walk()
+            if n.name == "remote_fetch"
+            and n.attributes.get("outcome") == "circuit_open"
+        ]
+        assert len(rejected) == 1
+        # the rejected attempt never reached the network: no provider
+        # span was grafted, and the wait annotation sits inside it
+        assert rejected[0].find("http_request") is None
+        assert rejected[0].find("circuit_wait") is not None
+
+
+class TestTraceEndpoint:
+    def test_json_round_trips_through_the_decoder(self, tracing, provider):
+        client = RemoteLibraryClient(provider.base_url)
+        with obs.span("user_workflow"):
+            client.fetch_model("ripple_adder")
+        browser = Browser(provider.base_url)
+        payload = browser.get_json("/trace?fmt=json")
+        assert payload["tracing_enabled"] is True
+        assert payload["server"] == "berkeley"
+        names = set()
+        for trace in payload["traces"]:
+            rebuilt = span_from_payload(trace)
+            assert rebuilt is not None, f"unparseable trace {trace['name']}"
+            names.update(node.name for node in rebuilt.walk())
+        # the federated workflow root, its fetch, and the grafted
+        # handler span all survive the export
+        assert {"user_workflow", "remote_fetch", "http_request"} <= names
+
+    def test_html_dashboard_renders_remote_spans(self, tracing, provider):
+        client = RemoteLibraryClient(provider.base_url)
+        with obs.span("user_workflow"):
+            client.fetch_model("ripple_adder")
+        page = Browser(provider.base_url).get("/trace")
+        assert page.status == 200
+        assert "user_workflow" in page.body
+        assert "~remote" in page.body
+
+    def test_disabled_tracing_renders_the_hint(self, tmp_path):
+        with obs.overridden(enabled=False):
+            with PowerPlayServer(tmp_path / "plain") as server:
+                page = Browser(server.base_url).get("/trace")
+                assert page.status == 200
+                assert "disabled" in page.body
+
+
+class TestProfileEndpoint:
+    def test_profile_shows_hot_paths_with_consistent_self_time(
+        self, tracing, provider
+    ):
+        browser = Browser(provider.base_url)
+        for _ in range(3):
+            assert browser.get("/api/model?name=ripple_adder").status == 200
+        payload = browser.get_json("/profile?fmt=json")
+        assert payload["traces"] >= 3
+        assert payload["hot_paths"], "no hot paths from live traffic"
+        for row in payload["hot_paths"]:
+            assert row["self_s"] >= 0.0
+            assert row["self_s"] <= row["total_s"] + 1e-9
+        # self times sum back to the total (the floor only loses time)
+        assert payload["self_total_s"] <= payload["total_s"] + 1e-9
+        assert payload["self_total_s"] == pytest.approx(
+            payload["total_s"], rel=0.05
+        )
+
+    def test_top_parameter_caps_the_table(self, tracing, provider):
+        browser = Browser(provider.base_url)
+        browser.get("/api/model?name=ripple_adder")
+        payload = browser.get_json("/profile?fmt=json&top=1")
+        assert len(payload["hot_paths"]) == 1
+        page = browser.get("/profile?top=1")
+        assert page.status == 200
+        assert "Hot paths" in page.body
+
+
+class TestRequestIdEcho:
+    def test_success_and_404_echo_an_id(self, provider):
+        browser = Browser(provider.base_url)
+        ok = browser.get("/")
+        missing = browser.get("/no/such/route")
+        assert ok.header(propagate.REQUEST_HEADER).startswith("req-")
+        assert missing.status == 404
+        assert missing.header(propagate.REQUEST_HEADER).startswith("req-")
+        assert (ok.header(propagate.REQUEST_HEADER)
+                != missing.header(propagate.REQUEST_HEADER))
+
+    def test_transport_level_errors_echo_an_id(self, tmp_path):
+        with PowerPlayServer(tmp_path / "locked", allowed_hosts=[]) as server:
+            status, _body, headers = raw_get(server, "/")
+            assert status == 403
+            ids = [v for k, v in headers.items()
+                   if k.lower() == propagate.REQUEST_HEADER.lower()]
+            assert ids and ids[0].startswith("req-t")
+
+    def test_payload_too_large_echoes_an_id(self, provider):
+        host, port = provider.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/login", body="",
+                headers={"Content-Length": str(1 << 30)},
+            )
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader(
+                propagate.REQUEST_HEADER, ""
+            ).startswith("req-t")
+        finally:
+            connection.close()
+
+
+class TestHostileTraceHeaders:
+    @pytest.mark.parametrize("evil", [
+        "garbage",
+        "00-zz-11",
+        "00-" + "0" * 32,                       # missing span id field
+        "00-" + "0" * 32 + "-" + "f" * 64,      # span id too long
+        "0" * 200,                              # oversized
+        "01-" + "0" * 32 + "-ab",               # wrong version
+    ])
+    def test_malformed_trace_header_never_errors(self, tracing, provider, evil):
+        status, _body, headers = raw_get(
+            provider, "/api/model?name=ripple_adder",
+            {propagate.TRACE_HEADER: evil},
+        )
+        assert status == 200
+        # an ignored context also means no span payload comes back
+        assert not any(
+            k.lower() == propagate.SPAN_HEADER.lower() for k in headers
+        )
+
+    def test_ignored_contexts_are_counted(self, tracing, provider):
+        counter = obs.get_registry().counter(
+            "powerplay_trace_propagation_total", "", ("op",)
+        )
+        before = counter.value(op="extract_ignored")
+        raw_get(provider, "/", {propagate.TRACE_HEADER: "not-a-context"})
+        assert counter.value(op="extract_ignored") == before + 1
+
+    def test_forged_span_header_cannot_break_the_client(self, tracing, tmp_path):
+        # a provider returning a hostile X-PowerPlay-Span must not
+        # corrupt the requester's trace: the junk decodes to None and
+        # the graft is skipped
+        assert obs.graft_remote(
+            propagate.decode_span_header('{"name": 13}')
+        ) is False
+        with obs.span("fetch") as sp:
+            ok = obs.graft_remote(
+                propagate.decode_span_header("[not json")
+            )
+            assert ok is False
+        assert sp.children == []
