@@ -1,0 +1,149 @@
+"""L1 — multi-user soak: determinism, linearizability, cache payoff.
+
+The paper's whole pitch is a *shared* WWW tool — "it can be accessed by
+any machine on the web" — which is only credible if many designers can
+hammer one server without corrupting each other's state.  This bench:
+
+* proves the workload generator is deterministic (same seed ⇒
+  byte-identical script, and two independent full runs of that script
+  end in identical oracle state);
+* soaks the application with 8 driver threads for ≥2k operations and
+  asserts zero server errors and a serial-replay-equivalent end state
+  (no lost updates, no torn session files);
+* measures the memoized evaluation cache: repeated evaluation of an
+  unchanged InfoPad design must be ≥5x faster than cold evaluation,
+  and a mutation must invalidate (same answer as a fresh evaluate).
+
+Deterministic end to end: one seed drives everything.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import banner
+
+from repro.core.estimator import evaluate_power
+from repro.core.evalcache import EvaluationCache
+from repro.designs.infopad import build_infopad
+from repro.loadgen import (
+    InProcessTarget,
+    generate_workload,
+    replay_serial,
+    run_script,
+    summarize_latencies,
+    verify,
+)
+from repro.loadgen.oracle import capture_state
+from repro.web.app import Application
+
+SEED = 1996
+SOAK_USERS = 8
+SOAK_OPS = 2000
+SOAK_THREADS = 8
+
+
+def test_bench_workload_determinism(tmp_path: Path):
+    banner(
+        "L1a — seeded workload determinism",
+        "shared WWW access must be reproducible to be testable",
+    )
+    first = generate_workload(SEED, users=4, ops=120)
+    second = generate_workload(SEED, users=4, ops=120)
+    identical = first.to_json() == second.to_json()
+    print(f"script bytes: {len(first.to_json())}  identical: {identical}")
+    assert identical, "same seed must produce a byte-identical script"
+
+    states = []
+    for run in ("a", "b"):
+        application = Application(tmp_path / run)
+        result = run_script(first, InProcessTarget(application), threads=4)
+        assert not result.server_errors, result.server_errors[:3]
+        states.append(capture_state(application, first))
+    same_end_state = states[0] == states[1]
+    print(f"independent concurrent runs end in identical state: "
+          f"{same_end_state}")
+    assert same_end_state, "same script must reproduce the same end state"
+
+
+def test_bench_soak_8_threads(tmp_path: Path):
+    banner(
+        "L1b — 8-thread soak with serial-replay oracle",
+        '"since PowerPlay is local to one server, it can be accessed '
+        'by any machine on the web"',
+    )
+    script = generate_workload(SEED, users=SOAK_USERS, ops=SOAK_OPS)
+    application = Application(tmp_path / "soak")
+    result = run_script(
+        script, InProcessTarget(application), threads=SOAK_THREADS
+    )
+    latency = summarize_latencies(result.latencies)
+    print(
+        f"{len(result.results)} ops on {result.threads} threads in "
+        f"{result.wall_seconds:.2f} s -> {result.throughput:.0f} ops/s"
+    )
+    print(
+        f"latency: p50={latency['p50'] * 1e3:.2f} ms  "
+        f"p95={latency['p95'] * 1e3:.2f} ms  "
+        f"p99={latency['p99'] * 1e3:.2f} ms"
+    )
+    cache = application.eval_cache.stats()
+    lookups = cache["hits"] + cache["misses"]
+    print(
+        f"eval cache: hits={cache['hits']} misses={cache['misses']} "
+        f"hit_rate={cache['hits'] / lookups:.1%}"
+    )
+    assert len(result.results) == SOAK_OPS
+    assert not result.server_errors, (
+        f"{len(result.server_errors)} server errors, first: "
+        f"{result.server_errors[:3]}"
+    )
+
+    serial_app, serial_result = replay_serial(script, tmp_path / "serial")
+    assert not serial_result.server_errors
+    report = verify(script, application, serial_app)
+    print(report.summary())
+    for difference in report.differences[:10]:
+        print(f"  {difference}")
+    assert report.matches, "concurrent end state diverged from serial replay"
+
+
+def test_bench_eval_cache_speedup():
+    banner(
+        "L1c — memoized evaluation cache",
+        "instant feedback on the design spreadsheet",
+    )
+    design = build_infopad()
+    cache = EvaluationCache()
+
+    cold_start = time.perf_counter()
+    cold_report = cache.power(design)
+    cold = time.perf_counter() - cold_start
+
+    repeats = 50
+    warm_start = time.perf_counter()
+    for _ in range(repeats):
+        warm_report = cache.power(design)
+    warm = (time.perf_counter() - warm_start) / repeats
+
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(
+        f"cold evaluate: {cold * 1e3:.3f} ms   "
+        f"cached: {warm * 1e3:.3f} ms   speedup: {speedup:.1f}x"
+    )
+    assert warm_report.power == cold_report.power
+    assert speedup >= 5.0, (
+        f"cached evaluation only {speedup:.1f}x faster (need >= 5x)"
+    )
+
+    # invalidation is correctness, not best-effort: mutate and re-ask
+    design.scope.set("VDD2", 1.1)
+    invalidated = cache.power(design)
+    fresh = evaluate_power(design)
+    print(
+        f"after VDD2=1.1 mutation: cached={invalidated.power:.6e} W  "
+        f"fresh={fresh.power:.6e} W"
+    )
+    assert invalidated.power == pytest.approx(fresh.power)
+    assert invalidated.power != pytest.approx(cold_report.power)

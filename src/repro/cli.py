@@ -165,6 +165,105 @@ def cmd_sorting(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .loadgen import (
+        HttpTarget,
+        InProcessTarget,
+        generate_workload,
+        replay_serial,
+        run_script,
+        summarize_latencies,
+        verify,
+    )
+    from .loadgen.stats import histogram_summary
+    from .web.app import Application
+
+    script = generate_workload(args.seed, users=args.users, ops=args.ops)
+    if args.script_out:
+        Path(args.script_out).write_text(script.to_json())
+        print(f"workload script written to {args.script_out}")
+    mode = "http" if args.http else "in-process"
+    print(
+        f"workload: seed={args.seed} users={args.users} "
+        f"ops={len(script)} threads={args.threads} target={mode}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="powerplay-loadgen-") as tmp:
+        root = Path(tmp)
+        if args.http:
+            from .web.server import PowerPlayServer
+
+            with PowerPlayServer(root / "state") as server:
+                application = server.application
+                result = run_script(
+                    script, HttpTarget(server.base_url), threads=args.threads
+                )
+        else:
+            application = Application(root / "state")
+            result = run_script(
+                script, InProcessTarget(application), threads=args.threads
+            )
+        serial_app, serial_result = replay_serial(script, root / "serial")
+        report = verify(script, application, serial_app)
+
+    print(
+        f"run: {len(result.results)} ops in {result.wall_seconds:.3f} s "
+        f"on {result.threads} thread(s) -> {result.throughput:.1f} ops/s"
+    )
+    classes = result.status_classes()
+    print("status: " + " ".join(
+        f"{key}={classes[key]}" for key in sorted(classes)
+    ))
+    latency = summarize_latencies(result.latencies)
+    print(
+        "latency (driver):  "
+        f"p50={latency['p50'] * 1e3:.2f} ms  "
+        f"p95={latency['p95'] * 1e3:.2f} ms  "
+        f"p99={latency['p99'] * 1e3:.2f} ms  "
+        f"max={latency['max'] * 1e3:.2f} ms"
+    )
+    histogram = application.registry.get("powerplay_http_request_seconds")
+    if histogram is not None:
+        estimate = histogram_summary(histogram)
+        print(
+            "latency (server histogram estimate):  "
+            + "  ".join(
+                f"{key}={value * 1e3:.2f} ms"
+                for key, value in estimate.items()
+            )
+        )
+    cache = application.eval_cache.stats()
+    lookups = cache["hits"] + cache["misses"]
+    rate = cache["hits"] / lookups if lookups else 0.0
+    print(
+        f"eval cache: hits={cache['hits']} misses={cache['misses']} "
+        f"evictions={cache['evictions']} hit_rate={rate:.1%}"
+    )
+    print(report.summary())
+
+    failed = False
+    if result.server_errors:
+        failed = True
+        print(f"FAIL: {len(result.server_errors)} server errors (5xx/exception)")
+        for bad in result.server_errors[:5]:
+            print(f"  op {bad.index} {bad.user} {bad.kind}: "
+                  f"status {bad.status} {bad.error}")
+    if serial_result.server_errors:
+        failed = True
+        print(
+            f"FAIL: serial replay hit "
+            f"{len(serial_result.server_errors)} server errors"
+        )
+    if not report.matches:
+        failed = True
+        print("FAIL: concurrent end state diverged from serial replay:")
+        for difference in report.differences:
+            print(f"  {difference}")
+    return 1 if failed else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import PowerPlayServer
 
@@ -250,6 +349,25 @@ def build_parser() -> argparse.ArgumentParser:
     sorting.add_argument("-n", "--count", type=int, default=256)
     sorting.add_argument("--seed", type=int, default=13)
     sorting.set_defaults(func=cmd_sorting)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="deterministic multi-user load test with serial-replay oracle",
+    )
+    loadgen.add_argument("--seed", type=int, default=1996,
+                         help="workload seed (same seed -> same script)")
+    loadgen.add_argument("--users", type=int, default=4,
+                         help="simulated users (default 4)")
+    loadgen.add_argument("--ops", type=int, default=200,
+                         help="total operations across users (default 200)")
+    loadgen.add_argument("--threads", type=int, default=4,
+                         help="driver threads (default 4)")
+    loadgen.add_argument("--http", action="store_true",
+                         help="drive a live HTTP server instead of the "
+                         "in-process application")
+    loadgen.add_argument("--script-out", default=None,
+                         help="also write the generated workload JSON here")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     serve = sub.add_parser("serve", help="run the PowerPlay web server")
     serve.add_argument("--host", default="127.0.0.1")

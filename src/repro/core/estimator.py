@@ -64,6 +64,26 @@ class PowerReport:
     def is_leaf(self) -> bool:
         return not self.children
 
+    def copy(self) -> "PowerReport":
+        """Deep, independent copy of this report subtree.
+
+        The evaluation cache hands out copies so one memoized result can
+        serve many requests without a caller's mutation reaching the
+        cached original (or another caller's copy).
+        """
+        return PowerReport(
+            name=self.name,
+            power=self.power,
+            kind=self.kind,
+            doc=self.doc,
+            quantity=self.quantity,
+            source=self.source,
+            parameters=dict(self.parameters),
+            details=dict(self.details),
+            children=[child.copy() for child in self.children],
+            evaluated_rows=self.evaluated_rows,
+        )
+
     @property
     def leaf_count(self) -> int:
         """How many leaves (modeled primitives) this subtree covers."""
@@ -113,6 +133,14 @@ class AreaReport:
     modeled: bool = True
     children: List["AreaReport"] = field(default_factory=list)
 
+    def copy(self) -> "AreaReport":
+        return AreaReport(
+            name=self.name,
+            area=self.area,
+            modeled=self.modeled,
+            children=[child.copy() for child in self.children],
+        )
+
     def leaves(self) -> Iterator["AreaReport"]:
         if not self.children:
             yield self
@@ -130,6 +158,14 @@ class TimingReport:
     delay: float
     modeled: bool = True
     children: List["TimingReport"] = field(default_factory=list)
+
+    def copy(self) -> "TimingReport":
+        return TimingReport(
+            name=self.name,
+            delay=self.delay,
+            modeled=self.modeled,
+            children=[child.copy() for child in self.children],
+        )
 
     @property
     def max_frequency(self) -> float:

@@ -1,0 +1,287 @@
+"""Memoized hierarchical evaluation — hot sheet views without re-walking.
+
+Pressing PLAY (or merely re-opening a design sheet) re-evaluates the
+whole hierarchy even when nothing changed; under many concurrent users
+that is the dominant server cost.  This module memoizes
+:func:`~repro.core.estimator.evaluate_power` /
+:func:`~repro.core.estimator.evaluate_area` /
+:func:`~repro.core.estimator.evaluate_timing` behind a **content
+fingerprint** of the design, so an unchanged design is served from
+memory and *any* mutation — a scope edit, a row-parameter override, a
+new or removed row, a back-annotated measurement, a macro's inner
+design changing — produces a different key and forces a fresh
+evaluation.  Stale results are structurally impossible: the key *is*
+the state.
+
+Design of the key
+-----------------
+
+``design_fingerprint`` walks the hierarchy exactly like the evaluator
+does but hashes instead of computing: row order, quantities, feeds,
+provenance, measured overrides, every scope's locally stored values
+(formula *sources*, not their evaluations — cheaper and just as
+distinguishing) and the full parent-scope chain above the root (a
+sub-design viewed through ``/design?path=...`` inherits values from its
+mount point).  Model objects are identified by class, name and object
+identity; they are immutable value objects in this codebase, and every
+cache entry keeps a strong reference to its design — hence to every
+model in it — so an ``id()`` can never be recycled into a false hit
+while the entry lives.  Models that *wrap* a mutable design
+(:class:`~repro.core.design.MacroPowerModel`) are fingerprinted by
+recursing into that design.
+
+Results are stored and returned as **copies**: callers may mutate what
+they get (the web layer relabels sub-reports) without poisoning the
+cache.
+
+The cache is a bounded, thread-safe LRU; hits and misses are counted in
+the observability registry as ``powerplay_eval_cache_total`` and
+surfaced on ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..obs import annotate, get_registry
+from .design import Design, SubDesign
+from .estimator import (
+    AreaReport,
+    PowerReport,
+    TimingReport,
+    evaluate_area,
+    evaluate_power,
+    evaluate_timing,
+)
+from .expressions import Expression
+from .parameters import ParameterScope, ParamValue
+
+Report = Union[PowerReport, AreaReport, TimingReport]
+
+DEFAULT_MAXSIZE = 128
+
+
+def _metric_eval_cache():
+    return get_registry().counter(
+        "powerplay_eval_cache_total",
+        "Memoized evaluation cache lookups, by kind and result.",
+        ("kind", "result"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _scope_local_tokens(scope: ParameterScope, out: List[str]) -> None:
+    """Hash tokens for the values stored directly in ``scope``."""
+    for name in sorted(scope._values):
+        value = scope._values[name]
+        if isinstance(value, Expression):
+            out.append(f"{name}=~{value.source}")
+        else:
+            out.append(f"{name}={value!r}")
+
+
+def _scope_chain_tokens(scope: Optional[ParameterScope], out: List[str]) -> None:
+    """Hash tokens for a whole parent chain (mount-point inheritance)."""
+    depth = 0
+    while scope is not None:
+        out.append(f"^{depth}")
+        _scope_local_tokens(scope, out)
+        scope = scope.parent
+        depth += 1
+
+
+def _model_tokens(model, out: List[str], _depth: int = 0) -> None:
+    """Identity tokens for a model object (see module docstring)."""
+    out.append(f"m:{type(model).__name__}:{getattr(model, 'name', '')}:{id(model)}")
+    # a macro wraps a live design whose parameters can change under it —
+    # recurse so an inner edit changes the outer fingerprint
+    inner = getattr(model, "design", None)
+    if isinstance(inner, Design) and _depth < 16:
+        _design_tokens(inner, out, _depth + 1)
+
+
+def _design_tokens(design: Design, out: List[str], _depth: int = 0) -> None:
+    out.append(f"d:{design.name}:{design.doc}")
+    _scope_local_tokens(design.scope, out)
+    for row in design:
+        if isinstance(row, SubDesign):
+            out.append(f"s:{row.name}:{row.doc}")
+            if _depth < 16:
+                _design_tokens(row.design, out, _depth + 1)
+            continue
+        out.append(
+            f"r:{row.name}:{row.quantity}:{row.source}:{row.measured_power!r}"
+            f":{','.join(row.power_feeds)}:{','.join(row.area_feeds)}:{row.doc}"
+        )
+        _scope_local_tokens(row.scope, out)
+        models = row.models
+        _model_tokens(models.power, out, _depth)
+        if models.area is not None:
+            _model_tokens(models.area, out, _depth)
+        if models.timing is not None:
+            _model_tokens(models.timing, out, _depth)
+
+
+def _override_tokens(
+    overrides: Optional[Mapping[str, ParamValue]], out: List[str]
+) -> None:
+    if not overrides:
+        return
+    out.append("o:")
+    for name in sorted(overrides):
+        value = overrides[name]
+        if isinstance(value, Expression):
+            out.append(f"{name}=~{value.source}")
+        else:
+            out.append(f"{name}={value!r}")
+
+
+def design_fingerprint(
+    design: Design, overrides: Optional[Mapping[str, ParamValue]] = None
+) -> str:
+    """A stable content hash of everything evaluation depends on."""
+    tokens: List[str] = []
+    _design_tokens(design, tokens)
+    # values inherited from above the root (mounted sub-designs) — the
+    # root's own locals were already hashed, but re-hashing them inside
+    # the chain is harmless and keeps this one simple loop
+    _scope_chain_tokens(design.scope.parent, tokens)
+    _override_tokens(overrides, tokens)
+    digest = hashlib.blake2b("\x1f".join(tokens).encode("utf-8"), digest_size=16)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+class EvaluationCache:
+    """Bounded, thread-safe LRU over fingerprint-keyed reports.
+
+    Each entry pins the design object it was computed from (see module
+    docstring: identity stability for model tokens) alongside a private
+    copy of the report; lookups return fresh copies.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        #: key -> (pinned design, cached report)
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[Design, Report]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def _memoize(
+        self,
+        kind: str,
+        design: Design,
+        overrides: Optional[Mapping[str, ParamValue]],
+        evaluate: Callable[..., Report],
+    ) -> Report:
+        key = (kind, design_fingerprint(design, overrides))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                cached = entry[1]
+        if entry is not None:
+            _metric_eval_cache().inc(kind=kind, result="hit")
+            annotate("eval_cache_hit", kind=kind, design=design.name)
+            return cached.copy()
+        report = evaluate(design, overrides=overrides)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (design, report.copy())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        _metric_eval_cache().inc(kind=kind, result="miss")
+        return report
+
+    # -- public lookups ----------------------------------------------------
+
+    def power(
+        self,
+        design: Design,
+        overrides: Optional[Mapping[str, ParamValue]] = None,
+    ) -> PowerReport:
+        return self._memoize("power", design, overrides, evaluate_power)
+
+    def area(
+        self,
+        design: Design,
+        overrides: Optional[Mapping[str, ParamValue]] = None,
+    ) -> AreaReport:
+        return self._memoize("area", design, overrides, evaluate_area)
+
+    def timing(
+        self,
+        design: Design,
+        overrides: Optional[Mapping[str, ParamValue]] = None,
+    ) -> TimingReport:
+        return self._memoize("timing", design, overrides, evaluate_timing)
+
+
+#: process-wide default — what the web application and CLI use
+DEFAULT_CACHE = EvaluationCache()
+
+
+def cached_evaluate_power(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> PowerReport:
+    """Drop-in for :func:`evaluate_power` backed by the default cache."""
+    # `cache is None`, not `cache or ...`: __len__ makes an EMPTY cache
+    # falsy, and an empty explicit cache must still be the one used
+    return (DEFAULT_CACHE if cache is None else cache).power(design, overrides)
+
+
+def cached_evaluate_area(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> AreaReport:
+    """Drop-in for :func:`evaluate_area` backed by the default cache."""
+    return (DEFAULT_CACHE if cache is None else cache).area(design, overrides)
+
+
+def cached_evaluate_timing(
+    design: Design,
+    overrides: Optional[Mapping[str, ParamValue]] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> TimingReport:
+    """Drop-in for :func:`evaluate_timing` backed by the default cache."""
+    return (DEFAULT_CACHE if cache is None else cache).timing(design, overrides)

@@ -22,6 +22,7 @@ proprietary").
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -497,19 +498,29 @@ class LibraryEntry:
 
 
 class Library:
-    """A named, ordered collection of entries."""
+    """A named, ordered collection of entries.
+
+    Thread-safe: the PowerPlay server is threaded and a user can be
+    defining a model into their library while other requests iterate it
+    (menu, library page, lookups).  Mutations take an internal lock and
+    readers iterate over an atomic snapshot, so concurrent add/iterate
+    can never raise ``RuntimeError: dictionary changed size`` or see a
+    half-applied merge.
+    """
 
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
         self._entries: Dict[str, LibraryEntry] = {}
+        self._lock = threading.RLock()
 
     def add(self, entry: LibraryEntry, replace: bool = False) -> LibraryEntry:
-        if not replace and entry.name in self._entries:
-            raise LibraryError(
-                f"library {self.name!r} already has an entry {entry.name!r}"
-            )
-        self._entries[entry.name] = entry
+        with self._lock:
+            if not replace and entry.name in self._entries:
+                raise LibraryError(
+                    f"library {self.name!r} already has an entry {entry.name!r}"
+                )
+            self._entries[entry.name] = entry
         return entry
 
     def get(self, name: str) -> LibraryEntry:
@@ -524,28 +535,34 @@ class Library:
         return name in self._entries
 
     def __iter__(self) -> Iterator[LibraryEntry]:
-        return iter(self._entries.values())
+        with self._lock:
+            snapshot = list(self._entries.values())
+        return iter(snapshot)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def names(self) -> List[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def remove(self, name: str) -> None:
-        if name not in self._entries:
-            raise LibraryError(f"library {self.name!r} has no entry {name!r}")
-        del self._entries[name]
+        with self._lock:
+            if name not in self._entries:
+                raise LibraryError(
+                    f"library {self.name!r} has no entry {name!r}"
+                )
+            del self._entries[name]
 
     def by_category(self, category: str) -> List[LibraryEntry]:
         if category not in CATEGORIES:
             raise LibraryError(f"unknown category {category!r}")
-        return [e for e in self._entries.values() if e.category == category]
+        return [e for e in self if e.category == category]
 
     def categories(self) -> Dict[str, List[str]]:
         """category -> entry names, only non-empty categories."""
         result: Dict[str, List[str]] = {}
-        for entry in self._entries.values():
+        for entry in self:
             result.setdefault(entry.category, []).append(entry.name)
         return result
 
@@ -554,7 +571,7 @@ class Library:
         needle = term.lower()
         return [
             entry
-            for entry in self._entries.values()
+            for entry in self
             if needle in entry.name.lower() or needle in entry.doc.lower()
         ]
 
@@ -573,7 +590,7 @@ class Library:
             "description": self.description,
             "entries": [
                 entry.to_payload()
-                for entry in self._entries.values()
+                for entry in self
                 if include_proprietary or not entry.proprietary
             ],
         }
@@ -603,11 +620,12 @@ class Library:
         if prefer not in ("mine", "theirs"):
             raise LibraryError(f"prefer must be 'mine' or 'theirs', not {prefer!r}")
         adopted: List[str] = []
-        for entry in other:
-            if entry.name in self._entries and prefer == "mine":
-                continue
-            self._entries[entry.name] = entry
-            adopted.append(entry.name)
+        with self._lock:
+            for entry in other:
+                if entry.name in self._entries and prefer == "mine":
+                    continue
+                self._entries[entry.name] = entry
+                adopted.append(entry.name)
         return adopted
 
     def __repr__(self) -> str:

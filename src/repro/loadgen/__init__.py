@@ -1,0 +1,47 @@
+"""Deterministic load/soak harness for the PowerPlay server.
+
+The paper's premise is a *shared* WWW tool — many designers against one
+server's libraries and spreadsheet at once.  This package makes that
+claim testable:
+
+* :mod:`repro.loadgen.workload` — a seeded generator that synthesizes
+  multi-user sessions (login -> library browse -> cell compute -> design
+  edit -> analysis) as replayable operation scripts.  Same seed, same
+  bytes.
+* :mod:`repro.loadgen.driver` — a closed-loop multi-threaded driver
+  executing a script against an in-process
+  :class:`~repro.web.app.Application` or a live
+  :class:`~repro.web.server.PowerPlayServer` over HTTP, with per-op
+  latency capture.
+* :mod:`repro.loadgen.oracle` — replays the same script serially and
+  asserts end-state equivalence (no lost updates, no torn session
+  files, identical library contents).
+* :mod:`repro.loadgen.stats` — p50/p95/p99 summaries from raw samples
+  and from the observability registry's latency histograms.
+
+Surfaced as ``repro loadgen`` in the CLI and exercised by
+``benchmarks/bench_loadgen.py`` and ``tests/integration``.
+"""
+
+from .driver import HttpTarget, InProcessTarget, OpResult, RunResult, run_script
+from .oracle import OracleReport, capture_state, replay_serial, verify
+from .stats import histogram_quantile, percentile, summarize_latencies
+from .workload import Operation, WorkloadScript, generate_workload
+
+__all__ = [
+    "HttpTarget",
+    "InProcessTarget",
+    "Operation",
+    "OpResult",
+    "OracleReport",
+    "RunResult",
+    "WorkloadScript",
+    "capture_state",
+    "generate_workload",
+    "histogram_quantile",
+    "percentile",
+    "replay_serial",
+    "run_script",
+    "summarize_latencies",
+    "verify",
+]

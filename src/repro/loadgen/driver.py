@@ -1,0 +1,249 @@
+"""Closed-loop workload execution against in-process or live servers.
+
+The driver maps each scripted :class:`~repro.loadgen.workload.Operation`
+to the HTTP request a browser would issue, executes it, and records the
+observed status and latency.  Two interchangeable targets:
+
+* :class:`InProcessTarget` calls :meth:`Application.handle` directly —
+  no sockets, so the harness measures (and races) the application layer
+  itself.  This is what the serial oracle replays against.
+* :class:`HttpTarget` drives a live :class:`PowerPlayServer` through
+  :class:`~repro.web.client.Browser`, covering the transport too.
+
+Concurrency model: *closed-loop per user*.  Users are partitioned
+round-robin over ``threads`` worker threads; each worker executes its
+users' operations in script order (interleaved across its users exactly
+as the script interleaves them), issuing the next request only after
+the previous one returned.  Per-user program order is therefore
+preserved no matter the thread count — the property the serial-replay
+oracle depends on — while operations of *different* users overlap
+freely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import PowerPlayError
+from ..web.app import Application
+from ..web.client import Browser
+from .workload import Operation, WorkloadScript
+
+
+def op_request(op: Operation) -> Tuple[str, str, Dict[str, str]]:
+    """Translate an operation into ``(method, path, form)``."""
+    p = op.params
+    user = op.user
+    if op.kind == "login":
+        return "POST", "/login", {"user": user}
+    if op.kind == "design_new":
+        return "POST", "/design/new", {"user": user, "name": p["name"]}
+    if op.kind == "menu":
+        return "GET", f"/menu?user={user}", {}
+    if op.kind == "library":
+        return "GET", f"/library?user={user}&library={p['library']}", {}
+    if op.kind == "cell_form":
+        return "GET", f"/cell?user={user}&name={p['name']}", {}
+    if op.kind == "cell_compute":
+        form = {"user": user, "name": p["name"]}
+        if "bitwidth" in p:
+            form["p:bitwidth"] = p["bitwidth"]
+        if "VDD" in p:
+            form["p:VDD"] = p["VDD"]
+        return "POST", "/cell", form
+    if op.kind == "cell_save":
+        form = {
+            "user": user,
+            "name": p["name"],
+            "design": p["design"],
+            "row": p["row"],
+        }
+        if "bitwidth" in p:
+            form["p:bitwidth"] = p["bitwidth"]
+        return "POST", "/cell/save", form
+    if op.kind == "design_sheet":
+        return "GET", f"/design?user={user}&name={p['name']}", {}
+    if op.kind == "design_play":
+        return "POST", "/design", {
+            "user": user,
+            "name": p["name"],
+            "g:VDD": p["VDD"],
+        }
+    if op.kind == "design_analysis":
+        return "GET", f"/design/analysis?user={user}&name={p['name']}", {}
+    if op.kind == "load_example":
+        return "POST", "/design/load_example", {
+            "user": user,
+            "example": p["example"],
+        }
+    if op.kind == "define_model":
+        return "POST", "/define", {
+            "user": user,
+            "name": p["name"],
+            "equation": p["equation"],
+            "parameters": p.get("parameters", ""),
+            "doc": p.get("doc", ""),
+            "category": p.get("category", "other"),
+        }
+    raise PowerPlayError(f"unknown workload operation kind {op.kind!r}")
+
+
+class InProcessTarget:
+    """Execute operations directly against an :class:`Application`."""
+
+    def __init__(self, application: Application):
+        self.application = application
+
+    def request(self, method: str, path: str, form: Mapping[str, str]) -> int:
+        response = self.application.handle(method, path, form or None)
+        return response.status
+
+
+class HttpTarget:
+    """Execute operations over real HTTP against a live server.
+
+    One :class:`Browser` per driver thread (``http.client`` connections
+    are not thread-safe); redirects are followed, so a successful
+    POST-redirect-GET chain reports the final page's status.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url
+        self.timeout = timeout
+        self._local = threading.local()
+
+    def _browser(self) -> Browser:
+        browser = getattr(self._local, "browser", None)
+        if browser is None:
+            browser = Browser(self.base_url, timeout=self.timeout)
+            self._local.browser = browser
+        return browser
+
+    def request(self, method: str, path: str, form: Mapping[str, str]) -> int:
+        browser = self._browser()
+        if method == "GET":
+            return browser.get(path).status
+        return browser.post(path, form).status
+
+
+@dataclass
+class OpResult:
+    """Outcome of one executed operation."""
+
+    index: int
+    user: str
+    kind: str
+    status: int
+    duration: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.status < 400
+
+
+@dataclass
+class RunResult:
+    """Everything one driver run observed."""
+
+    results: List[OpResult]
+    wall_seconds: float
+    threads: int
+
+    @property
+    def latencies(self) -> List[float]:
+        return [r.duration for r in self.results]
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    def status_classes(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            key = f"{result.status // 100}xx" if not result.error else "err"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
+    def failures(self) -> List[OpResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def server_errors(self) -> List[OpResult]:
+        return [r for r in self.results if r.status >= 500 or r.error]
+
+
+def _partition_users(users: Sequence[str], threads: int) -> List[List[str]]:
+    buckets: List[List[str]] = [[] for _ in range(threads)]
+    for position, user in enumerate(users):
+        buckets[position % threads].append(user)
+    return [bucket for bucket in buckets if bucket]
+
+
+def run_script(
+    script: WorkloadScript,
+    target,
+    threads: int = 4,
+    on_result: Optional[Callable[[OpResult], None]] = None,
+) -> RunResult:
+    """Execute ``script`` against ``target`` with ``threads`` workers.
+
+    Exceptions from the target are captured per-operation (status 599)
+    rather than aborting the run — a soak should finish and report.
+    """
+    if threads < 1:
+        raise PowerPlayError("driver needs at least one thread")
+    partitions = _partition_users(script.users, threads)
+    collected: List[List[OpResult]] = [[] for _ in partitions]
+    barrier = threading.Barrier(len(partitions) + 1)
+
+    def worker(slot: int, mine: List[str]) -> None:
+        wanted = set(mine)
+        sink = collected[slot]
+        ops = [op for op in script.operations if op.user in wanted]
+        barrier.wait()
+        for op in ops:
+            method, path, form = op_request(op)
+            started = time.perf_counter()
+            try:
+                status = target.request(method, path, form)
+                error = ""
+            except Exception as exc:  # noqa: BLE001 - soak must finish
+                status = 599
+                error = f"{type(exc).__name__}: {exc}"
+            duration = time.perf_counter() - started
+            result = OpResult(
+                op.index, op.user, op.kind, status, duration, error
+            )
+            sink.append(result)
+            if on_result is not None:
+                on_result(result)
+
+    workers = [
+        threading.Thread(
+            target=worker,
+            args=(slot, mine),
+            name=f"loadgen-{slot}",
+            daemon=True,
+        )
+        for slot, mine in enumerate(partitions)
+    ]
+    for thread in workers:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in workers:
+        thread.join()
+    wall = time.perf_counter() - started
+    merged = sorted(
+        (result for sink in collected for result in sink),
+        key=lambda result: result.index,
+    )
+    return RunResult(results=merged, wall_seconds=wall, threads=len(partitions))

@@ -1,0 +1,110 @@
+"""Latency/throughput summaries: raw-sample and histogram percentiles.
+
+Two complementary sources:
+
+* the driver's own per-operation wall clock — exact, computed by
+  :func:`percentile` over the raw samples;
+* the server's ``powerplay_http_request_seconds`` histogram from the
+  observability registry — what a production scrape would see, read by
+  :func:`histogram_quantile` with the standard Prometheus
+  linear-interpolation-within-bucket estimate.
+
+Reporting both catches disagreement between what the client felt and
+what the server measured (queueing in the transport, for example).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import Histogram
+
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact sample percentile (linear interpolation between ranks)."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def summarize_latencies(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 plus mean and max, in seconds."""
+    if not samples:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(samples),
+        "p50": percentile(samples, 0.50),
+        "p95": percentile(samples, 0.95),
+        "p99": percentile(samples, 0.99),
+        "mean": sum(samples) / len(samples),
+        "max": max(samples),
+    }
+
+
+def _aggregate_buckets(
+    histogram: Histogram, route: Optional[str] = None
+) -> Tuple[List[int], int]:
+    """Summed per-bucket counts (+Inf last) across label sets.
+
+    ``route`` filters to one label value when the histogram is labelled
+    by route (the first declared label); ``None`` aggregates everything.
+    """
+    slots = [0] * (len(histogram.bounds) + 1)
+    total = 0
+    with histogram._lock:
+        for key, counts in histogram._buckets.items():
+            if route is not None and key and key[0] != route:
+                continue
+            for index, count in enumerate(counts):
+                slots[index] += count
+                total += count
+    return slots, total
+
+
+def histogram_quantile(
+    histogram: Histogram, q: float, route: Optional[str] = None
+) -> float:
+    """Prometheus-style quantile estimate from cumulative buckets.
+
+    Linear interpolation inside the bucket containing the target rank;
+    observations in the ``+Inf`` bucket clamp to the highest finite
+    bound (exactly what ``histogram_quantile()`` does in PromQL).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    slots, total = _aggregate_buckets(histogram, route)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    lower = 0.0
+    for index, bound in enumerate(histogram.bounds):
+        in_bucket = slots[index]
+        if seen + in_bucket >= rank and in_bucket > 0:
+            fraction = (rank - seen) / in_bucket
+            return lower + (bound - lower) * fraction
+        seen += in_bucket
+        lower = bound
+    return histogram.bounds[-1]
+
+
+def histogram_summary(
+    histogram: Histogram, route: Optional[str] = None
+) -> Dict[str, float]:
+    """The standard percentile triple from a registry histogram."""
+    return {
+        f"p{int(q * 100)}": histogram_quantile(histogram, q, route)
+        for q in PERCENTILES
+    }

@@ -1,0 +1,234 @@
+"""Seeded, replayable multi-user workload scripts.
+
+A *workload script* is a flat, ordered list of operations, each naming
+its user, the page it exercises and the (already stringified) form
+values — exactly what a browser would submit.  Generation is driven by
+one ``random.Random(seed)``: the same ``(seed, users, ops)`` triple
+yields a byte-identical JSON script, so a run can be re-executed, its
+failures bisected, and its concurrent end state compared against a
+serial replay of the very same bytes.
+
+Per-user operation order is the invariant the oracle relies on: the
+driver may interleave *different* users arbitrarily across threads, but
+every user's own operations execute in script order, and users touch
+disjoint server state (their session, their designs, their library).
+A correct server therefore ends in the same state no matter the
+interleaving; divergence is a concurrency bug by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import PowerPlayError
+
+FORMAT = "powerplay-workload/1"
+
+#: operation kinds and their sampling weights after the per-user
+#: prologue (login + design create); weights sum to 100 for legibility
+OP_WEIGHTS: Sequence[Tuple[str, int]] = (
+    ("menu", 6),
+    ("library", 10),
+    ("cell_form", 10),
+    ("cell_compute", 20),
+    ("cell_save", 14),
+    ("design_sheet", 16),
+    ("design_play", 12),
+    ("design_analysis", 4),
+    ("load_example", 4),
+    ("define_model", 4),
+)
+
+#: library cells the generator parameterizes — stock entries with a
+#: numeric ``bitwidth``/``VDD`` surface (present in every deployment)
+CELLS: Sequence[str] = (
+    "ripple_adder",
+    "cla_adder",
+    "multiplier",
+    "register",
+    "sram",
+    "log_shifter",
+    "comparator",
+)
+
+LIBRARIES: Sequence[str] = ("ucb_lowpower", "system_components", "macro_cells")
+EXAMPLES: Sequence[str] = ("luminance_fig1", "luminance_fig3", "infopad")
+BITWIDTHS: Sequence[int] = (4, 8, 16, 24, 32)
+VDDS: Sequence[str] = ("1.1", "1.3", "1.5", "2.5", "3.3")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One scripted request: ``kind`` selects the route, ``params`` the
+    form/query values (strings, as a browser would send them)."""
+
+    index: int
+    user: str
+    kind: str
+    params: Mapping[str, str] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "index": self.index,
+            "user": self.user,
+            "kind": self.kind,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Operation":
+        return cls(
+            index=int(payload["index"]),
+            user=str(payload["user"]),
+            kind=str(payload["kind"]),
+            params={str(k): str(v) for k, v in payload.get("params", {}).items()},
+        )
+
+
+@dataclass
+class WorkloadScript:
+    """An ordered operation list plus the recipe that produced it."""
+
+    seed: int
+    users: List[str]
+    operations: List[Operation]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def for_user(self, user: str) -> List[Operation]:
+        """This user's operations, in script order."""
+        return [op for op in self.operations if op.user == user]
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical for the same seed."""
+        payload = {
+            "format": FORMAT,
+            "seed": self.seed,
+            "users": self.users,
+            "operations": [op.to_payload() for op in self.operations],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadScript":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PowerPlayError(f"malformed workload JSON: {exc}") from exc
+        if payload.get("format") != FORMAT:
+            raise PowerPlayError(
+                f"unsupported workload format {payload.get('format')!r}"
+            )
+        return cls(
+            seed=int(payload["seed"]),
+            users=[str(u) for u in payload["users"]],
+            operations=[
+                Operation.from_payload(op) for op in payload.get("operations", [])
+            ],
+        )
+
+
+class _UserState:
+    """What the generator knows a user has done so far — used to emit
+    only operations that are valid at that point in the session."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.design = f"{name}_main"
+        self.rows = 0
+        self.examples = 0
+        self.models = 0
+
+
+def generate_workload(
+    seed: int, users: int = 4, ops: int = 100
+) -> WorkloadScript:
+    """Synthesize a deterministic multi-user session script.
+
+    Every user gets a prologue (login, create their working design);
+    the remaining budget is spent on a seeded mix of browsing, cell
+    computation, design edits and analyses.  All randomness flows from
+    one ``random.Random(seed)``.
+    """
+    if users < 1:
+        raise PowerPlayError("workload needs at least one user")
+    if ops < users * 2:
+        raise PowerPlayError(
+            f"ops={ops} cannot cover the 2-op prologue for {users} users"
+        )
+    rng = random.Random(seed)
+    names = [f"load_user{i}" for i in range(users)]
+    states = {name: _UserState(name) for name in names}
+    operations: List[Operation] = []
+
+    def emit(user: str, kind: str, **params: str) -> None:
+        operations.append(
+            Operation(len(operations), user, kind, dict(params))
+        )
+
+    for name in names:
+        emit(name, "login")
+        emit(name, "design_new", name=states[name].design)
+
+    kinds = [kind for kind, _weight in OP_WEIGHTS]
+    weights = [weight for _kind, weight in OP_WEIGHTS]
+    while len(operations) < ops:
+        user = rng.choice(names)
+        state = states[user]
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "menu":
+            emit(user, "menu")
+        elif kind == "library":
+            emit(user, "library", library=rng.choice(LIBRARIES))
+        elif kind == "cell_form":
+            emit(user, "cell_form", name=rng.choice(CELLS))
+        elif kind == "cell_compute":
+            emit(
+                user,
+                "cell_compute",
+                name=rng.choice(CELLS),
+                bitwidth=str(rng.choice(BITWIDTHS)),
+                VDD=rng.choice(VDDS),
+            )
+        elif kind == "cell_save":
+            state.rows += 1
+            emit(
+                user,
+                "cell_save",
+                name=rng.choice(CELLS),
+                design=state.design,
+                row=f"row{state.rows}",
+                bitwidth=str(rng.choice(BITWIDTHS)),
+            )
+        elif kind == "design_sheet":
+            emit(user, "design_sheet", name=state.design)
+        elif kind == "design_play":
+            emit(
+                user,
+                "design_play",
+                name=state.design,
+                VDD=rng.choice(VDDS),
+            )
+        elif kind == "design_analysis":
+            emit(user, "design_analysis", name=state.design)
+        elif kind == "load_example":
+            state.examples += 1
+            emit(user, "load_example", example=rng.choice(EXAMPLES))
+        elif kind == "define_model":
+            state.models += 1
+            emit(
+                user,
+                "define_model",
+                name=f"{user}_m{state.models}",
+                equation=f"C * VDD^2 * f * {rng.choice(BITWIDTHS)}",
+                parameters="C=1p",
+                doc=f"loadgen model {state.models} of {user}",
+            )
+    return WorkloadScript(seed=seed, users=names, operations=operations)

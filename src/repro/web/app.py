@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 import json
 import secrets
+import threading
 import time
 import urllib.parse
 from dataclasses import dataclass, field
@@ -24,7 +25,12 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.design import Design, SubDesign
-from ..core.estimator import evaluate_power
+from ..core.evalcache import (
+    DEFAULT_CACHE,
+    cached_evaluate_area,
+    cached_evaluate_power,
+    cached_evaluate_timing,
+)
 from ..core.model import (
     ExpressionAreaModel,
     ExpressionPowerModel,
@@ -139,6 +145,17 @@ class Application:
         #: login tokens for password-protected users (in-memory; a
         #: restart simply requires logging in again)
         self._tokens: Dict[str, str] = {}
+        self._tokens_lock = threading.Lock()
+        #: per-user request serialization — the transport is threaded
+        #: but a user's session (designs, defaults, user library) is
+        #: mutable shared state; requests naming the same user run one
+        #: at a time, requests for different users run in parallel.
+        #: Bounded by the (validated) user population, like the state
+        #: files themselves.
+        self._user_locks: Dict[str, threading.RLock] = {}
+        self._user_locks_guard = threading.Lock()
+        #: memoized evaluate_power/area/timing for sheet views
+        self.eval_cache = DEFAULT_CACHE
         self.libraries: List[Library] = [
             build_default_library(),
             build_system_library(),
@@ -206,6 +223,16 @@ class Application:
                 return library.get(name)
         raise WebError(f"no shared library entry named {name!r}")
 
+    # -- concurrency ----------------------------------------------------------
+
+    def user_lock(self, user: str) -> threading.RLock:
+        """The lock serializing requests for one (validated) username."""
+        with self._user_locks_guard:
+            lock = self._user_locks.get(user)
+            if lock is None:
+                lock = self._user_locks[user] = threading.RLock()
+            return lock
+
     # -- dispatch --------------------------------------------------------------
 
     def handle(
@@ -252,7 +279,9 @@ class Application:
             if isinstance(sp, Span):
                 handled = sp
             try:
-                response = self._dispatch(method.upper(), route, data)
+                response = self._dispatch_serialized(
+                    method.upper(), route, data
+                )
             except (WebError, SessionError) as exc:
                 response = Response(
                     status=400,
@@ -295,6 +324,28 @@ class Application:
             request=request_id,
         )
         return response
+
+    def _dispatch_serialized(
+        self, method: str, route: str, data: Dict[str, str]
+    ) -> Response:
+        """Route one request, holding the named user's lock if any.
+
+        Requests that carry a (syntactically valid) ``user`` are
+        serialized per user: the handlers below read-modify-write the
+        session's designs, defaults and library, and without this two
+        concurrent PLAYs could interleave scope edits with evaluation,
+        or two saves could race a check-then-add.  Requests naming an
+        invalid user skip the lock — they fail in validation anyway.
+        """
+        user = data.get("user", "")
+        try:
+            user = validate_username(user) if user else ""
+        except SessionError:
+            user = ""
+        if user:
+            with self.user_lock(user):
+                return self._dispatch(method, route, data)
+        return self._dispatch(method, route, data)
 
     def _dispatch(self, method: str, route: str, data: Dict[str, str]) -> Response:
         if route == "/":
@@ -376,7 +427,9 @@ class Application:
         session = self.users.session(user)
         if session.has_password:
             token = data.get("auth", "")
-            if not token or self._tokens.get(user) != token:
+            with self._tokens_lock:
+                issued = self._tokens.get(user)
+            if not token or issued != token:
                 raise SessionError(
                     f"user {user!r} is password-protected — "
                     "log in from the front page"
@@ -386,7 +439,8 @@ class Application:
     def _auth_token(self, user: str) -> str:
         """The credential suffix value for pages (empty if unprotected)."""
         if self.users.session(user).has_password:
-            return self._tokens.get(user, "")
+            with self._tokens_lock:
+                return self._tokens.get(user, "")
         return ""
 
     def _param_values(self, data: Mapping[str, str]) -> Dict[str, float]:
@@ -414,7 +468,8 @@ class Application:
                     ),
                 )
             token = secrets.token_hex(16)
-            self._tokens[user] = token
+            with self._tokens_lock:
+                self._tokens[user] = token
             return Response.redirect(f"/menu?user={user}&auth={token}")
         return Response.redirect(f"/menu?user={user}")
 
@@ -423,7 +478,8 @@ class Application:
         session = self.users.session(user)
         session.set_password(data.get("password", ""))
         token = secrets.token_hex(16)
-        self._tokens[user] = token
+        with self._tokens_lock:
+            self._tokens[user] = token
         return Response.redirect(f"/menu?user={user}&auth={token}")
 
     def _menu(self, data: Mapping[str, str]) -> Response:
@@ -561,7 +617,7 @@ class Application:
         session = self.users.session(user)
         name = data.get("name", "")
         design, path = self._resolve_design(session, name, data.get("path", ""))
-        report = evaluate_power(design)
+        report = cached_evaluate_power(design, cache=self.eval_cache)
         return Response(
             body=pages.design_sheet_page(
                 user, design, report, name, path,
@@ -574,10 +630,8 @@ class Application:
         session = self.users.session(user)
         name = data.get("name", "")
         design, path = self._resolve_design(session, name, data.get("path", ""))
-        from ..core.estimator import evaluate_area, evaluate_timing
-
-        area = evaluate_area(design)
-        timing = evaluate_timing(design)
+        area = cached_evaluate_area(design, cache=self.eval_cache)
+        timing = cached_evaluate_timing(design, cache=self.eval_cache)
         return Response(
             body=pages.design_analysis_page(
                 user, design, area, timing, name, path,
@@ -600,7 +654,7 @@ class Application:
                     design.row(row_name).set(parameter, text)
         except PowerPlayError as exc:
             error = str(exc)
-        report = evaluate_power(design)
+        report = cached_evaluate_power(design, cache=self.eval_cache)
         session.put_design(session.design(name))  # persist top-level design
         return Response(
             body=pages.design_sheet_page(

@@ -200,6 +200,21 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(self._handle_safely("POST", form))
 
 
+class _SoakFriendlyHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for long soaks.
+
+    The stock mixin keeps a reference to *every* request thread it ever
+    spawned when ``block_on_close`` is true, so a load test that issues
+    thousands of requests grows an unbounded thread list and then joins
+    it all at shutdown.  Request threads are daemons here anyway, so we
+    skip the tracking: memory stays flat across a soak and ``stop()``
+    returns promptly.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+
 class PowerPlayServer:
     """A live PowerPlay HTTP server on localhost.
 
@@ -231,7 +246,7 @@ class PowerPlayServer:
         }
         attrs.update(handler_attrs or {})
         handler = type("BoundHandler", (handler_base,), attrs)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd = _SoakFriendlyHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -60,11 +60,22 @@ def validate_username(username: str) -> str:
 
 
 class UserSession:
-    """One user's mutable server-side state."""
+    """One user's mutable server-side state.
+
+    The server is threaded, so one user's browser (or several tabs, or
+    a scripted client) can hit the server concurrently.  :attr:`lock`
+    serializes this session's mutations *and* its persistence: every
+    mutator holds it through ``save()``, so the JSON snapshot written to
+    disk is always internally consistent and saves for one user land in
+    mutation order — no lost updates from an older payload racing past
+    a newer one.  Re-entrant, because mutators call ``save()`` which
+    re-acquires it.
+    """
 
     def __init__(self, username: str, store: "UserStore"):
         self.username = validate_username(username)
         self._store = store
+        self.lock = threading.RLock()
         self.defaults: Dict[str, Dict[str, float]] = {}
         self.designs: Dict[str, Design] = {}
         self.user_library = Library(
@@ -89,16 +100,18 @@ class UserSession:
         """Protect this user's designs with a password."""
         if not password or len(password) < 4:
             raise SessionError("password must be at least 4 characters")
-        self._password_salt = os.urandom(8).hex()
-        self._password_hash = self._digest(self._password_salt, password)
-        self.save()
+        with self.lock:
+            self._password_salt = os.urandom(8).hex()
+            self._password_hash = self._digest(self._password_salt, password)
+            self.save()
 
     def clear_password(self, current: str) -> None:
         if not self.check_password(current):
             raise SessionError("wrong password")
-        self._password_salt = ""
-        self._password_hash = ""
-        self.save()
+        with self.lock:
+            self._password_salt = ""
+            self._password_hash = ""
+            self.save()
 
     def check_password(self, password: str) -> bool:
         """True when access should be granted."""
@@ -110,13 +123,15 @@ class UserSession:
     # -- defaults ---------------------------------------------------------
 
     def defaults_for(self, model_name: str) -> Dict[str, float]:
-        return dict(self.defaults.get(model_name, {}))
+        with self.lock:
+            return dict(self.defaults.get(model_name, {}))
 
     def remember_defaults(self, model_name: str, values: Mapping[str, float]) -> None:
-        merged = self.defaults.setdefault(model_name, {})
-        for key, value in values.items():
-            merged[key] = float(value)
-        self.save()
+        with self.lock:
+            merged = self.defaults.setdefault(model_name, {})
+            for key, value in values.items():
+                merged[key] = float(value)
+            self.save()
 
     # -- designs ------------------------------------------------------------
 
@@ -129,16 +144,18 @@ class UserSession:
         return design
 
     def put_design(self, design: Design) -> None:
-        self.designs[design.name] = design
-        self.save()
+        with self.lock:
+            self.designs[design.name] = design
+            self.save()
 
     def delete_design(self, name: str) -> None:
-        if name not in self.designs:
-            raise SessionError(
-                f"user {self.username!r} has no design {name!r}"
-            )
-        del self.designs[name]
-        self.save()
+        with self.lock:
+            if name not in self.designs:
+                raise SessionError(
+                    f"user {self.username!r} has no design {name!r}"
+                )
+            del self.designs[name]
+            self.save()
 
     # -- persistence ----------------------------------------------------------
 
@@ -178,7 +195,11 @@ class UserSession:
             self.user_library.add(LibraryEntry.from_payload(entry_payload))
 
     def save(self) -> None:
-        self._store.save_session(self)
+        # hold this session's lock across serialize-and-write so (a) the
+        # payload is a consistent snapshot and (b) two threads saving the
+        # same user cannot persist their snapshots out of order
+        with self.lock:
+            self._store.save_session(self)
 
 
 class UserStore:

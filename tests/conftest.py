@@ -1,0 +1,26 @@
+"""Suite-wide pytest configuration.
+
+Adds ``--update-golden``: regenerate the byte-for-byte golden report
+files under ``tests/golden/`` instead of comparing against them.  Run it
+after an *intentional* change to report rendering or to the luminance /
+InfoPad reference designs, then review the diff like any other code
+change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_reports.py --update-golden
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/* from current output instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,225 @@
+"""The memoized evaluation cache: hits, bounds, and — above all —
+invalidation.  Every mutation the web UI can perform must change the
+fingerprint; the proof in each case is equality with a *fresh*
+``evaluate_power`` of the mutated design."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power
+from repro.core.evalcache import (
+    DEFAULT_CACHE,
+    EvaluationCache,
+    cached_evaluate_power,
+    design_fingerprint,
+)
+from repro.core.model import ExpressionPowerModel
+from repro.core.parameters import Parameter
+from repro.designs.infopad import build_infopad
+from repro.designs.luminance import build_figure1_design
+
+
+def _probe_model(name="probe_model"):
+    return ExpressionPowerModel(
+        name, "C * VDD^2 * f", parameters=[Parameter("C", 1e-12, "F")]
+    )
+
+
+def _simple_design(name="cache_probe"):
+    design = Design(name)
+    design.scope.set("VDD", 3.3)
+    design.scope.set("f", 1e6)
+    design.add("row1", _probe_model())
+    return design
+
+
+class TestHitsAndBounds:
+    def test_identical_design_hits(self):
+        cache = EvaluationCache()
+        design = build_infopad()
+        first = cache.power(design)
+        second = cache.power(design)
+        assert cache.stats() == {
+            "size": 1, "hits": 1, "misses": 1, "evictions": 0
+        }
+        assert second.power == first.power
+
+    def test_hit_returns_independent_copy(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        first = cache.power(design)
+        first.parameters["VDD"] = -1.0
+        first.children.clear()
+        second = cache.power(design)
+        assert second.parameters.get("VDD") != -1.0
+        assert second.children, "cache must not serve caller-mutated reports"
+
+    def test_kinds_are_separate_keys(self):
+        cache = EvaluationCache()
+        design = build_infopad()
+        cache.power(design)
+        cache.area(design)
+        cache.timing(design)
+        assert cache.stats()["size"] == 3
+        assert cache.stats()["misses"] == 3
+
+    def test_lru_bound_and_eviction(self):
+        cache = EvaluationCache(maxsize=2)
+        designs = [_simple_design(f"d{i}") for i in range(3)]
+        for design in designs:
+            cache.power(design)
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+        # d0 was evicted; d2 (most recent) still hits
+        cache.power(designs[2])
+        assert cache.stats()["hits"] == 1
+        cache.power(designs[0])
+        assert cache.stats()["misses"] == 4
+
+    def test_lru_recency_order(self):
+        cache = EvaluationCache(maxsize=2)
+        a, b, c = (_simple_design(f"d{i}") for i in range(3))
+        cache.power(a)
+        cache.power(b)
+        cache.power(a)  # refresh a; b is now least-recent
+        cache.power(c)  # evicts b
+        cache.power(a)
+        assert cache.stats()["hits"] == 2
+        cache.power(b)
+        assert cache.stats()["misses"] == 4
+
+    def test_default_cache_helpers(self):
+        design = _simple_design("default_cache_probe")
+        before = DEFAULT_CACHE.stats()["misses"]
+        report = cached_evaluate_power(design)
+        assert report.power == pytest.approx(evaluate_power(design).power)
+        assert DEFAULT_CACHE.stats()["misses"] == before + 1
+
+    def test_explicit_empty_cache_is_used_not_default(self):
+        """Regression: __len__ makes an empty cache falsy, so a
+        ``cache or DEFAULT_CACHE`` fallback would silently route an
+        explicitly passed (empty) cache to the global one."""
+        private = EvaluationCache()
+        design = _simple_design("empty_cache_probe")
+        default_before = DEFAULT_CACHE.stats()["misses"]
+        cached_evaluate_power(design, cache=private)
+        assert private.stats()["misses"] == 1
+        assert DEFAULT_CACHE.stats()["misses"] == default_before
+
+    def test_overrides_are_part_of_the_key(self):
+        cache = EvaluationCache()
+        design = build_figure1_design()
+        base = cache.power(design)
+        low = cache.power(design, overrides={"VDD": 1.1})
+        assert cache.stats()["misses"] == 2
+        assert low.power != base.power
+        again = cache.power(design, overrides={"VDD": 1.1})
+        assert cache.stats()["hits"] == 1
+        assert again.power == low.power
+
+
+class TestInvalidation:
+    """Each mutation must force re-evaluation matching a fresh one."""
+
+    def _assert_tracks_fresh(self, cache, design):
+        cached = cache.power(design)
+        fresh = evaluate_power(design)
+        assert cached.power == pytest.approx(fresh.power)
+
+    def test_scope_set(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        before = cache.power(design).power
+        design.scope.set("VDD", 1.1)
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power != pytest.approx(before)
+
+    def test_row_parameter_set(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        before = cache.power(design).power
+        design.row("row1").set("C", 2e-12)
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power == pytest.approx(before * 2)
+
+    def test_add_and_remove_row(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        single = cache.power(design).power
+        design.add("row2", _probe_model("probe_model2"))
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power == pytest.approx(single * 2)
+        design.remove("row2")
+        # back to the original fingerprint — this should HIT, and be right
+        hits_before = cache.stats()["hits"]
+        assert cache.power(design).power == pytest.approx(single)
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_quantity_change(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        single = cache.power(design).power
+        design.row("row1").quantity = 3
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power == pytest.approx(single * 3)
+
+    def test_record_measurement(self):
+        cache = EvaluationCache()
+        design = _simple_design()
+        modeled = cache.power(design).power
+        design.row("row1").record_measurement(42.0)
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power == pytest.approx(42.0)
+        design.row("row1").clear_measurement()
+        assert cache.power(design).power == pytest.approx(modeled)
+
+    def test_macro_inner_design_mutation(self):
+        """A macro wraps a live design — inner edits must invalidate the
+        outer design's fingerprint."""
+        inner = _simple_design("inner")
+        outer = Design("outer")
+        outer.scope.set("f_clk", 1e6)
+        outer.add("macro_row", inner.as_macro())
+        before = EvaluationCache()
+        first = before.power(outer).power
+        inner.scope.set("VDD", 1.1)
+        cached = before.power(outer)
+        fresh = evaluate_power(outer)
+        assert cached.power == pytest.approx(fresh.power)
+        assert cached.power != pytest.approx(first)
+
+    def test_infopad_global_parameter(self):
+        cache = EvaluationCache()
+        design = build_infopad()
+        nominal = cache.power(design).power
+        design.scope.set("VDD2", 1.1)
+        self._assert_tracks_fresh(cache, design)
+        assert cache.power(design).power != pytest.approx(nominal)
+
+
+class TestFingerprint:
+    def test_stable_for_unchanged_design(self):
+        design = build_infopad()
+        assert design_fingerprint(design) == design_fingerprint(design)
+
+    def test_differs_across_equivalent_but_distinct_models(self):
+        """Two structurally identical designs use distinct model objects;
+        identity-based model tokens must keep their keys apart (models
+        are only guaranteed immutable per instance)."""
+        assert design_fingerprint(_simple_design()) != design_fingerprint(
+            _simple_design()
+        )
+
+    def test_overrides_change_fingerprint(self):
+        design = build_infopad()
+        assert design_fingerprint(design) != design_fingerprint(
+            design, overrides={"VDD2": 1.1}
+        )
+        assert design_fingerprint(
+            design, overrides={"VDD2": 1.1}
+        ) == design_fingerprint(design, overrides={"VDD2": 1.1})
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(maxsize=0)

@@ -1,0 +1,198 @@
+"""Property-based tests for the expression language.
+
+Hypothesis generates random ASTs and environments; the invariants are
+the ones the web forms and the spreadsheet lean on every day:
+
+* ``parse(unparse(t))`` evaluates identically to ``t`` (round-trip);
+* tokenizing is total and deterministic on generated sources;
+* numeric literals (including engineering suffixes) mean what the
+  docstring says they mean;
+* ``+``/``*`` are commutative under IEEE-754 (exact, not approximate);
+* parameter overrides commute when they touch different names, and
+  :func:`scope_overrides` always restores the scope.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.estimator import scope_overrides  # noqa: E402
+from repro.core.expressions import (  # noqa: E402
+    Binary,
+    Call,
+    Expression,
+    Name,
+    Num,
+    Ternary,
+    Unary,
+    evaluate,
+    parse,
+    tokenize,
+    unparse,
+    variables,
+)
+from repro.core.parameters import ParameterScope  # noqa: E402
+from repro.errors import EvaluationError  # noqa: E402
+
+#: variable pool — dotted names included, since scopes resolve those
+NAMES = ("x", "y", "z", "bitwidth", "VDD", "lut.words", "c_eff")
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+def _asts(depth: int = 3) -> st.SearchStrategy:
+    """Random well-formed ASTs over NAMES and safe operators."""
+    leaves = st.one_of(
+        st.builds(Num, finite_floats),
+        st.builds(Name, st.sampled_from(NAMES)),
+    )
+
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        return st.one_of(
+            st.builds(Unary, st.just("-"), children),
+            st.builds(
+                Binary,
+                st.sampled_from(["+", "-", "*", "<", "<=", ">", ">=", "=="]),
+                children,
+                children,
+            ),
+            st.builds(
+                Call,
+                st.sampled_from(["abs", "min", "max"]),
+                st.tuples(children, children),
+            ),
+            st.builds(Ternary, children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2 ** depth)
+
+
+def _env(draw_values) -> dict:
+    return dict(zip(NAMES, draw_values))
+
+
+envs = st.lists(
+    finite_floats, min_size=len(NAMES), max_size=len(NAMES)
+).map(_env)
+
+
+@given(tree=_asts(), env=envs)
+@settings(max_examples=200, deadline=None)
+def test_unparse_parse_round_trip(tree, env):
+    """parse(unparse(t)) is evaluation-equivalent to t."""
+    text = unparse(tree)
+    reparsed = parse(text)
+    try:
+        expected = evaluate(tree, env)
+    except EvaluationError:
+        with pytest.raises(EvaluationError):
+            evaluate(reparsed, env)
+        return
+    result = evaluate(reparsed, env)
+    if math.isnan(expected):
+        assert math.isnan(result)
+    else:
+        assert result == expected
+
+
+@given(tree=_asts())
+@settings(max_examples=200, deadline=None)
+def test_unparse_round_trip_preserves_variables(tree):
+    assert variables(parse(unparse(tree))) == variables(tree)
+
+
+@given(tree=_asts())
+@settings(max_examples=100, deadline=None)
+def test_tokenize_total_and_deterministic(tree):
+    text = unparse(tree)
+    first = tokenize(text)
+    second = tokenize(text)
+    assert first == second
+    assert first[-1].kind == "end"
+
+
+@given(value=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_numeric_literal_round_trip(value):
+    """Any float repr survives parse -> evaluate exactly."""
+    source = repr(abs(value))
+    assert evaluate(parse(source)) == abs(value)
+
+
+@given(
+    mantissa=st.integers(min_value=1, max_value=999),
+    suffix=st.sampled_from(list("afpnumkMGT")),
+)
+@settings(max_examples=100, deadline=None)
+def test_engineering_suffix_literals(mantissa, suffix):
+    scales = {
+        "a": 1e-18, "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+        "m": 1e-3, "k": 1e3, "M": 1e6, "G": 1e9, "T": 1e12,
+    }
+    assert evaluate(parse(f"{mantissa}{suffix}")) == mantissa * scales[suffix]
+
+
+@given(a=finite_floats, b=finite_floats, env=envs)
+@settings(max_examples=200, deadline=None)
+def test_add_mul_commute(a, b, env):
+    """IEEE addition/multiplication commute exactly."""
+    for op in ("+", "*"):
+        left = Expression(f"{a!r} {op} {b!r}").evaluate(env)
+        right = Expression(f"{b!r} {op} {a!r}").evaluate(env)
+        if math.isnan(left):
+            assert math.isnan(right)
+        else:
+            assert left == right
+
+
+@given(
+    values=st.dictionaries(
+        st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+        finite_floats,
+        min_size=2,
+        max_size=4,
+    ),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_parameter_overrides_commute(values, order_seed):
+    """Setting distinct parameters is order-independent."""
+    names = list(values)
+    shuffled = list(names)
+    order_seed.shuffle(shuffled)
+
+    first = ParameterScope()
+    for name in names:
+        first.set(name, values[name])
+    second = ParameterScope()
+    for name in shuffled:
+        second.set(name, values[name])
+    assert {n: first.resolve(n) for n in names} == {
+        n: second.resolve(n) for n in names
+    }
+
+
+@given(
+    base=finite_floats,
+    override=finite_floats,
+)
+@settings(max_examples=100, deadline=None)
+def test_scope_overrides_restores(base, override):
+    """scope_overrides is an exact save/restore, even on reentry."""
+    scope = ParameterScope()
+    scope.set("VDD", base)
+    with scope_overrides(scope, {"VDD": override}):
+        assert scope.resolve("VDD") == override
+        with scope_overrides(scope, {"VDD": base}):
+            assert scope.resolve("VDD") == base
+        assert scope.resolve("VDD") == override
+    assert scope.resolve("VDD") == base

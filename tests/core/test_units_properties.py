@@ -1,0 +1,125 @@
+"""Property-based tests for engineering-notation quantities.
+
+The invariants behind every value PowerPlay displays or accepts:
+
+* ``parse_quantity(format_quantity(v, unit))`` recovers ``v`` to the
+  printed precision, with the same unit (round-trip);
+* SI prefixes scale exactly as documented, and ``split_prefix`` never
+  invents magnitude (multiplier x unit is lossless);
+* ``format_quantity`` keeps the mantissa in ``[1, 1000)`` whenever a
+  prefix exists for the magnitude;
+* :class:`Quantity` addition is commutative and unit-checked.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, settings, strategies as st  # noqa: E402
+
+from repro.core.units import (  # noqa: E402
+    KNOWN_UNITS,
+    SI_PREFIXES,
+    Quantity,
+    format_eng,
+    format_quantity,
+    parse_quantity,
+    split_prefix,
+)
+from repro.errors import UnitError  # noqa: E402
+
+UNITS = sorted(KNOWN_UNITS - {""})
+
+#: magnitudes covered by the formatting prefix table (f .. T)
+formattable = st.floats(
+    min_value=1e-15, max_value=9.99e14, allow_nan=False, allow_infinity=False
+)
+
+
+@given(value=formattable, unit=st.sampled_from(UNITS))
+@settings(max_examples=300, deadline=None)
+def test_format_parse_round_trip(value, unit):
+    """Printing then parsing recovers value (to print precision) + unit."""
+    text = format_quantity(value, unit, digits=12)
+    parsed_value, parsed_unit = parse_quantity(text)
+    assert parsed_unit == unit
+    assert parsed_value == pytest.approx(value, rel=1e-9)
+
+
+@given(value=formattable)
+@settings(max_examples=200, deadline=None)
+def test_format_mantissa_in_engineering_range(value):
+    text = format_quantity(value, "W", digits=12)
+    mantissa = float(text.split()[0])
+    assert 1.0 <= abs(mantissa) < 1000.0 or mantissa == 0.0
+
+
+@given(
+    mantissa=st.floats(min_value=0.001, max_value=999.0, allow_nan=False),
+    prefix=st.sampled_from(sorted(set(SI_PREFIXES) - {"µ", "μ", "K"})),
+    unit=st.sampled_from(["F", "V", "W", "Hz", "s", "A", "J"]),
+)
+@settings(max_examples=300, deadline=None)
+def test_prefix_scales_exactly(mantissa, prefix, unit):
+    """``<n><prefix><unit>`` parses to n x multiplier, unit preserved."""
+    value, parsed_unit = parse_quantity(f"{mantissa!r}{prefix}{unit}")
+    assert parsed_unit == unit
+    assert value == mantissa * SI_PREFIXES[prefix]
+
+
+@given(
+    prefix=st.sampled_from(sorted(SI_PREFIXES)),
+    unit=st.sampled_from(UNITS),
+)
+@settings(max_examples=200, deadline=None)
+def test_split_prefix_lossless(prefix, unit):
+    """multiplier x unit from split_prefix reconstructs the symbol's
+    meaning: a known unit never gets its first letter eaten."""
+    multiplier, parsed = split_prefix(unit)
+    assert (multiplier, parsed) == (1.0, unit)
+    fused = f"{prefix}{unit}"
+    multiplier, parsed = split_prefix(fused)
+    if fused in KNOWN_UNITS:
+        assert (multiplier, parsed) == (1.0, fused)
+    else:
+        assert multiplier == SI_PREFIXES[prefix]
+        assert parsed == unit
+
+
+@given(value=formattable, unit=st.sampled_from(UNITS))
+@settings(max_examples=200, deadline=None)
+def test_format_eng_round_trip(value, unit):
+    """The Figure-2 style ``7.438e-04 W`` rendering parses back."""
+    parsed_value, parsed_unit = parse_quantity(format_eng(value, unit, 12))
+    assert parsed_unit == unit
+    assert parsed_value == pytest.approx(value, rel=1e-9)
+
+
+@given(
+    a=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    b=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    unit=st.sampled_from(UNITS),
+)
+@settings(max_examples=200, deadline=None)
+def test_quantity_addition_commutes(a, b, unit):
+    left = Quantity(a, unit) + Quantity(b, unit)
+    right = Quantity(b, unit) + Quantity(a, unit)
+    assert left.value == right.value
+    assert left.unit == right.unit == unit
+
+
+@given(
+    a=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    b=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    unit_a=st.sampled_from(UNITS),
+    unit_b=st.sampled_from(UNITS),
+)
+@settings(max_examples=100, deadline=None)
+def test_quantity_addition_unit_checked(a, b, unit_a, unit_b):
+    assume(unit_a != unit_b)
+    with pytest.raises(UnitError):
+        Quantity(a, unit_a) + Quantity(b, unit_b)

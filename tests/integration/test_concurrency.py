@@ -1,0 +1,67 @@
+"""Concurrency stress against the live application, oracle-checked.
+
+The tier-1 smoke variant (4 threads, ~160 ops, in-process) runs on
+every ``pytest`` invocation; the ``slow``-marked soak (8 threads,
+1000+ ops, plus an HTTP pass) is the long version CI's loadgen job and
+``repro loadgen`` exercise:
+
+    PYTHONPATH=src python -m pytest -m slow tests/integration/test_concurrency.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.loadgen import (
+    HttpTarget,
+    InProcessTarget,
+    generate_workload,
+    replay_serial,
+    run_script,
+    verify,
+)
+from repro.web.app import Application
+from repro.web.server import PowerPlayServer
+
+SEED = 1996
+
+
+def _assert_linearizable(script, application, result, tmp_path: Path):
+    assert len(result.results) == len(script)
+    assert not result.server_errors, (
+        f"{len(result.server_errors)} server errors; first: "
+        f"{[ (r.index, r.kind, r.status, r.error) for r in result.server_errors[:3] ]}"
+    )
+    serial_app, serial_result = replay_serial(script, tmp_path / "serial")
+    assert not serial_result.server_errors
+    report = verify(script, application, serial_app)
+    assert report.matches, report.differences
+
+
+def test_concurrent_smoke_matches_serial(tmp_path: Path):
+    """Tier-1: 4 threads, seeded ops, serial-replay equivalence."""
+    script = generate_workload(SEED, users=4, ops=160)
+    application = Application(tmp_path / "state")
+    result = run_script(script, InProcessTarget(application), threads=4)
+    _assert_linearizable(script, application, result, tmp_path)
+    assert not application.users.quarantined
+
+
+@pytest.mark.slow
+def test_concurrent_soak_8_threads(tmp_path: Path):
+    """8 threads x 1000+ seeded ops against the application layer."""
+    script = generate_workload(SEED + 1, users=8, ops=1000)
+    application = Application(tmp_path / "state")
+    result = run_script(script, InProcessTarget(application), threads=8)
+    _assert_linearizable(script, application, result, tmp_path)
+
+
+@pytest.mark.slow
+def test_concurrent_soak_over_http(tmp_path: Path):
+    """Same oracle, but through the real threaded HTTP transport."""
+    script = generate_workload(SEED + 2, users=6, ops=400)
+    with PowerPlayServer(tmp_path / "state") as server:
+        result = run_script(
+            script, HttpTarget(server.base_url), threads=6
+        )
+        _assert_linearizable(script, server.application, result, tmp_path)

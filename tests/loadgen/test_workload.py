@@ -1,0 +1,107 @@
+"""Workload generation: determinism, validity, serialization."""
+
+import pytest
+
+from repro.errors import PowerPlayError
+from repro.loadgen.workload import (
+    CELLS,
+    EXAMPLES,
+    LIBRARIES,
+    OP_WEIGHTS,
+    Operation,
+    WorkloadScript,
+    generate_workload,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        a = generate_workload(123, users=5, ops=200)
+        b = generate_workload(123, users=5, ops=200)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_different_script(self):
+        a = generate_workload(1, users=4, ops=100)
+        b = generate_workload(2, users=4, ops=100)
+        assert a.to_json() != b.to_json()
+
+    def test_json_round_trip(self):
+        script = generate_workload(77, users=3, ops=60)
+        restored = WorkloadScript.from_json(script.to_json())
+        assert restored.to_json() == script.to_json()
+        assert restored.seed == 77
+        assert restored.users == script.users
+
+
+class TestStructure:
+    def test_op_count_and_indices(self):
+        script = generate_workload(9, users=4, ops=120)
+        assert len(script) >= 120
+        assert [op.index for op in script] == list(range(len(script)))
+
+    def test_every_user_has_prologue(self):
+        script = generate_workload(5, users=6, ops=100)
+        for user in script.users:
+            ops = script.for_user(user)
+            assert ops[0].kind == "login"
+            assert ops[1].kind == "design_new"
+            assert ops[1].params["name"] == f"{user}_main"
+
+    def test_cell_save_rows_are_unique_per_user(self):
+        script = generate_workload(31, users=4, ops=400)
+        for user in script.users:
+            rows = [
+                op.params["row"]
+                for op in script.for_user(user)
+                if op.kind == "cell_save"
+            ]
+            assert len(rows) == len(set(rows))
+
+    def test_only_known_kinds_and_values(self):
+        script = generate_workload(13, users=3, ops=300)
+        known = {kind for kind, _ in OP_WEIGHTS} | {"login", "design_new"}
+        for op in script:
+            assert op.kind in known
+            if op.kind == "library":
+                assert op.params["library"] in LIBRARIES
+            elif op.kind in ("cell_form", "cell_compute", "cell_save"):
+                assert op.params["name"] in CELLS
+            elif op.kind == "load_example":
+                assert op.params["example"] in EXAMPLES
+
+    def test_per_user_state_is_disjoint(self):
+        """No operation of one user names another user's design or
+        model — the oracle's disjointness precondition."""
+        script = generate_workload(17, users=5, ops=500)
+        for op in script:
+            design = op.params.get("design") or (
+                op.params.get("name")
+                if op.kind in ("design_sheet", "design_play",
+                               "design_analysis", "design_new")
+                else None
+            )
+            if design is not None and design.endswith("_main"):
+                assert design == f"{op.user}_main"
+            if op.kind == "define_model":
+                assert op.params["name"].startswith(f"{op.user}_m")
+
+
+class TestValidation:
+    def test_rejects_zero_users(self):
+        with pytest.raises(PowerPlayError):
+            generate_workload(1, users=0, ops=10)
+
+    def test_rejects_budget_below_prologue(self):
+        with pytest.raises(PowerPlayError):
+            generate_workload(1, users=5, ops=9)
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(PowerPlayError):
+            WorkloadScript.from_json("{not json")
+        with pytest.raises(PowerPlayError):
+            WorkloadScript.from_json('{"format": "something-else/9"}')
+
+    def test_operation_payload_round_trip(self):
+        op = Operation(3, "alice", "cell_compute",
+                       {"name": "sram", "bitwidth": "16"})
+        assert Operation.from_payload(op.to_payload()) == op

@@ -1,0 +1,55 @@
+"""Golden-file regression tests for the paper's two report tables.
+
+Figure 2 (the luminance spreadsheet) and Figure 5 (the InfoPad system
+spreadsheet) are the paper's visible deliverables; this pins their
+rendered text byte-for-byte so *any* drift — a formatting tweak, a
+model re-characterization, an evaluation-order change — fails loudly
+and has to be acknowledged by regenerating the goldens:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_reports.py --update-golden
+
+and committing the reviewed diff.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.estimator import evaluate_power
+from repro.core.report import render_power
+from repro.designs.infopad import build_infopad
+from repro.designs.luminance import build_figure1_design
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "fig2_luminance.txt": build_figure1_design,
+    "fig5_infopad.txt": build_infopad,
+}
+
+
+def _render(builder) -> str:
+    report = evaluate_power(builder())
+    return render_power(report) + "\n"
+
+
+@pytest.mark.parametrize("filename", sorted(CASES))
+def test_report_matches_golden(filename, update_golden):
+    actual = _render(CASES[filename])
+    path = GOLDEN_DIR / filename
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"golden file {filename} regenerated")
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{filename} drifted from the golden copy; if the change is "
+        "intentional, regenerate with --update-golden and commit the diff"
+    )
+
+
+def test_goldens_are_deterministic():
+    """Two evaluations render identical bytes — a prerequisite for
+    byte-level pinning to be meaningful at all."""
+    for filename, builder in CASES.items():
+        assert _render(builder) == _render(builder), filename
