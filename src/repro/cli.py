@@ -101,11 +101,246 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis or args.resume:
+        return _cmd_sweep_engine(args)
+    if not args.parameter or not args.values:
+        raise PowerPlayError(
+            "give PARAMETER VALUES... for a quick single-parameter sweep, "
+            "or at least one --axis for an engine sweep"
+        )
     design = _build_design(args.design)
     results = sweep(design, args.parameter, args.values)
     print(f"{args.parameter},power_w")
     for value, watts in results:
         print(f"{value:g},{watts:.6e}")
+    return 0
+
+
+def _job_store(state: str):
+    from .explore import JobStore
+
+    return JobStore(Path(state).expanduser() / "jobs")
+
+
+def _cmd_sweep_engine(args: argparse.Namespace) -> int:
+    """Multi-axis sweep through :mod:`repro.explore` — optionally as a
+    persistent, resumable job (``--state``)."""
+    from .explore import (
+        DerivedObjective,
+        ParameterSpace,
+        coupled_from_spec,
+        parse_axis_spec,
+    )
+    from .explore.engine import run_job, run_sweep
+
+    stopper = None
+    if args.max_chunks:
+        finished = {"n": 0}
+
+        def stopper() -> bool:
+            return finished["n"] >= args.max_chunks
+
+    if args.resume:
+        if not args.state:
+            raise PowerPlayError("--resume needs --state (the job store)")
+        store = _job_store(args.state)
+        job = store.job(args.resume)
+        print(
+            f"resuming {job.job_id}: {job.done_points}/{job.total_points} "
+            f"points already checkpointed"
+        )
+        if args.max_chunks:
+            original = job.record_chunk
+
+            def counting(start, stop, rows, seconds):
+                original(start, stop, rows, seconds)
+                finished["n"] += 1
+
+            job.record_chunk = counting
+        run_job(job, should_stop=stopper)
+        return _print_job_results(job, args)
+
+    design = _build_design(args.design)
+    axes = [parse_axis_spec(spec) for spec in args.axis]
+    coupled = [coupled_from_spec(spec) for spec in args.couple]
+    derived = []
+    for spec in args.derive:
+        if "=" not in spec:
+            raise PowerPlayError(
+                f"--derive {spec!r} must look like name=expression"
+            )
+        name, _, source = spec.partition("=")
+        derived.append(DerivedObjective(name.strip(), source.strip()))
+    objectives = tuple(
+        part.strip() for part in args.objectives.split(",") if part.strip()
+    )
+    space = ParameterSpace(axes, coupled, point_cap=args.point_cap)
+    print(f"sweep {design.name}: {space!r}")
+
+    if args.state:
+        store = _job_store(args.state)
+        job = store.create(
+            design, space, objectives=objectives, derived=derived,
+            owner="cli", workers=args.workers, mode=args.mode,
+            chunk_size=args.chunk_size, prune=args.prune,
+        )
+        print(f"job {job.job_id} created in {store.root}")
+        if args.max_chunks:
+            original = job.record_chunk
+
+            def counting(start, stop, rows, seconds):
+                original(start, stop, rows, seconds)
+                finished["n"] += 1
+
+            job.record_chunk = counting
+        run_job(job, should_stop=stopper)
+        return _print_job_results(job, args)
+
+    outcome = run_sweep(
+        design, space, objectives=objectives, derived=derived,
+        workers=args.workers, mode=args.mode,
+        chunk_size=args.chunk_size, prune=args.prune,
+        should_stop=stopper,
+    )
+    return _print_outcome(
+        outcome.rows, outcome.axis_names, outcome.objective_names,
+        outcome.report, args,
+    )
+
+
+def _print_job_results(job, args: argparse.Namespace) -> int:
+    summary = job.summary()
+    print(
+        f"job {summary['job_id']} state={summary['state']} "
+        f"points={summary['done']}/{summary['points']} "
+        f"mode={job.mode} workers={job.workers}"
+    )
+    if job.state != "done":
+        if job.state == "cancelled":
+            print(
+                f"resume with: repro sweep {job.design_name} "
+                f"--state <state> --resume {job.job_id}"
+            )
+        elif job.error:
+            print(f"error: {job.error}")
+        return 1
+    return _print_outcome(
+        job.result_rows(), job.space.axis_names, job.objective_names,
+        None, args,
+    )
+
+
+def _print_outcome(rows, axis_names, objective_names, report, args) -> int:
+    from .explore import export_csv, export_json, pareto_rows, sensitivity_ranking
+
+    if report is not None:
+        print(
+            f"engine: {report.points} points in {report.chunks} chunks, "
+            f"{report.seconds:.3f} s, memo {report.hits} hits / "
+            f"{report.misses} misses"
+        )
+    failed = sum(1 for row in rows if row["error"])
+    if failed:
+        print(f"warning: {failed} point(s) failed to evaluate")
+    primary = objective_names[0] if objective_names else "power"
+    if len(objective_names) >= 2:
+        front = pareto_rows(rows, objective_names)
+        print(f"pareto front over ({', '.join(objective_names)}): "
+              f"{len(front)} of {len(rows)} points")
+        header = ["index"] + axis_names + objective_names
+        print("  " + "  ".join(header))
+        for row in front:
+            cells = [str(row["index"])]
+            cells += [f"{row['values'][n]:g}" for n in axis_names]
+            cells += [f"{row['objectives'][n]:.4e}" for n in objective_names]
+            print("  " + "  ".join(cells))
+    else:
+        best = sorted(
+            (row for row in rows if not row["error"]),
+            key=lambda row: row["objectives"][primary],
+        )[:5]
+        print(f"cheapest points by {primary}:")
+        for row in best:
+            values = ", ".join(
+                f"{n}={row['values'][n]:g}" for n in axis_names
+            )
+            print(f"  [{row['index']}] {values}: "
+                  f"{row['objectives'][primary]:.4e}")
+    ranking = sensitivity_ranking(rows, axis_names, primary)
+    if ranking:
+        print(f"sensitivity of {primary} (mean spread per axis):")
+        for entry in ranking:
+            print(f"  {entry['axis']:16s} {entry['spread']:.4e} "
+                  f"({entry['relative']:.1%} of mean)")
+    if args.csv_out:
+        Path(args.csv_out).write_text(
+            export_csv(rows, axis_names, objective_names)
+        )
+        print(f"full results (CSV) written to {args.csv_out}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            export_json(rows, axis_names, objective_names)
+        )
+        print(f"full results (JSON) written to {args.json_out}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    store = _job_store(args.state)
+    if args.cancel:
+        job = store.job(args.cancel)
+        job.request_cancel()
+        print(f"cancel requested for {job.job_id} (state={job.state})")
+        return 0
+    jobs = store.list_jobs()
+    if not jobs:
+        print(f"no jobs in {store.root}")
+        return 0
+    print("job        state      points       design     owner  objectives")
+    for job in jobs:
+        summary = job.summary()
+        progress = f"{summary['done']}/{summary['points']}"
+        print(
+            f"{summary['job_id']:10s} {summary['state']:10s} "
+            f"{progress:>11s}  {summary['design']:10s} "
+            f"{summary['owner']:6s} {summary['objectives']}"
+        )
+        if summary["error"]:
+            print(f"           error: {summary['error']}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .core.model import VoltageScaledTimingModel
+    from .core.optimize import optimize_voltage
+
+    design = _build_design(args.design)
+    if args.design == "infopad":
+        supply = "VDD2"
+        chip = design.row("custom_hardware").design
+        default_frequency = (
+            chip.row("luminance_chip").design.scope["f_pixel"] / 4
+        )
+    else:
+        supply = "VDD"
+        default_frequency = design.scope["f_pixel"] / 4
+    frequency = args.frequency or default_frequency
+    timing = VoltageScaledTimingModel(
+        "critical_path", args.delay_ref, v_ref=args.v_ref
+    )
+    result = optimize_voltage(
+        design, timing, frequency=frequency,
+        v_low=args.v_low, v_high=args.v_high, supply=supply,
+    )
+    print(f"{args.design}: optimizing {supply} for "
+          f"{format_quantity(frequency, 'Hz')} "
+          f"(critical path {format_quantity(args.delay_ref, 's')} "
+          f"@ {args.v_ref:g} V)")
+    print(f"  minimum feasible {supply}: {result.vdd:.3f} V "
+          f"(nominal {result.nominal_vdd:g} V)")
+    print(f"  power at optimum:  {format_quantity(result.power, 'W')}")
+    print(f"  power at nominal:  {format_quantity(result.nominal_power, 'W')}")
+    print(f"  saving: {result.saving:.1%}")
     return 0
 
 
@@ -327,11 +562,83 @@ def build_parser() -> argparse.ArgumentParser:
     comparison.add_argument("designs", nargs="*", default=["fig1", "fig3"])
     comparison.set_defaults(func=cmd_compare)
 
-    sweeper = sub.add_parser("sweep", help="sweep a global parameter (CSV out)")
+    sweeper = sub.add_parser(
+        "sweep",
+        help="sweep parameters: quick single-parameter form "
+        "(PARAMETER VALUES...) or the multi-axis exploration engine "
+        "(--axis ...)",
+    )
     sweeper.add_argument("design", choices=sorted(set(DESIGN_BUILDERS)))
-    sweeper.add_argument("parameter")
-    sweeper.add_argument("values", nargs="+", type=float)
+    sweeper.add_argument("parameter", nargs="?", default=None)
+    sweeper.add_argument("values", nargs="*", type=float)
+    sweeper.add_argument(
+        "--axis", action="append", default=[], metavar="SPEC",
+        help="swept axis: name=start:stop:step, name=v1,v2,..., "
+        "name=log:start:stop:count; name@dotted.target=... writes a "
+        "row-local parameter (repeatable)",
+    )
+    sweeper.add_argument(
+        "--couple", action="append", default=[], metavar="TARGET=EXPR",
+        help="drive another parameter from the axis values (repeatable)",
+    )
+    sweeper.add_argument(
+        "--derive", action="append", default=[], metavar="NAME=EXPR",
+        help="derived objective over axis values and built-in "
+        "objectives (repeatable)",
+    )
+    sweeper.add_argument(
+        "--objectives", default="power",
+        help="comma-separated built-in objectives: power, area, delay "
+        "(default power)",
+    )
+    sweeper.add_argument("--workers", type=int, default=1,
+                         help="worker count for thread/process modes")
+    sweeper.add_argument("--mode", choices=["serial", "thread", "process"],
+                         default="serial", help="engine mode (default serial)")
+    sweeper.add_argument("--chunk-size", type=int, default=64,
+                         help="points per chunk / checkpoint granule")
+    sweeper.add_argument("--point-cap", type=int, default=100_000,
+                         help="refuse spaces larger than this many points")
+    sweeper.add_argument("--prune", action="store_true",
+                         help="keep only Pareto-optimal rows in the output")
+    sweeper.add_argument("--state", default=None,
+                         help="persist the sweep as a resumable job under "
+                         "STATE/jobs")
+    sweeper.add_argument("--resume", default=None, metavar="JOB_ID",
+                         help="resume a checkpointed job (needs --state)")
+    sweeper.add_argument("--max-chunks", type=int, default=0,
+                         help="stop after N chunks (testing/CI; the job "
+                         "stays resumable)")
+    sweeper.add_argument("--csv-out", default=None,
+                         help="write the full result rows as CSV here")
+    sweeper.add_argument("--json-out", default=None,
+                         help="write the full result rows as JSON here")
     sweeper.set_defaults(func=cmd_sweep)
+
+    jobs = sub.add_parser("jobs", help="list or cancel persisted sweep jobs")
+    jobs.add_argument("--state", required=True,
+                      help="server/CLI state directory (jobs live under "
+                      "STATE/jobs)")
+    jobs.add_argument("--cancel", default=None, metavar="JOB_ID",
+                      help="request cancellation of a job")
+    jobs.set_defaults(func=cmd_jobs)
+
+    optimizer = sub.add_parser(
+        "optimize",
+        help="minimum-power supply voltage meeting a timing constraint",
+    )
+    optimizer.add_argument("design", choices=sorted(set(DESIGN_BUILDERS)))
+    optimizer.add_argument("--frequency", type=float, default=None,
+                           help="required operating frequency in Hz "
+                           "(default: the design's pixel rate / 4)")
+    optimizer.add_argument("--delay-ref", type=float, default=500e-9,
+                           help="critical-path delay at v-ref, seconds "
+                           "(default 500 ns)")
+    optimizer.add_argument("--v-ref", type=float, default=1.5,
+                           help="reference voltage of the delay model")
+    optimizer.add_argument("--v-low", type=float, default=0.8)
+    optimizer.add_argument("--v-high", type=float, default=5.0)
+    optimizer.set_defaults(func=cmd_optimize)
 
     battery = sub.add_parser("battery", help="battery life at the design's draw")
     battery.add_argument("--design", default="infopad",

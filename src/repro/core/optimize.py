@@ -17,6 +17,7 @@ loops the paper's methodology implies but leaves to the user's fingers:
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,12 +35,15 @@ def minimum_voltage(
     v_high: float = 5.0,
     tolerance: float = 0.005,
     env: Optional[Mapping[str, float]] = None,
+    supply: str = "VDD",
 ) -> float:
-    """Lowest VDD at which ``timing`` meets ``frequency``.
+    """Lowest supply voltage at which ``timing`` meets ``frequency``.
 
-    Assumes delay decreases monotonically with VDD (true of the
-    alpha-power-law models).  Raises :class:`ModelError` when even
-    ``v_high`` misses timing.
+    Assumes delay decreases monotonically with the supply (true of the
+    alpha-power-law models).  ``supply`` names the environment variable
+    the timing model reads — ``VDD2`` for InfoPad's low-voltage custom
+    domain.  Raises :class:`ModelError` when even ``v_high`` misses
+    timing.
     """
     if frequency <= 0:
         raise ModelError("frequency must be positive")
@@ -50,7 +54,7 @@ def minimum_voltage(
 
     def meets(vdd: float) -> bool:
         probe = dict(base)
-        probe["VDD"] = vdd
+        probe[supply] = vdd
         try:
             return timing.delay(probe) <= period
         except PowerPlayError:
@@ -97,20 +101,32 @@ def optimize_voltage(
     nominal_vdd: Optional[float] = None,
     v_low: float = 0.8,
     v_high: float = 5.0,
+    supply: str = "VDD",
+    timing_supply: str = "VDD",
 ) -> VoltageOptimum:
     """Minimum-power supply for a design under a timing constraint.
 
     ``timing`` is the design's critical path (possibly a
     :mod:`repro.core.composition` tree).  Dynamic power is monotone in
-    VDD, so the optimum sits exactly at the minimum feasible voltage.
+    the supply, so the optimum sits exactly at the minimum feasible
+    voltage.  ``supply`` names the scaled rail in the *design* scope —
+    InfoPad optimizes ``VDD2`` while the 5 V commodity rail stays put —
+    and ``timing_supply`` names the variable the timing model reads
+    (the alpha-power-law models read ``VDD``).
     """
     if nominal_vdd is None:
-        nominal_vdd = design.scope.get("VDD")
+        nominal_vdd = design.scope.get(supply)
         if nominal_vdd is None:
-            raise ModelError("design has no VDD and none was given")
-    vdd = minimum_voltage(timing, frequency, v_low, v_high)
-    power = evaluate_power(design, overrides={"VDD": vdd}).power
-    nominal_power = evaluate_power(design, overrides={"VDD": nominal_vdd}).power
+            raise ModelError(
+                f"design has no {supply} and none was given"
+            )
+    vdd = minimum_voltage(
+        timing, frequency, v_low, v_high, supply=timing_supply
+    )
+    power = evaluate_power(design, overrides={supply: vdd}).power
+    nominal_power = evaluate_power(
+        design, overrides={supply: nominal_vdd}
+    ).power
     return VoltageOptimum(
         vdd=vdd,
         power=power,
@@ -143,20 +159,26 @@ def grid_search(
     ``metrics`` may add extra objectives, each a callable evaluated with
     the overrides applied (e.g. area or delay extractors).  Results come
     back sorted by power, cheapest first.  ``limit`` guards against
-    accidentally exploding grids.
+    accidentally exploding grids — the point count is checked *before*
+    any combination is materialized, so an oversized grid fails in
+    microseconds instead of first allocating a billion-tuple list.
     """
     if not grid:
         raise ModelError("empty parameter grid")
     names = list(grid)
-    combos = list(itertools.product(*(grid[name] for name in names)))
-    if len(combos) > limit:
+    total = math.prod(len(grid[name]) for name in names)
+    if total > limit:
         raise ModelError(
-            f"grid has {len(combos)} points, over the limit of {limit}"
+            f"grid has {total} points, over the limit of {limit}"
+        )
+    if total == 0:
+        raise ModelError(
+            "empty parameter grid: an axis has no values"
         )
     results: List[GridPoint] = []
     from .estimator import scope_overrides
 
-    for combo in combos:
+    for combo in itertools.product(*(grid[name] for name in names)):
         overrides = dict(zip(names, combo))
         with scope_overrides(design.scope, overrides):
             power = evaluate_power(design).power
@@ -180,8 +202,18 @@ def pareto_front(
     """Non-dominated (minimize, minimize) points, sorted by the first axis.
 
     A point dominates another when it is <= on both axes and < on one.
+    Non-finite coordinates are rejected: a NaN never compares, so one
+    bad point would silently poison the whole front.
     """
-    candidates = sorted(set(points))
+    candidates = []
+    for point in points:
+        first, second = point
+        if not (math.isfinite(first) and math.isfinite(second)):
+            raise ModelError(
+                f"pareto_front: non-finite point ({first!r}, {second!r})"
+            )
+        candidates.append((float(first), float(second)))
+    candidates = sorted(set(candidates))
     front: List[Tuple[float, float]] = []
     best_second = float("inf")
     for first, second in candidates:

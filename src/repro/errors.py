@@ -122,3 +122,13 @@ class CircuitOpenError(RemoteError):
 class FaultInjected(PowerPlayError):
     """An artificial fault from the chaos-testing harness
     (:mod:`repro.web.faults`) — never raised in production paths."""
+
+
+class ExploreError(PowerPlayError):
+    """Invalid sweep specification (bad axis, unknown target, a space
+    over the configured point cap) or an exploration-engine failure."""
+
+
+class JobError(ExploreError):
+    """Sweep-job persistence error (unknown job, corrupt checkpoint,
+    an operation invalid for the job's current state)."""

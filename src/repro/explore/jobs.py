@@ -1,0 +1,441 @@
+"""Crash-safe sweep jobs: submit, checkpoint, kill, resume.
+
+A :class:`SweepJob` is the durable record of one exploration run —
+the design (as a library payload, so a process that never saw the
+original request can rebuild it), the parameter space, the requested
+objectives, the engine settings, and every finished chunk's result
+rows.  :class:`JobStore` persists each job as one JSON file using the
+same mkstemp + fsync + atomic-rename discipline as the web session
+store, so a ``kill -9`` at any instant leaves either the previous
+complete checkpoint or the new complete checkpoint — never a torn one.
+
+Resume is therefore trivial and *verifiable*: the engine replays only
+the chunks missing from :attr:`SweepJob.chunks`, and because every
+chunk's rows are a pure function of (design payload, space payload,
+chunk range), the resumed job's exported results are byte-identical to
+an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.design import Design
+from ..errors import JobError, PowerPlayError
+from ..library.designio import design_from_payload, design_to_payload
+from ..obs import get_logger, get_registry
+from .space import DerivedObjective, ParameterSpace
+
+_LOG = get_logger("jobs")
+
+#: the sweep-job lifecycle; ``pending`` -> ``running`` -> one of the
+#: three terminal states (``cancelled`` jobs keep their finished chunks
+#: and may be resumed, which puts them back to ``running``)
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+_TERMINAL = frozenset({"done", "failed"})
+
+# job ids become file names and URL query values — strictly boring,
+# and \Z (not $) so "job-0001\n" cannot smuggle a newline through
+_JOB_ID_RE = re.compile(r"^job-[0-9]{4,12}\Z")
+
+_ENGINE_MODES = ("serial", "thread", "process")
+
+
+def _metric_jobs():
+    return get_registry().counter(
+        "powerplay_explore_jobs_total",
+        "Sweep-job store operations (create, save, load, quarantine).",
+        ("op",),
+    )
+
+
+def validate_job_id(job_id: str) -> str:
+    """Job ids become file names — reject anything surprising."""
+    if not isinstance(job_id, str) or not _JOB_ID_RE.match(job_id):
+        raise JobError(
+            f"invalid job id {job_id!r}: expected job-NNNN"
+        )
+    return job_id
+
+
+class SweepJob:
+    """One exploration run and everything needed to (re)execute it."""
+
+    def __init__(
+        self,
+        job_id: str,
+        owner: str,
+        design: Design,
+        space: ParameterSpace,
+        objectives: Sequence[str] = ("power",),
+        derived: Sequence[DerivedObjective] = (),
+        workers: int = 1,
+        mode: str = "serial",
+        chunk_size: int = 64,
+        prune: bool = False,
+    ):
+        self.job_id = validate_job_id(job_id)
+        self.owner = str(owner)
+        self.design_name = design.name
+        self.design_payload = design_to_payload(design)
+        self.space = space
+        self.objectives: Tuple[str, ...] = tuple(objectives)
+        self.derived: Tuple[DerivedObjective, ...] = tuple(derived)
+        self.workers = max(1, int(workers))
+        if mode not in _ENGINE_MODES:
+            raise JobError(
+                f"unknown engine mode {mode!r}; choose from {_ENGINE_MODES}"
+            )
+        self.mode = mode
+        self.chunk_size = max(1, int(chunk_size))
+        self.prune = bool(prune)
+        self.state = "pending"
+        self.error = ""
+        self.cancel_requested = False
+        #: chunk start index -> {"start", "stop", "rows", "seconds"}
+        self.chunks: Dict[int, dict] = {}
+        #: serializes state transitions and checkpoint writes for this
+        #: job across the web runner thread and CLI resume
+        self.lock = threading.RLock()
+        self._store: Optional["JobStore"] = None
+
+    # -- derived views -----------------------------------------------------
+
+    def design(self) -> Design:
+        """Rebuild the swept design from its stored payload.
+
+        A fresh instance every call: evaluator workers mutate design
+        scopes while running, so sharing one instance across workers
+        (or with the owner's live session copy) would race.
+        """
+        return design_from_payload(self.design_payload)
+
+    @property
+    def total_points(self) -> int:
+        return len(self.space)
+
+    @property
+    def done_points(self) -> int:
+        return sum(len(chunk["rows"]) for chunk in self.chunks.values())
+
+    @property
+    def objective_names(self) -> List[str]:
+        """Built-in objectives then derived ones, in declaration order."""
+        return list(self.objectives) + [d.name for d in self.derived]
+
+    def pending_chunks(self) -> List[Tuple[int, int]]:
+        """The ``[start, stop)`` ranges not yet checkpointed."""
+        return [
+            (start, stop)
+            for start, stop in self.space.chunks(self.chunk_size)
+            if start not in self.chunks
+        ]
+
+    def result_rows(self) -> List[dict]:
+        """All checkpointed rows in point order (raises if incomplete)."""
+        if self.pending_chunks():
+            raise JobError(
+                f"job {self.job_id!r} is incomplete: "
+                f"{self.done_points}/{self.total_points} points"
+            )
+        rows: List[dict] = []
+        for start in sorted(self.chunks):
+            rows.extend(self.chunks[start]["rows"])
+        return rows
+
+    # -- state transitions -------------------------------------------------
+
+    def record_chunk(self, start: int, stop: int, rows: List[dict],
+                     seconds: float) -> None:
+        with self.lock:
+            self.chunks[int(start)] = {
+                "start": int(start),
+                "stop": int(stop),
+                "rows": rows,
+                "seconds": float(seconds),
+            }
+            self.save()
+
+    def set_state(self, state: str, error: str = "") -> None:
+        if state not in JOB_STATES:
+            raise JobError(f"unknown job state {state!r}")
+        with self.lock:
+            if self.state in _TERMINAL and state == "running":
+                raise JobError(
+                    f"job {self.job_id!r} is {self.state}; only a "
+                    "cancelled or interrupted job can be resumed"
+                )
+            self.state = state
+            self.error = str(error)
+            if state == "running":
+                self.cancel_requested = False
+            self.save()
+
+    def request_cancel(self) -> None:
+        with self.lock:
+            if self.state in _TERMINAL:
+                raise JobError(
+                    f"job {self.job_id!r} already finished ({self.state})"
+                )
+            self.cancel_requested = True
+            self.save()
+
+    def save(self) -> None:
+        if self._store is not None:
+            with self.lock:
+                self._store.save_job(self)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "format": "powerplay-job/1",
+            "job_id": self.job_id,
+            "owner": self.owner,
+            "design_name": self.design_name,
+            "design": self.design_payload,
+            "space": self.space.to_payload(),
+            "objectives": list(self.objectives),
+            "derived": [d.to_payload() for d in self.derived],
+            "workers": self.workers,
+            "mode": self.mode,
+            "chunk_size": self.chunk_size,
+            "prune": self.prune,
+            "state": self.state,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "chunks": {
+                str(start): chunk
+                for start, chunk in sorted(self.chunks.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SweepJob":
+        if payload.get("format") != "powerplay-job/1":
+            raise JobError(
+                f"corrupt job payload: format {payload.get('format')!r}"
+            )
+        try:
+            job = cls.__new__(cls)
+            job.job_id = validate_job_id(str(payload["job_id"]))
+            job.owner = str(payload.get("owner", ""))
+            job.design_name = str(payload["design_name"])
+            job.design_payload = dict(payload["design"])
+            job.space = ParameterSpace.from_payload(payload["space"])
+            job.objectives = tuple(
+                str(o) for o in payload.get("objectives", ("power",))
+            )
+            job.derived = tuple(
+                DerivedObjective.from_payload(d)
+                for d in payload.get("derived", [])
+            )
+            job.workers = max(1, int(payload.get("workers", 1)))
+            mode = str(payload.get("mode", "serial"))
+            if mode not in _ENGINE_MODES:
+                raise JobError(f"corrupt job payload: mode {mode!r}")
+            job.mode = mode
+            job.chunk_size = max(1, int(payload.get("chunk_size", 64)))
+            job.prune = bool(payload.get("prune", False))
+            state = str(payload.get("state", "pending"))
+            if state not in JOB_STATES:
+                raise JobError(f"corrupt job payload: state {state!r}")
+            job.state = state
+            job.error = str(payload.get("error", ""))
+            job.cancel_requested = bool(payload.get("cancel_requested", False))
+            job.chunks = {}
+            for key, chunk in payload.get("chunks", {}).items():
+                start = int(key)
+                job.chunks[start] = {
+                    "start": int(chunk["start"]),
+                    "stop": int(chunk["stop"]),
+                    "rows": list(chunk["rows"]),
+                    "seconds": float(chunk.get("seconds", 0.0)),
+                }
+            job.lock = threading.RLock()
+            job._store = None
+            return job
+        except JobError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JobError(f"corrupt job payload: {exc}") from exc
+
+    def summary(self) -> dict:
+        """One row for job listings (CLI ``repro jobs``, ``/status``)."""
+        return {
+            "job_id": self.job_id,
+            "owner": self.owner,
+            "design": self.design_name,
+            "state": self.state,
+            "points": self.total_points,
+            "done": self.done_points,
+            "objectives": ",".join(self.objective_names),
+            "error": self.error,
+        }
+
+
+class JobStore:
+    """File-backed job registry: one JSON checkpoint file per job.
+
+    Mirrors :class:`repro.web.session.UserStore`'s durability story:
+    unique mkstemp temporary per save, fsync before the atomic rename,
+    directory fsync after, and quarantine (``.json.corrupt[-N]``) for
+    files that are unreadable anyway — the server keeps running and the
+    damaged bytes stay on disk for inspection.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._jobs: Dict[str, SweepJob] = {}
+        self._lock = threading.Lock()
+        #: ``[(job_id, quarantine path, reason), ...]``
+        self.quarantined: List[tuple] = []
+
+    def _path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def job_ids(self) -> List[str]:
+        """Every job id present on disk or in memory, sorted."""
+        ids = {
+            path.stem
+            for path in self.root.glob("job-*.json")
+            if _JOB_ID_RE.match(path.stem)
+        }
+        ids.update(self._jobs)
+        return sorted(ids)
+
+    def _next_id(self) -> str:
+        highest = 0
+        for job_id in self.job_ids():
+            highest = max(highest, int(job_id.split("-", 1)[1]))
+        return f"job-{highest + 1:04d}"
+
+    def create(
+        self,
+        design: Design,
+        space: ParameterSpace,
+        objectives: Sequence[str] = ("power",),
+        derived: Sequence[DerivedObjective] = (),
+        owner: str = "",
+        workers: int = 1,
+        mode: str = "serial",
+        chunk_size: int = 64,
+        prune: bool = False,
+    ) -> SweepJob:
+        """Allocate an id, build the job, persist it as ``pending``."""
+        with self._lock:
+            job = SweepJob(
+                self._next_id(),
+                owner,
+                design,
+                space,
+                objectives=objectives,
+                derived=derived,
+                workers=workers,
+                mode=mode,
+                chunk_size=chunk_size,
+                prune=prune,
+            )
+            job._store = self
+            self._jobs[job.job_id] = job
+        job.save()
+        _metric_jobs().inc(op="create")
+        _LOG.info(
+            "create", job=job.job_id, design=job.design_name,
+            points=job.total_points, owner=job.owner,
+        )
+        return job
+
+    def _quarantine(self, job_id: str, path: Path, reason: str) -> Path:
+        target = path.with_suffix(".json.corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_suffix(f".json.corrupt-{counter}")
+        path.replace(target)
+        self.quarantined.append((job_id, target, reason))
+        _metric_jobs().inc(op="quarantine")
+        _LOG.warning(
+            "quarantine", job=job_id, moved_to=str(target), reason=reason
+        )
+        return target
+
+    def job(self, job_id: str) -> SweepJob:
+        """Fetch a job, loading its checkpoint from disk if needed."""
+        job_id = validate_job_id(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            path = self._path(job_id)
+            if not path.exists():
+                raise JobError(f"no job {job_id!r}")
+            try:
+                payload = json.loads(path.read_text())
+                job = SweepJob.from_payload(payload)
+            except (json.JSONDecodeError, PowerPlayError, ValueError,
+                    TypeError, KeyError, AttributeError) as exc:
+                target = self._quarantine(job_id, path, str(exc))
+                raise JobError(
+                    f"job {job_id!r} checkpoint is corrupt "
+                    f"(quarantined to {target.name}): {exc}"
+                ) from exc
+            job._store = self
+            self._jobs[job_id] = job
+            _metric_jobs().inc(op="load")
+            return job
+
+    def list_jobs(self) -> List[SweepJob]:
+        """All readable jobs, sorted by id (corrupt ones quarantined)."""
+        jobs: List[SweepJob] = []
+        for job_id in self.job_ids():
+            try:
+                jobs.append(self.job(job_id))
+            except JobError:
+                continue
+        return jobs
+
+    def save_job(self, job: SweepJob) -> None:
+        """Atomically persist one job's checkpoint (crash-safe)."""
+        payload = json.dumps(job.to_payload(), indent=1, sort_keys=True)
+        path = self._path(job.job_id)
+        with self._lock:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root),
+                prefix=f".{job.job_id}-",
+                suffix=".saving",
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+                _metric_jobs().inc(op="save")
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def forget(self, job_id: str) -> None:
+        """Drop the in-memory copy (checkpoint file remains)."""
+        with self._lock:
+            self._jobs.pop(job_id, None)

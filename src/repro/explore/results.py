@@ -1,0 +1,182 @@
+"""Analysis and export of sweep results.
+
+Everything here is a pure, deterministic function of the result rows —
+the contract that makes checkpoint/resume verifiable: a resumed job and
+an uninterrupted job hand the same rows to these functions and export
+**byte-identical** CSV/JSON.
+
+A result *row* is the engine's serializable point record::
+
+    {"index": 3, "values": {"VDD2": 1.2, "bw": 12.0},
+     "overrides": {...}, "objectives": {"power": ..., "delay": ...},
+     "error": ""}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExploreError
+
+
+def _objective_vector(
+    row: Mapping, objectives: Sequence[str]
+) -> Optional[Tuple[float, ...]]:
+    """The row's objective tuple, or ``None`` for failed rows."""
+    if row.get("error"):
+        return None
+    values = row.get("objectives", {})
+    try:
+        vector = tuple(float(values[name]) for name in objectives)
+    except KeyError as exc:
+        raise ExploreError(
+            f"row {row.get('index')} is missing objective {exc}"
+        ) from None
+    for name, value in zip(objectives, vector):
+        if not math.isfinite(value):
+            raise ExploreError(
+                f"row {row.get('index')}: objective {name!r} is "
+                f"non-finite ({value!r})"
+            )
+    return vector
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse on every axis and better on one
+    (all objectives minimized)."""
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def pareto_rows(
+    rows: Sequence[Mapping], objectives: Sequence[str]
+) -> List[Mapping]:
+    """Non-dominated rows over N minimized objectives.
+
+    Failed rows (non-empty ``error``) never make the front.  Ties on
+    the full objective vector all survive (they dominate nobody and
+    nobody dominates them), matching the designer's expectation that
+    equivalent configurations stay visible.  Output preserves point
+    order.
+    """
+    if not objectives:
+        raise ExploreError("pareto_rows needs at least one objective")
+    scored = [
+        (row, vector)
+        for row, vector in (
+            (row, _objective_vector(row, objectives)) for row in rows
+        )
+        if vector is not None
+    ]
+    # sort by objective vector: a dominator always sorts before its
+    # victims lexicographically, so one pass against the running front
+    # suffices
+    scored.sort(key=lambda item: item[1])
+    front: List[Tuple[Mapping, Tuple[float, ...]]] = []
+    for row, vector in scored:
+        if any(_dominates(kept, vector) for _, kept in front):
+            continue
+        front.append((row, vector))
+    kept_indexes = {id(row) for row, _ in front}
+    return [row for row in rows if id(row) in kept_indexes]
+
+
+def sensitivity_ranking(
+    rows: Sequence[Mapping],
+    axis_names: Sequence[str],
+    objective: str = "power",
+) -> List[Dict[str, float]]:
+    """Per-axis impact on one objective, largest first.
+
+    For each axis: group the successful rows by the values of every
+    *other* axis, measure the objective's spread (max - min) within
+    each group as that axis varies alone, and average the spreads.
+    The relative figure divides by the mean objective so axes are
+    comparable across magnitudes.  Deterministic: ties rank by name.
+    """
+    usable = [row for row in rows if not row.get("error")]
+    if not usable:
+        return []
+    mean = sum(
+        float(row["objectives"][objective]) for row in usable
+    ) / len(usable)
+    ranking: List[Dict[str, float]] = []
+    for axis in axis_names:
+        groups: Dict[Tuple, List[float]] = {}
+        for row in usable:
+            values = row["values"]
+            key = tuple(
+                (name, values[name]) for name in axis_names if name != axis
+            )
+            groups.setdefault(key, []).append(
+                float(row["objectives"][objective])
+            )
+        spreads = [
+            max(group) - min(group)
+            for group in groups.values()
+            if len(group) > 1
+        ]
+        spread = sum(spreads) / len(spreads) if spreads else 0.0
+        ranking.append(
+            {
+                "axis": axis,
+                "spread": spread,
+                "relative": spread / abs(mean) if mean else 0.0,
+            }
+        )
+    ranking.sort(key=lambda item: (-item["spread"], item["axis"]))
+    return ranking
+
+
+def export_csv(
+    rows: Sequence[Mapping],
+    axis_names: Sequence[str],
+    objectives: Sequence[str],
+) -> str:
+    """Result rows as CSV, byte-stable: ``repr`` floats round-trip
+    exactly, row order is point order."""
+    header = ["index", *axis_names, *objectives, "error"]
+    lines = [",".join(header)]
+    for row in rows:
+        cells: List[str] = [str(int(row["index"]))]
+        for name in axis_names:
+            cells.append(repr(float(row["values"][name])))
+        for name in objectives:
+            value = row.get("objectives", {}).get(name)
+            cells.append("" if value is None else repr(float(value)))
+        error = str(row.get("error", ""))
+        cells.append('"%s"' % error.replace('"', "'") if error else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def export_json(
+    rows: Sequence[Mapping],
+    axis_names: Sequence[str],
+    objectives: Sequence[str],
+    meta: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Full results as canonical JSON (sorted keys, indent 1) — the
+    payload the resume-equivalence gate compares byte for byte."""
+    payload: Dict[str, object] = {
+        "format": "powerplay-sweep-results/1",
+        "axes": list(axis_names),
+        "objectives": list(objectives),
+        "rows": [
+            {
+                "index": int(row["index"]),
+                "values": {k: float(v) for k, v in row["values"].items()},
+                "objectives": {
+                    k: float(v)
+                    for k, v in row.get("objectives", {}).items()
+                },
+                "error": str(row.get("error", "")),
+            }
+            for row in rows
+        ],
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return json.dumps(payload, indent=1, sort_keys=True)

@@ -43,7 +43,19 @@ from ..core.units import format_eng, format_quantity, parse_float
 from ..designs.infopad import build_infopad
 from ..designs.luminance import build_figure1_design, build_figure3_design
 from ..designs.macros import build_macro_library
-from ..errors import PowerPlayError, SessionError, WebError
+from ..errors import ExploreError, PowerPlayError, SessionError, WebError
+from ..explore import (
+    DerivedObjective,
+    JobStore,
+    ParameterSpace,
+    coupled_from_spec,
+    export_csv,
+    export_json,
+    pareto_rows,
+    parse_axis_spec,
+    sensitivity_ranking,
+)
+from ..explore.engine import run_job
 from ..library.catalog import Library, LibraryEntry
 from ..library.cells import build_default_library
 from ..library.datasheet import build_system_library
@@ -105,7 +117,8 @@ KNOWN_ROUTES = frozenset(
     {
         "/", "/login", "/password", "/menu", "/library", "/cell",
         "/cell/save", "/design", "/design/analysis", "/design/new",
-        "/design/load_example", "/define", "/export/design",
+        "/design/load_example", "/define", "/sweep", "/sweep/job",
+        "/sweep/result", "/sweep/cancel", "/export/design",
         "/export/library", "/api/library.json", "/api/model",
         "/api/design", "/agent/estimate", "/api/ping", "/doc/models",
         "/tutorial", "/help", "/metrics", "/status", "/trace", "/profile",
@@ -156,6 +169,12 @@ class Application:
         self._user_locks_guard = threading.Lock()
         #: memoized evaluate_power/area/timing for sheet views
         self.eval_cache = DEFAULT_CACHE
+        #: persistent sweep jobs — same layout the CLI uses, so a job
+        #: submitted in the browser can be resumed with `repro sweep
+        #: --resume` against the same state directory (and vice versa)
+        self.jobs = JobStore(Path(state_dir) / "jobs")
+        self._job_threads: Dict[str, threading.Thread] = {}
+        self._job_threads_lock = threading.Lock()
         self.libraries: List[Library] = [
             build_default_library(),
             build_system_library(),
@@ -381,6 +400,16 @@ class Application:
             )
         if route == "/define" and method == "POST":
             return self._define_model(data)
+        if route == "/sweep" and method == "GET":
+            return self._sweep_form(data)
+        if route == "/sweep" and method == "POST":
+            return self._sweep_submit(data)
+        if route == "/sweep/job" and method == "GET":
+            return self._sweep_job_status(data)
+        if route == "/sweep/result" and method == "GET":
+            return self._sweep_result(data)
+        if route == "/sweep/cancel" and method == "POST":
+            return self._sweep_cancel(data)
         if route == "/export/design":
             return self._export_design(data)
         if route == "/export/library":
@@ -774,6 +803,233 @@ class Application:
             )
         )
 
+    # -- sweep jobs ----------------------------------------------------------
+
+    def _job_summaries(self, user: str) -> List[dict]:
+        """The listed user's jobs, newest first."""
+        return [
+            job.summary()
+            for job in reversed(self.jobs.list_jobs())
+            if job.owner == user
+        ]
+
+    def _user_job(self, user: str, data: Mapping[str, str]):
+        """Fetch a job by id and enforce ownership."""
+        job = self.jobs.job(data.get("job", ""))
+        if job.owner and job.owner != user:
+            raise WebError(
+                f"job {job.job_id!r} belongs to user {job.owner!r}"
+            )
+        return job
+
+    def _start_job_thread(self, job) -> None:
+        """Run a sweep job on a daemon thread.
+
+        The job object is its own coordination point: ``run_job`` moves
+        it through running -> done/failed/cancelled and checkpoints
+        every chunk, so the thread needs no channel back to the request
+        that spawned it — status pages just reload the job.
+        """
+
+        def runner() -> None:
+            try:
+                run_job(job)
+            except PowerPlayError:
+                pass  # already recorded on the job as state=failed
+            except Exception:  # noqa: BLE001 - keep the server alive
+                get_logger("web.sweep").error(
+                    "job runner crashed", job=job.job_id
+                )
+
+        thread = threading.Thread(
+            target=runner, name=f"sweep-{job.job_id}", daemon=True
+        )
+        with self._job_threads_lock:
+            self._job_threads[job.job_id] = thread
+        thread.start()
+
+    @staticmethod
+    def _sweep_lines(data: Mapping[str, str], key: str) -> List[str]:
+        return [
+            line.strip()
+            for line in (data.get(key) or "").splitlines()
+            if line.strip()
+        ]
+
+    @staticmethod
+    def _sweep_int(data: Mapping[str, str], key: str, default: int) -> int:
+        text = (data.get(key) or "").strip()
+        if not text:
+            return default
+        try:
+            return int(text)
+        except ValueError:
+            raise ExploreError(
+                f"{key} must be a whole number, got {text!r}"
+            ) from None
+
+    def _build_job(self, user: str, session, data: Mapping[str, str]):
+        """Validate the sweep form and persist a pending job.
+
+        Everything user-typed funnels through the same parsers the CLI
+        uses; every malformed field raises :class:`ExploreError`, which
+        the submit handler turns into a re-rendered form — never a 500.
+        """
+        name = data.get("design", "")
+        if name.startswith("example:"):
+            design = _build_example(name[len("example:"):])
+        elif name:
+            design = session.design(name)
+        else:
+            raise ExploreError("pick a design to sweep")
+        axes = [parse_axis_spec(spec)
+                for spec in self._sweep_lines(data, "axes")]
+        if not axes:
+            raise ExploreError(
+                "give at least one axis (e.g. VDD=1.1:3.3:0.1)"
+            )
+        coupled = [coupled_from_spec(spec)
+                   for spec in self._sweep_lines(data, "couple")]
+        derived = []
+        for spec in self._sweep_lines(data, "derive"):
+            if "=" not in spec:
+                raise ExploreError(
+                    f"derived objective {spec!r} must look like "
+                    "name=expression"
+                )
+            dname, _, source = spec.partition("=")
+            derived.append(DerivedObjective(dname.strip(), source.strip()))
+        objectives = tuple(
+            part.strip()
+            for part in (data.get("objectives") or "power").split(",")
+            if part.strip()
+        ) or ("power",)
+        for objective in objectives:
+            if objective not in ("power", "area", "delay"):
+                raise ExploreError(
+                    f"unknown objective {objective!r}: choose from "
+                    "power, area, delay (or add it under 'derive')"
+                )
+        point_cap = self._sweep_int(data, "point_cap", 0)
+        if point_cap > 0:
+            space = ParameterSpace(axes, coupled, point_cap=point_cap)
+        else:
+            space = ParameterSpace(axes, coupled)
+        return self.jobs.create(
+            design,
+            space,
+            objectives=objectives,
+            derived=derived,
+            owner=user,
+            workers=self._sweep_int(data, "workers", 2),
+            mode=data.get("mode", "thread"),
+            chunk_size=self._sweep_int(data, "chunk_size", 16),
+            prune=data.get("prune", "no") == "yes",
+        )
+
+    def _sweep_form(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        return Response(
+            body=pages.sweep_form_page(
+                user,
+                sorted(session.designs),
+                EXAMPLES,
+                jobs=self._job_summaries(user),
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _sweep_submit(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        session = self.users.session(user)
+        try:
+            job = self._build_job(user, session, data)
+        except ExploreError as exc:
+            # a typo'd range or an exploding grid is the user's input,
+            # not a server fault: 400 with the form refilled, never 500
+            return Response(
+                status=400,
+                body=pages.sweep_form_page(
+                    user,
+                    sorted(session.designs),
+                    EXAMPLES,
+                    jobs=self._job_summaries(user),
+                    values=data,
+                    error=str(exc),
+                    auth=self._auth_token(user),
+                ),
+            )
+        self._start_job_thread(job)
+        return Response.redirect(
+            f"/sweep/job?{pages.cred(user, self._auth_token(user))}"
+            f"&job={job.job_id}"
+        )
+
+    def _sweep_job_status(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        job = self._user_job(user, data)
+        return Response(
+            body=pages.sweep_job_page(
+                user, job.summary(), auth=self._auth_token(user)
+            )
+        )
+
+    def _sweep_result(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        job = self._user_job(user, data)
+        if job.state != "done":
+            raise WebError(
+                f"job {job.job_id!r} is {job.state} "
+                f"({job.done_points}/{job.total_points} points); results "
+                "are served once it is done"
+            )
+        rows = job.result_rows()
+        axis_names = list(job.space.axis_names)
+        objective_names = job.objective_names
+        fmt = data.get("fmt", "")
+        if fmt == "csv":
+            return Response(
+                body=export_csv(rows, axis_names, objective_names),
+                content_type="text/csv; charset=utf-8",
+            )
+        if fmt == "json":
+            return Response.json_text(
+                export_json(
+                    rows,
+                    axis_names,
+                    objective_names,
+                    meta={"job": job.job_id, "design": job.design_name},
+                )
+            )
+        if fmt:
+            raise WebError(f"unknown results format {fmt!r}")
+        front = pareto_rows(rows, objective_names)
+        sensitivity = sensitivity_ranking(
+            rows, axis_names, objective=objective_names[0]
+        )
+        return Response(
+            body=pages.sweep_results_page(
+                user,
+                job.summary(),
+                axis_names,
+                objective_names,
+                front,
+                sensitivity,
+                total_rows=len(rows),
+                auth=self._auth_token(user),
+            )
+        )
+
+    def _sweep_cancel(self, data: Mapping[str, str]) -> Response:
+        user = self._user(data)
+        job = self._user_job(user, data)
+        job.request_cancel()
+        return Response.redirect(
+            f"/sweep/job?{pages.cred(user, self._auth_token(user))}"
+            f"&job={job.job_id}"
+        )
+
     # -- observability endpoints --------------------------------------------
 
     @property
@@ -849,6 +1105,15 @@ class Application:
             )
             for trace in recent_traces()[-8:]
         ]
+        job_rows = [
+            (
+                job.job_id,
+                job.design_name,
+                job.state,
+                f"{job.done_points}/{job.total_points}",
+            )
+            for job in self.jobs.list_jobs()
+        ]
         return Response(
             body=pages.status_page(
                 self.server_name,
@@ -860,6 +1125,7 @@ class Application:
                 cache_rows,
                 event_rows,
                 trace_rows,
+                job_rows=job_rows,
             )
         )
 

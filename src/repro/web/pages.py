@@ -48,6 +48,7 @@ def nav_for(user: str, auth: str = "") -> List[Tuple[str, str]]:
         (f"/menu?{q}", "Main Menu"),
         (f"/library?{q}", "Library"),
         (f"/define?{q}", "Define Model"),
+        (f"/sweep?{q}", "Sweeps"),
         ("/tutorial", "Tutorial"),
         ("/help", "Help"),
     ]
@@ -556,6 +557,242 @@ def design_analysis_page(
     )
 
 
+def _job_table(
+    user: str, summaries: Sequence[Mapping], auth: str = ""
+) -> H.Raw:
+    q = cred(user, auth)
+    rows: List[List[H.Content]] = []
+    for summary in summaries:
+        job_id = summary["job_id"]
+        progress = f"{summary['done']}/{summary['points']}"
+        rows.append(
+            [
+                H.link(f"/sweep/job?{q}&job={job_id}", job_id),
+                summary["design"],
+                summary["state"],
+                H.tag("span", progress, class_="num"),
+                summary["objectives"],
+                summary.get("error", ""),
+            ]
+        )
+    return H.table(
+        rows or [["(no jobs yet)", "", "", "", "", ""]],
+        header=["Job", "Design", "State", "Points", "Objectives", "Error"],
+    )
+
+
+def sweep_form_page(
+    user: str,
+    designs: Sequence[str],
+    examples: Sequence[str],
+    jobs: Sequence[Mapping] = (),
+    values: Optional[Mapping[str, str]] = None,
+    error: str = "",
+    auth: str = "",
+) -> str:
+    """``GET /sweep`` — submit a parameter-space exploration job.
+
+    The 1996 designer pressed PLAY once per what-if; this form submits
+    thousands of PLAYs as one background job with axis specs in the
+    same mini-language the CLI uses (``VDD2=1.1:3.3:0.1``,
+    ``bw=8,12,16``, ``f=log:1e6:1e9:7``; ``name@row.param`` writes a
+    dotted target).
+    """
+    filled = dict(values or {})
+
+    def area(name: str, rows: int, hint: str) -> H.Raw:
+        return H.labelled_field(
+            name,
+            H.tag(
+                "textarea", filled.get(name, ""), name=name, rows=rows,
+                cols=60,
+            ),
+            hint,
+        )
+
+    options = list(designs) + [f"example:{name}" for name in examples]
+    fields = [
+        H.labelled_field(
+            "design",
+            H.select("design", options, filled.get("design")),
+            "your design, or a built-in example",
+        ),
+        area("axes", 4, "one axis per line: VDD2=1.1:3.3:0.1 | "
+             "bw=8,12,16 | f=log:1e6:1e9:7 | name@row.param=..."),
+        area("couple", 2, "optional: target=expression over axis names"),
+        area("derive", 2, "optional extra objectives: name=expression"),
+        H.labelled_field(
+            "objectives",
+            H.text_input("objectives", filled.get("objectives", "power")),
+            "comma-separated from power, area, delay",
+        ),
+        H.labelled_field(
+            "workers",
+            H.text_input("workers", filled.get("workers", "2"), size=4),
+            "evaluator workers",
+        ),
+        H.labelled_field(
+            "mode",
+            H.select(
+                "mode", ["serial", "thread", "process"],
+                filled.get("mode", "thread"),
+            ),
+        ),
+        H.labelled_field(
+            "chunk_size",
+            H.text_input("chunk_size", filled.get("chunk_size", "16"), size=6),
+            "points per checkpointed chunk",
+        ),
+        H.labelled_field(
+            "point_cap",
+            H.text_input("point_cap", filled.get("point_cap", ""), size=10),
+            "optional: reject spaces larger than this many points",
+        ),
+        H.labelled_field(
+            "prune",
+            H.select("prune", ["no", "yes"], filled.get("prune", "no")),
+            "keep only Pareto-optimal rows",
+        ),
+    ]
+    body: List[H.Content] = []
+    if error:
+        body.append(H.tag("p", error, class_="error"))
+    body.append(
+        H.form(
+            "/sweep",
+            H.join(
+                auth_fields(user, auth),
+                H.field_table(fields),
+                H.submit("Launch sweep"),
+            ),
+        )
+    )
+    body.append(H.heading("Your sweep jobs", 2))
+    body.append(_job_table(user, jobs, auth))
+    return H.page(f"Sweeps — {user}", *body, nav=nav_for(user, auth))
+
+
+def sweep_job_page(user: str, summary: Mapping, auth: str = "") -> str:
+    """``GET /sweep/job`` — one job's live status (reload to poll)."""
+    q = cred(user, auth)
+    job_id = summary["job_id"]
+    state = summary["state"]
+    rows = [
+        ["Job", job_id],
+        ["Design", summary["design"]],
+        ["State", state],
+        ["Progress",
+         H.tag("span", f"{summary['done']}/{summary['points']} points",
+               class_="num")],
+        ["Objectives", summary["objectives"]],
+    ]
+    if summary.get("error"):
+        rows.append(["Error", H.tag("span", summary["error"], class_="error")])
+    body: List[H.Content] = [H.table(rows, header=["Field", "Value"])]
+    links: List[H.Content] = [
+        H.link(f"/sweep/job?{q}&job={job_id}", "Refresh"),
+        H.Raw(" | "),
+        H.link(f"/sweep?{q}", "All sweeps"),
+    ]
+    if state == "done":
+        links.extend(
+            [
+                H.Raw(" | "),
+                H.link(f"/sweep/result?{q}&job={job_id}", "Results"),
+                H.Raw(" | "),
+                H.link(f"/sweep/result?{q}&job={job_id}&fmt=csv", "CSV"),
+                H.Raw(" | "),
+                H.link(f"/sweep/result?{q}&job={job_id}&fmt=json", "JSON"),
+            ]
+        )
+    body.append(H.paragraph(H.join(*links)))
+    if state in ("pending", "running"):
+        body.append(
+            H.form(
+                "/sweep/cancel",
+                H.join(
+                    auth_fields(user, auth),
+                    H.hidden_input("job", job_id),
+                    H.submit("Cancel job"),
+                ),
+            )
+        )
+    if state == "cancelled":
+        body.append(
+            H.paragraph(
+                "Cancelled jobs keep their finished chunks; resume from "
+                f"the command line with: repro sweep --resume {job_id} "
+                "--state <STATE_DIR>"
+            )
+        )
+    return H.page(
+        f"Sweep {job_id} — {user}", *body, nav=nav_for(user, auth)
+    )
+
+
+def sweep_results_page(
+    user: str,
+    summary: Mapping,
+    axis_names: Sequence[str],
+    objective_names: Sequence[str],
+    front_rows: Sequence[Mapping],
+    sensitivity: Sequence[Mapping],
+    total_rows: int,
+    auth: str = "",
+) -> str:
+    """``GET /sweep/result`` — Pareto frontier + sensitivity ranking."""
+    q = cred(user, auth)
+    job_id = summary["job_id"]
+    header = ["#", *axis_names, *objective_names]
+    rows: List[List[H.Content]] = []
+    for row in front_rows:
+        cells: List[H.Content] = [str(row["index"])]
+        for name in axis_names:
+            cells.append(
+                H.tag("span", format_quantity(float(row["values"][name])),
+                      class_="num")
+            )
+        for name in objective_names:
+            cells.append(
+                H.tag("span", format_quantity(float(row["objectives"][name])),
+                      class_="num")
+            )
+        rows.append(cells)
+    sens_rows = [
+        [
+            item["axis"],
+            H.tag("span", format_quantity(item["spread"]), class_="num"),
+            H.tag("span", f"{100.0 * item['relative']:.1f}%", class_="num"),
+        ]
+        for item in sensitivity
+    ]
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Design {summary['design']!r}: {len(front_rows)} "
+                f"Pareto-optimal of {total_rows} evaluated points.  ",
+                H.link(f"/sweep/result?{q}&job={job_id}&fmt=csv", "CSV"),
+                " | ",
+                H.link(f"/sweep/result?{q}&job={job_id}&fmt=json", "JSON"),
+                " | ",
+                H.link(f"/sweep/job?{q}&job={job_id}", "Job status"),
+                ".",
+            )
+        ),
+        H.heading("Pareto frontier", 2),
+        H.table(rows, header=header,
+                caption=f"minimizing {', '.join(objective_names)}"),
+        H.heading("Sensitivity (mean spread when only this axis moves)", 2),
+        H.table(
+            sens_rows or [["(not enough points)", "", ""]],
+            header=["Axis", "Spread", "Relative"],
+        ),
+    ]
+    return H.page(
+        f"Sweep {job_id} results — {user}", *body, nav=nav_for(user, auth)
+    )
+
+
 def status_page(
     server_name: str,
     uptime_s: float,
@@ -566,6 +803,7 @@ def status_page(
     cache_rows: Sequence[Tuple[str, int]],
     event_rows: Sequence[Tuple[str, int]],
     trace_rows: Sequence[Tuple[str, str, str, int]],
+    job_rows: Sequence[Tuple[str, str, str, str]] = (),
 ) -> str:
     """``GET /status`` — the operator's dashboard, PowerPlay style.
 
@@ -626,6 +864,16 @@ def status_page(
                 for what, count in event_rows
             ],
             header=["Event", "Count"],
+        ),
+        H.heading("Sweep jobs", 2),
+        H.table(
+            [
+                [job_id, design, state,
+                 H.tag("span", progress, class_="num")]
+                for job_id, design, state, progress in job_rows
+            ]
+            or [["(no jobs)", "", "", ""]],
+            header=["Job", "Design", "State", "Points"],
         ),
     ]
     if trace_rows:

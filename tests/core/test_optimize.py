@@ -162,6 +162,42 @@ class TestPareto:
     def test_duplicates_collapse(self):
         assert pareto_front([(1, 1), (1, 1)]) == [(1, 1)]
 
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_ties_on_one_axis_dominated(self):
+        # (1,5) loses to (1,4): equal on the first axis, worse on the
+        # second; (2,4) loses to (1,4) outright
+        assert pareto_front([(1, 5), (1, 4), (2, 4)]) == [(1, 4)]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ModelError, match="non-finite"):
+            pareto_front([(1.0, float("nan"))])
+        with pytest.raises(ModelError, match="non-finite"):
+            pareto_front([(float("inf"), 1.0), (1.0, 1.0)])
+
+    def test_pareto_points_keeps_tied_configurations(self):
+        # two different configurations with identical objectives both
+        # stay visible; the dominated third does not
+        a = GridPoint({"x": 1.0}, 1.0, {"m": 2.0})
+        b = GridPoint({"x": 2.0}, 1.0, {"m": 2.0})
+        worse = GridPoint({"x": 3.0}, 2.0, {"m": 3.0})
+        assert pareto_points([a, b, worse], "m") == [a, b]
+
+    def test_oversized_grid_fails_fast(self):
+        import time as _time
+
+        design = make_design()
+        started = _time.perf_counter()
+        with pytest.raises(ModelError, match="over the limit"):
+            grid_search(
+                design,
+                {"VDD": range(10**6), "bitwidth": range(10**6)},
+            )
+        # the point count is checked before any combination is built,
+        # so a 10^12-point grid must fail in well under a second
+        assert _time.perf_counter() - started < 1.0
+
     def test_pareto_points_from_grid(self):
         design = make_design()
         results = grid_search(

@@ -1,0 +1,162 @@
+"""The sweep engine: modes agree byte-for-byte, resume is exact."""
+
+import pytest
+
+from repro.core.design import Design
+from repro.core.estimator import evaluate_power, scope_overrides
+from repro.core.expressions import compile_expression as E
+from repro.core.model import CapacitiveTerm, TemplatePowerModel
+from repro.core.parameters import Parameter
+from repro.explore import (
+    Axis,
+    DerivedObjective,
+    JobStore,
+    ParameterSpace,
+    export_json,
+    run_sweep,
+)
+from repro.explore.engine import run_job
+
+ADDER = TemplatePowerModel(
+    "adder",
+    capacitive=[CapacitiveTerm("bits", E("bitwidth * 68f"))],
+    parameters=(Parameter("bitwidth", 16),),
+)
+
+RAM = TemplatePowerModel(
+    "ram",
+    capacitive=[CapacitiveTerm("cells", E("words * bits * 1.2f"))],
+    parameters=(Parameter("words", 256), Parameter("bits", 16)),
+)
+
+
+def make_design():
+    design = Design("d")
+    design.scope.set("VDD", 1.5)
+    design.scope.set("f", 2e6)
+    design.add("alu", ADDER)
+    design.add("mem", RAM)
+    return design
+
+
+def make_space():
+    return ParameterSpace(
+        [
+            Axis("VDD", (1.1, 1.5, 2.0, 3.3)),
+            Axis("bitwidth", (8.0, 16.0, 32.0)),
+        ]
+    )
+
+
+def outcome_bytes(outcome):
+    return export_json(
+        outcome.rows, outcome.axis_names, outcome.objective_names
+    )
+
+
+class TestSweepCorrectness:
+    def test_rows_match_serial_estimator(self):
+        design = make_design()
+        outcome = run_sweep(design, make_space(), chunk_size=5)
+        assert len(outcome.rows) == 12
+        for row in outcome.rows:
+            with scope_overrides(design.scope, row["overrides"]):
+                assert row["objectives"]["power"] == \
+                    evaluate_power(design).power
+
+    def test_rows_in_point_order(self):
+        outcome = run_sweep(make_design(), make_space(), chunk_size=5)
+        assert [row["index"] for row in outcome.rows] == list(range(12))
+
+    def test_derived_objectives_computed(self):
+        outcome = run_sweep(
+            make_design(),
+            make_space(),
+            derived=[DerivedObjective("pw_mw", "power * 1000")],
+        )
+        for row in outcome.rows:
+            assert row["objectives"]["pw_mw"] == \
+                row["objectives"]["power"] * 1000
+
+    def test_failing_point_recorded_not_raised(self):
+        outcome = run_sweep(
+            make_design(),
+            ParameterSpace([Axis("VDD", (1.0, 2.0, 3.0))]),
+            derived=[DerivedObjective("bad", "1.0 / (VDD - 2.0)")],
+        )
+        errors = [row for row in outcome.rows if row["error"]]
+        good = [row for row in outcome.rows if not row["error"]]
+        assert len(errors) == 1 and errors[0]["values"]["VDD"] == 2.0
+        assert len(good) == 2
+        assert outcome.report.errors == 1
+
+    def test_prune_keeps_only_the_front(self):
+        full = run_sweep(
+            make_design(), make_space(), objectives=("power", "delay")
+        )
+        pruned = run_sweep(
+            make_design(), make_space(), objectives=("power", "delay"),
+            prune=True,
+        )
+        assert 0 < len(pruned.rows) < len(full.rows)
+        assert [r["index"] for r in pruned.rows] == \
+            [r["index"] for r in full.pareto()]
+
+
+class TestModeEquivalence:
+    def test_thread_mode_byte_identical(self):
+        serial = run_sweep(make_design(), make_space(), chunk_size=3)
+        threaded = run_sweep(
+            make_design(), make_space(), chunk_size=3,
+            workers=4, mode="thread",
+        )
+        assert outcome_bytes(serial) == outcome_bytes(threaded)
+
+    def test_process_mode_byte_identical(self):
+        serial = run_sweep(make_design(), make_space(), chunk_size=4)
+        forked = run_sweep(
+            make_design(), make_space(), chunk_size=4,
+            workers=2, mode="process",
+        )
+        assert outcome_bytes(serial) == outcome_bytes(forked)
+
+
+class TestResumeEquivalence:
+    def test_interrupted_job_resumes_byte_identical(self, tmp_path):
+        baseline = run_sweep(make_design(), make_space(), chunk_size=3)
+        expected = outcome_bytes(baseline)
+
+        store = JobStore(tmp_path)
+        job = store.create(make_design(), make_space(), chunk_size=3)
+        calls = {"n": 0}
+
+        def stop_after_two():
+            calls["n"] += 1
+            return calls["n"] > 2
+
+        run_job(job, should_stop=stop_after_two)
+        assert job.state == "cancelled"
+        assert 0 < job.done_points < job.total_points
+
+        # a different process picks the checkpoint up from disk
+        revived = JobStore(tmp_path).job(job.job_id)
+        run_job(revived)
+        assert revived.state == "done"
+        resumed = export_json(
+            revived.result_rows(),
+            revived.space.axis_names,
+            revived.objective_names,
+        )
+        assert resumed == expected
+
+    def test_resume_skips_finished_chunks(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(make_design(), make_space(), chunk_size=3)
+        run_job(job, should_stop=lambda: len(job.chunks) >= 2)
+        done_before = dict(job.chunks)
+        revived = JobStore(tmp_path).job(job.job_id)
+        run_job(revived)
+        # the chunks finished before the interruption were not re-run:
+        # their recorded rows are the exact same payloads
+        for start, chunk in done_before.items():
+            assert revived.chunks[start]["rows"] == chunk["rows"]

@@ -75,6 +75,69 @@ class TestSweep:
         )
 
 
+class TestEngineSweep:
+    def test_multi_axis_with_state_and_resume(self, capsys, tmp_path):
+        state = str(tmp_path)
+        argv = [
+            "sweep", "fig1",
+            "--axis", "VDD=1.1:3.3:0.4",
+            "--workers", "1", "--mode", "serial", "--chunk-size", "2",
+            "--state", state,
+        ]
+        # stop after one chunk: the job checkpoint stays incomplete
+        code, out, _err = run(capsys, *argv, "--max-chunks", "1")
+        assert code == 1
+        assert "--resume job-0001" in out
+
+        # jobs listing shows the interrupted job
+        code, out, _err = run(capsys, "jobs", "--state", state)
+        assert code == 0
+        assert "job-0001" in out and "cancelled" in out
+
+        # resume finishes it and exports
+        json_out = tmp_path / "results.json"
+        code, out, _err = run(
+            capsys, "sweep", "fig1", "--resume", "job-0001",
+            "--state", state, "--json-out", str(json_out),
+        )
+        assert code == 0
+        assert json_out.exists()
+        code, out, _err = run(capsys, "jobs", "--state", state)
+        assert "done" in out
+
+    def test_stateless_sweep_prints_table(self, capsys):
+        code, out, _err = run(
+            capsys, "sweep", "fig1",
+            "--axis", "VDD=1.1,1.5,3.3",
+            "--derive", "pw_mw=power * 1000",
+        )
+        assert code == 0
+        assert "VDD" in out and "pw_mw" in out
+
+    def test_legacy_single_parameter_form_still_works(self, capsys):
+        code, out, _err = run(capsys, "sweep", "fig3", "VDD", "1.0", "2.0")
+        assert code == 0
+        assert out.strip().splitlines()[0] == "VDD,power_w"
+
+    def test_neither_form_is_an_error(self, capsys):
+        code, _out, err = run(capsys, "sweep", "fig3")
+        assert code == 2
+        assert "--axis" in err
+
+
+class TestOptimize:
+    def test_fig3_reports_saving(self, capsys):
+        code, out, _err = run(capsys, "optimize", "fig3")
+        assert code == 0
+        assert "minimum feasible VDD" in out
+        assert "saving: 52.9%" in out
+
+    def test_infopad_targets_vdd2(self, capsys):
+        code, out, _err = run(capsys, "optimize", "infopad")
+        assert code == 0
+        assert "VDD2" in out
+
+
 class TestBattery:
     def test_reports_packs(self, capsys):
         code, out, _err = run(capsys, "battery", "--design", "infopad")
