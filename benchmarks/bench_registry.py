@@ -1,0 +1,209 @@
+"""R2 — the federated registry under a provider blackout.
+
+The registry's claim: once a server has synced a provider's catalog, a
+**total provider outage** costs nothing — every design still evaluates,
+bit-identically, from the digest-verified local mirror.  This bench
+stages the claim at fleet scale:
+
+* a 10-server federation: 2 providers publishing the paper's designs
+  (luminance Figures 1/3, the full InfoPad system) plus shared entries,
+  and 8 subscribers;
+* one provider **flaps** on a deterministic up/down schedule for the
+  whole run; the other is **partitioned** (stopped) midway through the
+  subscribers' sync wave;
+* after one sync pass each, *all* providers go dark (100% outage) and
+  every subscriber evaluates every design purely from its mirror.
+
+Gates (the CI `registry` job fails if any is violated):
+
+* 100% design evaluability at 100% provider outage after one sync;
+* every mirrored evaluation is bit-identical to the all-healthy run;
+* zero digest-unverified loads (every artifact read re-verifies; any
+  truncated fetch the chaos layer produced was rejected, not mirrored);
+* the degraded state is visible in /healthz, /status and /metrics.
+
+Writes ``bench_registry.json`` next to this file for the CI artifact.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import banner
+
+from repro import obs
+from repro.core.estimator import evaluate_power
+from repro.designs.infopad import build_infopad
+from repro.designs.luminance import build_figure1_design, build_figure3_design
+from repro.library.catalog import Library
+from repro.library.cells import build_default_library
+from repro.registry.registry import ModelRegistry
+from repro.registry.resolve import RegistryResolver
+from repro.registry.store import MirrorStore
+from repro.registry.sync import RegistrySyncClient, sync_from
+from repro.web.app import Application
+from repro.web.faults import ChaosServer, FaultPlan
+from repro.web.resilience import CircuitBreaker, RetryPolicy
+from repro.web.server import PowerPlayServer
+
+SUBSCRIBERS = 8
+DESIGNS = {
+    "luminance_fig1": build_figure1_design,
+    "luminance_fig3": build_figure3_design,
+    "infopad": build_infopad,
+}
+ENTRIES = ("sram", "multiplier", "register", "ripple_adder")
+RESULTS_PATH = Path(__file__).with_name("bench_registry.json")
+
+
+def _publish_fleet_catalog(application):
+    """The same artifacts (same publisher => same digests) on a provider."""
+    registry = application.models_registry
+    library = build_default_library()
+    for name in ENTRIES:
+        registry.publish_entry(library.get(name), publisher="fleet")
+    for builder in DESIGNS.values():
+        registry.publish_design(builder(), publisher="fleet")
+
+
+def _sync_client(url):
+    return RegistrySyncClient(
+        url,
+        retry_policy=RetryPolicy(max_attempts=8, sleep=lambda s: None),
+        breaker=CircuitBreaker(failure_threshold=1000),
+    )
+
+
+def test_registry_survives_provider_blackout(tmp_path):
+    banner(
+        "R2 — 10-server federation: sync through chaos, evaluate through a "
+        "blackout",
+        "models put on the web stay usable when the web goes away",
+    )
+    obs.get_registry().reset()
+
+    # -- the all-healthy baseline: what every design must evaluate to ----
+    baseline = {
+        name: evaluate_power(builder()).power
+        for name, builder in DESIGNS.items()
+    }
+
+    # -- providers: one flapping all run, one partitioned mid-wave -------
+    flap_plan = FaultPlan(flap_up=3, flap_down=2)
+    flapping_app = Application(tmp_path / "flapping", server_name="flapping")
+    _publish_fleet_catalog(flapping_app)
+    flapping = ChaosServer(
+        tmp_path / "flapping", flap_plan, application=flapping_app
+    )
+
+    doomed_app = Application(tmp_path / "doomed", server_name="doomed")
+    _publish_fleet_catalog(doomed_app)
+    doomed = PowerPlayServer(tmp_path / "doomed", application=doomed_app)
+
+    mirrors = []
+    sync_failures = 0
+    with flapping:
+        doomed.start()
+        for index in range(SUBSCRIBERS):
+            if index == SUBSCRIBERS // 2:
+                doomed.stop()  # partition mid-wave: half the fleet loses it
+            registry = ModelRegistry(
+                MirrorStore(tmp_path / f"sub{index}" / "registry"),
+                publisher=f"sub{index}",
+            )
+            for peer in (doomed.base_url, flapping.base_url):
+                try:
+                    sync_from(registry, _sync_client(peer))
+                except Exception:
+                    sync_failures += 1  # partitioned peer: expected
+            mirrors.append(registry)
+        doomed.stop()
+    # ALL providers are now dark: 100% outage
+
+    assert flap_plan.flap_outages > 0, "the flap schedule never fired"
+    assert sync_failures > 0, "the partition never bit anyone"
+
+    # -- the gate: every server evaluates every design from its mirror --
+    evaluated = 0
+    exact = 0
+    for registry in mirrors:
+        for name in DESIGNS:
+            design = registry.get_design(name)  # digest-verified read
+            evaluated += 1
+            if evaluate_power(design).power == baseline[name]:
+                exact += 1
+        for entry_name in ENTRIES:
+            assert registry.get_entry(entry_name).name == entry_name
+    evaluability = evaluated / (SUBSCRIBERS * len(DESIGNS))
+    print(
+        f"subscribers={SUBSCRIBERS} designs={len(DESIGNS)} "
+        f"evaluated={evaluated} bit_identical={exact} "
+        f"flap_outages={flap_plan.flap_outages} "
+        f"partitioned_syncs={sync_failures}"
+    )
+    assert evaluability == 1.0, "a subscriber could not evaluate offline"
+    assert exact == evaluated, "a mirrored evaluation diverged"
+
+    # -- zero digest-unverified loads ------------------------------------
+    quarantines = 0
+    for registry in mirrors:
+        result = registry.verify_all()
+        assert result["corrupt"] == []
+        quarantines += len(registry.store.quarantined)
+    integrity = obs.get_registry().counter(
+        "powerplay_registry_integrity_total", "", ("event",)
+    )
+    verified_loads = integrity.value(event="verified")
+    unverified_loads = quarantines + integrity.value(event="quarantine")
+    print(
+        f"digest_verified_loads={verified_loads:.0f} "
+        f"unverified_loads={unverified_loads:.0f}"
+    )
+    assert verified_loads > 0
+    assert unverified_loads == 0
+
+    # -- degraded state is visible on every surface ----------------------
+    subscriber_app = Application(tmp_path / "sub0", server_name="sub0")
+    # no remotes configured: providers are dark, the mirror is all there is
+    subscriber_app.model_resolver = RegistryResolver(
+        Library("local"), registry=mirrors[0]
+    )
+    for entry_name in ENTRIES:
+        entry, report = subscriber_app.model_resolver.resolve(entry_name)
+        assert entry is not None and report.outcome == "mirror"
+
+    healthz = subscriber_app.handle("GET", "/healthz")
+    health = json.loads(healthz.body)
+    assert healthz.status == 200  # mirror-serving is NOT a drain signal
+    assert health["status"] == "degraded"
+
+    status_body = subscriber_app.handle("GET", "/status").body
+    assert "degraded" in status_body
+
+    metrics_body = subscriber_app.handle("GET", "/metrics").body
+    assert "powerplay_health_state 1" in metrics_body
+    assert (
+        'powerplay_registry_resolutions_total{outcome="mirror"}'
+        in metrics_body
+    )
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "registry_chaos_federation",
+                "servers": SUBSCRIBERS + 2,
+                "subscribers": SUBSCRIBERS,
+                "designs": sorted(DESIGNS),
+                "entries": list(ENTRIES),
+                "evaluability_at_full_outage": evaluability,
+                "bit_identical": exact == evaluated,
+                "digest_verified_loads": verified_loads,
+                "unverified_loads": unverified_loads,
+                "flap_outages": flap_plan.flap_outages,
+                "partitioned_syncs": sync_failures,
+                "health_at_outage": health["status"],
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    )
+    print(f"results -> {RESULTS_PATH.name}")

@@ -499,6 +499,117 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _open_registry(args: argparse.Namespace):
+    from .registry import MirrorStore, ModelRegistry
+
+    state = Path(args.state).expanduser()
+    store = MirrorStore(state / "registry")
+    return ModelRegistry(store, publisher=args.publisher)
+
+
+def cmd_registry_list(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    rows = registry.catalog()
+    if not rows:
+        print("(mirror is empty)")
+        return 0
+    print(f"{'REF':36} {'PUBLISHER':16} {'DIGEST':14} AGE")
+    corrupt = 0
+    for row in rows:
+        ref = f"{row['kind']}:{row['name']}@v{row['version']}"
+        if row.get("corrupt"):
+            corrupt += 1
+            print(f"{ref:36} {'-':16} {'CORRUPT':14} -")
+            continue
+        pin = " [pinned]" if row.get("pinned") else ""
+        print(
+            f"{ref:36} {row['publisher']:16} "
+            f"{row['digest'][:12]:14} {row['age_s']:.0f}s{pin}"
+        )
+    return 1 if corrupt else 0
+
+
+def cmd_registry_publish(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    if args.design:
+        artifact = registry.publish_design(_build_design(args.design))
+    else:
+        from .designs.macros import build_macro_library
+        from .library.cells import build_default_library
+        from .library.datasheet import build_system_library
+
+        entry = None
+        for library in (
+            build_default_library(),
+            build_system_library(),
+            build_macro_library(),
+        ):
+            if args.entry in library:
+                entry = library.get(args.entry)
+                break
+        if entry is None:
+            raise PowerPlayError(f"no shared library entry {args.entry!r}")
+        artifact = registry.publish_entry(entry)
+    print(f"published {artifact.ref} digest {artifact.digest}")
+    return 0
+
+
+def cmd_registry_sync(args: argparse.Namespace) -> int:
+    from .registry import RegistrySyncClient, sync_from
+
+    registry = _open_registry(args)
+    report = sync_from(registry, RegistrySyncClient(args.peer))
+    summary = report.summary()
+    print(
+        f"sync from {args.peer}: "
+        + " ".join(f"{key}={summary[key]}" for key in sorted(summary))
+    )
+    for ref, reason in sorted(report.integrity_rejected.items()):
+        print(f"  REJECTED {ref}: {reason}")
+    for ref, reason in sorted(report.conflicts.items()):
+        print(f"  CONFLICT {ref}: {reason}")
+    for ref, reason in sorted(report.failed.items()):
+        print(f"  FAILED {ref}: {reason}")
+    return 0 if report.complete else 1
+
+
+def cmd_registry_verify(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    result = registry.verify_all()
+    for ref in result["ok"]:
+        print(f"ok      {ref}")
+    for ref in result["corrupt"]:
+        print(f"CORRUPT {ref} (quarantined)")
+    print(
+        f"verified {len(result['ok'])} artifact(s), "
+        f"{len(result['corrupt'])} quarantined"
+    )
+    return 1 if result["corrupt"] else 0
+
+
+def cmd_registry_pin(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    registry.store.pin(args.kind, args.name, args.version)
+    print(f"pinned {args.kind}:{args.name}@v{args.version}")
+    return 0
+
+
+def cmd_registry_unpin(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    registry.store.unpin(args.kind, args.name)
+    print(f"unpinned {args.kind}:{args.name}")
+    return 0
+
+
+def cmd_registry_gc(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    evicted = registry.store.gc(args.max_artifacts)
+    for ref in evicted:
+        print(f"evicted {ref}")
+    print(f"gc: {len(evicted)} evicted, {len(registry.store)} kept")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import PowerPlayServer
 
@@ -675,6 +786,57 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--script-out", default=None,
                          help="also write the generated workload JSON here")
     loadgen.set_defaults(func=cmd_loadgen)
+
+    registry = sub.add_parser(
+        "registry",
+        help="inspect and operate the federated model registry mirror",
+    )
+    registry.add_argument("--state", default="~/.powerplay",
+                          help="server state directory (same as `serve`)")
+    registry.add_argument("--publisher", default="cli",
+                          help="publisher name stamped on new artifacts")
+    raction = registry.add_subparsers(dest="action", required=True)
+
+    rlist = raction.add_parser("list", help="list mirrored artifacts")
+    rlist.set_defaults(func=cmd_registry_list)
+
+    rpublish = raction.add_parser(
+        "publish", help="publish a shared entry or a built-in design"
+    )
+    group = rpublish.add_mutually_exclusive_group(required=True)
+    group.add_argument("--entry", help="shared library entry name")
+    group.add_argument("--design", choices=sorted(set(DESIGN_BUILDERS)),
+                       help="built-in design to publish whole")
+    rpublish.set_defaults(func=cmd_registry_publish)
+
+    rsync = raction.add_parser(
+        "sync", help="mirror everything a peer server publishes"
+    )
+    rsync.add_argument("peer", help="peer base URL, e.g. http://host:8080")
+    rsync.set_defaults(func=cmd_registry_sync)
+
+    rverify = raction.add_parser(
+        "verify", help="re-verify every mirrored artifact's digest"
+    )
+    rverify.set_defaults(func=cmd_registry_verify)
+
+    rpin = raction.add_parser("pin", help="protect one version from gc")
+    rpin.add_argument("kind", choices=("entry", "design"))
+    rpin.add_argument("name")
+    rpin.add_argument("version", type=int)
+    rpin.set_defaults(func=cmd_registry_pin)
+
+    runpin = raction.add_parser("unpin", help="remove a pin")
+    runpin.add_argument("kind", choices=("entry", "design"))
+    runpin.add_argument("name")
+    runpin.set_defaults(func=cmd_registry_unpin)
+
+    rgc = raction.add_parser(
+        "gc", help="evict oldest unpinned, non-latest versions over the bound"
+    )
+    rgc.add_argument("--max-artifacts", type=int, default=None,
+                     help="override the store's size bound for this pass")
+    rgc.set_defaults(func=cmd_registry_gc)
 
     serve = sub.add_parser("serve", help="run the PowerPlay web server")
     serve.add_argument("--host", default="127.0.0.1")

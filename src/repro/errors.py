@@ -129,6 +129,27 @@ class ExploreError(PowerPlayError):
     over the configured point cap) or an exploration-engine failure."""
 
 
+class RegistryError(PowerPlayError):
+    """Federated model-registry error (unknown artifact, malformed wire
+    payload, store misuse, an exhausted resolution chain)."""
+
+
+class IntegrityError(RegistryError):
+    """An artifact's content digest does not match its bytes.
+
+    Raised on every read or fetch whose payload fails blake2b
+    verification — a corrupt, truncated, or tampered artifact is
+    quarantined and never silently used.
+    """
+
+
+class ArtifactConflict(RegistryError):
+    """Two different artifacts claim the same (kind, name, version).
+
+    Versions are immutable once published: a conflicting digest is
+    rejected and reported, never silently replaced."""
+
+
 class JobError(ExploreError):
     """Sweep-job persistence error (unknown job, corrupt checkpoint,
     an operation invalid for the job's current state)."""

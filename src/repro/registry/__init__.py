@@ -1,0 +1,49 @@
+"""Federated model registry: versioned, integrity-verified artifacts.
+
+The paper's vision is model libraries living on *remote* servers and
+fetched on demand.  Fetch-on-demand alone is fetch-or-fail: a provider
+outage (or one corrupted payload) degrades every downstream evaluation.
+This package gives fetched models a lifecycle:
+
+* :mod:`repro.registry.artifacts` — content-addressed, versioned
+  artifacts: canonical JSON serialization + a blake2b digest verified
+  on every read and every fetch;
+* :mod:`repro.registry.store` — a crash-safe local mirror
+  (mkstemp + fsync + atomic rename, corrupt-file quarantine, pinned
+  versions, bounded size with GC);
+* :mod:`repro.registry.registry` — publish/ingest/materialize on top
+  of a mirror: the per-server registry;
+* :mod:`repro.registry.sync` — the publish/subscribe protocol between
+  PowerPlay servers, riding the resilience stack
+  (:mod:`repro.web.resilience`) and the trace headers
+  (:mod:`repro.obs.propagate`);
+* :mod:`repro.registry.resolve` — the graceful-degradation resolution
+  chain: live fetch -> stale cache -> mirrored artifact -> an explicit
+  :class:`~repro.registry.resolve.DegradedResolution` report, never a
+  silent error.
+"""
+
+from .artifacts import (
+    ARTIFACT_KINDS,
+    ModelArtifact,
+    artifact_digest,
+    canonical_json,
+)
+from .registry import ModelRegistry
+from .resolve import DegradedResolution, RegistryResolver
+from .store import MirrorStore
+from .sync import RegistrySyncClient, SyncReport, sync_from
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "DegradedResolution",
+    "MirrorStore",
+    "ModelArtifact",
+    "ModelRegistry",
+    "RegistryResolver",
+    "RegistrySyncClient",
+    "SyncReport",
+    "artifact_digest",
+    "canonical_json",
+    "sync_from",
+]

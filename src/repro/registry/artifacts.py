@@ -1,0 +1,273 @@
+"""Content-addressed, versioned registry artifacts.
+
+An artifact is the unit of publication in the federated registry: one
+library entry (a shareable model) or one design, wrapped with identity
+(``kind``, ``name``, ``version``, ``publisher``) and a blake2b content
+digest.  The digest is computed over the *canonical JSON* serialization
+of the identity plus payload, so
+
+* the same content always hashes to the same digest, regardless of
+  which Python, dict order, or whitespace produced the wire bytes;
+* tampering with any identity field or any payload byte is detected;
+* two servers can agree an artifact is identical without shipping it.
+
+Non-semantic metadata (``published_at``, transport origin) is carried
+on the wire but excluded from the digest — republishing the same model
+at a different time is the *same* artifact.
+
+Wire format ``powerplay-artifact/1``::
+
+    {"format": "powerplay-artifact/1",
+     "kind": "entry" | "design",
+     "name": "...", "version": 3, "publisher": "mass.server",
+     "published_at": 836930921.0,
+     "digest": "<blake2b hex over canonical identity+payload>",
+     "payload": {...}}
+
+Decoding *always* verifies: :func:`ModelArtifact.from_wire` raises
+:class:`~repro.errors.IntegrityError` on any mismatch — a truncated or
+corrupted artifact can never parse into a usable one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from ..errors import IntegrityError, RegistryError
+
+#: what an artifact can carry: one library entry, or one whole design
+ARTIFACT_KINDS = ("entry", "design")
+
+#: the wire format tag (bump on incompatible change, never reuse)
+WIRE_FORMAT = "powerplay-artifact/1"
+
+#: digest scheme tag carried next to the hex digest so future schemes
+#: can coexist; blake2b-160 keeps file names and catalogs compact while
+#: remaining collision-resistant far beyond this registry's scale
+DIGEST_SCHEME = "blake2b-160"
+_DIGEST_SIZE = 20  # bytes -> 40 hex chars
+
+#: artifact names become file names and URL query values — the same
+#: strictly boring shape usernames and job ids use (\Z kills trailing
+#: newlines that $ would let through)
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.-]{0,63}\Z")
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{40}\Z")
+
+
+def validate_artifact_name(name: str) -> str:
+    """Artifact names become file names — reject anything surprising."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise RegistryError(
+            f"invalid artifact name {name!r}: use 1-64 letters, digits, "
+            "'_', '.', '-', starting with a letter"
+        )
+    return name
+
+
+def validate_kind(kind: str) -> str:
+    if kind not in ARTIFACT_KINDS:
+        raise RegistryError(
+            f"unknown artifact kind {kind!r}; choose from {ARTIFACT_KINDS}"
+        )
+    return kind
+
+
+def validate_version(version: object) -> int:
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise RegistryError(f"artifact version must be an int, got {version!r}")
+    if version < 1:
+        raise RegistryError(f"artifact version must be >= 1, got {version}")
+    return version
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, tight separators, pure ASCII.
+
+    The digest is computed over this text, so every server — whatever
+    its Python version or dict insertion order — serializes identical
+    content to identical bytes.  Non-finite floats are rejected
+    (``allow_nan=False``): ``NaN`` is not JSON and would make digests
+    transport-dependent.
+    """
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"payload is not canonicalizable: {exc}") from exc
+
+
+def artifact_digest(
+    kind: str, name: str, version: int, publisher: str, payload: Mapping
+) -> str:
+    """The content address: blake2b over canonical identity + payload."""
+    body = canonical_json(
+        {
+            "kind": kind,
+            "name": name,
+            "version": version,
+            "publisher": publisher,
+            "payload": payload,
+        }
+    )
+    return hashlib.blake2b(
+        body.encode("ascii"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """One immutable published unit: identity, payload, content digest."""
+
+    kind: str
+    name: str
+    version: int
+    publisher: str
+    payload: Mapping
+    digest: str
+    published_at: float = 0.0
+
+    @property
+    def ref(self) -> str:
+        """Human-readable identity, e.g. ``entry:sram@v3``."""
+        return f"{self.kind}:{self.name}@v{self.version}"
+
+    @classmethod
+    def create(
+        cls,
+        kind: str,
+        name: str,
+        payload: Mapping,
+        version: int = 1,
+        publisher: str = "local",
+        clock: Callable[[], float] = time.time,
+    ) -> "ModelArtifact":
+        """Build a new artifact, computing its digest."""
+        validate_kind(kind)
+        validate_artifact_name(name)
+        validate_version(version)
+        digest = artifact_digest(kind, name, version, str(publisher), payload)
+        return cls(
+            kind=kind,
+            name=name,
+            version=version,
+            publisher=str(publisher),
+            payload=payload,
+            digest=digest,
+            published_at=float(clock()),
+        )
+
+    # -- integrity ---------------------------------------------------------
+
+    def expected_digest(self) -> str:
+        return artifact_digest(
+            self.kind, self.name, self.version, self.publisher, self.payload
+        )
+
+    def verify(self) -> "ModelArtifact":
+        """Recompute the digest; raise :class:`IntegrityError` on mismatch."""
+        expected = self.expected_digest()
+        if not isinstance(self.digest, str) or not _DIGEST_RE.match(self.digest):
+            raise IntegrityError(
+                f"artifact {self.ref}: malformed digest {self.digest!r}"
+            )
+        if expected != self.digest:
+            raise IntegrityError(
+                f"artifact {self.ref}: digest mismatch "
+                f"(claimed {self.digest[:12]}…, content is {expected[:12]}…)"
+            )
+        return self
+
+    # -- wire codec --------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "format": WIRE_FORMAT,
+            "digest_scheme": DIGEST_SCHEME,
+            "kind": self.kind,
+            "name": self.name,
+            "version": self.version,
+            "publisher": self.publisher,
+            "published_at": self.published_at,
+            "digest": self.digest,
+            "payload": self.payload,
+        }
+
+    def to_json(self) -> str:
+        """The artifact's file/body representation (canonical)."""
+        return canonical_json(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, wire: object, verify: bool = True) -> "ModelArtifact":
+        """Decode (and, by default, digest-verify) a wire payload.
+
+        Malformed structure raises :class:`~repro.errors.RegistryError`;
+        a well-formed artifact whose digest does not match its content
+        raises :class:`~repro.errors.IntegrityError`.  ``verify=False``
+        exists only for forensics on quarantined files.
+        """
+        if not isinstance(wire, Mapping):
+            raise RegistryError(
+                f"artifact wire payload must be an object, got "
+                f"{type(wire).__name__}"
+            )
+        if wire.get("format") != WIRE_FORMAT:
+            raise RegistryError(
+                f"unsupported artifact format {wire.get('format')!r}"
+            )
+        scheme = wire.get("digest_scheme", DIGEST_SCHEME)
+        if scheme != DIGEST_SCHEME:
+            raise RegistryError(
+                f"unsupported digest scheme {scheme!r} "
+                f"(this server speaks {DIGEST_SCHEME})"
+            )
+        payload = wire.get("payload")
+        if not isinstance(payload, Mapping):
+            raise RegistryError("artifact payload must be an object")
+        try:
+            published_at = float(wire.get("published_at", 0.0))
+        except (TypeError, ValueError):
+            published_at = 0.0
+        artifact = cls(
+            kind=validate_kind(wire.get("kind")),
+            name=validate_artifact_name(wire.get("name")),
+            version=validate_version(wire.get("version")),
+            publisher=str(wire.get("publisher", "")),
+            payload=payload,
+            digest=wire.get("digest", ""),
+            published_at=published_at,
+        )
+        if verify:
+            artifact.verify()
+        return artifact
+
+    @classmethod
+    def from_json(cls, text: str, verify: bool = True) -> "ModelArtifact":
+        try:
+            wire = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise IntegrityError(
+                f"artifact bytes are not JSON (truncated or corrupt): {exc}"
+            ) from exc
+        return cls.from_wire(wire, verify=verify)
+
+    def descriptor(self) -> dict:
+        """The catalog row: identity + digest, no payload."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "version": self.version,
+            "publisher": self.publisher,
+            "digest": self.digest,
+            "published_at": self.published_at,
+        }

@@ -1,0 +1,158 @@
+"""The per-server model registry: publish, ingest, materialize.
+
+A :class:`ModelRegistry` wraps a :class:`~repro.registry.store.MirrorStore`
+with the semantics the federation needs:
+
+* **publish** — wrap a library entry or a design into a new artifact at
+  the next version and mirror it (the paper's "put it on the web in
+  Massachusetts" step, with integrity and history attached);
+* **ingest** — accept an already-built artifact from a peer (the
+  subscribe side), verifying its digest and refusing version conflicts;
+* **materialize** — turn a mirrored artifact back into a live
+  :class:`~repro.library.catalog.LibraryEntry` or
+  :class:`~repro.core.design.Design`, digest-verified on the way out.
+
+Every payload that crosses this boundary is *data* — expressions and
+coefficients decoded by the library codecs, never code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.design import Design
+from ..errors import RegistryError
+from ..library.catalog import Library, LibraryEntry
+from ..library.designio import design_from_payload, design_to_payload
+from ..obs import get_logger, span
+from .artifacts import ModelArtifact
+from .store import MirrorStore, _metric_ops
+
+_LOG = get_logger("registry")
+
+
+class ModelRegistry:
+    """Versioned publication on top of a local mirror store."""
+
+    def __init__(
+        self,
+        store: MirrorStore,
+        publisher: str = "local",
+        clock: Callable[[], float] = time.time,
+    ):
+        self.store = store
+        self.publisher = publisher
+        self.clock = clock
+
+    # -- publish -----------------------------------------------------------
+
+    def _next_version(self, kind: str, name: str) -> int:
+        try:
+            return self.store.get(kind, name).version + 1
+        except RegistryError:
+            return 1
+
+    def publish_entry(
+        self, entry: LibraryEntry, publisher: Optional[str] = None
+    ) -> ModelArtifact:
+        """Publish one library entry as the next artifact version.
+
+        Proprietary entries never leave the server — the paper's
+        "available for re-use unless specified as proprietary".
+        """
+        if entry.proprietary:
+            raise RegistryError(
+                f"entry {entry.name!r} is proprietary and cannot be published"
+            )
+        return self._publish("entry", entry.name, entry.to_payload(), publisher)
+
+    def publish_design(
+        self, design: Design, publisher: Optional[str] = None
+    ) -> ModelArtifact:
+        """Publish a whole design (hierarchy, models, parameters)."""
+        return self._publish(
+            "design", design.name, design_to_payload(design), publisher
+        )
+
+    def _publish(
+        self, kind: str, name: str, payload: Dict, publisher: Optional[str]
+    ) -> ModelArtifact:
+        with span("registry_publish", kind=kind, name=name):
+            who = publisher if publisher is not None else self.publisher
+            version = self._next_version(kind, name)
+            artifact = ModelArtifact.create(
+                kind, name, payload,
+                version=version, publisher=who, clock=self.clock,
+            )
+            self.store.put(artifact)
+            _metric_ops().inc(op="publish")
+            _LOG.info(
+                "publish", ref=artifact.ref, digest=artifact.digest[:12],
+                publisher=who,
+            )
+            return artifact
+
+    # -- ingest (the subscribe side) ---------------------------------------
+
+    def ingest(self, artifact: ModelArtifact) -> bool:
+        """Mirror a peer's artifact; True if it was new.
+
+        Digest verification and version-conflict refusal happen in
+        :meth:`MirrorStore.put`; this is the single funnel every synced
+        or pushed artifact passes through.
+        """
+        key = (artifact.kind, artifact.name, artifact.version)
+        known = key in self.store
+        self.store.put(artifact)
+        if not known:
+            _metric_ops().inc(op="ingest")
+            _LOG.info(
+                "ingest", ref=artifact.ref, publisher=artifact.publisher
+            )
+        return not known
+
+    # -- materialize -------------------------------------------------------
+
+    def get_artifact(
+        self, kind: str, name: str, version: Optional[int] = None
+    ) -> ModelArtifact:
+        return self.store.get(kind, name, version)
+
+    def get_entry(
+        self, name: str, version: Optional[int] = None
+    ) -> LibraryEntry:
+        """A live library entry from the mirror (digest-verified read)."""
+        artifact = self.store.get("entry", name, version)
+        entry = LibraryEntry.from_payload(
+            artifact.payload, origin=f"registry:{artifact.publisher}"
+        )
+        _metric_ops().inc(op="materialize_entry")
+        return entry
+
+    def get_design(self, name: str, version: Optional[int] = None) -> Design:
+        """A live design from the mirror (digest-verified read)."""
+        artifact = self.store.get("design", name, version)
+        design = design_from_payload(artifact.payload)
+        _metric_ops().inc(op="materialize_design")
+        return design
+
+    def as_library(self, name: str = "mirrored") -> Library:
+        """Every mirrored entry (latest versions) as one Library."""
+        library = Library(name, "latest mirrored registry entries")
+        latest: Dict[str, int] = {}
+        for row in self.catalog():
+            if row.get("corrupt") or row["kind"] != "entry":
+                continue
+            latest[row["name"]] = max(latest.get(row["name"], 0), row["version"])
+        for entry_name, version in sorted(latest.items()):
+            library.add(self.get_entry(entry_name, version), replace=True)
+        return library
+
+    # -- views -------------------------------------------------------------
+
+    def catalog(self) -> List[dict]:
+        return self.store.catalog()
+
+    def verify_all(self) -> Dict[str, List[str]]:
+        return self.store.verify_all()

@@ -1,0 +1,422 @@
+"""The crash-safe local artifact mirror.
+
+One JSON file per artifact version under a server-local directory,
+written with the same mkstemp + fsync + atomic-rename discipline as the
+session and job stores: a ``kill -9`` at any instant leaves either the
+previous complete file or the new complete file, never a torn one.
+
+Every read re-verifies the blake2b digest.  A file that fails — disk
+damage, manual edits, a tampering peer — is **quarantined**: moved
+aside to ``*.corrupt[-N]``, counted in metrics, recorded on
+:attr:`MirrorStore.quarantined`, and reported to the caller as
+:class:`~repro.errors.IntegrityError`.  A corrupt artifact is therefore
+*never* silently used, and the damaged bytes are preserved for
+inspection.
+
+The mirror is bounded: :meth:`MirrorStore.gc` evicts the oldest
+unpinned, non-latest versions once the store exceeds ``max_artifacts``.
+Pinned versions (``pins.json``, atomically maintained) and the latest
+version of every name are never evicted — "every server can still
+evaluate every design mid-outage" requires the working set to survive
+any GC.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ArtifactConflict, IntegrityError, RegistryError
+from ..obs import get_logger, get_registry
+from .artifacts import (
+    ModelArtifact,
+    validate_artifact_name,
+    validate_kind,
+    validate_version,
+)
+
+_LOG = get_logger("registry.store")
+
+#: default size bound: generous for a fleet of model libraries, small
+#: enough that a runaway publisher cannot fill the disk
+DEFAULT_MAX_ARTIFACTS = 4096
+
+
+def _metric_ops():
+    return get_registry().counter(
+        "powerplay_registry_ops_total",
+        "Registry mirror-store operations, by op.",
+        ("op",),
+    )
+
+
+def _metric_integrity():
+    return get_registry().counter(
+        "powerplay_registry_integrity_total",
+        "Artifact digest verifications, by outcome.",
+        ("event",),
+    )
+
+
+def _metric_artifacts():
+    return get_registry().gauge(
+        "powerplay_registry_artifacts",
+        "Artifacts currently held in the local mirror store.",
+    )
+
+
+#: (kind, name, version) — the store's primary key
+StoreKey = Tuple[str, str, int]
+
+
+class MirrorStore:
+    """File-backed, digest-verified artifact mirror.
+
+    Thread-safe: the web server syncs and serves from multiple threads.
+    ``clock`` is injectable so freshness in tests is deterministic.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        max_artifacts: int = DEFAULT_MAX_ARTIFACTS,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_artifacts < 1:
+            raise RegistryError("max_artifacts must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_artifacts = max_artifacts
+        self.clock = clock
+        self._lock = threading.RLock()
+        #: ``[(ref, quarantine path, reason), ...]`` since construction
+        self.quarantined: List[Tuple[str, Path, str]] = []
+        self._pins: Dict[str, int] = self._load_pins()
+        _metric_artifacts().set(len(self._list_files()))
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, kind: str, name: str, version: int) -> Path:
+        return self.root / f"{kind}--{name}--v{version}.json"
+
+    @staticmethod
+    def _parse_filename(path: Path) -> Optional[StoreKey]:
+        parts = path.stem.split("--")
+        if len(parts) != 3 or not parts[2].startswith("v"):
+            return None
+        try:
+            return parts[0], parts[1], int(parts[2][1:])
+        except ValueError:
+            return None
+
+    def _list_files(self) -> Dict[StoreKey, Path]:
+        files: Dict[StoreKey, Path] = {}
+        for path in self.root.glob("*.json"):
+            if path.name == "pins.json":
+                continue
+            key = self._parse_filename(path)
+            if key is not None:
+                files[key] = path
+        return files
+
+    # -- pins --------------------------------------------------------------
+
+    def _pin_key(self, kind: str, name: str) -> str:
+        return f"{kind}:{name}"
+
+    def _load_pins(self) -> Dict[str, int]:
+        path = self.root / "pins.json"
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text())
+            return {str(k): int(v) for k, v in payload.get("pins", {}).items()}
+        except (json.JSONDecodeError, ValueError, TypeError, AttributeError):
+            # a torn pins file must not take the mirror down; pins are
+            # advisory and re-creatable, the artifacts themselves are not
+            _LOG.warning("pins_unreadable", path=str(path))
+            return {}
+
+    def _save_pins(self) -> None:
+        self._atomic_write(
+            self.root / "pins.json",
+            json.dumps({"format": "powerplay-pins/1", "pins": self._pins},
+                       indent=1, sort_keys=True),
+        )
+
+    def pin(self, kind: str, name: str, version: int) -> None:
+        """Protect one version from GC (and record operator intent)."""
+        validate_kind(kind)
+        validate_artifact_name(name)
+        validate_version(version)
+        with self._lock:
+            if (kind, name, version) not in self._list_files():
+                raise RegistryError(
+                    f"cannot pin {kind}:{name}@v{version}: not in the mirror"
+                )
+            self._pins[self._pin_key(kind, name)] = version
+            self._save_pins()
+            _metric_ops().inc(op="pin")
+            _LOG.info("pin", kind=kind, name=name, version=version)
+
+    def unpin(self, kind: str, name: str) -> None:
+        with self._lock:
+            if self._pins.pop(self._pin_key(kind, name), None) is None:
+                raise RegistryError(f"{kind}:{name} is not pinned")
+            self._save_pins()
+            _metric_ops().inc(op="unpin")
+
+    def pinned(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._pins)
+
+    # -- write path --------------------------------------------------------
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{path.stem}-", suffix=".saving"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        # make the rename itself durable (directory entry update)
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def put(self, artifact: ModelArtifact) -> ModelArtifact:
+        """Store one artifact (digest-verified before any byte lands).
+
+        Idempotent for identical content.  A *different* artifact under
+        an existing (kind, name, version) raises
+        :class:`~repro.errors.ArtifactConflict`: versions are immutable.
+        """
+        artifact.verify()
+        _metric_integrity().inc(event="verified")
+        path = self._path(artifact.kind, artifact.name, artifact.version)
+        with self._lock:
+            if path.exists():
+                try:
+                    existing = self._read_verified(path)
+                except IntegrityError:
+                    # the resident copy is damaged; the incoming verified
+                    # one replaces it (the damaged bytes were quarantined
+                    # by _read_verified)
+                    existing = None
+                if existing is not None:
+                    if existing.digest == artifact.digest:
+                        _metric_ops().inc(op="put_duplicate")
+                        return existing
+                    raise ArtifactConflict(
+                        f"{artifact.ref} already mirrored with digest "
+                        f"{existing.digest[:12]}…; refusing to replace it "
+                        f"with {artifact.digest[:12]}…"
+                    )
+            self._atomic_write(path, artifact.to_json())
+            _metric_ops().inc(op="put")
+            _metric_artifacts().set(len(self._list_files()))
+            _LOG.info(
+                "put", ref=artifact.ref, digest=artifact.digest[:12],
+                publisher=artifact.publisher,
+            )
+        return artifact
+
+    # -- read path ---------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        target = path.with_suffix(".json.corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_suffix(f".json.corrupt-{counter}")
+        path.replace(target)
+        self.quarantined.append((path.stem, target, reason))
+        _metric_integrity().inc(event="quarantine")
+        _metric_artifacts().set(len(self._list_files()))
+        _LOG.warning(
+            "quarantine", artifact=path.stem, moved_to=str(target),
+            reason=reason,
+        )
+        return target
+
+    def _read_verified(self, path: Path) -> ModelArtifact:
+        """Read + digest-verify one file, quarantining on any failure."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RegistryError(f"cannot read {path.name}: {exc}") from exc
+        try:
+            artifact = ModelArtifact.from_json(text)
+        except (IntegrityError, RegistryError) as exc:
+            self._quarantine(path, str(exc))
+            raise IntegrityError(
+                f"mirrored artifact {path.stem} failed verification and "
+                f"was quarantined: {exc}"
+            ) from exc
+        _metric_integrity().inc(event="verified")
+        return artifact
+
+    def get(
+        self, kind: str, name: str, version: Optional[int] = None
+    ) -> ModelArtifact:
+        """Fetch (and verify) one artifact; latest version by default."""
+        validate_kind(kind)
+        validate_artifact_name(name)
+        with self._lock:
+            files = self._list_files()
+            if version is None:
+                versions = sorted(
+                    v for (k, n, v) in files if k == kind and n == name
+                )
+                if not versions:
+                    raise RegistryError(
+                        f"mirror has no artifact {kind}:{name!r}"
+                    )
+                version = versions[-1]
+            else:
+                validate_version(version)
+            path = files.get((kind, name, version))
+            if path is None:
+                raise RegistryError(
+                    f"mirror has no artifact {kind}:{name}@v{version}"
+                )
+            artifact = self._read_verified(path)
+            _metric_ops().inc(op="get")
+            return artifact
+
+    def __contains__(self, key: object) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 3):
+            return False
+        with self._lock:
+            return key in self._list_files()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._list_files())
+
+    def catalog(self) -> List[dict]:
+        """Descriptor + freshness for every mirrored artifact.
+
+        Unreadable entries are quarantined as a side effect (a catalog
+        listing is an audit) and reported with ``"corrupt": True`` so
+        pages can show the hole instead of hiding it.
+        """
+        rows: List[dict] = []
+        with self._lock:
+            now = self.clock()
+            for key, path in sorted(self._list_files().items()):
+                kind, name, version = key
+                try:
+                    stored_at = path.stat().st_mtime
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+                try:
+                    artifact = self._read_verified(path)
+                except IntegrityError as exc:
+                    rows.append(
+                        {
+                            "kind": kind, "name": name, "version": version,
+                            "corrupt": True, "error": str(exc),
+                        }
+                    )
+                    continue
+                row = artifact.descriptor()
+                row["age_s"] = max(0.0, now - stored_at)
+                row["pinned"] = (
+                    self._pins.get(self._pin_key(kind, name)) == version
+                )
+                rows.append(row)
+        return rows
+
+    def verify_all(self) -> Dict[str, List[str]]:
+        """Re-verify every mirrored artifact; quarantine what fails."""
+        ok: List[str] = []
+        corrupt: List[str] = []
+        with self._lock:
+            for key, path in sorted(self._list_files().items()):
+                try:
+                    artifact = self._read_verified(path)
+                    ok.append(artifact.ref)
+                except IntegrityError:
+                    corrupt.append(f"{key[0]}:{key[1]}@v{key[2]}")
+            _metric_ops().inc(op="verify")
+        return {"ok": ok, "corrupt": corrupt}
+
+    # -- bounded size ------------------------------------------------------
+
+    def gc(self, max_artifacts: Optional[int] = None) -> List[str]:
+        """Evict oldest unpinned, non-latest versions over the bound.
+
+        Returns the evicted refs.  The latest version of every name and
+        every pinned version always survive — the GC bounds history,
+        never the working set (so the bound is best-effort when the
+        working set itself exceeds it).
+        """
+        bound = self.max_artifacts if max_artifacts is None else max_artifacts
+        if bound < 1:
+            raise RegistryError("max_artifacts must be >= 1")
+        evicted: List[str] = []
+        with self._lock:
+            files = self._list_files()
+            if len(files) <= bound:
+                return evicted
+            latest: Dict[Tuple[str, str], int] = {}
+            for kind, name, version in files:
+                key = (kind, name)
+                latest[key] = max(latest.get(key, 0), version)
+            candidates = []
+            for (kind, name, version), path in files.items():
+                if latest[(kind, name)] == version:
+                    continue
+                if self._pins.get(self._pin_key(kind, name)) == version:
+                    continue
+                try:
+                    mtime = path.stat().st_mtime
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+                candidates.append((mtime, kind, name, version, path))
+            candidates.sort()
+            excess = len(files) - bound
+            for _mtime, kind, name, version, path in candidates[:excess]:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+                evicted.append(f"{kind}:{name}@v{version}")
+                _metric_ops().inc(op="gc_evict")
+                _LOG.info("gc_evict", ref=evicted[-1])
+            _metric_artifacts().set(len(self._list_files()))
+        return evicted
+
+    # -- health ------------------------------------------------------------
+
+    def writable(self) -> bool:
+        """Probe whether the mirror can still persist artifacts."""
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".probe-", suffix=".tmp"
+            )
+            os.close(fd)
+            os.unlink(tmp_name)
+            return True
+        except OSError:
+            return False

@@ -43,7 +43,17 @@ from ..core.units import format_eng, format_quantity, parse_float
 from ..designs.infopad import build_infopad
 from ..designs.luminance import build_figure1_design, build_figure3_design
 from ..designs.macros import build_macro_library
-from ..errors import ExploreError, PowerPlayError, SessionError, WebError
+from ..errors import (
+    ArtifactConflict,
+    CircuitOpenError,
+    ExploreError,
+    IntegrityError,
+    PowerPlayError,
+    RegistryError,
+    RemoteError,
+    SessionError,
+    WebError,
+)
 from ..explore import (
     DerivedObjective,
     JobStore,
@@ -69,7 +79,26 @@ from ..obs import profile as obs_profile
 from ..obs import propagate
 from ..obs import render_trace
 from ..obs.trace import Span, traced
+# direct submodule imports: repro.registry's package __init__ pulls in
+# .resolve, which imports this package back (repro.web.remote) — going
+# through submodules keeps both import orders acyclic
+from ..registry.artifacts import (
+    ModelArtifact,
+    validate_artifact_name,
+    validate_kind,
+)
+from ..registry.registry import ModelRegistry
+from ..registry.store import MirrorStore, _metric_integrity, _metric_ops
+from ..registry.sync import (
+    MAX_ARTIFACT_BYTES,
+    RegistrySyncClient,
+    _metric_sync,
+    sync_from,
+)
 from . import pages
+
+if False:  # pragma: no cover - typing only (avoids the import cycle)
+    from ..registry.resolve import RegistryResolver
 from .resilience import (
     CIRCUIT_STATE_CODES,
     _metric_cache,
@@ -122,8 +151,15 @@ KNOWN_ROUTES = frozenset(
         "/export/library", "/api/library.json", "/api/model",
         "/api/design", "/agent/estimate", "/api/ping", "/doc/models",
         "/tutorial", "/help", "/metrics", "/status", "/trace", "/profile",
+        "/registry", "/healthz", "/api/registry/catalog.json",
+        "/api/registry/artifact", "/api/registry/publish",
+        "/api/registry/sync",
     }
 )
+
+#: /healthz states, worst last; the numeric code is the
+#: ``powerplay_health_state`` gauge value
+HEALTH_STATES = ("ok", "degraded", "failing")
 
 
 def route_label(route: str) -> str:
@@ -175,6 +211,17 @@ class Application:
         self.jobs = JobStore(Path(state_dir) / "jobs")
         self._job_threads: Dict[str, threading.Thread] = {}
         self._job_threads_lock = threading.Lock()
+        #: the federated model registry: a digest-verified local mirror
+        #: plus publish/ingest.  (`self.registry` below is the *metrics*
+        #: registry — a historical name this attribute must not shadow.)
+        self.models_registry = ModelRegistry(
+            MirrorStore(Path(state_dir) / "registry"),
+            publisher=server_name,
+        )
+        #: optional resolution-chain bookkeeping: federation wiring
+        #: (tests, benchmarks, `federate`) installs a RegistryResolver
+        #: here so /healthz and /status can report recent outcomes
+        self.model_resolver: Optional[RegistryResolver] = None
         self.libraries: List[Library] = [
             build_default_library(),
             build_system_library(),
@@ -214,6 +261,20 @@ class Application:
         _metric_circuit_transitions()
         _metric_cache()
         _metric_sessions()
+        _metric_ops()
+        _metric_integrity()
+        _metric_sync()
+        self.registry.counter(  # mirrors registry.resolve._metric_resolutions
+            "powerplay_registry_resolutions_total",
+            "Model resolutions through the registry chain, by outcome "
+            "(local, live, stale, mirror, failed).",
+            ("outcome",),
+        )
+        self._health_gauge = self.registry.gauge(
+            "powerplay_health_state",
+            "Server health: 0=ok, 1=degraded, 2=failing (the /healthz "
+            "verdict, continuously exported).",
+        )
         self.registry.counter(
             "powerplay_faults_injected_total",
             "Faults injected by FaultPlan, by kind.",
@@ -428,6 +489,18 @@ class Application:
             return self._metrics_exposition()
         if route == "/status":
             return self._status_page()
+        if route == "/healthz":
+            return self._healthz()
+        if route == "/registry":
+            return self._registry_page()
+        if route == "/api/registry/catalog.json":
+            return self._api_registry_catalog()
+        if route == "/api/registry/artifact":
+            return self._api_registry_artifact(data)
+        if route == "/api/registry/publish" and method == "POST":
+            return self._api_registry_publish(data)
+        if route == "/api/registry/sync" and method == "POST":
+            return self._api_registry_sync(data)
         if route == "/trace":
             return self._trace_endpoint(data)
         if route == "/profile":
@@ -1091,10 +1164,31 @@ class Application:
                 samples("powerplay_circuit_transitions_total").values()))),
             ("faults injected", int(sum(
                 samples("powerplay_faults_injected_total").values()))),
+            ("stale models served", int(sum(
+                samples("powerplay_stale_served_total").values()))),
             ("session saves", int(
                 samples("powerplay_session_ops_total").get(("save",), 0))),
             ("sessions quarantined", int(
                 samples("powerplay_session_ops_total").get(("quarantine",), 0))),
+        ]
+        health = self.health()
+        store = self.models_registry.store
+        registry_rows = [
+            ("artifacts mirrored", len(store)),
+            ("artifacts quarantined", len(store.quarantined)),
+            ("versions pinned", len(store.pinned())),
+        ]
+        registry_rows += [
+            (f"sync {key[0]}", int(value))
+            for key, value in sorted(
+                samples("powerplay_registry_sync_total").items()
+            )
+        ]
+        resolution_rows = [
+            (key[0], int(value))
+            for key, value in sorted(
+                samples("powerplay_registry_resolutions_total").items()
+            )
         ]
         trace_rows = [
             (
@@ -1126,6 +1220,9 @@ class Application:
                 event_rows,
                 trace_rows,
                 job_rows=job_rows,
+                registry_rows=registry_rows,
+                resolution_rows=resolution_rows,
+                health=health["status"],
             )
         )
 
@@ -1188,6 +1285,198 @@ class Application:
                 obs_profile.render_flamegraph(profile),
             )
         )
+
+    # -- federated registry --------------------------------------------------
+
+    @staticmethod
+    def _json_error(status: int, message: str) -> Response:
+        return Response(
+            status=status,
+            body=json.dumps({"error": message}, indent=1),
+            content_type="application/json",
+        )
+
+    def health(self) -> dict:
+        """The /healthz verdict: ok, degraded, or failing.
+
+        *failing*: the mirror cannot persist artifacts, or every recent
+        resolution through the chain failed outright.  *degraded*: the
+        server is still answering, but from stale caches or mirrors, or
+        it has quarantined corrupt state.  The verdict is exported as
+        the ``powerplay_health_state`` gauge on every evaluation, so
+        ``/metrics`` and ``/healthz`` can never disagree.
+        """
+        store = self.models_registry.store
+        mirror_writable = store.writable()
+        quarantined = len(store.quarantined) + len(self.users.quarantined)
+        degraded_recent = failed_recent = resolved_recent = 0
+        if self.model_resolver is not None:
+            counts = self.model_resolver.health_counts()
+            degraded_recent = counts.get("stale", 0) + counts.get("mirror", 0)
+            failed_recent = counts.get("failed", 0)
+            resolved_recent = sum(counts.values())
+        if not mirror_writable or (
+            resolved_recent and failed_recent == resolved_recent
+        ):
+            state = "failing"
+        elif degraded_recent or failed_recent or quarantined:
+            state = "degraded"
+        else:
+            state = "ok"
+        code = HEALTH_STATES.index(state)
+        self._health_gauge.set(code)
+        return {
+            "status": state,
+            "code": code,
+            "server": self.server_name,
+            "checks": {
+                "mirror_writable": mirror_writable,
+                "quarantined": quarantined,
+                "resolutions_recent": resolved_recent,
+                "resolutions_degraded": degraded_recent,
+                "resolutions_failed": failed_recent,
+                "artifacts_mirrored": len(store),
+            },
+        }
+
+    def _healthz(self) -> Response:
+        """``GET /healthz`` — 200 for ok/degraded, 503 for failing.
+
+        Degraded is deliberately 200: a server answering from mirrors
+        is the design working, and load balancers must not drain it.
+        """
+        payload = self.health()
+        status = 503 if payload["status"] == "failing" else 200
+        return Response(
+            status=status,
+            body=json.dumps(payload, indent=1, sort_keys=True),
+            content_type="application/json",
+        )
+
+    def flush(self) -> Dict[str, int]:
+        """Persist everything volatile (the graceful-drain hook).
+
+        Artifact and pin writes are already atomic at each operation;
+        what can lag are loaded user sessions.  Returns counts so the
+        drain path can log what it flushed.
+        """
+        return {"sessions": self.users.flush()}
+
+    def _registry_page(self) -> Response:
+        catalog = self.models_registry.catalog()
+        recent = (
+            [report.to_payload() for report in self.model_resolver.recent()]
+            if self.model_resolver is not None
+            else []
+        )
+        return Response(
+            body=pages.registry_page(
+                self.server_name,
+                self.health(),
+                catalog,
+                self.models_registry.store.quarantined,
+                self.models_registry.store.pinned(),
+                recent,
+            )
+        )
+
+    def _api_registry_catalog(self) -> Response:
+        """``GET /api/registry/catalog.json`` — the subscribe entry point."""
+        rows = [
+            row for row in self.models_registry.catalog()
+            if not row.get("corrupt")
+        ]
+        return Response.json(
+            {
+                "format": "powerplay-registry-catalog/1",
+                "server": self.server_name,
+                "artifacts": rows,
+            }
+        )
+
+    def _api_registry_artifact(self, data: Mapping[str, str]) -> Response:
+        """``GET /api/registry/artifact?kind=&name=[&version=]``."""
+        kind = data.get("kind", "entry")
+        name = data.get("name", "")
+        try:
+            validate_kind(kind)
+            validate_artifact_name(name)
+        except RegistryError as exc:
+            return self._json_error(400, str(exc))
+        version: Optional[int] = None
+        version_text = (data.get("version") or "").strip()
+        if version_text:
+            try:
+                version = int(version_text)
+            except ValueError:
+                return self._json_error(
+                    400, f"version must be an integer, got {version_text!r}"
+                )
+        try:
+            artifact = self.models_registry.get_artifact(kind, name, version)
+        except IntegrityError as exc:
+            # quarantined on this read — gone until a re-sync restores it
+            return self._json_error(404, f"artifact quarantined: {exc}")
+        except RegistryError as exc:
+            return self._json_error(404, str(exc))
+        return Response.json_text(artifact.to_json())
+
+    def _api_registry_publish(self, data: Mapping[str, str]) -> Response:
+        """``POST /api/registry/publish`` — a peer pushes one artifact.
+
+        The body is digest-verified before anything lands; a truncated
+        or tampered push is rejected and counted, never mirrored.
+        """
+        text = data.get("artifact", "")
+        if not text:
+            return self._json_error(400, "missing 'artifact' form field")
+        if len(text) > MAX_ARTIFACT_BYTES:
+            return self._json_error(
+                413,
+                f"artifact is {len(text)} bytes "
+                f"(limit {MAX_ARTIFACT_BYTES})",
+            )
+        try:
+            artifact = ModelArtifact.from_json(text)
+        except IntegrityError as exc:
+            _metric_integrity().inc(event="rejected_push")
+            return self._json_error(400, f"integrity check failed: {exc}")
+        except RegistryError as exc:
+            return self._json_error(400, str(exc))
+        try:
+            ingested = self.models_registry.ingest(artifact)
+        except ArtifactConflict as exc:
+            return self._json_error(409, str(exc))
+        return Response.json(
+            {
+                "server": self.server_name,
+                "ref": artifact.ref,
+                "digest": artifact.digest,
+                "ingested": ingested,
+            }
+        )
+
+    def _api_registry_sync(self, data: Mapping[str, str]) -> Response:
+        """``POST /api/registry/sync`` — subscribe to a peer, once.
+
+        Mirrors everything the peer has that this server lacks and
+        returns the per-artifact :class:`SyncReport`; a flapping peer
+        yields a partial report, not an error.
+        """
+        peer = (data.get("peer") or "").strip()
+        if not peer.startswith(("http://", "https://")):
+            return self._json_error(400, "peer must be an http(s) URL")
+        client = RegistrySyncClient(peer)
+        try:
+            report = sync_from(self.models_registry, client)
+        except (RemoteError, CircuitOpenError, OSError) as exc:
+            # the catalog itself was unreachable: nothing to iterate
+            return self._json_error(
+                502, f"cannot fetch catalog from {peer}: {exc}"
+            )
+        payload = report.to_payload()
+        payload["server"] = self.server_name
+        return Response.json(payload)
 
     # -- export / remote API -----------------------------------------------
 

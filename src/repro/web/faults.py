@@ -29,6 +29,11 @@ Fault kinds
 ``malformed_json``  HTTP 200 whose body is not parseable JSON
 ``truncate``        correct headers, but the body stops halfway
 ``disconnect``      socket closed mid-response (after the status line)
+``reset_mid_body``  connection reset mid-body with *no* Content-Length:
+                    the partial body reads as a complete response, so
+                    only content verification (a digest) can catch it
+``flap``            host down per a deterministic up/down schedule
+                    (``flap_up``/``flap_down`` request counts)
 ==================  ====================================================
 """
 
@@ -65,6 +70,8 @@ FAULT_KINDS = (
     "malformed_json",
     "truncate",
     "disconnect",
+    "reset_mid_body",
+    "flap",
 )
 
 #: faults that damage the payload but still deliver *an* HTTP response
@@ -89,6 +96,13 @@ class FaultPlan:
     network was bad for a while, then recovered".  ``exempt_paths``
     lets tests keep control endpoints clean.  The plan is thread-safe:
     the live chaos server serves from a thread pool.
+
+    **Flapping host mode**: ``flap_up``/``flap_down`` overlay a
+    deterministic availability schedule — the host answers ``flap_up``
+    requests, then is down (kind ``flap``, a transport refusal) for
+    ``flap_down`` requests, repeating.  The schedule is a property of
+    the host, not a fault budget: it is exempt from ``max_faults`` and
+    counted separately in :attr:`flap_outages`.
     """
 
     rate: float = 0.0
@@ -98,9 +112,12 @@ class FaultPlan:
     max_faults: Optional[int] = None
     script: Sequence[Optional[str]] = ()
     exempt_paths: Sequence[str] = ()
+    flap_up: int = 0
+    flap_down: int = 0
 
     requests_seen: int = 0
     faults_injected: int = 0
+    flap_outages: int = 0
     injected_log: List[Tuple[int, str, str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -110,6 +127,13 @@ class FaultPlan:
         for kind in self.script:
             if kind is not None and kind not in FAULT_KINDS:
                 raise ValueError(f"unknown scripted fault kind {kind!r}")
+        if self.flap_up < 0 or self.flap_down < 0:
+            raise ValueError("flap_up/flap_down must be >= 0")
+        if self.flap_down > 0 and self.flap_up == 0:
+            raise ValueError(
+                "flap_up must be > 0 when flap_down is set "
+                "(a host that is never up is `rate=1.0 refuse`, not flap)"
+            )
         self._rng = random.Random(self.seed)
         self._lock = threading.Lock()
 
@@ -121,6 +145,16 @@ class FaultPlan:
             bare = path.split("?", 1)[0]
             if bare and bare in self.exempt_paths:
                 return None
+            if self.flap_down > 0:
+                # the availability schedule is checked before the fault
+                # budget: a flapping host's downtime is deterministic,
+                # not part of the random-fault allowance
+                if index % (self.flap_up + self.flap_down) >= self.flap_up:
+                    self.flap_outages += 1
+                    self.injected_log.append((index, "flap", bare))
+                    _metric_faults().inc(kind="flap")
+                    _LOG.info("inject", kind="flap", path=bare, request=index)
+                    return "flap"
             if self.max_faults is not None and self.faults_injected >= self.max_faults:
                 return None
             kind: Optional[str] = None
@@ -141,6 +175,7 @@ class FaultPlan:
             self._rng = random.Random(self.seed)
             self.requests_seen = 0
             self.faults_injected = 0
+            self.flap_outages = 0
             self.injected_log.clear()
 
 
@@ -203,11 +238,23 @@ class FaultyApplication:
         kind = self.plan.next_fault(path)
         if kind is None:
             return self.inner.handle(method, path, form, headers=headers)
-        if kind in ("refuse", "disconnect"):
+        if kind in ("refuse", "disconnect", "flap"):
             raise FaultInjected(f"injected {kind} on {method} {path}")
         if kind == "latency":
             self.sleep(self.plan.latency)
             return self.inner.handle(method, path, form, headers=headers)
+        if kind == "reset_mid_body":
+            # the in-process shape of a mid-body connection reset with
+            # no Content-Length: a partial body that LOOKS like a
+            # complete, successful response — no error, no marker;
+            # only content verification can tell
+            response = self.inner.handle(method, path, form, headers=headers)
+            return Response(
+                status=response.status,
+                body=response.body[: max(1, 2 * len(response.body) // 3)],
+                content_type=response.content_type,
+                headers=dict(response.headers),
+            )
         return _mangle(
             self.inner.handle(method, path, form, headers=headers), kind
         )
@@ -232,8 +279,25 @@ class _ChaosHandler(_Handler):
         if kind is None:
             super()._send(response)
             return
-        if kind == "refuse":
-            # drop the connection before a single response byte
+        if kind in ("refuse", "flap"):
+            # drop the connection before a single response byte (a
+            # flapping host's down phase looks exactly like a refusal)
+            self._sever()
+            return
+        if kind == "reset_mid_body":
+            # headers WITHOUT Content-Length, then a partial body and a
+            # clean FIN: connection-close framing makes the truncated
+            # bytes read as a complete response.  The transport cannot
+            # detect this — the artifact digest must.
+            body = response.body.encode("utf-8")
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.end_headers()
+            self.wfile.write(body[: max(1, 2 * len(body) // 3)])
+            try:
+                self.wfile.flush()
+            except OSError:  # pragma: no cover
+                pass
             self._sever()
             return
         if kind == "latency":

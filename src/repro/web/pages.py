@@ -804,6 +804,9 @@ def status_page(
     event_rows: Sequence[Tuple[str, int]],
     trace_rows: Sequence[Tuple[str, str, str, int]],
     job_rows: Sequence[Tuple[str, str, str, str]] = (),
+    registry_rows: Sequence[Tuple[str, int]] = (),
+    resolution_rows: Sequence[Tuple[str, int]] = (),
+    health: str = "",
 ) -> str:
     """``GET /status`` — the operator's dashboard, PowerPlay style.
 
@@ -815,12 +818,16 @@ def status_page(
     """
     minutes, seconds = divmod(int(uptime_s), 60)
     hours, minutes = divmod(minutes, 60)
+    health_note = f"  Health: {health}." if health else ""
     body: List[H.Content] = [
         H.paragraph(
             H.join(
                 f"Server {server_name!r} up {hours}h {minutes:02d}m "
-                f"{seconds:02d}s; {known_users} known user(s).  ",
+                f"{seconds:02d}s; {known_users} known user(s)."
+                f"{health_note}  ",
                 H.link("/metrics", "Raw Prometheus metrics"),
+                " — ",
+                H.link("/registry", "Federated registry"),
                 ".",
             )
         ),
@@ -875,6 +882,24 @@ def status_page(
             or [["(no jobs)", "", "", ""]],
             header=["Job", "Design", "State", "Points"],
         ),
+        H.heading("Federated registry", 2),
+        H.table(
+            [
+                [what, H.tag("span", str(count), class_="num")]
+                for what, count in registry_rows
+            ]
+            or [["(registry idle)", ""]],
+            header=["Registry", "Count"],
+        ),
+        H.heading("Resolution outcomes", 2),
+        H.table(
+            [
+                [outcome, H.tag("span", str(count), class_="num")]
+                for outcome, count in resolution_rows
+            ]
+            or [["(no resolutions yet)", ""]],
+            header=["Outcome", "Resolutions"],
+        ),
     ]
     if trace_rows:
         body.extend(
@@ -890,6 +915,117 @@ def status_page(
             ]
         )
     return H.page(f"PowerPlay status — {server_name}", *body)
+
+
+def registry_page(
+    server_name: str,
+    health: Mapping,
+    catalog: Sequence[Mapping],
+    quarantined: Sequence[Tuple],
+    pinned: Mapping[str, int],
+    resolutions: Sequence[Mapping] = (),
+) -> str:
+    """``GET /registry`` — the federation catalog page.
+
+    Publishers, versions, digests, and mirror freshness for every
+    artifact this server holds, plus the quarantine ledger and the
+    recent resolution-chain outcomes — the operator's one look at
+    "can this server survive its providers going away?".
+    """
+
+    def freshness(row: Mapping) -> str:
+        age = float(row.get("age_s", 0.0))
+        if age < 120:
+            return f"{age:.0f} s"
+        if age < 7200:
+            return f"{age / 60:.1f} min"
+        return f"{age / 3600:.1f} h"
+
+    catalog_rows: List[List[H.Content]] = []
+    for row in catalog:
+        if row.get("corrupt"):
+            catalog_rows.append(
+                [
+                    str(row.get("kind", "?")),
+                    str(row.get("name", "?")),
+                    f"v{row.get('version', '?')}",
+                    "",
+                    H.tag("b", "CORRUPT"),
+                    "",
+                    str(row.get("error", ""))[:80],
+                ]
+            )
+            continue
+        catalog_rows.append(
+            [
+                str(row["kind"]),
+                str(row["name"]),
+                f"v{row['version']}",
+                str(row.get("publisher", "")),
+                H.tag("code", str(row.get("digest", ""))[:16] + "…"),
+                freshness(row),
+                "pinned" if row.get("pinned") else "",
+            ]
+        )
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Server {server_name!r} mirrors {len(catalog_rows)} "
+                f"artifact(s); health: {health.get('status', '?')}.  ",
+                H.link("/api/registry/catalog.json", "Catalog JSON"),
+                " — ",
+                H.link("/status", "Status"),
+                " — ",
+                H.link("/healthz", "Health"),
+                ".",
+            )
+        ),
+        H.heading("Mirrored artifacts", 2),
+        H.table(
+            catalog_rows or [["(mirror is empty)"] + [""] * 6],
+            header=[
+                "Kind", "Name", "Version", "Publisher", "Digest",
+                "Age", "Pinned",
+            ],
+        ),
+        H.heading("Quarantined artifacts", 2),
+        H.table(
+            [
+                [stem, str(target), reason[:100]]
+                for stem, target, reason in quarantined
+            ]
+            or [["(none — every read verified)", "", ""]],
+            header=["Artifact", "Moved to", "Reason"],
+        ),
+        H.heading("Pinned versions", 2),
+        H.table(
+            [[ref, f"v{version}"] for ref, version in sorted(pinned.items())]
+            or [["(no pins)", ""]],
+            header=["Artifact", "Version"],
+        ),
+    ]
+    if resolutions:
+        body.extend(
+            [
+                H.heading("Recent resolutions", 2),
+                H.table(
+                    [
+                        [
+                            str(report["name"]),
+                            str(report["outcome"]),
+                            str(report.get("served_from", "")),
+                            "; ".join(
+                                f"{step['step']}={step['result']}"
+                                for step in report.get("steps", ())
+                            ),
+                        ]
+                        for report in resolutions
+                    ],
+                    header=["Model", "Outcome", "Served from", "Chain"],
+                ),
+            ]
+        )
+    return H.page(f"PowerPlay registry — {server_name}", *body)
 
 
 def trace_page(

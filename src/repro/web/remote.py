@@ -45,6 +45,7 @@ from .resilience import (
     CIRCUIT_SKIPPED,
     FETCHED,
     LOCAL_HIT,
+    MIRROR_SERVED,
     REMOTE_FAILED,
     RETRY,
     STALE_SERVED,
@@ -331,20 +332,28 @@ class ModelResolver:
 
     The lookup order is local-first (the paper's servers share models;
     local characterizations take precedence), then each remote in the
-    order given.  Fetches are on-demand and cached — the Figure 7
-    "information transfer on demand" behaviour — and each lookup's
-    degradations (retries, stale serves, skipped circuits) accumulate
-    in :attr:`report`; :attr:`last_report` covers just the most recent
-    ``resolve`` call.
+    order given, then — when a ``registry``
+    (:class:`~repro.registry.registry.ModelRegistry`) is attached — the
+    digest-verified local mirror, so a total provider outage still
+    resolves every previously synced model.  Fetches are on-demand and
+    cached — the Figure 7 "information transfer on demand" behaviour —
+    and each lookup's degradations (retries, stale serves, skipped
+    circuits, mirror serves) accumulate in :attr:`report`;
+    :attr:`last_report` covers just the most recent ``resolve`` call.
     """
 
     def __init__(
         self,
         local: Library,
         remotes: Sequence[RemoteLibraryClient] = (),
+        registry: Optional[object] = None,
     ):
         self.local = local
         self.remotes = list(remotes)
+        #: an optional ModelRegistry (typed loosely: repro.registry
+        #: imports this module, so importing it back at module scope
+        #: would be a cycle)
+        self.registry = registry
         self.report = ResolutionReport()
         self.last_report = ResolutionReport()
 
@@ -371,6 +380,11 @@ class ModelResolver:
                             remote.report.events[before:]
                         )
                         failures.append(str(exc))
+                if self.registry is not None:
+                    entry = self._from_mirror(name, failures)
+                    if entry is not None:
+                        sp.set(outcome="mirror")
+                        return entry
                 detail = (
                     "; ".join(failures) if failures else "no remotes configured"
                 )
@@ -379,6 +393,30 @@ class ModelResolver:
                 raise RemoteError(f"cannot resolve model {name!r}: {detail}")
             finally:
                 self.last_report.merged_into(self.report)
+
+    def _from_mirror(
+        self, name: str, failures: List[str]
+    ) -> Optional[LibraryEntry]:
+        """The last resort: a digest-verified mirrored artifact.
+
+        Only reached after every remote failed, so a hit here is by
+        definition a degradation — recorded as ``mirror_served``.  A
+        mirror miss (or a quarantined copy) appends to ``failures`` and
+        lets the caller raise with the full chain in the message.
+        """
+        from ..errors import PowerPlayError
+
+        try:
+            entry = self.registry.get_entry(name)
+        except PowerPlayError as exc:
+            failures.append(f"mirror: {exc}")
+            return None
+        self.last_report.record(
+            MIRROR_SERVED, "registry", name,
+            f"all {len(self.remotes)} remote(s) failed",
+        )
+        annotate("mirror_served", model=name)
+        return entry
 
     def total_remote_requests(self) -> int:
         return sum(remote.requests_made for remote in self.remotes)

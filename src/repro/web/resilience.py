@@ -78,6 +78,13 @@ def _metric_cache():
     )
 
 
+def _metric_stale_served():
+    return get_registry().counter(
+        "powerplay_stale_served_total",
+        "Cache entries served past their TTL (outage fallbacks).",
+    )
+
+
 # ---------------------------------------------------------------------------
 # retry with deterministic backoff
 # ---------------------------------------------------------------------------
@@ -309,18 +316,38 @@ class ModelCache(Generic[T]):
     but keep the copy as a fallback), and a miss.  ``ttl=None`` means
     entries never go stale (the pre-resilience behaviour: cache
     forever).
+
+    ``max_stale_age`` caps how far past its TTL an entry may still be
+    served as a stale fallback: beyond it the entry is evicted and the
+    lookup is a miss.  The bound is the difference between "yesterday's
+    coefficients during an hour's outage" (fine) and "last year's
+    during a forgotten one" (silently wrong estimates).  ``None`` (the
+    default) keeps the old serve-forever fallback.  Every stale serve
+    increments ``powerplay_stale_served_total``.
     """
 
     def __init__(
         self,
         ttl: Optional[float] = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        max_stale_age: Optional[float] = None,
     ):
+        if (
+            max_stale_age is not None
+            and ttl is not None
+            and max_stale_age < ttl
+        ):
+            raise ValueError(
+                f"max_stale_age ({max_stale_age}) must be >= ttl ({ttl}): "
+                "an entry cannot expire from staleness before it is stale"
+            )
         self.ttl = ttl
+        self.max_stale_age = max_stale_age
         self.clock = clock
         self._slots: Dict[str, _CacheSlot[T]] = {}
         self.fresh_hits = 0
         self.stale_serves = 0
+        self.stale_expired = 0
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -354,8 +381,20 @@ class ModelCache(Generic[T]):
         slot = self._slots.get(key)
         if slot is None:
             return None
+        age = self.clock() - slot.stored_at
+        if self.max_stale_age is not None and age > self.max_stale_age:
+            # too old to trust even as an outage fallback: evict, miss
+            del self._slots[key]
+            self.stale_expired += 1
+            _metric_cache().inc(result="stale_expired")
+            _LOG.warning(
+                "stale_expired", key=key, age_s=round(age, 3),
+                max_stale_age_s=self.max_stale_age,
+            )
+            return None
         self.stale_serves += 1
         _metric_cache().inc(result="stale")
+        _metric_stale_served().inc()
         _LOG.info("stale_serve", key=key)
         return slot.value
 
@@ -375,6 +414,7 @@ REMOTE_FAILED = "remote_failed"
 FETCHED = "fetched"
 LOCAL_HIT = "local_hit"
 CACHE_HIT = "cache_hit"
+MIRROR_SERVED = "mirror_served"
 
 
 @dataclass

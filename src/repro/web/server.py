@@ -18,6 +18,7 @@ from __future__ import annotations
 import ipaddress
 import itertools
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -209,10 +210,49 @@ class _SoakFriendlyHTTPServer(ThreadingHTTPServer):
     it all at shutdown.  Request threads are daemons here anyway, so we
     skip the tracking: memory stays flat across a soak and ``stop()``
     returns promptly.
+
+    Instead of the thread list we keep a *count* of in-flight requests
+    (O(1) memory), which is what graceful drain actually needs: after
+    ``shutdown()`` stops the accept loop, :meth:`drain` waits for the
+    count to reach zero so responses already being written — session
+    saves, mirror writes — complete instead of being killed mid-write.
     """
 
     daemon_threads = True
     block_on_close = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    def process_request_thread(self, request, client_address) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, deadline: float) -> bool:
+        """Wait up to ``deadline`` seconds for in-flight requests to
+        finish.  Returns True if the server is idle, False on timeout
+        (stragglers are daemon threads and die with the process)."""
+        end = time.monotonic() + deadline
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
 
 class PowerPlayServer:
@@ -221,6 +261,8 @@ class PowerPlayServer:
     ``port=0`` (default) picks a free port; read it back from
     :attr:`base_url`.
     """
+
+    _log = get_logger("web.server")
 
     def __init__(
         self,
@@ -267,11 +309,34 @@ class PowerPlayServer:
         self._thread.start()
         return self
 
+    #: how long ``stop()`` waits for in-flight requests before closing
+    drain_deadline: float = 5.0
+
     def stop(self) -> None:
+        """Gracefully drain and shut down.
+
+        Stops accepting new connections, waits (bounded by
+        :attr:`drain_deadline`) for requests already being handled to
+        finish, flushes application state (sessions, mirror store) to
+        disk, then closes the listening socket.  The old hard-stop
+        killed request threads mid-response during soak teardown and
+        lost their writes; the flush makes teardown a durability point.
+        """
         if self._thread is None:
             return
         self._httpd.shutdown()
         self._thread.join(timeout=5)
+        drained = self._httpd.drain(self.drain_deadline)
+        if not drained:
+            self._log.warning(
+                "drain_timeout",
+                inflight=self._httpd.inflight,
+                deadline_s=self.drain_deadline,
+            )
+        flush = getattr(self.application, "flush", None)
+        if callable(flush):
+            flushed = flush()
+            self._log.info("drained", clean=drained, **(flushed or {}))
         self._httpd.server_close()
         self._thread = None
 

@@ -234,6 +234,19 @@ class UserStore:
     def known_users(self) -> List[str]:
         return sorted(path.stem for path in self.root.glob("*.json"))
 
+    def flush(self) -> int:
+        """Persist every loaded session; returns how many were saved.
+
+        The graceful-drain hook: handlers save after each mutation, so
+        this is normally a re-save of already-persisted state — but a
+        drain must not depend on "normally".
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.save()
+        return len(sessions)
+
     def _quarantine(self, username: str, path: Path, reason: str) -> Path:
         target = path.with_suffix(".json.corrupt")
         counter = 0

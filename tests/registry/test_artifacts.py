@@ -1,0 +1,177 @@
+"""Content-addressed artifacts: digests, tamper detection, wire codec.
+
+The registry's integrity guarantee starts here: an artifact that fails
+digest verification can never decode into a usable object, whatever the
+damage — truncation, bit flips, identity tampering.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import IntegrityError, RegistryError
+from repro.registry.artifacts import (
+    DIGEST_SCHEME,
+    WIRE_FORMAT,
+    ModelArtifact,
+    artifact_digest,
+    canonical_json,
+    validate_artifact_name,
+    validate_kind,
+    validate_version,
+)
+
+PAYLOAD = {"cap_pf": 1.25, "kind": "sram", "bits": 64}
+
+
+def make(name="sram", version=1, payload=PAYLOAD, publisher="mass.server"):
+    return ModelArtifact.create(
+        "entry", name, payload, version=version, publisher=publisher,
+        clock=lambda: 836930921.0,
+    )
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        a = canonical_json({"b": 1, "a": {"z": 2, "y": 3}})
+        b = canonical_json({"a": {"y": 3, "z": 2}, "b": 1})
+        assert a == b == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(RegistryError, match="canonicalizable"):
+            canonical_json({"x": float("nan")})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(RegistryError, match="canonicalizable"):
+            canonical_json({"x": object()})
+
+
+class TestDigest:
+    def test_deterministic(self):
+        one = artifact_digest("entry", "sram", 1, "mass", PAYLOAD)
+        two = artifact_digest("entry", "sram", 1, "mass", dict(PAYLOAD))
+        assert one == two
+        assert len(one) == 40  # blake2b-160 -> 40 hex chars
+
+    def test_identity_is_part_of_the_address(self):
+        base = artifact_digest("entry", "sram", 1, "mass", PAYLOAD)
+        assert artifact_digest("design", "sram", 1, "mass", PAYLOAD) != base
+        assert artifact_digest("entry", "dram", 1, "mass", PAYLOAD) != base
+        assert artifact_digest("entry", "sram", 2, "mass", PAYLOAD) != base
+        assert artifact_digest("entry", "sram", 1, "calif", PAYLOAD) != base
+
+    def test_published_at_excluded_from_digest(self):
+        early = ModelArtifact.create(
+            "entry", "sram", PAYLOAD, clock=lambda: 1.0
+        )
+        late = ModelArtifact.create(
+            "entry", "sram", PAYLOAD, clock=lambda: 999.0
+        )
+        assert early.digest == late.digest
+        assert early.published_at != late.published_at
+
+
+class TestVerify:
+    def test_clean_roundtrip(self):
+        artifact = make()
+        again = ModelArtifact.from_json(artifact.to_json())
+        assert again == artifact
+        assert again.verify() is again
+
+    def test_payload_tamper_detected(self):
+        wire = make().to_wire()
+        wire["payload"] = dict(wire["payload"], cap_pf=9.99)
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            ModelArtifact.from_wire(wire)
+
+    def test_identity_tamper_detected(self):
+        wire = make().to_wire()
+        wire["publisher"] = "impostor"
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            ModelArtifact.from_wire(wire)
+
+    def test_digest_tamper_detected(self):
+        wire = make().to_wire()
+        wire["digest"] = "0" * 40
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            ModelArtifact.from_wire(wire)
+
+    def test_malformed_digest_detected(self):
+        wire = make().to_wire()
+        wire["digest"] = "not-a-digest"
+        with pytest.raises(IntegrityError, match="malformed digest"):
+            ModelArtifact.from_wire(wire)
+
+    def test_truncated_json_never_parses(self):
+        text = make().to_json()
+        for cut in (1, len(text) // 3, 2 * len(text) // 3, len(text) - 1):
+            with pytest.raises(IntegrityError, match="truncated or corrupt"):
+                ModelArtifact.from_json(text[:cut])
+
+    def test_bitflip_anywhere_detected(self):
+        text = make().to_json()
+        # flip one character inside the payload section
+        index = text.index("1.25")
+        mangled = text[:index] + "1.35" + text[index + 4:]
+        with pytest.raises(IntegrityError):
+            ModelArtifact.from_json(mangled)
+
+    def test_verify_false_is_forensics_only(self):
+        wire = make().to_wire()
+        wire["digest"] = "0" * 40
+        artifact = ModelArtifact.from_wire(wire, verify=False)
+        assert artifact.digest == "0" * 40  # decoded, not trusted
+
+
+class TestWireFormat:
+    def test_wire_fields(self):
+        wire = make().to_wire()
+        assert wire["format"] == WIRE_FORMAT == "powerplay-artifact/1"
+        assert wire["digest_scheme"] == DIGEST_SCHEME == "blake2b-160"
+        assert json.loads(make().to_json()) == wire
+
+    def test_unknown_format_rejected(self):
+        wire = make().to_wire()
+        wire["format"] = "powerplay-artifact/99"
+        with pytest.raises(RegistryError, match="unsupported artifact format"):
+            ModelArtifact.from_wire(wire)
+
+    def test_unknown_digest_scheme_rejected(self):
+        wire = make().to_wire()
+        wire["digest_scheme"] = "md5"
+        with pytest.raises(RegistryError, match="unsupported digest scheme"):
+            ModelArtifact.from_wire(wire)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(RegistryError, match="must be an object"):
+            ModelArtifact.from_wire([1, 2, 3])
+
+    def test_descriptor_has_no_payload(self):
+        row = make().descriptor()
+        assert "payload" not in row
+        assert row["digest"] == make().digest
+        assert row["kind"] == "entry" and row["version"] == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ["sram", "a", "Counter_8.v2-final"])
+    def test_good_names(self, name):
+        assert validate_artifact_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["", "8bit", "../etc/passwd", "a b", "x" * 65, "a\n", None]
+    )
+    def test_bad_names(self, name):
+        with pytest.raises(RegistryError, match="invalid artifact name"):
+            validate_artifact_name(name)
+
+    def test_kinds(self):
+        assert validate_kind("entry") == "entry"
+        assert validate_kind("design") == "design"
+        with pytest.raises(RegistryError, match="unknown artifact kind"):
+            validate_kind("plugin")
+
+    @pytest.mark.parametrize("version", [0, -1, 1.5, "3", True, None])
+    def test_bad_versions(self, version):
+        with pytest.raises(RegistryError):
+            validate_version(version)

@@ -1,0 +1,100 @@
+"""ModelRegistry: publish, ingest, materialize — with versions attached."""
+
+import pytest
+
+from repro import obs
+from repro.core.estimator import evaluate_power
+from repro.core.model import FixedPowerModel, ModelSet
+from repro.designs.luminance import build_figure3_design
+from repro.errors import IntegrityError, RegistryError
+from repro.library.catalog import LibraryEntry
+from repro.registry.registry import ModelRegistry
+from repro.registry.store import MirrorStore
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.get_registry().reset()
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(
+        MirrorStore(tmp_path / "mirror"), publisher="mass.server"
+    )
+
+
+def entry(name="sram", watts=2.0, **kwargs):
+    return LibraryEntry(
+        name, ModelSet(power=FixedPowerModel(name, watts)), **kwargs
+    )
+
+
+class TestPublish:
+    def test_entry_roundtrip(self, registry):
+        artifact = registry.publish_entry(entry())
+        assert artifact.ref == "entry:sram@v1"
+        assert artifact.publisher == "mass.server"
+        again = registry.get_entry("sram")
+        assert again.models.power.power({}) == 2.0
+        assert again.origin == "registry:mass.server"
+
+    def test_versions_increment(self, registry):
+        assert registry.publish_entry(entry(watts=1.0)).version == 1
+        assert registry.publish_entry(entry(watts=2.0)).version == 2
+        assert registry.publish_entry(entry(watts=3.0)).version == 3
+        assert registry.get_entry("sram").models.power.power({}) == 3.0
+        assert registry.get_entry("sram", 1).models.power.power({}) == 1.0
+
+    def test_proprietary_never_published(self, registry):
+        with pytest.raises(RegistryError, match="proprietary"):
+            registry.publish_entry(entry(proprietary=True))
+        assert len(registry.store) == 0
+
+    def test_design_roundtrip_bit_identical(self, registry):
+        design = build_figure3_design()
+        registry.publish_design(design)
+        mirrored = registry.get_design(design.name)
+        original = evaluate_power(design)
+        replayed = evaluate_power(mirrored)
+        # the acceptance bar: a mirrored design evaluates to the exact
+        # same power as the original, not merely approximately
+        assert replayed.power == original.power
+
+
+class TestIngest:
+    def test_new_then_duplicate(self, registry, tmp_path):
+        peer = ModelRegistry(
+            MirrorStore(tmp_path / "peer"), publisher="calif.server"
+        )
+        artifact = peer.publish_entry(entry())
+        assert registry.ingest(artifact) is True
+        assert registry.ingest(artifact) is False  # already mirrored
+        assert registry.get_entry("sram").origin == "registry:calif.server"
+
+    def test_tampered_ingest_refused(self, registry):
+        from repro.registry.artifacts import ModelArtifact
+
+        wire = ModelArtifact.create("entry", "sram", {"x": 1}).to_wire()
+        wire["payload"] = {"x": 2}
+        bad = ModelArtifact.from_wire(wire, verify=False)
+        with pytest.raises(IntegrityError):
+            registry.ingest(bad)
+        assert len(registry.store) == 0
+
+
+class TestMaterialize:
+    def test_as_library_latest_versions(self, registry):
+        registry.publish_entry(entry("sram", 1.0))
+        registry.publish_entry(entry("sram", 2.0))
+        registry.publish_entry(entry("dram", 5.0))
+        registry.publish_design(build_figure3_design())  # not an entry
+        library = registry.as_library()
+        assert sorted(e.name for e in library) == ["dram", "sram"]
+        assert library.get("sram").models.power.power({}) == 2.0
+
+    def test_missing_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.get_entry("ghost")
+        with pytest.raises(RegistryError):
+            registry.get_design("ghost")

@@ -1,0 +1,180 @@
+"""The resolution chain: local -> live -> stale -> mirror -> explicit report.
+
+Every outcome is tested, along with the bookkeeping that feeds /status,
+/healthz and the ``powerplay_registry_resolutions_total`` metric.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.model import FixedPowerModel, ModelSet
+from repro.errors import RegistryError
+from repro.library.catalog import Library, LibraryEntry
+from repro.registry.registry import ModelRegistry
+from repro.registry.resolve import (
+    DEGRADED_OUTCOMES,
+    DegradedResolution,
+    RegistryResolver,
+)
+from repro.registry.store import MirrorStore
+from repro.web.app import Application
+from repro.web.remote import RemoteLibraryClient
+from repro.web.resilience import CircuitBreaker, RetryPolicy
+from repro.web.server import PowerPlayServer
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.get_registry().reset()
+
+
+def entry(name, watts):
+    return LibraryEntry(name, ModelSet(power=FixedPowerModel(name, watts)))
+
+
+def fast_client(url, clock=None):
+    kwargs = {"clock": clock} if clock is not None else {}
+    return RemoteLibraryClient(
+        url,
+        retry_policy=RetryPolicy(max_attempts=2, sleep=lambda s: None),
+        breaker=CircuitBreaker(failure_threshold=3),
+        cache_ttl=60.0,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def mirror(tmp_path):
+    registry = ModelRegistry(
+        MirrorStore(tmp_path / "mirror"), publisher="mirror"
+    )
+    registry.publish_entry(entry("mirrored_only", 4.0))
+    registry.publish_entry(entry("sram", 8.0))
+    return registry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestChainOrder:
+    def test_local_wins(self, mirror):
+        local = Library("local")
+        local.add(entry("sram", 1.0))
+        resolver = RegistryResolver(local, registry=mirror)
+        resolved, report = resolver.resolve("sram")
+        assert resolved.models.power.power({}) == 1.0
+        assert report.outcome == "local"
+        assert not report.degraded
+
+    def test_live_from_remote(self, tmp_path, mirror):
+        with PowerPlayServer(tmp_path / "srv") as server:
+            resolver = RegistryResolver(
+                Library("local"),
+                [fast_client(server.base_url)],
+                registry=mirror,
+            )
+            resolved, report = resolver.resolve("sram")
+        assert resolved.origin == server.base_url  # remote beat the mirror
+        assert report.outcome == "live"
+        assert report.served_from == server.base_url
+
+    def test_stale_cache_beats_mirror(self, tmp_path, mirror):
+        clock = FakeClock()
+        with PowerPlayServer(tmp_path / "srv") as server:
+            client = fast_client(server.base_url, clock=clock)
+            resolver = RegistryResolver(
+                Library("local"), [client], registry=mirror
+            )
+            resolver.resolve("sram")  # warm the cache
+        clock.advance(120.0)  # past the 60 s TTL; the server is now gone
+        resolved, report = resolver.resolve("sram")
+        assert resolved.origin == server.base_url  # the stale cached copy
+        assert report.outcome == "stale"
+        assert report.degraded
+
+    def test_mirror_when_everything_is_down(self, mirror):
+        dead = fast_client("http://127.0.0.1:1")
+        resolver = RegistryResolver(Library("local"), [dead], registry=mirror)
+        resolved, report = resolver.resolve("mirrored_only")
+        assert resolved.models.power.power({}) == 4.0
+        assert resolved.origin == "registry:mirror"
+        assert report.outcome == "mirror"
+        assert report.degraded
+        steps = [(s["step"], s["result"]) for s in report.steps]
+        assert steps[0] == ("local", "miss")
+        assert steps[1] == ("remote", "failed")
+        assert steps[-1] == ("mirror", "hit")
+
+    def test_failed_is_explicit_not_an_exception(self, mirror):
+        resolver = RegistryResolver(Library("local"), registry=mirror)
+        resolved, report = resolver.resolve("ghost")
+        assert resolved is None
+        assert report.failed
+        assert any(s["result"] == "miss" for s in report.steps)
+
+    def test_resolve_strict_raises_with_the_chain(self, mirror):
+        resolver = RegistryResolver(Library("local"), registry=mirror)
+        with pytest.raises(RegistryError, match="mirror\\(registry\\)=miss"):
+            resolver.resolve_strict("ghost")
+
+    def test_resolve_design(self, tmp_path):
+        from repro.designs.luminance import build_figure3_design
+
+        registry = ModelRegistry(MirrorStore(tmp_path / "m"))
+        registry.publish_design(build_figure3_design())
+        resolver = RegistryResolver(Library("local"), registry=registry)
+        design, report = resolver.resolve_design("luminance_fig3")
+        assert design is not None
+        assert report.outcome == "mirror"
+        missing, report = resolver.resolve_design("ghost")
+        assert missing is None and report.failed
+
+
+class TestBookkeeping:
+    def test_health_counts_and_recent(self, mirror):
+        local = Library("local")
+        local.add(entry("here", 1.0))
+        resolver = RegistryResolver(local, registry=mirror, history=8)
+        resolver.resolve("here")
+        resolver.resolve("mirrored_only")
+        resolver.resolve("ghost")
+        counts = resolver.health_counts()
+        assert counts == {"local": 1, "mirror": 1, "failed": 1}
+        assert [r.name for r in resolver.recent()] == [
+            "here", "mirrored_only", "ghost",
+        ]
+
+    def test_history_is_bounded(self, mirror):
+        local = Library("local")
+        local.add(entry("here", 1.0))
+        resolver = RegistryResolver(local, registry=mirror, history=3)
+        for _ in range(10):
+            resolver.resolve("here")
+        assert len(resolver.recent()) == 3
+
+    def test_metric_by_outcome(self, mirror):
+        resolver = RegistryResolver(Library("local"), registry=mirror)
+        resolver.resolve("mirrored_only")
+        resolver.resolve("ghost")
+        counter = obs.get_registry().counter(
+            "powerplay_registry_resolutions_total", "", ("outcome",)
+        )
+        assert counter.value(outcome="mirror") == 1
+        assert counter.value(outcome="failed") == 1
+
+    def test_report_payload(self):
+        report = DegradedResolution("x")
+        report.record("local", "lib", "miss")
+        report.outcome = "mirror"
+        payload = report.to_payload()
+        assert payload["degraded"] is True
+        assert payload["steps"][0]["step"] == "local"
+        assert DEGRADED_OUTCOMES == {"stale", "mirror"}

@@ -1,0 +1,252 @@
+"""The crash-safe mirror store: atomic writes, quarantine, pins, GC."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import ArtifactConflict, IntegrityError, RegistryError
+from repro.registry.artifacts import ModelArtifact
+from repro.registry.store import MirrorStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.get_registry().reset()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return MirrorStore(tmp_path / "mirror", clock=FakeClock())
+
+
+def make(name="sram", version=1, value=1.0, kind="entry"):
+    return ModelArtifact.create(
+        kind, name, {"value": value}, version=version, publisher="test",
+        clock=lambda: 500.0,
+    )
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        stored = store.put(make())
+        fetched = store.get("entry", "sram", 1)
+        assert fetched == stored
+        assert ("entry", "sram", 1) in store
+        assert len(store) == 1
+
+    def test_latest_by_default(self, store):
+        store.put(make(version=1, value=1.0))
+        store.put(make(version=3, value=3.0))
+        store.put(make(version=2, value=2.0))
+        assert store.get("entry", "sram").version == 3
+
+    def test_missing_raises(self, store):
+        with pytest.raises(RegistryError, match="no artifact"):
+            store.get("entry", "ghost")
+        with pytest.raises(RegistryError, match="no artifact"):
+            store.get("entry", "sram", 7)
+
+    def test_duplicate_put_is_idempotent(self, store):
+        store.put(make())
+        store.put(make())  # same content, no conflict
+        assert len(store) == 1
+
+    def test_conflicting_put_refused(self, store):
+        store.put(make(value=1.0))
+        with pytest.raises(ArtifactConflict, match="refusing to replace"):
+            store.put(make(value=2.0))
+        # the original survives untouched
+        assert store.get("entry", "sram").payload["value"] == 1.0
+
+    def test_unverified_artifact_never_lands(self, store, tmp_path):
+        wire = make().to_wire()
+        wire["payload"] = {"value": 666.0}
+        bad = ModelArtifact.from_wire(wire, verify=False)
+        with pytest.raises(IntegrityError):
+            store.put(bad)
+        assert len(store) == 0
+        assert list((tmp_path / "mirror").glob("*.json")) == []
+
+    def test_no_temp_droppings(self, store, tmp_path):
+        for version in range(1, 6):
+            store.put(make(version=version, value=float(version)))
+        leftovers = [
+            p for p in (tmp_path / "mirror").iterdir()
+            if p.suffix == ".saving"
+        ]
+        assert leftovers == []
+
+
+class TestQuarantine:
+    def _corrupt_on_disk(self, store, artifact, mutate):
+        path = store._path(artifact.kind, artifact.name, artifact.version)
+        mutate(path)
+        return path
+
+    def test_tampered_file_quarantined_on_read(self, store):
+        artifact = store.put(make())
+        path = self._corrupt_on_disk(
+            store, artifact,
+            lambda p: p.write_text(p.read_text().replace("1.0", "9.0")),
+        )
+        with pytest.raises(IntegrityError, match="quarantined"):
+            store.get("entry", "sram", 1)
+        assert not path.exists()
+        corrupt = list(store.root.glob("*.corrupt*"))
+        assert len(corrupt) == 1  # damaged bytes preserved for forensics
+        assert store.quarantined[0][1] == corrupt[0]
+        assert len(store) == 0
+
+    def test_truncated_file_quarantined(self, store):
+        artifact = store.put(make())
+        self._corrupt_on_disk(
+            store, artifact,
+            lambda p: p.write_text(p.read_text()[: p.stat().st_size // 2]),
+        )
+        with pytest.raises(IntegrityError, match="quarantined"):
+            store.get("entry", "sram", 1)
+        assert len(store.quarantined) == 1
+
+    def test_quarantine_names_never_collide(self, store):
+        for _ in range(3):
+            artifact = store.put(make())
+            self._corrupt_on_disk(
+                store, artifact, lambda p: p.write_text("garbage")
+            )
+            with pytest.raises(IntegrityError):
+                store.get("entry", "sram", 1)
+        assert len(list(store.root.glob("*.corrupt*"))) == 3
+
+    def test_put_replaces_quarantined_resident(self, store):
+        artifact = store.put(make())
+        self._corrupt_on_disk(
+            store, artifact, lambda p: p.write_text("garbage")
+        )
+        store.put(make())  # verified incoming copy heals the slot
+        assert store.get("entry", "sram", 1).payload["value"] == 1.0
+        assert len(store.quarantined) == 1
+
+    def test_verify_all_reports_and_quarantines(self, store):
+        store.put(make(name="good"))
+        bad = store.put(make(name="bad"))
+        self._corrupt_on_disk(store, bad, lambda p: p.write_text("x"))
+        result = store.verify_all()
+        assert result["ok"] == ["entry:good@v1"]
+        assert result["corrupt"] == ["entry:bad@v1"]
+
+    def test_quarantine_metric(self, store):
+        artifact = store.put(make())
+        self._corrupt_on_disk(store, artifact, lambda p: p.write_text("x"))
+        with pytest.raises(IntegrityError):
+            store.get("entry", "sram", 1)
+        counter = obs.get_registry().counter(
+            "powerplay_registry_integrity_total", "", ("event",)
+        )
+        assert counter.value(event="quarantine") == 1
+
+
+class TestCatalog:
+    def test_rows(self, store):
+        store.put(make(version=1))
+        store.put(make(name="dram", value=2.0))
+        rows = store.catalog()
+        assert [(r["kind"], r["name"], r["version"]) for r in rows] == [
+            ("entry", "dram", 1), ("entry", "sram", 1),
+        ]
+        assert all("digest" in r and "age_s" in r for r in rows)
+
+    def test_corrupt_rows_reported_not_hidden(self, store):
+        artifact = store.put(make())
+        path = store._path(artifact.kind, artifact.name, artifact.version)
+        path.write_text("garbage")
+        rows = store.catalog()
+        assert rows[0]["corrupt"] is True
+        assert "error" in rows[0]
+
+    def test_pinned_flag(self, store):
+        store.put(make(version=1))
+        store.put(make(version=2, value=2.0))
+        store.pin("entry", "sram", 1)
+        rows = {r["version"]: r["pinned"] for r in store.catalog()}
+        assert rows == {1: True, 2: False}
+
+
+class TestPins:
+    def test_pin_requires_presence(self, store):
+        with pytest.raises(RegistryError, match="not in the mirror"):
+            store.pin("entry", "ghost", 1)
+
+    def test_pins_survive_reopen(self, store, tmp_path):
+        store.put(make())
+        store.pin("entry", "sram", 1)
+        reopened = MirrorStore(tmp_path / "mirror")
+        assert reopened.pinned() == {"entry:sram": 1}
+
+    def test_unpin(self, store):
+        store.put(make())
+        store.pin("entry", "sram", 1)
+        store.unpin("entry", "sram")
+        assert store.pinned() == {}
+        with pytest.raises(RegistryError, match="not pinned"):
+            store.unpin("entry", "sram")
+
+    def test_torn_pins_file_does_not_kill_the_mirror(self, store, tmp_path):
+        store.put(make())
+        (tmp_path / "mirror" / "pins.json").write_text('{"pins": {tor')
+        reopened = MirrorStore(tmp_path / "mirror")
+        assert reopened.pinned() == {}
+        assert len(reopened) == 1  # artifacts unaffected
+
+
+class TestGC:
+    def _fill(self, store, versions):
+        for version in versions:
+            store.put(make(version=version, value=float(version)))
+            # distinct mtimes so eviction order is deterministic
+            path = store._path("entry", "sram", version)
+            os.utime(path, (version, version))
+
+    def test_under_bound_is_a_noop(self, store):
+        self._fill(store, [1, 2])
+        assert store.gc(max_artifacts=5) == []
+        assert len(store) == 2
+
+    def test_evicts_oldest_non_latest(self, store):
+        self._fill(store, [1, 2, 3, 4])
+        evicted = store.gc(max_artifacts=2)
+        assert evicted == ["entry:sram@v1", "entry:sram@v2"]
+        assert len(store) == 2
+        assert store.get("entry", "sram").version == 4
+
+    def test_latest_always_survives(self, store):
+        self._fill(store, [1, 2, 3])
+        store.gc(max_artifacts=1)
+        assert store.get("entry", "sram").version == 3
+
+    def test_pinned_always_survives(self, store):
+        self._fill(store, [1, 2, 3, 4])
+        store.pin("entry", "sram", 1)
+        evicted = store.gc(max_artifacts=2)
+        assert "entry:sram@v1" not in evicted
+        assert ("entry", "sram", 1) in store
+
+    def test_bad_bound_rejected(self, store):
+        with pytest.raises(RegistryError):
+            store.gc(max_artifacts=0)
+        with pytest.raises(RegistryError):
+            MirrorStore(store.root, max_artifacts=0)
+
+
+class TestHealth:
+    def test_writable_probe(self, store):
+        assert store.writable() is True

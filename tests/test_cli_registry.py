@@ -1,0 +1,134 @@
+"""The ``repro registry`` command family."""
+
+import pytest
+
+from repro.cli import main
+from repro.web.server import PowerPlayServer
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def registry_args(tmp_path, *rest):
+    return ("registry", "--state", str(tmp_path / "state")) + rest
+
+
+class TestPublishAndList:
+    def test_empty_mirror(self, capsys, tmp_path):
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert code == 0
+        assert "(mirror is empty)" in out
+
+    def test_publish_entry_then_list(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "publish", "--entry", "sram")
+        )
+        assert code == 0
+        assert "published entry:sram@v1 digest " in out
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert code == 0
+        assert "entry:sram@v1" in out and "cli" in out
+
+    def test_republish_bumps_version(self, capsys, tmp_path):
+        run(capsys, *registry_args(tmp_path, "publish", "--entry", "sram"))
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "publish", "--entry", "sram")
+        )
+        assert code == 0
+        assert "entry:sram@v2" in out
+
+    def test_publish_design(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "publish", "--design", "fig3")
+        )
+        assert code == 0
+        assert "design:luminance_fig3@v1" in out
+
+    def test_unknown_entry_fails(self, capsys, tmp_path):
+        code, _out, err = run(
+            capsys,
+            *registry_args(tmp_path, "publish", "--entry", "warp_core"),
+        )
+        assert code != 0
+        assert "warp_core" in err
+
+
+class TestVerify:
+    def test_clean_mirror(self, capsys, tmp_path):
+        run(capsys, *registry_args(tmp_path, "publish", "--entry", "sram"))
+        code, out, _ = run(capsys, *registry_args(tmp_path, "verify"))
+        assert code == 0
+        assert "ok      entry:sram@v1" in out
+
+    def test_corrupt_artifact_flagged(self, capsys, tmp_path):
+        run(capsys, *registry_args(tmp_path, "publish", "--entry", "sram"))
+        target = tmp_path / "state" / "registry" / "entry--sram--v1.json"
+        target.write_text("garbage")
+        code, out, _ = run(capsys, *registry_args(tmp_path, "verify"))
+        assert code == 1
+        assert "CORRUPT entry:sram@v1" in out
+        # quarantined aside, visible in list as well
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert "(mirror is empty)" in out
+
+
+class TestPinGc:
+    def _publish_versions(self, capsys, tmp_path, count):
+        for _ in range(count):
+            run(capsys, *registry_args(tmp_path, "publish", "--entry", "sram"))
+
+    def test_pin_unpin(self, capsys, tmp_path):
+        self._publish_versions(capsys, tmp_path, 2)
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "pin", "entry", "sram", "1")
+        )
+        assert code == 0 and "pinned entry:sram@v1" in out
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert "[pinned]" in out
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "unpin", "entry", "sram")
+        )
+        assert code == 0 and "unpinned" in out
+
+    def test_gc_respects_pins_and_latest(self, capsys, tmp_path):
+        self._publish_versions(capsys, tmp_path, 4)
+        run(capsys, *registry_args(tmp_path, "pin", "entry", "sram", "1"))
+        code, out, _ = run(
+            capsys, *registry_args(tmp_path, "gc", "--max-artifacts", "2")
+        )
+        assert code == 0
+        assert "evicted entry:sram@v2" in out
+        assert "entry:sram@v1" not in out.replace("evicted entry:sram@v1", "")
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert "entry:sram@v1" in out  # pinned survivor
+        assert "entry:sram@v4" in out  # latest survivor
+
+
+class TestSync:
+    def test_sync_from_live_peer(self, capsys, tmp_path):
+        from repro.web.app import Application
+
+        application = Application(tmp_path / "peer", server_name="peer")
+        from repro.core.model import FixedPowerModel, ModelSet
+        from repro.library.catalog import LibraryEntry
+
+        application.models_registry.publish_entry(
+            LibraryEntry("shared", ModelSet(power=FixedPowerModel("shared", 1.0)))
+        )
+        with PowerPlayServer(tmp_path / "peer", application=application) as peer:
+            code, out, _ = run(
+                capsys, *registry_args(tmp_path, "sync", peer.base_url)
+            )
+        assert code == 0
+        assert "fetched=1" in out
+        code, out, _ = run(capsys, *registry_args(tmp_path, "list"))
+        assert "entry:shared@v1" in out
+
+    def test_sync_unreachable_peer_fails(self, capsys, tmp_path):
+        code, _out, err = run(
+            capsys, *registry_args(tmp_path, "sync", "http://127.0.0.1:1")
+        )
+        assert code != 0

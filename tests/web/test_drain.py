@@ -1,0 +1,99 @@
+"""Graceful drain: stop() finishes in-flight work and flushes state."""
+
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.web.app import Application
+from repro.web.server import PowerPlayServer
+
+
+@pytest.fixture
+def slow_server(tmp_path):
+    """A server whose /status handler blocks until released."""
+    application = Application(tmp_path / "state")
+    started = threading.Event()
+    hold = threading.Event()
+    inner = application.handle
+
+    def handle(method, path, form=None, headers=None):
+        if path.startswith("/status"):
+            started.set()
+            hold.wait(5)
+        return inner(method, path, form, headers=headers)
+
+    application.handle = handle
+    server = PowerPlayServer(tmp_path / "state", application=application)
+    server.start()
+    yield server, started, hold
+    hold.set()
+    server.stop()
+
+
+class TestDrain:
+    def test_in_flight_request_completes_through_stop(self, slow_server):
+        server, started, hold = slow_server
+        result = {}
+
+        def request():
+            result["body"] = urllib.request.urlopen(
+                server.base_url + "/status", timeout=10
+            ).read()
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        assert started.wait(5)
+        # release the handler *after* stop() has begun draining
+        threading.Timer(0.3, hold.set).start()
+        before = time.monotonic()
+        server.stop()
+        elapsed = time.monotonic() - before
+        thread.join(5)
+        assert elapsed >= 0.2  # stop() actually waited
+        assert result.get("body"), "the in-flight response was lost"
+
+    def test_drain_deadline_bounds_the_wait(self, slow_server):
+        server, started, hold = slow_server
+        server.drain_deadline = 0.2
+        thread = threading.Thread(
+            target=lambda: urllib.request.urlopen(
+                server.base_url + "/status", timeout=10
+            ).read(),
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(5)
+        before = time.monotonic()
+        server.stop()  # the handler is still held: deadline must fire
+        assert time.monotonic() - before < 3.0
+        hold.set()
+        thread.join(5)
+
+    def test_stop_flushes_application_state(self, tmp_path):
+        application = Application(tmp_path / "state")
+        flushed = []
+        inner_flush = application.flush
+        application.flush = lambda: flushed.append(inner_flush()) or flushed[-1]
+        server = PowerPlayServer(tmp_path / "state", application=application)
+        server.start()
+        urllib.request.urlopen(server.base_url + "/", timeout=5).read()
+        server.stop()
+        assert flushed, "stop() must flush volatile state"
+        assert "sessions" in flushed[0]
+
+    def test_stop_is_idempotent(self, tmp_path):
+        server = PowerPlayServer(tmp_path / "state")
+        server.start()
+        server.stop()
+        server.stop()  # second call is a no-op
+
+    def test_inflight_counter_settles_to_zero(self, tmp_path):
+        server = PowerPlayServer(tmp_path / "state")
+        server.start()
+        for _ in range(3):
+            urllib.request.urlopen(server.base_url + "/", timeout=5).read()
+        assert server._httpd.drain(2.0) is True
+        assert server._httpd.inflight == 0
+        server.stop()

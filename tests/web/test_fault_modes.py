@@ -1,0 +1,143 @@
+"""The two registry-era fault modes: reset-mid-body and flapping hosts.
+
+``reset_mid_body`` is the nastiest transport fault this harness can
+produce: the response has *no* Content-Length and ends with a clean
+FIN, so the truncated body reads as a complete, successful response at
+every layer below content verification.  The tests prove both halves:
+the transport really cannot tell, and the artifact digest really does.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.model import FixedPowerModel, ModelSet
+from repro.errors import FaultInjected, IntegrityError
+from repro.library.catalog import LibraryEntry
+from repro.registry.artifacts import ModelArtifact
+from repro.web.app import Application
+from repro.web.faults import FAULT_KINDS, ChaosServer, FaultPlan, FaultyApplication
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.get_registry().reset()
+
+
+class TestFlapSchedule:
+    def test_deterministic_updown_pattern(self):
+        plan = FaultPlan(flap_up=2, flap_down=3)
+        decisions = [plan.next_fault() for _ in range(10)]
+        assert decisions == [
+            None, None, "flap", "flap", "flap",
+            None, None, "flap", "flap", "flap",
+        ]
+        assert plan.flap_outages == 6
+        assert plan.faults_injected == 0  # the schedule is not a fault budget
+
+    def test_flap_exempt_from_max_faults(self):
+        plan = FaultPlan(flap_up=1, flap_down=1, max_faults=0)
+        assert [plan.next_fault() for _ in range(4)] == [
+            None, "flap", None, "flap",
+        ]
+
+    def test_flap_respects_exempt_paths(self):
+        plan = FaultPlan(flap_up=1, flap_down=1, exempt_paths=("/ctl",))
+        assert plan.next_fault("/ctl") is None
+        assert plan.next_fault("/ctl") is None  # would have been down
+
+    def test_flap_composes_with_rate_faults(self):
+        plan = FaultPlan(
+            flap_up=1, flap_down=1, rate=1.0, seed=3, kinds=("error_500",)
+        )
+        decisions = [plan.next_fault() for _ in range(4)]
+        assert decisions == ["error_500", "flap", "error_500", "flap"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan(flap_up=-1)
+        with pytest.raises(ValueError, match="flap_up must be > 0"):
+            FaultPlan(flap_down=2)
+
+    def test_reset_rewinds_flap_state(self):
+        plan = FaultPlan(flap_up=1, flap_down=1)
+        [plan.next_fault() for _ in range(4)]
+        plan.reset()
+        assert plan.flap_outages == 0
+        assert plan.next_fault() is None  # back at the start of an up phase
+
+    def test_both_kinds_registered(self):
+        assert "reset_mid_body" in FAULT_KINDS
+        assert "flap" in FAULT_KINDS
+
+
+class TestInProcess:
+    @pytest.fixture
+    def app(self, tmp_path):
+        return Application(tmp_path / "state")
+
+    def test_flap_raises_like_a_refusal(self, app):
+        faulty = FaultyApplication(app, FaultPlan(flap_up=1, flap_down=1))
+        assert faulty.handle("GET", "/").status == 200
+        with pytest.raises(FaultInjected, match="flap"):
+            faulty.handle("GET", "/")
+
+    def test_reset_mid_body_truncates_without_any_marker(self, app):
+        faulty = FaultyApplication(
+            app, FaultPlan(script=["reset_mid_body"])
+        )
+        whole = app.handle("GET", "/").body
+        damaged = faulty.handle("GET", "/")
+        assert damaged.status == 200  # looks successful...
+        assert damaged.body == whole[: max(1, 2 * len(whole) // 3)]
+
+    def test_truncated_artifact_never_parses(self, app):
+        app.models_registry.publish_entry(
+            LibraryEntry("sram", ModelSet(power=FixedPowerModel("sram", 2.0)))
+        )
+        faulty = FaultyApplication(
+            app, FaultPlan(script=["reset_mid_body"])
+        )
+        damaged = faulty.handle(
+            "GET", "/api/registry/artifact?kind=entry&name=sram"
+        )
+        assert damaged.status == 200
+        with pytest.raises(IntegrityError, match="truncated or corrupt"):
+            ModelArtifact.from_json(damaged.body)
+
+
+class TestOnTheWire:
+    def _serve(self, tmp_path, plan):
+        application = Application(tmp_path / "state", server_name="chaos")
+        application.models_registry.publish_entry(
+            LibraryEntry("sram", ModelSet(power=FixedPowerModel("sram", 2.0)))
+        )
+        return ChaosServer(tmp_path / "state", plan, application=application)
+
+    def test_reset_mid_body_reads_as_complete_response(self, tmp_path):
+        """The transport-level half of the guarantee: urllib sees a 200
+        with a body and no error — the truncation is invisible below
+        the digest check."""
+        plan = FaultPlan(script=[None, "reset_mid_body"])
+        with self._serve(tmp_path, plan) as server:
+            url = f"{server.base_url}/api/registry/artifact?kind=entry&name=sram"
+            whole = urllib.request.urlopen(url, timeout=5).read()
+            with urllib.request.urlopen(url, timeout=5) as damaged_response:
+                assert damaged_response.status == 200
+                assert damaged_response.headers.get("Content-Length") is None
+                damaged = damaged_response.read()  # no exception: clean FIN
+        assert 0 < len(damaged) < len(whole)
+        ModelArtifact.from_json(whole.decode())  # the clean copy verifies
+        with pytest.raises(IntegrityError):  # the damaged one cannot
+            ModelArtifact.from_json(damaged.decode())
+
+    def test_flap_severs_during_down_phases(self, tmp_path):
+        plan = FaultPlan(flap_up=1, flap_down=1)
+        with self._serve(tmp_path, plan) as server:
+            url = f"{server.base_url}/healthz"
+            assert urllib.request.urlopen(url, timeout=5).status == 200
+            with pytest.raises(Exception):  # noqa: B017 - severed socket
+                urllib.request.urlopen(url, timeout=5).read()
+            assert urllib.request.urlopen(url, timeout=5).status == 200
+        assert plan.flap_outages == 1

@@ -359,5 +359,5 @@ class TestAllFaultKindsCovered:
     def test_harness_knows_every_documented_kind(self):
         assert set(FAULT_KINDS) == {
             "refuse", "latency", "error_500", "malformed_json",
-            "truncate", "disconnect",
+            "truncate", "disconnect", "reset_mid_body", "flap",
         }

@@ -1,0 +1,97 @@
+"""ModelCache max-stale-age: stale serves are bounded, counted, explicit."""
+
+import pytest
+
+from repro import obs
+from repro.web.resilience import ModelCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.get_registry().reset()
+
+
+def stale_served_total():
+    return obs.get_registry().counter("powerplay_stale_served_total").total()
+
+
+class TestMaxStaleAge:
+    def test_within_bound_serves_and_counts(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=10.0, max_stale_age=30.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(15.0)  # past TTL, inside the stale bound
+        assert cache.get_fresh("sram") is None
+        assert cache.get_stale("sram") == "entry"
+        assert cache.stale_serves == 1
+        assert stale_served_total() == 1
+
+    def test_beyond_bound_evicts_and_misses(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=10.0, max_stale_age=30.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(30.1)
+        assert cache.get_stale("sram") is None
+        assert cache.stale_expired == 1
+        assert "sram" not in cache  # evicted, not lingering
+        assert stale_served_total() == 0
+
+    def test_exactly_at_bound_still_serves(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=10.0, max_stale_age=30.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(30.0)  # age == bound: the boundary is inclusive
+        assert cache.get_stale("sram") == "entry"
+
+    def test_unbounded_default_serves_forever(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=10.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(1e9)
+        assert cache.get_stale("sram") == "entry"
+        assert stale_served_total() == 1
+
+    def test_bound_below_ttl_rejected(self):
+        with pytest.raises(ValueError, match="must be >= ttl"):
+            ModelCache(ttl=60.0, max_stale_age=10.0)
+
+    def test_bound_with_no_ttl_allowed(self):
+        # ttl=None means "never stale", so any bound is consistent
+        clock = FakeClock()
+        cache = ModelCache(ttl=None, max_stale_age=5.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(10.0)
+        assert cache.get_stale("sram") is None
+        assert cache.stale_expired == 1
+
+    def test_expired_then_refilled_serves_again(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=1.0, max_stale_age=5.0, clock=clock)
+        cache.put("sram", "old")
+        clock.advance(6.0)
+        assert cache.get_stale("sram") is None
+        cache.put("sram", "new")
+        clock.advance(2.0)
+        assert cache.get_stale("sram") == "new"
+
+    def test_stale_expired_metric_label(self):
+        clock = FakeClock()
+        cache = ModelCache(ttl=1.0, max_stale_age=2.0, clock=clock)
+        cache.put("sram", "entry")
+        clock.advance(3.0)
+        cache.get_stale("sram")
+        counter = obs.get_registry().counter(
+            "powerplay_model_cache_total", "", ("result",)
+        )
+        assert counter.value(result="stale_expired") == 1
