@@ -1,0 +1,305 @@
+"""Fleet telemetry plane — overhead, convergence, and alerting gates.
+
+Three acceptance bounds from the fleet-telemetry PR, pinned as benches:
+
+* the always-on flight recorder + rate-limited SLO evaluation add
+  **< 2%** to the loopback request path (accounted directly, the same
+  method bench_observability.py uses for span overhead);
+* a 5-server scrape converges in **one round** — every node reachable,
+  the merged aggregate accounting for every node's counters — and the
+  merge is **arrival-order independent** (byte-identical JSON under
+  permuted node orders);
+* a forced fault storm flips the availability SLO to ``page`` and the
+  transition snapshot on disk contains the failing requests' trace ids.
+
+Writes ``bench_fleet.json`` (flat facts dict) for CI upload and the
+benchmark trajectory.
+"""
+
+import json
+import pathlib
+import statistics
+import time
+from itertools import islice, permutations
+
+from conftest import banner
+
+from repro import obs
+from repro.obs import recorder as obs_recorder
+from repro.obs.metrics import merge_states
+from repro.obs.slo import SLOTracker
+from repro.web.app import Application
+from repro.web.server import PowerPlayServer
+
+import pytest
+
+#: facts accumulated across the tests; the last test writes the artifact
+RESULTS = {"bench": "fleet_telemetry_plane"}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    obs.get_registry().reset()
+    yield
+    obs.get_registry().reset()
+
+
+def _median_seconds(fn, repeats: int = 15) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+class _FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_telemetry_overhead_under_two_percent(tmp_path):
+    """Recorder + SLO accounting must cost < 2% of a loopback request.
+
+    Accounted directly (the bench_observability.py method): the
+    per-request telemetry work is one rate-limited SLO evaluation
+    check, one ``consume_root`` (empty stash), and one ring append —
+    measured in a tight loop.  The baseline it rides on is the
+    cheapest *loopback request* that exists — ``GET /api/ping`` over
+    localhost HTTP with telemetry stripped; any real deployment pays
+    more wire time.  The raw in-process ``handle()`` medians for both
+    modes are printed alongside for context (diffing two noisy
+    end-to-end runs cannot resolve 2%).
+    """
+    from repro.web.client import Browser
+
+    app_off = Application(tmp_path / "off", server_name="bench-off",
+                          telemetry=False)
+    app_on = Application(tmp_path / "on", server_name="bench-on")
+    assert app_off.recorder is None and app_off.slo_tracker is None
+    assert app_on.recorder is not None and app_on.slo_tracker is not None
+
+    batch = 200
+
+    def handle_off_batch():
+        for _ in range(batch):
+            app_off.handle("GET", "/api/ping")
+
+    def handle_on_batch():
+        for _ in range(batch):
+            app_on.handle("GET", "/api/ping")
+
+    handle_off_s = _median_seconds(handle_off_batch, repeats=9) / batch
+    handle_on_s = _median_seconds(handle_on_batch, repeats=9) / batch
+
+    with PowerPlayServer(
+        tmp_path / "wire", application=app_off
+    ) as server:
+        browser = Browser(server.base_url)
+        fetch_s = _median_seconds(
+            lambda: browser.get("/api/ping"), repeats=15
+        )
+
+    calls = 20_000
+    recorder = app_on.recorder
+
+    def telemetry_path():
+        for _ in range(calls):
+            app_on._maybe_evaluate_slos()  # rate-limited fast path
+            obs_recorder.consume_root()
+            recorder.record(
+                route="/api/ping", method="GET", status=200,
+                duration_ms=0.4, request_id="req-bench",
+            )
+
+    per_request = _median_seconds(telemetry_path, repeats=7) / calls
+    overhead = per_request / fetch_s
+
+    banner(
+        "Fleet telemetry — recorder + SLO overhead on the request path",
+        "acceptance bound: always-on telemetry < 2% of a loopback request",
+    )
+    print(f"telemetry work: {per_request * 1e6:.2f} us per request; "
+          f"loopback /api/ping fetch median {fetch_s * 1e3:.3f} ms "
+          f"(in-process handle {handle_off_s * 1e3:.3f} ms without / "
+          f"{handle_on_s * 1e3:.3f} ms with telemetry); "
+          f"overhead {overhead * 100:.2f}%")
+    RESULTS["telemetry_per_request_s"] = per_request
+    RESULTS["loopback_fetch_s"] = fetch_s
+    RESULTS["handle_off_s"] = handle_off_s
+    RESULTS["handle_on_s"] = handle_on_s
+    RESULTS["telemetry_overhead_fraction"] = overhead
+    assert overhead < 0.02
+
+
+def test_five_server_scrape_converges_in_one_round(tmp_path):
+    """5 live servers, one scrape: every node up, every counter merged."""
+    from repro.obs.fleet import FleetScraper
+    from repro.web.client import Browser
+
+    servers = []
+    try:
+        for index in range(5):
+            server = PowerPlayServer(
+                tmp_path / f"s{index}", server_name=f"node{index}"
+            )
+            server.start()
+            servers.append(server)
+        # distinct traffic per node so the aggregate has something to sum
+        for index, server in enumerate(servers):
+            browser = Browser(server.base_url)
+            for _ in range(index + 1):
+                assert browser.get("/api/ping").status == 200
+
+        scraper = FleetScraper(
+            [(f"node{index}", server.base_url)
+             for index, server in enumerate(servers)]
+        )
+        report = scraper.scrape()
+    finally:
+        for server in servers:
+            server.stop()
+
+    banner(
+        "Fleet telemetry — 5-server scrape convergence",
+        "one scrape round reaches every node and merges every counter",
+    )
+    assert report.reachable == len(report.nodes) == 5
+    assert not report.skipped
+    node_sum = sum(node.requests_total() for node in report.nodes)
+    aggregate = report.aggregate_requests_total()
+    print(f"5/5 nodes reachable in {report.duration_s * 1e3:.1f} ms; "
+          f"aggregate {int(aggregate)} requests "
+          f"(sum of node counters {int(node_sum)}); "
+          f"fleet state {report.fleet_state!r}")
+    assert aggregate == node_sum > 0
+    assert report.fleet_state == "ok"
+    RESULTS["scrape_nodes"] = len(report.nodes)
+    RESULTS["scrape_reachable"] = report.reachable
+    RESULTS["scrape_duration_s"] = report.duration_s
+    RESULTS["aggregate_requests"] = aggregate
+
+    # arrival-order independence: merging the scraped states in any
+    # node order yields byte-identical aggregate JSON
+    states = [node.metrics for node in report.nodes if node.ok]
+    reference = json.dumps(merge_states(states), sort_keys=True)
+    checked = 0
+    for ordering in islice(permutations(states), 24):
+        assert json.dumps(
+            merge_states(list(ordering)), sort_keys=True
+        ) == reference
+        checked += 1
+    print(f"merge byte-identical across {checked} node orderings")
+    RESULTS["merge_orderings_checked"] = checked
+    RESULTS["merge_deterministic"] = True
+
+
+def test_fault_storm_pages_availability_slo(tmp_path):
+    """A 5xx storm must page — and leave the evidence on disk.
+
+    The availability SLO is driven by an injected clock (windows
+    advance deterministically, no sleeping), the storm by breaking one
+    route handler.  The gate: state reaches ``page`` and the transition
+    snapshot contains the failing requests' trace ids.
+    """
+    from repro.obs.recorder import load_snapshots
+
+    with obs.overridden(enabled=True, sink=obs.NullSink()):
+        app = Application(tmp_path / "storm", server_name="storm")
+        clock = _FakeClock()
+        app.slo_tracker = SLOTracker(clock=clock)
+
+        # healthy baseline evaluation at t0
+        assert app.handle("GET", "/api/ping").status == 200
+        statuses = app._maybe_evaluate_slos(force=True)
+        assert statuses is not None
+        availability = next(
+            status for status in statuses
+            if status.slo.name == "availability"
+        )
+        assert availability.state == "ok"
+
+        # break /menu: every hit is now an internal error
+        def _broken(data):
+            raise RuntimeError("injected fault storm")
+
+        app._menu = _broken
+        for _ in range(50):
+            assert app.handle("GET", "/menu").status == 500
+
+        clock.advance(60)
+        app._maybe_evaluate_slos(force=True)
+        clock.advance(60)
+        statuses = app._maybe_evaluate_slos(force=True) or []
+        states = app.slo_tracker.states()
+
+        failing_trace_ids = {
+            record.trace_id
+            for record in app.recorder.records()
+            if record.status == 500 and record.trace_id
+        }
+
+    banner(
+        "Fleet telemetry — fault storm pages the availability SLO",
+        "the transition snapshot must contain the failing trace ids",
+    )
+    assert states["availability"] == "page"
+    availability = next(
+        status for status in statuses
+        if status.slo.name == "availability"
+    )
+    print(f"availability state {availability.state!r}; burn rates "
+          + ", ".join(f"{window}={rate:.0f}"
+                      for window, rate in sorted(
+                          availability.burn_rates.items())))
+    assert failing_trace_ids, "tracing was on; 5xx records must carry ids"
+
+    snapshots = load_snapshots(tmp_path / "storm" / "flight")
+    page_snapshots = [
+        snap for snap in snapshots if snap.trigger == "slo_page"
+    ]
+    assert page_snapshots, "the -> page transition must snapshot"
+    snapshot_trace_ids = {
+        record.get("trace_id")
+        for snap in page_snapshots
+        for record in snap.records
+    }
+    overlap = failing_trace_ids & snapshot_trace_ids
+    print(f"{len(snapshots)} snapshots on disk "
+          f"({len(page_snapshots)} from the page transition); "
+          f"{len(overlap)}/{len(failing_trace_ids)} failing trace ids "
+          "present in the transition snapshot")
+    assert overlap
+    assert page_snapshots[-1].slo is not None
+    assert page_snapshots[-1].slo.get("state") == "page"
+    RESULTS["storm_state"] = states["availability"]
+    RESULTS["storm_page_snapshots"] = len(page_snapshots)
+    RESULTS["storm_trace_ids_in_snapshot"] = bool(overlap)
+
+
+def test_write_artifact():
+    """Persist the facts the earlier tests measured (CI artifact)."""
+    required = (
+        "telemetry_overhead_fraction",
+        "scrape_duration_s",
+        "merge_deterministic",
+        "storm_state",
+    )
+    missing = [key for key in required if key not in RESULTS]
+    assert not missing, f"earlier bench tests did not run: {missing}"
+    artifact = pathlib.Path(__file__).parent / "bench_fleet.json"
+    artifact.write_text(json.dumps(RESULTS, indent=1, sort_keys=True))
+    banner(
+        "Fleet telemetry — bench_fleet.json artifact",
+        "one flat facts dict for CI upload and the benchmark trajectory",
+    )
+    print(f"wrote {artifact.name}: "
+          f"overhead {RESULTS['telemetry_overhead_fraction'] * 100:.2f}%, "
+          f"scrape {RESULTS['scrape_duration_s'] * 1e3:.1f} ms, "
+          f"storm -> {RESULTS['storm_state']!r}")

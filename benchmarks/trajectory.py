@@ -1,0 +1,254 @@
+"""Benchmark trajectory: normalize every bench artifact, gate regressions.
+
+Each bench writes its own JSON artifact in its own shape — the
+pytest-benchmark harness emits ``{"benchmarks": [{name, stats}]}``,
+the deterministic benches (``bench_registry.json``,
+``bench_fleet.json``) write flat fact dicts.  This module flattens all
+of them into one schema so the repo carries a single machine-readable
+performance history:
+
+    {"bench": "bench_observability", "metric": "...", "value": 1.2e-4,
+     "unit": "s", "commit": "abc1234"}
+
+``python trajectory.py --write`` rewrites ``BENCH_TRAJECTORY.json``
+(the committed baseline); ``repro bench-report`` prints the table and
+exits non-zero when any *time* metric (unit ``s``) regressed more than
+the threshold against that baseline.  Non-time metrics (counts, ratios,
+booleans) are reported for the diff but not gated — their direction of
+"better" is bench-specific.
+
+Stdlib only; runnable both as a script and via ``importlib`` from the
+CLI (``repro bench-report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BASELINE_NAME = "BENCH_TRAJECTORY.json"
+
+#: artifacts that are not bench outputs (profiles, the baseline itself)
+_SKIP_FILES = {BASELINE_NAME, "profile_evaluate_power.json"}
+
+
+def _current_commit(bench_dir: Path) -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=bench_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if completed.returncode == 0:
+            return completed.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _rows_from_pytest_benchmark(
+    bench: str, payload: Dict[str, object], commit: str
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for entry in payload.get("benchmarks", []):  # type: ignore[union-attr]
+        if not isinstance(entry, dict):
+            continue
+        stats = entry.get("stats")
+        name = entry.get("name")
+        if not isinstance(stats, dict) or not isinstance(name, str):
+            continue
+        for stat in ("mean", "stddev"):
+            value = stats.get(stat)
+            if isinstance(value, (int, float)):
+                rows.append({
+                    "bench": bench,
+                    "metric": f"{name}.{stat}",
+                    "value": float(value),
+                    "unit": "s",
+                    "commit": commit,
+                })
+    return rows
+
+
+def _rows_from_flat_dict(
+    bench: str, payload: Dict[str, object], commit: str, prefix: str = ""
+) -> List[Dict[str, object]]:
+    """Numeric scalars (recursively) become metrics; unit inferred from
+    the key name (``*_s``/``*_seconds`` -> seconds, ``*_ms`` kept as-is
+    with unit ``ms``)."""
+    rows: List[Dict[str, object]] = []
+    for key in sorted(payload):
+        value = payload[key]
+        metric = f"{prefix}{key}"
+        if isinstance(value, bool):
+            rows.append({
+                "bench": bench, "metric": metric,
+                "value": 1.0 if value else 0.0, "unit": "", "commit": commit,
+            })
+        elif isinstance(value, (int, float)):
+            if key.endswith(("_s", "_seconds")):
+                unit = "s"
+            elif key.endswith("_ms"):
+                unit = "ms"
+            else:
+                unit = ""
+            rows.append({
+                "bench": bench, "metric": metric,
+                "value": float(value), "unit": unit, "commit": commit,
+            })
+        elif isinstance(value, dict):
+            rows.extend(
+                _rows_from_flat_dict(bench, value, commit, f"{metric}.")
+            )
+    return rows
+
+
+def collect(bench_dir: Path, commit: Optional[str] = None) -> List[Dict[str, object]]:
+    """Normalize every ``bench_*.json`` under ``bench_dir``."""
+    commit = commit or _current_commit(bench_dir)
+    rows: List[Dict[str, object]] = []
+    for path in sorted(bench_dir.glob("bench_*.json")):
+        if path.name in _SKIP_FILES:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        bench = path.stem
+        if isinstance(payload.get("benchmarks"), list):
+            rows.extend(_rows_from_pytest_benchmark(bench, payload, commit))
+        else:
+            rows.extend(_rows_from_flat_dict(bench, payload, commit))
+    rows.sort(key=lambda row: (row["bench"], row["metric"]))
+    return rows
+
+
+def load_baseline(path: Path) -> List[Dict[str, object]]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(payload, dict):
+        payload = payload.get("rows", [])
+    return [row for row in payload if isinstance(row, dict)]
+
+
+def compare(
+    current: List[Dict[str, object]],
+    baseline: List[Dict[str, object]],
+    threshold: float = 0.20,
+) -> List[Dict[str, object]]:
+    """Time metrics (unit ``s``/``ms``) that got slower than
+    ``baseline * (1 + threshold)``.  ``stddev`` rows are excluded —
+    jitter of the jitter is not a regression signal."""
+    baseline_by_key = {
+        (row["bench"], row["metric"]): row for row in baseline
+    }
+    regressions: List[Dict[str, object]] = []
+    for row in current:
+        if row["unit"] not in ("s", "ms"):
+            continue
+        if str(row["metric"]).endswith(".stddev"):
+            continue
+        before = baseline_by_key.get((row["bench"], row["metric"]))
+        if before is None or before.get("unit") != row["unit"]:
+            continue
+        old = float(before["value"])  # type: ignore[arg-type]
+        new = float(row["value"])  # type: ignore[arg-type]
+        if old > 0 and new > old * (1.0 + threshold):
+            regressions.append({
+                **row,
+                "baseline": old,
+                "ratio": new / old,
+            })
+    return regressions
+
+
+def write_trajectory(
+    bench_dir: Path, out_path: Path, commit: Optional[str] = None
+) -> List[Dict[str, object]]:
+    rows = collect(bench_dir, commit)
+    out_path.write_text(
+        json.dumps({"rows": rows}, indent=1, sort_keys=True) + "\n"
+    )
+    return rows
+
+
+def report(
+    bench_dir: Path,
+    baseline_path: Path,
+    threshold: float = 0.20,
+    write: bool = False,
+) -> int:
+    """Print the trajectory table; exit 1 on a gated regression."""
+    rows = collect(bench_dir)
+    if not rows:
+        print(f"no bench_*.json artifacts under {bench_dir} — run the "
+              "benches first (see EXPERIMENTS.md)")
+        return 1
+    if write:
+        write_trajectory(bench_dir, baseline_path)
+        print(f"wrote {len(rows)} rows to {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    baseline_by_key = {
+        (row["bench"], row["metric"]): row for row in baseline
+    }
+    print(f"{'bench':32} {'metric':44} {'value':>12} {'unit':4} "
+          f"{'vs baseline':>11}")
+    print("-" * 108)
+    for row in rows:
+        before = baseline_by_key.get((row["bench"], row["metric"]))
+        if before and float(before["value"]) > 0:  # type: ignore[arg-type]
+            delta = float(row["value"]) / float(before["value"]) - 1.0  # type: ignore[arg-type]
+            versus = f"{delta:+.1%}"
+        elif before:
+            versus = "·"
+        else:
+            versus = "new"
+        print(f"{row['bench']:32} {row['metric']:44} "
+              f"{row['value']:>12.6g} {row['unit']:4} {versus:>11}")
+
+    if not baseline:
+        print(f"\nno baseline at {baseline_path} — informational run "
+              "(write one with --write)")
+        return 0
+    regressions = compare(rows, baseline, threshold)
+    if regressions:
+        print(f"\nREGRESSIONS (> {threshold:.0%} slower than baseline):")
+        for row in regressions:
+            print(f"  {row['bench']}.{row['metric']}: "
+                  f"{row['baseline']:.6g} -> {row['value']:.6g} {row['unit']} "
+                  f"({row['ratio']:.2f}x)")
+        return 1
+    print(f"\nno time regressions > {threshold:.0%} against "
+          f"{len(baseline)} baseline rows")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-dir", default=str(Path(__file__).parent))
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline path (default BENCH_DIR/{BASELINE_NAME})")
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument("--write", action="store_true",
+                        help="rewrite the baseline from current artifacts")
+    args = parser.parse_args(argv)
+    bench_dir = Path(args.bench_dir)
+    baseline = Path(args.baseline) if args.baseline else bench_dir / BASELINE_NAME
+    return report(bench_dir, baseline, threshold=args.threshold,
+                  write=args.write)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

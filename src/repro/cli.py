@@ -615,11 +615,166 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     state = Path(args.state).expanduser()
     server = PowerPlayServer(state, host=args.host, port=args.port,
-                             server_name=args.name)
+                             server_name=args.name,
+                             telemetry_tick_s=args.telemetry_tick)
+    if args.access_log:
+        # size-bounded rotating access log — a soak cannot fill the disk
+        sink = obs.RotatingFileSink(
+            Path(args.access_log).expanduser(),
+            max_bytes=args.access_log_bytes,
+            keep=args.access_log_keep,
+        )
+        obs.enable(level=obs.parse_level(args.log_level or "info"),
+                   json_logs=args.log_json, sink=sink)
+    if args.peer:
+        peers = [_parse_peer(spec) for spec in args.peer]
+        server.application.configure_fleet(peers)
+        print(f"fleet peers: {', '.join(url for _, url in peers)}")
     print(f"PowerPlay serving at {server.base_url} (state in {state})")
     print("Ctrl-C to stop.")
-    server.serve_forever()
+    import time as _time
+
+    server.start()
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
     return 0
+
+
+def _parse_peer(spec: str) -> tuple:
+    """``name=http://host:port`` or a bare URL (name derived)."""
+    if "=" in spec.split("://", 1)[0]:
+        name, url = spec.split("=", 1)
+        return name, url
+    trimmed = spec.rstrip("/")
+    name = trimmed.split("://", 1)[-1].replace(":", "-").replace("/", "-")
+    return name, trimmed
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Scrape a set of PowerPlay servers and print fleet state."""
+    from .obs.fleet import FleetScraper
+
+    peers = [_parse_peer(spec) for spec in args.peers]
+    scraper = FleetScraper(peers, timeout=args.timeout)
+    report = scraper.scrape()
+    if args.json:
+        print(report.to_json())
+        return 0 if report.reachable == len(report.nodes) else 1
+    print(f"fleet: {report.reachable}/{len(report.nodes)} reachable, "
+          f"worst SLO state {report.fleet_state!r} "
+          f"(scraped in {report.duration_s * 1e3:.1f} ms)")
+    header = f"{'node':16} {'scrape':8} {'health':12} {'slo':6} " \
+             f"{'breaker':9} {'requests':>9}"
+    print(header)
+    print("-" * len(header))
+    for node in report.nodes:
+        print(f"{node.name:16} {'up' if node.ok else 'down':8} "
+              f"{node.health_state:12} {node.slo_state:6} "
+              f"{node.breaker_state:9} {int(node.requests_total()):>9}"
+              + (f"  {node.error}" if node.error else ""))
+    quantiles = report.latency_quantiles()
+    quantile_text = "  ".join(
+        f"{name}={value * 1e3:.2f}ms" if value else f"{name}=—"
+        for name, value in quantiles.items()
+    )
+    print(f"aggregate: {int(report.aggregate_requests_total())} requests, "
+          f"{quantile_text}")
+    if report.skipped:
+        print("skipped (unmergeable): " + ", ".join(report.skipped))
+    return 0 if report.reachable == len(report.nodes) else 1
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    """Inspect flight-recorder snapshots (offline) or a live server."""
+    import json as _json
+
+    if args.url:
+        from .web.client import Browser
+
+        payload = Browser(args.url).get_json("/debug/flight?fmt=json")
+        if args.action == "dump":
+            print(_json.dumps(payload, indent=1, sort_keys=True))
+            return 0
+        records = payload.get("records", [])
+        print(f"live ring on {payload.get('server', args.url)!r}: "
+              f"{payload.get('recorded_total', 0)} recorded, "
+              f"{len(records)} in ring")
+        _print_flight_records(records[-args.limit:])
+        return 0
+
+    from .obs.recorder import load_snapshots
+
+    flight_dir = Path(args.state).expanduser() / "flight"
+    snapshots = load_snapshots(flight_dir)
+    if args.action == "dump":
+        print(_json.dumps(
+            [
+                {
+                    "file": snap.path.name,
+                    "reason": snap.reason,
+                    "trigger": snap.trigger,
+                    "written_at": snap.written_at,
+                    "slo": snap.slo,
+                    "records": snap.records,
+                }
+                for snap in snapshots
+            ],
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    if not snapshots:
+        print(f"no flight snapshots under {flight_dir}")
+        return 1
+    for snap in snapshots:
+        print(f"{snap.path.name}: {snap.trigger} — {snap.reason} "
+              f"({len(snap.records)} records)")
+    latest = snapshots[-1]
+    print(f"\nlatest snapshot {latest.path.name!r}:")
+    _print_flight_records(latest.records[-args.limit:])
+    return 0
+
+
+def _print_flight_records(records) -> None:
+    header = f"{'seq':>6} {'route':24} {'meth':5} {'status':6} " \
+             f"{'ms':>9}  {'trace':34} alerts"
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(f"{record.get('seq', 0):>6} {record.get('route', ''):24} "
+              f"{record.get('method', ''):5} {record.get('status', 0):6} "
+              f"{record.get('duration_ms', 0.0):>9.2f}  "
+              f"{record.get('trace_id', ''):34} "
+              f"{','.join(record.get('alerts', []))}")
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Normalize bench artifacts, print the trajectory, gate regressions."""
+    import importlib.util
+
+    bench_dir = Path(args.bench_dir).expanduser()
+    module_path = bench_dir / "trajectory.py"
+    if not module_path.is_file():
+        print(f"error: {module_path} not found "
+              "(point --bench-dir at the benchmarks directory)",
+              file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location(
+        "powerplay_trajectory", module_path
+    )
+    assert spec is not None and spec.loader is not None
+    trajectory = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(trajectory)
+    baseline = (Path(args.baseline).expanduser() if args.baseline
+                else bench_dir / trajectory.BASELINE_NAME)
+    return trajectory.report(
+        bench_dir=bench_dir,
+        baseline_path=baseline,
+        threshold=args.threshold,
+        write=args.write,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -843,7 +998,70 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--state", default="~/.powerplay")
     serve.add_argument("--name", default="powerplay")
+    serve.add_argument("--peer", action="append", default=[],
+                       metavar="NAME=URL",
+                       help="fleet peer to scrape on /fleet "
+                       "(repeatable; bare URLs get a derived name)")
+    serve.add_argument("--telemetry-tick", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="background SLO evaluation interval so alerts "
+                       "clear during zero traffic (0 disables; default 5)")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="write structured logs to a size-bounded "
+                       "rotating file instead of stderr")
+    serve.add_argument("--access-log-bytes", type=int, default=1 << 20,
+                       help="rotate the access log beyond this size "
+                       "(default 1 MiB)")
+    serve.add_argument("--access-log-keep", type=int, default=3,
+                       help="rotated access-log files to keep (default 3)")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="scrape a set of PowerPlay servers and print fleet SLO state",
+    )
+    fleet.add_argument("peers", nargs="+", metavar="NAME=URL",
+                       help="servers to scrape (bare URLs get derived names)")
+    fleet.add_argument("--timeout", type=float, default=5.0,
+                       help="per-peer scrape timeout, seconds (default 5)")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the deterministic aggregate JSON")
+    fleet.set_defaults(func=cmd_fleet)
+
+    flight = sub.add_parser(
+        "flight", help="inspect flight-recorder rings and snapshots"
+    )
+    flight.add_argument("--state", default="~/.powerplay",
+                        help="server state directory (snapshots live under "
+                        "STATE/flight)")
+    flight.add_argument("--url", default=None,
+                        help="read the live ring from a running server "
+                        "instead of on-disk snapshots")
+    flight.add_argument("--limit", type=int, default=20,
+                        help="records to show (default 20)")
+    faction = flight.add_subparsers(dest="action", required=True)
+    faction.add_parser("show", help="human-readable record tables")
+    faction.add_parser("dump", help="raw snapshot JSON")
+    flight.set_defaults(func=cmd_flight)
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="normalize bench_*.json artifacts into the benchmark "
+        "trajectory and gate regressions against the committed baseline",
+    )
+    bench_report.add_argument("--bench-dir", default="benchmarks",
+                              help="directory holding bench_*.json and "
+                              "trajectory.py (default benchmarks)")
+    bench_report.add_argument("--baseline", default=None,
+                              help="committed baseline to compare against "
+                              "(default BENCH_DIR/BENCH_TRAJECTORY.json)")
+    bench_report.add_argument("--threshold", type=float, default=0.20,
+                              help="relative time regression that fails the "
+                              "gate (default 0.20 = 20%%)")
+    bench_report.add_argument("--write", action="store_true",
+                              help="rewrite the baseline from the current "
+                              "artifacts instead of gating")
+    bench_report.set_defaults(func=cmd_bench_report)
 
     return parser
 
@@ -859,6 +1077,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         previous = obs.enable(level=level, json_logs=args.log_json)
     try:
         return args.func(args)
+    except BrokenPipeError:  # `repro ... | head` is not an error
+        return 0
     except PowerPlayError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

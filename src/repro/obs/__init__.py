@@ -38,6 +38,7 @@ from .config import (
 from .logs import (
     MemorySink,
     NullSink,
+    RotatingFileSink,
     StreamSink,
     StructuredLogger,
     format_kv,
@@ -50,18 +51,42 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_states,
 )
 from .trace import (
     Span,
+    add_root_hook,
     annotate,
     clear_traces,
     current_span,
     graft_remote,
     last_trace,
     recent_traces,
+    remove_root_hook,
     render_trace,
     span,
     traced,
+)
+from .slo import (
+    BurnRatePolicy,
+    DEFAULT_SLOS,
+    SLO,
+    SLOStatus,
+    SLOTracker,
+    route_class,
+    worst_state,
+)
+from .fleet import (
+    FleetNode,
+    FleetReport,
+    FleetScraper,
+    family_quantile,
+    parse_exposition,
+)
+from .recorder import (
+    FlightRecord,
+    FlightRecorder,
+    load_snapshots,
 )
 from . import profile, propagate
 from .profile import (
@@ -86,10 +111,17 @@ from .propagate import (
 )
 
 __all__ = [
+    "BurnRatePolicy",
     "Counter",
     "DEBUG",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOS",
     "ERROR",
+    "FleetNode",
+    "FleetReport",
+    "FleetScraper",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "INFO",
@@ -100,6 +132,10 @@ __all__ = [
     "ObsState",
     "ProfileNode",
     "REQUEST_HEADER",
+    "RotatingFileSink",
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
     "SPAN_HEADER",
     "Span",
     "TRACE_HEADER",
@@ -107,6 +143,7 @@ __all__ = [
     "StreamSink",
     "StructuredLogger",
     "WARNING",
+    "add_root_hook",
     "aggregate",
     "annotate",
     "clear_traces",
@@ -118,6 +155,7 @@ __all__ = [
     "enable",
     "encode_span_header",
     "extract_context",
+    "family_quantile",
     "format_kv",
     "get_logger",
     "get_registry",
@@ -125,6 +163,8 @@ __all__ = [
     "hot_paths",
     "is_enabled",
     "last_trace",
+    "load_snapshots",
+    "merge_states",
     "outbound_headers",
     "overridden",
     "parse_level",
@@ -132,11 +172,15 @@ __all__ = [
     "profile",
     "profile_payload",
     "propagate",
+    "parse_exposition",
     "recent_traces",
+    "remove_root_hook",
     "render_flamegraph",
     "render_profile",
     "render_trace",
     "restore",
+    "route_class",
     "span",
     "traced",
+    "worst_state",
 ]

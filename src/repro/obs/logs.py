@@ -21,9 +21,11 @@ either as ``key=value`` pairs or as JSON objects (``json_logs=True``)::
 from __future__ import annotations
 
 import json
+import os
 import sys
 import threading
 from datetime import datetime, timezone
+from pathlib import Path
 from typing import Dict, List, Optional, TextIO
 
 from .config import (
@@ -38,6 +40,7 @@ from .config import (
 __all__ = [
     "MemorySink",
     "NullSink",
+    "RotatingFileSink",
     "StreamSink",
     "StructuredLogger",
     "format_kv",
@@ -94,6 +97,109 @@ class MemorySink:
         with self._lock:
             self.lines.clear()
             self.records.clear()
+
+
+class RotatingFileSink:
+    """A size-bounded log file with atomic-rename rotation.
+
+    A long soak must not fill the disk with access-log lines: when the
+    live file would exceed ``max_bytes``, it is renamed aside
+    (``access.log`` -> ``access.log.1``, shifting ``.1`` -> ``.2`` and
+    so on, dropping anything past ``keep``) and a fresh file is opened.
+    Rotation uses ``os.replace`` — a reader never sees a half-renamed
+    chain, and a crash mid-rotation leaves complete files only.
+
+    Total disk usage is bounded by roughly ``max_bytes * (keep + 1)``
+    plus one line of overshoot (the line that triggered rotation is
+    written to the *new* file, never split).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        max_bytes: int = 1 << 20,
+        keep: int = 3,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if keep < 0:
+            raise ValueError("keep cannot be negative")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._handle: Optional[TextIO] = None
+        self._size = 0
+        self.rotations = 0
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        # shift the chain from the oldest end so each os.replace lands
+        # on a name that is either free or about to be overwritten
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+        if self.keep == 0:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        else:
+            try:
+                os.unlink(oldest)
+            except OSError:
+                pass
+            for index in range(self.keep - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{index}")
+                if source.exists():
+                    os.replace(
+                        source,
+                        self.path.with_name(f"{self.path.name}.{index + 1}"),
+                    )
+            if self.path.exists():
+                os.replace(
+                    self.path, self.path.with_name(f"{self.path.name}.1")
+                )
+        self.rotations += 1
+
+    def emit(self, line: str, record: Dict[str, object]) -> None:
+        encoded_len = len(line.encode("utf-8")) + 1
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._open()
+                if self._size > 0 and self._size + encoded_len > self.max_bytes:
+                    self._rotate()
+                    self._open()
+                assert self._handle is not None
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                self._size += encoded_len
+            except (OSError, ValueError):
+                # logging must never take the server down; ValueError
+                # covers a handle closed underneath us.  Dropping the
+                # handle makes the next emit retry a fresh open.
+                self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def files(self) -> List[Path]:
+        """The live file plus rotated generations, newest first."""
+        out = [self.path] if self.path.exists() else []
+        for index in range(1, self.keep + 1):
+            candidate = self.path.with_name(f"{self.path.name}.{index}")
+            if candidate.exists():
+                out.append(candidate)
+        return out
 
 
 _NULL_SINK = NullSink()

@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "merge_states",
 ]
 
 #: seconds — tuned for "virtually instantaneous" request handling
@@ -59,14 +60,26 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def _series(name: str, labels: Mapping[str, str], value: float) -> str:
+def _series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical series identity: ``name{label="value",...}``.
+
+    Exactly the exposition-format series string (labels sorted), so the
+    same key identifies the same series whether it came from a local
+    registry (:meth:`MetricsRegistry.export_state`) or from parsing a
+    peer's ``/metrics`` text — which is what makes fleet merging a
+    plain dict-join.
+    """
     if labels:
         inner = ",".join(
             f'{key}="{_escape_label(str(val))}"'
             for key, val in sorted(labels.items())
         )
-        return f"{name}{{{inner}}} {_format_value(value)}"
-    return f"{name} {_format_value(value)}"
+        return f"{name}{{{inner}}}"
+    return name
+
+
+def _series(name: str, labels: Mapping[str, str], value: float) -> str:
+    return f"{_series_key(name, labels)} {_format_value(value)}"
 
 
 class _Metric:
@@ -102,6 +115,15 @@ class _Metric:
 
     def reset(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def export_samples(self) -> List[Tuple[str, float]]:
+        """``[(series key, value), ...]`` in deterministic order.
+
+        Histograms expand to their ``_bucket``/``_sum``/``_count``
+        series with cumulative bucket counts — the same numbers the
+        exposition text carries.
+        """
+        raise NotImplementedError  # pragma: no cover - overridden
 
 
 class Counter(_Metric):
@@ -140,6 +162,13 @@ class Counter(_Metric):
                     _series(self.name, self._labels_of(key), self._values[key])
                 )
         return lines
+
+    def export_samples(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            return [
+                (_series_key(self.name, self._labels_of(key)), self._values[key])
+                for key in sorted(self._values)
+            ]
 
     def reset(self) -> None:
         with self._lock:
@@ -183,6 +212,13 @@ class Gauge(_Metric):
                     _series(self.name, self._labels_of(key), self._values[key])
                 )
         return lines
+
+    def export_samples(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            return [
+                (_series_key(self.name, self._labels_of(key)), self._values[key])
+                for key in sorted(self._values)
+            ]
 
     def reset(self) -> None:
         with self._lock:
@@ -244,6 +280,29 @@ class Histogram(_Metric):
         with self._lock:
             return sum(self._counts.values())
 
+    def state(self) -> Dict[LabelKey, Tuple[List[int], float, int]]:
+        """``{label key: (cumulative bucket counts incl +Inf, sum, count)}``.
+
+        The cumulative view (what the exposition text carries) is what
+        consumers want: ``counts[i]`` is the number of observations
+        ``<= bounds[i]``, which makes "fraction of requests under the
+        SLO threshold" a single division.
+        """
+        out: Dict[LabelKey, Tuple[List[int], float, int]] = {}
+        with self._lock:
+            for key, counts in self._buckets.items():
+                cumulative: List[int] = []
+                running = 0
+                for count in counts:
+                    running += count
+                    cumulative.append(running)
+                out[key] = (
+                    cumulative,
+                    self._sums.get(key, 0.0),
+                    self._counts.get(key, 0),
+                )
+        return out
+
     def render(self) -> List[str]:
         lines = self.header()
         with self._lock:
@@ -274,6 +333,46 @@ class Histogram(_Metric):
                     _series(f"{self.name}_count", labels, self._counts[key])
                 )
         return lines
+
+    def export_samples(self) -> List[Tuple[str, float]]:
+        samples: List[Tuple[str, float]] = []
+        with self._lock:
+            for key in sorted(self._buckets):
+                labels = self._labels_of(key)
+                cumulative = 0
+                for index, bound in enumerate(self.bounds):
+                    cumulative += self._buckets[key][index]
+                    samples.append(
+                        (
+                            _series_key(
+                                f"{self.name}_bucket",
+                                {**labels, "le": _format_value(bound)},
+                            ),
+                            float(cumulative),
+                        )
+                    )
+                cumulative += self._buckets[key][-1]
+                samples.append(
+                    (
+                        _series_key(
+                            f"{self.name}_bucket", {**labels, "le": "+Inf"}
+                        ),
+                        float(cumulative),
+                    )
+                )
+                samples.append(
+                    (
+                        _series_key(f"{self.name}_sum", labels),
+                        self._sums[key],
+                    )
+                )
+                samples.append(
+                    (
+                        _series_key(f"{self.name}_count", labels),
+                        float(self._counts[key]),
+                    )
+                )
+        return samples
 
     def reset(self) -> None:
         with self._lock:
@@ -373,6 +472,24 @@ class MetricsRegistry:
                     result[f"{metric.name}_sum"] = dict(metric._sums)
         return result
 
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-able structured snapshot keyed by series identity.
+
+        ``{metric name: {"kind": ..., "series": {series key: value}}}``
+        where each series key is the exposition-format series string
+        (labels sorted, histograms expanded to ``_bucket``/``_sum``/
+        ``_count``).  The same shape comes out of
+        :func:`repro.obs.fleet.parse_exposition`, so local state and a
+        scraped peer merge through :func:`merge_states` identically.
+        """
+        state: Dict[str, Dict[str, object]] = {}
+        for metric in self.metrics():
+            state[metric.name] = {
+                "kind": metric.kind,
+                "series": dict(metric.export_samples()),
+            }
+        return state
+
     def render(self) -> str:
         """The whole registry in Prometheus text exposition format."""
         lines: List[str] = []
@@ -388,6 +505,86 @@ class MetricsRegistry:
         """
         for metric in self.metrics():
             metric.reset()
+
+
+_LE_RE_FRAGMENT = 'le="'
+
+
+def _bucket_bounds_of(family: Mapping[str, object]) -> Tuple[str, ...]:
+    """The sorted set of ``le`` label values a histogram family uses."""
+    bounds = set()
+    for key in family.get("series", {}):  # type: ignore[union-attr]
+        start = key.find(_LE_RE_FRAGMENT)
+        if start < 0:
+            continue
+        start += len(_LE_RE_FRAGMENT)
+        end = key.find('"', start)
+        if end > start:
+            bounds.add(key[start:end])
+    return tuple(sorted(bounds))
+
+
+def merge_states(
+    states: Iterable[Mapping[str, Mapping[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Deterministically merge :meth:`MetricsRegistry.export_state` dicts.
+
+    Counters and histogram series are *summed* per series key (the
+    fleet total is the sum of what each node counted); gauges take the
+    *max* (our gauges encode state codes and depths where worst/largest
+    wins — a fleet is as unhealthy as its sickest node).  Histograms
+    must be bucket-aligned: if two nodes expose the same histogram with
+    different bounds, the merge raises ``ValueError`` rather than
+    silently producing cumulative counts that mean nothing.
+
+    The caller fixes the iteration order (fleet sorts nodes by name),
+    which — together with per-key dict sums — makes the merged dict
+    byte-identical under ``json.dumps(sort_keys=True)`` regardless of
+    scrape arrival order.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for state in states:
+        for name in sorted(state):
+            family = state[name]
+            kind = str(family.get("kind", "untyped"))
+            series = family.get("series", {})
+            entry = merged.get(name)
+            if entry is None:
+                entry = {"kind": kind, "series": {}}
+                merged[name] = entry
+            elif entry["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is {entry['kind']} on one node "
+                    f"and {kind} on another"
+                )
+            if kind == "histogram":
+                seen = _bucket_bounds_of(entry)
+                incoming = _bucket_bounds_of(family)
+                if seen and incoming and seen != incoming:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ "
+                        f"across nodes: {seen} vs {incoming}"
+                    )
+            target: Dict[str, float] = entry["series"]  # type: ignore[assignment]
+            for key, value in series.items():  # type: ignore[union-attr]
+                numeric = float(value)  # type: ignore[arg-type]
+                if kind == "gauge":
+                    previous = target.get(key)
+                    target[key] = (
+                        numeric if previous is None else max(previous, numeric)
+                    )
+                else:
+                    target[key] = target.get(key, 0.0) + numeric
+    return {
+        name: {
+            "kind": merged[name]["kind"],
+            "series": {
+                key: merged[name]["series"][key]  # type: ignore[index]
+                for key in sorted(merged[name]["series"])  # type: ignore[arg-type]
+            },
+        }
+        for name in sorted(merged)
+    }
 
 
 _REGISTRY = MetricsRegistry()

@@ -42,12 +42,14 @@ from .config import STATE
 
 __all__ = [
     "Span",
+    "add_root_hook",
     "annotate",
     "clear_traces",
     "current_span",
     "graft_remote",
     "last_trace",
     "recent_traces",
+    "remove_root_hook",
     "render_trace",
     "span",
     "traced",
@@ -149,6 +151,9 @@ class Tracer:
         self._recent: List[Span] = []
         self._counter = 0
         self._trace_counter = 0
+        #: called with each finished *root* span, on the finishing
+        #: thread — the flight recorder's tap into the request path
+        self._root_hooks: List[object] = []
 
     def _next_id(self) -> str:
         with self._lock:
@@ -215,6 +220,22 @@ class Tracer:
             with self._lock:
                 self._recent.append(node)
                 del self._recent[:-_RING_SIZE]
+                hooks = list(self._root_hooks)
+            for hook in hooks:
+                try:
+                    hook(node)  # type: ignore[operator]
+                except Exception:  # noqa: BLE001 - a hook must never
+                    pass  # break the request that finished the span
+
+    def add_root_hook(self, hook) -> None:
+        with self._lock:
+            if hook not in self._root_hooks:
+                self._root_hooks.append(hook)
+
+    def remove_root_hook(self, hook) -> None:
+        with self._lock:
+            if hook in self._root_hooks:
+                self._root_hooks.remove(hook)
 
     def last(self) -> Optional[Span]:
         return getattr(self._local, "last", None)
@@ -342,6 +363,22 @@ def recent_traces() -> List[Span]:
 
 def clear_traces() -> None:
     TRACER.clear()
+
+
+def add_root_hook(hook) -> None:
+    """Register a callable invoked with every finished root span.
+
+    The hook runs on the thread that finished the span, under no lock;
+    exceptions it raises are swallowed (observability must never fail
+    the request).  This is how the flight recorder captures a request's
+    finished span tree without the web layer re-walking the tracer.
+    """
+    TRACER.add_root_hook(hook)
+
+
+def remove_root_hook(hook) -> None:
+    """Unregister a hook added by :func:`add_root_hook` (idempotent)."""
+    TRACER.remove_root_hook(hook)
 
 
 def render_trace(root: Span, _unit_total: Optional[float] = None) -> str:

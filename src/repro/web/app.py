@@ -75,9 +75,13 @@ from ..library.designio import (
     design_to_payload,
 )
 from ..obs import get_logger, get_registry, is_enabled, recent_traces
+from ..obs import fleet as obs_fleet
 from ..obs import profile as obs_profile
 from ..obs import propagate
+from ..obs import recorder as obs_recorder
 from ..obs import render_trace
+from ..obs.recorder import FlightRecorder
+from ..obs.slo import SLOTracker
 from ..obs.trace import Span, traced
 # direct submodule imports: repro.registry's package __init__ pulls in
 # .resolve, which imports this package back (repro.web.remote) — going
@@ -153,7 +157,7 @@ KNOWN_ROUTES = frozenset(
         "/tutorial", "/help", "/metrics", "/status", "/trace", "/profile",
         "/registry", "/healthz", "/api/registry/catalog.json",
         "/api/registry/artifact", "/api/registry/publish",
-        "/api/registry/sync",
+        "/api/registry/sync", "/fleet", "/debug/flight",
     }
 )
 
@@ -188,7 +192,12 @@ def _build_example(name: str) -> Design:
 class Application:
     """PowerPlay server state + request dispatch."""
 
-    def __init__(self, state_dir: Path, server_name: str = "powerplay"):
+    def __init__(
+        self,
+        state_dir: Path,
+        server_name: str = "powerplay",
+        telemetry: bool = True,
+    ):
         self.server_name = server_name
         self.users = UserStore(Path(state_dir))
         #: login tokens for password-protected users (in-memory; a
@@ -280,6 +289,27 @@ class Application:
             "Faults injected by FaultPlan, by kind.",
             ("kind",),  # declared here too: importing .faults would cycle
         )
+        # -- fleet telemetry plane ---------------------------------------
+        #: SLO burn-rate tracker + flight recorder; ``telemetry=False``
+        #: strips both so bench_fleet.py can measure their exact cost
+        self.slo_tracker: Optional[SLOTracker] = (
+            SLOTracker() if telemetry else None
+        )
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(snapshot_dir=Path(state_dir) / "flight")
+            if telemetry
+            else None
+        )
+        if telemetry:
+            obs_recorder.install_trace_hook()
+        #: SLO evaluation is rate-limited on the request path (the
+        #: ops endpoints always evaluate fresh via force=True)
+        self._slo_eval_interval_s = 1.0
+        self._slo_last_eval = float("-inf")
+        self._slo_guard = threading.Lock()
+        #: peer scraper — installed by :meth:`configure_fleet`; /fleet
+        #: without one shows just this node
+        self.fleet: Optional[obs_fleet.FleetScraper] = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -393,6 +423,32 @@ class Application:
         self._requests.inc(method=method.upper(), route=label)
         self._responses.inc(status_class=f"{response.status // 100}xx")
         self._latency.observe(duration, route=label)
+        if self.recorder is not None:
+            # the tracer's root hook stashed this request's finished
+            # span tree (when tracing is on); consume it either way so
+            # the stash can never leak across requests on a thread
+            root = obs_recorder.consume_root()
+            alerts: Tuple[str, ...] = ()
+            if self.slo_tracker is not None:
+                self._maybe_evaluate_slos()
+                alerts = tuple(
+                    name
+                    for name, state in sorted(
+                        self.slo_tracker.states().items()
+                    )
+                    if state != "ok"
+                )
+            self.recorder.record(
+                route=label,
+                method=method.upper(),
+                status=response.status,
+                duration_ms=duration * 1e3,
+                request_id=request_id,
+                trace_id=root.trace_id if root is not None else "",
+                user=data.get("user", ""),
+                spans=root.to_payload() if root is not None else None,
+                alerts=alerts,
+            )
         self._access.info(
             "request",
             method=method.upper(),
@@ -491,6 +547,10 @@ class Application:
             return self._status_page()
         if route == "/healthz":
             return self._healthz()
+        if route == "/fleet":
+            return self._fleet_endpoint(data)
+        if route == "/debug/flight":
+            return self._flight_endpoint(data)
         if route == "/registry":
             return self._registry_page()
         if route == "/api/registry/catalog.json":
@@ -1112,9 +1172,150 @@ class Application:
     def _metrics_exposition(self) -> Response:
         """``GET /metrics`` — Prometheus text format, curl-able."""
         self._uptime.set(self.uptime_seconds)
+        self._maybe_evaluate_slos(force=True)
         return Response(
             body=self.registry.render(),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- fleet telemetry plane ----------------------------------------------
+
+    def _maybe_evaluate_slos(self, force: bool = False):
+        """Evaluate SLOs (rate-limited on the hot path) and react.
+
+        Returns the fresh statuses, or ``None`` when the rate limiter
+        skipped this call.  Any SLO *transitioning into* ``page``
+        forces a flight-recorder snapshot — that file is the first
+        thing a responder opens, so it bypasses snapshot rate limits.
+        """
+        if self.slo_tracker is None:
+            return None
+        now = time.monotonic()
+        with self._slo_guard:
+            if (
+                not force
+                and now - self._slo_last_eval < self._slo_eval_interval_s
+            ):
+                return None
+            self._slo_last_eval = now
+        statuses = self.slo_tracker.evaluate()
+        paged = [
+            status
+            for status in statuses
+            if status.changed and status.state == "page"
+        ]
+        if paged and self.recorder is not None:
+            self.recorder.snapshot(
+                reason="SLO page: "
+                + ", ".join(status.slo.name for status in paged),
+                trigger="slo_page",
+                slo_payload=SLOTracker.payload(statuses),
+                force=True,
+            )
+        return statuses
+
+    def configure_fleet(
+        self, peers: Sequence[Tuple[str, str]], timeout: float = 5.0
+    ) -> obs_fleet.FleetScraper:
+        """Install the peer scraper behind ``/fleet``.
+
+        ``peers`` is ``[(name, base_url), ...]``; this server always
+        appears as a local node (no self-scrape over HTTP).
+        """
+        self.fleet = obs_fleet.FleetScraper(
+            peers,
+            timeout=timeout,
+            local=self._local_fleet_sample,
+            local_name=self.server_name,
+        )
+        return self.fleet
+
+    def _local_fleet_sample(self) -> Tuple[dict, Dict[str, dict]]:
+        """(health payload, metrics state) for this very server."""
+        self._uptime.set(self.uptime_seconds)
+        return self.health(), self.registry.export_state()
+
+    def _fleet_endpoint(self, data: Mapping[str, str]) -> Response:
+        """``GET /fleet`` — per-node and aggregate fleet telemetry.
+
+        ``?fmt=json`` returns the canonical (arrival-order-independent)
+        aggregate payload; the default is an HTML dashboard.
+        """
+        scraper = self.fleet
+        if scraper is None:
+            scraper = obs_fleet.FleetScraper(
+                (),
+                local=self._local_fleet_sample,
+                local_name=self.server_name,
+            )
+        report = scraper.scrape()
+        if data.get("fmt") == "json":
+            return Response.json_text(report.to_json())
+        quantiles = report.latency_quantiles()
+        node_rows = [
+            (
+                node.name,
+                node.url,
+                "up" if node.ok else "down",
+                node.health_state,
+                node.slo_state,
+                node.breaker_state,
+                int(node.requests_total()),
+                node.error,
+            )
+            for node in report.nodes
+        ]
+        return Response(
+            body=pages.fleet_page(
+                self.server_name,
+                report.fleet_state,
+                node_rows,
+                aggregate_requests=int(report.aggregate_requests_total()),
+                reachable=report.reachable,
+                total=len(report.nodes),
+                quantiles={
+                    name: (f"{value * 1e3:.2f} ms" if value else "—")
+                    for name, value in quantiles.items()
+                },
+                skipped=report.skipped,
+                duration_ms=report.duration_s * 1e3,
+            )
+        )
+
+    def _flight_endpoint(self, data: Mapping[str, str]) -> Response:
+        """``GET /debug/flight`` — the live ring + snapshot inventory.
+
+        ``?fmt=json`` returns the records; ``?limit=N`` bounds them.
+        """
+        if self.recorder is None:
+            return Response.not_found("flight recorder disabled")
+        limit: Optional[int] = None
+        if data.get("limit", "").isdigit():
+            limit = max(1, min(10000, int(data["limit"])))
+        payload = self.recorder.to_payload(limit)
+        payload["server"] = self.server_name
+        if data.get("fmt") == "json":
+            return Response.json(payload)
+        record_rows = [
+            (
+                record["seq"],
+                record["route"],
+                record["method"],
+                record["status"],
+                f"{record['duration_ms']:.2f} ms",
+                record.get("trace_id", ""),
+                ",".join(record.get("alerts", [])),
+            )
+            for record in reversed(payload["records"])
+        ]
+        return Response(
+            body=pages.flight_page(
+                self.server_name,
+                capacity=payload["capacity"],
+                recorded_total=payload["recorded_total"],
+                record_rows=record_rows,
+                snapshots=payload["snapshots"],
+            )
         )
 
     def _status_page(self) -> Response:
@@ -1132,6 +1333,18 @@ class Application:
             requests_by_route[route] = requests_by_route.get(route, 0) + count
         latency_count = samples("powerplay_http_request_seconds_count")
         latency_sum = samples("powerplay_http_request_seconds_sum")
+        # lazy import: repro.loadgen's package __init__ pulls the load
+        # driver, which imports this module back — resolve at call time
+        from ..loadgen.stats import histogram_quantile
+
+        latency_hist = self.registry.get("powerplay_http_request_seconds")
+
+        def quantile_ms(route: str, q: float) -> str:
+            if latency_hist is None or not latency_count.get((route,), 0.0):
+                return "—"
+            value = histogram_quantile(latency_hist, q, route=route)
+            return f"{value * 1e3:.2f} ms"
+
         request_rows = []
         for route in sorted(requests_by_route):
             count = latency_count.get((route,), 0.0)
@@ -1139,7 +1352,27 @@ class Application:
                 1e3 * latency_sum.get((route,), 0.0) / count if count else 0.0
             )
             request_rows.append(
-                (route, int(requests_by_route[route]), f"{mean_ms:.2f} ms")
+                (
+                    route,
+                    int(requests_by_route[route]),
+                    f"{mean_ms:.2f} ms",
+                    quantile_ms(route, 0.50),
+                    quantile_ms(route, 0.95),
+                    quantile_ms(route, 0.99),
+                )
+            )
+        slo_rows = []
+        statuses = self._maybe_evaluate_slos(force=True)
+        for status in statuses or []:
+            slo_rows.append(
+                (
+                    status.slo.name,
+                    status.state,
+                    f"{status.burn_rates.get('page_short', 0.0):.2f}",
+                    f"{status.burn_rates.get('page_long', 0.0):.2f}",
+                    f"{100.0 * status.budget_remaining:.1f}%",
+                    int(status.window_total),
+                )
             )
         status_rows = [
             (key[0], int(value))
@@ -1223,6 +1456,7 @@ class Application:
                 registry_rows=registry_rows,
                 resolution_rows=resolution_rows,
                 health=health["status"],
+                slo_rows=slo_rows,
             )
         )
 
@@ -1315,17 +1549,27 @@ class Application:
             degraded_recent = counts.get("stale", 0) + counts.get("mirror", 0)
             failed_recent = counts.get("failed", 0)
             resolved_recent = sum(counts.values())
+        slo_payload: Optional[Dict[str, object]] = None
+        if self.slo_tracker is not None:
+            statuses = self._maybe_evaluate_slos(force=True)
+            if statuses is not None:
+                slo_payload = SLOTracker.payload(statuses)
         if not mirror_writable or (
             resolved_recent and failed_recent == resolved_recent
         ):
             state = "failing"
         elif degraded_recent or failed_recent or quarantined:
             state = "degraded"
+        elif slo_payload is not None and slo_payload["state"] == "page":
+            # an SLO page is a *service* problem, not a storage one:
+            # the node keeps taking traffic (200), but /healthz admits
+            # the error budget is burning
+            state = "degraded"
         else:
             state = "ok"
         code = HEALTH_STATES.index(state)
         self._health_gauge.set(code)
-        return {
+        payload: Dict[str, object] = {
             "status": state,
             "code": code,
             "server": self.server_name,
@@ -1338,6 +1582,9 @@ class Application:
                 "artifacts_mirrored": len(store),
             },
         }
+        if slo_payload is not None:
+            payload["slo"] = slo_payload
+        return payload
 
     def _healthz(self) -> Response:
         """``GET /healthz`` — 200 for ok/degraded, 503 for failing.

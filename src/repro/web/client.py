@@ -178,6 +178,17 @@ class Browser:
         except json.JSONDecodeError as exc:
             raise RemoteError(f"GET {path}: not JSON ({exc})") from exc
 
+    def get_text(self, path: str) -> str:
+        """GET a plain-text resource (``/metrics``); non-200 raises.
+
+        A failed scrape must be an *error* the caller's retry/breaker
+        machinery sees, never an error page merged into a dataset.
+        """
+        page = self._request("GET", path)
+        if page.status != 200:
+            raise TransientRemoteError(f"GET {path} returned {page.status}")
+        return page.body
+
     # -- the canonical workflow ------------------------------------------
 
     def login(self, user: str) -> Page:

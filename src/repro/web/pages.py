@@ -797,7 +797,7 @@ def status_page(
     server_name: str,
     uptime_s: float,
     known_users: int,
-    request_rows: Sequence[Tuple[str, int, str]],
+    request_rows: Sequence[Tuple[str, int, str, str, str, str]],
     status_rows: Sequence[Tuple[str, int]],
     circuit_rows: Sequence[Tuple[str, str]],
     cache_rows: Sequence[Tuple[str, int]],
@@ -807,6 +807,7 @@ def status_page(
     registry_rows: Sequence[Tuple[str, int]] = (),
     resolution_rows: Sequence[Tuple[str, int]] = (),
     health: str = "",
+    slo_rows: Sequence[Tuple[str, str, str, str, str, int]] = (),
 ) -> str:
     """``GET /status`` — the operator's dashboard, PowerPlay style.
 
@@ -828,17 +829,41 @@ def status_page(
                 H.link("/metrics", "Raw Prometheus metrics"),
                 " — ",
                 H.link("/registry", "Federated registry"),
+                " — ",
+                H.link("/fleet", "Fleet dashboard"),
+                " — ",
+                H.link("/debug/flight", "Flight recorder"),
                 ".",
             )
         ),
         H.heading("Requests by route", 2),
         H.table(
             [
-                [route, H.tag("span", str(count), class_="num"), mean]
-                for route, count, mean in request_rows
+                [
+                    route,
+                    H.tag("span", str(count), class_="num"),
+                    mean, p50, p95, p99,
+                ]
+                for route, count, mean, p50, p95, p99 in request_rows
             ]
-            or [["(no requests yet)", "", ""]],
-            header=["Route", "Requests", "Mean latency"],
+            or [["(no requests yet)", "", "", "", "", ""]],
+            header=["Route", "Requests", "Mean latency", "p50", "p95", "p99"],
+        ),
+        H.heading("Service-level objectives", 2),
+        H.table(
+            [
+                [
+                    name, state, burn_short, burn_long, budget,
+                    H.tag("span", str(events), class_="num"),
+                ]
+                for name, state, burn_short, burn_long, budget, events
+                in slo_rows
+            ]
+            or [["(SLO tracking disabled)", "", "", "", "", ""]],
+            header=[
+                "SLO", "State", "Burn (5m)", "Burn (1h)",
+                "Budget left", "Events (6h)",
+            ],
         ),
         H.heading("Responses by status class", 2),
         H.table(
@@ -1108,3 +1133,125 @@ def profile_page(
         body.append(H.heading("Flamegraph (by total time)", 2))
         body.append(H.tag("pre", flamegraph_text))
     return H.page(f"PowerPlay profile — {server_name}", *body)
+
+
+def fleet_page(
+    server_name: str,
+    fleet_state: str,
+    node_rows: Sequence[Tuple[str, str, str, str, str, str, int, str]],
+    aggregate_requests: int,
+    reachable: int,
+    total: int,
+    quantiles: Mapping[str, str],
+    skipped: Sequence[str] = (),
+    duration_ms: float = 0.0,
+) -> str:
+    """``GET /fleet`` — per-node and aggregate fleet telemetry.
+
+    ``node_rows`` are ``(name, url, up/down, health, slo, breaker,
+    requests, error)``; the aggregate numbers come from the
+    deterministic cross-node merge.
+    """
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Fleet seen from {server_name!r}: {reachable}/{total} "
+                f"node(s) reachable, worst SLO state "
+                f"{fleet_state!r}, scraped in {duration_ms:.1f} ms.  ",
+                H.link("/fleet?fmt=json", "JSON"),
+                " | ",
+                H.link("/status", "Status"),
+                " | ",
+                H.link("/debug/flight", "Flight recorder"),
+                ".",
+            )
+        ),
+        H.heading("Nodes", 2),
+        H.table(
+            [
+                [
+                    name, url, up, health, slo, breaker,
+                    H.tag("span", str(requests), class_="num"),
+                    error,
+                ]
+                for name, url, up, health, slo, breaker, requests, error
+                in node_rows
+            ]
+            or [["(no nodes)", "", "", "", "", "", "", ""]],
+            header=[
+                "Node", "URL", "Scrape", "Health", "SLO", "Breaker",
+                "Requests", "Error",
+            ],
+        ),
+        H.heading("Aggregate", 2),
+        H.table(
+            [
+                ["requests (all nodes)", str(aggregate_requests)],
+                ["latency p50", quantiles.get("p50", "—")],
+                ["latency p95", quantiles.get("p95", "—")],
+                ["latency p99", quantiles.get("p99", "—")],
+            ],
+            header=["Metric", "Value"],
+        ),
+    ]
+    if skipped:
+        body.append(
+            H.paragraph(
+                "Families skipped (unmergeable across nodes): "
+                + ", ".join(skipped)
+                + "."
+            )
+        )
+    return H.page(f"PowerPlay fleet — {server_name}", *body)
+
+
+def flight_page(
+    server_name: str,
+    capacity: int,
+    recorded_total: int,
+    record_rows: Sequence[Tuple[int, str, str, int, str, str, str]],
+    snapshots: Sequence[str] = (),
+) -> str:
+    """``GET /debug/flight`` — the flight-recorder ring, newest first.
+
+    ``record_rows`` are ``(seq, route, method, status, duration,
+    trace_id, alerts)``.
+    """
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Flight recorder on {server_name!r}: "
+                f"{recorded_total} request(s) recorded, ring holds the "
+                f"last {capacity}.  ",
+                H.link("/debug/flight?fmt=json", "JSON"),
+                " | ",
+                H.link("/fleet", "Fleet"),
+                " | ",
+                H.link("/status", "Status"),
+                ".",
+            )
+        ),
+        H.heading("Recent requests (newest first)", 2),
+        H.table(
+            [
+                [
+                    H.tag("span", str(seq), class_="num"),
+                    route, method_, str(status), duration, trace_id,
+                    alerts,
+                ]
+                for seq, route, method_, status, duration, trace_id,
+                alerts in record_rows
+            ]
+            or [["(nothing recorded yet)", "", "", "", "", "", ""]],
+            header=[
+                "Seq", "Route", "Method", "Status", "Duration",
+                "Trace", "Alerts",
+            ],
+        ),
+        H.heading("Snapshots on disk", 2),
+        H.table(
+            [[name] for name in snapshots] or [["(no snapshots)"]],
+            header=["File"],
+        ),
+    ]
+    return H.page(f"PowerPlay flight recorder — {server_name}", *body)

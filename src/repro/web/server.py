@@ -275,6 +275,7 @@ class PowerPlayServer:
         handler_base: type = _Handler,
         max_body_bytes: int = _Handler.max_body_bytes,
         handler_attrs: Optional[dict] = None,
+        telemetry_tick_s: Optional[float] = None,
     ):
         self.application = application or Application(
             Path(state_dir), server_name=server_name
@@ -290,6 +291,22 @@ class PowerPlayServer:
         handler = type("BoundHandler", (handler_base,), attrs)
         self._httpd = _SoakFriendlyHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
+        #: optional background SLO tick — rolling windows must advance
+        #: (and alerts must clear) even when no requests arrive.  Off
+        #: by default: tests drive evaluation explicitly; ``repro
+        #: serve`` turns it on.
+        self.telemetry_tick_s = telemetry_tick_s
+        self._tick_stop = threading.Event()
+        self._tick_thread: Optional[threading.Thread] = None
+
+    def _telemetry_tick(self) -> None:
+        evaluate = getattr(self.application, "_maybe_evaluate_slos", None)
+        while not self._tick_stop.wait(self.telemetry_tick_s):
+            if callable(evaluate):
+                try:
+                    evaluate(force=True)
+                except Exception:  # noqa: BLE001 - the tick must survive
+                    pass
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -307,6 +324,14 @@ class PowerPlayServer:
             target=self._httpd.serve_forever, daemon=True, name="powerplay-http"
         )
         self._thread.start()
+        if self.telemetry_tick_s and self._tick_thread is None:
+            self._tick_stop.clear()
+            self._tick_thread = threading.Thread(
+                target=self._telemetry_tick,
+                daemon=True,
+                name="powerplay-telemetry",
+            )
+            self._tick_thread.start()
         return self
 
     #: how long ``stop()`` waits for in-flight requests before closing
@@ -324,6 +349,10 @@ class PowerPlayServer:
         """
         if self._thread is None:
             return
+        if self._tick_thread is not None:
+            self._tick_stop.set()
+            self._tick_thread.join(timeout=2)
+            self._tick_thread = None
         self._httpd.shutdown()
         self._thread.join(timeout=5)
         drained = self._httpd.drain(self.drain_deadline)

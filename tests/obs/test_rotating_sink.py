@@ -1,0 +1,86 @@
+"""RotatingFileSink: size-bounded, atomic-rename rotation."""
+
+import pytest
+
+from repro.obs.logs import RotatingFileSink
+
+
+def emit_line(sink: RotatingFileSink, text: str) -> None:
+    sink.emit(text, {"event": "test"})
+
+
+def test_rotation_bounds_total_files(tmp_path):
+    path = tmp_path / "access.log"
+    sink = RotatingFileSink(path, max_bytes=100, keep=2)
+    for index in range(40):
+        emit_line(sink, f"line-{index:04d} " + "x" * 20)
+    sink.close()
+
+    files = sink.files()
+    assert [f.name for f in files] == [
+        "access.log", "access.log.1", "access.log.2"
+    ]
+    assert all(f.exists() for f in files)
+    assert sink.rotations > 0
+    # nothing beyond the keep bound survives
+    assert not (tmp_path / "access.log.3").exists()
+    # each file respects the size bound (plus one line of overshoot)
+    for f in files:
+        assert f.stat().st_size <= 100 + 40
+
+
+def test_rotation_shifts_contents_in_order(tmp_path):
+    path = tmp_path / "a.log"
+    sink = RotatingFileSink(path, max_bytes=20, keep=3)
+    for index in range(6):
+        emit_line(sink, f"line-{index}-padding-0123456")  # 1 line per file
+    sink.close()
+    # newest line lives in the live file, older ones shifted down
+    assert "line-5" in path.read_text()
+    assert "line-4" in (tmp_path / "a.log.1").read_text()
+    assert "line-3" in (tmp_path / "a.log.2").read_text()
+
+
+def test_triggering_line_is_written_whole_to_the_new_file(tmp_path):
+    path = tmp_path / "a.log"
+    sink = RotatingFileSink(path, max_bytes=30, keep=1)
+    emit_line(sink, "first-line-under-the-bound")
+    emit_line(sink, "second-line-that-triggers-rotation")
+    sink.close()
+    assert path.read_text() == "second-line-that-triggers-rotation\n"
+    assert "first-line" in (tmp_path / "a.log.1").read_text()
+
+
+def test_keep_zero_truncates_instead_of_archiving(tmp_path):
+    path = tmp_path / "a.log"
+    sink = RotatingFileSink(path, max_bytes=25, keep=0)
+    emit_line(sink, "aaaaaaaaaaaaaaaaaaaa")
+    emit_line(sink, "bbbbbbbbbbbbbbbbbbbb")
+    sink.close()
+    assert "bbbb" in path.read_text()
+    assert "aaaa" not in path.read_text()
+    assert not (tmp_path / "a.log.1").exists()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RotatingFileSink("x.log", max_bytes=0)
+    with pytest.raises(ValueError):
+        RotatingFileSink("x.log", keep=-1)
+
+
+def test_append_resumes_existing_file_size(tmp_path):
+    path = tmp_path / "a.log"
+    path.write_text("x" * 90 + "\n")
+    sink = RotatingFileSink(path, max_bytes=100, keep=1)
+    emit_line(sink, "this line pushes the existing file over the bound")
+    sink.close()
+    assert (tmp_path / "a.log.1").exists()  # pre-existing bytes counted
+
+
+def test_emit_survives_disk_errors(tmp_path):
+    sink = RotatingFileSink(tmp_path / "a.log", max_bytes=1000, keep=1)
+    emit_line(sink, "hello")
+    sink._handle.close()  # simulate the handle dying under the sink
+    emit_line(sink, "world")  # must not raise
+    sink.close()

@@ -1,0 +1,306 @@
+"""SLO math edge cases — the hard parts of burn-rate alerting.
+
+Everything runs against a private registry with an injected clock:
+windows advance by arithmetic, never ``time.sleep``, so each scenario
+is exact and repeatable.  Covers the acceptance list from the fleet
+telemetry PR: empty windows, zero-traffic burn rates, counter resets
+after a restart, and deterministic window advance.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOStatus,
+    SLOTracker,
+    route_class,
+    worst_state,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_tracker(registry, clock, slos=DEFAULT_SLOS) -> SLOTracker:
+    return SLOTracker(slos=slos, registry=registry, clock=clock)
+
+
+def by_name(statuses, name) -> SLOStatus:
+    return next(s for s in statuses if s.slo.name == name)
+
+
+# -- declaration validation ------------------------------------------------
+
+
+def test_slo_declarations_are_validated():
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="throughput", objective=0.9)
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="availability", objective=1.0)
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="availability", objective=0.0)
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="latency", objective=0.99)  # no class/threshold
+    slo = SLO(name="x", kind="availability", objective=0.995)
+    assert slo.budget == pytest.approx(0.005)
+
+
+def test_duplicate_slo_names_are_rejected(registry, clock):
+    duplicated = (DEFAULT_SLOS[0], DEFAULT_SLOS[0])
+    with pytest.raises(ValueError):
+        make_tracker(registry, clock, slos=duplicated)
+
+
+def test_route_class_mapping():
+    assert route_class("/metrics") == "ops"
+    assert route_class("/debug/flight") == "ops"
+    assert route_class("/fleet") == "ops"
+    assert route_class("/api/ping") == "api"
+    assert route_class("/agent/estimate") == "api"
+    assert route_class("/export/design") == "api"
+    assert route_class("/menu") == "ui"
+    assert route_class("/") == "ui"
+
+
+def test_worst_state_of_nothing_is_ok():
+    assert worst_state([]) == "ok"
+
+
+# -- empty windows and zero traffic ----------------------------------------
+
+
+def test_empty_window_is_ok_not_an_outage(registry, clock):
+    """No counters at all: burn 0 everywhere, full budget, state ok."""
+    tracker = make_tracker(registry, clock)
+    statuses = tracker.evaluate()
+    assert [s.state for s in statuses] == ["ok"] * len(DEFAULT_SLOS)
+    for status in statuses:
+        assert all(rate == 0.0 for rate in status.burn_rates.values())
+        assert status.window_total == 0.0
+        assert status.budget_remaining == 1.0
+
+
+def test_zero_traffic_after_errors_decays_to_ok(registry, clock):
+    """An idle fleet must not page: once windows age out, burn is 0."""
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    tracker = make_tracker(registry, clock)
+    responses.inc(amount=50, status_class="5xx")
+    for _ in range(3):  # populate both page windows
+        clock.advance(60)
+        tracker.evaluate()
+    assert tracker.states()["availability"] == "page"
+
+    # no further traffic; advance past every alert window
+    clock.advance(22000)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    assert availability.state == "ok"
+    assert all(rate == 0.0 for rate in availability.burn_rates.values())
+    assert availability.previous == "page"
+    assert availability.changed
+
+
+# -- burn-rate math --------------------------------------------------------
+
+
+def test_error_storm_pages_then_de_escalates(registry, clock):
+    """page needs BOTH 5m and 1h burning; recovery steps down via warn."""
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    tracker = make_tracker(registry, clock)
+
+    responses.inc(amount=100, status_class="2xx")
+    statuses = tracker.evaluate()
+    assert by_name(statuses, "availability").state == "ok"
+
+    # 100% errors: burn = 1 / 0.005 = 200 in every window
+    responses.inc(amount=300, status_class="5xx")
+    clock.advance(60)
+    tracker.evaluate()
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    assert availability.state == "page"
+    assert availability.burn_rates["page_short"] > 14.4
+    assert availability.burn_rates["page_long"] > 14.4
+    assert availability.window_bad == 300.0
+
+    # bleeding stops: good traffic only.  Once the 5m window clears,
+    # the page disarms — but the 30m/6h windows still remember, so the
+    # alert steps down to warn instead of snapping to ok.
+    responses.inc(amount=100, status_class="2xx")
+    clock.advance(301)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    assert availability.state == "warn"
+    assert availability.burn_rates["page_short"] == 0.0
+    assert availability.burn_rates["warn_long"] >= 6.0
+
+    # and to ok once the warn windows age out too
+    clock.advance(21600)
+    statuses = tracker.evaluate()
+    assert by_name(statuses, "availability").state == "ok"
+
+
+def test_one_bad_request_at_low_traffic_does_not_page(registry, clock):
+    """The long window suppresses single-request blips."""
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    tracker = make_tracker(registry, clock)
+    responses.inc(amount=1000, status_class="2xx")
+    tracker.evaluate()
+    clock.advance(3000)
+    tracker.evaluate()
+
+    # one 5xx in the last five minutes, 1000 good in the last hour:
+    # short burn is high, long burn is tiny -> no page
+    responses.inc(amount=1, status_class="5xx")
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    assert availability.state == "ok"
+    assert availability.burn_rates["page_short"] >= 14.4
+    assert availability.burn_rates["page_long"] < 14.4
+
+
+def test_counter_reset_rebaselines_instead_of_spiking(registry, clock):
+    """A restart (counter reset) must not look like an error spike."""
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    tracker = make_tracker(registry, clock)
+    responses.inc(amount=500, status_class="2xx")
+    tracker.evaluate()
+
+    registry.reset()  # the restart: cumulative drops 500 -> 0
+    responses.inc(amount=10, status_class="2xx")
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    assert availability.state == "ok"
+    assert availability.window_bad == 0.0
+    # the post-reset cumulative counts as one fresh increment
+    assert availability.window_total == 510.0
+    assert all(
+        rate == 0.0 for rate in availability.burn_rates.values()
+    )
+
+
+def test_window_advance_is_deterministic(registry, clock):
+    """Same pushes at the same fake times -> identical burn rates."""
+    def run() -> dict:
+        local_registry = MetricsRegistry()
+        local_clock = FakeClock()
+        responses = local_registry.counter(
+            "powerplay_http_responses_total", "", ("status_class",)
+        )
+        tracker = make_tracker(local_registry, local_clock)
+        rates = {}
+        for step in range(10):
+            responses.inc(amount=90, status_class="2xx")
+            responses.inc(amount=10, status_class="5xx")
+            local_clock.advance(45)
+            statuses = tracker.evaluate()
+            rates[step] = by_name(statuses, "availability").burn_rates
+        return rates
+
+    assert run() == run()
+
+
+# -- latency SLOs ----------------------------------------------------------
+
+
+def test_latency_slo_reads_good_count_off_the_bucket(registry, clock):
+    latency = registry.histogram(
+        "powerplay_http_request_seconds", "", ("route",)
+    )
+    tracker = make_tracker(registry, clock)
+    # 80 fast + 20 slow API requests: 20% over 25ms against a 1%
+    # budget is burn 20 — past the 14.4 page threshold
+    for _ in range(80):
+        latency.observe(0.001, route="/api/ping")
+    for _ in range(20):
+        latency.observe(0.9, route="/api/ping")
+    clock.advance(60)
+    tracker.evaluate()
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    api = by_name(statuses, "latency-api")
+    assert api.state == "page"
+    assert api.window_bad == 20.0
+    assert api.window_total == 100.0
+
+
+def test_latency_slo_is_scoped_to_its_route_class(registry, clock):
+    """Slow UI pages must not page the API latency SLO."""
+    latency = registry.histogram(
+        "powerplay_http_request_seconds", "", ("route",)
+    )
+    tracker = make_tracker(registry, clock)
+    for _ in range(50):
+        latency.observe(2.0, route="/menu")      # ui: terrible
+        latency.observe(0.001, route="/api/ping")  # api: great
+    clock.advance(60)
+    tracker.evaluate()
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    assert by_name(statuses, "latency-api").state == "ok"
+    assert by_name(statuses, "latency-ui").state == "page"
+
+
+# -- exported gauges and payload -------------------------------------------
+
+
+def test_evaluate_exports_slo_gauges(registry, clock):
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    tracker = make_tracker(registry, clock)
+    responses.inc(amount=10, status_class="2xx")
+    clock.advance(1)
+    tracker.evaluate()
+    state_gauge = registry.get("powerplay_slo_state")
+    assert state_gauge is not None
+    assert state_gauge.value(slo="availability") == 0.0
+    burn_gauge = registry.get("powerplay_slo_burn_rate")
+    assert burn_gauge.value(slo="availability", window="page_short") == 0.0
+    budget_gauge = registry.get("powerplay_slo_budget_remaining")
+    assert budget_gauge.value(slo="availability") == 1.0
+
+
+def test_payload_shape(registry, clock):
+    tracker = make_tracker(registry, clock)
+    payload = SLOTracker.payload(tracker.evaluate())
+    assert payload["state"] == "ok"
+    names = [entry["name"] for entry in payload["objectives"]]
+    assert names == [slo.name for slo in DEFAULT_SLOS]
+    for entry in payload["objectives"]:
+        assert set(entry) >= {
+            "name", "kind", "objective", "state", "previous",
+            "burn_rates", "window_total", "window_bad",
+            "budget_remaining",
+        }
