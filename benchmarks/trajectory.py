@@ -3,7 +3,7 @@
 Each bench writes its own JSON artifact in its own shape — the
 pytest-benchmark harness emits ``{"benchmarks": [{name, stats}]}``,
 the deterministic benches (``bench_registry.json``,
-``bench_fleet.json``) write flat fact dicts.  This module flattens all
+``bench_fleet.json``, ``bench_history.json``) write flat fact dicts.  This module flattens all
 of them into one schema so the repo carries a single machine-readable
 performance history:
 

@@ -614,6 +614,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import PowerPlayServer
 
     state = Path(args.state).expanduser()
+    # validate peers before binding the socket: a typo'd --peer must
+    # fail the command, not trip the scrape breaker mid-soak
+    peers = [_parse_peer(spec) for spec in args.peer]
     server = PowerPlayServer(state, host=args.host, port=args.port,
                              server_name=args.name,
                              telemetry_tick_s=args.telemetry_tick)
@@ -626,10 +629,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         obs.enable(level=obs.parse_level(args.log_level or "info"),
                    json_logs=args.log_json, sink=sink)
-    if args.peer:
-        peers = [_parse_peer(spec) for spec in args.peer]
+    if peers:
         server.application.configure_fleet(peers)
         print(f"fleet peers: {', '.join(url for _, url in peers)}")
+    if args.history_dir:
+        history_dir = Path(args.history_dir).expanduser()
+        server.application.attach_history(
+            history_dir, interval_s=args.history_interval
+        )
+        stats = server.application.history.stats()
+        segments = sum(stats["segments"].values())
+        print(f"telemetry history in {history_dir} "
+              f"(every {args.history_interval:g}s, "
+              f"{segments} segment(s) on disk)")
     print(f"PowerPlay serving at {server.base_url} (state in {state})")
     print("Ctrl-C to stop.")
     import time as _time
@@ -644,13 +656,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _parse_peer(spec: str) -> tuple:
-    """``name=http://host:port`` or a bare URL (name derived)."""
+    """``name=http://host:port`` or a bare URL (name derived).
+
+    The URL is validated here, at parse time, so a typo like
+    ``--peer localhost:9090`` (no scheme) fails the command with a clear
+    message instead of tripping the scrape breaker on first use.
+    """
+    from .obs.fleet import validate_peer_url
+
     if "=" in spec.split("://", 1)[0]:
         name, url = spec.split("=", 1)
-        return name, url
-    trimmed = spec.rstrip("/")
-    name = trimmed.split("://", 1)[-1].replace(":", "-").replace("/", "-")
-    return name, trimmed
+        if not name:
+            raise PowerPlayError(f"peer {spec!r}: empty name before '='")
+    else:
+        url = spec
+        name = None
+    try:
+        url = validate_peer_url(url)
+    except ValueError as exc:
+        raise PowerPlayError(f"peer {spec!r}: {exc}") from exc
+    if name is None:
+        name = url.split("://", 1)[-1].replace(":", "-").replace("/", "-")
+    return name, url
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -748,6 +775,115 @@ def _print_flight_records(records) -> None:
               f"{record.get('duration_ms', 0.0):>9.2f}  "
               f"{record.get('trace_id', ''):34} "
               f"{','.join(record.get('alerts', []))}")
+
+
+def _open_history(args: argparse.Namespace):
+    """Open a history store read-only-ish from ``--dir`` for offline use."""
+    from .obs.history import HistoryConfig, HistoryStore
+
+    root = Path(args.dir).expanduser()
+    if not root.exists():
+        raise PowerPlayError(f"no history store at {root}")
+    return HistoryStore(root, HistoryConfig(fsync_journal=False))
+
+
+def _history_labels(specs) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    for spec in specs or ():
+        if "=" not in spec:
+            raise PowerPlayError(
+                f"label {spec!r} must look like name=value"
+            )
+        key, value = spec.split("=", 1)
+        labels[key] = value
+    return labels
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Inspect an on-disk telemetry history store."""
+    import json as _json
+
+    from .obs.history import HistoryError, render_sparkline
+
+    store = _open_history(args)
+    try:
+        if args.action == "info":
+            stats = store.stats()
+            if args.json:
+                print(_json.dumps(stats, indent=1, sort_keys=True))
+                return 0
+            segments = stats["segments"]
+            print(f"history store {stats['root']}")
+            print(f"  segments: raw={segments['raw']} m1={segments['m1']} "
+                  f"m15={segments['m15']} "
+                  f"(+{stats['active_rounds']} journal round(s))")
+            print(f"  on disk:  {stats['bytes']} bytes")
+            print(f"  span:     {stats['oldest']} .. {stats['newest']}")
+            for name, reason in stats["quarantined"]:
+                print(f"  QUARANTINED {name}: {reason}")
+            families = store.families()
+            print(f"  families: {len(families)}")
+            for name in sorted(families):
+                print(f"    {name} ({families[name]})")
+            return 1 if stats["quarantined"] else 0
+
+        if args.action == "compact":
+            done = store.compact()
+            print(f"compacted: m1={done['m1']} m15={done['m15']} "
+                  f"expired={done['expired']}")
+            return 0
+
+        # query
+        try:
+            result = store.query(
+                args.name,
+                labels=_history_labels(args.label),
+                op=args.op,
+                since=args.since,
+                until=args.until,
+                q=args.q,
+            )
+        except HistoryError as exc:
+            raise PowerPlayError(str(exc)) from exc
+        if args.json:
+            print(result.to_json())
+            return 0
+        payload = result.payload()
+        print(f"{args.op} {args.name} — {len(payload['series'])} series")
+        for entry in payload["series"]:
+            points = entry["points"]
+            values = [value for _, value in points if value is not None]
+            spark = render_sparkline(values, width=32)
+            latest = f"{values[-1]:g}" if values else "—"
+            print(f"  {entry['key']}")
+            print(f"    {len(points):>4} pts  latest={latest:>12}  {spark}")
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    """Fit throughput/latency trends and project worker needs."""
+    from .obs.capacity import build_capacity_report
+
+    store = _open_history(args)
+    try:
+        report = build_capacity_report(
+            store,
+            since=args.since,
+            until=args.until,
+            horizon_s=args.horizon_hours * 3600.0,
+            threads_per_worker=args.threads_per_worker,
+            utilization=args.utilization,
+            quantile=args.quantile,
+        )
+    finally:
+        store.close()
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(report.render_text())
+    return 0
 
 
 def cmd_bench_report(args: argparse.Namespace) -> int:
@@ -1014,6 +1150,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 1 MiB)")
     serve.add_argument("--access-log-keep", type=int, default=3,
                        help="rotated access-log files to keep (default 3)")
+    serve.add_argument("--history-dir", default=None, metavar="PATH",
+                       help="record telemetry history into this directory "
+                       "(crash-safe segments; enables /history)")
+    serve.add_argument("--history-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="history sampling interval (default 5)")
     serve.set_defaults(func=cmd_serve)
 
     fleet = sub.add_parser(
@@ -1043,6 +1185,62 @@ def build_parser() -> argparse.ArgumentParser:
     faction.add_parser("show", help="human-readable record tables")
     faction.add_parser("dump", help="raw snapshot JSON")
     flight.set_defaults(func=cmd_flight)
+
+    history = sub.add_parser(
+        "history", help="inspect an on-disk telemetry history store"
+    )
+    history.add_argument("--dir", default="~/.powerplay-history",
+                         help="history store directory "
+                         "(default ~/.powerplay-history)")
+    history.add_argument("--json", action="store_true",
+                         help="print deterministic JSON instead of tables")
+    haction = history.add_subparsers(dest="action", required=True)
+    haction.add_parser("info", help="store stats, families, quarantine")
+    hquery = haction.add_parser(
+        "query", help="range / rate / quantile over recorded series"
+    )
+    hquery.add_argument("name", help="metric family, e.g. "
+                        "powerplay_http_requests_total")
+    hquery.add_argument("--label", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="series label filter (repeatable)")
+    hquery.add_argument("--op", choices=("range", "rate", "quantile"),
+                        default="range")
+    hquery.add_argument("--since", type=float, default=None,
+                        help="unix start time (default: everything)")
+    hquery.add_argument("--until", type=float, default=None,
+                        help="unix end time (default: newest stored "
+                        "sample, so replays are byte-identical)")
+    hquery.add_argument("--q", type=float, default=0.95,
+                        help="quantile for --op quantile (default 0.95)")
+    haction.add_parser(
+        "compact", help="run one rollup + retention pass now"
+    )
+    history.set_defaults(func=cmd_history)
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="fit recorded traffic trends and project worker counts",
+    )
+    capacity.add_argument("--dir", default="~/.powerplay-history",
+                          help="history store directory "
+                          "(default ~/.powerplay-history)")
+    capacity.add_argument("--since", type=float, default=None,
+                          help="unix start time (default: everything)")
+    capacity.add_argument("--until", type=float, default=None,
+                          help="unix end time (default: newest sample)")
+    capacity.add_argument("--horizon-hours", type=float, default=168.0,
+                          help="projection horizon (default 168 = 7 days)")
+    capacity.add_argument("--threads-per-worker", type=int, default=8,
+                          help="threads each worker serves (default 8)")
+    capacity.add_argument("--utilization", type=float, default=0.6,
+                          help="target worker utilization (default 0.6)")
+    capacity.add_argument("--quantile", type=float, default=0.95,
+                          help="latency quantile for the table "
+                          "(default 0.95)")
+    capacity.add_argument("--json", action="store_true",
+                          help="print the deterministic report JSON")
+    capacity.set_defaults(func=cmd_capacity)
 
     bench_report = sub.add_parser(
         "bench-report",

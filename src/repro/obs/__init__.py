@@ -52,6 +52,7 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
     merge_states,
+    parse_series_key,
 )
 from .trace import (
     Span,
@@ -73,6 +74,7 @@ from .slo import (
     SLO,
     SLOStatus,
     SLOTracker,
+    good_total_from_flat,
     route_class,
     worst_state,
 )
@@ -82,12 +84,27 @@ from .fleet import (
     FleetScraper,
     family_quantile,
     parse_exposition,
+    validate_peer_url,
 )
 from .recorder import (
     FlightRecord,
     FlightRecorder,
     load_snapshots,
 )
+from .history import (
+    HistoryConfig,
+    HistoryError,
+    HistoryRecorder,
+    HistoryStore,
+    QueryResult,
+    render_sparkline,
+)
+from .capacity import (
+    CapacityReport,
+    RouteCapacity,
+    build_capacity_report,
+)
+from .process import refresh_process_metrics
 from . import profile, propagate
 from .profile import (
     ProfileNode,
@@ -112,6 +129,7 @@ from .propagate import (
 
 __all__ = [
     "BurnRatePolicy",
+    "CapacityReport",
     "Counter",
     "DEBUG",
     "DEFAULT_LATENCY_BUCKETS",
@@ -124,6 +142,10 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistoryConfig",
+    "HistoryError",
+    "HistoryRecorder",
+    "HistoryStore",
     "INFO",
     "MemorySink",
     "MetricsRegistry",
@@ -131,8 +153,10 @@ __all__ = [
     "OFF",
     "ObsState",
     "ProfileNode",
+    "QueryResult",
     "REQUEST_HEADER",
     "RotatingFileSink",
+    "RouteCapacity",
     "SLO",
     "SLOStatus",
     "SLOTracker",
@@ -146,6 +170,7 @@ __all__ = [
     "add_root_hook",
     "aggregate",
     "annotate",
+    "build_capacity_report",
     "clear_traces",
     "configure",
     "current_context",
@@ -159,6 +184,7 @@ __all__ = [
     "format_kv",
     "get_logger",
     "get_registry",
+    "good_total_from_flat",
     "graft_remote",
     "hot_paths",
     "is_enabled",
@@ -173,14 +199,18 @@ __all__ = [
     "profile_payload",
     "propagate",
     "parse_exposition",
+    "parse_series_key",
     "recent_traces",
+    "refresh_process_metrics",
     "remove_root_hook",
     "render_flamegraph",
     "render_profile",
+    "render_sparkline",
     "render_trace",
     "restore",
     "route_class",
     "span",
     "traced",
+    "validate_peer_url",
     "worst_state",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "FleetScraper",
     "family_quantile",
     "parse_exposition",
+    "validate_peer_url",
 ]
 
 _LOG = get_logger("obs.fleet")
@@ -53,6 +54,36 @@ _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 #: histogram child-series suffixes, used to map a sample back to its
 #: family name (``x_bucket`` belongs to histogram ``x``)
 _HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def validate_peer_url(url: str) -> str:
+    """Validate and normalize a fleet peer base URL.
+
+    Returns the URL with any trailing slash stripped.  Raises
+    :class:`ValueError` with a message naming what is wrong — a bad
+    ``--peer`` must fail at parse time with a clear error, not minutes
+    later as an opaque first-scrape circuit-breaker trip.
+    """
+    from urllib.parse import urlsplit
+
+    url = (url or "").strip()
+    if not url:
+        raise ValueError("peer URL is empty")
+    try:
+        parts = urlsplit(url)
+    except ValueError as exc:
+        raise ValueError(f"peer URL {url!r} does not parse: {exc}")
+    if parts.scheme not in ("http", "https"):
+        raise ValueError(
+            f"peer URL {url!r} needs an http:// or https:// scheme"
+        )
+    if not parts.hostname:
+        raise ValueError(f"peer URL {url!r} has no host")
+    try:
+        parts.port  # noqa: B018 - property access raises on bad ports
+    except ValueError:
+        raise ValueError(f"peer URL {url!r} has an invalid port")
+    return url.rstrip("/")
 
 
 def _unescape(value: str) -> str:
@@ -289,7 +320,7 @@ class _PeerClient:
         from ..web.resilience import CircuitBreaker, RetryPolicy
 
         self.name = name
-        self.url = url.rstrip("/")
+        self.url = validate_peer_url(url)
         self.browser = Browser(self.url, timeout=timeout)
         self.retry_policy = RetryPolicy()
         self.breaker = CircuitBreaker(name=f"fleet:{self.url}")

@@ -35,6 +35,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "merge_states",
+    "parse_series_key",
 ]
 
 #: seconds — tuned for "virtually instantaneous" request handling
@@ -80,6 +81,54 @@ def _series_key(name: str, labels: Mapping[str, str]) -> str:
 
 def _series(name: str, labels: Mapping[str, str], value: float) -> str:
     return f"{_series_key(name, labels)} {_format_value(value)}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`_series_key`: ``name{a="b"}`` -> ``(name, {a: b})``.
+
+    The history store and query layer address series by their canonical
+    exposition string; label-subset selection needs the parts back.
+    Raises :class:`ValueError` on malformed keys (unbalanced braces,
+    unterminated quotes) — corrupt segment data must not parse silently.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed series key: {key!r}")
+    name = key[:brace]
+    inner = key[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(inner):
+        eq = inner.find('="', index)
+        if eq < 0:
+            raise ValueError(f"malformed series key: {key!r}")
+        label = inner[index:eq]
+        index = eq + 2
+        out: List[str] = []
+        while True:
+            if index >= len(inner):
+                raise ValueError(f"malformed series key: {key!r}")
+            char = inner[index]
+            if char == "\\":
+                if index + 1 >= len(inner):
+                    raise ValueError(f"malformed series key: {key!r}")
+                nxt = inner[index + 1]
+                out.append({"n": "\n"}.get(nxt, nxt))
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            else:
+                out.append(char)
+                index += 1
+        labels[label] = "".join(out)
+        if index < len(inner):
+            if inner[index] != ",":
+                raise ValueError(f"malformed series key: {key!r}")
+            index += 1
+    return name, labels
 
 
 class _Metric:

@@ -1,0 +1,94 @@
+"""Process self-metrics: uptime, resident set size, open fds.
+
+Host-level gauges the telemetry history records alongside the request
+counters — a memory leak or fd leak over a multi-day soak shows up as a
+trend in ``/history`` long before it kills the process.
+
+Everything is best-effort and stdlib-only: ``/proc`` where it exists
+(Linux), :mod:`resource` as the fallback, and a gauge is simply not set
+when the platform offers no way to measure it — absent is honest,
+zero would be a lie.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["refresh_process_metrics"]
+
+#: process epoch for the uptime gauge (module import ~= process start)
+_STARTED = time.monotonic()
+
+
+def _rss_bytes() -> Optional[float]:
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return float(fields[1]) * os.sysconf("SC_PAGESIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    if resource is not None:
+        try:
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except OSError:  # pragma: no cover - exotic platforms
+            return None
+        # ru_maxrss is KiB on Linux, bytes on macOS; either way it is
+        # the peak, which is the honest fallback when live RSS is
+        # unavailable
+        import sys
+
+        scale = 1 if sys.platform == "darwin" else 1024
+        return float(peak) * scale
+    return None  # pragma: no cover - non-POSIX without /proc
+
+
+def _open_fds() -> Optional[float]:
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return float(len(os.listdir(fd_dir)))
+        except OSError:
+            continue
+    return None
+
+
+def refresh_process_metrics(
+    registry=None,
+    clock: Callable[[], float] = time.monotonic,
+) -> Dict[str, float]:
+    """Set the process gauges to current values; returns what was set.
+
+    Gauges are get-or-create, so calling this from every sampling site
+    (``/metrics`` render, fleet sample, history round) is idempotent
+    registration plus a cheap refresh.
+    """
+    if registry is None:
+        from . import metrics as m
+
+        registry = m.get_registry()
+    values: Dict[str, float] = {
+        "powerplay_process_uptime_seconds": max(0.0, clock() - _STARTED),
+    }
+    rss = _rss_bytes()
+    if rss is not None:
+        values["powerplay_process_rss_bytes"] = rss
+    fds = _open_fds()
+    if fds is not None:
+        values["powerplay_process_open_fds"] = fds
+    help_texts = {
+        "powerplay_process_uptime_seconds":
+            "Seconds since this process started.",
+        "powerplay_process_rss_bytes":
+            "Resident set size of this process in bytes.",
+        "powerplay_process_open_fds":
+            "Open file descriptors held by this process.",
+    }
+    for name, value in values.items():
+        registry.gauge(name, help_texts[name]).set(value)
+    return values

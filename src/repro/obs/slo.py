@@ -47,7 +47,9 @@ from typing import (
     Tuple,
 )
 
-from .metrics import Histogram, MetricsRegistry, get_registry
+from .metrics import (
+    Histogram, MetricsRegistry, get_registry, parse_series_key,
+)
 
 __all__ = [
     "BurnRatePolicy",
@@ -55,6 +57,7 @@ __all__ = [
     "SLO",
     "SLOStatus",
     "SLOTracker",
+    "good_total_from_flat",
     "route_class",
     "worst_state",
 ]
@@ -67,7 +70,7 @@ SLO_STATES = ("ok", "warn", "page")
 _OPS_ROUTES = frozenset(
     {
         "/metrics", "/status", "/healthz", "/trace", "/profile",
-        "/fleet", "/debug/flight",
+        "/fleet", "/debug/flight", "/history",
     }
 )
 _API_PREFIXES = ("/api/", "/agent/", "/export/")
@@ -231,6 +234,58 @@ def worst_state(statuses: Sequence[SLOStatus]) -> str:
     for status in statuses:
         worst = max(worst, SLO_STATES.index(status.state))
     return SLO_STATES[worst]
+
+
+def good_total_from_flat(
+    slo: SLO, flat: Mapping[str, float],
+) -> Tuple[float, float]:
+    """(good, total) for one SLO from a flat ``{series key: value}``.
+
+    The flat shape is what the telemetry history stores per sampling
+    round — the same counters :meth:`SLOTracker._cumulative` reads
+    live, just addressed by exposition-format series key.  This is the
+    bridge that lets burn windows rehydrate from disk after a restart.
+    """
+    good = total = 0.0
+    if slo.kind == "availability":
+        for key, value in flat.items():
+            try:
+                name, labels = parse_series_key(key)
+            except ValueError:
+                continue
+            if name != "powerplay_http_responses_total":
+                continue
+            total += value
+            if labels.get("status_class") != "5xx":
+                good += value
+        return good, total
+    threshold = float(slo.threshold_s or 0.0)
+    # per route: total from _count, good from the largest qualifying
+    # cumulative bucket (same bound rule as the live read)
+    best_bound: Dict[str, float] = {}
+    best_value: Dict[str, float] = {}
+    for key, value in flat.items():
+        try:
+            name, labels = parse_series_key(key)
+        except ValueError:
+            continue
+        route = labels.get("route", "")
+        if route_class(route) != slo.route_class:
+            continue
+        if name == "powerplay_http_request_seconds_count":
+            total += value
+        elif name == "powerplay_http_request_seconds_bucket":
+            try:
+                bound = float(labels.get("le", "nan"))
+            except ValueError:
+                continue
+            if not bound <= threshold * (1.0 + 1e-9):
+                continue
+            if bound >= best_bound.get(route, -1.0):
+                best_bound[route] = bound
+                best_value[route] = value
+    good = sum(best_value.values())
+    return good, total
 
 
 class _WindowedSeries:
@@ -417,6 +472,41 @@ class SLOTracker:
                 status.budget_remaining, slo=status.slo.name
             )
         return statuses
+
+    def rehydrate(
+        self,
+        samples: Sequence[Tuple[float, Mapping[str, float]]],
+        wall_now: Optional[float] = None,
+        evaluate: bool = True,
+    ) -> List[SLOStatus]:
+        """Rebuild the burn windows from recorded history samples.
+
+        ``samples`` is ``[(wall timestamp, flat {series key: value})]``
+        as returned by ``HistoryStore.flat_recent`` — each is replayed
+        through the same increment pipeline a live evaluation uses, at
+        a tracker-clock time shifted by its wall age, so a paging
+        condition from before a restart is still burning afterwards.
+
+        The registry's own (freshly reset) counters are then one more
+        negative delta: the reset path re-baselines and post-restart
+        traffic counts exactly once.  Call this *before* the tracker's
+        first live evaluation.
+        """
+        if wall_now is None:
+            wall_now = time.time()
+        now = self.clock()
+        with self._lock:
+            for wall_t, flat in sorted(samples, key=lambda item: item[0]):
+                age = wall_now - float(wall_t)
+                if age < 0:
+                    continue
+                when = now - age
+                for slo in self.slos:
+                    good, total = good_total_from_flat(slo, flat)
+                    self._series[slo.name].push(when, good, total)
+            for slo in self.slos:
+                self._series[slo.name].prune(now, self.policy.longest_s)
+        return self.evaluate() if evaluate else []
 
     def states(self) -> Dict[str, str]:
         """Current state per SLO name (without re-evaluating)."""

@@ -75,7 +75,10 @@ from ..library.designio import (
     design_to_payload,
 )
 from ..obs import get_logger, get_registry, is_enabled, recent_traces
+from ..obs import capacity as obs_capacity
 from ..obs import fleet as obs_fleet
+from ..obs import history as obs_history
+from ..obs import process as obs_process
 from ..obs import profile as obs_profile
 from ..obs import propagate
 from ..obs import recorder as obs_recorder
@@ -157,7 +160,8 @@ KNOWN_ROUTES = frozenset(
         "/tutorial", "/help", "/metrics", "/status", "/trace", "/profile",
         "/registry", "/healthz", "/api/registry/catalog.json",
         "/api/registry/artifact", "/api/registry/publish",
-        "/api/registry/sync", "/fleet", "/debug/flight",
+        "/api/registry/sync", "/fleet", "/debug/flight", "/history",
+        "/api/history/query",
     }
 )
 
@@ -310,6 +314,17 @@ class Application:
         #: peer scraper — installed by :meth:`configure_fleet`; /fleet
         #: without one shows just this node
         self.fleet: Optional[obs_fleet.FleetScraper] = None
+        # -- durable telemetry history -----------------------------------
+        #: installed by :meth:`attach_history`; without it /history and
+        #: /api/history/query answer 404 and nothing touches the disk
+        self.history: Optional[obs_history.HistoryStore] = None
+        self.history_recorder: Optional[obs_history.HistoryRecorder] = None
+        #: fleet peer summaries ride along every Nth history round (a
+        #: full scrape per 5s tick would hammer the peers); the latest
+        #: summary is cached and re-emitted so rounds stay self-contained
+        self._history_fleet_every = 12
+        self._history_rounds = 0
+        self._history_fleet_state: Dict[str, Dict[str, object]] = {}
 
     # -- lookups ------------------------------------------------------------
 
@@ -549,6 +564,10 @@ class Application:
             return self._healthz()
         if route == "/fleet":
             return self._fleet_endpoint(data)
+        if route == "/history":
+            return self._history_endpoint(data)
+        if route == "/api/history/query":
+            return self._api_history_query(data)
         if route == "/debug/flight":
             return self._flight_endpoint(data)
         if route == "/registry":
@@ -1172,6 +1191,7 @@ class Application:
     def _metrics_exposition(self) -> Response:
         """``GET /metrics`` — Prometheus text format, curl-able."""
         self._uptime.set(self.uptime_seconds)
+        obs_process.refresh_process_metrics(self.registry)
         self._maybe_evaluate_slos(force=True)
         return Response(
             body=self.registry.render(),
@@ -1233,6 +1253,7 @@ class Application:
     def _local_fleet_sample(self) -> Tuple[dict, Dict[str, dict]]:
         """(health payload, metrics state) for this very server."""
         self._uptime.set(self.uptime_seconds)
+        obs_process.refresh_process_metrics(self.registry)
         return self.health(), self.registry.export_state()
 
     def _fleet_endpoint(self, data: Mapping[str, str]) -> Response:
@@ -1280,6 +1301,213 @@ class Application:
                 skipped=report.skipped,
                 duration_ms=report.duration_s * 1e3,
             )
+        )
+
+    # -- durable telemetry history -------------------------------------------
+
+    def attach_history(
+        self,
+        history_dir: Path,
+        interval_s: float = 5.0,
+        config: Optional[obs_history.HistoryConfig] = None,
+        rehydrate: bool = True,
+    ) -> obs_history.HistoryRecorder:
+        """Open (or create) the history store and wire the recorder.
+
+        Rehydrates the SLO burn windows from what the store remembers
+        — a paging condition from before a restart is still burning
+        after it.  The recorder is *not* started here: the server
+        starts the background thread, tests call ``sample_once``.
+        """
+        if config is None:
+            config = obs_history.HistoryConfig(interval_s=interval_s)
+        store = obs_history.HistoryStore(Path(history_dir), config)
+        if rehydrate and self.slo_tracker is not None:
+            horizon = (
+                self.slo_tracker.policy.longest_s + config.interval_s
+            )
+            samples = store.flat_recent(time.time() - horizon)
+            if samples:
+                self.slo_tracker.rehydrate(samples)
+        self.history = store
+        self.history_recorder = obs_history.HistoryRecorder(
+            store, self._history_sample, interval_s=config.interval_s,
+        )
+        return self.history_recorder
+
+    def _history_sample(self) -> Dict[str, Dict[str, object]]:
+        """One history round: registry state + cached fleet summaries."""
+        self._uptime.set(self.uptime_seconds)
+        obs_process.refresh_process_metrics(self.registry)
+        self._history_rounds += 1
+        if self.fleet is not None and (
+            self._history_rounds % self._history_fleet_every == 1
+        ):
+            self._history_fleet_state = self._fleet_summary_state()
+        state = self.registry.export_state()
+        state.update(self._history_fleet_state)
+        return state
+
+    def _fleet_summary_state(self) -> Dict[str, Dict[str, object]]:
+        """Bounded per-node summary series from one peer scrape."""
+        from ..obs.metrics import _series_key
+        from ..obs.slo import SLO_STATES
+
+        if self.fleet is None:
+            return {}
+        try:
+            report = self.fleet.scrape()
+        except Exception as exc:  # noqa: BLE001 - peers must not kill sampling
+            self._access.warning("history_fleet_scrape", error=repr(exc))
+            return {}
+        up: Dict[str, object] = {}
+        requests: Dict[str, object] = {}
+        slo_state: Dict[str, object] = {}
+        for node in report.nodes:
+            labels = {"node": node.name}
+            up[_series_key("powerplay_fleet_node_up", labels)] = (
+                1.0 if node.ok else 0.0
+            )
+            requests[
+                _series_key("powerplay_fleet_node_requests_total", labels)
+            ] = float(node.requests_total())
+            state = node.slo_state
+            slo_state[
+                _series_key("powerplay_fleet_node_slo_state", labels)
+            ] = float(
+                SLO_STATES.index(state) if state in SLO_STATES else 0
+            )
+        return {
+            "powerplay_fleet_node_up": {
+                "kind": "gauge", "series": up,
+            },
+            "powerplay_fleet_node_requests_total": {
+                "kind": "counter", "series": requests,
+            },
+            "powerplay_fleet_node_slo_state": {
+                "kind": "gauge", "series": slo_state,
+            },
+        }
+
+    #: the series surfaced on the /history dashboard: (family, unit)
+    _HISTORY_DASHBOARD_SERIES = (
+        ("powerplay_http_requests_total", "req (rate/s)"),
+        ("powerplay_process_rss_bytes", "bytes"),
+        ("powerplay_process_open_fds", "fds"),
+        ("powerplay_process_uptime_seconds", "s"),
+        ("powerplay_slo_burn_rate", "burn"),
+        ("powerplay_fleet_node_up", "up"),
+    )
+
+    def _history_endpoint(self, data: Mapping[str, str]) -> Response:
+        """``GET /history`` — store stats + sparklines (+ ``fmt=json``)."""
+        store = self.history
+        if store is None:
+            return self._history_disabled(data)
+        stats = store.stats()
+        if data.get("fmt") == "json":
+            return Response.json({
+                "server": self.server_name,
+                "recording": self.history_recorder is not None,
+                "stats": stats,
+                "series": store.series_keys(),
+            })
+        series_rows: List[Tuple[str, str, str, str]] = []
+        for family, unit in self._HISTORY_DASHBOARD_SERIES:
+            op = "rate" if family.endswith("_total") else "range"
+            try:
+                result = store.query(family, op=op)
+            except obs_history.HistoryError:
+                continue
+            for entry in result.series:
+                points = entry.get("points", [])
+                if not points:
+                    continue
+                values = [value for _, value in points]
+                latest = values[-1]
+                series_rows.append((
+                    str(entry["key"]),
+                    format_eng(latest) if latest else "0",
+                    unit,
+                    obs_history.render_sparkline(values),
+                ))
+        capacity_rows: List[Tuple[str, str, str, str, str]] = []
+        total_workers = 0
+        try:
+            report = obs_capacity.build_capacity_report(store)
+            total_workers = report.total_workers
+            for route in report.routes:
+                latency = (
+                    "—" if route.mean_latency_s is None
+                    else f"{route.mean_latency_s * 1e3:.2f} ms"
+                )
+                capacity_rows.append((
+                    route.route,
+                    f"{route.rps_peak:.3f}",
+                    f"{route.trend_per_hour:+.3f}",
+                    latency,
+                    str(route.workers),
+                ))
+        except (obs_history.HistoryError, ValueError):
+            pass
+        return Response(
+            body=pages.history_page(
+                self.server_name,
+                stats,
+                series_rows,
+                capacity_rows=capacity_rows,
+                total_workers=total_workers,
+                recording=self.history_recorder is not None,
+            )
+        )
+
+    def _api_history_query(self, data: Mapping[str, str]) -> Response:
+        """``GET /api/history/query?name=&op=&since=&until=&q=``.
+
+        Label filters arrive as ``l:<label>=<value>`` parameters — the
+        same prefix convention the parameter forms use.  The answer is
+        the deterministic :meth:`HistoryStore.query` JSON.
+        """
+        store = self.history
+        if store is None:
+            return self._history_disabled(data)
+        name = (data.get("name") or "").strip()
+        labels = {
+            key[2:]: value
+            for key, value in data.items()
+            if key.startswith("l:") and len(key) > 2
+        }
+        try:
+            since = float(data["since"]) if data.get("since") else None
+            until = float(data["until"]) if data.get("until") else None
+            q = float(data.get("q", "0.95"))
+        except ValueError:
+            return self._json_error(
+                400, "since/until/q must be numbers"
+            )
+        try:
+            result = store.query(
+                name,
+                labels=labels,
+                op=data.get("op", "range"),
+                since=since,
+                until=until,
+                q=q,
+            )
+        except obs_history.HistoryError as exc:
+            return self._json_error(400, str(exc))
+        return Response.json_text(result.to_json())
+
+    def _history_disabled(self, data: Mapping[str, str]) -> Response:
+        if data.get("fmt") == "json" or "name" in data:
+            return self._json_error(
+                404,
+                "telemetry history is not enabled on this server "
+                "(start with --history-dir)",
+            )
+        return Response.not_found(
+            "telemetry history is not enabled on this server — "
+            "start it with `repro serve --history-dir DIR`"
         )
 
     def _flight_endpoint(self, data: Mapping[str, str]) -> Response:
@@ -1604,10 +1832,17 @@ class Application:
         """Persist everything volatile (the graceful-drain hook).
 
         Artifact and pin writes are already atomic at each operation;
-        what can lag are loaded user sessions.  Returns counts so the
+        what can lag are loaded user sessions — and the journaled
+        history rounds, which seal into a segment here so a graceful
+        stop leaves no active journal behind.  Returns counts so the
         drain path can log what it flushed.
         """
-        return {"sessions": self.users.flush()}
+        counts = {"sessions": self.users.flush()}
+        if self.history is not None:
+            counts["history_sealed"] = (
+                1 if self.history.seal() is not None else 0
+            )
+        return counts
 
     def _registry_page(self) -> Response:
         catalog = self.models_registry.catalog()

@@ -1205,6 +1205,82 @@ def fleet_page(
     return H.page(f"PowerPlay fleet — {server_name}", *body)
 
 
+def history_page(
+    server_name: str,
+    stats: Mapping[str, object],
+    series_rows: Sequence[Tuple[str, str, str, str]],
+    capacity_rows: Sequence[Tuple[str, str, str, str, str]] = (),
+    total_workers: int = 0,
+    recording: bool = False,
+) -> str:
+    """``GET /history`` — the durable telemetry store dashboard.
+
+    ``series_rows`` are ``(series key, latest value, unit hint,
+    sparkline)``; ``capacity_rows`` are ``(route, rps, trend/h,
+    latency, workers)`` from the capacity fit over the same store.
+    """
+    segments = stats.get("segments", {})
+    quarantined = stats.get("quarantined", [])
+    body: List[H.Content] = [
+        H.paragraph(
+            H.join(
+                f"Telemetry history on {server_name!r}: "
+                f"{stats.get('active_rounds', 0)} active round(s), "
+                f"{segments.get('raw', 0)} raw / "
+                f"{segments.get('m1', 0)} 1m / "
+                f"{segments.get('m15', 0)} 15m segment(s), "
+                f"{int(stats.get('bytes', 0) or 0)} bytes on disk.  "
+                f"Recorder {'running' if recording else 'stopped'}.  ",
+                H.link("/history?fmt=json", "JSON"),
+                " | ",
+                H.link("/fleet", "Fleet"),
+                " | ",
+                H.link("/status", "Status"),
+                ".",
+            )
+        ),
+        H.heading("Recorded series", 2),
+        H.table(
+            [
+                [H.tag("code", key), latest, unit,
+                 H.tag("code", spark)]
+                for key, latest, unit, spark in series_rows
+            ]
+            or [["(nothing recorded yet)", "", "", ""]],
+            header=["Series", "Latest", "Unit", "Trend"],
+        ),
+        H.heading("Capacity fit", 2),
+        H.table(
+            [
+                [route, rps, trend, latency, workers]
+                for route, rps, trend, latency, workers in capacity_rows
+            ]
+            or [["(not enough history yet)", "", "", "", ""]],
+            header=[
+                "Route", "Peak req/s", "Trend/h", "Mean latency",
+                "Workers",
+            ],
+        ),
+    ]
+    if capacity_rows:
+        body.append(
+            H.paragraph(
+                f"Projected provisioning: {total_workers} worker(s) "
+                "for the fitted load."
+            )
+        )
+    if quarantined:
+        body.append(H.heading("Quarantined files", 2))
+        body.append(
+            H.table(
+                [[str(name), str(reason)]
+                 for name, reason, *_ in quarantined],
+                header=["File", "Reason"],
+            )
+        )
+    return H.page(f"PowerPlay history — {server_name}", *body)
+
+
 def flight_page(
     server_name: str,
     capacity: int,

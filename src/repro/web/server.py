@@ -298,6 +298,11 @@ class PowerPlayServer:
         self.telemetry_tick_s = telemetry_tick_s
         self._tick_stop = threading.Event()
         self._tick_thread: Optional[threading.Thread] = None
+        #: when the application has a history recorder attached
+        #: (``attach_history``), :meth:`start` runs its sampling thread
+        #: and :meth:`stop` seals the journal — the recorder's lifetime
+        #: is exactly the serving lifetime
+        self._history_running = False
 
     def _telemetry_tick(self) -> None:
         evaluate = getattr(self.application, "_maybe_evaluate_slos", None)
@@ -332,6 +337,10 @@ class PowerPlayServer:
                 name="powerplay-telemetry",
             )
             self._tick_thread.start()
+        recorder = getattr(self.application, "history_recorder", None)
+        if recorder is not None and not self._history_running:
+            recorder.start()
+            self._history_running = True
         return self
 
     #: how long ``stop()`` waits for in-flight requests before closing
@@ -353,6 +362,13 @@ class PowerPlayServer:
             self._tick_stop.set()
             self._tick_thread.join(timeout=2)
             self._tick_thread = None
+        if self._history_running:
+            recorder = getattr(self.application, "history_recorder", None)
+            if recorder is not None:
+                # seal=False: Application.flush() below seals after the
+                # drain, so in-flight requests still land in the segment
+                recorder.stop(seal=False)
+            self._history_running = False
         self._httpd.shutdown()
         self._thread.join(timeout=5)
         drained = self._httpd.drain(self.drain_deadline)

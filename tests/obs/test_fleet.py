@@ -221,3 +221,37 @@ def test_family_quantile_empty_and_non_histogram():
     assert family_quantile(family, 0.5) is None
     registry.counter("c_total", "").inc()
     assert family_quantile(registry.export_state()["c_total"], 0.5) is None
+
+
+# -- peer URL validation ---------------------------------------------------
+
+
+class TestValidatePeerUrl:
+    """Regression: a malformed --peer used to surface only as a breaker
+    trip on the first scrape; now it is rejected at configuration time
+    with a message naming the problem."""
+
+    def test_good_urls_normalize(self):
+        from repro.obs.fleet import validate_peer_url
+
+        assert validate_peer_url("http://h:8080") == "http://h:8080"
+        assert validate_peer_url("https://h:8080/") == "https://h:8080"
+        assert validate_peer_url("http://10.0.0.2") == "http://10.0.0.2"
+
+    @pytest.mark.parametrize("bad, fragment", [
+        ("localhost:9090", "scheme"),          # no scheme at all
+        ("ftp://h:21", "scheme"),              # wrong scheme
+        ("http://", "host"),                   # scheme without a host
+        ("http:///metrics", "host"),           # path but no host
+        ("http://h:notaport", "port"),         # unparseable port
+    ])
+    def test_bad_urls_name_the_problem(self, bad, fragment):
+        from repro.obs.fleet import validate_peer_url
+
+        with pytest.raises(ValueError) as excinfo:
+            validate_peer_url(bad)
+        assert fragment in str(excinfo.value)
+
+    def test_scraper_rejects_bad_peers_at_construction(self):
+        with pytest.raises(ValueError):
+            FleetScraper([("alpha", "127.0.0.1:9090")])

@@ -1,0 +1,56 @@
+"""Process self-metrics: uptime, RSS and open fds on /metrics."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.process import refresh_process_metrics
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    obs.get_registry().reset()
+    yield
+    obs.get_registry().reset()
+
+
+def test_sets_the_three_gauges_on_linux(tmp_path):
+    registry = MetricsRegistry()
+    values = refresh_process_metrics(registry)
+    # uptime is always measurable; rss/fds depend on the platform but
+    # both /proc and the fallbacks exist on the CI targets
+    assert values["powerplay_process_uptime_seconds"] >= 0.0
+    assert values.get("powerplay_process_rss_bytes", 1.0) > 0.0
+    assert values.get("powerplay_process_open_fds", 1.0) > 0.0
+    rendered = registry.render()
+    assert "powerplay_process_uptime_seconds" in rendered
+
+
+def test_uptime_advances_with_the_clock():
+    from repro.obs import process
+
+    registry = MetricsRegistry()
+    first = refresh_process_metrics(
+        registry, clock=lambda: process._STARTED + 10.0
+    )
+    second = refresh_process_metrics(
+        registry, clock=lambda: process._STARTED + 70.0
+    )
+    assert first["powerplay_process_uptime_seconds"] == pytest.approx(10.0)
+    assert second["powerplay_process_uptime_seconds"] == pytest.approx(70.0)
+
+
+def test_refresh_is_idempotent_on_one_registry():
+    registry = MetricsRegistry()
+    refresh_process_metrics(registry)
+    refresh_process_metrics(registry)  # second call must not re-register
+    rendered = registry.render()
+    assert rendered.count(
+        "# TYPE powerplay_process_uptime_seconds gauge"
+    ) == 1
+
+
+def test_default_registry_is_the_global_one():
+    values = refresh_process_metrics()
+    assert "powerplay_process_uptime_seconds" in values
+    assert "powerplay_process_uptime_seconds" in obs.get_registry().render()

@@ -304,3 +304,96 @@ def test_payload_shape(registry, clock):
             "burn_rates", "window_total", "window_bad",
             "budget_remaining",
         }
+
+
+# -- rehydration from telemetry history ------------------------------------
+
+
+def flat_availability(good: float, bad: float) -> dict:
+    return {
+        'powerplay_http_responses_total{status_class="2xx"}': good,
+        'powerplay_http_responses_total{status_class="5xx"}': bad,
+    }
+
+
+def test_good_total_from_flat_availability():
+    from repro.obs.slo import good_total_from_flat
+
+    slo = next(s for s in DEFAULT_SLOS if s.kind == "availability")
+    good, total = good_total_from_flat(slo, flat_availability(90.0, 10.0))
+    assert (good, total) == (90.0, 100.0)
+
+
+def test_good_total_from_flat_latency_uses_qualifying_buckets():
+    from repro.obs.slo import good_total_from_flat
+
+    slo = next(
+        s for s in DEFAULT_SLOS
+        if s.kind == "latency" and s.route_class == "api"
+    )
+    threshold = slo.threshold_s
+    flat = {
+        'powerplay_http_request_seconds_count{route="/api/ping"}': 100.0,
+        # cumulative buckets: 80 under half the threshold, 95 under it
+        "powerplay_http_request_seconds_bucket"
+        f'{{le="{threshold / 2}",route="/api/ping"}}': 80.0,
+        "powerplay_http_request_seconds_bucket"
+        f'{{le="{threshold}",route="/api/ping"}}': 95.0,
+        'powerplay_http_request_seconds_bucket'
+        '{le="+Inf",route="/api/ping"}': 100.0,
+        # a ui route must not leak into the api SLO
+        'powerplay_http_request_seconds_count{route="/menu"}': 50.0,
+    }
+    good, total = good_total_from_flat(slo, flat)
+    assert (good, total) == (95.0, 100.0)
+
+
+def test_rehydrate_restores_a_burning_window(registry, clock):
+    """kill -9 scenario: a paging error burn is still paging after
+    restart, reconstructed purely from recorded flat samples."""
+    tracker = make_tracker(registry, clock)
+    clock.advance(10_000)
+
+    # recorded history: error storm over the 10 minutes before "now"
+    wall_now = 50_000.0
+    samples = [
+        (wall_now - 600 + i * 60, flat_availability(100.0, 50.0 + i * 50))
+        for i in range(10)
+    ]
+    statuses = tracker.rehydrate(samples, wall_now=wall_now)
+    availability = by_name(statuses, "availability")
+    assert availability.state == "page"
+    assert tracker.states()["availability"] == "page"
+
+
+def test_rehydrate_then_live_traffic_counts_once(registry, clock):
+    """The freshly reset registry is one more counter reset: the next
+    live evaluation re-baselines instead of double counting."""
+    tracker = make_tracker(registry, clock)
+    clock.advance(10_000)
+    samples = [
+        (1000.0 + i * 60, flat_availability(1000.0 + i, 0.0))
+        for i in range(5)
+    ]
+    tracker.rehydrate(samples, wall_now=1000.0 + 5 * 60)
+
+    responses = registry.counter(
+        "powerplay_http_responses_total", "", ("status_class",)
+    )
+    responses.inc(amount=10, status_class="2xx")
+    clock.advance(60)
+    statuses = tracker.evaluate()
+    availability = by_name(statuses, "availability")
+    # 5 recorded good increments + the 10 live ones, nothing doubled
+    assert availability.window_total == pytest.approx(1014.0)
+    assert availability.state == "ok"
+
+
+def test_rehydrate_skips_samples_from_the_future(registry, clock):
+    tracker = make_tracker(registry, clock)
+    clock.advance(100)
+    statuses = tracker.rehydrate(
+        [(2000.0, flat_availability(0.0, 500.0))], wall_now=1000.0
+    )
+    availability = by_name(statuses, "availability")
+    assert availability.window_total == 0.0

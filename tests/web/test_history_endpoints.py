@@ -1,0 +1,186 @@
+"""The telemetry-history web surface: /history and /api/history/query.
+
+Covers the wiring over :mod:`repro.obs.history` (unit-tested in
+tests/obs/): attaching a store to the app, the dashboard render, the
+query API's JSON shape and error handling, and SLO rehydration on
+attach after a simulated kill.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.history import HistoryConfig
+from repro.web.app import Application
+
+
+@pytest.fixture
+def app(tmp_path):
+    obs.get_registry().reset()
+    application = Application(tmp_path / "state", server_name="unit")
+    yield application
+    obs.get_registry().reset()
+
+
+def attach(app, tmp_path, interval_s=1.0):
+    return app.attach_history(
+        tmp_path / "history",
+        config=HistoryConfig(interval_s=interval_s, seal_every=4,
+                             fsync_journal=False),
+    )
+
+
+def get_json(app, path):
+    response = app.handle("GET", path)
+    assert response.status == 200, response.body
+    return json.loads(response.body)
+
+
+# -- endpoints without a store ---------------------------------------------
+
+
+def test_history_404s_when_not_recording(app):
+    assert app.handle("GET", "/history").status == 404
+    response = app.handle("GET", "/api/history/query?name=x")
+    assert response.status == 404
+    assert "history" in json.loads(response.body)["error"]
+
+
+# -- the dashboard ---------------------------------------------------------
+
+
+class TestHistoryPage:
+    def record(self, app, rounds=5):
+        for _ in range(rounds):
+            app.handle("GET", "/api/ping")
+            app.history_recorder.sample_once()
+
+    def test_html_dashboard_renders(self, app, tmp_path):
+        attach(app, tmp_path)
+        self.record(app)
+        response = app.handle("GET", "/history")
+        assert response.status == 200
+        body = response.body
+        assert "Telemetry history" in body
+        assert "powerplay_http_requests_total" in body
+        assert "Capacity fit" in body
+
+    def test_json_stats_shape(self, app, tmp_path):
+        attach(app, tmp_path)
+        self.record(app)
+        payload = get_json(app, "/history?fmt=json")
+        assert payload["server"] == "unit"
+        assert payload["recording"] is True  # a recorder is attached
+        assert payload["stats"]["active_rounds"] >= 1
+        assert any(
+            "powerplay_http_requests_total" in key
+            for key in payload["series"]
+        )
+
+    def test_process_gauges_ride_along(self, app, tmp_path):
+        attach(app, tmp_path)
+        self.record(app)
+        keys = app.history.series_keys()
+        assert "powerplay_process_uptime_seconds" in keys
+        assert "powerplay_process_rss_bytes" in keys
+
+
+# -- the query API ---------------------------------------------------------
+
+
+class TestQueryApi:
+    def test_range_query_round_trips(self, app, tmp_path):
+        attach(app, tmp_path)
+        for _ in range(3):
+            app.handle("GET", "/api/ping")
+            app.history_recorder.sample_once()
+        payload = get_json(
+            app, "/api/history/query?name=powerplay_http_requests_total"
+        )
+        assert payload["name"] == "powerplay_http_requests_total"
+        assert payload["op"] == "range"
+        points = {
+            entry["key"]: entry["points"] for entry in payload["series"]
+        }
+        (ping_key,) = [k for k in points if "/api/ping" in k]
+        assert [v for _, v in points[ping_key]] == [1.0, 2.0, 3.0]
+
+    def test_label_filter_param(self, app, tmp_path):
+        attach(app, tmp_path)
+        app.handle("GET", "/api/ping")
+        app.handle("GET", "/healthz")
+        app.history_recorder.sample_once()
+        payload = get_json(
+            app,
+            "/api/history/query?name=powerplay_http_requests_total"
+            "&l:route=/api/ping",
+        )
+        assert len(payload["series"]) == 1
+        assert '/api/ping' in payload["series"][0]["key"]
+
+    def test_rate_and_quantile_ops(self, app, tmp_path):
+        attach(app, tmp_path)
+        for _ in range(3):
+            app.handle("GET", "/api/ping")
+            app.history_recorder.sample_once()
+        rate = get_json(
+            app, "/api/history/query?"
+            "name=powerplay_http_requests_total&op=rate"
+        )
+        assert rate["op"] == "rate"
+        quantile = get_json(
+            app, "/api/history/query?"
+            "name=powerplay_process_uptime_seconds&op=quantile&q=0.5"
+        )
+        assert quantile["series"][0]["samples"] == 3
+
+    def test_bad_queries_are_400s(self, app, tmp_path):
+        attach(app, tmp_path)
+        response = app.handle(
+            "GET", "/api/history/query?name=x&op=bogus"
+        )
+        assert response.status == 400
+        assert "op" in json.loads(response.body)["error"]
+        response = app.handle("GET", "/api/history/query")
+        assert response.status == 400
+
+
+# -- restart / rehydration -------------------------------------------------
+
+
+class TestRestartRehydration:
+    def test_slo_burn_state_survives_reattach(self, tmp_path):
+        """Record an error storm, drop the app (kill), re-attach: the
+        availability page state is rebuilt from disk before the first
+        live evaluation."""
+        obs.get_registry().reset()
+        app = Application(tmp_path / "state", server_name="alpha")
+        attach(app, tmp_path)
+        responses = app.registry.counter(
+            "powerplay_http_responses_total", "", ("status_class",)
+        )
+        now = time.time()
+        for index in range(10):
+            responses.inc(amount=50, status_class="5xx")
+            app.history.append(app._history_sample(),
+                               when=now - 600 + index * 60)
+        app.history.seal()
+        app.slo_tracker.evaluate()
+        before = app.slo_tracker.states()["availability"]
+        assert before == "page"
+        app.history.close()  # kill -9: nothing else shuts down cleanly
+
+        obs.get_registry().reset()  # fresh process: counters at zero
+        restarted = Application(tmp_path / "state2", server_name="alpha")
+        attach(restarted, tmp_path)
+        assert restarted.slo_tracker.states()["availability"] == "page"
+        obs.get_registry().reset()
+
+    def test_attach_without_prior_data_is_clean(self, app, tmp_path):
+        attach(app, tmp_path)
+        states = app.slo_tracker.states()
+        assert all(state == "ok" for state in states.values())
+        payload = get_json(app, "/history?fmt=json")
+        assert payload["stats"]["active_rounds"] == 0
