@@ -617,8 +617,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # validate peers before binding the socket: a typo'd --peer must
     # fail the command, not trip the scrape breaker mid-soak
     peers = [_parse_peer(spec) for spec in args.peer]
+    if args.workers > 1:
+        return _serve_multiworker(args, state)
     server = PowerPlayServer(state, host=args.host, port=args.port,
                              server_name=args.name,
+                             backend=args.backend,
                              telemetry_tick_s=args.telemetry_tick)
     if args.access_log:
         # size-bounded rotating access log — a soak cannot fill the disk
@@ -653,6 +656,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         server.stop()
     return 0
+
+
+def _serve_multiworker(args: argparse.Namespace, state: Path) -> int:
+    """``serve --workers N`` — the pre-fork sharded front."""
+    from .web.prefork import MultiWorkerFront
+
+    front = MultiWorkerFront(
+        state,
+        workers=args.workers,
+        backend=args.backend,
+        host=args.host,
+        port=args.port,
+        server_name=args.name,
+    )
+    front.start()
+    front.install_signal_handlers()
+    print(f"PowerPlay serving at {front.base_url} "
+          f"({args.workers} workers, {args.backend} backend, "
+          f"{front.mode} mode, state in {state})")
+    print("worker /metrics for fleet scraping: "
+          + ", ".join(url for _, url in front.internal_peers()))
+    print("Ctrl-C to stop.")
+    import time as _time
+
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        front.stop()
+    return 0
+
+
+def cmd_serve_worker(args: argparse.Namespace) -> int:
+    """Hidden: one pre-fork worker (spawned by ``serve --workers``)."""
+    from .web.prefork import worker_main
+
+    return worker_main(
+        Path(args.state).expanduser(),
+        host=args.host,
+        port=args.port,
+        index=args.index,
+        workers=args.workers,
+        backend=args.backend,
+        server_name=args.name,
+        mode=args.mode,
+        control_fd=args.control_fd,
+    )
 
 
 def _parse_peer(spec: str) -> tuple:
@@ -1156,7 +1206,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--history-interval", type=float, default=5.0,
                        metavar="SECONDS",
                        help="history sampling interval (default 5)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork worker processes sharing the port "
+                       "with user-keyed sharding (default 1: in-process "
+                       "threading only)")
+    serve.add_argument("--backend", default="file",
+                       choices=("file", "sqlite"),
+                       help="durable state backend (default file: one "
+                       "JSON document per user/job/artifact; sqlite: one "
+                       "WAL-mode database)")
     serve.set_defaults(func=cmd_serve)
+
+    # hidden plumbing: one pre-fork worker, spawned by `serve --workers`
+    worker = sub.add_parser("serve-worker")
+    worker.add_argument("--state", required=True)
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, required=True)
+    worker.add_argument("--index", type=int, required=True)
+    worker.add_argument("--workers", type=int, required=True)
+    worker.add_argument("--backend", default="file")
+    worker.add_argument("--name", default="powerplay")
+    worker.add_argument("--mode", default="reuseport",
+                        choices=("reuseport", "fdpass"))
+    worker.add_argument("--control-fd", type=int, default=None)
+    worker.set_defaults(func=cmd_serve_worker)
 
     fleet = sub.add_parser(
         "fleet",

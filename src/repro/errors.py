@@ -153,3 +153,8 @@ class ArtifactConflict(RegistryError):
 class JobError(ExploreError):
     """Sweep-job persistence error (unknown job, corrupt checkpoint,
     an operation invalid for the job's current state)."""
+
+
+class StateError(PowerPlayError):
+    """Durable state-backend error (unknown backend kind, a backend
+    that cannot open its storage, misuse of the document API)."""

@@ -19,9 +19,7 @@ an uninterrupted run's.
 from __future__ import annotations
 
 import json
-import os
 import re
-import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -30,6 +28,7 @@ from ..core.design import Design
 from ..errors import JobError, PowerPlayError
 from ..library.designio import design_from_payload, design_to_payload
 from ..obs import get_logger, get_registry
+from ..state import FileBackend, open_backend
 from .space import DerivedObjective, ParameterSpace
 
 _LOG = get_logger("jobs")
@@ -282,32 +281,50 @@ class SweepJob:
 
 
 class JobStore:
-    """File-backed job registry: one JSON checkpoint file per job.
+    """Backend-backed job registry: one JSON checkpoint per job.
 
-    Mirrors :class:`repro.web.session.UserStore`'s durability story:
-    unique mkstemp temporary per save, fsync before the atomic rename,
-    directory fsync after, and quarantine (``.json.corrupt[-N]``) for
-    files that are unreadable anyway — the server keeps running and the
-    damaged bytes stay on disk for inspection.
+    Mirrors :class:`repro.web.session.UserStore`'s durability story,
+    now delegated to a :class:`~repro.state.backend.StateBackend`
+    (namespace ``"jobs"``): atomic fsynced saves, and quarantine
+    (file: ``.json.corrupt[-N]``; SQLite: a quarantine table) for
+    checkpoints that are unreadable anyway — the server keeps running
+    and the damaged bytes stay preserved for inspection.
+
+    ``worker_index``/``worker_count`` stride id allocation so the
+    pre-fork front's workers, sharing one backend, can never both mint
+    ``job-NNNN``: worker *i* of *W* only allocates ids with
+    ``NNNN % W == i``.
     """
 
-    def __init__(self, root: Path):
+    NAMESPACE = "jobs"
+
+    def __init__(
+        self,
+        root: Path,
+        backend=None,
+        worker_index: Optional[int] = None,
+        worker_count: int = 1,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if backend is None:
+            # standalone store: the historical layout rooted itself at
+            # the jobs directory, not a parent state directory
+            backend = FileBackend(self.root, layout={self.NAMESPACE: "."})
+        self.backend = open_backend(backend, self.root)
+        self.worker_index = worker_index
+        self.worker_count = max(1, int(worker_count))
         self._jobs: Dict[str, SweepJob] = {}
         self._lock = threading.Lock()
-        #: ``[(job_id, quarantine path, reason), ...]``
+        #: ``[(job_id, quarantine location, reason), ...]``
         self.quarantined: List[tuple] = []
-
-    def _path(self, job_id: str) -> Path:
-        return self.root / f"{job_id}.json"
 
     def job_ids(self) -> List[str]:
         """Every job id present on disk or in memory, sorted."""
         ids = {
-            path.stem
-            for path in self.root.glob("job-*.json")
-            if _JOB_ID_RE.match(path.stem)
+            key
+            for key in self.backend.keys(self.NAMESPACE)
+            if _JOB_ID_RE.match(key)
         }
         ids.update(self._jobs)
         return sorted(ids)
@@ -316,7 +333,12 @@ class JobStore:
         highest = 0
         for job_id in self.job_ids():
             highest = max(highest, int(job_id.split("-", 1)[1]))
-        return f"job-{highest + 1:04d}"
+        number = highest + 1
+        if self.worker_index is not None and self.worker_count > 1:
+            # stride onto this worker's residue class so concurrent
+            # workers sharing the backend never mint the same id
+            number += (self.worker_index - number) % self.worker_count
+        return f"job-{number:04d}"
 
     def create(
         self,
@@ -354,13 +376,8 @@ class JobStore:
         )
         return job
 
-    def _quarantine(self, job_id: str, path: Path, reason: str) -> Path:
-        target = path.with_suffix(".json.corrupt")
-        counter = 0
-        while target.exists():
-            counter += 1
-            target = path.with_suffix(f".json.corrupt-{counter}")
-        path.replace(target)
+    def _quarantine(self, job_id: str, reason: str) -> Path:
+        target = Path(self.backend.quarantine(self.NAMESPACE, job_id, reason))
         self.quarantined.append((job_id, target, reason))
         _metric_jobs().inc(op="quarantine")
         _LOG.warning(
@@ -375,15 +392,15 @@ class JobStore:
             job = self._jobs.get(job_id)
             if job is not None:
                 return job
-            path = self._path(job_id)
-            if not path.exists():
+            text = self.backend.load(self.NAMESPACE, job_id)
+            if text is None:
                 raise JobError(f"no job {job_id!r}")
             try:
-                payload = json.loads(path.read_text())
+                payload = json.loads(text)
                 job = SweepJob.from_payload(payload)
             except (json.JSONDecodeError, PowerPlayError, ValueError,
                     TypeError, KeyError, AttributeError) as exc:
-                target = self._quarantine(job_id, path, str(exc))
+                target = self._quarantine(job_id, str(exc))
                 raise JobError(
                     f"job {job_id!r} checkpoint is corrupt "
                     f"(quarantined to {target.name}): {exc}"
@@ -406,34 +423,9 @@ class JobStore:
     def save_job(self, job: SweepJob) -> None:
         """Atomically persist one job's checkpoint (crash-safe)."""
         payload = json.dumps(job.to_payload(), indent=1, sort_keys=True)
-        path = self._path(job.job_id)
-        with self._lock:
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(self.root),
-                prefix=f".{job.job_id}-",
-                suffix=".saving",
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(payload)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp_name, path)
-                _metric_jobs().inc(op="save")
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        try:
-            dir_fd = os.open(str(self.root), os.O_RDONLY)
-        except OSError:  # pragma: no cover - exotic filesystems
-            return
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        with self.backend.lock(self.NAMESPACE, job.job_id):
+            self.backend.save(self.NAMESPACE, job.job_id, payload)
+        _metric_jobs().inc(op="save")
 
     def forget(self, job_id: str) -> None:
         """Drop the in-memory copy (checkpoint file remains)."""

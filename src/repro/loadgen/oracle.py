@@ -63,14 +63,15 @@ def capture_state(
         session = application.users.session(user)
         with session.lock:
             payload = session.to_payload()
-        path = application.users.root / f"{user}.json"
+        text = application.users.read_disk(user)
         disk: object
-        try:
-            disk = json.loads(path.read_text())
-        except FileNotFoundError:
+        if text is None:
             disk = {"error": "state file missing"}
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            disk = {"error": f"unreadable state file: {exc}"}
+        else:
+            try:
+                disk = json.loads(text)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                disk = {"error": f"unreadable state file: {exc}"}
         state[user] = {"session": payload, "disk": disk}
     return state
 

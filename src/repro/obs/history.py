@@ -59,6 +59,7 @@ from typing import (
 
 from .logs import get_logger
 from .metrics import Counter, Gauge, parse_series_key
+from ..state import fsio
 from .recorder import _atomic_write
 
 __all__ = [
@@ -382,13 +383,8 @@ class HistoryStore:
             self._close_journal()
 
     def _quarantine(self, path: Path, reason: str) -> None:
-        target = path.with_suffix(path.suffix + ".corrupt")
-        counter = 0
-        while target.exists():
-            counter += 1
-            target = path.with_suffix(f"{path.suffix}.corrupt-{counter}")
         try:
-            path.replace(target)
+            target = fsio.quarantine_file(path)
         except OSError:  # pragma: no cover - concurrent removal
             return
         self.quarantined.append((path.name, reason))

@@ -26,14 +26,13 @@ the whole dump (the pattern from ``registry/store.py``).
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..state import fsio
 from .logs import get_logger
 from .metrics import get_registry
 
@@ -343,41 +342,13 @@ def _slug(text: str) -> str:
 
 
 def _atomic_write(path: Path, text: str) -> None:
-    """mkstemp + fsync + atomic rename + directory fsync (store.py)."""
-    root = path.parent
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(root), prefix=f".{path.stem}-", suffix=".saving"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    try:
-        dir_fd = os.open(str(root), os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    """mkstemp + fsync + atomic rename + directory fsync (state.fsio)."""
+    fsio.atomic_write_text(path, text)
 
 
 def _quarantine(path: Path, reason: str) -> Path:
     """Move a corrupt snapshot aside (never silently use or delete it)."""
-    target = path.with_suffix(".json.corrupt")
-    counter = 0
-    while target.exists():
-        counter += 1
-        target = path.with_suffix(f".json.corrupt-{counter}")
-    path.replace(target)
+    target = fsio.quarantine_file(path)
     _LOG.warning(
         "snapshot_quarantine", file=path.name, moved_to=target.name,
         reason=reason,

@@ -1,31 +1,34 @@
 """The crash-safe local artifact mirror.
 
-One JSON file per artifact version under a server-local directory,
-written with the same mkstemp + fsync + atomic-rename discipline as the
-session and job stores: a ``kill -9`` at any instant leaves either the
-previous complete file or the new complete file, never a torn one.
+One JSON document per artifact version, stored through a
+:class:`~repro.state.backend.StateBackend` (namespace ``"registry"``).
+The default file backend keeps the historical layout — one
+``kind--name--vN.json`` under a server-local directory, written with
+the same mkstemp + fsync + atomic-rename discipline as the session and
+job stores: a ``kill -9`` at any instant leaves either the previous
+complete file or the new complete file, never a torn one.  ``serve
+--backend sqlite`` swaps in WAL-mode SQLite without this class
+changing shape.
 
-Every read re-verifies the blake2b digest.  A file that fails — disk
-damage, manual edits, a tampering peer — is **quarantined**: moved
-aside to ``*.corrupt[-N]``, counted in metrics, recorded on
-:attr:`MirrorStore.quarantined`, and reported to the caller as
-:class:`~repro.errors.IntegrityError`.  A corrupt artifact is therefore
-*never* silently used, and the damaged bytes are preserved for
-inspection.
+Every read re-verifies the blake2b digest.  A document that fails —
+disk damage, manual edits, a tampering peer — is **quarantined**: moved
+aside (file: ``*.corrupt[-N]``; SQLite: a quarantine table), counted in
+metrics, recorded on :attr:`MirrorStore.quarantined`, and reported to
+the caller as :class:`~repro.errors.IntegrityError`.  A corrupt
+artifact is therefore *never* silently used, and the damaged bytes are
+preserved for inspection.
 
 The mirror is bounded: :meth:`MirrorStore.gc` evicts the oldest
 unpinned, non-latest versions once the store exceeds ``max_artifacts``.
-Pinned versions (``pins.json``, atomically maintained) and the latest
-version of every name are never evicted — "every server can still
-evaluate every design mid-outage" requires the working set to survive
-any GC.
+Pinned versions (the ``pins`` document, atomically maintained) and the
+latest version of every name are never evicted — "every server can
+still evaluate every design mid-outage" requires the working set to
+survive any GC.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 import time
 from pathlib import Path
@@ -33,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ArtifactConflict, IntegrityError, RegistryError
 from ..obs import get_logger, get_registry
+from ..state import FileBackend, open_backend
 from .artifacts import (
     ModelArtifact,
     validate_artifact_name,
@@ -73,40 +77,60 @@ def _metric_artifacts():
 #: (kind, name, version) — the store's primary key
 StoreKey = Tuple[str, str, int]
 
+#: the document holding the pin table (never a valid artifact key:
+#: artifact keys always contain ``--``)
+_PINS_KEY = "pins"
+
 
 class MirrorStore:
-    """File-backed, digest-verified artifact mirror.
+    """Backend-backed, digest-verified artifact mirror.
 
     Thread-safe: the web server syncs and serves from multiple threads.
     ``clock`` is injectable so freshness in tests is deterministic.
     """
+
+    NAMESPACE = "registry"
 
     def __init__(
         self,
         root: Path,
         max_artifacts: int = DEFAULT_MAX_ARTIFACTS,
         clock: Callable[[], float] = time.time,
+        backend=None,
     ):
         if max_artifacts < 1:
             raise RegistryError("max_artifacts must be >= 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if backend is None:
+            # standalone store: the historical layout rooted itself at
+            # the registry directory, not a parent state directory
+            backend = FileBackend(self.root, layout={self.NAMESPACE: "."})
+        self.backend = open_backend(backend, self.root)
         self.max_artifacts = max_artifacts
         self.clock = clock
         self._lock = threading.RLock()
-        #: ``[(ref, quarantine path, reason), ...]`` since construction
+        #: ``[(ref, quarantine location, reason), ...]`` since construction
         self.quarantined: List[Tuple[str, Path, str]] = []
         self._pins: Dict[str, int] = self._load_pins()
-        _metric_artifacts().set(len(self._list_files()))
+        _metric_artifacts().set(len(self._list_keys()))
 
-    # -- paths -------------------------------------------------------------
-
-    def _path(self, kind: str, name: str, version: int) -> Path:
-        return self.root / f"{kind}--{name}--v{version}.json"
+    # -- document keys -----------------------------------------------------
 
     @staticmethod
-    def _parse_filename(path: Path) -> Optional[StoreKey]:
-        parts = path.stem.split("--")
+    def _doc_key(kind: str, name: str, version: int) -> str:
+        return f"{kind}--{name}--v{version}"
+
+    def _path(self, kind: str, name: str, version: int) -> Path:
+        """Where one artifact lives (file backend only — tests use this
+        to corrupt raw bytes on disk)."""
+        return self.backend.doc_path(
+            self.NAMESPACE, self._doc_key(kind, name, version)
+        )
+
+    @staticmethod
+    def _parse_key(key: str) -> Optional[StoreKey]:
+        parts = key.split("--")
         if len(parts) != 3 or not parts[2].startswith("v"):
             return None
         try:
@@ -114,15 +138,15 @@ class MirrorStore:
         except ValueError:
             return None
 
-    def _list_files(self) -> Dict[StoreKey, Path]:
-        files: Dict[StoreKey, Path] = {}
-        for path in self.root.glob("*.json"):
-            if path.name == "pins.json":
+    def _list_keys(self) -> Dict[StoreKey, str]:
+        keys: Dict[StoreKey, str] = {}
+        for doc_key in self.backend.keys(self.NAMESPACE):
+            if doc_key == _PINS_KEY:
                 continue
-            key = self._parse_filename(path)
+            key = self._parse_key(doc_key)
             if key is not None:
-                files[key] = path
-        return files
+                keys[key] = doc_key
+        return keys
 
     # -- pins --------------------------------------------------------------
 
@@ -130,21 +154,22 @@ class MirrorStore:
         return f"{kind}:{name}"
 
     def _load_pins(self) -> Dict[str, int]:
-        path = self.root / "pins.json"
-        if not path.exists():
+        text = self.backend.load(self.NAMESPACE, _PINS_KEY)
+        if text is None:
             return {}
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(text)
             return {str(k): int(v) for k, v in payload.get("pins", {}).items()}
         except (json.JSONDecodeError, ValueError, TypeError, AttributeError):
-            # a torn pins file must not take the mirror down; pins are
+            # a torn pins document must not take the mirror down; pins are
             # advisory and re-creatable, the artifacts themselves are not
-            _LOG.warning("pins_unreadable", path=str(path))
+            _LOG.warning("pins_unreadable", store=str(self.root))
             return {}
 
     def _save_pins(self) -> None:
-        self._atomic_write(
-            self.root / "pins.json",
+        self.backend.save(
+            self.NAMESPACE,
+            _PINS_KEY,
             json.dumps({"format": "powerplay-pins/1", "pins": self._pins},
                        indent=1, sort_keys=True),
         )
@@ -155,7 +180,7 @@ class MirrorStore:
         validate_artifact_name(name)
         validate_version(version)
         with self._lock:
-            if (kind, name, version) not in self._list_files():
+            if (kind, name, version) not in self._list_keys():
                 raise RegistryError(
                     f"cannot pin {kind}:{name}@v{version}: not in the mirror"
                 )
@@ -177,32 +202,6 @@ class MirrorStore:
 
     # -- write path --------------------------------------------------------
 
-    def _atomic_write(self, path: Path, text: str) -> None:
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{path.stem}-", suffix=".saving"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        # make the rename itself durable (directory entry update)
-        try:
-            dir_fd = os.open(str(self.root), os.O_RDONLY)
-        except OSError:  # pragma: no cover - exotic filesystems
-            return
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-
     def put(self, artifact: ModelArtifact) -> ModelArtifact:
         """Store one artifact (digest-verified before any byte lands).
 
@@ -212,11 +211,11 @@ class MirrorStore:
         """
         artifact.verify()
         _metric_integrity().inc(event="verified")
-        path = self._path(artifact.kind, artifact.name, artifact.version)
+        doc_key = self._doc_key(artifact.kind, artifact.name, artifact.version)
         with self._lock:
-            if path.exists():
+            if self.backend.load(self.NAMESPACE, doc_key) is not None:
                 try:
-                    existing = self._read_verified(path)
+                    existing = self._read_verified(doc_key)
                 except IntegrityError:
                     # the resident copy is damaged; the incoming verified
                     # one replaces it (the damaged bytes were quarantined
@@ -231,9 +230,9 @@ class MirrorStore:
                         f"{existing.digest[:12]}…; refusing to replace it "
                         f"with {artifact.digest[:12]}…"
                     )
-            self._atomic_write(path, artifact.to_json())
+            self.backend.save(self.NAMESPACE, doc_key, artifact.to_json())
             _metric_ops().inc(op="put")
-            _metric_artifacts().set(len(self._list_files()))
+            _metric_artifacts().set(len(self._list_keys()))
             _LOG.info(
                 "put", ref=artifact.ref, digest=artifact.digest[:12],
                 publisher=artifact.publisher,
@@ -242,34 +241,28 @@ class MirrorStore:
 
     # -- read path ---------------------------------------------------------
 
-    def _quarantine(self, path: Path, reason: str) -> Path:
-        target = path.with_suffix(".json.corrupt")
-        counter = 0
-        while target.exists():
-            counter += 1
-            target = path.with_suffix(f".json.corrupt-{counter}")
-        path.replace(target)
-        self.quarantined.append((path.stem, target, reason))
+    def _quarantine(self, doc_key: str, reason: str) -> Path:
+        target = Path(self.backend.quarantine(self.NAMESPACE, doc_key, reason))
+        self.quarantined.append((doc_key, target, reason))
         _metric_integrity().inc(event="quarantine")
-        _metric_artifacts().set(len(self._list_files()))
+        _metric_artifacts().set(len(self._list_keys()))
         _LOG.warning(
-            "quarantine", artifact=path.stem, moved_to=str(target),
+            "quarantine", artifact=doc_key, moved_to=str(target),
             reason=reason,
         )
         return target
 
-    def _read_verified(self, path: Path) -> ModelArtifact:
-        """Read + digest-verify one file, quarantining on any failure."""
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise RegistryError(f"cannot read {path.name}: {exc}") from exc
+    def _read_verified(self, doc_key: str) -> ModelArtifact:
+        """Read + digest-verify one document, quarantining on failure."""
+        text = self.backend.load(self.NAMESPACE, doc_key)
+        if text is None:
+            raise RegistryError(f"cannot read {doc_key}: missing")
         try:
             artifact = ModelArtifact.from_json(text)
         except (IntegrityError, RegistryError) as exc:
-            self._quarantine(path, str(exc))
+            self._quarantine(doc_key, str(exc))
             raise IntegrityError(
-                f"mirrored artifact {path.stem} failed verification and "
+                f"mirrored artifact {doc_key} failed verification and "
                 f"was quarantined: {exc}"
             ) from exc
         _metric_integrity().inc(event="verified")
@@ -282,10 +275,10 @@ class MirrorStore:
         validate_kind(kind)
         validate_artifact_name(name)
         with self._lock:
-            files = self._list_files()
+            keys = self._list_keys()
             if version is None:
                 versions = sorted(
-                    v for (k, n, v) in files if k == kind and n == name
+                    v for (k, n, v) in keys if k == kind and n == name
                 )
                 if not versions:
                     raise RegistryError(
@@ -294,12 +287,12 @@ class MirrorStore:
                 version = versions[-1]
             else:
                 validate_version(version)
-            path = files.get((kind, name, version))
-            if path is None:
+            doc_key = keys.get((kind, name, version))
+            if doc_key is None:
                 raise RegistryError(
                     f"mirror has no artifact {kind}:{name}@v{version}"
                 )
-            artifact = self._read_verified(path)
+            artifact = self._read_verified(doc_key)
             _metric_ops().inc(op="get")
             return artifact
 
@@ -307,11 +300,11 @@ class MirrorStore:
         if not (isinstance(key, tuple) and len(key) == 3):
             return False
         with self._lock:
-            return key in self._list_files()
+            return key in self._list_keys()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._list_files())
+            return len(self._list_keys())
 
     def catalog(self) -> List[dict]:
         """Descriptor + freshness for every mirrored artifact.
@@ -323,14 +316,13 @@ class MirrorStore:
         rows: List[dict] = []
         with self._lock:
             now = self.clock()
-            for key, path in sorted(self._list_files().items()):
+            for key, doc_key in sorted(self._list_keys().items()):
                 kind, name, version = key
-                try:
-                    stored_at = path.stat().st_mtime
-                except OSError:  # pragma: no cover - raced unlink
+                stored_at = self.backend.mtime(self.NAMESPACE, doc_key)
+                if stored_at is None:  # pragma: no cover - raced delete
                     continue
                 try:
-                    artifact = self._read_verified(path)
+                    artifact = self._read_verified(doc_key)
                 except IntegrityError as exc:
                     rows.append(
                         {
@@ -352,9 +344,9 @@ class MirrorStore:
         ok: List[str] = []
         corrupt: List[str] = []
         with self._lock:
-            for key, path in sorted(self._list_files().items()):
+            for key, doc_key in sorted(self._list_keys().items()):
                 try:
-                    artifact = self._read_verified(path)
+                    artifact = self._read_verified(doc_key)
                     ok.append(artifact.ref)
                 except IntegrityError:
                     corrupt.append(f"{key[0]}:{key[1]}@v{key[2]}")
@@ -376,47 +368,36 @@ class MirrorStore:
             raise RegistryError("max_artifacts must be >= 1")
         evicted: List[str] = []
         with self._lock:
-            files = self._list_files()
-            if len(files) <= bound:
+            keys = self._list_keys()
+            if len(keys) <= bound:
                 return evicted
             latest: Dict[Tuple[str, str], int] = {}
-            for kind, name, version in files:
+            for kind, name, version in keys:
                 key = (kind, name)
                 latest[key] = max(latest.get(key, 0), version)
             candidates = []
-            for (kind, name, version), path in files.items():
+            for (kind, name, version), doc_key in keys.items():
                 if latest[(kind, name)] == version:
                     continue
                 if self._pins.get(self._pin_key(kind, name)) == version:
                     continue
-                try:
-                    mtime = path.stat().st_mtime
-                except OSError:  # pragma: no cover - raced unlink
+                mtime = self.backend.mtime(self.NAMESPACE, doc_key)
+                if mtime is None:  # pragma: no cover - raced delete
                     continue
-                candidates.append((mtime, kind, name, version, path))
+                candidates.append((mtime, kind, name, version, doc_key))
             candidates.sort()
-            excess = len(files) - bound
-            for _mtime, kind, name, version, path in candidates[:excess]:
-                try:
-                    path.unlink()
-                except OSError:  # pragma: no cover - raced unlink
-                    continue
+            excess = len(keys) - bound
+            for _mtime, kind, name, version, doc_key in candidates[:excess]:
+                if not self.backend.delete(self.NAMESPACE, doc_key):
+                    continue  # pragma: no cover - raced delete
                 evicted.append(f"{kind}:{name}@v{version}")
                 _metric_ops().inc(op="gc_evict")
                 _LOG.info("gc_evict", ref=evicted[-1])
-            _metric_artifacts().set(len(self._list_files()))
+            _metric_artifacts().set(len(self._list_keys()))
         return evicted
 
     # -- health ------------------------------------------------------------
 
     def writable(self) -> bool:
         """Probe whether the mirror can still persist artifacts."""
-        try:
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(self.root), prefix=".probe-", suffix=".tmp"
-            )
-            os.close(fd)
-            os.unlink(tmp_name)
-            return True
-        except OSError:
-            return False
+        return self.backend.writable()

@@ -96,6 +96,7 @@ from ..registry.artifacts import (
 )
 from ..registry.registry import ModelRegistry
 from ..registry.store import MirrorStore, _metric_integrity, _metric_ops
+from ..state import open_backend
 from ..registry.sync import (
     MAX_ARTIFACT_BYTES,
     RegistrySyncClient,
@@ -201,9 +202,19 @@ class Application:
         state_dir: Path,
         server_name: str = "powerplay",
         telemetry: bool = True,
+        backend=None,
+        worker_index: Optional[int] = None,
+        worker_count: int = 1,
     ):
         self.server_name = server_name
-        self.users = UserStore(Path(state_dir))
+        #: one durable-state backend shared by every store — ``backend``
+        #: is a kind name ("file"/"sqlite"), an open StateBackend, or
+        #: None for the historical file layout
+        self.state_backend = open_backend(backend, Path(state_dir))
+        #: pre-fork worker identity (None/1 when serving single-process)
+        self.worker_index = worker_index
+        self.worker_count = max(1, int(worker_count))
+        self.users = UserStore(Path(state_dir), backend=self.state_backend)
         #: login tokens for password-protected users (in-memory; a
         #: restart simply requires logging in again)
         self._tokens: Dict[str, str] = {}
@@ -221,14 +232,21 @@ class Application:
         #: persistent sweep jobs — same layout the CLI uses, so a job
         #: submitted in the browser can be resumed with `repro sweep
         #: --resume` against the same state directory (and vice versa)
-        self.jobs = JobStore(Path(state_dir) / "jobs")
+        self.jobs = JobStore(
+            Path(state_dir) / "jobs",
+            backend=self.state_backend,
+            worker_index=worker_index,
+            worker_count=self.worker_count,
+        )
         self._job_threads: Dict[str, threading.Thread] = {}
         self._job_threads_lock = threading.Lock()
         #: the federated model registry: a digest-verified local mirror
         #: plus publish/ingest.  (`self.registry` below is the *metrics*
         #: registry — a historical name this attribute must not shadow.)
         self.models_registry = ModelRegistry(
-            MirrorStore(Path(state_dir) / "registry"),
+            MirrorStore(
+                Path(state_dir) / "registry", backend=self.state_backend
+            ),
             publisher=server_name,
         )
         #: optional resolution-chain bookkeeping: federation wiring
@@ -1801,6 +1819,7 @@ class Application:
             "status": state,
             "code": code,
             "server": self.server_name,
+            "backend": self.state_backend.kind,
             "checks": {
                 "mirror_writable": mirror_writable,
                 "quarantined": quarantined,
@@ -1812,6 +1831,11 @@ class Application:
         }
         if slo_payload is not None:
             payload["slo"] = slo_payload
+        if self.worker_index is not None:
+            payload["worker"] = {
+                "index": self.worker_index,
+                "count": self.worker_count,
+            }
         return payload
 
     def _healthz(self) -> Response:
@@ -1842,6 +1866,7 @@ class Application:
             counts["history_sealed"] = (
                 1 if self.history.seal() is not None else 0
             )
+        self.state_backend.flush()
         return counts
 
     def _registry_page(self) -> Response:

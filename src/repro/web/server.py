@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import ipaddress
 import itertools
+import socket
 import threading
 import time
 import urllib.parse
@@ -221,10 +222,30 @@ class _SoakFriendlyHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     block_on_close = False
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(self, *args, reuse_port: bool = False, **kwargs):
+        self.reuse_port = reuse_port
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        super().__init__(*args, **kwargs)
+
+    def server_bind(self) -> None:
+        # SO_REUSEPORT before bind: the pre-fork front's workers all
+        # bind the same public port and let the kernel load-balance
+        # accepts (set manually — socketserver.allow_reuse_port only
+        # exists on 3.11+ and this runs on 3.10)
+        if self.reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def inject(self, request, client_address) -> None:
+        """Serve one already-accepted connection (FD-passing mode).
+
+        The pre-fork front's parent accepts and hands the socket over a
+        Unix socketpair when ``SO_REUSEPORT`` is unavailable; the worker
+        feeds it here and the threading mixin handles it exactly like a
+        locally accepted one (in-flight counted, drained on stop).
+        """
+        self.process_request(request, client_address)
 
     def process_request_thread(self, request, client_address) -> None:
         with self._inflight_cv:
@@ -276,9 +297,11 @@ class PowerPlayServer:
         max_body_bytes: int = _Handler.max_body_bytes,
         handler_attrs: Optional[dict] = None,
         telemetry_tick_s: Optional[float] = None,
+        backend=None,
+        reuse_port: bool = False,
     ):
         self.application = application or Application(
-            Path(state_dir), server_name=server_name
+            Path(state_dir), server_name=server_name, backend=backend
         )
         self.allowed_hosts = allowed_hosts
 
@@ -289,7 +312,9 @@ class PowerPlayServer:
         }
         attrs.update(handler_attrs or {})
         handler = type("BoundHandler", (handler_base,), attrs)
-        self._httpd = _SoakFriendlyHTTPServer((host, port), handler)
+        self._httpd = _SoakFriendlyHTTPServer(
+            (host, port), handler, reuse_port=reuse_port
+        )
         self._thread: Optional[threading.Thread] = None
         #: optional background SLO tick — rolling windows must advance
         #: (and alerts must clear) even when no requests arrive.  Off

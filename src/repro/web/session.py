@@ -23,13 +23,13 @@ import hmac
 import json
 import os
 import re
-import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
 from ..core.design import Design
 from ..errors import PowerPlayError, SessionError
+from ..state import open_backend
 from ..library.catalog import Library, LibraryEntry
 from ..library.designio import design_from_payload, design_to_payload
 from ..obs import get_logger, get_registry
@@ -203,36 +203,46 @@ class UserSession:
 
 
 class UserStore:
-    """File-backed session registry: one JSON file per user.
+    """Backend-backed session registry: one JSON document per user.
 
-    Persistence is crash-safe: saves go through a uniquely named
-    temporary file that is fsynced and atomically renamed over the
-    state file *under the store lock*, so a kill mid-save (or two
-    threads saving the same user) can never leave a torn or interleaved
-    file — readers always see either the old state or the new one.
+    Durable storage is delegated to a
+    :class:`~repro.state.backend.StateBackend` (namespace ``"users"``).
+    The default is the historical file layout — one ``<user>.json``
+    under ``root``, written with the mkstemp + fsync + atomic-rename
+    ritual — so a store created by any earlier version opens unchanged;
+    ``serve --backend sqlite`` swaps in WAL-mode SQLite without this
+    class changing shape.
 
-    A state file that is nonetheless unreadable (disk damage, manual
-    edits, a foreign format) is **quarantined**, not fatal: it is moved
-    aside to ``<user>.json.corrupt[-N]``, recorded in
-    :attr:`quarantined`, and the user gets a fresh session — the web
-    service keeps running and the damaged bytes are preserved for
-    inspection.
+    A state document that is unreadable (disk damage, manual edits, a
+    foreign format) is **quarantined**, not fatal: the backend moves
+    the bytes aside (file: ``<user>.json.corrupt[-N]``; SQLite: a
+    quarantine table), the event is recorded in :attr:`quarantined`,
+    and the user gets a fresh session — the web service keeps running
+    and the damaged bytes are preserved for inspection.
     """
 
-    def __init__(self, root: Path):
+    NAMESPACE = "users"
+
+    def __init__(self, root: Path, backend=None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.backend = open_backend(backend, self.root)
         self._sessions: Dict[str, UserSession] = {}
         self._lock = threading.Lock()
-        #: ``[(username, quarantine path, reason), ...]`` — every
-        #: corrupt state file set aside since this store was created
+        #: ``[(username, quarantine location, reason), ...]`` — every
+        #: corrupt state document set aside since this store was created
         self.quarantined: List[tuple] = []
 
-    def _path(self, username: str) -> Path:
-        return self.root / f"{username}.json"
-
     def known_users(self) -> List[str]:
-        return sorted(path.stem for path in self.root.glob("*.json"))
+        return self.backend.keys(self.NAMESPACE)
+
+    def read_disk(self, username: str) -> Optional[str]:
+        """The durable (backend) copy of one user's state, unparsed.
+
+        The oracle's torn-file check compares this byte-for-byte
+        against the in-memory session, whichever backend is in play.
+        """
+        return self.backend.load(self.NAMESPACE, validate_username(username))
 
     def flush(self) -> int:
         """Persist every loaded session; returns how many were saved.
@@ -247,14 +257,9 @@ class UserStore:
             session.save()
         return len(sessions)
 
-    def _quarantine(self, username: str, path: Path, reason: str) -> Path:
-        target = path.with_suffix(".json.corrupt")
-        counter = 0
-        while target.exists():
-            counter += 1
-            target = path.with_suffix(f".json.corrupt-{counter}")
-        path.replace(target)
-        self.quarantined.append((username, target, reason))
+    def _quarantine(self, username: str, reason: str) -> str:
+        target = self.backend.quarantine(self.NAMESPACE, username, reason)
+        self.quarantined.append((username, Path(target), reason))
         _metric_sessions().inc(op="quarantine")
         _LOG.warning(
             "quarantine", user=username, moved_to=str(target), reason=reason
@@ -269,10 +274,10 @@ class UserStore:
             if session is not None:
                 return session
             session = UserSession(username, self)
-            path = self._path(username)
-            if path.exists():
+            text = self.backend.load(self.NAMESPACE, username)
+            if text is not None:
                 try:
-                    payload = json.loads(path.read_text())
+                    payload = json.loads(text)
                     session.load_payload(payload)
                     _metric_sessions().inc(op="load")
                     _LOG.debug("load", user=username)
@@ -284,7 +289,7 @@ class UserStore:
                     AttributeError,
                     KeyError,
                 ) as exc:
-                    self._quarantine(username, path, str(exc))
+                    self._quarantine(username, str(exc))
                     # load_payload may have half-populated the session
                     # before failing — start over from a clean one
                     session = UserSession(username, self)
@@ -297,44 +302,19 @@ class UserStore:
     def save_session(self, session: UserSession) -> None:
         """Atomically persist one user's state (crash- and race-safe).
 
-        The temporary file name is unique per save (``mkstemp``), so
-        concurrent saves of the same user never interleave on a shared
-        ``.tmp`` path; the payload is fully serialized *before* any
-        file is touched; and the write is fsynced before the atomic
-        rename so a crash at any instant leaves either the previous
-        complete file or the new complete file — never a torn one.
+        The payload is fully serialized *before* the backend is
+        touched, and the backend's save is atomic and durable (file:
+        unique mkstemp temp + fsync + atomic rename; SQLite: one
+        fsynced row transaction) — a crash at any instant leaves either
+        the previous complete document or the new complete one, never a
+        torn or interleaved one.  The backend's per-key lock keeps two
+        threads saving the same user from landing out of order.
         """
         payload = json.dumps(session.to_payload(), indent=1)
-        path = self._path(session.username)
-        with self._lock:
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(self.root),
-                prefix=f".{session.username}-",
-                suffix=".saving",
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(payload)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp_name, path)
-                _metric_sessions().inc(op="save")
-                _LOG.debug("save", user=session.username, bytes=len(payload))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        # make the rename itself durable (directory entry update)
-        try:
-            dir_fd = os.open(str(self.root), os.O_RDONLY)
-        except OSError:  # pragma: no cover - exotic filesystems
-            return
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        with self.backend.lock(self.NAMESPACE, session.username):
+            self.backend.save(self.NAMESPACE, session.username, payload)
+        _metric_sessions().inc(op="save")
+        _LOG.debug("save", user=session.username, bytes=len(payload))
 
     def forget(self, username: str) -> None:
         """Drop the in-memory session (state file remains)."""

@@ -1,0 +1,342 @@
+"""Backend-conformance suite: every StateBackend honors one contract.
+
+Parametrized over all ``BACKEND_KINDS`` so a new backend cannot ship
+without proving the same properties the stores rely on:
+
+* atomic save/load round-trips, last-writer-wins, namespace isolation;
+* per-key locking prevents lost updates under thread concurrency;
+* a ``kill -9`` mid-write leaves a previous-or-new complete document,
+  never a torn one (subprocess SIGKILL, both backends);
+* unreadable documents quarantine — bytes preserved, key reads absent,
+  audit trail recorded — and :class:`UserStore` surfaces that audit
+  identically over any backend.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StateError
+from repro.state import (
+    BACKEND_KINDS,
+    FileBackend,
+    SQLiteBackend,
+    open_backend,
+)
+from repro.web.session import UserStore
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend(request, tmp_path):
+    opened = open_backend(request.param, tmp_path / "state")
+    yield opened
+    opened.close()
+
+
+class TestDocuments:
+    def test_round_trip(self, backend):
+        assert backend.load("users", "alice") is None
+        backend.save("users", "alice", '{"n": 1}')
+        assert backend.load("users", "alice") == '{"n": 1}'
+        assert backend.keys("users") == ["alice"]
+        assert backend.mtime("users", "alice") is not None
+
+    def test_last_writer_wins(self, backend):
+        backend.save("users", "bob", "first")
+        backend.save("users", "bob", "second")
+        assert backend.load("users", "bob") == "second"
+
+    def test_delete(self, backend):
+        backend.save("jobs", "job-0001", "{}")
+        assert backend.delete("jobs", "job-0001") is True
+        assert backend.load("jobs", "job-0001") is None
+        assert backend.delete("jobs", "job-0001") is False
+
+    def test_namespaces_are_isolated(self, backend):
+        backend.save("users", "zed", "user doc")
+        backend.save("jobs", "zed", "job doc")
+        assert backend.load("users", "zed") == "user doc"
+        assert backend.load("jobs", "zed") == "job doc"
+        backend.delete("jobs", "zed")
+        assert backend.load("users", "zed") == "user doc"
+
+    def test_keys_sorted_per_namespace(self, backend):
+        for key in ("mallory", "alice", "bob"):
+            backend.save("users", key, "{}")
+        backend.save("registry", "entry--sram--v1", "{}")
+        assert backend.keys("users") == ["alice", "bob", "mallory"]
+        assert backend.keys("registry") == ["entry--sram--v1"]
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".sneaky", "a/b", "a\nb", "-lead", "x" * 200]
+    )
+    def test_invalid_keys_rejected(self, backend, bad):
+        with pytest.raises(StateError):
+            backend.save("users", bad, "{}")
+
+    def test_mtime_absent_is_none(self, backend):
+        assert backend.mtime("users", "ghost") is None
+
+    def test_writable_and_lifecycle(self, backend):
+        assert backend.writable() is True
+        backend.flush()  # never raises, even with nothing buffered
+
+    def test_context_manager_closes(self, tmp_path):
+        with open_backend("sqlite", tmp_path / "cm") as backend:
+            backend.save("users", "a", "{}")
+        with pytest.raises(StateError):
+            backend.save("users", "b", "{}")
+
+
+class TestConcurrency:
+    def test_per_key_lock_prevents_lost_updates(self, backend):
+        """Read-modify-write under backend.lock() loses no increment."""
+        backend.save("users", "counter", '{"n": 0}')
+        threads_n, per_thread = 8, 40
+        errors = []
+
+        def bump():
+            try:
+                for _ in range(per_thread):
+                    with backend.lock("users", "counter"):
+                        doc = json.loads(backend.load("users", "counter"))
+                        doc["n"] += 1
+                        backend.save("users", "counter", json.dumps(doc))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=bump) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = json.loads(backend.load("users", "counter"))
+        assert final["n"] == threads_n * per_thread
+
+    def test_concurrent_distinct_keys_dont_interfere(self, backend):
+        errors = []
+
+        def hammer(key):
+            try:
+                for i in range(30):
+                    backend.save("users", key, json.dumps({key: i}))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"user{n}",))
+            for n in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for n in range(6):
+            doc = json.loads(backend.load("users", f"user{n}"))
+            assert doc == {f"user{n}": 29}
+
+    def test_lock_is_per_key_and_reentrant(self, backend):
+        lock = backend.lock("users", "alice")
+        assert backend.lock("users", "alice") is lock
+        assert backend.lock("users", "bob") is not lock
+        assert backend.lock("jobs", "alice") is not lock
+        with lock:
+            with lock:  # re-entrant by contract
+                pass
+
+
+_CRASH_WRITER = """
+import json, sys
+from pathlib import Path
+from repro.state import open_backend
+
+backend = open_backend(sys.argv[1], Path(sys.argv[2]))
+fill = "x" * 20000
+i = 0
+print("GO", flush=True)
+while True:
+    i += 1
+    backend.save("users", "victim", json.dumps({"n": i, "fill": fill}))
+"""
+
+
+@pytest.mark.slow
+class TestCrashWindow:
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_sigkill_mid_write_leaves_complete_document(
+        self, kind, tmp_path
+    ):
+        """A writer SIGKILLed at an arbitrary instant (statistically
+        mid-write, given the loop) must leave a previous-or-new complete
+        document — never a torn one — under either backend."""
+        root = tmp_path / "state"
+        process = subprocess.Popen(
+            [sys.executable, "-c", _CRASH_WRITER, kind, str(root)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parents[2]),
+        )
+        try:
+            assert process.stdout.readline().strip() == "GO"
+            time.sleep(0.3)  # let many saves (and one in-flight) happen
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+            process.stdout.close()
+
+        survivor = open_backend(kind, root)
+        try:
+            text = survivor.load("users", "victim")
+            assert text is not None, "no complete save survived"
+            doc = json.loads(text)  # would raise on a torn document
+            assert doc["n"] >= 1
+            assert doc["fill"] == "x" * 20000
+            assert survivor.quarantined == []
+        finally:
+            survivor.close()
+
+    def test_file_backend_leaves_no_temp_litter(self, tmp_path):
+        root = tmp_path / "state"
+        process = subprocess.Popen(
+            [sys.executable, "-c", _CRASH_WRITER, "file", str(root)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parents[2]),
+        )
+        try:
+            assert process.stdout.readline().strip() == "GO"
+            time.sleep(0.2)
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+            process.stdout.close()
+        # at most the one temp being written when the kill landed; it
+        # must be a dotfile keys() can never mistake for a document
+        leftovers = [p.name for p in root.iterdir() if p.suffix == ".saving"]
+        assert all(name.startswith(".") for name in leftovers)
+        survivor = open_backend("file", root)
+        assert survivor.keys("users") == ["victim"]
+
+
+class TestQuarantine:
+    def test_quarantine_hides_key_and_preserves_bytes(self, backend):
+        backend.save("users", "eve", "{broken")
+        label = backend.quarantine("users", "eve", "bad json")
+        assert label
+        assert backend.load("users", "eve") is None
+        assert "eve" not in backend.keys("users")
+        record = backend.quarantined_in("users")[0]
+        assert record[0:2] == ("users", "eve")
+        assert record[2] == label
+        assert record[3] == "bad json"
+        if isinstance(backend, FileBackend):
+            assert Path(label).read_text() == "{broken"
+        else:
+            assert label == "users/eve@q1"
+
+    def test_quarantine_absent_key_is_noop(self, backend):
+        assert backend.quarantine("users", "ghost", "whatever") == ""
+        assert backend.quarantined == []
+
+    def test_repeated_quarantines_never_collide(self, backend):
+        labels = []
+        for _ in range(3):
+            backend.save("users", "eve", "{broken")
+            labels.append(backend.quarantine("users", "eve", "bad"))
+        assert len(set(labels)) == 3
+        assert len(backend.quarantined_in("users")) == 3
+
+    def test_file_backend_keeps_historical_corrupt_naming(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        for _ in range(3):
+            backend.save("users", "eve", "{broken")
+            backend.quarantine("users", "eve", "bad")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "eve.json.corrupt", "eve.json.corrupt-1", "eve.json.corrupt-2",
+        ]
+
+
+class TestUserStoreAuditParity:
+    """UserStore's quarantine audit is backend-independent."""
+
+    @pytest.fixture(params=BACKEND_KINDS)
+    def store(self, request, tmp_path):
+        backend = open_backend(request.param, tmp_path / "users")
+        return UserStore(tmp_path / "users", backend=backend)
+
+    def test_corrupt_state_quarantined_with_audit(self, store):
+        store.backend.save("users", "eve", "{broken")
+        session = store.session("eve")  # fresh session, not an error
+        assert session.designs == {}
+        assert len(store.quarantined) == 1
+        user, target, reason = store.quarantined[0]
+        assert user == "eve"
+        assert str(target)  # a path or a row label — never empty
+        assert reason
+        # the damaged payload is preserved, the key reads absent
+        assert store.read_disk("eve") is None
+        assert store.backend.quarantined_in("users")[0][3] == reason
+
+    def test_wrong_format_quarantined_too(self, store):
+        store.backend.save(
+            "users", "mallory", json.dumps({"format": "evil/1"})
+        )
+        store.session("mallory")
+        assert len(store.quarantined) == 1
+        assert "format" in store.quarantined[0][2]
+
+    def test_round_trip_survives_reopen(self, store, tmp_path):
+        session = store.session("carol")
+        session.remember_defaults("sram", {"words": 1024})
+        fresh = UserStore(
+            tmp_path / "users",
+            backend=open_backend(store.backend.kind, tmp_path / "users"),
+        )
+        assert fresh.session("carol").defaults_for("sram") == {
+            "words": 1024.0
+        }
+        assert fresh.quarantined == []
+
+
+class TestSQLiteSpecifics:
+    def test_injectable_clock_controls_mtime(self, tmp_path):
+        clock = {"t": 100.0}
+        backend = SQLiteBackend(tmp_path, clock=lambda: clock["t"])
+        backend.save("users", "a", "{}")
+        assert backend.mtime("users", "a") == 100.0
+        clock["t"] = 250.0
+        backend.save("users", "a", "{}")
+        assert backend.mtime("users", "a") == 250.0
+
+    def test_two_backends_share_one_database(self, tmp_path):
+        """What the pre-fork workers do: one database, many processes
+        (modeled here as two connections in one process — the WAL and
+        busy-timeout settings are identical)."""
+        first = SQLiteBackend(tmp_path)
+        second = SQLiteBackend(tmp_path)
+        first.save("users", "shared", '{"from": "first"}')
+        assert second.load("users", "shared") == '{"from": "first"}'
+        second.save("users", "shared", '{"from": "second"}')
+        assert first.load("users", "shared") == '{"from": "second"}'
+        first.close()
+        second.close()
+
+    def test_unknown_backend_kind_rejected(self, tmp_path):
+        with pytest.raises(StateError, match="unknown state backend"):
+            open_backend("redis", tmp_path)
+
+    def test_open_backend_passes_instances_through(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        assert open_backend(backend, tmp_path / "elsewhere") is backend
