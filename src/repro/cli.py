@@ -134,11 +134,30 @@ def _cmd_sweep_engine(args: argparse.Namespace) -> int:
     from .explore.engine import run_job, run_sweep
 
     stopper = None
+    finished = {"n": 0}
     if args.max_chunks:
-        finished = {"n": 0}
 
         def stopper() -> bool:
             return finished["n"] >= args.max_chunks
+
+    def _count_chunks(job) -> None:
+        """Make --max-chunks count both exhaustive and phase chunks."""
+        if not args.max_chunks:
+            return
+        original = job.record_chunk
+
+        def counting(start, stop, rows, seconds):
+            original(start, stop, rows, seconds)
+            finished["n"] += 1
+
+        job.record_chunk = counting
+        original_phase = job.record_phase_chunk
+
+        def counting_phase(phase, ordinal, indices, rows, seconds):
+            original_phase(phase, ordinal, indices, rows, seconds)
+            finished["n"] += 1
+
+        job.record_phase_chunk = counting_phase
 
     if args.resume:
         if not args.state:
@@ -149,14 +168,7 @@ def _cmd_sweep_engine(args: argparse.Namespace) -> int:
             f"resuming {job.job_id}: {job.done_points}/{job.total_points} "
             f"points already checkpointed"
         )
-        if args.max_chunks:
-            original = job.record_chunk
-
-            def counting(start, stop, rows, seconds):
-                original(start, stop, rows, seconds)
-                finished["n"] += 1
-
-            job.record_chunk = counting
+        _count_chunks(job)
         run_job(job, should_stop=stopper)
         return _print_job_results(job, args)
 
@@ -174,7 +186,23 @@ def _cmd_sweep_engine(args: argparse.Namespace) -> int:
     objectives = tuple(
         part.strip() for part in args.objectives.split(",") if part.strip()
     )
-    space = ParameterSpace(axes, coupled, point_cap=args.point_cap)
+    from .explore.space import DEFAULT_POINT_CAP
+
+    cap = DEFAULT_POINT_CAP if args.max_points is None else args.max_points
+    surrogate = None
+    if args.surrogate:
+        surrogate = {
+            "train_frac": args.train_frac,
+            "train_seed": args.train_seed,
+            "verify_top": args.verify_top,
+            "max_error": args.max_error,
+            "basis": args.basis,
+        }
+    # surrogate sweeps enumerate lazily — the cap may exceed the
+    # exact-sweep ceiling because most points are predicted, not walked
+    space = ParameterSpace(
+        axes, coupled, point_cap=cap, lazy=surrogate is not None
+    )
     print(f"sweep {design.name}: {space!r}")
 
     if args.state:
@@ -183,16 +211,25 @@ def _cmd_sweep_engine(args: argparse.Namespace) -> int:
             design, space, objectives=objectives, derived=derived,
             owner="cli", workers=args.workers, mode=args.mode,
             chunk_size=args.chunk_size, prune=args.prune,
+            surrogate=surrogate,
         )
         print(f"job {job.job_id} created in {store.root}")
-        if args.max_chunks:
-            original = job.record_chunk
+        _count_chunks(job)
+        run_job(job, should_stop=stopper)
+        return _print_job_results(job, args)
 
-            def counting(start, stop, rows, seconds):
-                original(start, stop, rows, seconds)
-                finished["n"] += 1
+    if surrogate is not None:
+        # ephemeral surrogate run: same phase engine, no persistence
+        from .explore.jobs import SweepJob
 
-            job.record_chunk = counting
+        job = SweepJob(
+            "job-0000", "cli", design, space,
+            objectives=objectives, derived=derived,
+            workers=args.workers, mode=args.mode,
+            chunk_size=args.chunk_size, prune=args.prune,
+            surrogate=surrogate,
+        )
+        _count_chunks(job)
         run_job(job, should_stop=stopper)
         return _print_job_results(job, args)
 
@@ -210,9 +247,10 @@ def _cmd_sweep_engine(args: argparse.Namespace) -> int:
 
 def _print_job_results(job, args: argparse.Namespace) -> int:
     summary = job.summary()
+    kind = "surrogate " if job.surrogate is not None else ""
     print(
-        f"job {summary['job_id']} state={summary['state']} "
-        f"points={summary['done']}/{summary['points']} "
+        f"{kind}job {summary['job_id']} state={summary['state']} "
+        f"exact points={summary['done']}/{summary['points']} "
         f"mode={job.mode} workers={job.workers}"
     )
     if job.state != "done":
@@ -224,6 +262,31 @@ def _print_job_results(job, args: argparse.Namespace) -> int:
         elif job.error:
             print(f"error: {job.error}")
         return 1
+    if job.surrogate is not None:
+        from .surrogate.runner import surrogate_report
+
+        report = surrogate_report(job)
+        print(
+            f"surrogate: trained on {report.train_points} exact points, "
+            f"predicted {report.predicted_points}, verified "
+            f"{report.verified_points} (front {report.front_size}, "
+            f"{report.unverified_front} front row(s) left predicted)"
+        )
+        for name, entry in sorted(report.fits.items()):
+            print(
+                f"  fit {name}: basis={entry['basis']} holdout max "
+                f"{entry['holdout_max_rel']:.4%} / p95 "
+                f"{entry['holdout_p95_rel']:.4%}"
+            )
+        print(
+            f"  error bound {report.error_bound:.4%} (holdout), "
+            f"observed {report.observed_max_rel:.4%} on verified rows"
+        )
+        if report.dropped_non_finite:
+            print(
+                f"  {report.dropped_non_finite} predicted point(s) "
+                "dropped as non-finite"
+            )
     return _print_outcome(
         job.result_rows(), job.space.axis_names, job.objective_names,
         None, args,
@@ -1049,10 +1112,36 @@ def build_parser() -> argparse.ArgumentParser:
                          default="serial", help="engine mode (default serial)")
     sweeper.add_argument("--chunk-size", type=int, default=64,
                          help="points per chunk / checkpoint granule")
-    sweeper.add_argument("--point-cap", type=int, default=100_000,
-                         help="refuse spaces larger than this many points")
+    sweeper.add_argument("--max-points", "--point-cap", dest="max_points",
+                         type=int, default=None,
+                         help="refuse spaces larger than this many points "
+                         "(default 100000, absolute ceiling 1000000; "
+                         "surrogate sweeps may go far beyond — they "
+                         "enumerate lazily)")
     sweeper.add_argument("--prune", action="store_true",
                          help="keep only Pareto-optimal rows in the output")
+    sweeper.add_argument("--surrogate", action="store_true",
+                         help="fit-predict-verify engine: exact-evaluate "
+                         "a sampled training set, predict the rest, "
+                         "re-verify the predicted Pareto front exactly")
+    sweeper.add_argument("--train-frac", type=float, default=0.01,
+                         help="fraction of the space to exact-evaluate "
+                         "for training (default 0.01)")
+    sweeper.add_argument("--train-seed", type=int, default=1996,
+                         help="seed for the deterministic training "
+                         "sample (default 1996)")
+    sweeper.add_argument("--verify-top", type=int, default=64,
+                         help="exact-verification budget: predicted "
+                         "front first, then the most uncertain rows "
+                         "(default 64)")
+    sweeper.add_argument("--max-error", type=float, default=0.0,
+                         help="abort if the fitted holdout max relative "
+                         "error exceeds this (0 = report only)")
+    sweeper.add_argument("--basis", default="auto",
+                         choices=["auto", "linear", "quadratic", "cubic",
+                                  "log"],
+                         help="surrogate basis (default auto: best "
+                         "holdout p95)")
     sweeper.add_argument("--state", default=None,
                          help="persist the sweep as a resumable job under "
                          "STATE/jobs")

@@ -24,8 +24,10 @@ from .engine import (
 )
 from .jobs import (
     JOB_STATES,
+    SURROGATE_DEFAULTS,
     JobStore,
     SweepJob,
+    coerce_surrogate,
     validate_job_id,
 )
 from .results import (
@@ -50,8 +52,10 @@ __all__ = [
     "JOB_STATES",
     "JobStore",
     "ParameterSpace",
+    "SURROGATE_DEFAULTS",
     "SweepJob",
     "SweepOutcome",
+    "coerce_surrogate",
     "coupled_from_spec",
     "export_csv",
     "export_json",

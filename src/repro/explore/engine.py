@@ -167,6 +167,17 @@ def _evaluate_range(
     ]
 
 
+def _evaluate_indices(
+    evaluator: BatchEvaluator,
+    space: ParameterSpace,
+    derived: Sequence[DerivedObjective],
+    indices: Sequence[int],
+) -> List[dict]:
+    return [
+        _point_row(evaluator, space, derived, index) for index in indices
+    ]
+
+
 # -- process-mode workers ---------------------------------------------------
 
 # one evaluator per worker process, built once by the pool initializer
@@ -191,6 +202,16 @@ def _proc_chunk(start: int, stop: int):
     rows = _evaluate_range(evaluator, space, derived, start, stop)
     seconds = time.perf_counter() - began
     return (start, stop, rows, seconds,
+            evaluator.hits - hits0, evaluator.misses - misses0)
+
+
+def _proc_index_chunk(ordinal: int, indices: Sequence[int]):
+    evaluator, space, derived = _PROC_STATE
+    hits0, misses0 = evaluator.hits, evaluator.misses
+    began = time.perf_counter()
+    rows = _evaluate_indices(evaluator, space, derived, indices)
+    seconds = time.perf_counter() - began
+    return (ordinal, indices, rows, seconds,
             evaluator.hits - hits0, evaluator.misses - misses0)
 
 
@@ -346,6 +367,113 @@ def run_chunks(
     return records, report
 
 
+def run_index_chunks(
+    design: Design,
+    space: ParameterSpace,
+    index_chunks: Sequence[Tuple[int, Sequence[int]]],
+    objectives: Sequence[str] = ("power",),
+    derived: Sequence[DerivedObjective] = (),
+    workers: int = 1,
+    mode: str = "serial",
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_chunk: Optional[Callable[[int, Sequence[int], List[dict], float],
+                                None]] = None,
+) -> Tuple[Dict[int, dict], EngineReport]:
+    """Evaluate explicit point-index lists — the surrogate engine's
+    exact phases (scattered training samples, the predicted front).
+
+    ``index_chunks`` is ``[(ordinal, [indices...]), ...]``; each chunk
+    checkpoints through ``on_chunk(ordinal, indices, rows, seconds)``
+    exactly like :func:`run_chunks` does for contiguous ranges, with
+    the same serial/thread/process modes and cancellation contract.
+    """
+    objectives = tuple(objectives)
+    derived = tuple(derived)
+    workers = max(1, int(workers))
+    records: Dict[int, dict] = {}
+    report = EngineReport(mode=mode, workers=workers)
+    began = time.perf_counter()
+
+    def _record(ordinal, indices, rows, seconds, hits, misses):
+        record = {
+            "ordinal": int(ordinal), "indices": list(indices),
+            "rows": rows, "seconds": seconds,
+        }
+        records[int(ordinal)] = record
+        report.points += len(rows)
+        report.errors += sum(1 for row in rows if row["error"])
+        report.chunks += 1
+        report.hits += hits
+        report.misses += misses
+        failed = sum(1 for row in rows if row["error"])
+        if len(rows) - failed:
+            _metric_points().inc(len(rows) - failed, status="ok")
+        if failed:
+            _metric_points().inc(failed, status="error")
+        _metric_chunk_seconds().observe(seconds)
+        if on_chunk is not None:
+            on_chunk(ordinal, indices, rows, seconds)
+
+    if mode == "serial" or (workers == 1 and mode == "thread"):
+        evaluator = BatchEvaluator(design, objectives)
+        for ordinal, indices in index_chunks:
+            if should_stop is not None and should_stop():
+                break
+            with span("explore.chunk"):
+                hits0, misses0 = evaluator.hits, evaluator.misses
+                chunk_began = time.perf_counter()
+                rows = _evaluate_indices(evaluator, space, derived, indices)
+                _record(
+                    ordinal, indices, rows,
+                    time.perf_counter() - chunk_began,
+                    evaluator.hits - hits0, evaluator.misses - misses0,
+                )
+    elif mode == "thread":
+        pool_workers = _ThreadWorkers(design, objectives)
+
+        def _thread_chunk(ordinal, indices):
+            evaluator = pool_workers.evaluator()
+            hits0, misses0 = evaluator.hits, evaluator.misses
+            chunk_began = time.perf_counter()
+            rows = _evaluate_indices(evaluator, space, derived, indices)
+            return (ordinal, indices, rows,
+                    time.perf_counter() - chunk_began,
+                    evaluator.hits - hits0, evaluator.misses - misses0)
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="explore"
+        ) as pool:
+            _pump(pool, _thread_chunk, index_chunks, workers, should_stop,
+                  _record, ())
+    elif mode == "process":
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            context = multiprocessing.get_context()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_proc_init,
+            initargs=(
+                design_to_payload(design),
+                space.to_payload(),
+                objectives,
+                [d.to_payload() for d in derived],
+            ),
+        ) as pool:
+            _pump(pool, _proc_index_chunk, index_chunks, workers,
+                  should_stop, _record, ())
+    else:
+        raise ExploreError(
+            f"unknown engine mode {mode!r}; choose serial, thread or process"
+        )
+
+    report.seconds = time.perf_counter() - began
+    _metric_memo().inc(report.hits, kind="hit")
+    _metric_memo().inc(report.misses, kind="miss")
+    return records, report
+
+
 def _pump(pool, chunk_fn, chunks, workers, should_stop, record, extra_args):
     """Feed chunks to a pool keeping at most ``workers`` in flight.
 
@@ -427,7 +555,14 @@ def run_job(
     any instant loses at most one in-flight chunk.  Honors both the
     job's own :meth:`~SweepJob.request_cancel` flag and an external
     ``should_stop``.
+
+    Surrogate jobs (``job.surrogate`` set) run the fit-predict-verify
+    phases instead of the exhaustive chunk walk.
     """
+    if getattr(job, "surrogate", None) is not None:
+        from ..surrogate.runner import run_surrogate_job
+
+        return run_surrogate_job(job, should_stop)
     job.set_state("running")
     design = job.design()
 

@@ -55,6 +55,45 @@ def _metric_jobs():
     )
 
 
+#: defaults for the surrogate engine's config dict
+SURROGATE_DEFAULTS = {
+    "train_frac": 0.01,
+    "train_seed": 1996,
+    "verify_top": 64,
+    "max_error": 0.0,
+    "basis": "auto",
+}
+
+
+def coerce_surrogate(config: Mapping) -> dict:
+    """Normalize a surrogate config dict (unknown keys rejected, known
+    keys type-coerced) so checkpoints round-trip canonically."""
+    out = dict(SURROGATE_DEFAULTS)
+    for key, value in dict(config).items():
+        if key not in SURROGATE_DEFAULTS:
+            raise JobError(f"unknown surrogate config key {key!r}")
+        out[key] = value
+    try:
+        out["train_frac"] = float(out["train_frac"])
+        out["train_seed"] = int(out["train_seed"])
+        out["verify_top"] = int(out["verify_top"])
+        out["max_error"] = float(out["max_error"])
+        out["basis"] = str(out["basis"])
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"bad surrogate config: {exc}") from exc
+    if not 0.0 < out["train_frac"] <= 1.0:
+        raise JobError(
+            f"surrogate train fraction must be in (0, 1], got "
+            f"{out['train_frac']!r}"
+        )
+    if out["verify_top"] < 0:
+        raise JobError(
+            f"surrogate verify budget must be >= 0, got "
+            f"{out['verify_top']}"
+        )
+    return out
+
+
 def validate_job_id(job_id: str) -> str:
     """Job ids become file names — reject anything surprising."""
     if not isinstance(job_id, str) or not _JOB_ID_RE.match(job_id):
@@ -79,6 +118,7 @@ class SweepJob:
         mode: str = "serial",
         chunk_size: int = 64,
         prune: bool = False,
+        surrogate: Optional[Mapping] = None,
     ):
         self.job_id = validate_job_id(job_id)
         self.owner = str(owner)
@@ -95,6 +135,15 @@ class SweepJob:
         self.mode = mode
         self.chunk_size = max(1, int(chunk_size))
         self.prune = bool(prune)
+        #: ``None`` = exhaustive exact sweep; a config dict switches the
+        #: job to the fit-predict-verify surrogate engine
+        self.surrogate = (
+            None if surrogate is None else coerce_surrogate(surrogate)
+        )
+        #: surrogate phase checkpoints — ``train``/``verify`` hold
+        #: ``{"chunks": {ordinal: {...}}}``, ``plan`` holds the fitted
+        #: surrogates + predicted front (see repro.surrogate.runner)
+        self.phases: Dict[str, dict] = {}
         self.state = "pending"
         self.error = ""
         self.cancel_requested = False
@@ -122,7 +171,12 @@ class SweepJob:
 
     @property
     def done_points(self) -> int:
-        return sum(len(chunk["rows"]) for chunk in self.chunks.values())
+        """Exactly-evaluated points so far (phase rows included)."""
+        done = sum(len(chunk["rows"]) for chunk in self.chunks.values())
+        for phase in self.phases.values():
+            for chunk in phase.get("chunks", {}).values():
+                done += len(chunk["rows"])
+        return done
 
     @property
     def objective_names(self) -> List[str]:
@@ -138,7 +192,15 @@ class SweepJob:
         ]
 
     def result_rows(self) -> List[dict]:
-        """All checkpointed rows in point order (raises if incomplete)."""
+        """All checkpointed rows in point order (raises if incomplete).
+
+        For surrogate jobs this assembles the exact + predicted row set
+        from the phase checkpoints instead of the chunk walk.
+        """
+        if self.surrogate is not None:
+            from ..surrogate.runner import surrogate_result_rows
+
+            return surrogate_result_rows(self)
         if self.pending_chunks():
             raise JobError(
                 f"job {self.job_id!r} is incomplete: "
@@ -148,6 +210,49 @@ class SweepJob:
         for start in sorted(self.chunks):
             rows.extend(self.chunks[start]["rows"])
         return rows
+
+    # -- surrogate phases --------------------------------------------------
+
+    def phase_chunks(self, phase: str) -> Dict[int, dict]:
+        """Checkpointed chunks of one surrogate phase, by ordinal."""
+        return {
+            int(ordinal): chunk
+            for ordinal, chunk in self.phases.get(phase, {}).get(
+                "chunks", {}
+            ).items()
+        }
+
+    def phase_rows(self, phase: str) -> Dict[int, dict]:
+        """Point index -> exact result row for one surrogate phase."""
+        rows: Dict[int, dict] = {}
+        chunks = self.phase_chunks(phase)
+        for ordinal in sorted(chunks):
+            for row in chunks[ordinal]["rows"]:
+                rows[int(row["index"])] = row
+        return rows
+
+    def record_phase_chunk(
+        self, phase: str, ordinal: int, indices: Sequence[int],
+        rows: List[dict], seconds: float,
+    ) -> None:
+        with self.lock:
+            slot = self.phases.setdefault(phase, {})
+            slot.setdefault("chunks", {})[int(ordinal)] = {
+                "ordinal": int(ordinal),
+                "indices": [int(i) for i in indices],
+                "rows": rows,
+                "seconds": float(seconds),
+            }
+            self.save()
+
+    def phase_data(self, phase: str) -> Optional[dict]:
+        """The non-chunk payload of one phase (the ``plan``)."""
+        return self.phases.get(phase, {}).get("data")
+
+    def set_phase_data(self, phase: str, data: Mapping) -> None:
+        with self.lock:
+            self.phases.setdefault(phase, {})["data"] = dict(data)
+            self.save()
 
     # -- state transitions -------------------------------------------------
 
@@ -194,7 +299,7 @@ class SweepJob:
     # -- persistence -------------------------------------------------------
 
     def to_payload(self) -> dict:
-        return {
+        payload: Dict[str, object] = {
             "format": "powerplay-job/1",
             "job_id": self.job_id,
             "owner": self.owner,
@@ -215,6 +320,19 @@ class SweepJob:
                 for start, chunk in sorted(self.chunks.items())
             },
         }
+        if self.surrogate is not None:
+            payload["surrogate"] = dict(self.surrogate)
+            payload["phases"] = {
+                phase: {
+                    key: (
+                        {str(o): c for o, c in sorted(value.items())}
+                        if key == "chunks" else value
+                    )
+                    for key, value in slot.items()
+                }
+                for phase, slot in sorted(self.phases.items())
+            }
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "SweepJob":
@@ -243,6 +361,31 @@ class SweepJob:
             job.mode = mode
             job.chunk_size = max(1, int(payload.get("chunk_size", 64)))
             job.prune = bool(payload.get("prune", False))
+            surrogate = payload.get("surrogate")
+            job.surrogate = (
+                None if surrogate is None else coerce_surrogate(surrogate)
+            )
+            job.phases = {}
+            for phase, slot in payload.get("phases", {}).items():
+                restored: dict = {}
+                for key, value in slot.items():
+                    if key == "chunks":
+                        restored["chunks"] = {
+                            int(ordinal): {
+                                "ordinal": int(chunk["ordinal"]),
+                                "indices": [
+                                    int(i) for i in chunk["indices"]
+                                ],
+                                "rows": list(chunk["rows"]),
+                                "seconds": float(
+                                    chunk.get("seconds", 0.0)
+                                ),
+                            }
+                            for ordinal, chunk in value.items()
+                        }
+                    else:
+                        restored[key] = value
+                job.phases[str(phase)] = restored
             state = str(payload.get("state", "pending"))
             if state not in JOB_STATES:
                 raise JobError(f"corrupt job payload: state {state!r}")
@@ -276,6 +419,7 @@ class SweepJob:
             "points": self.total_points,
             "done": self.done_points,
             "objectives": ",".join(self.objective_names),
+            "surrogate": self.surrogate is not None,
             "error": self.error,
         }
 
@@ -351,6 +495,7 @@ class JobStore:
         mode: str = "serial",
         chunk_size: int = 64,
         prune: bool = False,
+        surrogate: Optional[Mapping] = None,
     ) -> SweepJob:
         """Allocate an id, build the job, persist it as ``pending``."""
         with self._lock:
@@ -365,6 +510,7 @@ class JobStore:
                 mode=mode,
                 chunk_size=chunk_size,
                 prune=prune,
+                surrogate=surrogate,
             )
             job._store = self
             self._jobs[job.job_id] = job

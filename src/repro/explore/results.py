@@ -24,7 +24,16 @@ from ..errors import ExploreError
 def _objective_vector(
     row: Mapping, objectives: Sequence[str]
 ) -> Optional[Tuple[float, ...]]:
-    """The row's objective tuple, or ``None`` for failed rows."""
+    """The row's objective tuple, or ``None`` for failed rows and rows
+    carrying a non-finite objective.
+
+    Surrogate-predicted rows can legitimately hold NaN/inf (an
+    extrapolating basis, a log of a non-positive value); a NaN must
+    never reach dominance comparison — NaN compares false against
+    everything and would silently survive onto the frontier — so
+    such rows are dropped, and callers can count them via the
+    ``stats`` out-param on :func:`pareto_rows`.
+    """
     if row.get("error"):
         return None
     values = row.get("objectives", {})
@@ -34,12 +43,9 @@ def _objective_vector(
         raise ExploreError(
             f"row {row.get('index')} is missing objective {exc}"
         ) from None
-    for name, value in zip(objectives, vector):
+    for value in vector:
         if not math.isfinite(value):
-            raise ExploreError(
-                f"row {row.get('index')}: objective {name!r} is "
-                f"non-finite ({value!r})"
-            )
+            return None
     return vector
 
 
@@ -51,11 +57,15 @@ def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
 
 
 def pareto_rows(
-    rows: Sequence[Mapping], objectives: Sequence[str]
+    rows: Sequence[Mapping],
+    objectives: Sequence[str],
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[Mapping]:
     """Non-dominated rows over N minimized objectives.
 
-    Failed rows (non-empty ``error``) never make the front.  Ties on
+    Failed rows (non-empty ``error``) and rows with any non-finite
+    objective never make the front; pass a dict as ``stats`` to get
+    ``{"dropped_failed": n, "dropped_non_finite": m}`` back.  Ties on
     the full objective vector all survive (they dominate nobody and
     nobody dominates them), matching the designer's expectation that
     equivalent configurations stay visible.  Output preserves point
@@ -63,13 +73,21 @@ def pareto_rows(
     """
     if not objectives:
         raise ExploreError("pareto_rows needs at least one objective")
-    scored = [
-        (row, vector)
-        for row, vector in (
-            (row, _objective_vector(row, objectives)) for row in rows
-        )
-        if vector is not None
-    ]
+    dropped_failed = 0
+    dropped_non_finite = 0
+    scored = []
+    for row in rows:
+        vector = _objective_vector(row, objectives)
+        if vector is None:
+            if row.get("error"):
+                dropped_failed += 1
+            else:
+                dropped_non_finite += 1
+            continue
+        scored.append((row, vector))
+    if stats is not None:
+        stats["dropped_failed"] = dropped_failed
+        stats["dropped_non_finite"] = dropped_non_finite
     # sort by objective vector: a dominator always sorts before its
     # victims lexicographically, so one pass against the running front
     # suffices
@@ -96,7 +114,12 @@ def sensitivity_ranking(
     The relative figure divides by the mean objective so axes are
     comparable across magnitudes.  Deterministic: ties rank by name.
     """
-    usable = [row for row in rows if not row.get("error")]
+    usable = [
+        row
+        for row in rows
+        if not row.get("error")
+        and math.isfinite(float(row["objectives"].get(objective, math.nan)))
+    ]
     if not usable:
         return []
     mean = sum(
@@ -136,8 +159,17 @@ def export_csv(
     objectives: Sequence[str],
 ) -> str:
     """Result rows as CSV, byte-stable: ``repr`` floats round-trip
-    exactly, row order is point order."""
-    header = ["index", *axis_names, *objectives, "error"]
+    exactly, row order is point order.
+
+    When any row carries a ``source`` key (surrogate sweeps mark rows
+    ``exact`` or ``predicted``) a ``source`` column is emitted; exports
+    of plain exact sweeps stay byte-identical to before.
+    """
+    with_source = any("source" in row for row in rows)
+    header = ["index", *axis_names, *objectives]
+    if with_source:
+        header.append("source")
+    header.append("error")
     lines = [",".join(header)]
     for row in rows:
         cells: List[str] = [str(int(row["index"]))]
@@ -146,6 +178,8 @@ def export_csv(
         for name in objectives:
             value = row.get("objectives", {}).get(name)
             cells.append("" if value is None else repr(float(value)))
+        if with_source:
+            cells.append(str(row.get("source", "exact")))
         error = str(row.get("error", ""))
         cells.append('"%s"' % error.replace('"', "'") if error else "")
         lines.append(",".join(cells))
@@ -160,22 +194,24 @@ def export_json(
 ) -> str:
     """Full results as canonical JSON (sorted keys, indent 1) — the
     payload the resume-equivalence gate compares byte for byte."""
+    out_rows: List[Dict[str, object]] = []
+    for row in rows:
+        out: Dict[str, object] = {
+            "index": int(row["index"]),
+            "values": {k: float(v) for k, v in row["values"].items()},
+            "objectives": {
+                k: float(v) for k, v in row.get("objectives", {}).items()
+            },
+            "error": str(row.get("error", "")),
+        }
+        if "source" in row:
+            out["source"] = str(row["source"])
+        out_rows.append(out)
     payload: Dict[str, object] = {
         "format": "powerplay-sweep-results/1",
         "axes": list(axis_names),
         "objectives": list(objectives),
-        "rows": [
-            {
-                "index": int(row["index"]),
-                "values": {k: float(v) for k, v in row["values"].items()},
-                "objectives": {
-                    k: float(v)
-                    for k, v in row.get("objectives", {}).items()
-                },
-                "error": str(row.get("error", "")),
-            }
-            for row in rows
-        ],
+        "rows": out_rows,
     }
     if meta:
         payload["meta"] = dict(meta)

@@ -32,6 +32,12 @@ from ..errors import ExploreError
 #: than this belongs on more than one job
 ABSOLUTE_POINT_CAP = 1_000_000
 
+#: the ceiling for **lazy** spaces (``lazy=True``): enumeration that is
+#: never materialized row-by-row — the surrogate engine predicts most
+#: points from a fitted model and only ever exact-evaluates a sampled
+#: subset, so it may enumerate far past the exact-sweep cap
+LAZY_POINT_CAP = 16_777_216
+
 DEFAULT_POINT_CAP = 100_000
 
 
@@ -322,6 +328,7 @@ class ParameterSpace:
         axes: Sequence[Axis],
         coupled: Sequence[CoupledParam] = (),
         point_cap: int = DEFAULT_POINT_CAP,
+        lazy: bool = False,
     ):
         if not axes:
             raise ExploreError("a parameter space needs at least one axis")
@@ -335,17 +342,24 @@ class ParameterSpace:
             raise ExploreError(f"duplicate sweep targets in {targets}")
         if point_cap < 1:
             raise ExploreError(f"point cap must be >= 1, got {point_cap}")
-        point_cap = min(int(point_cap), ABSOLUTE_POINT_CAP)
+        # surrogate runs enumerate lazily (predicted, never materialized
+        # row-by-row), so they may raise the ceiling — exact sweeps stay
+        # bounded by ABSOLUTE_POINT_CAP
+        ceiling = LAZY_POINT_CAP if lazy else ABSOLUTE_POINT_CAP
+        point_cap = min(int(point_cap), ceiling)
         self.axes: Tuple[Axis, ...] = tuple(axes)
         self.coupled: Tuple[CoupledParam, ...] = tuple(coupled)
         self.point_cap = point_cap
+        self.lazy = bool(lazy)
         total = 1
         for axis in self.axes:
             total *= len(axis)
             if total > point_cap:
                 raise ExploreError(
                     f"space has at least {total} points, over the cap of "
-                    f"{point_cap}; shrink an axis or raise the cap"
+                    f"{point_cap}; shrink an axis or raise --max-points "
+                    "(surrogate sweeps may enumerate lazily past the "
+                    "exact-sweep ceiling)"
                 )
         self._total = total
 
@@ -396,12 +410,15 @@ class ParameterSpace:
     # -- persistence -------------------------------------------------------
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "format": "powerplay-space/1",
             "axes": [axis.to_payload() for axis in self.axes],
             "coupled": [couple.to_payload() for couple in self.coupled],
             "point_cap": self.point_cap,
         }
+        if self.lazy:
+            payload["lazy"] = True
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "ParameterSpace":
@@ -413,6 +430,7 @@ class ParameterSpace:
             [Axis.from_payload(a) for a in payload.get("axes", [])],
             [CoupledParam.from_payload(c) for c in payload.get("coupled", [])],
             point_cap=int(payload.get("point_cap", DEFAULT_POINT_CAP)),
+            lazy=bool(payload.get("lazy", False)),
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,333 @@
+"""Per-objective least-squares surrogate regressors.
+
+One :class:`SurrogateFit` per objective: a polynomial basis over the
+axis values (optionally over their logs, which captures the power-law
+forms the PowerPlay models are built from), coefficients solved by the
+same rank-checked ``lstsq`` the Landman characterization flow uses
+(:func:`repro.library.characterize._lstsq`), and an **honest** error
+bound: the training rows are split deterministically, the fit sees only
+the train split, and the reported max/p95 relative errors come from the
+held-out rows the fit never saw.
+
+``basis="auto"`` races the candidate forms and keeps the one with the
+lowest holdout p95 relative error — a rank-deficient candidate (say a
+single-value axis making the quadratic column degenerate) is simply
+skipped, not fatal, as long as *some* form survives.
+
+Everything serializes: a fitted surrogate round-trips through JSON so a
+checkpointed job can resume prediction in a process that never saw the
+training rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError, SurrogateError
+from ..library.characterize import _lstsq
+
+#: candidate bases, in the order ``auto`` prefers on a p95 tie
+BASIS_NAMES = ("quadratic", "cubic", "linear", "log")
+
+#: degree per named polynomial basis (log uses degree 2 over logs)
+_DEGREES = {"linear": 1, "quadratic": 2, "cubic": 3, "log": 2}
+
+#: relative-error denominators are floored here so an exactly-zero
+#: objective (InfoPad's unmodeled delay) reads as zero error, not inf
+_TINY = 1e-30
+
+
+def _power_terms(n_axes: int, degree: int) -> List[Tuple[int, ...]]:
+    """All monomial exponent tuples up to ``degree`` over ``n_axes``
+    features, intercept first — deterministic column order."""
+    terms: List[Tuple[int, ...]] = [()]
+    for d in range(1, degree + 1):
+        terms.extend(
+            itertools.combinations_with_replacement(range(n_axes), d)
+        )
+    return terms
+
+
+def _features(matrix: np.ndarray, log_features: bool) -> np.ndarray:
+    if not log_features:
+        return matrix
+    if np.any(matrix <= 0):
+        raise SurrogateError(
+            "log basis needs strictly positive axis values"
+        )
+    return np.log(matrix)
+
+
+def _design_matrix(
+    features: np.ndarray, terms: Sequence[Tuple[int, ...]]
+) -> np.ndarray:
+    columns = []
+    for term in terms:
+        column = np.ones(features.shape[0])
+        for axis in term:
+            column = column * features[:, axis]
+        columns.append(column)
+    return np.column_stack(columns)
+
+
+def _relative_errors(
+    predicted: np.ndarray, actual: np.ndarray
+) -> np.ndarray:
+    return np.abs(predicted - actual) / np.maximum(np.abs(actual), _TINY)
+
+
+def _p95(errors: np.ndarray) -> float:
+    if errors.size == 0:
+        return 0.0
+    ordered = np.sort(errors)
+    position = min(
+        ordered.size - 1, max(0, math.ceil(0.95 * ordered.size) - 1)
+    )
+    return float(ordered[position])
+
+
+@dataclass
+class SurrogateFit:
+    """One objective's fitted surrogate + its holdout error bound."""
+
+    objective: str
+    basis: str
+    terms: List[Tuple[int, ...]]
+    log_features: bool
+    coefficients: List[float]
+    gram_inv: List[List[float]]
+    residual_rms: float
+    holdout_max_rel: float
+    holdout_p95_rel: float
+    train_points: int
+    holdout_points: int
+
+    def design_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        return _design_matrix(
+            _features(np.asarray(matrix, dtype=float), self.log_features),
+            self.terms,
+        )
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Predicted objective values for an ``(n, n_axes)`` matrix."""
+        return self.design_matrix(matrix) @ np.asarray(self.coefficients)
+
+    def leverage(self, matrix: np.ndarray) -> np.ndarray:
+        """Statistical leverage ``h = x (XᵀX)⁻¹ xᵀ`` per row — how far
+        outside the training cloud a prediction sits; feeds the
+        uncertainty score that picks the verification band."""
+        basis = self.design_matrix(matrix)
+        gram_inv = np.asarray(self.gram_inv)
+        return np.einsum("ij,jk,ik->i", basis, gram_inv, basis)
+
+    def to_payload(self) -> dict:
+        return {
+            "objective": self.objective,
+            "basis": self.basis,
+            "terms": [list(term) for term in self.terms],
+            "log_features": self.log_features,
+            "coefficients": list(self.coefficients),
+            "gram_inv": [list(row) for row in self.gram_inv],
+            "residual_rms": self.residual_rms,
+            "holdout_max_rel": self.holdout_max_rel,
+            "holdout_p95_rel": self.holdout_p95_rel,
+            "train_points": self.train_points,
+            "holdout_points": self.holdout_points,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SurrogateFit":
+        try:
+            return cls(
+                objective=str(payload["objective"]),
+                basis=str(payload["basis"]),
+                terms=[tuple(int(i) for i in t) for t in payload["terms"]],
+                log_features=bool(payload["log_features"]),
+                coefficients=[float(c) for c in payload["coefficients"]],
+                gram_inv=[
+                    [float(v) for v in row] for row in payload["gram_inv"]
+                ],
+                residual_rms=float(payload["residual_rms"]),
+                holdout_max_rel=float(payload["holdout_max_rel"]),
+                holdout_p95_rel=float(payload["holdout_p95_rel"]),
+                train_points=int(payload["train_points"]),
+                holdout_points=int(payload["holdout_points"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SurrogateError(
+                f"corrupt surrogate fit payload: {exc}"
+            ) from exc
+
+
+def _split(
+    count: int, seed: int
+) -> Tuple[List[int], List[int]]:
+    """Deterministic train/holdout row split: ~20% held out, at least
+    4 rows, never more than half."""
+    order = list(range(count))
+    random.Random(int(seed)).shuffle(order)
+    holdout = min(max(4, count // 5), count // 2)
+    return sorted(order[holdout:]), sorted(order[:holdout])
+
+
+def _fit_one_basis(
+    matrix: np.ndarray,
+    measured: np.ndarray,
+    objective: str,
+    basis: str,
+    train_rows: Sequence[int],
+    holdout_rows: Sequence[int],
+) -> SurrogateFit:
+    log_features = basis == "log"
+    terms = _power_terms(matrix.shape[1], _DEGREES[basis])
+    features = _features(matrix, log_features)
+    full = _design_matrix(features, terms)
+    train_basis = full[list(train_rows)]
+    solution = _lstsq(train_basis, measured[list(train_rows)])
+    holdout_basis = full[list(holdout_rows)]
+    holdout_actual = measured[list(holdout_rows)]
+    holdout_predicted = holdout_basis @ solution
+    errors = _relative_errors(holdout_predicted, holdout_actual)
+    rms = float(
+        np.sqrt(np.mean((holdout_predicted - holdout_actual) ** 2))
+    )
+    # pinv, not inv: a nearly-collinear basis that squeaked past the
+    # rank check must degrade leverage gracefully, not blow up
+    gram_inv = np.linalg.pinv(train_basis.T @ train_basis)
+    return SurrogateFit(
+        objective=objective,
+        basis=basis,
+        terms=terms,
+        log_features=log_features,
+        coefficients=[float(c) for c in solution],
+        gram_inv=[[float(v) for v in row] for row in gram_inv],
+        residual_rms=rms,
+        holdout_max_rel=float(np.max(errors)) if errors.size else 0.0,
+        holdout_p95_rel=_p95(errors),
+        train_points=len(train_rows),
+        holdout_points=len(holdout_rows),
+    )
+
+
+def fit_objective(
+    matrix: np.ndarray,
+    measured: np.ndarray,
+    objective: str,
+    basis: str = "auto",
+    seed: int = 1996,
+) -> SurrogateFit:
+    """Fit one objective over an ``(n, n_axes)`` value matrix.
+
+    ``basis="auto"`` tries every candidate in :data:`BASIS_NAMES` and
+    keeps the lowest holdout-p95 survivor; a named basis must fit or
+    the whole call fails.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != measured.shape[0]:
+        raise SurrogateError(
+            f"objective {objective!r}: matrix/measured shape mismatch "
+            f"{matrix.shape} vs {measured.shape}"
+        )
+    if not np.all(np.isfinite(matrix)):
+        raise SurrogateError(
+            f"objective {objective!r}: non-finite axis value in "
+            "training matrix"
+        )
+    if not np.all(np.isfinite(measured)):
+        raise SurrogateError(
+            f"objective {objective!r}: non-finite measured value in "
+            "training rows (failed rows must be filtered first)"
+        )
+    train_rows, holdout_rows = _split(matrix.shape[0], seed)
+    if basis != "auto":
+        if basis not in _DEGREES:
+            raise SurrogateError(
+                f"unknown surrogate basis {basis!r}; choose auto or one "
+                f"of {BASIS_NAMES}"
+            )
+        try:
+            return _fit_one_basis(
+                matrix, measured, objective, basis, train_rows,
+                holdout_rows,
+            )
+        except CharacterizationError as exc:
+            raise SurrogateError(
+                f"objective {objective!r}: basis {basis!r} failed: {exc}"
+            ) from exc
+    best: Optional[SurrogateFit] = None
+    failures: List[str] = []
+    for candidate in BASIS_NAMES:
+        try:
+            fit = _fit_one_basis(
+                matrix, measured, objective, candidate, train_rows,
+                holdout_rows,
+            )
+        except (CharacterizationError, SurrogateError) as exc:
+            failures.append(f"{candidate}: {exc}")
+            continue
+        if best is None or fit.holdout_p95_rel < best.holdout_p95_rel:
+            best = fit
+    if best is None:
+        raise SurrogateError(
+            f"objective {objective!r}: no surrogate basis fits "
+            f"({'; '.join(failures)})"
+        )
+    return best
+
+
+def fit_surrogates(
+    rows: Sequence[Mapping],
+    axis_names: Sequence[str],
+    objectives: Sequence[str],
+    basis: str = "auto",
+    seed: int = 1996,
+    max_error: float = 0.0,
+) -> Dict[str, SurrogateFit]:
+    """Fit every built-in objective from exact training rows.
+
+    Failed training rows (non-empty ``error``) are dropped.  With
+    ``max_error > 0`` the fitted holdout **max** relative error of every
+    objective must stay within it, or the run aborts here — before a
+    single point is predicted from a model known to be bad.
+    """
+    usable = [row for row in rows if not row.get("error")]
+    if len(usable) < 8:
+        raise SurrogateError(
+            f"only {len(usable)} of {len(rows)} training rows are usable;"
+            " need at least 8 to fit and hold out"
+        )
+    matrix = np.array(
+        [[float(row["values"][name]) for name in axis_names]
+         for row in usable]
+    )
+    fits: Dict[str, SurrogateFit] = {}
+    for objective in objectives:
+        measured = np.array(
+            [float(row["objectives"][objective]) for row in usable]
+        )
+        fit = fit_objective(
+            matrix, measured, objective, basis=basis, seed=seed
+        )
+        if max_error > 0 and fit.holdout_max_rel > max_error:
+            raise SurrogateError(
+                f"objective {objective!r}: holdout max relative error "
+                f"{fit.holdout_max_rel:.4%} exceeds the --max-error "
+                f"budget {max_error:.4%} (basis {fit.basis!r}; add "
+                "training points or raise the budget)"
+            )
+        fits[objective] = fit
+    return fits
+
+
+def error_bound(fits: Mapping[str, SurrogateFit]) -> float:
+    """The run's reported bound: worst holdout max-rel across fits."""
+    return max(
+        (fit.holdout_max_rel for fit in fits.values()), default=0.0
+    )

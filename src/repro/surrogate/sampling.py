@@ -1,0 +1,116 @@
+"""Deterministic training-set selection over a parameter space.
+
+The surrogate flow (HL-Pow / Lorecast style: learn a fast predictor
+from a sampled subset of the slow reference flow) stands or falls on
+*which* points get exact-evaluated.  Two requirements drive the design:
+
+* **Coverage** — a least-squares polynomial fit extrapolates badly, so
+  the training set must pin down the whole hull: every corner of the
+  grid (all first/last combinations per axis) is always included, and
+  the interior is covered by stratified picks — the index range is cut
+  into equal strata and one point drawn per stratum, so no region of
+  the row-major enumeration goes unsampled.
+
+* **Determinism** — resume must be byte-identical, so the selection is
+  a pure function of ``(space shape, fraction, seed)``: one
+  ``random.Random(seed)`` drives every draw, output is sorted and
+  deduplicated, and nothing depends on wall clock, hashing order, or
+  numpy RNG state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..errors import SurrogateError
+from ..explore.space import ParameterSpace
+
+#: never train on fewer points than this (a quadratic basis over a few
+#: axes needs tens of rows before the holdout split means anything)
+MIN_TRAINING_POINTS = 32
+
+
+def axis_strides(space: ParameterSpace) -> List[int]:
+    """Row-major stride per axis: ``index // stride % len`` is the
+    axis's value position for a flat point index."""
+    strides: List[int] = []
+    stride = 1
+    for axis in reversed(space.axes):
+        strides.append(stride)
+        stride *= len(axis)
+    strides.reverse()
+    return strides
+
+
+def corner_indices(space: ParameterSpace) -> List[int]:
+    """Flat indices of every grid corner (first/last value per axis)."""
+    strides = axis_strides(space)
+    corners = [0]
+    for axis, stride in zip(space.axes, strides):
+        last = (len(axis) - 1) * stride
+        if last == 0:
+            continue
+        corners = [base for base in corners] + [
+            base + last for base in corners
+        ]
+    return sorted(set(corners))
+
+
+def training_indices(
+    space: ParameterSpace,
+    fraction: float = 0.01,
+    seed: int = 1996,
+    minimum: int = MIN_TRAINING_POINTS,
+) -> List[int]:
+    """The sorted, deduplicated training set for one surrogate run.
+
+    ``fraction`` of the space (at least ``minimum`` points, never more
+    than the whole space): grid corners first, then one seeded pick per
+    equal-width stratum of the flat index range.  Byte-identical for
+    identical ``(space shape, fraction, seed, minimum)``.
+    """
+    total = len(space)
+    if not 0.0 < fraction <= 1.0:
+        raise SurrogateError(
+            f"training fraction must be in (0, 1], got {fraction!r}"
+        )
+    target = max(int(minimum), int(round(fraction * total)))
+    target = min(target, total)
+    if target < 2:
+        raise SurrogateError(
+            f"cannot fit a surrogate on {target} training point(s); "
+            "the space is too small to split"
+        )
+    chosen = set(corner_indices(space))
+    strata = target - len(chosen)
+    if strata > 0:
+        rng = random.Random(int(seed))
+        # one draw per stratum; collisions with corners simply redraw
+        # into the next stratum's budget — the loop below tops up from
+        # the same stream until the target is met, so the sequence of
+        # draws (and therefore the set) is fully determined by the seed
+        edges = [
+            (stratum * total) // strata for stratum in range(strata + 1)
+        ]
+        for lo, hi in zip(edges, edges[1:]):
+            if hi > lo:
+                chosen.add(rng.randrange(lo, hi))
+        while len(chosen) < target:
+            chosen.add(rng.randrange(total))
+    return sorted(chosen)
+
+
+def chunk_indices(
+    indices: Sequence[int], chunk_size: int
+) -> List[List[int]]:
+    """Shard an index list for the engine: chunk ``ordinal`` holds
+    ``indices[ordinal * chunk_size : (ordinal + 1) * chunk_size]``."""
+    if chunk_size < 1:
+        raise SurrogateError(
+            f"chunk size must be >= 1, got {chunk_size}"
+        )
+    return [
+        list(indices[start:start + chunk_size])
+        for start in range(0, len(indices), chunk_size)
+    ]

@@ -1,0 +1,221 @@
+"""Exact verification of predicted rows and the surrogate report.
+
+The fit-predict-verify contract (see DESIGN.md): a surrogate sweep's
+export never passes a model prediction off as a measurement.  Every row
+is marked ``source: exact`` (the row's objectives came from the real
+estimator — training rows and re-verified rows) or ``source: predicted``
+(the row's objectives are surrogate output, kept only when the
+verification budget ran out before reaching it).  Re-verified rows keep
+their predicted values alongside the exact ones, which is where the
+observed model error in the :class:`SurrogateReport` comes from — the
+report separates the *promised* bound (holdout) from the *observed*
+error on the rows that matter (the predicted front and the uncertainty
+band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import SurrogateError
+from ..explore.space import ParameterSpace
+from .fit import _TINY, SurrogateFit
+
+
+@dataclass
+class SurrogateReport:
+    """Everything a caller needs to judge one surrogate run."""
+
+    total_points: int = 0
+    train_points: int = 0
+    usable_train_points: int = 0
+    predicted_points: int = 0
+    dropped_non_finite: int = 0
+    front_size: int = 0
+    band_size: int = 0
+    verified_points: int = 0
+    unverified_front: int = 0
+    verify_failures: int = 0
+    #: promised bound: worst holdout max-rel across objective fits
+    error_bound: float = 0.0
+    #: observed on re-verified rows: objective -> max relative error
+    observed_rel: Dict[str, float] = field(default_factory=dict)
+    observed_max_rel: float = 0.0
+    #: objective -> {basis, holdout_max_rel, holdout_p95_rel, ...}
+    fits: Dict[str, dict] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+    #: phase -> wall-clock seconds (informational only — never part of
+    #: the byte-compared export)
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "total_points": self.total_points,
+            "train_points": self.train_points,
+            "usable_train_points": self.usable_train_points,
+            "predicted_points": self.predicted_points,
+            "dropped_non_finite": self.dropped_non_finite,
+            "front_size": self.front_size,
+            "band_size": self.band_size,
+            "verified_points": self.verified_points,
+            "unverified_front": self.unverified_front,
+            "verify_failures": self.verify_failures,
+            "error_bound": self.error_bound,
+            "observed_rel": dict(self.observed_rel),
+            "observed_max_rel": self.observed_max_rel,
+            "fits": {k: dict(v) for k, v in self.fits.items()},
+            "config": dict(self.config),
+            "seconds": dict(self.seconds),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SurrogateReport":
+        try:
+            report = cls()
+            for name in (
+                "total_points", "train_points", "usable_train_points",
+                "predicted_points", "dropped_non_finite", "front_size",
+                "band_size", "verified_points", "unverified_front",
+                "verify_failures",
+            ):
+                setattr(report, name, int(payload.get(name, 0)))
+            report.error_bound = float(payload.get("error_bound", 0.0))
+            report.observed_max_rel = float(
+                payload.get("observed_max_rel", 0.0)
+            )
+            report.observed_rel = {
+                str(k): float(v)
+                for k, v in payload.get("observed_rel", {}).items()
+            }
+            report.fits = {
+                str(k): dict(v)
+                for k, v in payload.get("fits", {}).items()
+            }
+            report.config = dict(payload.get("config", {}))
+            report.seconds = {
+                str(k): float(v)
+                for k, v in payload.get("seconds", {}).items()
+            }
+            return report
+        except (TypeError, ValueError) as exc:
+            raise SurrogateError(
+                f"corrupt surrogate report payload: {exc}"
+            ) from exc
+
+    def fit_summary(self, fits: Mapping[str, SurrogateFit]) -> None:
+        self.fits = {
+            name: {
+                "basis": fit.basis,
+                "holdout_max_rel": fit.holdout_max_rel,
+                "holdout_p95_rel": fit.holdout_p95_rel,
+                "train_points": fit.train_points,
+                "holdout_points": fit.holdout_points,
+            }
+            for name, fit in fits.items()
+        }
+
+
+def select_verification(
+    front_indices: Sequence[int],
+    uncertain_indices: Sequence[int],
+    train_indices: Sequence[int],
+    budget: int,
+) -> List[int]:
+    """Which points get exact re-evaluation, deterministically.
+
+    Training rows are already exact, so they never consume budget.
+    The predicted front comes first (ascending index); leftover budget
+    fills from the uncertainty band in score order.  A front larger
+    than the budget is allowed — its tail stays ``predicted`` in the
+    export and is counted as ``unverified_front`` in the report.
+    """
+    budget = max(0, int(budget))
+    train = set(int(i) for i in train_indices)
+    chosen: List[int] = []
+    for index in front_indices:
+        if len(chosen) >= budget:
+            break
+        if int(index) not in train:
+            chosen.append(int(index))
+    for index in uncertain_indices:
+        if len(chosen) >= budget:
+            break
+        index = int(index)
+        if index not in train and index not in chosen:
+            chosen.append(index)
+    return chosen
+
+
+def observed_errors(
+    exact_rows: Mapping[int, Mapping],
+    predicted: Mapping[int, Mapping[str, float]],
+    objective_names: Sequence[str],
+) -> Dict[str, float]:
+    """Objective -> max relative |predicted - exact| over the verified
+    rows (failed exact rows are skipped; they're counted separately)."""
+    worst = {name: 0.0 for name in objective_names}
+    for index, row in exact_rows.items():
+        guess = predicted.get(int(index))
+        if guess is None or row.get("error"):
+            continue
+        for name in objective_names:
+            exact = float(row["objectives"][name])
+            relative = abs(float(guess[name]) - exact) / max(
+                abs(exact), _TINY
+            )
+            if relative > worst[name]:
+                worst[name] = relative
+    return worst
+
+
+def assemble_rows(
+    space: ParameterSpace,
+    exact_rows: Mapping[int, Mapping],
+    predicted: Mapping[int, Mapping[str, float]],
+    front_indices: Sequence[int],
+    uncertain_indices: Sequence[int],
+) -> List[dict]:
+    """The surrogate sweep's result rows, in point order.
+
+    Exact rows (training + verified) come out marked ``exact``; any
+    predicted-front or band row the verification budget did not reach
+    comes out marked ``predicted`` with the surrogate's values as its
+    objectives.  Verified rows that were also predicted carry their
+    ``predicted`` values for side-by-side display.
+    """
+    indices = set(int(i) for i in exact_rows)
+    indices.update(int(i) for i in front_indices)
+    indices.update(int(i) for i in uncertain_indices)
+    rows: List[dict] = []
+    for index in sorted(indices):
+        exact = exact_rows.get(index)
+        if exact is not None:
+            row = dict(exact)
+            row["source"] = "exact"
+            guess = predicted.get(index)
+            if guess is not None:
+                row["predicted"] = {
+                    name: float(value) for name, value in guess.items()
+                }
+            rows.append(row)
+            continue
+        guess = predicted.get(index)
+        if guess is None:  # pragma: no cover - structural invariant
+            raise SurrogateError(
+                f"point {index} is neither exact nor predicted"
+            )
+        point = space.point(index)
+        rows.append(
+            {
+                "index": index,
+                "values": point["values"],
+                "overrides": point["overrides"],
+                "objectives": {
+                    name: float(value) for name, value in guess.items()
+                },
+                "error": "",
+                "source": "predicted",
+            }
+        )
+    return rows

@@ -58,6 +58,7 @@ from ..explore import (
     DerivedObjective,
     JobStore,
     ParameterSpace,
+    coerce_surrogate,
     coupled_from_spec,
     export_csv,
     export_json,
@@ -1038,6 +1039,20 @@ class Application:
                 f"{key} must be a whole number, got {text!r}"
             ) from None
 
+    @staticmethod
+    def _sweep_float(
+        data: Mapping[str, str], key: str, default: float
+    ) -> float:
+        text = (data.get(key) or "").strip()
+        if not text:
+            return default
+        try:
+            return float(text)
+        except ValueError:
+            raise ExploreError(
+                f"{key} must be a number, got {text!r}"
+            ) from None
+
     def _build_job(self, user: str, session, data: Mapping[str, str]):
         """Validate the sweep form and persist a pending job.
 
@@ -1080,11 +1095,35 @@ class Application:
                     f"unknown objective {objective!r}: choose from "
                     "power, area, delay (or add it under 'derive')"
                 )
+        surrogate = None
+        if data.get("surrogate", "no") == "yes":
+            # JobError subclasses ExploreError, so a bad fraction or
+            # basis re-renders the form like any other field mistake
+            surrogate = coerce_surrogate(
+                {
+                    "train_frac": self._sweep_float(
+                        data, "train_frac", 0.01
+                    ),
+                    "train_seed": self._sweep_int(
+                        data, "train_seed", 1996
+                    ),
+                    "verify_top": self._sweep_int(
+                        data, "verify_top", 64
+                    ),
+                    "max_error": self._sweep_float(
+                        data, "max_error", 0.0
+                    ),
+                    "basis": (data.get("basis") or "auto").strip(),
+                }
+            )
         point_cap = self._sweep_int(data, "point_cap", 0)
+        lazy = surrogate is not None
         if point_cap > 0:
-            space = ParameterSpace(axes, coupled, point_cap=point_cap)
+            space = ParameterSpace(
+                axes, coupled, point_cap=point_cap, lazy=lazy
+            )
         else:
-            space = ParameterSpace(axes, coupled)
+            space = ParameterSpace(axes, coupled, lazy=lazy)
         return self.jobs.create(
             design,
             space,
@@ -1095,6 +1134,7 @@ class Application:
             mode=data.get("mode", "thread"),
             chunk_size=self._sweep_int(data, "chunk_size", 16),
             prune=data.get("prune", "no") == "yes",
+            surrogate=surrogate,
         )
 
     def _sweep_form(self, data: Mapping[str, str]) -> Response:
@@ -1178,6 +1218,11 @@ class Application:
         sensitivity = sensitivity_ranking(
             rows, axis_names, objective=objective_names[0]
         )
+        surrogate = None
+        if job.surrogate is not None:
+            from ..surrogate.runner import surrogate_report
+
+            surrogate = surrogate_report(job).to_payload()
         return Response(
             body=pages.sweep_results_page(
                 user,
@@ -1188,6 +1233,7 @@ class Application:
                 sensitivity,
                 total_rows=len(rows),
                 auth=self._auth_token(user),
+                surrogate=surrogate,
             )
         )
 

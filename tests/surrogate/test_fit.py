@@ -1,0 +1,156 @@
+"""Surrogate regression fits: recovery, honesty, and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SurrogateError
+from repro.surrogate import BASIS_NAMES, SurrogateFit, fit_objective, fit_surrogates
+
+
+def grid(nx=8, ny=8):
+    xs = np.linspace(1.0, 3.0, nx)
+    ys = np.linspace(0.5, 2.0, ny)
+    return np.array([[x, y] for x in xs for y in ys])
+
+
+def quadratic(matrix):
+    x, y = matrix[:, 0], matrix[:, 1]
+    return 2.0 + 3.0 * x + 0.5 * y + 1.25 * x * x + 0.75 * x * y
+
+
+class TestFitObjective:
+    def test_quadratic_recovered_exactly(self):
+        matrix = grid()
+        fit = fit_objective(matrix, quadratic(matrix), "power",
+                            basis="quadratic")
+        assert fit.holdout_max_rel < 1e-9
+        predicted = fit.predict(matrix)
+        np.testing.assert_allclose(predicted, quadratic(matrix), rtol=1e-9)
+
+    def test_auto_picks_a_low_error_basis(self):
+        matrix = grid()
+        fit = fit_objective(matrix, quadratic(matrix), "power", basis="auto")
+        assert fit.basis in BASIS_NAMES
+        assert fit.holdout_p95_rel < 1e-9
+
+    def test_log_basis_recovers_log_polynomial(self):
+        matrix = grid()
+        lx, ly = np.log(matrix[:, 0]), np.log(matrix[:, 1])
+        measured = 4.0 + 2.0 * lx - 1.3 * ly + 0.7 * lx * ly + ly * ly
+        fit = fit_objective(matrix, measured, "power", basis="log")
+        assert fit.log_features
+        assert fit.holdout_max_rel < 1e-9
+
+    def test_log_basis_rejects_non_positive_axes(self):
+        matrix = grid()
+        matrix[0, 0] = 0.0
+        with pytest.raises(SurrogateError, match="strictly positive"):
+            fit_objective(matrix, quadratic(grid()), "power", basis="log")
+
+    def test_unknown_basis_rejected(self):
+        matrix = grid()
+        with pytest.raises(SurrogateError, match="unknown surrogate basis"):
+            fit_objective(matrix, quadratic(matrix), "power",
+                          basis="spline")
+
+    def test_named_basis_failure_is_fatal(self):
+        # 6 rows cannot support a 10-column cubic basis over 1 axis?
+        # use duplicated single-axis rows: rank-deficient quadratic
+        matrix = np.array([[1.0], [1.0], [1.0], [1.0], [1.0],
+                           [1.0], [1.0], [1.0], [1.0], [1.0]])
+        measured = np.ones(10)
+        with pytest.raises(SurrogateError, match="basis 'quadratic' failed"):
+            fit_objective(matrix, measured, "power", basis="quadratic")
+
+    def test_non_finite_measured_rejected(self):
+        matrix = grid(4, 4)
+        measured = quadratic(matrix)
+        measured[3] = np.nan
+        with pytest.raises(SurrogateError, match="non-finite measured"):
+            fit_objective(matrix, measured, "power")
+
+    def test_non_finite_axis_rejected(self):
+        matrix = grid(4, 4)
+        measured = quadratic(matrix)
+        matrix[2, 1] = np.inf
+        with pytest.raises(SurrogateError, match="non-finite axis"):
+            fit_objective(matrix, measured, "power")
+
+    def test_holdout_is_honest_for_a_bad_model(self):
+        # a cliff no polynomial tracks: the holdout bound must be large
+        rng = np.random.default_rng(0)
+        matrix = grid(10, 10)
+        measured = np.where(matrix[:, 0] > 2.0, 100.0, 1.0)
+        measured = measured + rng.normal(0, 1e-6, measured.shape)
+        fit = fit_objective(matrix, measured, "power", basis="linear")
+        assert fit.holdout_max_rel > 0.1
+
+    def test_payload_round_trip(self):
+        matrix = grid()
+        fit = fit_objective(matrix, quadratic(matrix), "power")
+        clone = SurrogateFit.from_payload(fit.to_payload())
+        np.testing.assert_allclose(
+            clone.predict(matrix), fit.predict(matrix)
+        )
+        assert clone.basis == fit.basis
+        assert clone.terms == fit.terms
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(SurrogateError, match="corrupt"):
+            SurrogateFit.from_payload({"basis": "linear"})
+
+    def test_leverage_highest_outside_training_cloud(self):
+        matrix = grid()
+        fit = fit_objective(matrix, quadratic(matrix), "power",
+                            basis="linear")
+        inside = fit.leverage(np.array([[2.0, 1.2]]))[0]
+        outside = fit.leverage(np.array([[6.0, 5.0]]))[0]
+        assert outside > inside
+
+
+def rows_from(matrix, measured, errors=()):
+    rows = []
+    for i, (point, value) in enumerate(zip(matrix, measured)):
+        rows.append(
+            {
+                "index": i,
+                "values": {"x": float(point[0]), "y": float(point[1])},
+                "objectives": {"power": float(value)},
+                "error": "boom" if i in errors else "",
+            }
+        )
+    return rows
+
+
+class TestFitSurrogates:
+    def test_fits_every_objective(self):
+        matrix = grid()
+        fits = fit_surrogates(
+            rows_from(matrix, quadratic(matrix)), ["x", "y"], ["power"]
+        )
+        assert set(fits) == {"power"}
+
+    def test_failed_rows_dropped(self):
+        matrix = grid(4, 4)
+        measured = quadratic(matrix)
+        measured[5] = np.nan  # failed row's garbage must not matter
+        fits = fit_surrogates(
+            rows_from(matrix, measured, errors={5}), ["x", "y"], ["power"]
+        )
+        assert fits["power"].holdout_max_rel < 1e-9
+
+    def test_too_few_usable_rows(self):
+        matrix = grid(2, 2)
+        with pytest.raises(SurrogateError, match="need at least 8"):
+            fit_surrogates(
+                rows_from(matrix, quadratic(matrix)), ["x", "y"], ["power"]
+            )
+
+    def test_max_error_budget_enforced(self):
+        matrix = grid(10, 10)
+        measured = np.where(matrix[:, 0] > 2.0, 100.0, 1.0)
+        with pytest.raises(SurrogateError, match="max-error"):
+            fit_surrogates(
+                rows_from(matrix, measured), ["x", "y"], ["power"],
+                basis="linear", max_error=0.01,
+            )

@@ -1,0 +1,114 @@
+"""Training-set selection: corners always in, seeded and deterministic."""
+
+import pytest
+
+from repro.errors import SurrogateError
+from repro.explore import Axis, ParameterSpace
+from repro.surrogate import (
+    MIN_TRAINING_POINTS,
+    chunk_indices,
+    corner_indices,
+    training_indices,
+)
+from repro.surrogate.sampling import axis_strides
+
+
+def space_3d(a=7, b=5, c=3):
+    return ParameterSpace(
+        [
+            Axis("x", tuple(1.0 + 0.1 * i for i in range(a))),
+            Axis("y", tuple(2.0 + 0.1 * i for i in range(b))),
+            Axis("z", tuple(3.0 + 0.1 * i for i in range(c))),
+        ]
+    )
+
+
+class TestStridesAndCorners:
+    def test_strides_are_row_major(self):
+        space = space_3d(7, 5, 3)
+        assert axis_strides(space) == [15, 3, 1]
+
+    def test_strides_match_point_enumeration(self):
+        space = space_3d(4, 3, 2)
+        strides = axis_strides(space)
+        for index in range(len(space)):
+            values = space.point(index)["values"]
+            for axis, stride in zip(space.axes, strides):
+                position = (index // stride) % len(axis)
+                assert values[axis.name] == axis.values[position]
+
+    def test_all_corners_present(self):
+        space = space_3d(7, 5, 3)
+        corners = corner_indices(space)
+        assert len(corners) == 8  # 2^3 distinct extremes
+        values = [space.point(i)["values"] for i in corners]
+        for point in values:
+            assert point["x"] in (1.0, 1.6)
+            assert point["y"] in (2.0, 2.4)
+            assert point["z"] in (3.0, 3.2)
+
+    def test_single_value_axis_collapses_corners(self):
+        space = ParameterSpace(
+            [Axis("x", (1.0, 2.0)), Axis("y", (5.0,))]
+        )
+        assert corner_indices(space) == [0, 1]
+
+
+class TestTrainingIndices:
+    def test_deterministic_per_seed(self):
+        space = space_3d()
+        first = training_indices(space, fraction=0.3, seed=42)
+        second = training_indices(space, fraction=0.3, seed=42)
+        assert first == second
+
+    def test_seed_changes_selection(self):
+        space = space_3d()
+        assert training_indices(space, 0.5, seed=1) != training_indices(
+            space, 0.5, seed=2
+        )
+
+    def test_sorted_unique_and_in_range(self):
+        space = space_3d()
+        chosen = training_indices(space, fraction=0.4, seed=7)
+        assert chosen == sorted(set(chosen))
+        assert all(0 <= i < len(space) for i in chosen)
+
+    def test_corners_always_included(self):
+        space = space_3d()
+        chosen = set(training_indices(space, fraction=0.3, seed=9))
+        assert chosen >= set(corner_indices(space))
+
+    def test_minimum_floor_applies(self):
+        space = space_3d()  # 105 points; 1% would be 1
+        chosen = training_indices(space, fraction=0.01, seed=3)
+        assert len(chosen) >= MIN_TRAINING_POINTS
+
+    def test_full_fraction_is_everything(self):
+        space = space_3d(4, 3, 2)
+        chosen = training_indices(space, 1.0, seed=5, minimum=1)
+        assert chosen == list(range(len(space)))
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(SurrogateError):
+            training_indices(space_3d(), fraction=fraction)
+
+    def test_stratification_covers_index_range(self):
+        space = space_3d(10, 10, 1)  # 100 points
+        chosen = training_indices(space, fraction=0.5, seed=11)
+        # with 50 points over 100 indices, every quarter must be hit
+        for lo in (0, 25, 50, 75):
+            assert any(lo <= i < lo + 25 for i in chosen)
+
+
+class TestChunkIndices:
+    def test_shards_preserve_order(self):
+        chunks = chunk_indices([3, 1, 4, 1, 5, 9, 2], 3)
+        assert chunks == [[3, 1, 4], [1, 5, 9], [2]]
+
+    def test_empty_input(self):
+        assert chunk_indices([], 8) == []
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(SurrogateError):
+            chunk_indices([1, 2], 0)

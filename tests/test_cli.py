@@ -160,3 +160,82 @@ class TestCharacterize:
         assert code == 0
         assert "c_per_bit" in out
         assert "R^2" in out
+
+
+class TestSurrogateCLI:
+    AXES = [
+        "--axis", "VDD=1.0:3.0:0.1",
+        "--axis", "f=1e6:3e6:1e5",
+    ]
+
+    def test_ephemeral_surrogate_sweep(self, capsys):
+        code, out, _err = run(
+            capsys, "sweep", "fig1", *self.AXES,
+            "--derive", "slowness=1 / VDD",
+            "--surrogate", "--train-frac", "0.3", "--verify-top", "10",
+        )
+        assert code == 0
+        assert "surrogate job" in out
+        assert "trained on" in out and "error bound" in out
+
+    def test_surrogate_interrupt_resume_byte_identical(
+        self, capsys, tmp_path
+    ):
+        fresh = tmp_path / "fresh.json"
+        code, _out, _err = run(
+            capsys, "sweep", "fig1", *self.AXES,
+            "--surrogate", "--train-frac", "0.3",
+            "--json-out", str(fresh),
+        )
+        assert code == 0
+
+        state = str(tmp_path / "state")
+        code, out, _err = run(
+            capsys, "sweep", "fig1", *self.AXES,
+            "--surrogate", "--train-frac", "0.3",
+            "--state", state, "--max-chunks", "1",
+        )
+        assert code == 1
+        assert "--resume job-0001" in out
+
+        resumed = tmp_path / "resumed.json"
+        code, out, _err = run(
+            capsys, "sweep", "fig1", "--resume", "job-0001",
+            "--state", state, "--json-out", str(resumed),
+        )
+        assert code == 0
+        assert resumed.read_text() == fresh.read_text()
+
+    def test_max_error_budget_fails_fast(self, capsys, tmp_path):
+        state = str(tmp_path)
+        code, _out, err = run(
+            capsys, "sweep", "fig1", *self.AXES,
+            "--surrogate", "--train-frac", "0.3",
+            "--basis", "linear", "--max-error", "1e-12",
+            "--state", state,
+        )
+        assert code == 2
+        assert "max-error" in err
+        # the job checkpoint records the failure, not a silent wedge
+        code, out, _err = run(capsys, "jobs", "--state", state)
+        assert code == 0
+        assert "failed" in out
+
+    def test_over_cap_error_names_max_points(self, capsys):
+        code, _out, err = run(
+            capsys, "sweep", "fig1",
+            "--axis", "VDD=1.0:3.0:0.0001",
+            "--axis", "f=1e6:3e6:1e4",
+        )
+        assert code == 2
+        assert "--max-points" in err
+
+    def test_max_points_raises_the_cap(self, capsys):
+        code, out, _err = run(
+            capsys, "sweep", "fig1",
+            "--axis", "VDD=1.0:3.0:0.01",
+            "--axis", "f=1e6:3e6:1e4",  # 201 * 201 > default cap
+            "--max-points", "200000", "--surrogate",
+        )
+        assert code == 0
+        assert "surrogate job" in out

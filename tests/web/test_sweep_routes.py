@@ -194,3 +194,69 @@ class TestSweepLifecycle:
         payload = json.loads(exported.body)
         assert payload["axes"] == ["VDD2", "bw"]
         assert len(payload["rows"]) == 6
+
+
+SURROGATE_FORM = {
+    "design": "example:luminance_fig1",
+    "axes": "VDD=1.0:3.0:0.1\nf=1e6:3e6:1e5",
+    "objectives": "power",
+    "surrogate": "yes",
+    "train_frac": "0.3",
+    "train_seed": "7",
+    "verify_top": "10",
+    "mode": "serial",
+    "workers": "1",
+    "chunk_size": "64",
+}
+
+
+class TestSurrogateSweep:
+    def test_submit_poll_results(self, app):
+        job_id = submit_and_finish(app, **SURROGATE_FORM)
+        job = app.jobs.job(job_id)
+        assert job.surrogate is not None
+        # exact evaluations stay well under the full enumeration
+        assert job.done_points < job.total_points
+
+        status = get(app, f"/sweep/job?user={USER}&job={job_id}")
+        assert "fit-predict-verify" in status.body
+
+        result = get(app, f"/sweep/result?user={USER}&job={job_id}")
+        assert result.status == 200
+        assert "Surrogate fit-predict-verify" in result.body
+        assert "Error bound" in result.body
+
+    def test_exports_mark_sources(self, app):
+        job_id = submit_and_finish(app, **SURROGATE_FORM)
+        csv = get(app, f"/sweep/result?user={USER}&job={job_id}&fmt=csv")
+        assert "source" in csv.body.splitlines()[0]
+        exported = get(
+            app, f"/sweep/result?user={USER}&job={job_id}&fmt=json"
+        )
+        payload = json.loads(exported.body)
+        assert {r["source"] for r in payload["rows"]} <= {
+            "exact", "predicted"
+        }
+        assert any(r["source"] == "exact" for r in payload["rows"])
+
+    def test_bad_train_frac_is_400(self, app):
+        form = dict(GOOD_FORM)
+        form.update(SURROGATE_FORM, train_frac="1.5")
+        response = post(app, "/sweep", **form)
+        assert response.status == 400
+        assert "train fraction" in response.body
+
+    def test_non_numeric_surrogate_field_is_400(self, app):
+        form = dict(GOOD_FORM)
+        form.update(SURROGATE_FORM, verify_top="lots")
+        response = post(app, "/sweep", **form)
+        assert response.status == 400
+        assert "verify_top" in response.body
+
+    def test_exhaustive_form_unaffected(self, app):
+        """surrogate=no (the default) keeps the legacy exact pipeline."""
+        job_id = submit_and_finish(app)
+        job = app.jobs.job(job_id)
+        assert job.surrogate is None
+        csv = get(app, f"/sweep/result?user={USER}&job={job_id}&fmt=csv")
+        assert "source" not in csv.body.splitlines()[0]
